@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation (paper Section 8.4): CFAR-style anomaly detection as a
+ * transient filter. Like Kalman filtering, CA-CFAR flags anomalous
+ * energy estimates against the local noise floor but cannot tell
+ * detrimental transients from harmless (or constructive) ones.
+ *
+ * Protocol: run the baseline, then re-estimate the final energy after
+ * dropping CFAR-flagged iterations, and compare the spike-removal power
+ * against QISMET's reported series.
+ */
+
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/statistics.hpp"
+#include "common/table_printer.hpp"
+#include "filter/cfar.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation — CFAR anomaly filtering vs QISMET (Section 8.4)",
+        "Expect: CFAR removes reporting spikes post-hoc but cannot "
+        "repair the tuning; QISMET improves the underlying estimates.");
+
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 2000;
+
+    const auto base = bench::runAveraged(runner, cfg, Scheme::Baseline);
+    const auto qismet = bench::runAveraged(runner, cfg, Scheme::Qismet);
+
+    // Post-hoc CFAR cleanup of the baseline's reported series.
+    CfarDetector cfar(CfarParams{});
+    const auto flags = cfar.detect(base.exampleSeries);
+    std::vector<double> cleaned;
+    for (std::size_t i = 0; i < base.exampleSeries.size(); ++i)
+        if (!flags[i])
+            cleaned.push_back(base.exampleSeries[i]);
+
+    auto tail_mean = [](const std::vector<double> &xs, std::size_t k) {
+        double s = 0.0;
+        const std::size_t lo = xs.size() > k ? xs.size() - k : 0;
+        for (std::size_t i = lo; i < xs.size(); ++i)
+            s += xs[i];
+        return s / static_cast<double>(xs.size() - lo);
+    };
+
+    int flagged = 0;
+    for (bool f : flags)
+        flagged += f ? 1 : 0;
+
+    TablePrinter table("CFAR post-filtering vs QISMET (seed 7 series; "
+                       "final = last-10 mean)");
+    table.setHeader({"series", "final estimate", "notes"});
+    table.addRow({"Baseline (raw)",
+                  formatDouble(tail_mean(base.exampleSeries, 10), 3),
+                  "spiky"});
+    table.addRow({"Baseline + CFAR drop",
+                  formatDouble(tail_mean(cleaned, 10), 3),
+                  std::to_string(flagged) + " iterations flagged"});
+    table.addRow({"QISMET",
+                  formatDouble(tail_mean(qismet.exampleSeries, 10), 3),
+                  "tuning itself protected"});
+    table.print(std::cout);
+
+    std::cout << "Paper claim: classical anomaly filters only clean the "
+                 "reporting; they cannot steer the tuner away from "
+                 "detrimental transients.\n";
+    return 0;
+}

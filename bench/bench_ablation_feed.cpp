@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Design ablation (DESIGN.md §5): the two halves of our QISMET
+ * controller —
+ *  (1) skipping sign-flipped iterations (paper Fig. 9), and
+ *  (2) handing the tuner the transient-free prediction E_p whenever the
+ *      estimated transient exceeds the threshold (paper Fig. 8's G_p
+ *      "kept faithful to the transient-free scenario").
+ * This bench isolates (2) by toggling the corrected feed off, leaving
+ * skip-only behavior.
+ */
+
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation — gradient-faithful feed vs skip-only QISMET",
+        "Expect: skipping alone recovers part of the benefit; feeding "
+        "the tuner G_p-faithful energies recovers the rest.");
+
+    TablePrinter table("Per-application final estimates (seed-averaged, "
+                       "2000 jobs)");
+    table.setHeader({"app", "baseline", "skip-only QISMET",
+                     "full QISMET"});
+
+    for (int i : {1, 2, 5}) {
+        const Application app = application(i);
+        const QismetVqe runner = app.makeRunner();
+        QismetVqeConfig cfg;
+        cfg.totalJobs = 2000;
+        cfg.traceVersion = app.spec.traceVersion;
+
+        const auto base =
+            bench::runAveraged(runner, cfg, Scheme::Baseline);
+
+        QismetVqeConfig skip_only = cfg;
+        skip_only.qismetCorrectedFeed = false;
+        const auto skip =
+            bench::runAveraged(runner, skip_only, Scheme::Qismet);
+
+        const auto full = bench::runAveraged(runner, cfg, Scheme::Qismet);
+
+        table.addRow({app.spec.id, formatDouble(base.meanEstimate, 3),
+                      formatDouble(skip.meanEstimate, 3),
+                      formatDouble(full.meanEstimate, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

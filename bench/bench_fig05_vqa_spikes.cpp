@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 5 reproduction: extreme transient impact on a baseline VQA run
+ * (paper: IBMQ Jakarta over ~24 hours, ~500 iterations).
+ *
+ * Paper claim: multiple sharp upward spikes punctuate the tuning curve,
+ * and the expectation at iteration 500 is no better than at ~100 — the
+ * transients stall progress.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/statistics.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 5 — transient spikes on a baseline VQA (simulated Jakarta)",
+        "Expect: sharp upward spikes; late-run estimate barely better "
+        "than the early-run estimate.");
+
+    Application app = application(2);
+    app.machine = machineModel("jakarta");
+    const QismetVqe runner = app.makeRunner();
+
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 1000; // ~500 SPSA iterations
+    cfg.seed = 29;
+    cfg.scheme = Scheme::Baseline;
+    cfg.transientScale = 1.5; // a severe episode, like the paper's run
+    const auto res = runner.run(cfg);
+
+    const auto &series = res.run.iterationEnergies;
+    bench::printSeries("Baseline VQA expectation per iteration", series);
+
+    // Spike census: upward jumps several times the typical
+    // iteration-to-iteration movement (robust MAD scale).
+    std::vector<double> jumps;
+    for (std::size_t i = 1; i < series.size(); ++i)
+        jumps.push_back(series[i] - series[i - 1]);
+    std::vector<double> abs_jumps;
+    for (double j : jumps)
+        abs_jumps.push_back(std::abs(j));
+    const double typical = quantile(abs_jumps, 0.5);
+    const double swing = std::abs(res.exactGroundEnergy);
+    int spikes = 0;
+    double biggest = 0.0;
+    for (double j : jumps) {
+        if (j > std::max(6.0 * typical, 0.05 * swing))
+            ++spikes;
+        biggest = std::max(biggest, j);
+    }
+
+    auto window_mean = [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            s += series[i];
+        return s / static_cast<double>(hi - lo);
+    };
+    const std::size_t n = series.size();
+    const double at100 = window_mean(90, 110);
+    const double at_end = window_mean(n - 20, n);
+
+    TablePrinter table("Spike census (simulated 24 h Jakarta run)");
+    table.setHeader({"metric", "value"});
+    table.addRow({"iterations", std::to_string(n)});
+    table.addRow({"sharp upward spikes (>20% of swing)",
+                  std::to_string(spikes)});
+    table.addRow({"largest single-iteration jump",
+                  formatDouble(biggest, 3)});
+    table.addRow({"mean estimate around iteration 100",
+                  formatDouble(at100, 3)});
+    table.addRow({"mean estimate at run end", formatDouble(at_end, 3)});
+    table.addRow({"late-vs-early gain",
+                  formatDouble(at100 - at_end, 3)});
+    table.print(std::cout);
+
+    std::cout << "Paper-shape check: multiple spikes ("
+              << spikes << " here) and end-of-run estimate close to the "
+              << "iteration-100 level (gain "
+              << formatDouble(at100 - at_end, 2) << ", small relative to "
+              << "the swing " << formatDouble(swing, 1) << ").\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 11 reproduction: QISMET vs baseline on (simulated) IBMQ
+ * Guadalupe, ~270 VQA iterations over 48 hours, run synchronously so
+ * both schemes see the same transient phases.
+ *
+ * Paper claim: phases of moderate transient error hit the baseline (one
+ * recoverable, one causing ~50-100 iterations of stagnation); QISMET
+ * predominantly avoids them, improving the final VQA estimation by
+ * ~40%.
+ */
+
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 11 — QISMET vs baseline on simulated Guadalupe "
+        "(~270 iterations)",
+        "Expect: transient phases visible on the baseline curve only; "
+        "QISMET improves the final estimate by roughly 40%.");
+
+    const Application app = application(2); // 6q TFIM on guadalupe
+    const QismetVqe runner = app.makeRunner();
+
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 540; // 2 evaluations per iteration -> ~270 iterations
+    // Trace version selects the 48-hour observation window; this one
+    // contains the two moderate transient phases the figure describes.
+    cfg.traceVersion = 10;
+
+    const auto base = bench::runAveraged(runner, cfg, Scheme::Baseline);
+    const auto qismet = bench::runAveraged(runner, cfg, Scheme::Qismet);
+
+    bench::printSeries("Baseline", base.exampleSeries);
+    bench::printSeries("QISMET", qismet.exampleSeries);
+
+    TablePrinter table("Final VQA estimation (mean over seeds)");
+    table.setHeader({"scheme", "final estimate", "skip fraction"});
+    table.addRow({"Baseline", formatDouble(base.meanEstimate, 3), "-"});
+    table.addRow({"QISMET", formatDouble(qismet.meanEstimate, 3),
+                  formatDouble(qismet.meanSkipFraction, 3)});
+    table.print(std::cout);
+
+    const double pct = bench::percentImprovement(base.meanEstimate,
+                                                 qismet.meanEstimate);
+    std::cout << "Measured improvement: "
+              << formatDouble(100.0 * pct, 1)
+              << "%   (paper: ~40% over 270 iterations)\n";
+    return 0;
+}

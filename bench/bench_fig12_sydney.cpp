@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 12 reproduction: QISMET vs baseline on (simulated) IBMQ Sydney,
+ * ~350 iterations over 48 hours.
+ *
+ * Paper claim: Sydney is smooth except one sharp turbulence phase that
+ * heavily impacts the baseline; QISMET skips it and continues its
+ * steady progress, improving the final estimation by ~50%.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/statistics.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 12 — QISMET vs baseline on simulated Sydney "
+        "(~350 iterations, one sharp transient phase)",
+        "Expect: a single turbulent phase on the baseline curve; QISMET "
+        "avoids it (~50% improvement in the paper).");
+
+    Application app = application(2);
+    app.machine = machineModel("sydney");
+    const QismetVqe runner = app.makeRunner();
+
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 700; // ~350 iterations
+    // The observation window containing Sydney's single sharp phase.
+    cfg.traceVersion = 5;
+
+    const auto base = bench::runAveraged(runner, cfg, Scheme::Baseline);
+    const auto qismet = bench::runAveraged(runner, cfg, Scheme::Qismet);
+
+    bench::printSeries("Baseline", base.exampleSeries);
+    bench::printSeries("QISMET", qismet.exampleSeries);
+
+    // Census of turbulent phases in the trace (Sydney's personality:
+    // rare but sharp). Smooth over the within-phase flicker first so a
+    // single multi-job phase counts once.
+    const TransientTrace trace =
+        app.machine.traceGenerator(5).generate(700);
+    const auto smoothed = movingAverage(trace.values(), 8);
+    int phases = 0;
+    bool in_phase = false;
+    for (double v : smoothed) {
+        const bool hot = v > 0.25;
+        if (hot && !in_phase)
+            ++phases;
+        in_phase = hot;
+    }
+
+    TablePrinter table("Final VQA estimation (mean over seeds)");
+    table.setHeader({"scheme", "final estimate", "skip fraction"});
+    table.addRow({"Baseline", formatDouble(base.meanEstimate, 3), "-"});
+    table.addRow({"QISMET", formatDouble(qismet.meanEstimate, 3),
+                  formatDouble(qismet.meanSkipFraction, 3)});
+    table.print(std::cout);
+
+    const double pct = bench::percentImprovement(base.meanEstimate,
+                                                 qismet.meanEstimate);
+    std::cout << "Turbulent phases in the 700-job trace: " << phases
+              << " (paper: one sharp phase)\n";
+    std::cout << "Measured improvement: "
+              << formatDouble(100.0 * pct, 1)
+              << "%   (paper: ~50% over 350 iterations)\n";
+    return 0;
+}

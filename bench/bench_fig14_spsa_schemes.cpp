@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 14 reproduction: App2 simulated for 2000 iterations under the
+ * SPSA tuner, comparing Baseline, QISMET, Resampling, Blocking and
+ * 2nd-order.
+ *
+ * Paper claims: QISMET is best (~65% improvement over the baseline);
+ * Blocking and Resampling improve ~30% less than QISMET; 2nd-order is
+ * ~35% *worse* than the baseline and ~2.5x worse than QISMET.
+ */
+
+#include <iostream>
+
+#include "apps/applications.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 14 — App2 vs SPSA optimization schemes (2000 iterations)",
+        "Expect: QISMET best; Blocking/Resampling in between; 2nd-order "
+        "below the baseline.");
+
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 2000;
+
+    const Scheme schemes[] = {Scheme::Baseline, Scheme::Qismet,
+                              Scheme::Resampling, Scheme::Blocking,
+                              Scheme::SecondOrder};
+
+    TablePrinter table("Final VQA expectation after 2000 jobs "
+                       "(seed-averaged; exact ground energy " +
+                       formatDouble(app.exactGroundEnergy, 3) + ")");
+    table.setHeader({"scheme", "final estimate", "improvement",
+                     "series (seed 7)"});
+
+    double base_estimate = 0.0;
+    for (Scheme s : schemes) {
+        const auto out = bench::runAveraged(runner, cfg, s);
+        if (s == Scheme::Baseline)
+            base_estimate = out.meanEstimate;
+        const double pct =
+            bench::percentImprovement(base_estimate, out.meanEstimate);
+        table.addRow({out.scheme, formatDouble(out.meanEstimate, 3),
+                      formatDouble(100.0 * pct, 1) + "%",
+                      sparkline(out.exampleSeries, 28)});
+    }
+    table.print(std::cout);
+
+    std::cout << "Paper targets: QISMET +65%; Blocking/Resampling ~30% "
+                 "below QISMET's gain; 2nd-order ~-35%.\n";
+    return 0;
+}

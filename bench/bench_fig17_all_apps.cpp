@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 17 (and Table 1) reproduction: all six TFIM applications, five
+ * schemes, 2000 iterations each under the SPSA tuner. The Kalman column
+ * follows the paper's protocol — hyper-parameters tuned per application
+ * with only the best case reported.
+ *
+ * Paper claims: QISMET consistently outperforms everything, with mean
+ * improvements over Baseline / Blocking / Resampling / 2nd-order /
+ * Kalman of 2x (up to 3x) / 1.7x / 1.6x / 2.4x / 1.85x; Blocking and
+ * Resampling are inconsistent (worse than baseline on some apps) and
+ * 2nd-order consistently underperforms the baseline.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "apps/applications.hpp"
+#include "common/table_printer.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+namespace {
+
+double
+bestKalmanEstimate(const QismetVqe &runner, const QismetVqeConfig &cfg)
+{
+    double best = 1e9;
+    for (double mv : {0.01, 0.1}) {
+        for (double t : {0.9, 0.99, 1.0}) {
+            QismetVqeConfig c = cfg;
+            c.kalman.measurementVariance = mv;
+            c.kalman.transition = t;
+            const auto out =
+                qismet::bench::runAveraged(runner, c, Scheme::Kalman);
+            best = std::min(best, out.meanEstimate);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 17 — six applications x five schemes (2000 iterations)",
+        "Expect: QISMET always on top; Blocking/Resampling inconsistent; "
+        "2nd-order below baseline; tuned Kalman modest.");
+
+    // Table 1 echo.
+    TablePrinter t1("Table 1 — TFIM VQA applications");
+    t1.setHeader({"app", "qubits", "ansatz", "reps", "machine/trial"});
+    for (int i = 1; i <= 6; ++i) {
+        const auto spec = applicationSpec(i);
+        t1.addRow({spec.id, std::to_string(spec.numQubits),
+                   spec.ansatzName, std::to_string(spec.reps),
+                   spec.machineName + " (v" +
+                       std::to_string(spec.traceVersion) + ")"});
+    }
+    t1.print(std::cout);
+
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 2000;
+
+    const Scheme schemes[] = {Scheme::Qismet, Scheme::Blocking,
+                              Scheme::Resampling, Scheme::SecondOrder};
+
+    TablePrinter table("Fidelity-improvement factor over the baseline "
+                       "(seed-averaged)");
+    table.setHeader({"app", "QISMET", "Blocking", "Resampling",
+                     "2nd-order", "Kalman(best)"});
+
+    std::map<std::string, double> factor_sum;
+    for (int i = 1; i <= 6; ++i) {
+        const Application app = application(i);
+        const QismetVqe runner = app.makeRunner();
+        QismetVqeConfig c = cfg;
+        c.traceVersion = app.spec.traceVersion;
+
+        const auto base =
+            bench::runAveraged(runner, c, Scheme::Baseline);
+
+        std::vector<std::string> row = {app.spec.id};
+        for (Scheme s : schemes) {
+            const auto out = bench::runAveraged(runner, c, s);
+            const double factor = improvementFactor(
+                base.meanEstimate, out.meanEstimate, 0.0,
+                app.exactGroundEnergy);
+            factor_sum[schemeName(s)] += factor;
+            row.push_back(formatDouble(factor, 2) + "x");
+        }
+        const double kalman_est = bestKalmanEstimate(runner, c);
+        const double kalman_factor = improvementFactor(
+            base.meanEstimate, kalman_est, 0.0, app.exactGroundEnergy);
+        factor_sum["Kalman"] += kalman_factor;
+        row.push_back(formatDouble(kalman_factor, 2) + "x");
+        table.addRow(std::move(row));
+    }
+    table.addRow({"mean", formatDouble(factor_sum["QISMET"] / 6, 2) + "x",
+                  formatDouble(factor_sum["Blocking"] / 6, 2) + "x",
+                  formatDouble(factor_sum["Resampling"] / 6, 2) + "x",
+                  formatDouble(factor_sum["2nd-order"] / 6, 2) + "x",
+                  formatDouble(factor_sum["Kalman"] / 6, 2) + "x"});
+    table.print(std::cout);
+
+    std::cout << "Paper means: QISMET 2x (up to 3x); Blocking ~1.2x; "
+                 "Resampling ~1.25x; 2nd-order <1x; best-case Kalman "
+                 "~1.1x (QISMET 1.85x better).\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark kernel timings for the library's hot paths: the
+ * statevector simulator, the density-matrix channel application, Pauli
+ * expectations, the noisy energy estimator, and a full QISMET VQE job
+ * loop. These set expectations for how long the figure benches take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/applications.hpp"
+#include "hamiltonian/tfim.hpp"
+#include "pauli/expectation.hpp"
+#include "sim/density_matrix.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+namespace {
+
+void
+BM_StatevectorAnsatzRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto ansatz = makeAnsatz("RA", n, 4);
+    const Circuit circuit = ansatz->build();
+    Rng rng(3);
+    const auto theta = ansatz->randomInitialPoint(rng);
+
+    for (auto _ : state) {
+        Statevector st(n);
+        st.run(circuit, theta);
+        benchmark::DoNotOptimize(st.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StatevectorAnsatzRun)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_PauliExpectation(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const PauliSum h = tfimHamiltonian({.numQubits = n});
+    const auto ansatz = makeAnsatz("RA", n, 4);
+    Rng rng(5);
+    Statevector st(n);
+    st.run(ansatz->build(), ansatz->randomInitialPoint(rng));
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(expectation(st, h));
+    }
+}
+BENCHMARK(BM_PauliExpectation)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_DensityMatrixNoisyGate(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    DensityMatrix rho(n);
+    const KrausChannel dep = KrausChannel::depolarizing2q(0.01);
+    for (auto _ : state) {
+        rho.applyChannel2q(0, 1, dep);
+        benchmark::DoNotOptimize(rho.trace());
+    }
+}
+BENCHMARK(BM_DensityMatrixNoisyGate)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_EnergyEstimate(benchmark::State &state)
+{
+    const Application app = application(2);
+    EstimatorConfig cfg;
+    cfg.mode = state.range(0) ? EstimatorMode::Sampling
+                              : EstimatorMode::Analytic;
+    cfg.shots = 4096;
+    EnergyEstimator est(app.hamiltonian, app.ansatzCircuit,
+                        app.machine.staticModel(), cfg);
+    Rng rng(7);
+    std::vector<double> theta(
+        static_cast<std::size_t>(app.ansatzCircuit.numParams()), 0.3);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(est.estimate(theta, 0.1, rng));
+    }
+}
+BENCHMARK(BM_EnergyEstimate)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"sampling"});
+
+void
+BM_QismetVqeRun(benchmark::State &state)
+{
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = static_cast<std::size_t>(state.range(0));
+    cfg.scheme = Scheme::Qismet;
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.run(cfg).run.finalEstimate);
+    }
+}
+BENCHMARK(BM_QismetVqeRun)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#include "support.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.hpp"
+
+namespace qismet::bench {
+
+AveragedOutcome
+runAveraged(const QismetVqe &runner, QismetVqeConfig config, Scheme scheme,
+            const std::vector<std::uint64_t> &seeds)
+{
+    AveragedOutcome out;
+    out.scheme = schemeName(scheme);
+    config.scheme = scheme;
+    const double n = static_cast<double>(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        config.seed = seeds[i];
+        const QismetVqeResult res = runner.run(config);
+        out.meanEstimate += res.run.finalEstimate / n;
+        out.meanIdealEnergy += res.run.finalIdealEnergy / n;
+        out.meanSkipFraction += res.skipFraction / n;
+        out.meanCircuits +=
+            static_cast<double>(res.run.circuitsUsed) / n;
+        if (i == 0)
+            out.exampleSeries = res.run.iterationEnergies;
+    }
+    return out;
+}
+
+void
+printSeries(const std::string &label, const std::vector<double> &series)
+{
+    if (series.empty()) {
+        std::cout << "  " << label << ": (empty)\n";
+        return;
+    }
+    std::cout << "  " << label << "\n    " << sparkline(series) << "\n"
+              << "    start " << formatDouble(series.front(), 3)
+              << "  end " << formatDouble(series.back(), 3) << "  min "
+              << formatDouble(*std::min_element(series.begin(),
+                                                series.end()),
+                              3)
+              << "  max "
+              << formatDouble(*std::max_element(series.begin(),
+                                                series.end()),
+                              3)
+              << "\n";
+}
+
+double
+percentImprovement(double base_estimate, double scheme_estimate)
+{
+    if (std::abs(base_estimate) < 1e-12)
+        return 0.0;
+    return (base_estimate - scheme_estimate) / std::abs(base_estimate);
+}
+
+void
+printHeader(const std::string &figure, const std::string &claim)
+{
+    std::cout << "\n================================================================\n"
+              << figure << "\n" << claim << "\n"
+              << "================================================================\n";
+}
+
+} // namespace qismet::bench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: seed-averaged
+ * scheme runs, series printing, and the standard experiment metrics.
+ */
+
+#ifndef QISMET_BENCH_SUPPORT_HPP
+#define QISMET_BENCH_SUPPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "apps/experiment_runner.hpp"
+
+namespace qismet::bench {
+
+/** Seeds used by every bench for seed-averaged results. */
+inline const std::vector<std::uint64_t> kSeeds = {7, 17, 27};
+
+/** Seed-averaged outcome of one scheme. */
+struct AveragedOutcome
+{
+    std::string scheme;
+    double meanEstimate = 0.0;
+    double meanIdealEnergy = 0.0;
+    double meanSkipFraction = 0.0;
+    double meanCircuits = 0.0;
+    /** Per-iteration reported-energy series of the first seed. */
+    std::vector<double> exampleSeries;
+};
+
+/**
+ * Run one scheme over the standard seed set and average the endpoints.
+ */
+AveragedOutcome runAveraged(const QismetVqe &runner, QismetVqeConfig config,
+                            Scheme scheme,
+                            const std::vector<std::uint64_t> &seeds = kSeeds);
+
+/** Print a convergence series as a caption + sparkline + endpoints. */
+void printSeries(const std::string &label, const std::vector<double> &series);
+
+/** Paper-style percent improvement (E_base - E_scheme) / |E_base|. */
+double percentImprovement(double base_estimate, double scheme_estimate);
+
+/** Print the standard bench header. */
+void printHeader(const std::string &figure, const std::string &claim);
+
+} // namespace qismet::bench
+
+#endif // QISMET_BENCH_SUPPORT_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chemistry end-to-end: build H2 Hamiltonians from scratch (STO-3G
+ * integrals -> symmetry-adapted orbitals -> Jordan-Wigner) and trace the
+ * dissociation curve with exact diagonalization and a QISMET-protected
+ * VQE under transient noise.
+ */
+
+#include <cstdio>
+
+#include "apps/applications.hpp"
+#include "hamiltonian/h2_molecule.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    std::printf("H2 dissociation curve (STO-3G, energies in Hartree)\n");
+    std::printf("The 4-qubit Hamiltonians are built from first "
+                "principles; see src/chem.\n\n");
+
+    // Transient-only noisy machine, as in the paper's Fig. 18 setup.
+    MachineModel machine = machineModel("guadalupe");
+    machine.staticNoise.p1q = 0.0;
+    machine.staticNoise.p2q = 0.0;
+    machine.staticNoise.readoutP10 = 0.0;
+    machine.staticNoise.readoutP01 = 0.0;
+    machine.transient.burst.ratePerStep = 0.06;
+    machine.transient.burst.magnitudeMedian = 0.7;
+
+    std::printf("%-8s %-12s %-12s %-12s\n", "R (A)", "exact FCI",
+                "VQE QISMET", "JW terms");
+
+    for (double r : {0.5, 0.735, 1.0, 1.5, 2.0}) {
+        const H2Problem prob = h2Problem(r);
+
+        const auto ansatz = makeAnsatz("SU2", 4, 3);
+        const QismetVqe runner(prob.hamiltonian, ansatz->build(), machine,
+                               prob.fciEnergy);
+        QismetVqeConfig cfg;
+        cfg.totalJobs = 900;
+        cfg.seed = 11;
+        cfg.spsaInitialStep = 1.5;
+        cfg.scheme = Scheme::Qismet;
+        const auto res = runner.run(cfg);
+
+        std::printf("%-8.3f %-12.4f %-12.4f %-12zu\n", r, prob.fciEnergy,
+                    res.run.finalEstimate,
+                    prob.hamiltonian.numTerms());
+    }
+
+    std::printf("\nThe minimum near R = 0.735 A at about -1.137 Ha is "
+                "the textbook STO-3G FCI value.\n");
+    return 0;
+}

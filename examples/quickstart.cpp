@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: run a 6-qubit TFIM VQE on a simulated noisy machine with
+ * and without QISMET, in under a minute of reading.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "apps/applications.hpp"
+
+using namespace qismet;
+
+int
+main()
+{
+    // 1. Pick a problem: the paper's App2 — a 6-qubit transverse-field
+    //    Ising model, RealAmplitudes ansatz (4 reps), on a simulated
+    //    IBMQ Guadalupe with its transient-noise personality.
+    const Application app = application(2);
+    std::printf("Problem: %s — %d-qubit TFIM, %s ansatz (reps %d) on %s\n",
+                app.spec.id.c_str(), app.spec.numQubits,
+                app.spec.ansatzName.c_str(), app.spec.reps,
+                app.machine.name.c_str());
+    std::printf("Exact ground energy: %.4f\n\n", app.exactGroundEnergy);
+
+    // 2. Build the experiment runner. It owns the Hamiltonian, the
+    //    ansatz, the machine's static noise and its transient traces.
+    const QismetVqe runner = app.makeRunner();
+
+    // 3. Configure a run: 1000 quantum jobs (one energy evaluation
+    //    each; QISMET retries also consume jobs).
+    QismetVqeConfig config;
+    config.totalJobs = 1000;
+    config.seed = 42;
+
+    // 4. Baseline: plain SPSA tuning; transients corrupt both the
+    //    reported estimates and the tuner's cross-job gradients.
+    config.scheme = Scheme::Baseline;
+    const QismetVqeResult baseline = runner.run(config);
+
+    // 5. QISMET: every job reruns the previous iteration's circuits,
+    //    estimates the transient T_m, skips gradient-unfaithful
+    //    iterations and keeps the tuner on the transient-free path.
+    config.scheme = Scheme::Qismet;
+    const QismetVqeResult qismet = runner.run(config);
+
+    std::printf("%-10s final estimate %8.4f (true energy of final "
+                "parameters %8.4f)\n",
+                "Baseline", baseline.run.finalEstimate,
+                baseline.run.finalIdealEnergy);
+    std::printf("%-10s final estimate %8.4f (true energy of final "
+                "parameters %8.4f)\n",
+                "QISMET", qismet.run.finalEstimate,
+                qismet.run.finalIdealEnergy);
+    std::printf("\nQISMET skipped %.1f%% of iterations (error threshold "
+                "calibrated to a 10%% target) and used %zu retries.\n",
+                100.0 * qismet.skipFraction, qismet.run.retriesUsed);
+    std::printf("Improvement in the measured expectation: %.0f%%\n",
+                100.0 *
+                    (baseline.run.finalEstimate -
+                     qismet.run.finalEstimate) /
+                    std::abs(baseline.run.finalEstimate));
+    return 0;
+}

@@ -1,0 +1,33 @@
+#include "ansatz/ansatz.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+Ansatz::Ansatz(int num_qubits, int reps)
+    : numQubits_(num_qubits), reps_(reps)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("Ansatz: need at least 2 qubits");
+    if (reps < 1)
+        throw std::invalid_argument("Ansatz: reps must be >= 1");
+}
+
+std::vector<double>
+Ansatz::randomInitialPoint(Rng &rng) const
+{
+    std::vector<double> theta(static_cast<std::size_t>(numParams()));
+    for (auto &t : theta)
+        t = rng.uniform(-M_PI, M_PI);
+    return theta;
+}
+
+void
+Ansatz::appendLinearEntanglement(Circuit &circuit)
+{
+    for (int q = 0; q + 1 < circuit.numQubits(); ++q)
+        circuit.cx(q, q + 1);
+}
+
+} // namespace qismet

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Variational ansatz interface. Concrete ansatz generators (EfficientSU2,
+ * RealAmplitudes — the paper's "SU2" and "RA", Table 1) produce the
+ * parameterized circuits the VQE engine binds each iteration.
+ */
+
+#ifndef QISMET_ANSATZ_ANSATZ_HPP
+#define QISMET_ANSATZ_ANSATZ_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qismet {
+
+/** Abstract hardware-efficient ansatz. */
+class Ansatz
+{
+  public:
+    /**
+     * @param num_qubits Register width.
+     * @param reps Number of entangling-block repetitions (Table 1's
+     *        "Reps" column).
+     */
+    Ansatz(int num_qubits, int reps);
+    virtual ~Ansatz() = default;
+
+    int numQubits() const { return numQubits_; }
+    int reps() const { return reps_; }
+
+    /** Short name, e.g. "SU2" or "RA". */
+    virtual std::string name() const = 0;
+
+    /** Number of free parameters. */
+    virtual int numParams() const = 0;
+
+    /** Build the parameterized circuit. */
+    virtual Circuit build() const = 0;
+
+    /**
+     * A reasonable random starting point: angles uniform in [-π, π].
+     */
+    std::vector<double> randomInitialPoint(Rng &rng) const;
+
+  protected:
+    /** Append the linear CX entanglement layer CX(0,1)...CX(n-2,n-1). */
+    static void appendLinearEntanglement(Circuit &circuit);
+
+    int numQubits_;
+    int reps_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_ANSATZ_ANSATZ_HPP

@@ -1,0 +1,33 @@
+#include "ansatz/efficient_su2.hpp"
+
+namespace qismet {
+
+EfficientSU2::EfficientSU2(int num_qubits, int reps)
+    : Ansatz(num_qubits, reps)
+{
+}
+
+int
+EfficientSU2::numParams() const
+{
+    // reps+1 layers, each RY and RZ per qubit.
+    return 2 * numQubits_ * (reps_ + 1);
+}
+
+Circuit
+EfficientSU2::build() const
+{
+    Circuit c(numQubits_, numParams());
+    int p = 0;
+    for (int layer = 0; layer <= reps_; ++layer) {
+        for (int q = 0; q < numQubits_; ++q)
+            c.ryParam(q, p++);
+        for (int q = 0; q < numQubits_; ++q)
+            c.rzParam(q, p++);
+        if (layer < reps_)
+            appendLinearEntanglement(c);
+    }
+    return c;
+}
+
+} // namespace qismet

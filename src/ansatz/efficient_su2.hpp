@@ -1,0 +1,29 @@
+/**
+ * @file
+ * EfficientSU2 ansatz (the paper's "SU2"), following Qiskit's
+ * circuit-library semantics: reps+1 rotation layers of RY followed by
+ * RZ on every qubit, with a linear CX entanglement layer between
+ * consecutive rotation layers.
+ */
+
+#ifndef QISMET_ANSATZ_EFFICIENT_SU2_HPP
+#define QISMET_ANSATZ_EFFICIENT_SU2_HPP
+
+#include "ansatz/ansatz.hpp"
+
+namespace qismet {
+
+/** Hardware-efficient SU(2) ansatz: RY+RZ layers, linear CX. */
+class EfficientSU2 : public Ansatz
+{
+  public:
+    EfficientSU2(int num_qubits, int reps);
+
+    std::string name() const override { return "SU2"; }
+    int numParams() const override;
+    Circuit build() const override;
+};
+
+} // namespace qismet
+
+#endif // QISMET_ANSATZ_EFFICIENT_SU2_HPP

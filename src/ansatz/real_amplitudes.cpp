@@ -1,0 +1,30 @@
+#include "ansatz/real_amplitudes.hpp"
+
+namespace qismet {
+
+RealAmplitudes::RealAmplitudes(int num_qubits, int reps)
+    : Ansatz(num_qubits, reps)
+{
+}
+
+int
+RealAmplitudes::numParams() const
+{
+    return numQubits_ * (reps_ + 1);
+}
+
+Circuit
+RealAmplitudes::build() const
+{
+    Circuit c(numQubits_, numParams());
+    int p = 0;
+    for (int layer = 0; layer <= reps_; ++layer) {
+        for (int q = 0; q < numQubits_; ++q)
+            c.ryParam(q, p++);
+        if (layer < reps_)
+            appendLinearEntanglement(c);
+    }
+    return c;
+}
+
+} // namespace qismet

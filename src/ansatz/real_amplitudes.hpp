@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RealAmplitudes ansatz (the paper's "RA"), following Qiskit's
+ * circuit-library semantics: reps+1 rotation layers of RY on every
+ * qubit with a linear CX entanglement layer between them. The prepared
+ * states have real amplitudes only.
+ */
+
+#ifndef QISMET_ANSATZ_REAL_AMPLITUDES_HPP
+#define QISMET_ANSATZ_REAL_AMPLITUDES_HPP
+
+#include "ansatz/ansatz.hpp"
+
+namespace qismet {
+
+/** Real-amplitude ansatz: RY layers, linear CX. */
+class RealAmplitudes : public Ansatz
+{
+  public:
+    RealAmplitudes(int num_qubits, int reps);
+
+    std::string name() const override { return "RA"; }
+    int numParams() const override;
+    Circuit build() const override;
+};
+
+} // namespace qismet
+
+#endif // QISMET_ANSATZ_REAL_AMPLITUDES_HPP

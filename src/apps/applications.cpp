@@ -1,0 +1,71 @@
+#include "apps/applications.hpp"
+
+#include <stdexcept>
+
+#include "ansatz/efficient_su2.hpp"
+#include "ansatz/real_amplitudes.hpp"
+
+namespace qismet {
+
+ApplicationSpec
+applicationSpec(int index)
+{
+    // Table 1: Application | Qubits | Ansatz | Reps | Machine / trial.
+    switch (index) {
+      case 1: return {"App1", 6, "SU2", 2, "toronto", 1};
+      case 2: return {"App2", 6, "RA", 4, "guadalupe", 1};
+      case 3: return {"App3", 6, "RA", 4, "guadalupe", 2};
+      case 4: return {"App4", 6, "SU2", 4, "toronto", 2};
+      case 5: return {"App5", 6, "RA", 8, "cairo", 1};
+      case 6: return {"App6", 6, "RA", 8, "casablanca", 1};
+      default:
+        throw std::invalid_argument("applicationSpec: index must be 1..6");
+    }
+}
+
+std::unique_ptr<Ansatz>
+makeAnsatz(const std::string &name, int num_qubits, int reps)
+{
+    if (name == "SU2")
+        return std::make_unique<EfficientSU2>(num_qubits, reps);
+    if (name == "RA")
+        return std::make_unique<RealAmplitudes>(num_qubits, reps);
+    throw std::invalid_argument("makeAnsatz: unknown ansatz '" + name + "'");
+}
+
+Application
+buildApplication(const ApplicationSpec &spec)
+{
+    Application app;
+    app.spec = spec;
+
+    TfimParams tfim;
+    tfim.numQubits = spec.numQubits;
+    tfim.j = 1.0;
+    tfim.h = 1.0;
+    app.hamiltonian = tfimHamiltonian(tfim);
+    app.exactGroundEnergy = tfimExactGroundEnergy(tfim);
+
+    app.ansatzCircuit =
+        makeAnsatz(spec.ansatzName, spec.numQubits, spec.reps)->build();
+    app.machine = machineModel(spec.machineName);
+    return app;
+}
+
+Application
+application(int index)
+{
+    return buildApplication(applicationSpec(index));
+}
+
+std::vector<Application>
+allApplications()
+{
+    std::vector<Application> apps;
+    apps.reserve(6);
+    for (int i = 1; i <= 6; ++i)
+        apps.push_back(application(i));
+    return apps;
+}
+
+} // namespace qismet

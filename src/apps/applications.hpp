@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's VQA application suite (Table 1): six 6-qubit TFIM VQE
+ * instances differing in ansatz family, entangling-block repetitions
+ * and machine trace. Deeper ansatz + noisier machine = more transient
+ * exposure (paper Section 3.2), which is why App5/App6 show the largest
+ * QISMET benefits in Fig. 17.
+ */
+
+#ifndef QISMET_APPS_APPLICATIONS_HPP
+#define QISMET_APPS_APPLICATIONS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ansatz/ansatz.hpp"
+#include "core/qismet_vqe.hpp"
+#include "hamiltonian/tfim.hpp"
+#include "noise/machine_model.hpp"
+
+namespace qismet {
+
+/** One Table-1 row. */
+struct ApplicationSpec
+{
+    std::string id;          ///< "App1" ... "App6"
+    int numQubits = 6;
+    std::string ansatzName;  ///< "SU2" or "RA"
+    int reps = 2;
+    std::string machineName; ///< lower-case machine key
+    int traceVersion = 1;    ///< the "(v1)" / "(v2)" trial index
+};
+
+/** A fully built application ready to run. */
+struct Application
+{
+    ApplicationSpec spec;
+    PauliSum hamiltonian{6};
+    Circuit ansatzCircuit{6};
+    MachineModel machine;
+    double exactGroundEnergy = 0.0;
+
+    /** Build the integrated experiment runner for this application. */
+    QismetVqe makeRunner() const
+    {
+        return QismetVqe(hamiltonian, ansatzCircuit, machine,
+                         exactGroundEnergy);
+    }
+};
+
+/** Table 1 specs (index 1..6). */
+ApplicationSpec applicationSpec(int index);
+
+/** Build an application from its spec. */
+Application buildApplication(const ApplicationSpec &spec);
+
+/** Convenience: buildApplication(applicationSpec(index)). */
+Application application(int index);
+
+/** All six applications. */
+std::vector<Application> allApplications();
+
+/** Construct the named ansatz ("SU2" or "RA"). */
+std::unique_ptr<Ansatz> makeAnsatz(const std::string &name, int num_qubits,
+                                   int reps);
+
+} // namespace qismet
+
+#endif // QISMET_APPS_APPLICATIONS_HPP

@@ -1,0 +1,109 @@
+#include "apps/experiment_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace qismet {
+
+const SchemeOutcome &
+Comparison::outcome(const std::string &scheme_name) const
+{
+    for (const auto &o : outcomes)
+        if (o.scheme == scheme_name)
+            return o;
+    throw std::invalid_argument("Comparison::outcome: no scheme '" +
+                                scheme_name + "'");
+}
+
+double
+vqaFidelity(double estimate, double mixed_energy,
+            double exact_ground_energy, double floor_fidelity)
+{
+    const double swing = mixed_energy - exact_ground_energy;
+    if (swing == 0.0)
+        throw std::invalid_argument("vqaFidelity: zero objective swing");
+    return std::max(floor_fidelity, (mixed_energy - estimate) / swing);
+}
+
+double
+improvementFactor(double baseline_estimate, double scheme_estimate,
+                  double mixed_energy, double exact_ground_energy)
+{
+    return vqaFidelity(scheme_estimate, mixed_energy,
+                       exact_ground_energy) /
+           vqaFidelity(baseline_estimate, mixed_energy,
+                       exact_ground_energy);
+}
+
+Comparison
+runComparison(const Application &app, const std::vector<Scheme> &schemes,
+              const QismetVqeConfig &base_config)
+{
+    std::vector<Scheme> all = schemes;
+    if (std::find(all.begin(), all.end(), Scheme::Baseline) == all.end())
+        all.insert(all.begin(), Scheme::Baseline);
+
+    const QismetVqe runner = app.makeRunner();
+
+    Comparison cmp;
+    cmp.applicationId = app.spec.id;
+    cmp.exactGroundEnergy = app.exactGroundEnergy;
+
+    for (Scheme s : all) {
+        QismetVqeConfig cfg = base_config;
+        cfg.scheme = s;
+        cfg.traceVersion = app.spec.traceVersion;
+
+        SchemeOutcome out;
+        out.scheme = schemeName(s);
+        out.result = runner.run(cfg);
+        cmp.outcomes.push_back(std::move(out));
+    }
+
+    const QismetVqeResult &base =
+        cmp.outcome(schemeName(Scheme::Baseline)).result;
+    const double base_est = base.run.finalEstimate;
+
+    for (auto &o : cmp.outcomes) {
+        o.improvementFactor = improvementFactor(
+            base_est, o.result.run.finalEstimate, base.mixedEnergy,
+            cmp.exactGroundEnergy);
+        o.improvementPercent =
+            std::abs(base_est) > 1e-12
+                ? (base_est - o.result.run.finalEstimate) /
+                      std::abs(base_est)
+                : 0.0;
+    }
+    return cmp;
+}
+
+std::vector<std::pair<std::string, double>>
+meanImprovements(const std::vector<Comparison> &comparisons)
+{
+    std::map<std::string, std::pair<double, int>> acc;
+    std::vector<std::string> order;
+    for (const auto &cmp : comparisons) {
+        for (const auto &o : cmp.outcomes) {
+            auto it = acc.find(o.scheme);
+            if (it == acc.end()) {
+                acc.emplace(o.scheme,
+                            std::make_pair(o.improvementFactor, 1));
+                order.push_back(o.scheme);
+            } else {
+                it->second.first += o.improvementFactor;
+                it->second.second += 1;
+            }
+        }
+    }
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(order.size());
+    for (const auto &name : order) {
+        const auto &[sum, n] = acc.at(name);
+        out.emplace_back(name, sum / static_cast<double>(n));
+    }
+    return out;
+}
+
+} // namespace qismet

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-scheme experiment orchestration and the improvement metrics the
+ * paper reports.
+ *
+ * Metric conventions (used consistently in EXPERIMENTS.md):
+ *  - estimate error  = final reported estimate - exact ground energy;
+ *  - solution error  = noise-free energy of the final parameters -
+ *    exact ground energy (true tuning quality);
+ *  - VQA fidelity of an estimate E = (E_mixed - E) / (E_mixed -
+ *    E_exact), i.e. the fraction of the exact objective swing the
+ *    measured expectation achieves (floored at a small positive value);
+ *  - improvement factor of scheme S over the baseline B
+ *      = fidelity(E_S) / fidelity(E_B),
+ *    matching the paper's "improve the fidelity of VQAs by 1.3x-3x";
+ *  - percentage improvement = (E_B - E_S) / |E_B| on the final
+ *    estimates, matching the paper's "XX% improvement in VQA
+ *    estimation" phrasing (Fig. 13).
+ */
+
+#ifndef QISMET_APPS_EXPERIMENT_RUNNER_HPP
+#define QISMET_APPS_EXPERIMENT_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "apps/applications.hpp"
+#include "core/qismet_vqe.hpp"
+
+namespace qismet {
+
+/** One scheme's outcome in a comparison. */
+struct SchemeOutcome
+{
+    std::string scheme;
+    QismetVqeResult result;
+    /** fidelity(this) / fidelity(baseline) on final estimates. */
+    double improvementFactor = 1.0;
+    /** (E_base - E_this) / |E_base| on final estimates. */
+    double improvementPercent = 0.0;
+};
+
+/** A full comparison on one application. */
+struct Comparison
+{
+    std::string applicationId;
+    double exactGroundEnergy = 0.0;
+    std::vector<SchemeOutcome> outcomes;
+
+    /** Outcome of the given scheme; throws when absent. */
+    const SchemeOutcome &outcome(const std::string &scheme_name) const;
+};
+
+/**
+ * Run several schemes on one application under a shared seed / job
+ * budget / trace, and fill in improvement metrics relative to
+ * Scheme::Baseline (which is appended automatically when missing).
+ */
+Comparison runComparison(const Application &app,
+                         const std::vector<Scheme> &schemes,
+                         const QismetVqeConfig &base_config);
+
+/**
+ * VQA fidelity of a measured estimate: the achieved fraction of the
+ * exact objective swing, floored at `floor_fidelity` so schemes that
+ * drift past the mixed-state value still yield finite ratios.
+ */
+double vqaFidelity(double estimate, double mixed_energy,
+                   double exact_ground_energy,
+                   double floor_fidelity = 0.02);
+
+/** fidelity(scheme) / fidelity(baseline) on final estimates. */
+double improvementFactor(double baseline_estimate, double scheme_estimate,
+                         double mixed_energy, double exact_ground_energy);
+
+/** Mean of each scheme's improvement factor across comparisons. */
+std::vector<std::pair<std::string, double>> meanImprovements(
+    const std::vector<Comparison> &comparisons);
+
+} // namespace qismet
+
+#endif // QISMET_APPS_EXPERIMENT_RUNNER_HPP

@@ -1,0 +1,17 @@
+#include "chem/boys.hpp"
+
+#include <cmath>
+
+namespace qismet {
+
+double
+boysF0(double t)
+{
+    if (t < 1e-8) {
+        // F0(t) = 1 - t/3 + t²/10 - t³/42 + ...
+        return 1.0 - t / 3.0 + t * t / 10.0 - t * t * t / 42.0;
+    }
+    return 0.5 * std::sqrt(M_PI / t) * std::erf(std::sqrt(t));
+}
+
+} // namespace qismet

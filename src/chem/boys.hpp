@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Boys function F0 — the special function underlying Coulomb integrals
+ * over s-type Gaussian orbitals.
+ */
+
+#ifndef QISMET_CHEM_BOYS_HPP
+#define QISMET_CHEM_BOYS_HPP
+
+namespace qismet {
+
+/**
+ * Boys function of order zero:
+ *   F0(t) = ∫_0^1 exp(-t x²) dx = (1/2) sqrt(π/t) erf(sqrt(t)).
+ * A Taylor expansion is used near t = 0 where the closed form loses
+ * precision.
+ */
+double boysF0(double t);
+
+} // namespace qismet
+
+#endif // QISMET_CHEM_BOYS_HPP

@@ -1,0 +1,236 @@
+#include "chem/jordan_wigner.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace qismet {
+
+PauliPolynomial::PauliPolynomial(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits <= 0)
+        throw std::invalid_argument("PauliPolynomial: bad qubit count");
+}
+
+PauliPolynomial
+PauliPolynomial::one(int num_qubits)
+{
+    PauliPolynomial p(num_qubits);
+    p.add(Complex(1.0, 0.0), PauliString(num_qubits));
+    return p;
+}
+
+void
+PauliPolynomial::add(Complex coeff, PauliString pauli)
+{
+    if (pauli.numQubits() != numQubits_)
+        throw std::invalid_argument("PauliPolynomial::add: width mismatch");
+    terms_.emplace_back(coeff, std::move(pauli));
+}
+
+std::pair<Complex, PauliOp>
+mulPauliOp(PauliOp a, PauliOp b)
+{
+    const Complex one(1.0, 0.0);
+    const Complex i(0.0, 1.0);
+    if (a == PauliOp::I)
+        return {one, b};
+    if (b == PauliOp::I)
+        return {one, a};
+    if (a == b)
+        return {one, PauliOp::I};
+    // Cyclic: XY = iZ, YZ = iX, ZX = iY; reversed order gives -i.
+    auto cyc = [](PauliOp x, PauliOp y) {
+        return (x == PauliOp::X && y == PauliOp::Y) ||
+               (y == PauliOp::X && x == PauliOp::Z) ||
+               (x == PauliOp::Y && y == PauliOp::Z);
+    };
+    PauliOp result;
+    if ((a == PauliOp::X && b == PauliOp::Y) ||
+        (a == PauliOp::Y && b == PauliOp::X)) {
+        result = PauliOp::Z;
+    } else if ((a == PauliOp::Y && b == PauliOp::Z) ||
+               (a == PauliOp::Z && b == PauliOp::Y)) {
+        result = PauliOp::X;
+    } else {
+        result = PauliOp::Y;
+    }
+    return {cyc(a, b) ? i : -i, result};
+}
+
+std::pair<Complex, PauliString>
+mulPauliString(const PauliString &a, const PauliString &b)
+{
+    if (a.numQubits() != b.numQubits())
+        throw std::invalid_argument("mulPauliString: width mismatch");
+    PauliString out(a.numQubits());
+    Complex phase(1.0, 0.0);
+    for (int q = 0; q < a.numQubits(); ++q) {
+        const auto [ph, op] = mulPauliOp(a.op(q), b.op(q));
+        phase *= ph;
+        out.setOp(q, op);
+    }
+    return {phase, out};
+}
+
+PauliPolynomial
+PauliPolynomial::operator*(const PauliPolynomial &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        throw std::invalid_argument("PauliPolynomial::operator*: width");
+    PauliPolynomial out(numQubits_);
+    for (const auto &[ca, pa] : terms_) {
+        for (const auto &[cb, pb] : other.terms_) {
+            auto [phase, prod] = mulPauliString(pa, pb);
+            out.add(ca * cb * phase, std::move(prod));
+        }
+    }
+    out.simplify();
+    return out;
+}
+
+PauliPolynomial
+PauliPolynomial::operator+(const PauliPolynomial &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        throw std::invalid_argument("PauliPolynomial::operator+: width");
+    PauliPolynomial out = *this;
+    for (const auto &t : other.terms_)
+        out.terms_.push_back(t);
+    out.simplify();
+    return out;
+}
+
+PauliPolynomial
+PauliPolynomial::operator*(Complex scalar) const
+{
+    PauliPolynomial out = *this;
+    for (auto &t : out.terms_)
+        t.first *= scalar;
+    return out;
+}
+
+void
+PauliPolynomial::simplify(double tol)
+{
+    std::map<PauliString, Complex> merged;
+    std::vector<PauliString> order;
+    for (const auto &[c, p] : terms_) {
+        auto it = merged.find(p);
+        if (it == merged.end()) {
+            merged.emplace(p, c);
+            order.push_back(p);
+        } else {
+            it->second += c;
+        }
+    }
+    terms_.clear();
+    for (const auto &p : order) {
+        const Complex c = merged.at(p);
+        if (std::abs(c) > tol)
+            terms_.emplace_back(c, p);
+    }
+}
+
+PauliSum
+PauliPolynomial::toRealSum(double tol) const
+{
+    PauliSum sum(numQubits_);
+    for (const auto &[c, p] : terms_) {
+        if (std::abs(c.imag()) > tol)
+            throw std::runtime_error(
+                "PauliPolynomial::toRealSum: non-Hermitian residue on " +
+                p.label());
+        sum.add(c.real(), p);
+    }
+    sum.simplify();
+    return sum;
+}
+
+namespace {
+
+PauliPolynomial
+jwLadder(int p, int num_qubits, bool creation)
+{
+    if (p < 0 || p >= num_qubits)
+        throw std::out_of_range("jwLadder: orbital index out of range");
+
+    // Z string on qubits < p, then (X ∓ iY)/2 on qubit p
+    // (creation: X - iY; annihilation: X + iY).
+    PauliString xs(num_qubits);
+    PauliString ys(num_qubits);
+    for (int q = 0; q < p; ++q) {
+        xs.setOp(q, PauliOp::Z);
+        ys.setOp(q, PauliOp::Z);
+    }
+    xs.setOp(p, PauliOp::X);
+    ys.setOp(p, PauliOp::Y);
+
+    PauliPolynomial poly(num_qubits);
+    poly.add(Complex(0.5, 0.0), std::move(xs));
+    poly.add(Complex(0.0, creation ? -0.5 : 0.5), std::move(ys));
+    return poly;
+}
+
+} // namespace
+
+PauliPolynomial
+jwAnnihilation(int p, int num_qubits)
+{
+    return jwLadder(p, num_qubits, false);
+}
+
+PauliPolynomial
+jwCreation(int p, int num_qubits)
+{
+    return jwLadder(p, num_qubits, true);
+}
+
+PauliSum
+jordanWigner(const MolecularHamiltonian &mol)
+{
+    const int n = static_cast<int>(mol.oneBody.size());
+    if (n == 0)
+        throw std::invalid_argument("jordanWigner: empty Hamiltonian");
+
+    PauliPolynomial h(n);
+    h.add(Complex(mol.constant, 0.0), PauliString(n));
+
+    // Cache ladder operators.
+    std::vector<PauliPolynomial> create;
+    std::vector<PauliPolynomial> destroy;
+    create.reserve(n);
+    destroy.reserve(n);
+    for (int p = 0; p < n; ++p) {
+        create.push_back(jwCreation(p, n));
+        destroy.push_back(jwAnnihilation(p, n));
+    }
+
+    for (int p = 0; p < n; ++p) {
+        for (int q = 0; q < n; ++q) {
+            const double hpq = mol.oneBody[p][q];
+            if (std::abs(hpq) < 1e-14)
+                continue;
+            h = h + (create[p] * destroy[q]) * Complex(hpq, 0.0);
+        }
+    }
+
+    if (!mol.twoBody.empty()) {
+        for (int p = 0; p < n; ++p)
+            for (int q = 0; q < n; ++q)
+                for (int r = 0; r < n; ++r)
+                    for (int s = 0; s < n; ++s) {
+                        const double g = mol.twoBody[p][q][r][s];
+                        if (std::abs(g) < 1e-14)
+                            continue;
+                        // (1/2) <pq|rs> a†_p a†_q a_s a_r
+                        h = h + (create[p] * create[q] * destroy[s] *
+                                 destroy[r]) *
+                                Complex(0.5 * g, 0.0);
+                    }
+    }
+
+    return h.toRealSum();
+}
+
+} // namespace qismet

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Jordan-Wigner transformation from second-quantized fermionic
+ * operators to qubit (Pauli) operators.
+ *
+ * The mapping is a_p = Z_0 ⊗ ... ⊗ Z_{p-1} ⊗ (X_p + iY_p)/2. Products
+ * of ladder operators are expanded in a small complex-coefficient Pauli
+ * algebra; Hermitian inputs produce real-coefficient PauliSums (asserted
+ * at the boundary).
+ */
+
+#ifndef QISMET_CHEM_JORDAN_WIGNER_HPP
+#define QISMET_CHEM_JORDAN_WIGNER_HPP
+
+#include <complex>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** Complex linear combination of Pauli strings (JW intermediate). */
+class PauliPolynomial
+{
+  public:
+    /** Zero polynomial over num_qubits qubits. */
+    explicit PauliPolynomial(int num_qubits);
+
+    /** The multiplicative identity. */
+    static PauliPolynomial one(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<std::pair<Complex, PauliString>> &terms() const
+    {
+        return terms_;
+    }
+
+    /** Append coeff * pauli (no merging; call simplify()). */
+    void add(Complex coeff, PauliString pauli);
+
+    /** Polynomial product (Pauli multiplication with phases). */
+    PauliPolynomial operator*(const PauliPolynomial &other) const;
+
+    /** Sum of polynomials. */
+    PauliPolynomial operator+(const PauliPolynomial &other) const;
+
+    /** Scale by a complex constant. */
+    PauliPolynomial operator*(Complex scalar) const;
+
+    /** Merge duplicate strings, drop near-zero coefficients. */
+    void simplify(double tol = 1e-12);
+
+    /**
+     * Convert to a real PauliSum.
+     * @throws std::runtime_error when any coefficient has an imaginary
+     *         part larger than tol (the operator was not Hermitian).
+     */
+    PauliSum toRealSum(double tol = 1e-9) const;
+
+  private:
+    int numQubits_;
+    std::vector<std::pair<Complex, PauliString>> terms_;
+};
+
+/**
+ * Product of two single-qubit Paulis: a * b = phase * result.
+ * @return {phase, result} with phase in {±1, ±i}.
+ */
+std::pair<Complex, PauliOp> mulPauliOp(PauliOp a, PauliOp b);
+
+/** Product of two Pauli strings with accumulated phase. */
+std::pair<Complex, PauliString> mulPauliString(const PauliString &a,
+                                               const PauliString &b);
+
+/** JW annihilation operator a_p over num_qubits qubits. */
+PauliPolynomial jwAnnihilation(int p, int num_qubits);
+
+/** JW creation operator a†_p over num_qubits qubits. */
+PauliPolynomial jwCreation(int p, int num_qubits);
+
+/**
+ * Second-quantized molecular Hamiltonian in a spin-orbital basis:
+ *
+ *   H = E_const + Σ_pq h_pq a†_p a_q
+ *       + (1/2) Σ_pqrs <pq|rs> a†_p a†_q a_s a_r
+ *
+ * with <pq|rs> in *physicist* notation. Indices are spin orbitals.
+ */
+struct MolecularHamiltonian
+{
+    /** Constant (nuclear repulsion) energy. */
+    double constant = 0.0;
+    /** One-body integrals h_pq (spin-orbital basis). */
+    std::vector<std::vector<double>> oneBody;
+    /** Two-body integrals <pq|rs> (physicist, spin-orbital basis). */
+    std::vector<std::vector<std::vector<std::vector<double>>>> twoBody;
+};
+
+/** Transform a molecular Hamiltonian to a qubit PauliSum via JW. */
+PauliSum jordanWigner(const MolecularHamiltonian &mol);
+
+} // namespace qismet
+
+#endif // QISMET_CHEM_JORDAN_WIGNER_HPP

@@ -1,0 +1,149 @@
+#include "chem/sto3g.hpp"
+
+#include <cmath>
+
+#include "chem/boys.hpp"
+
+namespace qismet {
+
+namespace {
+
+/** Primitive normalization for an s Gaussian with exponent alpha. */
+double
+primitiveNorm(double alpha)
+{
+    return std::pow(2.0 * alpha / M_PI, 0.75);
+}
+
+/** Unnormalized primitive overlap. */
+double
+primOverlap(double a, double ax, double b, double bx)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    const double r2 = (ax - bx) * (ax - bx);
+    return std::pow(M_PI / p, 1.5) * std::exp(-mu * r2);
+}
+
+double
+primKinetic(double a, double ax, double b, double bx)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    const double r2 = (ax - bx) * (ax - bx);
+    return mu * (3.0 - 2.0 * mu * r2) * std::pow(M_PI / p, 1.5) *
+           std::exp(-mu * r2);
+}
+
+double
+primNuclear(double a, double ax, double b, double bx, double cx, double z)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    const double r2 = (ax - bx) * (ax - bx);
+    const double px = (a * ax + b * bx) / p;
+    const double pc2 = (px - cx) * (px - cx);
+    return -z * 2.0 * M_PI / p * std::exp(-mu * r2) * boysF0(p * pc2);
+}
+
+double
+primEri(double a, double ax, double b, double bx, double c, double cx,
+        double d, double dx)
+{
+    const double p = a + b;
+    const double q = c + d;
+    const double mu_ab = a * b / p;
+    const double mu_cd = c * d / q;
+    const double rab2 = (ax - bx) * (ax - bx);
+    const double rcd2 = (cx - dx) * (cx - dx);
+    const double px = (a * ax + b * bx) / p;
+    const double qx = (c * cx + d * dx) / q;
+    const double pq2 = (px - qx) * (px - qx);
+    return 2.0 * std::pow(M_PI, 2.5) /
+               (p * q * std::sqrt(p + q)) *
+           std::exp(-mu_ab * rab2 - mu_cd * rcd2) *
+           boysF0(p * q / (p + q) * pq2);
+}
+
+} // namespace
+
+ContractedGaussian
+sto3gHydrogen(double center_bohr)
+{
+    // STO-3G fit to a 1s Slater orbital with zeta = 1.24 (hydrogen).
+    ContractedGaussian g;
+    g.center = center_bohr;
+    g.exponents = {3.42525091, 0.62391373, 0.16885540};
+    const std::array<double, 3> raw = {0.15432897, 0.53532814, 0.44463454};
+    for (int i = 0; i < 3; ++i)
+        g.coefficients[static_cast<std::size_t>(i)] =
+            raw[static_cast<std::size_t>(i)] *
+            primitiveNorm(g.exponents[static_cast<std::size_t>(i)]);
+
+    // Enforce <g|g> = 1 exactly.
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            s += g.coefficients[i] * g.coefficients[j] *
+                 primOverlap(g.exponents[i], 0.0, g.exponents[j], 0.0);
+    const double scale = 1.0 / std::sqrt(s);
+    for (auto &c : g.coefficients)
+        c *= scale;
+    return g;
+}
+
+double
+overlapIntegral(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            s += a.coefficients[i] * b.coefficients[j] *
+                 primOverlap(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+    return s;
+}
+
+double
+kineticIntegral(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            s += a.coefficients[i] * b.coefficients[j] *
+                 primKinetic(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+    return s;
+}
+
+double
+nuclearIntegral(const ContractedGaussian &a, const ContractedGaussian &b,
+                double nucleus_bohr, double z)
+{
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            s += a.coefficients[i] * b.coefficients[j] *
+                 primNuclear(a.exponents[i], a.center, b.exponents[j],
+                             b.center, nucleus_bohr, z);
+    return s;
+}
+
+double
+eriIntegral(const ContractedGaussian &a, const ContractedGaussian &b,
+            const ContractedGaussian &c, const ContractedGaussian &d)
+{
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+                for (int l = 0; l < 3; ++l)
+                    s += a.coefficients[i] * b.coefficients[j] *
+                         c.coefficients[k] * d.coefficients[l] *
+                         primEri(a.exponents[i], a.center, b.exponents[j],
+                                 b.center, c.exponents[k], c.center,
+                                 d.exponents[l], d.center);
+    return s;
+}
+
+} // namespace qismet

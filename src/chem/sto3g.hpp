@@ -1,0 +1,61 @@
+/**
+ * @file
+ * STO-3G hydrogen basis and the closed-form integrals over contracted
+ * s-type Gaussians: overlap, kinetic, nuclear attraction, and electron
+ * repulsion (Szabo & Ostlund appendix A formulas).
+ *
+ * This is the paper's "Qiskit chemistry" substitute — it supplies the
+ * H2 molecular Hamiltonian over bond lengths 0.4-2.0 Å (paper Fig. 18)
+ * from first principles instead of tabulated coefficients.
+ */
+
+#ifndef QISMET_CHEM_STO3G_HPP
+#define QISMET_CHEM_STO3G_HPP
+
+#include <array>
+
+namespace qismet {
+
+/** A contracted s-type Gaussian basis function at a 1-D position. */
+struct ContractedGaussian
+{
+    /** Center on the molecular axis (bohr). */
+    double center = 0.0;
+    /** Primitive exponents. */
+    std::array<double, 3> exponents{};
+    /** Primitive contraction coefficients including primitive norms. */
+    std::array<double, 3> coefficients{};
+};
+
+/**
+ * STO-3G 1s function for hydrogen (zeta = 1.24) at `center_bohr`,
+ * normalized so the self-overlap is exactly 1.
+ */
+ContractedGaussian sto3gHydrogen(double center_bohr);
+
+/** Overlap integral <a|b>. */
+double overlapIntegral(const ContractedGaussian &a,
+                       const ContractedGaussian &b);
+
+/** Kinetic energy integral <a| -∇²/2 |b>. */
+double kineticIntegral(const ContractedGaussian &a,
+                       const ContractedGaussian &b);
+
+/**
+ * Nuclear attraction integral <a| -Z / |r - R_c| |b> for a nucleus of
+ * charge z at position `nucleus_bohr` on the axis.
+ */
+double nuclearIntegral(const ContractedGaussian &a,
+                       const ContractedGaussian &b, double nucleus_bohr,
+                       double z);
+
+/** Two-electron repulsion integral (ab|cd) in chemist notation. */
+double eriIntegral(const ContractedGaussian &a, const ContractedGaussian &b,
+                   const ContractedGaussian &c, const ContractedGaussian &d);
+
+/** Angstrom → bohr conversion factor. */
+inline constexpr double kBohrPerAngstrom = 1.8897259886;
+
+} // namespace qismet
+
+#endif // QISMET_CHEM_STO3G_HPP

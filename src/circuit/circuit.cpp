@@ -1,0 +1,246 @@
+#include "circuit/circuit.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qismet {
+
+Circuit::Circuit(int num_qubits, int num_params)
+    : numQubits_(num_qubits), numParams_(num_params)
+{
+    if (num_qubits <= 0)
+        throw std::invalid_argument("Circuit: num_qubits must be positive");
+    if (num_params < 0)
+        throw std::invalid_argument("Circuit: num_params must be >= 0");
+}
+
+void
+Circuit::checkQubit(int q) const
+{
+    if (q < 0 || q >= numQubits_) {
+        throw std::out_of_range("Circuit: qubit " + std::to_string(q) +
+                                " out of range [0, " +
+                                std::to_string(numQubits_) + ")");
+    }
+}
+
+namespace {
+
+Gate
+makeGate1(GateType type, int q, double angle = 0.0)
+{
+    Gate g;
+    g.type = type;
+    g.qubits = {q, 0};
+    g.angle = angle;
+    return g;
+}
+
+Gate
+makeGate2(GateType type, int a, int b)
+{
+    Gate g;
+    g.type = type;
+    g.qubits = {a, b};
+    return g;
+}
+
+} // namespace
+
+Circuit &Circuit::h(int q) { return append(makeGate1(GateType::H, q)); }
+Circuit &Circuit::x(int q) { return append(makeGate1(GateType::X, q)); }
+Circuit &Circuit::y(int q) { return append(makeGate1(GateType::Y, q)); }
+Circuit &Circuit::z(int q) { return append(makeGate1(GateType::Z, q)); }
+Circuit &Circuit::s(int q) { return append(makeGate1(GateType::S, q)); }
+Circuit &Circuit::sdg(int q) { return append(makeGate1(GateType::Sdg, q)); }
+Circuit &Circuit::t(int q) { return append(makeGate1(GateType::T, q)); }
+Circuit &Circuit::tdg(int q) { return append(makeGate1(GateType::Tdg, q)); }
+Circuit &Circuit::sx(int q) { return append(makeGate1(GateType::SX, q)); }
+
+Circuit &
+Circuit::rx(int q, double angle)
+{
+    return append(makeGate1(GateType::RX, q, angle));
+}
+
+Circuit &
+Circuit::ry(int q, double angle)
+{
+    return append(makeGate1(GateType::RY, q, angle));
+}
+
+Circuit &
+Circuit::rz(int q, double angle)
+{
+    return append(makeGate1(GateType::RZ, q, angle));
+}
+
+Circuit &
+Circuit::cx(int control, int target)
+{
+    if (control == target)
+        throw std::invalid_argument("Circuit::cx: control == target");
+    return append(makeGate2(GateType::CX, control, target));
+}
+
+Circuit &
+Circuit::cz(int a, int b)
+{
+    if (a == b)
+        throw std::invalid_argument("Circuit::cz: identical qubits");
+    return append(makeGate2(GateType::CZ, a, b));
+}
+
+Circuit &
+Circuit::swap(int a, int b)
+{
+    if (a == b)
+        throw std::invalid_argument("Circuit::swap: identical qubits");
+    return append(makeGate2(GateType::SWAP, a, b));
+}
+
+namespace {
+
+Gate
+makeParamGate(GateType type, int q, int param_index, double scale,
+              double offset)
+{
+    Gate g;
+    g.type = type;
+    g.qubits = {q, 0};
+    g.paramIndex = param_index;
+    g.paramScale = scale;
+    g.angle = offset;
+    return g;
+}
+
+} // namespace
+
+Circuit &
+Circuit::rxParam(int q, int param_index, double scale, double offset)
+{
+    return append(makeParamGate(GateType::RX, q, param_index, scale, offset));
+}
+
+Circuit &
+Circuit::ryParam(int q, int param_index, double scale, double offset)
+{
+    return append(makeParamGate(GateType::RY, q, param_index, scale, offset));
+}
+
+Circuit &
+Circuit::rzParam(int q, int param_index, double scale, double offset)
+{
+    return append(makeParamGate(GateType::RZ, q, param_index, scale, offset));
+}
+
+Circuit &
+Circuit::append(Gate gate)
+{
+    checkQubit(gate.qubits[0]);
+    if (gateArity(gate.type) == 2)
+        checkQubit(gate.qubits[1]);
+    if (gate.isParameterized()) {
+        if (!isRotation(gate.type)) {
+            throw std::invalid_argument(
+                "Circuit::append: only rotations can be parameterized");
+        }
+        if (gate.paramIndex >= numParams_) {
+            throw std::out_of_range(
+                "Circuit::append: parameter index " +
+                std::to_string(gate.paramIndex) + " out of range [0, " +
+                std::to_string(numParams_) + ")");
+        }
+    }
+    gates_.push_back(gate);
+    return *this;
+}
+
+Circuit &
+Circuit::compose(const Circuit &other, int param_offset)
+{
+    if (other.numQubits_ != numQubits_)
+        throw std::invalid_argument("Circuit::compose: width mismatch");
+    for (Gate g : other.gates_) {
+        if (g.isParameterized()) {
+            g.paramIndex += param_offset;
+        }
+        append(g);
+    }
+    return *this;
+}
+
+Circuit
+Circuit::bind(const std::vector<double> &params) const
+{
+    if (static_cast<int>(params.size()) != numParams_)
+        throw std::invalid_argument("Circuit::bind: parameter count " +
+                                    std::to_string(params.size()) +
+                                    " != " + std::to_string(numParams_));
+    Circuit bound(numQubits_, 0);
+    for (Gate g : gates_) {
+        if (g.isParameterized()) {
+            g.angle = g.resolvedAngle(params);
+            g.paramIndex = Gate::kBound;
+            g.paramScale = 1.0;
+        }
+        bound.gates_.push_back(g);
+    }
+    return bound;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    if (numParams_ != 0)
+        throw std::logic_error("Circuit::inverse: circuit has free params");
+    Circuit inv(numQubits_, 0);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        Gate g = *it;
+        switch (g.type) {
+          case GateType::S: g.type = GateType::Sdg; break;
+          case GateType::Sdg: g.type = GateType::S; break;
+          case GateType::T: g.type = GateType::Tdg; break;
+          case GateType::Tdg: g.type = GateType::T; break;
+          case GateType::SX:
+            // SX^-1 = SX^3; express as RX(-pi/2) up to global phase.
+            g.type = GateType::RX;
+            g.angle = -M_PI / 2.0;
+            break;
+          case GateType::RX:
+          case GateType::RY:
+          case GateType::RZ:
+            g.angle = -g.angle;
+            break;
+          default:
+            break; // self-inverse (H, X, Y, Z, CX, CZ, SWAP, I)
+        }
+        inv.gates_.push_back(g);
+    }
+    return inv;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << numQubits_ << " qubits, " << numParams_
+       << " params)\n";
+    for (const Gate &g : gates_) {
+        os << "  " << gateName(g.type) << " q" << g.qubits[0];
+        if (gateArity(g.type) == 2)
+            os << ", q" << g.qubits[1];
+        if (isRotation(g.type)) {
+            if (g.isParameterized()) {
+                os << "  angle = " << g.paramScale << " * theta["
+                   << g.paramIndex << "] + " << g.angle;
+            } else {
+                os << "  angle = " << g.angle;
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qismet

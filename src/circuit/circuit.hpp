@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parameterized quantum circuit IR.
+ *
+ * A Circuit is an ordered gate list over numQubits qubits with
+ * numParams free rotation parameters. Ansatz generators produce
+ * parameterized circuits; the VQE engine binds a parameter vector per
+ * iteration and hands the result to a simulator.
+ */
+
+#ifndef QISMET_CIRCUIT_CIRCUIT_HPP
+#define QISMET_CIRCUIT_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qismet {
+
+/** Ordered list of gates over a fixed qubit register. */
+class Circuit
+{
+  public:
+    /** Empty circuit over num_qubits qubits with num_params parameters. */
+    explicit Circuit(int num_qubits, int num_params = 0);
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    /** @name Fixed gates
+     *  Each appends one gate and returns *this for chaining.
+     *  @{
+     */
+    Circuit &h(int q);
+    Circuit &x(int q);
+    Circuit &y(int q);
+    Circuit &z(int q);
+    Circuit &s(int q);
+    Circuit &sdg(int q);
+    Circuit &t(int q);
+    Circuit &tdg(int q);
+    Circuit &sx(int q);
+    Circuit &rx(int q, double angle);
+    Circuit &ry(int q, double angle);
+    Circuit &rz(int q, double angle);
+    Circuit &cx(int control, int target);
+    Circuit &cz(int a, int b);
+    Circuit &swap(int a, int b);
+    /** @} */
+
+    /** @name Parameterized rotations
+     *  Angle resolves to scale * theta[param_index] + offset at bind time.
+     *  @{
+     */
+    Circuit &rxParam(int q, int param_index, double scale = 1.0,
+                     double offset = 0.0);
+    Circuit &ryParam(int q, int param_index, double scale = 1.0,
+                     double offset = 0.0);
+    Circuit &rzParam(int q, int param_index, double scale = 1.0,
+                     double offset = 0.0);
+    /** @} */
+
+    /** Append a raw gate (validated). */
+    Circuit &append(Gate gate);
+
+    /**
+     * Append all gates of another circuit over the same register width.
+     * Parameter indices of `other` are shifted by param_offset.
+     */
+    Circuit &compose(const Circuit &other, int param_offset = 0);
+
+    /**
+     * Bind a parameter vector, producing an equivalent circuit whose
+     * gates all carry constant angles.
+     * @throws std::invalid_argument on size mismatch.
+     */
+    Circuit bind(const std::vector<double> &params) const;
+
+    /**
+     * Inverse circuit (gates reversed, each inverted). Only defined for
+     * fully bound circuits.
+     * @throws std::logic_error when the circuit still has free parameters.
+     */
+    Circuit inverse() const;
+
+    /** Human-readable one-gate-per-line listing. */
+    std::string toString() const;
+
+  private:
+    void checkQubit(int q) const;
+
+    int numQubits_;
+    int numParams_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_CIRCUIT_CIRCUIT_HPP

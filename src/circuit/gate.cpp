@@ -1,0 +1,132 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace qismet {
+
+bool
+isRotation(GateType type)
+{
+    return type == GateType::RX || type == GateType::RY ||
+           type == GateType::RZ;
+}
+
+int
+gateArity(GateType type)
+{
+    switch (type) {
+      case GateType::CX:
+      case GateType::CZ:
+      case GateType::SWAP:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+std::string
+gateName(GateType type)
+{
+    switch (type) {
+      case GateType::I: return "id";
+      case GateType::H: return "h";
+      case GateType::X: return "x";
+      case GateType::Y: return "y";
+      case GateType::Z: return "z";
+      case GateType::S: return "s";
+      case GateType::Sdg: return "sdg";
+      case GateType::T: return "t";
+      case GateType::Tdg: return "tdg";
+      case GateType::SX: return "sx";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::RZ: return "rz";
+      case GateType::CX: return "cx";
+      case GateType::CZ: return "cz";
+      case GateType::SWAP: return "swap";
+    }
+    return "?";
+}
+
+double
+Gate::resolvedAngle(const std::vector<double> &params) const
+{
+    if (!isParameterized())
+        return angle;
+    if (paramIndex < 0 || static_cast<std::size_t>(paramIndex) >=
+            params.size()) {
+        throw std::out_of_range("Gate::resolvedAngle: parameter index " +
+                                std::to_string(paramIndex) +
+                                " out of range");
+    }
+    return paramScale * params[static_cast<std::size_t>(paramIndex)] + angle;
+}
+
+Matrix
+Gate::matrix(const std::vector<double> &params) const
+{
+    const Complex i(0.0, 1.0);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+    switch (type) {
+      case GateType::I:
+        return Matrix::identity(2);
+      case GateType::H:
+        return Matrix::fromRows({{inv_sqrt2, inv_sqrt2},
+                                 {inv_sqrt2, -inv_sqrt2}});
+      case GateType::X:
+        return Matrix::fromRows({{0, 1}, {1, 0}});
+      case GateType::Y:
+        return Matrix::fromRows({{0, -i}, {i, 0}});
+      case GateType::Z:
+        return Matrix::fromRows({{1, 0}, {0, -1}});
+      case GateType::S:
+        return Matrix::fromRows({{1, 0}, {0, i}});
+      case GateType::Sdg:
+        return Matrix::fromRows({{1, 0}, {0, -i}});
+      case GateType::T:
+        return Matrix::fromRows(
+            {{1, 0}, {0, std::exp(i * (M_PI / 4.0))}});
+      case GateType::Tdg:
+        return Matrix::fromRows(
+            {{1, 0}, {0, std::exp(-i * (M_PI / 4.0))}});
+      case GateType::SX:
+        return Matrix::fromRows({{Complex(0.5, 0.5), Complex(0.5, -0.5)},
+                                 {Complex(0.5, -0.5), Complex(0.5, 0.5)}});
+      case GateType::RX: {
+        const double a = resolvedAngle(params) / 2.0;
+        return Matrix::fromRows({{std::cos(a), -i * std::sin(a)},
+                                 {-i * std::sin(a), std::cos(a)}});
+      }
+      case GateType::RY: {
+        const double a = resolvedAngle(params) / 2.0;
+        return Matrix::fromRows({{std::cos(a), -std::sin(a)},
+                                 {std::sin(a), std::cos(a)}});
+      }
+      case GateType::RZ: {
+        const double a = resolvedAngle(params) / 2.0;
+        return Matrix::fromRows({{std::exp(-i * a), 0},
+                                 {0, std::exp(i * a)}});
+      }
+      case GateType::CX:
+        return Matrix::fromRows({{1, 0, 0, 0},
+                                 {0, 1, 0, 0},
+                                 {0, 0, 0, 1},
+                                 {0, 0, 1, 0}});
+      case GateType::CZ:
+        return Matrix::fromRows({{1, 0, 0, 0},
+                                 {0, 1, 0, 0},
+                                 {0, 0, 1, 0},
+                                 {0, 0, 0, -1}});
+      case GateType::SWAP:
+        return Matrix::fromRows({{1, 0, 0, 0},
+                                 {0, 0, 1, 0},
+                                 {0, 1, 0, 0},
+                                 {0, 0, 0, 1}});
+    }
+    throw std::logic_error("Gate::matrix: unknown gate type");
+}
+
+} // namespace qismet

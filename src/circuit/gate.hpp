@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Gate set of the circuit IR.
+ *
+ * The set covers everything the QISMET reproduction needs: the standard
+ * one-qubit Cliffords, parameterized rotations (the ansatz building
+ * blocks), CX/CZ entanglers, and measurement-basis changes.
+ */
+
+#ifndef QISMET_CIRCUIT_GATE_HPP
+#define QISMET_CIRCUIT_GATE_HPP
+
+#include <array>
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** All gate kinds understood by the simulators. */
+enum class GateType
+{
+    I,      ///< Identity (placeholder / scheduling)
+    H,      ///< Hadamard
+    X,      ///< Pauli-X
+    Y,      ///< Pauli-Y
+    Z,      ///< Pauli-Z
+    S,      ///< sqrt(Z)
+    Sdg,    ///< S-dagger
+    T,      ///< fourth root of Z
+    Tdg,    ///< T-dagger
+    SX,     ///< sqrt(X)
+    RX,     ///< exp(-i X angle / 2)
+    RY,     ///< exp(-i Y angle / 2)
+    RZ,     ///< exp(-i Z angle / 2)
+    CX,     ///< controlled-X (control = qubits[0])
+    CZ,     ///< controlled-Z
+    SWAP,   ///< swap two qubits
+};
+
+/** True for RX / RY / RZ. */
+bool isRotation(GateType type);
+
+/** Number of qubits the gate type acts on (1 or 2). */
+int gateArity(GateType type);
+
+/** Lower-case mnemonic, e.g. "cx". */
+std::string gateName(GateType type);
+
+/**
+ * One gate instance in a circuit.
+ *
+ * Rotation gates either carry a bound angle (paramIndex == kBound) or
+ * refer to circuit parameter paramIndex; in the latter case the effective
+ * angle at bind time is paramScale * theta[paramIndex] + angle.
+ */
+struct Gate
+{
+    /** Sentinel paramIndex value for bound (constant-angle) gates. */
+    static constexpr int kBound = -1;
+
+    GateType type = GateType::I;
+    /** Acted-on qubits; qubits[1] unused for 1-qubit gates. */
+    std::array<int, 2> qubits = {0, 0};
+    /** Bound angle, or additive offset for parameterized gates. */
+    double angle = 0.0;
+    /** Circuit parameter index, or kBound. */
+    int paramIndex = kBound;
+    /** Multiplier applied to the referenced parameter. */
+    double paramScale = 1.0;
+
+    /** True when the gate's angle depends on a circuit parameter. */
+    bool isParameterized() const { return paramIndex != kBound; }
+
+    /**
+     * Effective rotation angle once parameters are known.
+     * @param params Circuit parameter vector (unused for bound gates).
+     */
+    double resolvedAngle(const std::vector<double> &params) const;
+
+    /**
+     * Dense unitary of the gate (2x2 or 4x4 in the qubit ordering
+     * [qubits[0], qubits[1]], i.e. qubits[0] is the most significant bit
+     * of the local index).
+     * @param params Needed for parameterized rotations.
+     */
+    Matrix matrix(const std::vector<double> &params = {}) const;
+};
+
+} // namespace qismet
+
+#endif // QISMET_CIRCUIT_GATE_HPP

@@ -1,0 +1,62 @@
+#include "circuit/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace qismet {
+
+CircuitMetrics
+computeMetrics(const Circuit &circuit)
+{
+    CircuitMetrics m;
+    m.numQubits = circuit.numQubits();
+    m.totalGates = static_cast<int>(circuit.size());
+
+    // ASAP levels per qubit for both depth variants.
+    std::vector<int> level(circuit.numQubits(), 0);
+    std::vector<int> cx_level(circuit.numQubits(), 0);
+
+    for (const Gate &g : circuit.gates()) {
+        if (gateArity(g.type) == 2) {
+            ++m.twoQubitGates;
+            const int a = g.qubits[0];
+            const int b = g.qubits[1];
+            const int lv = std::max(level[a], level[b]) + 1;
+            level[a] = level[b] = lv;
+            const int clv = std::max(cx_level[a], cx_level[b]) + 1;
+            cx_level[a] = cx_level[b] = clv;
+        } else {
+            ++m.oneQubitGates;
+            ++level[g.qubits[0]];
+        }
+    }
+
+    m.depth = *std::max_element(level.begin(), level.end());
+    m.cxDepth = *std::max_element(cx_level.begin(), cx_level.end());
+    return m;
+}
+
+double
+estimateDurationNs(const Circuit &circuit, double t_1q_ns, double t_2q_ns)
+{
+    // Schedule ASAP: each qubit tracks its busy-until time; a gate starts
+    // when all its operands are free.
+    std::vector<double> busy(circuit.numQubits(), 0.0);
+    double makespan = 0.0;
+    for (const Gate &g : circuit.gates()) {
+        if (gateArity(g.type) == 2) {
+            const int a = g.qubits[0];
+            const int b = g.qubits[1];
+            const double start = std::max(busy[a], busy[b]);
+            busy[a] = busy[b] = start + t_2q_ns;
+            makespan = std::max(makespan, busy[a]);
+        } else {
+            const int q = g.qubits[0];
+            busy[q] += t_1q_ns;
+            makespan = std::max(makespan, busy[q]);
+        }
+    }
+    return makespan;
+}
+
+} // namespace qismet

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structural circuit metrics.
+ *
+ * The paper's Section 3.2 ties transient impact to circuit width, depth
+ * and CX count; these metrics feed the noise model's fidelity estimate
+ * and the Fig. 4 study.
+ */
+
+#ifndef QISMET_CIRCUIT_METRICS_HPP
+#define QISMET_CIRCUIT_METRICS_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qismet {
+
+/** Summary of a circuit's structure. */
+struct CircuitMetrics
+{
+    int numQubits = 0;
+    int totalGates = 0;
+    int oneQubitGates = 0;
+    int twoQubitGates = 0;
+    /** ASAP-schedule depth counting all gates. */
+    int depth = 0;
+    /** Depth counting only two-qubit gates (the paper's "CX depth"). */
+    int cxDepth = 0;
+};
+
+/** Compute structural metrics for a circuit. */
+CircuitMetrics computeMetrics(const Circuit &circuit);
+
+/**
+ * Estimated wall-clock duration of the circuit in nanoseconds, given
+ * typical 1q / 2q gate times. Used by the decoherence part of the noise
+ * model (probability of decay scales with duration / T1).
+ */
+double estimateDurationNs(const Circuit &circuit, double t_1q_ns = 35.0,
+                          double t_2q_ns = 300.0);
+
+} // namespace qismet
+
+#endif // QISMET_CIRCUIT_METRICS_HPP

@@ -1,0 +1,42 @@
+#include "common/csv_writer.hpp"
+
+#include <stdexcept>
+
+namespace qismet {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : out_(path), width_(header.size())
+{
+    if (!out_)
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    if (values.size() != width_)
+        throw std::invalid_argument("CsvWriter::writeRow: width mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &values)
+{
+    if (values.size() != width_)
+        throw std::invalid_argument("CsvWriter::writeRow: width mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+} // namespace qismet

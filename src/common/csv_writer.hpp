@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emission so benches can dump raw series alongside the ASCII
+ * tables (for external plotting of the reproduced figures).
+ */
+
+#ifndef QISMET_COMMON_CSV_WRITER_HPP
+#define QISMET_COMMON_CSV_WRITER_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qismet {
+
+/** Writes rows of doubles/strings to a CSV file; RAII-closed. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) the file and write the header row.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    CsvWriter(const std::string &path, const std::vector<std::string> &header);
+
+    /** Append one numeric row (must match header width). */
+    void writeRow(const std::vector<double> &values);
+
+    /** Append one string row (must match header width). */
+    void writeRow(const std::vector<std::string> &values);
+
+  private:
+    std::ofstream out_;
+    std::size_t width_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_CSV_WRITER_HPP

@@ -1,0 +1,160 @@
+#include "common/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qismet {
+
+EigenResult
+eigRealSymmetric(const std::vector<std::vector<double>> &a_in, int max_sweeps)
+{
+    const std::size_t n = a_in.size();
+    for (const auto &row : a_in)
+        if (row.size() != n)
+            throw std::invalid_argument("eigRealSymmetric: not square");
+
+    // Working copies: a becomes diagonal, v accumulates rotations.
+    std::vector<std::vector<double>> a = a_in;
+    std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        v[i][i] = 1.0;
+
+    auto off_diag_norm = [&]() {
+        double s = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = r + 1; c < n; ++c)
+                s += a[r][c] * a[r][c];
+        return std::sqrt(2.0 * s);
+    };
+
+    const double tol = 1e-13 * std::max(1.0, [&]() {
+        double s = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                s += a[r][c] * a[r][c];
+        return std::sqrt(s);
+    }());
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diag_norm() <= tol)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p][q];
+                if (std::abs(apq) <= 1e-300)
+                    continue;
+                const double theta = (a[q][q] - a[p][p]) / (2.0 * apq);
+                // Smaller-angle root for stability.
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a[k][p];
+                    const double akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a[p][k];
+                    const double aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k][p];
+                    const double vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+        return a[i][i] < a[j][j];
+    });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        result.values[k] = a[order[k]][order[k]];
+        for (std::size_t r = 0; r < n; ++r)
+            result.vectors(r, k) = Complex(v[r][order[k]], 0.0);
+    }
+    return result;
+}
+
+EigenResult
+eigHermitian(const Matrix &h)
+{
+    if (!h.isHermitian(1e-9))
+        throw std::invalid_argument("eigHermitian: matrix is not Hermitian");
+    const std::size_t n = h.rows();
+
+    // Embed H = A + iB into the real symmetric [[A, -B], [B, A]].
+    std::vector<std::vector<double>> big(2 * n, std::vector<double>(2 * n));
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const double re = h(r, c).real();
+            const double im = h(r, c).imag();
+            big[r][c] = re;
+            big[r + n][c + n] = re;
+            big[r][c + n] = -im;
+            big[r + n][c] = im;
+        }
+    }
+
+    EigenResult real_res = eigRealSymmetric(big);
+
+    // Every eigenvalue of H appears twice; take one representative of each
+    // pair. The pairs are adjacent after sorting (values are equal), so
+    // keeping even indices is correct even with degeneracies beyond the
+    // doubling, because any selection of n values with the right
+    // multiplicity-halving works: eigenvalue multiplicity in the embedding
+    // is exactly 2x the multiplicity in H.
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        result.values[k] = real_res.values[2 * k];
+        // Recover the complex eigenvector: x = u + i w where the real
+        // eigenvector is (u, w).
+        std::vector<Complex> x(n);
+        double norm = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            x[r] = Complex(real_res.vectors(r, 2 * k).real(),
+                           real_res.vectors(r + n, 2 * k).real());
+            norm += std::norm(x[r]);
+        }
+        norm = std::sqrt(norm);
+        for (std::size_t r = 0; r < n; ++r)
+            result.vectors(r, k) = x[r] / norm;
+    }
+    return result;
+}
+
+double
+groundStateEnergy(const Matrix &h)
+{
+    return eigHermitian(h).values.front();
+}
+
+std::vector<Complex>
+groundStateVector(const Matrix &h)
+{
+    const EigenResult res = eigHermitian(h);
+    std::vector<Complex> v(h.rows());
+    for (std::size_t r = 0; r < h.rows(); ++r)
+        v[r] = res.vectors(r, 0);
+    return v;
+}
+
+} // namespace qismet

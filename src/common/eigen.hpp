@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hermitian eigensolver used for exact ground-state references.
+ *
+ * A complex Hermitian matrix H = A + iB (A symmetric, B antisymmetric) is
+ * embedded into the 2N x 2N real symmetric matrix [[A, -B], [B, A]], whose
+ * spectrum is that of H with every eigenvalue doubled. The real symmetric
+ * problem is solved with the cyclic Jacobi rotation method, which is
+ * simple, unconditionally stable, and plenty fast for the <= 64x64
+ * Hamiltonians this library encounters.
+ */
+
+#ifndef QISMET_COMMON_EIGEN_HPP
+#define QISMET_COMMON_EIGEN_HPP
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** Result of a Hermitian eigendecomposition. */
+struct EigenResult
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Eigenvectors as matrix columns, values[k] <-> column k. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a real symmetric matrix via cyclic Jacobi.
+ *
+ * @param a Symmetric matrix (symmetry is asserted up to 1e-9).
+ * @param max_sweeps Upper bound on full Jacobi sweeps before giving up.
+ * @return Eigenvalues ascending with matching eigenvector columns.
+ */
+EigenResult eigRealSymmetric(const std::vector<std::vector<double>> &a,
+                             int max_sweeps = 100);
+
+/**
+ * Eigendecomposition of a complex Hermitian matrix (see file comment for
+ * the embedding). Throws std::invalid_argument when the input is not
+ * Hermitian.
+ */
+EigenResult eigHermitian(const Matrix &h);
+
+/**
+ * Smallest eigenvalue of a complex Hermitian matrix — the exact ground
+ * state energy when h is a Hamiltonian.
+ */
+double groundStateEnergy(const Matrix &h);
+
+/**
+ * Ground state (eigenvector of the smallest eigenvalue) of a Hermitian
+ * matrix, normalized to unit 2-norm.
+ */
+std::vector<Complex> groundStateVector(const Matrix &h);
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_EIGEN_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Streaming and batch statistics used across noise analysis, benchmark
+ * reporting and the QISMET threshold calibrator.
+ */
+
+#ifndef QISMET_COMMON_STATISTICS_HPP
+#define QISMET_COMMON_STATISTICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qismet {
+
+/**
+ * Numerically stable streaming mean / variance / extrema accumulator
+ * (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance; 0 when fewer than two observations. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * Empirical p-quantile of a sample using linear interpolation between
+ * order statistics (type-7, the numpy default).
+ *
+ * @param sample Observations; copied and sorted internally.
+ * @param p Quantile in [0, 1].
+ */
+double quantile(std::vector<double> sample, double p);
+
+/** Arithmetic mean of a sample; 0 when empty. */
+double mean(const std::vector<double> &sample);
+
+/** Unbiased sample standard deviation; 0 when fewer than two elements. */
+double stddev(const std::vector<double> &sample);
+
+/** Median absolute deviation (robust scale estimate). */
+double medianAbsDeviation(const std::vector<double> &sample);
+
+/**
+ * Simple moving average with the given window (centered on trailing edge).
+ * Useful for plotting convergence curves in bench output.
+ */
+std::vector<double> movingAverage(const std::vector<double> &series,
+                                  std::size_t window);
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 when either series is constant.
+ */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_STATISTICS_HPP

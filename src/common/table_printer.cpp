@@ -1,0 +1,122 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qismet {
+
+TablePrinter::TablePrinter(std::string caption) : caption_(std::move(caption))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        throw std::invalid_argument("TablePrinter::addRow: width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "  ";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+
+    os << caption_ << "\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 2;
+        for (auto w : widths)
+            total += w + 2;
+        os << "  " << std::string(total - 2, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+    os << "\n";
+}
+
+std::string
+sparkline(const std::vector<double> &series, std::size_t width)
+{
+    if (series.empty())
+        return "";
+    static const char *kLevels[] = {"▁", "▂", "▃", "▄",
+                                    "▅", "▆", "▇", "█"};
+
+    // Downsample by averaging buckets.
+    std::vector<double> buckets;
+    const std::size_t n = series.size();
+    const std::size_t w = std::min(width, n);
+    for (std::size_t b = 0; b < w; ++b) {
+        const std::size_t lo = b * n / w;
+        const std::size_t hi = std::max(lo + 1, (b + 1) * n / w);
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            sum += series[i];
+        buckets.push_back(sum / static_cast<double>(hi - lo));
+    }
+
+    const double lo = *std::min_element(buckets.begin(), buckets.end());
+    const double hi = *std::max_element(buckets.begin(), buckets.end());
+    const double span = hi - lo;
+
+    std::string out;
+    for (double v : buckets) {
+        int level = span <= 0.0
+            ? 0
+            : static_cast<int>(std::floor((v - lo) / span * 7.999));
+        level = std::clamp(level, 0, 7);
+        out += kLevels[level];
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace qismet

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and sparkline rendering for benchmark output.
+ *
+ * Every figure-reproduction bench prints its series with these helpers so
+ * that bench_output.txt reads like the paper's tables: aligned columns,
+ * a caption, and compact unicode sparklines for convergence curves.
+ */
+
+#ifndef QISMET_COMMON_TABLE_PRINTER_HPP
+#define QISMET_COMMON_TABLE_PRINTER_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qismet {
+
+/** Column-aligned ASCII table with a caption. */
+class TablePrinter
+{
+  public:
+    /** @param caption Printed above the table (e.g. "Fig. 14 ..."). */
+    explicit TablePrinter(std::string caption);
+
+    /** Set the header row. Must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles to the given precision and append. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 4);
+
+    /** Render to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render a numeric series as a unicode sparkline (8 levels).
+ * @param series Values; empty input renders as empty string.
+ * @param width Downsample to at most this many characters.
+ */
+std::string sparkline(const std::vector<double> &series,
+                      std::size_t width = 60);
+
+/** Format a double with fixed precision into a string. */
+std::string formatDouble(double value, int precision = 4);
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_TABLE_PRINTER_HPP

@@ -1,0 +1,25 @@
+#include "core/transient_estimator.hpp"
+
+#include <cmath>
+
+namespace qismet {
+
+TransientEstimate
+TransientEstimator::estimate(double e_prev, double e_rerun_prev,
+                             double e_curr)
+{
+    TransientEstimate est;
+    est.machineEnergyPrev = e_prev;
+    est.rerunEnergyPrev = e_rerun_prev;
+    est.machineEnergyCurr = e_curr;
+
+    est.transient = e_rerun_prev - e_prev;
+    est.machineGradient = e_curr - e_prev;
+    est.predictedEnergy = e_curr - est.transient;
+    est.predictedGradient = est.predictedEnergy - e_prev;
+
+    magnitudes_.push_back(std::abs(est.transient));
+    return est;
+}
+
+} // namespace qismet

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Transient estimation and transient-free prediction (paper Section 5.1
+ * and Fig. 8).
+ *
+ * Given the previous iteration's accepted energy E_m(i), its rerun in
+ * the current job E_mR(i), and the current candidate's energy E_m(i+1):
+ *
+ *   T_m(i+1) = E_mR(i)  - E_m(i)       (transient estimate)
+ *   G_m(i+1) = E_m(i+1) - E_m(i)       (machine gradient)
+ *   E_p(i+1) = E_m(i+1) - T_m(i+1)     (transient-free prediction)
+ *   G_p(i+1) = E_p(i+1) - E_m(i)       (predicted gradient)
+ */
+
+#ifndef QISMET_CORE_TRANSIENT_ESTIMATOR_HPP
+#define QISMET_CORE_TRANSIENT_ESTIMATOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qismet {
+
+/** All Fig.-8 quantities for one iteration. */
+struct TransientEstimate
+{
+    double machineEnergyPrev = 0.0;    ///< E_m(i)
+    double rerunEnergyPrev = 0.0;      ///< E_mR(i)
+    double machineEnergyCurr = 0.0;    ///< E_m(i+1)
+
+    double transient = 0.0;            ///< T_m(i+1)
+    double machineGradient = 0.0;      ///< G_m(i+1)
+    double predictedEnergy = 0.0;      ///< E_p(i+1)
+    double predictedGradient = 0.0;    ///< G_p(i+1)
+};
+
+/**
+ * Computes Fig.-8 quantities and keeps a history of transient
+ * magnitudes for online threshold calibration.
+ */
+class TransientEstimator
+{
+  public:
+    /** Compute the estimate for one iteration (also recorded). */
+    TransientEstimate estimate(double e_prev, double e_rerun_prev,
+                               double e_curr);
+
+    /** |T_m| magnitudes observed so far. */
+    const std::vector<double> &magnitudeHistory() const
+    {
+        return magnitudes_;
+    }
+
+    /** Number of iterations observed. */
+    std::size_t count() const { return magnitudes_.size(); }
+
+    /** Clear the history. */
+    void reset() { magnitudes_.clear(); }
+
+  private:
+    std::vector<double> magnitudes_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_CORE_TRANSIENT_ESTIMATOR_HPP

@@ -1,0 +1,95 @@
+#include "filter/cfar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+CfarDetector::CfarDetector(CfarParams params) : params_(params)
+{
+    if (params_.trainingCells == 0)
+        throw std::invalid_argument("CfarDetector: need training cells");
+    if (params_.thresholdFactor <= 0.0)
+        throw std::invalid_argument("CfarDetector: bad threshold factor");
+}
+
+std::vector<bool>
+CfarDetector::detect(const std::vector<double> &series) const
+{
+    const std::size_t n = series.size();
+    std::vector<bool> flags(n, false);
+    const std::size_t t = params_.trainingCells;
+    const std::size_t g = params_.guardCells;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Collect training cells on both sides, skipping guards.
+        double sum = 0.0;
+        std::size_t count = 0;
+        std::vector<double> cells;
+        for (std::size_t k = 1; k <= t + g; ++k) {
+            if (k <= g)
+                continue;
+            if (i >= k) {
+                cells.push_back(series[i - k]);
+                sum += series[i - k];
+                ++count;
+            }
+            if (i + k < n) {
+                cells.push_back(series[i + k]);
+                sum += series[i + k];
+                ++count;
+            }
+        }
+        if (count < t) // not enough context: never flag
+            continue;
+        const double mean = sum / static_cast<double>(count);
+        double mad = 0.0;
+        for (double c : cells)
+            mad += std::abs(c - mean);
+        mad /= static_cast<double>(count);
+        if (mad <= 0.0)
+            continue;
+        if (std::abs(series[i] - mean) > params_.thresholdFactor * mad)
+            flags[i] = true;
+    }
+    return flags;
+}
+
+bool
+CfarDetector::push(double sample)
+{
+    window_.push_back(sample);
+    const std::size_t need =
+        params_.trainingCells + params_.guardCells + 1;
+    if (window_.size() < need)
+        return false;
+    if (window_.size() > 4 * need)
+        window_.erase(window_.begin(),
+                      window_.end() - static_cast<std::ptrdiff_t>(2 * need));
+
+    // Judge the newest sample against trailing training cells.
+    const std::size_t i = window_.size() - 1;
+    double sum = 0.0;
+    std::vector<double> cells;
+    for (std::size_t k = params_.guardCells + 1;
+         k <= params_.guardCells + params_.trainingCells; ++k) {
+        cells.push_back(window_[i - k]);
+        sum += window_[i - k];
+    }
+    const double mean = sum / static_cast<double>(cells.size());
+    double mad = 0.0;
+    for (double c : cells)
+        mad += std::abs(c - mean);
+    mad /= static_cast<double>(cells.size());
+    if (mad <= 0.0)
+        return false;
+    return std::abs(sample - mean) > params_.thresholdFactor * mad;
+}
+
+void
+CfarDetector::reset()
+{
+    window_.clear();
+}
+
+} // namespace qismet

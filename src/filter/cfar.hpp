@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cell-averaging Constant False Alarm Rate (CA-CFAR) detector — the
+ * radar-style alternative the paper mentions in Section 8.4. Like the
+ * Kalman filter it flags anomalous samples against the local noise
+ * floor but cannot tell *detrimental* transients from harmless ones.
+ * Included as an ablation comparison.
+ */
+
+#ifndef QISMET_FILTER_CFAR_HPP
+#define QISMET_FILTER_CFAR_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qismet {
+
+/** CA-CFAR configuration. */
+struct CfarParams
+{
+    /** Training cells on each side of the cell under test. */
+    std::size_t trainingCells = 8;
+    /** Guard cells on each side (excluded from the noise estimate). */
+    std::size_t guardCells = 2;
+    /** Detection threshold factor over the local noise average. */
+    double thresholdFactor = 3.0;
+};
+
+/** Sliding-window CA-CFAR over a scalar series. */
+class CfarDetector
+{
+  public:
+    explicit CfarDetector(CfarParams params);
+
+    /**
+     * Flag anomalous samples of a series. The statistic is |x[i] - m|
+     * where m is the mean of the training cells around i; a sample is
+     * flagged when the statistic exceeds thresholdFactor times the mean
+     * absolute deviation of the training cells.
+     */
+    std::vector<bool> detect(const std::vector<double> &series) const;
+
+    /**
+     * Streaming variant: push one sample, get its verdict (lagged by
+     * the window; early samples are never flagged).
+     */
+    bool push(double sample);
+
+    /** Reset streaming state. */
+    void reset();
+
+    const CfarParams &params() const { return params_; }
+
+  private:
+    CfarParams params_;
+    std::vector<double> window_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FILTER_CFAR_HPP

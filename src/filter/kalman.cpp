@@ -1,0 +1,48 @@
+#include "filter/kalman.hpp"
+
+#include <stdexcept>
+
+namespace qismet {
+
+KalmanFilter1D::KalmanFilter1D(KalmanParams params) : params_(params)
+{
+    if (params_.measurementVariance <= 0.0)
+        throw std::invalid_argument("KalmanFilter1D: MV must be > 0");
+    if (params_.processVariance < 0.0)
+        throw std::invalid_argument("KalmanFilter1D: Q must be >= 0");
+    if (params_.initialVariance <= 0.0)
+        throw std::invalid_argument("KalmanFilter1D: P0 must be > 0");
+}
+
+double
+KalmanFilter1D::update(double measurement)
+{
+    if (!initialized_) {
+        x_ = measurement;
+        p_ = params_.initialVariance;
+        initialized_ = true;
+        return x_;
+    }
+
+    // Predict.
+    const double x_pred = params_.transition * x_;
+    const double p_pred = params_.transition * params_.transition * p_ +
+                          params_.processVariance;
+
+    // Update.
+    gain_ = p_pred / (p_pred + params_.measurementVariance);
+    x_ = x_pred + gain_ * (measurement - x_pred);
+    p_ = (1.0 - gain_) * p_pred;
+    return x_;
+}
+
+void
+KalmanFilter1D::reset()
+{
+    x_ = 0.0;
+    p_ = 0.0;
+    gain_ = 0.0;
+    initialized_ = false;
+}
+
+} // namespace qismet

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scalar Kalman filter — the paper's classical-filtering comparison
+ * (Sections 5.3, 6.3, 7.4).
+ *
+ * Model (matching the paper's hyper-parameters):
+ *   state:        x_{k+1} = T · x_k + w,  w ~ N(0, Q)
+ *   measurement:  z_k     = x_k + v,      v ~ N(0, MV)
+ * where T is the Transition Coefficient ("a linear estimation of the
+ * slope of the noise-free curve") and MV the Measurement Variance. A
+ * low MV makes the filter chase measurements (transient spikes leak
+ * through); a high MV makes it distrust them (it saturates along the
+ * T-decay and cannot follow genuine algorithmic progress) — exactly the
+ * failure modes Fig. 16 reports.
+ */
+
+#ifndef QISMET_FILTER_KALMAN_HPP
+#define QISMET_FILTER_KALMAN_HPP
+
+namespace qismet {
+
+/** Scalar Kalman filter hyper-parameters. */
+struct KalmanParams
+{
+    /** Transition coefficient T (paper sweeps 0.9 / 0.99 / 1). */
+    double transition = 1.0;
+    /** Measurement variance MV (paper sweeps 0.01 / 0.1). */
+    double measurementVariance = 0.1;
+    /** Process-noise variance Q. */
+    double processVariance = 1e-3;
+    /** Initial estimate covariance. */
+    double initialVariance = 1.0;
+};
+
+/** Scalar Kalman filter over a stream of energy measurements. */
+class KalmanFilter1D
+{
+  public:
+    explicit KalmanFilter1D(KalmanParams params);
+
+    /**
+     * Process one measurement; returns the posterior state estimate.
+     * The first measurement initializes the state.
+     */
+    double update(double measurement);
+
+    /** Posterior estimate (0 before the first update). */
+    double estimate() const { return x_; }
+
+    /** Posterior covariance. */
+    double covariance() const { return p_; }
+
+    /** Most recent Kalman gain. */
+    double lastGain() const { return gain_; }
+
+    /** Forget all state. */
+    void reset();
+
+    const KalmanParams &params() const { return params_; }
+
+  private:
+    KalmanParams params_;
+    double x_ = 0.0;
+    double p_ = 0.0;
+    double gain_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FILTER_KALMAN_HPP

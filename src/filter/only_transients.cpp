@@ -1,0 +1,27 @@
+#include "filter/only_transients.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+OnlyTransientsSkipper::OnlyTransientsSkipper(double threshold,
+                                             int retry_budget)
+    : threshold_(threshold), retryBudget_(retry_budget)
+{
+    if (threshold < 0.0)
+        throw std::invalid_argument("OnlyTransientsSkipper: threshold < 0");
+    if (retry_budget < 1)
+        throw std::invalid_argument("OnlyTransientsSkipper: budget < 1");
+}
+
+bool
+OnlyTransientsSkipper::shouldSkip(double transient_estimate,
+                                  int retry_index) const
+{
+    if (retry_index >= retryBudget_)
+        return false; // budget exhausted: accept the iteration as-is
+    return std::abs(transient_estimate) > threshold_;
+}
+
+} // namespace qismet

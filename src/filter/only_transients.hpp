@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The "only-transients" skipping rule (paper Sections 5.3 and 7.3):
+ * skip a VQA iteration whenever the estimated transient magnitude
+ * exceeds a threshold, abs(T_m(i)) > τ, regardless of gradient
+ * direction. The paper shows this is *worse* than the baseline at every
+ * threshold (Fig. 15) because it also skips transients that were
+ * harmless or even constructive.
+ */
+
+#ifndef QISMET_FILTER_ONLY_TRANSIENTS_HPP
+#define QISMET_FILTER_ONLY_TRANSIENTS_HPP
+
+namespace qismet {
+
+/** Threshold + retry-budget skip rule on transient magnitude. */
+class OnlyTransientsSkipper
+{
+  public:
+    /**
+     * @param threshold Skip when |T_m| exceeds this.
+     * @param retry_budget Maximum consecutive skips of one iteration.
+     */
+    OnlyTransientsSkipper(double threshold, int retry_budget);
+
+    /**
+     * Judge one iteration attempt.
+     * @param transient_estimate T_m of the attempt.
+     * @param retry_index How many times this iteration has already
+     *        been retried.
+     * @return true to skip (retry), false to accept.
+     */
+    bool shouldSkip(double transient_estimate, int retry_index) const;
+
+    double threshold() const { return threshold_; }
+    int retryBudget() const { return retryBudget_; }
+
+  private:
+    double threshold_;
+    int retryBudget_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FILTER_ONLY_TRANSIENTS_HPP

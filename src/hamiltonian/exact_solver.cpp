@@ -1,0 +1,27 @@
+#include "hamiltonian/exact_solver.hpp"
+
+#include <stdexcept>
+
+#include "common/eigen.hpp"
+
+namespace qismet {
+
+ExactSolution
+solveExact(const PauliSum &hamiltonian)
+{
+    if (hamiltonian.numQubits() > 10)
+        throw std::invalid_argument(
+            "solveExact: dense diagonalization capped at 10 qubits");
+
+    const Matrix h = hamiltonian.toMatrix();
+    const EigenResult eig = eigHermitian(h);
+
+    ExactSolution sol;
+    sol.spectrum = eig.values;
+    sol.groundState.resize(h.rows());
+    for (std::size_t r = 0; r < h.rows(); ++r)
+        sol.groundState[r] = eig.vectors(r, 0);
+    return sol;
+}
+
+} // namespace qismet

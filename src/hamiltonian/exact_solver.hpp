@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Exact (dense diagonalization) reference solutions for PauliSum
+ * Hamiltonians. Feasible because the paper's applications are <= 6
+ * qubits (64-dimensional Hilbert spaces).
+ */
+
+#ifndef QISMET_HAMILTONIAN_EXACT_SOLVER_HPP
+#define QISMET_HAMILTONIAN_EXACT_SOLVER_HPP
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** Exact spectrum of a Hamiltonian. */
+struct ExactSolution
+{
+    /** All eigenvalues, ascending. */
+    std::vector<double> spectrum;
+    /** Ground-state vector (column 0 of the eigenbasis). */
+    std::vector<Complex> groundState;
+
+    /** Ground-state energy. */
+    double groundEnergy() const { return spectrum.front(); }
+    /** Spectral gap E1 - E0. */
+    double gap() const
+    {
+        return spectrum.size() > 1 ? spectrum[1] - spectrum[0] : 0.0;
+    }
+};
+
+/** Diagonalize a Hamiltonian exactly (dense, n <= ~10 qubits). */
+ExactSolution solveExact(const PauliSum &hamiltonian);
+
+} // namespace qismet
+
+#endif // QISMET_HAMILTONIAN_EXACT_SOLVER_HPP

@@ -1,0 +1,142 @@
+#include "hamiltonian/h2_molecule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chem/sto3g.hpp"
+#include "hamiltonian/exact_solver.hpp"
+
+namespace qismet {
+
+MolecularHamiltonian
+h2MolecularHamiltonian(double bond_angstrom)
+{
+    if (bond_angstrom <= 0.0)
+        throw std::invalid_argument("h2MolecularHamiltonian: bond length");
+
+    const double r = bond_angstrom * kBohrPerAngstrom;
+    const ContractedGaussian chi1 = sto3gHydrogen(0.0);
+    const ContractedGaussian chi2 = sto3gHydrogen(r);
+
+    // AO integrals. By symmetry S11 = S22 = 1 after normalization.
+    const double s12 = overlapIntegral(chi1, chi2);
+    const double t11 = kineticIntegral(chi1, chi1);
+    const double t12 = kineticIntegral(chi1, chi2);
+    const double v11 = nuclearIntegral(chi1, chi1, 0.0, 1.0) +
+                       nuclearIntegral(chi1, chi1, r, 1.0);
+    const double v12 = nuclearIntegral(chi1, chi2, 0.0, 1.0) +
+                       nuclearIntegral(chi1, chi2, r, 1.0);
+    const double h11 = t11 + v11;
+    const double h12 = t12 + v12;
+
+    // Symmetry-adapted molecular orbitals:
+    //   g = (χ1 + χ2) / sqrt(2 (1 + S)),  u = (χ1 - χ2) / sqrt(2 (1 - S)).
+    const double ng = 1.0 / std::sqrt(2.0 * (1.0 + s12));
+    const double nu = 1.0 / std::sqrt(2.0 * (1.0 - s12));
+    // c[ao][mo]
+    const double c[2][2] = {{ng, nu}, {ng, -nu}};
+
+    // One-electron MO integrals (off-diagonal vanishes by symmetry).
+    const double h_mo[2][2] = {
+        {(h11 + h12) * 2.0 * ng * ng, 0.0},
+        {0.0, (h11 - h12) * 2.0 * nu * nu},
+    };
+
+    // Unique AO ERIs (chemist notation); the rest follow by the 8-fold
+    // permutational symmetry plus the two centers being identical.
+    const double e1111 = eriIntegral(chi1, chi1, chi1, chi1);
+    const double e1112 = eriIntegral(chi1, chi1, chi1, chi2);
+    const double e1122 = eriIntegral(chi1, chi1, chi2, chi2);
+    const double e1212 = eriIntegral(chi1, chi2, chi1, chi2);
+
+    auto ao_eri = [&](int i, int j, int k, int l) -> double {
+        // Count how many indices refer to center 2 in each pair, then
+        // use center-exchange symmetry (1 <-> 2 relabels identically).
+        const int pair1 = (i == 1 ? 1 : 0) + (j == 1 ? 1 : 0);
+        const int pair2 = (k == 1 ? 1 : 0) + (l == 1 ? 1 : 0);
+        const int lo = std::min(pair1, pair2);
+        const int hi = std::max(pair1, pair2);
+        if (lo == 0 && hi == 0) return e1111; // (11|11)
+        if (lo == 0 && hi == 1) return e1112; // (11|12)
+        if (lo == 0 && hi == 2) return e1122; // (11|22)
+        if (lo == 1 && hi == 1) return e1212; // (12|12)
+        if (lo == 1 && hi == 2) return e1112; // (12|22) = (11|12)
+        return e1111;                          // (22|22) = (11|11)
+    };
+
+    // Full 4-index transform to MO basis (2 orbitals → 16 entries).
+    double mo_eri[2][2][2][2] = {};
+    for (int p = 0; p < 2; ++p)
+        for (int q = 0; q < 2; ++q)
+            for (int rr = 0; rr < 2; ++rr)
+                for (int ss = 0; ss < 2; ++ss) {
+                    double acc = 0.0;
+                    for (int i = 0; i < 2; ++i)
+                        for (int jj = 0; jj < 2; ++jj)
+                            for (int k = 0; k < 2; ++k)
+                                for (int l = 0; l < 2; ++l)
+                                    acc += c[i][p] * c[jj][q] * c[k][rr] *
+                                           c[l][ss] * ao_eri(i, jj, k, l);
+                    mo_eri[p][q][rr][ss] = acc;
+                }
+
+    // Assemble the spin-orbital Hamiltonian. Ordering: 2*spatial + spin.
+    MolecularHamiltonian mol;
+    mol.constant = 1.0 / r; // nuclear repulsion (Z1 Z2 / R, atomic units)
+    const int n = 4;
+    mol.oneBody.assign(n, std::vector<double>(n, 0.0));
+    mol.twoBody.assign(
+        n, std::vector<std::vector<std::vector<double>>>(
+               n, std::vector<std::vector<double>>(
+                      n, std::vector<double>(n, 0.0))));
+
+    auto spatial = [](int so) { return so / 2; };
+    auto spin = [](int so) { return so % 2; };
+
+    for (int p = 0; p < n; ++p)
+        for (int q = 0; q < n; ++q)
+            if (spin(p) == spin(q))
+                mol.oneBody[p][q] = h_mo[spatial(p)][spatial(q)];
+
+    // <pq|rs> (physicist) = (pr|qs) (chemist) with spin matching p-r, q-s.
+    for (int p = 0; p < n; ++p)
+        for (int q = 0; q < n; ++q)
+            for (int rr = 0; rr < n; ++rr)
+                for (int ss = 0; ss < n; ++ss)
+                    if (spin(p) == spin(rr) && spin(q) == spin(ss))
+                        mol.twoBody[p][q][rr][ss] =
+                            mo_eri[spatial(p)][spatial(rr)]
+                                  [spatial(q)][spatial(ss)];
+
+    return mol;
+}
+
+H2Problem
+h2Problem(double bond_angstrom)
+{
+    H2Problem prob;
+    prob.bondAngstrom = bond_angstrom;
+    prob.hamiltonian = jordanWigner(h2MolecularHamiltonian(bond_angstrom));
+    // For neutral H2 the 2-electron sector is the global minimum of the
+    // full Fock-space Hamiltonian, so dense diagonalization gives FCI.
+    prob.fciEnergy = solveExact(prob.hamiltonian).groundEnergy();
+    return prob;
+}
+
+std::vector<H2Problem>
+h2BondScan(double start_angstrom, double stop_angstrom, int count)
+{
+    if (count < 2)
+        throw std::invalid_argument("h2BondScan: need at least 2 points");
+    std::vector<H2Problem> scan;
+    scan.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const double frac = static_cast<double>(i) /
+                            static_cast<double>(count - 1);
+        scan.push_back(h2Problem(start_angstrom +
+                                 frac * (stop_angstrom - start_angstrom)));
+    }
+    return scan;
+}
+
+} // namespace qismet

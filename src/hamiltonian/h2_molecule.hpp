@@ -1,0 +1,52 @@
+/**
+ * @file
+ * H2 molecule qubit Hamiltonians over a range of bond lengths
+ * (paper Fig. 18: potential energy of H2 for bond lengths 0.4-2.0 Å).
+ *
+ * Built from first principles: STO-3G integrals (chem/sto3g) →
+ * symmetry-adapted molecular orbitals → second-quantized Hamiltonian →
+ * Jordan-Wigner 4-qubit PauliSum. Energies are in Hartree.
+ */
+
+#ifndef QISMET_HAMILTONIAN_H2_MOLECULE_HPP
+#define QISMET_HAMILTONIAN_H2_MOLECULE_HPP
+
+#include <vector>
+
+#include "chem/jordan_wigner.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** One H2 problem instance. */
+struct H2Problem
+{
+    /** Bond length in Angstrom. */
+    double bondAngstrom = 0.735;
+    /** 4-qubit JW Hamiltonian including the nuclear-repulsion constant. */
+    PauliSum hamiltonian{4};
+    /** Exact FCI ground energy (dense diagonalization), Hartree. */
+    double fciEnergy = 0.0;
+};
+
+/**
+ * Second-quantized H2 Hamiltonian in the spin-orbital basis
+ * {g↑, g↓, u↑, u↓} (g/u = bonding/antibonding symmetry orbitals).
+ */
+MolecularHamiltonian h2MolecularHamiltonian(double bond_angstrom);
+
+/** Build the 4-qubit problem for one bond length. */
+H2Problem h2Problem(double bond_angstrom);
+
+/**
+ * Build problems for a bond-length sweep.
+ * @param start_angstrom First bond length.
+ * @param stop_angstrom Last bond length (inclusive).
+ * @param count Number of points (>= 2).
+ */
+std::vector<H2Problem> h2BondScan(double start_angstrom,
+                                  double stop_angstrom, int count);
+
+} // namespace qismet
+
+#endif // QISMET_HAMILTONIAN_H2_MOLECULE_HPP

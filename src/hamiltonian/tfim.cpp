@@ -1,0 +1,83 @@
+#include "hamiltonian/tfim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/eigen.hpp"
+
+namespace qismet {
+
+PauliSum
+tfimHamiltonian(const TfimParams &params)
+{
+    if (params.numQubits < 2)
+        throw std::invalid_argument("tfimHamiltonian: need >= 2 qubits");
+
+    PauliSum h(params.numQubits);
+
+    for (int i = 0; i + 1 < params.numQubits; ++i) {
+        PauliString zz(params.numQubits);
+        zz.setOp(i, PauliOp::Z);
+        zz.setOp(i + 1, PauliOp::Z);
+        h.add(-params.j, std::move(zz));
+    }
+    if (params.periodic && params.numQubits > 2) {
+        PauliString zz(params.numQubits);
+        zz.setOp(params.numQubits - 1, PauliOp::Z);
+        zz.setOp(0, PauliOp::Z);
+        h.add(-params.j, std::move(zz));
+    }
+
+    for (int i = 0; i < params.numQubits; ++i) {
+        PauliString x(params.numQubits);
+        x.setOp(i, PauliOp::X);
+        h.add(-params.h, std::move(x));
+    }
+    return h;
+}
+
+double
+tfimExactGroundEnergy(const TfimParams &params)
+{
+    if (params.periodic)
+        throw std::invalid_argument(
+            "tfimExactGroundEnergy: open chains only");
+    if (params.numQubits < 2)
+        throw std::invalid_argument("tfimExactGroundEnergy: need >= 2 qubits");
+
+    const std::size_t n = static_cast<std::size_t>(params.numQubits);
+    const double j = params.j;
+    const double hf = params.h;
+
+    // Bogoliubov-de Gennes blocks for the open chain in the X-basis form
+    // H = -J Σ σx_i σx_{i+1} - h Σ σz_i (same spectrum as the Z-basis
+    // Hamiltonian built above, related by global Hadamard rotation).
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> b(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        a[i][i] = 2.0 * hf;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        a[i][i + 1] = a[i + 1][i] = -j;
+        b[i][i + 1] = -j;
+        b[i + 1][i] = j;
+    }
+
+    // M = (A - B)(A + B) is symmetric PSD; its eigenvalues are the
+    // squared quasiparticle energies.
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                s += (a[r][k] - b[r][k]) * (a[k][c] + b[k][c]);
+            m[r][c] = s;
+        }
+
+    const EigenResult res = eigRealSymmetric(m);
+    double e0 = 0.0;
+    for (double lambda2 : res.values)
+        e0 -= 0.5 * std::sqrt(std::max(0.0, lambda2));
+    return e0;
+}
+
+} // namespace qismet

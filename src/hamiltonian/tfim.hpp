@@ -1,0 +1,49 @@
+/**
+ * @file
+ * One-dimensional Transverse Field Ising Model Hamiltonian — the paper's
+ * primary VQE target (Table 1).
+ *
+ *   H = -J Σ_{i=0}^{n-2} Z_i Z_{i+1}  -  h Σ_{i=0}^{n-1} X_i     (open chain)
+ *
+ * The TFIM is exactly solvable via the Jordan-Wigner free-fermion
+ * mapping; `tfimExactGroundEnergy` implements that solution and serves
+ * as an independent cross-check of the dense diagonalization.
+ */
+
+#ifndef QISMET_HAMILTONIAN_TFIM_HPP
+#define QISMET_HAMILTONIAN_TFIM_HPP
+
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** Parameters of the 1-D TFIM. */
+struct TfimParams
+{
+    int numQubits = 6;
+    /** ZZ coupling strength. */
+    double j = 1.0;
+    /** Transverse field strength. */
+    double h = 1.0;
+    /** Couple qubit n-1 back to qubit 0. */
+    bool periodic = false;
+};
+
+/** Build the TFIM Hamiltonian as a PauliSum. */
+PauliSum tfimHamiltonian(const TfimParams &params);
+
+/**
+ * Exact ground-state energy of the *open-chain* TFIM from the
+ * free-fermion solution: E0 = -(1/2) Σ_k Λ_k, where Λ_k² are the
+ * eigenvalues of (A-B)(A+B) for the Bogoliubov-de Gennes blocks
+ * A (diag 2h, off-diag -J) and B (B_{i,i+1} = -J = -B_{i+1,i}).
+ *
+ * @throws std::invalid_argument for periodic chains (use the dense
+ *         solver for those; the fermionic boundary-parity bookkeeping
+ *         is not worth carrying here).
+ */
+double tfimExactGroundEnergy(const TfimParams &params);
+
+} // namespace qismet
+
+#endif // QISMET_HAMILTONIAN_TFIM_HPP

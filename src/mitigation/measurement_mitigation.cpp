@@ -1,0 +1,147 @@
+#include "mitigation/measurement_mitigation.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+MeasurementMitigator::MeasurementMitigator(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits <= 0 || num_qubits > 20)
+        throw std::invalid_argument("MeasurementMitigator: bad qubit count");
+    confusion_.assign(static_cast<std::size_t>(num_qubits),
+                      {{{1.0, 0.0}, {0.0, 1.0}}});
+    computeInverses();
+}
+
+MeasurementMitigator::MeasurementMitigator(
+    int num_qubits, const std::vector<ReadoutError> &readout)
+    : MeasurementMitigator(num_qubits)
+{
+    if (static_cast<int>(readout.size()) < num_qubits)
+        throw std::invalid_argument(
+            "MeasurementMitigator: readout entries fewer than qubits");
+    for (int q = 0; q < num_qubits; ++q) {
+        readout[q].check();
+        // Column = true state, row = read value.
+        confusion_[q][0][0] = 1.0 - readout[q].p10;
+        confusion_[q][1][0] = readout[q].p10;
+        confusion_[q][0][1] = readout[q].p01;
+        confusion_[q][1][1] = 1.0 - readout[q].p01;
+    }
+    computeInverses();
+}
+
+MeasurementMitigator
+MeasurementMitigator::calibrate(int num_qubits, const ShotSampler &sampler,
+                                std::size_t shots, Rng &rng)
+{
+    if (shots == 0)
+        throw std::invalid_argument("calibrate: need at least one shot");
+
+    const std::size_t dim = std::size_t{1} << num_qubits;
+
+    // Ideal preparations: |0...0> and |1...1>.
+    std::vector<double> zeros(dim, 0.0);
+    zeros[0] = 1.0;
+    std::vector<double> ones(dim, 0.0);
+    ones[dim - 1] = 1.0;
+
+    const Counts c0 = sampler.sample(zeros, num_qubits, shots, rng);
+    const Counts c1 = sampler.sample(ones, num_qubits, shots, rng);
+
+    std::vector<ReadoutError> fitted(static_cast<std::size_t>(num_qubits));
+    const double total = static_cast<double>(shots);
+    for (int q = 0; q < num_qubits; ++q) {
+        const std::uint64_t bit = std::uint64_t{1} << q;
+        double read1_given0 = 0.0;
+        double read0_given1 = 0.0;
+        for (const auto &[bits, n] : c0)
+            if (bits & bit)
+                read1_given0 += static_cast<double>(n);
+        for (const auto &[bits, n] : c1)
+            if (!(bits & bit))
+                read0_given1 += static_cast<double>(n);
+        fitted[q].p10 = read1_given0 / total;
+        fitted[q].p01 = read0_given1 / total;
+    }
+    return MeasurementMitigator(num_qubits, fitted);
+}
+
+void
+MeasurementMitigator::computeInverses()
+{
+    inverse_.resize(confusion_.size());
+    for (std::size_t q = 0; q < confusion_.size(); ++q) {
+        const auto &a = confusion_[q];
+        const double det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+        if (std::abs(det) < 1e-9)
+            throw std::runtime_error(
+                "MeasurementMitigator: singular confusion matrix");
+        inverse_[q][0][0] = a[1][1] / det;
+        inverse_[q][0][1] = -a[0][1] / det;
+        inverse_[q][1][0] = -a[1][0] / det;
+        inverse_[q][1][1] = a[0][0] / det;
+    }
+}
+
+std::vector<double>
+MeasurementMitigator::mitigateProbabilities(
+    const std::vector<double> &measured) const
+{
+    const std::size_t dim = std::size_t{1} << numQubits_;
+    if (measured.size() != dim)
+        throw std::invalid_argument("mitigateProbabilities: size mismatch");
+
+    // Apply each qubit's 2x2 inverse along its axis (tensored solve).
+    std::vector<double> p = measured;
+    for (int q = 0; q < numQubits_; ++q) {
+        const auto &inv = inverse_[static_cast<std::size_t>(q)];
+        const std::size_t stride = std::size_t{1} << q;
+        for (std::size_t base = 0; base < dim; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                const std::size_t i0 = base + off;
+                const std::size_t i1 = i0 + stride;
+                const double a = p[i0];
+                const double b = p[i1];
+                p[i0] = inv[0][0] * a + inv[0][1] * b;
+                p[i1] = inv[1][0] * a + inv[1][1] * b;
+            }
+        }
+    }
+    return p;
+}
+
+std::vector<double>
+MeasurementMitigator::mitigateCounts(const Counts &counts) const
+{
+    return mitigateProbabilities(countsToProbabilities(counts, numQubits_));
+}
+
+std::vector<double>
+MeasurementMitigator::clipToPhysical(std::vector<double> quasi)
+{
+    double sum = 0.0;
+    for (auto &x : quasi) {
+        if (x < 0.0)
+            x = 0.0;
+        sum += x;
+    }
+    if (sum <= 0.0)
+        throw std::runtime_error("clipToPhysical: all-zero vector");
+    for (auto &x : quasi)
+        x /= sum;
+    return quasi;
+}
+
+const std::array<std::array<double, 2>, 2> &
+MeasurementMitigator::confusion(int q) const
+{
+    if (q < 0 || q >= numQubits_)
+        throw std::out_of_range("MeasurementMitigator::confusion: qubit");
+    return confusion_[static_cast<std::size_t>(q)];
+}
+
+} // namespace qismet

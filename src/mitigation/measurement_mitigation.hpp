@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measurement-error mitigation ("measurement error mitigation" circuits
+ * in paper Fig. 7's dark-gray boxes).
+ *
+ * Tensored calibration: for each qubit a 2x2 confusion matrix
+ * A_q = [[P(0|0), P(0|1)], [P(1|0), P(1|1)]] is estimated (or taken
+ * exactly from a known ReadoutError), and measured probability vectors
+ * are corrected by applying A_q^{-1} per qubit. The corrected vector is
+ * a quasi-probability; `clipToPhysical` projects it back onto the
+ * simplex.
+ */
+
+#ifndef QISMET_MITIGATION_MEASUREMENT_MITIGATION_HPP
+#define QISMET_MITIGATION_MEASUREMENT_MITIGATION_HPP
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/shot_sampler.hpp"
+
+namespace qismet {
+
+/** Tensored (per-qubit) measurement-error mitigator. */
+class MeasurementMitigator
+{
+  public:
+    /** Identity mitigator (no correction) over num_qubits qubits. */
+    explicit MeasurementMitigator(int num_qubits);
+
+    /** Exact mitigator from known readout-error rates. */
+    MeasurementMitigator(int num_qubits,
+                         const std::vector<ReadoutError> &readout);
+
+    /**
+     * Empirical calibration: sample the all-zeros and all-ones
+     * preparations through the given sampler and fit per-qubit
+     * confusion matrices from the marginals.
+     *
+     * @param sampler The noisy readout channel being calibrated.
+     * @param shots Calibration shots per preparation.
+     */
+    static MeasurementMitigator calibrate(int num_qubits,
+                                          const ShotSampler &sampler,
+                                          std::size_t shots, Rng &rng);
+
+    int numQubits() const { return numQubits_; }
+
+    /** Number of calibration circuits this scheme executes (2). */
+    static constexpr int kCalibrationCircuits = 2;
+
+    /**
+     * Apply the per-qubit inverse confusion matrices to a measured
+     * probability vector (size 2^n). Result may contain small negative
+     * entries.
+     */
+    std::vector<double> mitigateProbabilities(
+        const std::vector<double> &measured) const;
+
+    /** Mitigate a counts histogram (normalizes first). */
+    std::vector<double> mitigateCounts(const Counts &counts) const;
+
+    /** Clip negatives to zero and renormalize to sum 1. */
+    static std::vector<double> clipToPhysical(std::vector<double> quasi);
+
+    /** The 2x2 confusion matrix of qubit q (row = read, col = true). */
+    const std::array<std::array<double, 2>, 2> &confusion(int q) const;
+
+  private:
+    int numQubits_;
+    /** Per-qubit confusion matrices. */
+    std::vector<std::array<std::array<double, 2>, 2>> confusion_;
+    /** Per-qubit inverse confusion matrices. */
+    std::vector<std::array<std::array<double, 2>, 2>> inverse_;
+
+    void computeInverses();
+};
+
+} // namespace qismet
+
+#endif // QISMET_MITIGATION_MEASUREMENT_MITIGATION_HPP

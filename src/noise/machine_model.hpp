@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-machine noise calibrations standing in for the paper's IBMQ
+ * backends (Guadalupe, Toronto, Sydney, Casablanca, Jakarta, Mumbai,
+ * Cairo).
+ *
+ * Substitution note (DESIGN.md §2): the absolute numbers are
+ * NISQ-typical rather than captured calibration data; what the paper's
+ * results depend on — the *relative* ordering of machine quality and
+ * each machine's transient personality (Jakarta spiky, Sydney quiet
+ * with rare sharp events, ...) — is encoded here and consumed
+ * everywhere else through this one registry.
+ */
+
+#ifndef QISMET_NOISE_MACHINE_MODEL_HPP
+#define QISMET_NOISE_MACHINE_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "noise/noise_model.hpp"
+#include "noise/transient_trace.hpp"
+
+namespace qismet {
+
+/** A simulated quantum machine: static noise + transient personality. */
+struct MachineModel
+{
+    std::string name;
+    int numQubits = 7;
+    StaticNoiseParams staticNoise;
+    TransientTraceParams transient;
+
+    /**
+     * Deterministic trace generator for this machine.
+     * @param version Trace version (the paper's "(v1)" / "(v2)" trials);
+     *        different versions give independent traces.
+     */
+    TransientTraceGenerator traceGenerator(int version = 1) const;
+
+    /** Static noise model view. */
+    StaticNoiseModel staticModel() const
+    {
+        return StaticNoiseModel(staticNoise);
+    }
+};
+
+/**
+ * Look up a machine by (case-insensitive) name.
+ * Known machines: guadalupe, toronto, sydney, casablanca, jakarta,
+ * mumbai, cairo.
+ * @throws std::invalid_argument for unknown names.
+ */
+MachineModel machineModel(const std::string &name);
+
+/** Names of all registered machines (sorted). */
+std::vector<std::string> machineNames();
+
+} // namespace qismet
+
+#endif // QISMET_NOISE_MACHINE_MODEL_HPP

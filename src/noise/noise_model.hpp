@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static device noise model — the paper's "blue line" component
+ * (Fig. 1): noise that is stable over the duration of an experiment.
+ *
+ * Two consumption paths:
+ *  - exact: apply Kraus channels gate-by-gate on a DensityMatrix
+ *    (used by tests and the Fig. 4 fidelity study);
+ *  - analytic: a scalar survival factor f ∈ (0, 1] that damps exact
+ *    expectation values toward the maximally mixed value (used by the
+ *    VQE fast path, validated against the exact path in tests).
+ */
+
+#ifndef QISMET_NOISE_NOISE_MODEL_HPP
+#define QISMET_NOISE_NOISE_MODEL_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/shot_sampler.hpp"
+
+namespace qismet {
+
+/** Static (time-invariant) noise parameters of a device. */
+struct StaticNoiseParams
+{
+    /** Depolarizing probability per 1-qubit gate. */
+    double p1q = 3e-4;
+    /** Depolarizing probability per 2-qubit gate. */
+    double p2q = 1e-2;
+    /** Readout: P(read 1 | prepared 0). */
+    double readoutP10 = 1e-2;
+    /** Readout: P(read 0 | prepared 1). */
+    double readoutP01 = 2.5e-2;
+    /** Median T1 in microseconds. */
+    double t1Us = 100.0;
+    /** Median T2 in microseconds. */
+    double t2Us = 80.0;
+    /** 1-qubit gate duration (ns). */
+    double gate1qNs = 35.0;
+    /** 2-qubit gate duration (ns). */
+    double gate2qNs = 300.0;
+};
+
+/** Applies static noise to circuits in both exact and analytic forms. */
+class StaticNoiseModel
+{
+  public:
+    explicit StaticNoiseModel(StaticNoiseParams params);
+
+    const StaticNoiseParams &params() const { return params_; }
+
+    /** Per-qubit readout errors for a register of width n. */
+    std::vector<ReadoutError> readoutErrors(int num_qubits) const;
+
+    /**
+     * Run a bound circuit on a density matrix with a noise channel after
+     * every gate: depolarizing on the operand qubits plus thermal
+     * relaxation for the gate duration.
+     *
+     * @param t1_scale Multiplies T1 and T2 (transiently degraded
+     *        coherence uses t1_scale < 1; used by the Fig. 4 study).
+     */
+    void runNoisy(DensityMatrix &rho, const Circuit &circuit,
+                  const std::vector<double> &params = {},
+                  double t1_scale = 1.0) const;
+
+    /**
+     * Analytic survival factor: the estimated probability that a run of
+     * the circuit suffers no error, f = Π_gates (1 - p_gate) ·
+     * Π_qubits exp(-d (1/T1 + 1/T2) / 2), with d the circuit duration.
+     * Expectation values damp as <H> ≈ f <H>_ideal + (1 - f) <H>_mixed.
+     */
+    double survivalFactor(const Circuit &circuit,
+                          double t1_scale = 1.0) const;
+
+  private:
+    StaticNoiseParams params_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_NOISE_NOISE_MODEL_HPP

@@ -1,0 +1,75 @@
+#include "noise/transient_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/ou_process.hpp"
+
+namespace qismet {
+
+TransientTrace::TransientTrace(std::vector<double> intensities)
+    : intensities_(std::move(intensities))
+{
+}
+
+double
+TransientTrace::at(std::size_t job_index) const
+{
+    if (job_index >= intensities_.size())
+        return 0.0;
+    return intensities_[job_index];
+}
+
+double
+TransientTrace::exceedanceFraction(double threshold) const
+{
+    if (intensities_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (double v : intensities_)
+        if (std::abs(v) > threshold)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(intensities_.size());
+}
+
+TransientTraceGenerator::TransientTraceGenerator(TransientTraceParams params,
+                                                 std::uint64_t seed)
+    : params_(params), seed_(seed)
+{
+    if (params_.scale < 0.0)
+        throw std::invalid_argument("TransientTraceGenerator: scale < 0");
+    if (params_.maxIntensity <= 0.0)
+        throw std::invalid_argument(
+            "TransientTraceGenerator: maxIntensity <= 0");
+}
+
+TransientTrace
+TransientTraceGenerator::generate(std::size_t num_jobs)
+{
+    // Each generate() call uses a fresh, deterministic sub-stream so the
+    // generator can produce independent trace "versions" (the paper's
+    // Toronto (v1) / Toronto (v2)).
+    Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull * (++streamCounter_)));
+    Rng drift_rng = rng.split();
+    Rng burst_rng = rng.split();
+
+    // Convert the requested stationary stddev to an OU sigma.
+    const double theta = params_.driftReversion;
+    const double sigma = params_.driftStddev * std::sqrt(2.0 * theta);
+    OuProcess drift(0.0, theta, sigma);
+    TlsBurstProcess bursts(params_.burst, burst_rng);
+
+    std::vector<double> out;
+    out.reserve(num_jobs);
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        const double d = drift.step(1.0, drift_rng);
+        const double b = bursts.step();
+        const double tau = params_.scale * (d + b);
+        out.push_back(std::clamp(tau, -params_.maxIntensity,
+                                 params_.maxIntensity));
+    }
+    return TransientTrace(std::move(out));
+}
+
+} // namespace qismet

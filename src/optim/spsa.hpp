@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SPSA — Simultaneous Perturbation Stochastic Approximation (Spall),
+ * the classical tuner used throughout the paper's evaluation
+ * ("Simulations are run ... using the SPSA tuner").
+ *
+ * The optimizer is split into two phases so the VQE driver can place
+ * all of an iteration's circuit evaluations inside one quantum job
+ * (paper Fig. 7):
+ *   - plan(θ, k): the parameter points whose energies the iteration
+ *     needs (for plain SPSA: θ ± c_k Δ);
+ *   - propose(θ, k, energies): the next parameter vector given those
+ *     energies.
+ * Retried jobs (QISMET skips) re-execute the same plan, so a plan is
+ * created once per candidate and is deterministic thereafter.
+ */
+
+#ifndef QISMET_OPTIM_SPSA_HPP
+#define QISMET_OPTIM_SPSA_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qismet {
+
+/** Standard SPSA gain schedule a_k = a/(k+1+A)^α, c_k = c/(k+1)^γ. */
+struct SpsaGains
+{
+    double a = 0.2;
+    double c = 0.15;
+    /** Stability constant; typically ~1% of the expected iterations. */
+    double bigA = 20.0;
+    double alpha = 0.602;
+    double gamma = 0.101;
+
+    /** Step size at iteration k. */
+    double stepSize(int k) const;
+    /** Perturbation size at iteration k. */
+    double perturbation(int k) const;
+
+    /**
+     * Gains sized for a run of `horizon` iterations, following the
+     * standard SPSA guidance: A ≈ 10% of the horizon (so the learning
+     * rate decays only a few-fold over the run instead of collapsing
+     * early) and a scaled so the first steps move each parameter by
+     * roughly `initial_step` × the per-coordinate gradient.
+     */
+    static SpsaGains forHorizon(std::size_t horizon,
+                                double initial_step = 0.08,
+                                double c = 0.12);
+};
+
+/** Abstract stochastic-gradient optimizer with job-friendly phases. */
+class StochasticOptimizer
+{
+  public:
+    virtual ~StochasticOptimizer() = default;
+
+    /** Scheme name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Parameter points to evaluate for iteration k at θ. Stores the
+     * perturbation directions internally; call exactly once per
+     * candidate iteration.
+     */
+    virtual std::vector<std::vector<double>> plan(
+        const std::vector<double> &theta, int k, Rng &rng) = 0;
+
+    /**
+     * Next parameter vector from the energies of the planned points
+     * (same order as plan() returned).
+     */
+    virtual std::vector<double> propose(
+        const std::vector<double> &theta, int k,
+        const std::vector<double> &energies) = 0;
+
+    /** Relative per-iteration circuit cost vs. plain SPSA (1.0). */
+    virtual double evaluationCostFactor() const { return 1.0; }
+};
+
+/** Plain first-order SPSA. */
+class Spsa : public StochasticOptimizer
+{
+  public:
+    explicit Spsa(SpsaGains gains = {});
+
+    std::string name() const override { return "SPSA"; }
+
+    std::vector<std::vector<double>> plan(const std::vector<double> &theta,
+                                          int k, Rng &rng) override;
+    std::vector<double> propose(const std::vector<double> &theta, int k,
+                                const std::vector<double> &energies) override;
+
+    const SpsaGains &gains() const { return gains_; }
+
+  protected:
+    /** Draw a Rademacher (±1) direction vector. */
+    static std::vector<double> rademacher(std::size_t dim, Rng &rng);
+
+    /** Gradient estimate from one perturbation pair. */
+    static std::vector<double> pairGradient(const std::vector<double> &delta,
+                                            double e_plus, double e_minus,
+                                            double c_k);
+
+    SpsaGains gains_;
+    std::vector<double> delta_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_OPTIM_SPSA_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's alternative SPSA optimization schemes (Section 6.3):
+ *
+ *  - Resampling: the gradient is sampled twice per iteration with
+ *    independent perturbation directions and averaged ("increases the
+ *    number of times the gradient is sampled (we use 2x)"). 2x circuit
+ *    cost per iteration.
+ *  - 2nd-order (2-SPSA / QN-SPSA style): estimates the Hessian from two
+ *    extra perturbed pairs and preconditions the gradient ("estimates
+ *    second-order derivatives to condition the gradient"). 2x circuit
+ *    cost; imperfect Hessians under transients can skew updates, which
+ *    is exactly the failure mode Fig. 14/17 report.
+ */
+
+#ifndef QISMET_OPTIM_SPSA_VARIANTS_HPP
+#define QISMET_OPTIM_SPSA_VARIANTS_HPP
+
+#include "optim/spsa.hpp"
+
+namespace qismet {
+
+/** SPSA with 2x gradient resampling. */
+class ResamplingSpsa : public Spsa
+{
+  public:
+    /** @param samples Gradient samples per iteration (paper uses 2). */
+    explicit ResamplingSpsa(SpsaGains gains = {}, int samples = 2);
+
+    std::string name() const override { return "Resampling"; }
+    double evaluationCostFactor() const override
+    {
+        return static_cast<double>(samples_);
+    }
+
+    std::vector<std::vector<double>> plan(const std::vector<double> &theta,
+                                          int k, Rng &rng) override;
+    std::vector<double> propose(const std::vector<double> &theta, int k,
+                                const std::vector<double> &energies) override;
+
+  private:
+    int samples_;
+    std::vector<std::vector<double>> deltas_;
+};
+
+/** Second-order SPSA (2-SPSA) with a smoothed Hessian preconditioner. */
+class SecondOrderSpsa : public Spsa
+{
+  public:
+    /**
+     * @param regularization Added to the Hessian diagonal before the
+     *        solve (keeps the preconditioner positive definite). The
+     *        default keeps the preconditioner close to the identity so
+     *        the scheme degrades gracefully — without it, transient-
+     *        corrupted Hessian samples make the step explode.
+     */
+    explicit SecondOrderSpsa(SpsaGains gains = {},
+                             double regularization = 0.08);
+
+    std::string name() const override { return "2nd-order"; }
+    double evaluationCostFactor() const override { return 2.0; }
+
+    std::vector<std::vector<double>> plan(const std::vector<double> &theta,
+                                          int k, Rng &rng) override;
+    std::vector<double> propose(const std::vector<double> &theta, int k,
+                                const std::vector<double> &energies) override;
+
+  private:
+    double regularization_;
+    std::vector<double> delta2_;
+    /** Exponentially smoothed Hessian estimate. */
+    std::vector<std::vector<double>> hessian_;
+    int hessianSamples_ = 0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_OPTIM_SPSA_VARIANTS_HPP

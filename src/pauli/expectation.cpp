@@ -1,0 +1,97 @@
+#include "pauli/expectation.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qismet {
+
+namespace {
+
+/**
+ * Phase of P acting on basis state |i>: P|i> = phase * |i ^ xmask>.
+ * For each Z or Y factor the phase picks up (-1)^bit; each Y contributes
+ * an extra i. With real coefficients the total expectation is real, so
+ * we track the i^nY factor explicitly.
+ */
+Complex
+pauliPhase(std::uint64_t i, std::uint64_t zmask, int n_y)
+{
+    const int parity = std::popcount(i & zmask) & 1;
+    Complex phase = parity ? Complex(-1.0, 0.0) : Complex(1.0, 0.0);
+    switch (n_y & 3) {
+      case 0: break;
+      case 1: phase *= Complex(0.0, 1.0); break;
+      case 2: phase *= Complex(-1.0, 0.0); break;
+      case 3: phase *= Complex(0.0, -1.0); break;
+    }
+    return phase;
+}
+
+} // namespace
+
+double
+expectation(const Statevector &state, const PauliString &pauli)
+{
+    if (pauli.numQubits() != state.numQubits())
+        throw std::invalid_argument("expectation: width mismatch");
+
+    const std::uint64_t xmask = pauli.xMask();
+    const std::uint64_t zmask = pauli.zMask();
+    const int n_y = pauli.countY();
+    const auto &amps = state.amplitudes();
+
+    Complex acc(0.0, 0.0);
+    for (std::uint64_t i = 0; i < amps.size(); ++i) {
+        // <ψ|P|ψ> = Σ_i conj(ψ[i ^ xmask]) phase(i) ψ[i]
+        acc += std::conj(amps[i ^ xmask]) * pauliPhase(i, zmask, n_y) *
+               amps[i];
+    }
+    return acc.real();
+}
+
+double
+expectation(const Statevector &state, const PauliSum &hamiltonian)
+{
+    double e = 0.0;
+    for (const auto &t : hamiltonian.terms())
+        e += t.coefficient * expectation(state, t.pauli);
+    return e;
+}
+
+double
+expectation(const DensityMatrix &rho, const PauliString &pauli)
+{
+    if (pauli.numQubits() != rho.numQubits())
+        throw std::invalid_argument("expectation: width mismatch");
+
+    const std::uint64_t xmask = pauli.xMask();
+    const std::uint64_t zmask = pauli.zMask();
+    const int n_y = pauli.countY();
+    const std::size_t dim = rho.dim();
+
+    // Tr(ρ P) = Σ_i (ρ P)[i, i] = Σ_i ρ[i, i ^ xmask] * phase(i)
+    // where P[i ^ xmask, i] = phase(i).
+    Complex acc(0.0, 0.0);
+    for (std::uint64_t i = 0; i < dim; ++i)
+        acc += rho.element(i, i ^ xmask) * pauliPhase(i, zmask, n_y);
+    return acc.real();
+}
+
+double
+expectation(const DensityMatrix &rho, const PauliSum &hamiltonian)
+{
+    double e = 0.0;
+    for (const auto &t : hamiltonian.terms())
+        e += t.coefficient * expectation(rho, t.pauli);
+    return e;
+}
+
+double
+expectationFromCounts(const Counts &counts, const PauliString &pauli)
+{
+    if (pauli.isIdentity())
+        return 1.0;
+    return countsExpectationZMask(counts, pauli.supportMask());
+}
+
+} // namespace qismet

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Expectation-value evaluation of Pauli strings and sums against the
+ * three state representations the library produces: exact statevectors,
+ * density matrices, and finite-shot counts.
+ */
+
+#ifndef QISMET_PAULI_EXPECTATION_HPP
+#define QISMET_PAULI_EXPECTATION_HPP
+
+#include "pauli/pauli_string.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/shot_sampler.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+
+/** Exact <ψ|P|ψ> without materializing the Pauli matrix. */
+double expectation(const Statevector &state, const PauliString &pauli);
+
+/** Exact <ψ|H|ψ> term-by-term. */
+double expectation(const Statevector &state, const PauliSum &hamiltonian);
+
+/** Tr(ρ P) without materializing the Pauli matrix. */
+double expectation(const DensityMatrix &rho, const PauliString &pauli);
+
+/** Tr(ρ H) term-by-term. */
+double expectation(const DensityMatrix &rho, const PauliSum &hamiltonian);
+
+/**
+ * Estimate <P> from counts measured in a basis where every non-identity
+ * factor of P was rotated to Z before measurement (see grouping.hpp).
+ * The estimate is the average parity over the string's support.
+ */
+double expectationFromCounts(const Counts &counts, const PauliString &pauli);
+
+} // namespace qismet
+
+#endif // QISMET_PAULI_EXPECTATION_HPP

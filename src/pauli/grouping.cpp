@@ -1,0 +1,86 @@
+#include "pauli/grouping.hpp"
+
+#include <stdexcept>
+
+namespace qismet {
+
+namespace {
+
+/**
+ * Try to merge a term into a group's basis. Succeeds when every
+ * non-identity factor matches the group's axis or fills an I slot.
+ */
+bool
+tryMerge(MeasurementGroup &group, const PauliString &pauli)
+{
+    // First pass: check compatibility without mutating.
+    for (int q = 0; q < pauli.numQubits(); ++q) {
+        const PauliOp want = pauli.op(q);
+        const PauliOp have = group.basis[static_cast<std::size_t>(q)];
+        if (want != PauliOp::I && have != PauliOp::I && want != have)
+            return false;
+    }
+    for (int q = 0; q < pauli.numQubits(); ++q) {
+        const PauliOp want = pauli.op(q);
+        if (want != PauliOp::I)
+            group.basis[static_cast<std::size_t>(q)] = want;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<MeasurementGroup>
+groupQubitWise(const PauliSum &hamiltonian)
+{
+    std::vector<MeasurementGroup> groups;
+    const auto &terms = hamiltonian.terms();
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (terms[i].pauli.isIdentity())
+            continue;
+        bool placed = false;
+        for (auto &g : groups) {
+            if (tryMerge(g, terms[i].pauli)) {
+                g.termIndices.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            MeasurementGroup g;
+            g.basis.assign(
+                static_cast<std::size_t>(hamiltonian.numQubits()),
+                PauliOp::I);
+            if (!tryMerge(g, terms[i].pauli))
+                throw std::logic_error("groupQubitWise: merge into empty");
+            g.termIndices.push_back(i);
+            groups.push_back(std::move(g));
+        }
+    }
+    return groups;
+}
+
+Circuit
+basisChangeCircuit(const MeasurementGroup &group, int num_qubits)
+{
+    if (static_cast<int>(group.basis.size()) != num_qubits)
+        throw std::invalid_argument("basisChangeCircuit: width mismatch");
+    Circuit c(num_qubits);
+    for (int q = 0; q < num_qubits; ++q) {
+        switch (group.basis[static_cast<std::size_t>(q)]) {
+          case PauliOp::X:
+            c.h(q);
+            break;
+          case PauliOp::Y:
+            c.sdg(q);
+            c.h(q);
+            break;
+          case PauliOp::Z:
+          case PauliOp::I:
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace qismet

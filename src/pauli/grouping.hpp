@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measurement-basis grouping of Hamiltonian terms.
+ *
+ * A VQE iteration measures the ansatz in one circuit per group of
+ * qubit-wise-commuting Pauli terms (paper Fig. 8). This module builds
+ * those groups greedily and emits the basis-change circuits that rotate
+ * each group's axes onto Z before computational-basis measurement.
+ */
+
+#ifndef QISMET_PAULI_GROUPING_HPP
+#define QISMET_PAULI_GROUPING_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** One measurement setting shared by several Hamiltonian terms. */
+struct MeasurementGroup
+{
+    /**
+     * Effective measurement axis per qubit. PauliOp::I means the group
+     * never touches the qubit (measured in Z, result ignored).
+     */
+    std::vector<PauliOp> basis;
+
+    /** Indices into the PauliSum's term list covered by this group. */
+    std::vector<std::size_t> termIndices;
+};
+
+/**
+ * Greedy qubit-wise-commuting grouping (first-fit).
+ *
+ * Identity terms are excluded from all groups (their expectation is the
+ * constant 1 and needs no measurement).
+ */
+std::vector<MeasurementGroup> groupQubitWise(const PauliSum &hamiltonian);
+
+/**
+ * Basis-change circuit for a group: per qubit, X appends H and
+ * Y appends Sdg·H, so that measuring in the computational basis
+ * afterwards samples the group's product eigenbasis.
+ */
+Circuit basisChangeCircuit(const MeasurementGroup &group, int num_qubits);
+
+} // namespace qismet
+
+#endif // QISMET_PAULI_GROUPING_HPP

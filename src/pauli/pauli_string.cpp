@@ -1,0 +1,174 @@
+#include "pauli/pauli_string.hpp"
+
+#include <stdexcept>
+
+namespace qismet {
+
+PauliString::PauliString(int num_qubits)
+{
+    if (num_qubits <= 0)
+        throw std::invalid_argument("PauliString: num_qubits must be > 0");
+    ops_.assign(static_cast<std::size_t>(num_qubits), PauliOp::I);
+}
+
+PauliString::PauliString(std::vector<PauliOp> ops) : ops_(std::move(ops))
+{
+    if (ops_.empty())
+        throw std::invalid_argument("PauliString: empty operator list");
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    if (label.empty())
+        throw std::invalid_argument("PauliString::fromLabel: empty label");
+    std::vector<PauliOp> ops(label.size());
+    for (std::size_t i = 0; i < label.size(); ++i) {
+        // label[0] is the highest-index qubit.
+        const std::size_t q = label.size() - 1 - i;
+        switch (label[i]) {
+          case 'I': ops[q] = PauliOp::I; break;
+          case 'X': ops[q] = PauliOp::X; break;
+          case 'Y': ops[q] = PauliOp::Y; break;
+          case 'Z': ops[q] = PauliOp::Z; break;
+          default:
+            throw std::invalid_argument(
+                "PauliString::fromLabel: bad character '" +
+                std::string(1, label[i]) + "'");
+        }
+    }
+    return PauliString(std::move(ops));
+}
+
+PauliOp
+PauliString::op(int q) const
+{
+    if (q < 0 || q >= numQubits())
+        throw std::out_of_range("PauliString::op: qubit out of range");
+    return ops_[static_cast<std::size_t>(q)];
+}
+
+void
+PauliString::setOp(int q, PauliOp op)
+{
+    if (q < 0 || q >= numQubits())
+        throw std::out_of_range("PauliString::setOp: qubit out of range");
+    ops_[static_cast<std::size_t>(q)] = op;
+}
+
+int
+PauliString::weight() const
+{
+    int w = 0;
+    for (PauliOp op : ops_)
+        if (op != PauliOp::I)
+            ++w;
+    return w;
+}
+
+std::string
+PauliString::label() const
+{
+    std::string s;
+    s.reserve(ops_.size());
+    for (std::size_t i = ops_.size(); i-- > 0;) {
+        switch (ops_[i]) {
+          case PauliOp::I: s += 'I'; break;
+          case PauliOp::X: s += 'X'; break;
+          case PauliOp::Y: s += 'Y'; break;
+          case PauliOp::Z: s += 'Z'; break;
+        }
+    }
+    return s;
+}
+
+std::uint64_t
+PauliString::xMask() const
+{
+    std::uint64_t m = 0;
+    for (std::size_t q = 0; q < ops_.size(); ++q)
+        if (ops_[q] == PauliOp::X || ops_[q] == PauliOp::Y)
+            m |= std::uint64_t{1} << q;
+    return m;
+}
+
+std::uint64_t
+PauliString::zMask() const
+{
+    std::uint64_t m = 0;
+    for (std::size_t q = 0; q < ops_.size(); ++q)
+        if (ops_[q] == PauliOp::Z || ops_[q] == PauliOp::Y)
+            m |= std::uint64_t{1} << q;
+    return m;
+}
+
+std::uint64_t
+PauliString::supportMask() const
+{
+    return xMask() | zMask();
+}
+
+int
+PauliString::countY() const
+{
+    int n = 0;
+    for (PauliOp op : ops_)
+        if (op == PauliOp::Y)
+            ++n;
+    return n;
+}
+
+bool
+PauliString::qubitWiseCommutes(const PauliString &other) const
+{
+    if (other.numQubits() != numQubits())
+        throw std::invalid_argument("PauliString: width mismatch");
+    for (std::size_t q = 0; q < ops_.size(); ++q) {
+        const PauliOp a = ops_[q];
+        const PauliOp b = other.ops_[q];
+        if (a != PauliOp::I && b != PauliOp::I && a != b)
+            return false;
+    }
+    return true;
+}
+
+bool
+PauliString::commutes(const PauliString &other) const
+{
+    if (other.numQubits() != numQubits())
+        throw std::invalid_argument("PauliString: width mismatch");
+    // Two Pauli strings commute iff they anticommute on an even number
+    // of qubits.
+    int anti = 0;
+    for (std::size_t q = 0; q < ops_.size(); ++q) {
+        const PauliOp a = ops_[q];
+        const PauliOp b = other.ops_[q];
+        if (a != PauliOp::I && b != PauliOp::I && a != b)
+            ++anti;
+    }
+    return (anti & 1) == 0;
+}
+
+Matrix
+PauliString::toMatrix() const
+{
+    const Complex i(0.0, 1.0);
+    auto single = [&](PauliOp op) -> Matrix {
+        switch (op) {
+          case PauliOp::I: return Matrix::identity(2);
+          case PauliOp::X: return Matrix::fromRows({{0, 1}, {1, 0}});
+          case PauliOp::Y: return Matrix::fromRows({{0, -i}, {i, 0}});
+          case PauliOp::Z: return Matrix::fromRows({{1, 0}, {0, -1}});
+        }
+        throw std::logic_error("PauliString::toMatrix: bad op");
+    };
+
+    // Qubit n-1 is the leftmost Kronecker factor (matches the basis-index
+    // convention where qubit q is bit q).
+    Matrix m = single(ops_.back());
+    for (std::size_t q = ops_.size() - 1; q-- > 0;)
+        m = m.kron(single(ops_[q]));
+    return m;
+}
+
+} // namespace qismet

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tensor products of single-qubit Pauli operators.
+ *
+ * Hamiltonians in the VQE engine are linear combinations of these
+ * strings; the measurement layer groups qubit-wise-commuting strings
+ * into shared measurement bases (paper Fig. 8: "ansatz measurements
+ * over different bases").
+ */
+
+#ifndef QISMET_PAULI_PAULI_STRING_HPP
+#define QISMET_PAULI_PAULI_STRING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** Single-qubit Pauli axis. */
+enum class PauliOp : std::uint8_t { I, X, Y, Z };
+
+/** Tensor product of Pauli operators over a fixed register. */
+class PauliString
+{
+  public:
+    /** All-identity string over num_qubits qubits. */
+    explicit PauliString(int num_qubits);
+
+    /** From explicit per-qubit ops; ops[q] acts on qubit q. */
+    explicit PauliString(std::vector<PauliOp> ops);
+
+    /**
+     * Parse a label like "XIZY". The label reads left-to-right from the
+     * highest-index qubit down (Qiskit convention), so "XI" puts X on
+     * qubit 1 of a 2-qubit register.
+     */
+    static PauliString fromLabel(const std::string &label);
+
+    int numQubits() const { return static_cast<int>(ops_.size()); }
+
+    /** Operator on qubit q. */
+    PauliOp op(int q) const;
+
+    /** Set the operator on qubit q. */
+    void setOp(int q, PauliOp op);
+
+    /** Number of non-identity factors. */
+    int weight() const;
+
+    /** True when every factor is the identity. */
+    bool isIdentity() const { return weight() == 0; }
+
+    /** Label in the same convention fromLabel parses. */
+    std::string label() const;
+
+    /** Bitmask of qubits with X or Y (the bit-flip part). */
+    std::uint64_t xMask() const;
+
+    /** Bitmask of qubits with Z or Y (the phase part). */
+    std::uint64_t zMask() const;
+
+    /** Bitmask of qubits with any non-identity factor. */
+    std::uint64_t supportMask() const;
+
+    /** Number of Y factors (controls the i^nY global phase). */
+    int countY() const;
+
+    /**
+     * Qubit-wise commutation: on every shared qubit the factors are
+     * equal or one of them is I. Sufficient condition for simultaneous
+     * measurability in a single product basis.
+     */
+    bool qubitWiseCommutes(const PauliString &other) const;
+
+    /** Full (anti)commutation check: true when [P, Q] = 0. */
+    bool commutes(const PauliString &other) const;
+
+    /** Dense 2^n x 2^n matrix (for exact solvers; n kept small). */
+    Matrix toMatrix() const;
+
+    bool operator==(const PauliString &other) const
+    {
+        return ops_ == other.ops_;
+    }
+    bool operator<(const PauliString &other) const
+    {
+        return ops_ < other.ops_;
+    }
+
+  private:
+    std::vector<PauliOp> ops_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_PAULI_PAULI_STRING_HPP

@@ -1,0 +1,86 @@
+#include "qaoa/maxcut.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qismet {
+
+MaxCutProblem::MaxCutProblem(int num_vertices, std::vector<Edge> edges)
+    : numVertices_(num_vertices), edges_(std::move(edges))
+{
+    if (num_vertices < 2 || num_vertices > 24)
+        throw std::invalid_argument("MaxCutProblem: 2..24 vertices");
+    for (const Edge &e : edges_) {
+        if (e.a < 0 || e.a >= num_vertices || e.b < 0 ||
+            e.b >= num_vertices || e.a == e.b)
+            throw std::invalid_argument("MaxCutProblem: bad edge");
+        if (e.weight < 0.0)
+            throw std::invalid_argument("MaxCutProblem: negative weight");
+    }
+}
+
+MaxCutProblem
+MaxCutProblem::random(int num_vertices, double edge_probability, Rng &rng)
+{
+    if (edge_probability < 0.0 || edge_probability > 1.0)
+        throw std::invalid_argument("MaxCutProblem::random: probability");
+    std::vector<Edge> edges;
+    for (int a = 0; a < num_vertices; ++a)
+        for (int b = a + 1; b < num_vertices; ++b)
+            if (rng.bernoulli(edge_probability))
+                edges.push_back({a, b, 1.0});
+    // Guarantee connectivity of the instance in the trivial sense of
+    // having at least one edge.
+    if (edges.empty())
+        edges.push_back({0, 1, 1.0});
+    return MaxCutProblem(num_vertices, std::move(edges));
+}
+
+MaxCutProblem
+MaxCutProblem::ring(int num_vertices)
+{
+    std::vector<Edge> edges;
+    for (int v = 0; v < num_vertices; ++v)
+        edges.push_back({v, (v + 1) % num_vertices, 1.0});
+    return MaxCutProblem(num_vertices, std::move(edges));
+}
+
+double
+MaxCutProblem::cutValue(std::uint64_t assignment) const
+{
+    double cut = 0.0;
+    for (const Edge &e : edges_) {
+        const bool sa = assignment >> e.a & 1;
+        const bool sb = assignment >> e.b & 1;
+        if (sa != sb)
+            cut += e.weight;
+    }
+    return cut;
+}
+
+double
+MaxCutProblem::maxCutValue() const
+{
+    double best = 0.0;
+    const std::uint64_t states = std::uint64_t{1} << numVertices_;
+    for (std::uint64_t z = 0; z < states; ++z)
+        best = std::max(best, cutValue(z));
+    return best;
+}
+
+PauliSum
+MaxCutProblem::costHamiltonian() const
+{
+    PauliSum c(numVertices_);
+    for (const Edge &e : edges_) {
+        PauliString zz(numVertices_);
+        zz.setOp(e.a, PauliOp::Z);
+        zz.setOp(e.b, PauliOp::Z);
+        c.add(0.5 * e.weight, std::move(zz));
+        c.add(-0.5 * e.weight, PauliString(numVertices_));
+    }
+    c.simplify();
+    return c;
+}
+
+} // namespace qismet

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MaxCut problem instances and their cost Hamiltonians — the second VQA
+ * domain the paper names (QAOA [Farhi et al.]; Section 2: "Our
+ * applications in this work target VQE but QISMET is broadly applicable
+ * across all VQAs").
+ *
+ * For a weighted graph G = (V, E), the cut value of a spin assignment
+ * z ∈ {±1}^n is Σ_{(i,j)∈E} w_ij (1 - z_i z_j) / 2. Minimizing the cost
+ * Hamiltonian
+ *   C = Σ_{(i,j)} (w_ij / 2) (Z_i Z_j - I)
+ * maximizes the cut: <C> = -cut(z) on computational basis states.
+ */
+
+#ifndef QISMET_QAOA_MAXCUT_HPP
+#define QISMET_QAOA_MAXCUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+
+/** One weighted edge. */
+struct Edge
+{
+    int a = 0;
+    int b = 0;
+    double weight = 1.0;
+};
+
+/** A weighted MaxCut instance. */
+class MaxCutProblem
+{
+  public:
+    /**
+     * @param num_vertices Graph size (= qubit count).
+     * @param edges Weighted edges; vertices must be in range and
+     *        distinct per edge.
+     */
+    MaxCutProblem(int num_vertices, std::vector<Edge> edges);
+
+    /** Erdős–Rényi random graph with the given edge probability. */
+    static MaxCutProblem random(int num_vertices, double edge_probability,
+                                Rng &rng);
+
+    /** Unweighted ring of n vertices (cut = n for even n). */
+    static MaxCutProblem ring(int num_vertices);
+
+    int numVertices() const { return numVertices_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Cut value of the assignment encoded as a bitmask. */
+    double cutValue(std::uint64_t assignment) const;
+
+    /** Maximum cut value by exhaustive search (n <= ~24). */
+    double maxCutValue() const;
+
+    /**
+     * Cost Hamiltonian C = Σ (w/2)(Z_i Z_j - I); its ground energy is
+     * -maxCutValue().
+     */
+    PauliSum costHamiltonian() const;
+
+  private:
+    int numVertices_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_QAOA_MAXCUT_HPP

@@ -1,0 +1,44 @@
+#include "qaoa/qaoa_ansatz.hpp"
+
+namespace qismet {
+
+QaoaAnsatz::QaoaAnsatz(MaxCutProblem problem, int layers)
+    : Ansatz(problem.numVertices(), layers), problem_(std::move(problem))
+{
+}
+
+int
+QaoaAnsatz::numParams() const
+{
+    return 2 * reps_;
+}
+
+Circuit
+QaoaAnsatz::build() const
+{
+    Circuit c(numQubits_, numParams());
+
+    // |+>^n initial state.
+    for (int q = 0; q < numQubits_; ++q)
+        c.h(q);
+
+    for (int layer = 0; layer < reps_; ++layer) {
+        const int gamma = 2 * layer;
+        const int beta = 2 * layer + 1;
+
+        // Cost unitary exp(-i γ Σ (w/2)(Z_i Z_j - I)): each ZZ term
+        // becomes CX · RZ(w γ) · CX (the -I part is a global phase).
+        for (const Edge &e : problem_.edges()) {
+            c.cx(e.a, e.b);
+            c.rzParam(e.b, gamma, e.weight);
+            c.cx(e.a, e.b);
+        }
+
+        // Mixer exp(-i β Σ X_j).
+        for (int q = 0; q < numQubits_; ++q)
+            c.rxParam(q, beta, 2.0);
+    }
+    return c;
+}
+
+} // namespace qismet

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * QAOA ansatz for MaxCut: p alternating layers of the cost unitary
+ * exp(-i γ_k C) and the transverse mixer exp(-i β_k Σ X_j), on the
+ * uniform-superposition initial state.
+ *
+ * The cost layer compiles each w·Z_iZ_j term to CX(i,j) · RZ_j(2wγ) ·
+ * CX(i,j), so each layer contributes 2|E| CX gates — the circuit-depth
+ * scaling that couples QAOA to the paper's Section-3.2 transient
+ * sensitivity arguments.
+ */
+
+#ifndef QISMET_QAOA_QAOA_ANSATZ_HPP
+#define QISMET_QAOA_QAOA_ANSATZ_HPP
+
+#include "ansatz/ansatz.hpp"
+#include "qaoa/maxcut.hpp"
+
+namespace qismet {
+
+/** QAOA ansatz over a MaxCut instance. */
+class QaoaAnsatz : public Ansatz
+{
+  public:
+    /**
+     * @param problem MaxCut instance (copied).
+     * @param layers Number p of (γ, β) layers.
+     */
+    QaoaAnsatz(MaxCutProblem problem, int layers);
+
+    std::string name() const override { return "QAOA"; }
+
+    /** 2p parameters, ordered γ_1, β_1, γ_2, β_2, ... */
+    int numParams() const override;
+
+    Circuit build() const override;
+
+    const MaxCutProblem &problem() const { return problem_; }
+
+  private:
+    MaxCutProblem problem_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_QAOA_QAOA_ANSATZ_HPP

@@ -1,0 +1,251 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+DensityMatrix::DensityMatrix(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits <= 0 || num_qubits > 12)
+        throw std::invalid_argument("DensityMatrix: unsupported qubit count");
+    dim_ = std::size_t{1} << num_qubits;
+    rho_.assign(dim_ * dim_, Complex(0.0, 0.0));
+    rho_[0] = Complex(1.0, 0.0);
+}
+
+DensityMatrix::DensityMatrix(const Statevector &state)
+    : numQubits_(state.numQubits()), dim_(state.dim())
+{
+    rho_.assign(dim_ * dim_, Complex(0.0, 0.0));
+    const auto &amps = state.amplitudes();
+    for (std::size_t r = 0; r < dim_; ++r)
+        for (std::size_t c = 0; c < dim_; ++c)
+            rho_[r * dim_ + c] = amps[r] * std::conj(amps[c]);
+}
+
+void
+DensityMatrix::reset()
+{
+    std::fill(rho_.begin(), rho_.end(), Complex(0.0, 0.0));
+    rho_[0] = Complex(1.0, 0.0);
+}
+
+void
+DensityMatrix::checkQubit(int q) const
+{
+    if (q < 0 || q >= numQubits_)
+        throw std::out_of_range("DensityMatrix: qubit out of range");
+}
+
+void
+DensityMatrix::applyLeft1q(int q, const Matrix &m,
+                           std::vector<Complex> &rho) const
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t r0 = base + off;
+            const std::size_t r1 = r0 + stride;
+            for (std::size_t c = 0; c < dim_; ++c) {
+                const Complex a = rho[r0 * dim_ + c];
+                const Complex b = rho[r1 * dim_ + c];
+                rho[r0 * dim_ + c] = m00 * a + m01 * b;
+                rho[r1 * dim_ + c] = m10 * a + m11 * b;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyRight1q(int q, const Matrix &m,
+                            std::vector<Complex> &rho) const
+{
+    const std::size_t stride = std::size_t{1} << q;
+    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t c0 = base + off;
+            const std::size_t c1 = c0 + stride;
+            for (std::size_t r = 0; r < dim_; ++r) {
+                const Complex a = rho[r * dim_ + c0];
+                const Complex b = rho[r * dim_ + c1];
+                rho[r * dim_ + c0] = a * m00 + b * m10;
+                rho[r * dim_ + c1] = a * m01 + b * m11;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyLeft2q(int q1, int q0, const Matrix &m,
+                           std::vector<Complex> &rho) const
+{
+    const std::size_t b1 = std::size_t{1} << q1;
+    const std::size_t b0 = std::size_t{1} << q0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+        if (i & (b1 | b0))
+            continue;
+        const std::size_t rows[4] = {i, i | b0, i | b1, i | b1 | b0};
+        for (std::size_t c = 0; c < dim_; ++c) {
+            Complex in[4];
+            for (int k = 0; k < 4; ++k)
+                in[k] = rho[rows[k] * dim_ + c];
+            for (int r = 0; r < 4; ++r) {
+                Complex acc(0.0, 0.0);
+                for (int k = 0; k < 4; ++k)
+                    acc += m(r, k) * in[k];
+                rho[rows[r] * dim_ + c] = acc;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyRight2q(int q1, int q0, const Matrix &m,
+                            std::vector<Complex> &rho) const
+{
+    const std::size_t b1 = std::size_t{1} << q1;
+    const std::size_t b0 = std::size_t{1} << q0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+        if (i & (b1 | b0))
+            continue;
+        const std::size_t cols[4] = {i, i | b0, i | b1, i | b1 | b0};
+        for (std::size_t r = 0; r < dim_; ++r) {
+            Complex in[4];
+            for (int k = 0; k < 4; ++k)
+                in[k] = rho[r * dim_ + cols[k]];
+            for (int c = 0; c < 4; ++c) {
+                Complex acc(0.0, 0.0);
+                for (int k = 0; k < 4; ++k)
+                    acc += in[k] * m(k, c);
+                rho[r * dim_ + cols[c]] = acc;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyGate(const Gate &gate, const std::vector<double> &params)
+{
+    const Matrix u = gate.matrix(params);
+    const Matrix udag = u.adjoint();
+    if (gateArity(gate.type) == 1) {
+        checkQubit(gate.qubits[0]);
+        applyLeft1q(gate.qubits[0], u, rho_);
+        applyRight1q(gate.qubits[0], udag, rho_);
+    } else {
+        checkQubit(gate.qubits[0]);
+        checkQubit(gate.qubits[1]);
+        applyLeft2q(gate.qubits[0], gate.qubits[1], u, rho_);
+        applyRight2q(gate.qubits[0], gate.qubits[1], udag, rho_);
+    }
+}
+
+void
+DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
+                             const KrausChannel &channel)
+{
+    std::vector<Complex> acc(dim_ * dim_, Complex(0.0, 0.0));
+    for (const Matrix &k : channel.operators()) {
+        std::vector<Complex> term = rho_;
+        const Matrix kdag = k.adjoint();
+        if (qubits.size() == 1) {
+            applyLeft1q(qubits[0], k, term);
+            applyRight1q(qubits[0], kdag, term);
+        } else {
+            applyLeft2q(qubits[0], qubits[1], k, term);
+            applyRight2q(qubits[0], qubits[1], kdag, term);
+        }
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += term[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::applyChannel1q(int q, const KrausChannel &channel)
+{
+    checkQubit(q);
+    if (channel.numQubits() != 1)
+        throw std::invalid_argument("applyChannel1q: channel is not 1-qubit");
+    applyKrausSum({q}, channel);
+}
+
+void
+DensityMatrix::applyChannel2q(int q1, int q0, const KrausChannel &channel)
+{
+    checkQubit(q1);
+    checkQubit(q0);
+    if (q1 == q0)
+        throw std::invalid_argument("applyChannel2q: equal qubits");
+    if (channel.numQubits() != 2)
+        throw std::invalid_argument("applyChannel2q: channel is not 2-qubit");
+    applyKrausSum({q1, q0}, channel);
+}
+
+void
+DensityMatrix::run(const Circuit &circuit, const std::vector<double> &params)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("DensityMatrix::run: width mismatch");
+    for (const Gate &g : circuit.gates())
+        applyGate(g, params);
+}
+
+double
+DensityMatrix::trace() const
+{
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < dim_; ++i)
+        t += rho_[i * dim_ + i];
+    return t.real();
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(ρ²) = Σ_rc ρ[r,c] ρ[c,r]; ρ is Hermitian so this is Σ |ρ[r,c]|².
+    double s = 0.0;
+    for (const auto &x : rho_)
+        s += std::norm(x);
+    return s;
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> p(dim_);
+    for (std::size_t i = 0; i < dim_; ++i)
+        p[i] = rho_[i * dim_ + i].real();
+    return p;
+}
+
+double
+DensityMatrix::fidelity(const Statevector &reference) const
+{
+    if (reference.dim() != dim_)
+        throw std::invalid_argument("DensityMatrix::fidelity: width");
+    const auto &amps = reference.amplitudes();
+    Complex acc(0.0, 0.0);
+    for (std::size_t r = 0; r < dim_; ++r)
+        for (std::size_t c = 0; c < dim_; ++c)
+            acc += std::conj(amps[r]) * rho_[r * dim_ + c] * amps[c];
+    return acc.real();
+}
+
+double
+DensityMatrix::expectation(const Matrix &observable) const
+{
+    if (observable.rows() != dim_ || observable.cols() != dim_)
+        throw std::invalid_argument("DensityMatrix::expectation: shape");
+    // Tr(ρ O) = Σ_rc ρ[r,c] O[c,r].
+    Complex acc(0.0, 0.0);
+    for (std::size_t r = 0; r < dim_; ++r)
+        for (std::size_t c = 0; c < dim_; ++c)
+            acc += rho_[r * dim_ + c] * observable(c, r);
+    return acc.real();
+}
+
+} // namespace qismet

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Kraus (CPTP) channel representation and the standard NISQ noise
+ * channels: depolarizing, amplitude damping, phase damping, bit flip,
+ * and thermal relaxation derived from T1/T2 and gate duration.
+ */
+
+#ifndef QISMET_SIM_KRAUS_HPP
+#define QISMET_SIM_KRAUS_HPP
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** A quantum channel as a list of Kraus operators (all same shape). */
+class KrausChannel
+{
+  public:
+    KrausChannel() = default;
+
+    /** Construct from operators; validates consistent shape. */
+    explicit KrausChannel(std::vector<Matrix> operators);
+
+    const std::vector<Matrix> &operators() const { return ops_; }
+    bool empty() const { return ops_.empty(); }
+
+    /** Number of qubits the channel acts on (1 or 2). */
+    int numQubits() const;
+
+    /** True when sum_k K_k^dagger K_k == I within tol. */
+    bool isTracePreserving(double tol = 1e-9) const;
+
+    /** Compose: this channel followed by `after`. */
+    KrausChannel then(const KrausChannel &after) const;
+
+    /** @name Channel factories @{ */
+
+    /** Identity (no-op) channel on one qubit. */
+    static KrausChannel identity1q();
+
+    /**
+     * Single-qubit depolarizing channel: with probability p the state is
+     * replaced by the maximally mixed state.
+     */
+    static KrausChannel depolarizing1q(double p);
+
+    /** Two-qubit depolarizing channel (15 Pauli error terms). */
+    static KrausChannel depolarizing2q(double p);
+
+    /** Amplitude damping with decay probability gamma (T1 decay). */
+    static KrausChannel amplitudeDamping(double gamma);
+
+    /** Phase damping with dephasing probability lambda (T2 decay). */
+    static KrausChannel phaseDamping(double lambda);
+
+    /** Classical bit flip with probability p. */
+    static KrausChannel bitFlip(double p);
+
+    /**
+     * Thermal relaxation over `duration_ns` for a qubit with the given
+     * coherence times: amplitude damping gamma = 1 - exp(-t/T1) composed
+     * with pure dephasing so the total off-diagonal decay matches
+     * exp(-t/T2). Requires T2 <= 2*T1 (physical).
+     */
+    static KrausChannel thermalRelaxation(double t1_ns, double t2_ns,
+                                          double duration_ns);
+
+    /** @} */
+
+  private:
+    std::vector<Matrix> ops_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_SIM_KRAUS_HPP

@@ -1,0 +1,116 @@
+#include "sim/shot_sampler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace qismet {
+
+void
+ReadoutError::check() const
+{
+    if (p10 < 0.0 || p10 > 1.0 || p01 < 0.0 || p01 > 1.0)
+        throw std::invalid_argument("ReadoutError: probability outside [0,1]");
+}
+
+ShotSampler::ShotSampler(std::vector<ReadoutError> readout)
+    : readout_(std::move(readout))
+{
+    for (const auto &r : readout_)
+        r.check();
+}
+
+std::uint64_t
+ShotSampler::applyReadout(std::uint64_t bits, int num_qubits, Rng &rng) const
+{
+    if (readout_.empty())
+        return bits;
+    if (static_cast<int>(readout_.size()) < num_qubits)
+        throw std::invalid_argument(
+            "ShotSampler: readout entries fewer than qubits");
+    for (int q = 0; q < num_qubits; ++q) {
+        const std::uint64_t bit = std::uint64_t{1} << q;
+        const bool is_one = bits & bit;
+        const double flip_p = is_one ? readout_[q].p01 : readout_[q].p10;
+        if (flip_p > 0.0 && rng.bernoulli(flip_p))
+            bits ^= bit;
+    }
+    return bits;
+}
+
+Counts
+ShotSampler::sample(const std::vector<double> &probs, int num_qubits,
+                    std::size_t shots, Rng &rng) const
+{
+    if (probs.size() != (std::size_t{1} << num_qubits))
+        throw std::invalid_argument("ShotSampler::sample: size mismatch");
+
+    // Build CDF once.
+    std::vector<double> cdf(probs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        if (probs[i] < -1e-12)
+            throw std::invalid_argument("ShotSampler: negative probability");
+        acc += std::max(0.0, probs[i]);
+        cdf[i] = acc;
+    }
+    if (acc <= 0.0)
+        throw std::invalid_argument("ShotSampler: all-zero distribution");
+
+    Counts counts;
+    for (std::size_t s = 0; s < shots; ++s) {
+        const double u = rng.uniform() * acc;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        auto outcome = static_cast<std::uint64_t>(it - cdf.begin());
+        outcome = applyReadout(outcome, num_qubits, rng);
+        ++counts[outcome];
+    }
+    return counts;
+}
+
+Counts
+ShotSampler::sample(const Statevector &state, std::size_t shots,
+                    Rng &rng) const
+{
+    return sample(state.probabilities(), state.numQubits(), shots, rng);
+}
+
+std::uint64_t
+totalShots(const Counts &counts)
+{
+    std::uint64_t total = 0;
+    for (const auto &[bits, n] : counts)
+        total += n;
+    return total;
+}
+
+std::vector<double>
+countsToProbabilities(const Counts &counts, int num_qubits)
+{
+    std::vector<double> p(std::size_t{1} << num_qubits, 0.0);
+    const auto total = static_cast<double>(totalShots(counts));
+    if (total == 0.0)
+        return p;
+    for (const auto &[bits, n] : counts) {
+        if (bits >= p.size())
+            throw std::out_of_range("countsToProbabilities: outcome too wide");
+        p[bits] = static_cast<double>(n) / total;
+    }
+    return p;
+}
+
+double
+countsExpectationZMask(const Counts &counts, std::uint64_t mask)
+{
+    const auto total = static_cast<double>(totalShots(counts));
+    if (total == 0.0)
+        return 0.0;
+    double e = 0.0;
+    for (const auto &[bits, n] : counts) {
+        const int parity = std::popcount(bits & mask) & 1;
+        e += (parity ? -1.0 : 1.0) * static_cast<double>(n);
+    }
+    return e / total;
+}
+
+} // namespace qismet

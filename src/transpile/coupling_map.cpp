@@ -1,0 +1,130 @@
+#include "transpile/coupling_map.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace qismet {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("CouplingMap: need >= 1 qubit");
+    adjacency_.resize(static_cast<std::size_t>(num_qubits));
+
+    std::set<std::pair<int, int>> seen;
+    for (auto [a, b] : edges) {
+        if (a < 0 || a >= num_qubits || b < 0 || b >= num_qubits || a == b)
+            throw std::invalid_argument("CouplingMap: bad edge");
+        const auto key = std::minmax(a, b);
+        if (!seen.insert(key).second)
+            continue;
+        edges_.emplace_back(key.first, key.second);
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+    }
+}
+
+CouplingMap
+CouplingMap::linear(int num_qubits)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        edges.emplace_back(q, q + 1);
+    return CouplingMap(num_qubits, std::move(edges));
+}
+
+CouplingMap
+CouplingMap::ring(int num_qubits)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int q = 0; q < num_qubits; ++q)
+        edges.emplace_back(q, (q + 1) % num_qubits);
+    return CouplingMap(num_qubits, std::move(edges));
+}
+
+CouplingMap
+CouplingMap::ibm7qH()
+{
+    return CouplingMap(7, {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}});
+}
+
+CouplingMap
+CouplingMap::forMachine(const std::string &machine_name, int num_qubits)
+{
+    std::string key = machine_name;
+    std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (key == "casablanca" || key == "jakarta")
+        return ibm7qH();
+    return linear(num_qubits);
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        throw std::out_of_range("CouplingMap::connected: qubit");
+    for (int n : adjacency_[a])
+        if (n == b)
+            return true;
+    return false;
+}
+
+std::vector<int>
+CouplingMap::shortestPath(int a, int b) const
+{
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        throw std::out_of_range("CouplingMap::shortestPath: qubit");
+    if (a == b)
+        return {a};
+
+    std::vector<int> parent(static_cast<std::size_t>(numQubits_), -1);
+    std::queue<int> frontier;
+    frontier.push(a);
+    parent[a] = a;
+    while (!frontier.empty()) {
+        const int cur = frontier.front();
+        frontier.pop();
+        for (int n : adjacency_[cur]) {
+            if (parent[n] != -1)
+                continue;
+            parent[n] = cur;
+            if (n == b) {
+                std::vector<int> path = {b};
+                int walk = b;
+                while (walk != a) {
+                    walk = parent[walk];
+                    path.push_back(walk);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(n);
+        }
+    }
+    return {};
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    const auto path = shortestPath(a, b);
+    return path.empty() ? -1 : static_cast<int>(path.size()) - 1;
+}
+
+bool
+CouplingMap::isConnected() const
+{
+    for (int q = 1; q < numQubits_; ++q)
+        if (distance(0, q) < 0)
+            return false;
+    return true;
+}
+
+} // namespace qismet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Device coupling maps: which physical qubit pairs support two-qubit
+ * gates. The paper's circuits run through Qiskit's transpiler onto
+ * IBMQ topologies (linear segments of 27q Falcons, the 7q "H" lattice
+ * of Casablanca/Jakarta); this module supplies the same structural
+ * substrate for our simulated machines.
+ */
+
+#ifndef QISMET_TRANSPILE_COUPLING_MAP_HPP
+#define QISMET_TRANSPILE_COUPLING_MAP_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qismet {
+
+/** Undirected connectivity graph over physical qubits. */
+class CouplingMap
+{
+  public:
+    /**
+     * @param num_qubits Physical qubit count.
+     * @param edges Undirected couplings (validated, deduplicated).
+     */
+    CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    /** Linear chain 0-1-2-...-(n-1). */
+    static CouplingMap linear(int num_qubits);
+
+    /** Ring topology. */
+    static CouplingMap ring(int num_qubits);
+
+    /**
+     * The IBM 7-qubit "H" lattice (Casablanca, Jakarta):
+     *   0-1, 1-2, 1-3, 3-5, 4-5, 5-6.
+     */
+    static CouplingMap ibm7qH();
+
+    /**
+     * Topology for a registered machine name: the 7q machines get the
+     * H lattice, the larger Falcons are served as linear chains of
+     * their size (the heavy-hex subgraph the paper's 6q circuits were
+     * mapped onto behaves like a line).
+     */
+    static CouplingMap forMachine(const std::string &machine_name,
+                                  int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+
+    /** True when a two-qubit gate can act directly on (a, b). */
+    bool connected(int a, int b) const;
+
+    /** BFS shortest path from a to b inclusive; empty when unreachable. */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** Hop distance; -1 when unreachable. */
+    int distance(int a, int b) const;
+
+    /** True when the whole graph is one connected component. */
+    bool isConnected() const;
+
+  private:
+    int numQubits_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_TRANSPILE_COUPLING_MAP_HPP

@@ -1,0 +1,79 @@
+#include "transpile/router.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace qismet {
+
+std::uint64_t
+RoutingResult::toLogical(std::uint64_t physical_outcome) const
+{
+    std::uint64_t logical = 0;
+    for (std::size_t q = 0; q < finalLayout.size(); ++q) {
+        const int phys = finalLayout[q];
+        if (physical_outcome >> phys & 1)
+            logical |= std::uint64_t{1} << q;
+    }
+    return logical;
+}
+
+RoutingResult
+routeCircuit(const Circuit &circuit, const CouplingMap &map)
+{
+    if (circuit.numQubits() > map.numQubits())
+        throw std::invalid_argument("routeCircuit: circuit wider than map");
+    if (!map.isConnected())
+        throw std::invalid_argument("routeCircuit: disconnected map");
+
+    RoutingResult result;
+    result.circuit = Circuit(map.numQubits(), circuit.numParams());
+
+    // layout[logical] = physical; position[physical] = logical (or -1).
+    std::vector<int> layout(static_cast<std::size_t>(circuit.numQubits()));
+    std::iota(layout.begin(), layout.end(), 0);
+    std::vector<int> position(static_cast<std::size_t>(map.numQubits()),
+                              -1);
+    for (std::size_t l = 0; l < layout.size(); ++l)
+        position[layout[l]] = static_cast<int>(l);
+
+    auto emit_swap = [&](int phys_a, int phys_b) {
+        result.circuit.swap(phys_a, phys_b);
+        ++result.swapsInserted;
+        const int la = position[phys_a];
+        const int lb = position[phys_b];
+        position[phys_a] = lb;
+        position[phys_b] = la;
+        if (la >= 0)
+            layout[la] = phys_b;
+        if (lb >= 0)
+            layout[lb] = phys_a;
+    };
+
+    for (Gate g : circuit.gates()) {
+        if (gateArity(g.type) == 1) {
+            g.qubits[0] = layout[g.qubits[0]];
+            result.circuit.append(g);
+            continue;
+        }
+
+        int pa = layout[g.qubits[0]];
+        int pb = layout[g.qubits[1]];
+        if (!map.connected(pa, pb)) {
+            // Walk logical qubit a along the shortest path toward b,
+            // stopping one hop short.
+            const auto path = map.shortestPath(pa, pb);
+            for (std::size_t step = 0; step + 2 < path.size(); ++step)
+                emit_swap(path[step], path[step + 1]);
+            pa = layout[g.qubits[0]];
+            pb = layout[g.qubits[1]];
+        }
+        g.qubits[0] = pa;
+        g.qubits[1] = pb;
+        result.circuit.append(g);
+    }
+
+    result.finalLayout = layout;
+    return result;
+}
+
+} // namespace qismet

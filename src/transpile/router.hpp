@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SWAP routing: rewrite a circuit so every two-qubit gate acts on a
+ * coupled physical pair, inserting SWAP chains along shortest paths.
+ *
+ * The router preserves circuit parameters (a routed ansatz is still an
+ * ansatz over the same θ vector) and reports the final logical→physical
+ * layout so measurement results can be un-permuted. Deeper routed
+ * circuits have lower survival factors and more transient exposure —
+ * the paper's Section-3.2 depth argument made concrete for the 7-qubit
+ * H-lattice machines.
+ */
+
+#ifndef QISMET_TRANSPILE_ROUTER_HPP
+#define QISMET_TRANSPILE_ROUTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "transpile/coupling_map.hpp"
+
+namespace qismet {
+
+/** Output of the router. */
+struct RoutingResult
+{
+    /** Routed circuit over the physical register. */
+    Circuit circuit;
+    /**
+     * Final layout: layout[logical] = physical wire holding that
+     * logical qubit after the circuit.
+     */
+    std::vector<int> finalLayout;
+    /** SWAP gates inserted. */
+    int swapsInserted = 0;
+
+    RoutingResult() : circuit(1) {}
+
+    /**
+     * Translate a physical measurement outcome (basis-state index over
+     * physical wires) back to the logical register.
+     */
+    std::uint64_t toLogical(std::uint64_t physical_outcome) const;
+};
+
+/**
+ * Route a circuit onto the coupling map with the trivial initial layout
+ * (logical q starts on physical q).
+ *
+ * @param circuit Input circuit; its width must not exceed the map's.
+ * @param map Device connectivity; must be a connected graph.
+ * @throws std::invalid_argument on width mismatch or disconnected maps.
+ */
+RoutingResult routeCircuit(const Circuit &circuit, const CouplingMap &map);
+
+} // namespace qismet
+
+#endif // QISMET_TRANSPILE_ROUTER_HPP

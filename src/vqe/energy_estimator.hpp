@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Noisy VQE objective-function (energy) estimation.
+ *
+ * One estimator owns a Hamiltonian, an ansatz circuit and a machine's
+ * static noise model, and produces the machine-style energy estimate
+ * E_m(θ, τ) for a parameter vector θ under transient intensity τ.
+ *
+ * Noise composition (DESIGN.md §5.2):
+ *   τ_eff  = τ · κ(θ),  κ(θ) = 2 · (mean excited-state population)
+ *   f_eff  = clamp(f_static · (1 - τ_eff), 0, 1)
+ *   <H>_noisy = f_eff · (<H>_ideal(θ) - <H>_mixed) + <H>_mixed
+ * i.e. the static survival factor and the transient intensity both pull
+ * the estimate toward the maximally mixed value, exactly the
+ * "normalized to the magnitude of the VQA estimations" composition of
+ * paper Section 6.2. Shot noise and SPAM are then layered on by the
+ * sampling path (exact Pauli expectations → noisy distribution →
+ * finite-shot counts → readout errors → optional tensored mitigation),
+ * or approximated analytically by the fast path.
+ *
+ * The κ(θ) factor implements paper Section 3.2(c): transient T1/TLS
+ * events damp *excited-state population*, so "a circuit that carries a
+ * superposition of states with a high proportion of 0s is less
+ * affected". κ is 1 at half excitation, below 1 for 0-heavy states.
+ * This state dependence is what lets a transient *reorder* candidate
+ * configurations (paper Fig. 6.b) instead of merely rescaling them: a
+ * corrupted gradient systematically favors low-excitation states, and
+ * that false attractor is exactly how the baseline tuner gets derailed.
+ */
+
+#ifndef QISMET_VQE_ENERGY_ESTIMATOR_HPP
+#define QISMET_VQE_ENERGY_ESTIMATOR_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ansatz/ansatz.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "mitigation/measurement_mitigation.hpp"
+#include "noise/noise_model.hpp"
+#include "pauli/grouping.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+
+/** How the estimator turns exact expectations into machine estimates. */
+enum class EstimatorMode
+{
+    /** Exact statevector expectation, no noise at all. */
+    Ideal,
+    /**
+     * Noise composition + Gaussian shot noise (no explicit sampling).
+     * Fast: used by the long 2000-iteration parameter sweeps.
+     */
+    Analytic,
+    /**
+     * Full pipeline: per measurement-group sampling with readout errors
+     * and optional tensored measurement mitigation.
+     */
+    Sampling,
+};
+
+/** Estimator configuration. */
+struct EstimatorConfig
+{
+    EstimatorMode mode = EstimatorMode::Analytic;
+    /** Shots per measurement group. */
+    std::size_t shots = 4096;
+    /** Apply tensored measurement-error mitigation (Sampling mode). */
+    bool mitigateMeasurement = true;
+};
+
+/** Produces machine-style energy estimates for one VQE problem. */
+class EnergyEstimator
+{
+  public:
+    /**
+     * @param hamiltonian Observable (width must match the ansatz).
+     * @param ansatz_circuit Parameterized ansatz circuit.
+     * @param noise Static machine noise (ignored in Ideal mode).
+     * @param config Estimation mode and shot budget.
+     */
+    EnergyEstimator(PauliSum hamiltonian, Circuit ansatz_circuit,
+                    std::optional<StaticNoiseModel> noise,
+                    EstimatorConfig config);
+
+    /** Exact noise-free <H>(θ). */
+    double idealEnergy(const std::vector<double> &theta) const;
+
+    /**
+     * Machine-style estimate of <H>(θ) under transient intensity tau.
+     * Each call models one execution of the iteration's circuits.
+     */
+    double estimate(const std::vector<double> &theta, double tau,
+                    Rng &rng) const;
+
+    /** Expectation in the maximally mixed state (identity coefficient). */
+    double mixedEnergy() const { return mixedEnergy_; }
+
+    /**
+     * State-dependent transient sensitivity κ(θ) = 2 x̄ where x̄ is the
+     * mean per-qubit excited-state population of the prepared state
+     * (paper Section 3.2(c)).
+     */
+    static double transientSensitivity(const Statevector &state);
+
+    /** Static survival factor of the ansatz circuit. */
+    double staticSurvival() const { return staticSurvival_; }
+
+    /** Number of measurement groups (circuits per energy evaluation). */
+    std::size_t numGroups() const { return groups_.size(); }
+
+    const PauliSum &hamiltonian() const { return hamiltonian_; }
+    const Circuit &ansatzCircuit() const { return ansatz_; }
+    const EstimatorConfig &config() const { return config_; }
+
+  private:
+    double effectiveSurvival(double tau, double sensitivity) const;
+    double estimateAnalytic(const std::vector<double> &theta, double tau,
+                            Rng &rng) const;
+    double estimateSampling(const std::vector<double> &theta, double tau,
+                            Rng &rng) const;
+
+    PauliSum hamiltonian_;
+    Circuit ansatz_;
+    std::optional<StaticNoiseModel> noise_;
+    EstimatorConfig config_;
+
+    std::vector<MeasurementGroup> groups_;
+    std::vector<Circuit> basisChanges_;
+    std::optional<ShotSampler> sampler_;
+    std::optional<MeasurementMitigator> mitigator_;
+    double mixedEnergy_ = 0.0;
+    double staticSurvival_ = 1.0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_VQE_ENERGY_ESTIMATOR_HPP

@@ -1,0 +1,58 @@
+#include "vqe/job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+JobExecutor::JobExecutor(const EnergyEstimator &estimator,
+                         TransientTrace trace, std::uint64_t seed,
+                         double intra_job_jitter, double relative_jitter,
+                         int mitigation_circuits)
+    : estimator_(estimator), trace_(std::move(trace)), rng_(seed),
+      intraJobJitter_(intra_job_jitter), relativeJitter_(relative_jitter),
+      mitigationCircuits_(mitigation_circuits)
+{
+    if (intra_job_jitter < 0.0 || relative_jitter < 0.0)
+        throw std::invalid_argument("JobExecutor: negative jitter");
+    if (mitigation_circuits < 0)
+        throw std::invalid_argument("JobExecutor: negative mitigation count");
+}
+
+double
+JobExecutor::peekNextIntensity() const
+{
+    return trace_.at(jobCount_);
+}
+
+JobResult
+JobExecutor::execute(const JobRequest &request)
+{
+    if (request.evaluations.empty())
+        throw std::invalid_argument("JobExecutor: empty job");
+
+    JobResult result;
+    result.jobIndex = jobCount_;
+    result.transientIntensity = trace_.at(jobCount_);
+
+    result.energies.reserve(request.evaluations.size());
+    for (const auto &theta : request.evaluations) {
+        // Every circuit in the job sees the job's transient instance
+        // plus a little intra-job drift.
+        const double tau = result.transientIntensity +
+            rng_.normal(0.0,
+                        intraJobJitter_ +
+                            relativeJitter_ *
+                                std::abs(result.transientIntensity));
+        result.energies.push_back(estimator_.estimate(theta, tau, rng_));
+    }
+
+    // Overhead accounting: each evaluation costs numGroups() circuits,
+    // plus any standing mitigation circuits.
+    circuitCount_ += request.evaluations.size() * estimator_.numGroups() +
+                     static_cast<std::size_t>(mitigationCircuits_);
+    ++jobCount_;
+    return result;
+}
+
+} // namespace qismet

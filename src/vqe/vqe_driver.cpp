@@ -1,0 +1,187 @@
+#include "vqe/vqe_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qismet {
+
+BlockingPolicy::BlockingPolicy(double tolerance) : tolerance_(tolerance)
+{
+    if (tolerance < 0.0)
+        throw std::invalid_argument("BlockingPolicy: negative tolerance");
+}
+
+bool
+BlockingPolicy::acceptMove(double e_iter_prev, double e_iter_new)
+{
+    return e_iter_new <= e_iter_prev + tolerance_;
+}
+
+std::vector<double>
+VqeRunResult::perJobEnergySeries() const
+{
+    std::vector<double> out;
+    out.reserve(history.size());
+    for (const auto &rec : history)
+        out.push_back(rec.eMeasured);
+    return out;
+}
+
+std::vector<double>
+VqeRunResult::acceptedEnergySeries() const
+{
+    std::vector<double> out;
+    for (const auto &rec : history)
+        if (rec.accepted)
+            out.push_back(rec.eMeasured);
+    return out;
+}
+
+VqeDriver::VqeDriver(const EnergyEstimator &estimator, JobExecutor &executor,
+                     StochasticOptimizer &optimizer, TuningPolicy &policy,
+                     VqeDriverConfig config)
+    : estimator_(estimator), executor_(executor), optimizer_(optimizer),
+      policy_(policy), config_(config)
+{
+    if (config_.totalJobs == 0)
+        throw std::invalid_argument("VqeDriver: zero job budget");
+    if (config_.finalWindow == 0)
+        throw std::invalid_argument("VqeDriver: zero final window");
+}
+
+VqeRunResult
+VqeDriver::run(const std::vector<double> &initial_theta)
+{
+    policy_.reset();
+    Rng opt_rng(config_.seed);
+
+    VqeRunResult result;
+
+    std::vector<double> theta = initial_theta;
+    int k = 0;          // optimizer iteration
+    int eval_index = 0; // global evaluation counter
+
+    // Previous evaluation's circuits & accepted energy (the QISMET
+    // reference). Absent until the first evaluation completes.
+    std::vector<double> prev_point;
+    double e_prev = 0.0;
+    bool have_prev = false;
+
+    double e_iter_prev = 0.0;
+    bool have_iter_prev = false;
+
+    // Evaluate one parameter point, retrying per the policy, charging
+    // the job budget. On success fills the optimizer-facing energy
+    // (possibly policy-corrected) and the raw measured energy. Returns
+    // false when the budget ran out before an accepted measurement.
+    auto evaluate_point = [&](const std::vector<double> &point,
+                              double &energy_out,
+                              double &measured_out) -> bool {
+        const bool with_reference =
+            policy_.wantsReferenceRerun() && have_prev;
+        int retry = 0;
+        while (result.jobsUsed < config_.totalJobs) {
+            JobRequest request;
+            request.evaluations.push_back(point);
+            if (with_reference)
+                request.evaluations.push_back(prev_point);
+
+            const JobResult job = executor_.execute(request);
+            ++result.jobsUsed;
+
+            EvalContext ctx;
+            ctx.evalIndex = eval_index;
+            ctx.retryIndex = retry;
+            ctx.ePrev = e_prev;
+            ctx.eCurr = job.energies[0];
+            ctx.hasReference = with_reference;
+            ctx.eReferenceRerun = with_reference ? job.energies[1] : 0.0;
+
+            const Decision decision =
+                have_prev ? policy_.judgeEvaluation(ctx)
+                          : Decision::Accept;
+
+            VqeJobRecord rec;
+            rec.jobIndex = job.jobIndex;
+            rec.evalIndex = eval_index;
+            rec.retryIndex = retry;
+            rec.transientIntensity = job.transientIntensity;
+            rec.eMeasured = ctx.eCurr;
+            rec.accepted = (decision == Decision::Accept);
+            result.history.push_back(rec);
+
+            if (decision == Decision::Accept) {
+                energy_out = policy_.energyForOptimizer(ctx);
+                measured_out = ctx.eCurr;
+                prev_point = point;
+                e_prev = ctx.eCurr;
+                have_prev = true;
+                ++eval_index;
+                return true;
+            }
+            ++retry;
+            ++result.retriesUsed;
+        }
+        return false;
+    };
+
+    while (result.jobsUsed < config_.totalJobs) {
+        const auto points = optimizer_.plan(theta, k, opt_rng);
+
+        std::vector<double> energies;
+        energies.reserve(points.size());
+        double measured_sum = 0.0;
+        bool complete = true;
+        for (const auto &p : points) {
+            double e = 0.0;
+            double m = 0.0;
+            if (!evaluate_point(p, e, m)) {
+                complete = false;
+                break;
+            }
+            energies.push_back(e);
+            measured_sum += m;
+        }
+        if (!complete)
+            break;
+
+        // Iteration energy: mean of this iteration's *measured*
+        // evaluations (for symmetric SPSA pairs this is a first-order
+        // estimate of E(θ)). The optimizer consumes the possibly
+        // policy-corrected `energies` instead.
+        const double e_iter =
+            measured_sum / static_cast<double>(energies.size());
+        result.iterationEnergies.push_back(policy_.transformEnergy(e_iter));
+
+        const std::vector<double> candidate =
+            optimizer_.propose(theta, k, energies);
+
+        if (!have_iter_prev || policy_.acceptMove(e_iter_prev, e_iter)) {
+            theta = candidate;
+            e_iter_prev = e_iter;
+            have_iter_prev = true;
+        } else {
+            ++result.rejections;
+            // Blocking: stay; the next iteration re-probes from theta.
+        }
+        ++k;
+    }
+
+    result.finalTheta = theta;
+    result.circuitsUsed = executor_.circuitsExecuted();
+
+    const auto &series = result.iterationEnergies;
+    const std::size_t window = std::min(config_.finalWindow, series.size());
+    if (window == 0) {
+        result.finalEstimate = 0.0;
+    } else {
+        double sum = 0.0;
+        for (std::size_t i = series.size() - window; i < series.size(); ++i)
+            sum += series[i];
+        result.finalEstimate = sum / static_cast<double>(window);
+    }
+    result.finalIdealEnergy = estimator_.idealEnergy(theta);
+    return result;
+}
+
+} // namespace qismet

@@ -1,0 +1,125 @@
+/** @file Tests for the EfficientSU2 / RealAmplitudes ansatz generators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ansatz/efficient_su2.hpp"
+#include "ansatz/real_amplitudes.hpp"
+#include "circuit/metrics.hpp"
+#include "common/rng.hpp"
+#include "hamiltonian/tfim.hpp"
+#include "pauli/expectation.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+namespace {
+
+class RepsTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RepsTest, ParamCountFormulas)
+{
+    const int reps = GetParam();
+    const int n = 6;
+    EXPECT_EQ(EfficientSU2(n, reps).numParams(), 2 * n * (reps + 1));
+    EXPECT_EQ(RealAmplitudes(n, reps).numParams(), n * (reps + 1));
+}
+
+TEST_P(RepsTest, CircuitGateCounts)
+{
+    const int reps = GetParam();
+    const int n = 6;
+
+    const Circuit su2 = EfficientSU2(n, reps).build();
+    const CircuitMetrics m1 = computeMetrics(su2);
+    EXPECT_EQ(m1.twoQubitGates, reps * (n - 1));
+    EXPECT_EQ(m1.oneQubitGates, 2 * n * (reps + 1));
+
+    const Circuit ra = RealAmplitudes(n, reps).build();
+    const CircuitMetrics m2 = computeMetrics(ra);
+    EXPECT_EQ(m2.twoQubitGates, reps * (n - 1));
+    EXPECT_EQ(m2.oneQubitGates, n * (reps + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Reps, RepsTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(Ansatz, Validation)
+{
+    EXPECT_THROW(EfficientSU2(1, 2), std::invalid_argument);
+    EXPECT_THROW(RealAmplitudes(4, 0), std::invalid_argument);
+}
+
+TEST(Ansatz, Names)
+{
+    EXPECT_EQ(EfficientSU2(4, 2).name(), "SU2");
+    EXPECT_EQ(RealAmplitudes(4, 2).name(), "RA");
+}
+
+TEST(Ansatz, EveryParameterUsedExactlyOnce)
+{
+    const EfficientSU2 a(4, 3);
+    const Circuit c = a.build();
+    std::vector<int> used(static_cast<std::size_t>(a.numParams()), 0);
+    for (const Gate &g : c.gates())
+        if (g.isParameterized())
+            ++used[static_cast<std::size_t>(g.paramIndex)];
+    for (int u : used)
+        EXPECT_EQ(u, 1);
+}
+
+TEST(Ansatz, RandomInitialPointInRange)
+{
+    Rng rng(3);
+    const RealAmplitudes a(5, 2);
+    const auto theta = a.randomInitialPoint(rng);
+    EXPECT_EQ(theta.size(), static_cast<std::size_t>(a.numParams()));
+    for (double t : theta) {
+        EXPECT_GE(t, -M_PI);
+        EXPECT_LT(t, M_PI);
+    }
+}
+
+TEST(Ansatz, RealAmplitudesProducesRealStates)
+{
+    Rng rng(5);
+    const RealAmplitudes a(4, 2);
+    Statevector st(4);
+    st.run(a.build(), a.randomInitialPoint(rng));
+    for (const auto &amp : st.amplitudes())
+        EXPECT_NEAR(amp.imag(), 0.0, 1e-12);
+}
+
+TEST(Ansatz, ZeroParamsPreparesGround)
+{
+    const RealAmplitudes a(3, 2);
+    Statevector st(3);
+    st.run(a.build(),
+           std::vector<double>(static_cast<std::size_t>(a.numParams()), 0.0));
+    EXPECT_NEAR(st.probability(0), 1.0, 1e-12);
+}
+
+TEST(Ansatz, ExpressiveEnoughForTfimGround)
+{
+    // Random search should find parameters well below the mixed-state
+    // energy — a cheap expressivity sanity check.
+    TfimParams params;
+    params.numQubits = 4;
+    const PauliSum h = tfimHamiltonian(params);
+    const double e0 = tfimExactGroundEnergy(params);
+
+    const RealAmplitudes a(4, 3);
+    const Circuit c = a.build();
+    Rng rng(7);
+    double best = 0.0;
+    for (int trial = 0; trial < 300; ++trial) {
+        Statevector st(4);
+        st.run(c, a.randomInitialPoint(rng));
+        best = std::min(best, expectation(st, h));
+    }
+    EXPECT_LT(best, 0.5 * e0); // at least half the ground energy
+}
+
+} // namespace
+} // namespace qismet

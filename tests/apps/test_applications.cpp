@@ -1,0 +1,76 @@
+/** @file Tests for the Table-1 application registry. */
+
+#include <gtest/gtest.h>
+
+#include "apps/applications.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Applications, TableOneContents)
+{
+    const struct
+    {
+        int index;
+        const char *ansatz;
+        int reps;
+        const char *machine;
+        int version;
+    } expected[] = {
+        {1, "SU2", 2, "toronto", 1},   {2, "RA", 4, "guadalupe", 1},
+        {3, "RA", 4, "guadalupe", 2},  {4, "SU2", 4, "toronto", 2},
+        {5, "RA", 8, "cairo", 1},      {6, "RA", 8, "casablanca", 1},
+    };
+    for (const auto &e : expected) {
+        const ApplicationSpec spec = applicationSpec(e.index);
+        EXPECT_EQ(spec.numQubits, 6);
+        EXPECT_EQ(spec.ansatzName, e.ansatz);
+        EXPECT_EQ(spec.reps, e.reps);
+        EXPECT_EQ(spec.machineName, e.machine);
+        EXPECT_EQ(spec.traceVersion, e.version);
+    }
+}
+
+TEST(Applications, IndexValidation)
+{
+    EXPECT_THROW(applicationSpec(0), std::invalid_argument);
+    EXPECT_THROW(applicationSpec(7), std::invalid_argument);
+}
+
+TEST(Applications, BuildWiresEverything)
+{
+    const Application app = application(2);
+    EXPECT_EQ(app.hamiltonian.numQubits(), 6);
+    EXPECT_EQ(app.ansatzCircuit.numQubits(), 6);
+    EXPECT_EQ(app.machine.name, "guadalupe");
+    EXPECT_LT(app.exactGroundEnergy, -7.0);
+    EXPECT_NO_THROW(app.makeRunner());
+}
+
+TEST(Applications, AllSixBuild)
+{
+    const auto apps = allApplications();
+    ASSERT_EQ(apps.size(), 6u);
+    for (const auto &app : apps) {
+        EXPECT_EQ(app.spec.numQubits, 6);
+        EXPECT_NEAR(app.exactGroundEnergy, apps[0].exactGroundEnergy,
+                    1e-10); // same TFIM problem everywhere
+    }
+}
+
+TEST(Applications, AnsatzFactory)
+{
+    EXPECT_EQ(makeAnsatz("SU2", 6, 2)->numParams(), 2 * 6 * 3);
+    EXPECT_EQ(makeAnsatz("RA", 6, 4)->numParams(), 6 * 5);
+    EXPECT_THROW(makeAnsatz("XYZ", 6, 2), std::invalid_argument);
+}
+
+TEST(Applications, DeeperAppsHaveDeeperCircuits)
+{
+    const Application shallow = application(1); // SU2 reps 2
+    const Application deep = application(6);    // RA reps 8
+    EXPECT_LT(shallow.ansatzCircuit.size(), deep.ansatzCircuit.size());
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,81 @@
+/** @file Tests for metrics and multi-scheme orchestration. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/experiment_runner.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(VqaFidelity, BasicValues)
+{
+    // mixed = 0, exact = -8: estimate -4 achieves half the swing.
+    EXPECT_DOUBLE_EQ(vqaFidelity(-4.0, 0.0, -8.0), 0.5);
+    EXPECT_DOUBLE_EQ(vqaFidelity(-8.0, 0.0, -8.0), 1.0);
+    // Estimates past the mixed value floor at the minimum fidelity.
+    EXPECT_DOUBLE_EQ(vqaFidelity(1.0, 0.0, -8.0), 0.02);
+}
+
+TEST(VqaFidelity, ZeroSwingThrows)
+{
+    EXPECT_THROW(vqaFidelity(0.0, -1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ImprovementFactor, RatioOfFidelities)
+{
+    // Baseline reaches -2 of -8, scheme reaches -4: factor 2.
+    EXPECT_DOUBLE_EQ(improvementFactor(-2.0, -4.0, 0.0, -8.0), 2.0);
+    EXPECT_DOUBLE_EQ(improvementFactor(-4.0, -2.0, 0.0, -8.0), 0.5);
+    EXPECT_DOUBLE_EQ(improvementFactor(-4.0, -4.0, 0.0, -8.0), 1.0);
+}
+
+TEST(RunComparison, AddsBaselineAndFillsMetrics)
+{
+    const Application app = application(1);
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 150;
+    cfg.seed = 3;
+    cfg.estimator.mode = EstimatorMode::Analytic;
+
+    const Comparison cmp =
+        runComparison(app, {Scheme::Qismet}, cfg);
+    ASSERT_EQ(cmp.outcomes.size(), 2u);
+    EXPECT_EQ(cmp.outcomes[0].scheme, "Baseline");
+    EXPECT_DOUBLE_EQ(cmp.outcomes[0].improvementFactor, 1.0);
+    EXPECT_DOUBLE_EQ(cmp.outcomes[0].improvementPercent, 0.0);
+    EXPECT_NO_THROW(cmp.outcome("QISMET"));
+    EXPECT_THROW(cmp.outcome("nope"), std::invalid_argument);
+}
+
+TEST(RunComparison, UsesApplicationTraceVersion)
+{
+    // App3 is the v2 Guadalupe trial; its trace differs from App2's even
+    // under identical config.
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 150;
+    cfg.seed = 3;
+
+    const auto c2 = runComparison(application(2), {}, cfg);
+    const auto c3 = runComparison(application(3), {}, cfg);
+    EXPECT_NE(c2.outcome("Baseline").result.run.finalEstimate,
+              c3.outcome("Baseline").result.run.finalEstimate);
+}
+
+TEST(MeanImprovements, AveragesAcrossComparisons)
+{
+    Comparison a, b;
+    a.outcomes.push_back({"X", {}, 2.0, 0.0});
+    b.outcomes.push_back({"X", {}, 4.0, 0.0});
+    a.outcomes.push_back({"Y", {}, 1.0, 0.0});
+
+    const auto means = meanImprovements({a, b});
+    ASSERT_EQ(means.size(), 2u);
+    EXPECT_EQ(means[0].first, "X");
+    EXPECT_DOUBLE_EQ(means[0].second, 3.0);
+    EXPECT_DOUBLE_EQ(means[1].second, 1.0);
+}
+
+} // namespace
+} // namespace qismet

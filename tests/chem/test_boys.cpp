@@ -1,0 +1,49 @@
+/** @file Tests for the Boys function. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/boys.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Boys, ValueAtZero)
+{
+    EXPECT_DOUBLE_EQ(boysF0(0.0), 1.0);
+}
+
+TEST(Boys, KnownValues)
+{
+    // F0(t) = (1/2) sqrt(pi/t) erf(sqrt(t)).
+    EXPECT_NEAR(boysF0(1.0), 0.7468241328, 1e-9);
+    EXPECT_NEAR(boysF0(0.5), 0.8556243919, 1e-9);
+    EXPECT_NEAR(boysF0(10.0),
+                0.5 * std::sqrt(M_PI / 10.0) * std::erf(std::sqrt(10.0)),
+                1e-12);
+}
+
+TEST(Boys, ContinuousAcrossSeriesSwitch)
+{
+    // The Taylor branch and the closed form must agree near the switch.
+    const double lo = boysF0(0.99e-8);
+    const double hi = boysF0(1.01e-8);
+    // The two points differ by ~dt/3 ≈ 7e-11 in exact arithmetic; the
+    // branches must agree at that scale.
+    EXPECT_NEAR(lo, hi, 1e-10);
+}
+
+TEST(Boys, MonotonicallyDecreasing)
+{
+    double prev = boysF0(0.0);
+    for (double t = 0.1; t < 30.0; t += 0.3) {
+        const double v = boysF0(t);
+        EXPECT_LT(v, prev);
+        EXPECT_GT(v, 0.0);
+        prev = v;
+    }
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,159 @@
+/** @file Tests for the Pauli algebra and Jordan-Wigner transform. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/jordan_wigner.hpp"
+#include "hamiltonian/exact_solver.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(MulPauliOp, FullMultiplicationTable)
+{
+    const Complex one(1, 0), i(0, 1);
+    struct Case
+    {
+        PauliOp a, b, expect_op;
+        Complex expect_phase;
+    };
+    const Case cases[] = {
+        {PauliOp::I, PauliOp::X, PauliOp::X, one},
+        {PauliOp::X, PauliOp::I, PauliOp::X, one},
+        {PauliOp::X, PauliOp::X, PauliOp::I, one},
+        {PauliOp::Y, PauliOp::Y, PauliOp::I, one},
+        {PauliOp::Z, PauliOp::Z, PauliOp::I, one},
+        {PauliOp::X, PauliOp::Y, PauliOp::Z, i},
+        {PauliOp::Y, PauliOp::X, PauliOp::Z, -i},
+        {PauliOp::Y, PauliOp::Z, PauliOp::X, i},
+        {PauliOp::Z, PauliOp::Y, PauliOp::X, -i},
+        {PauliOp::Z, PauliOp::X, PauliOp::Y, i},
+        {PauliOp::X, PauliOp::Z, PauliOp::Y, -i},
+    };
+    for (const auto &c : cases) {
+        const auto [phase, op] = mulPauliOp(c.a, c.b);
+        EXPECT_EQ(op, c.expect_op);
+        EXPECT_NEAR(std::abs(phase - c.expect_phase), 0.0, 1e-14);
+    }
+}
+
+TEST(MulPauliString, MatchesDenseProduct)
+{
+    const auto a = PauliString::fromLabel("XYZ");
+    const auto b = PauliString::fromLabel("ZZY");
+    const auto [phase, prod] = mulPauliString(a, b);
+    const Matrix dense = a.toMatrix() * b.toMatrix();
+    const Matrix reconstructed = prod.toMatrix() * phase;
+    EXPECT_NEAR(dense.maxAbsDiff(reconstructed), 0.0, 1e-12);
+}
+
+TEST(PauliPolynomial, SimplifyMerges)
+{
+    PauliPolynomial p(2);
+    p.add(Complex(1, 0), PauliString::fromLabel("XZ"));
+    p.add(Complex(2, 1), PauliString::fromLabel("XZ"));
+    p.add(Complex(0, 0), PauliString::fromLabel("YY"));
+    p.simplify();
+    ASSERT_EQ(p.terms().size(), 1u);
+    EXPECT_NEAR(std::abs(p.terms()[0].first - Complex(3, 1)), 0.0, 1e-14);
+}
+
+TEST(PauliPolynomial, ToRealSumRejectsComplex)
+{
+    PauliPolynomial p(1);
+    p.add(Complex(0, 1), PauliString::fromLabel("X"));
+    EXPECT_THROW(p.toRealSum(), std::runtime_error);
+}
+
+TEST(JordanWigner, AnnihilatorSquaresToZero)
+{
+    const auto a0 = jwAnnihilation(0, 3);
+    auto sq = a0 * a0;
+    sq.simplify();
+    EXPECT_TRUE(sq.terms().empty());
+}
+
+TEST(JordanWigner, CanonicalAnticommutators)
+{
+    // {a_p, a†_q} = δ_pq for all p, q on 3 modes.
+    for (int p = 0; p < 3; ++p) {
+        for (int q = 0; q < 3; ++q) {
+            const auto ap = jwAnnihilation(p, 3);
+            const auto aqd = jwCreation(q, 3);
+            auto anti = (ap * aqd) + (aqd * ap);
+            anti.simplify();
+            if (p == q) {
+                ASSERT_EQ(anti.terms().size(), 1u);
+                EXPECT_TRUE(anti.terms()[0].second.isIdentity());
+                EXPECT_NEAR(std::abs(anti.terms()[0].first - Complex(1, 0)),
+                            0.0, 1e-12);
+            } else {
+                EXPECT_TRUE(anti.terms().empty())
+                    << "p=" << p << " q=" << q;
+            }
+        }
+    }
+}
+
+TEST(JordanWigner, NumberOperatorForm)
+{
+    // a†_0 a_0 = (I - Z_0) / 2.
+    auto n0 = jwCreation(0, 2) * jwAnnihilation(0, 2);
+    n0.simplify();
+    const PauliSum sum = n0.toRealSum();
+    ASSERT_EQ(sum.numTerms(), 2u);
+    EXPECT_NEAR(sum.identityCoefficient(), 0.5, 1e-14);
+}
+
+TEST(JordanWigner, OneBodyHoppingSpectrum)
+{
+    // H = a†_0 a_1 + a†_1 a_0 has single-particle eigenvalues ±1, so the
+    // full Fock spectrum is {-1, 0, 0, 1}.
+    MolecularHamiltonian mol;
+    mol.oneBody = {{0.0, 1.0}, {1.0, 0.0}};
+    const PauliSum h = jordanWigner(mol);
+    const auto sol = solveExact(h);
+    EXPECT_NEAR(sol.spectrum[0], -1.0, 1e-10);
+    EXPECT_NEAR(sol.spectrum[1], 0.0, 1e-10);
+    EXPECT_NEAR(sol.spectrum[2], 0.0, 1e-10);
+    EXPECT_NEAR(sol.spectrum[3], 1.0, 1e-10);
+}
+
+TEST(JordanWigner, ConstantTermCarriesThrough)
+{
+    MolecularHamiltonian mol;
+    mol.constant = 2.5;
+    mol.oneBody = {{0.0}};
+    const PauliSum h = jordanWigner(mol);
+    EXPECT_NEAR(h.identityCoefficient(), 2.5, 1e-12);
+}
+
+TEST(JordanWigner, TwoBodyInteractionEnergy)
+{
+    // H = n_0 n_1 via <01|01> physicist integrals: the |11> state has
+    // energy 1, all other occupations 0.
+    MolecularHamiltonian mol;
+    mol.oneBody = {{0.0, 0.0}, {0.0, 0.0}};
+    mol.twoBody.assign(
+        2, std::vector<std::vector<std::vector<double>>>(
+               2, std::vector<std::vector<double>>(
+                      2, std::vector<double>(2, 0.0))));
+    // (1/2)[ <01|01> a†0 a†1 a1 a0 + <10|10> a†1 a†0 a0 a1 ] = n0 n1.
+    mol.twoBody[0][1][0][1] = 1.0;
+    mol.twoBody[1][0][1][0] = 1.0;
+
+    const PauliSum h = jordanWigner(mol);
+    const auto sol = solveExact(h);
+    EXPECT_NEAR(sol.spectrum[0], 0.0, 1e-10);
+    EXPECT_NEAR(sol.spectrum[3], 1.0, 1e-10);
+}
+
+TEST(JordanWigner, EmptyHamiltonianRejected)
+{
+    MolecularHamiltonian mol;
+    EXPECT_THROW(jordanWigner(mol), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qismet

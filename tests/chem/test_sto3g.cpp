@@ -1,0 +1,87 @@
+/** @file Tests for STO-3G Gaussian integrals. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/sto3g.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Sto3g, SelfOverlapIsOne)
+{
+    const auto g = sto3gHydrogen(0.0);
+    EXPECT_NEAR(overlapIntegral(g, g), 1.0, 1e-12);
+}
+
+TEST(Sto3g, OverlapSymmetricAndDecaying)
+{
+    const auto a = sto3gHydrogen(0.0);
+    const auto b = sto3gHydrogen(1.4);
+    const auto c = sto3gHydrogen(3.0);
+    EXPECT_NEAR(overlapIntegral(a, b), overlapIntegral(b, a), 1e-14);
+    EXPECT_GT(overlapIntegral(a, b), overlapIntegral(a, c));
+    EXPECT_GT(overlapIntegral(a, b), 0.0);
+    EXPECT_LT(overlapIntegral(a, b), 1.0);
+}
+
+TEST(Sto3g, SzaboOstlundReferenceValuesAtR14)
+{
+    // Szabo & Ostlund, Table 3.5-ish values for H2 at R = 1.4 bohr with
+    // zeta = 1.24 STO-3G (loose tolerances: different contraction
+    // roundings exist in the literature).
+    const auto a = sto3gHydrogen(0.0);
+    const auto b = sto3gHydrogen(1.4);
+    EXPECT_NEAR(overlapIntegral(a, b), 0.6593, 2e-3);
+    EXPECT_NEAR(kineticIntegral(a, a), 0.7600, 2e-3);
+    EXPECT_NEAR(kineticIntegral(a, b), 0.2365, 2e-3);
+    // Attraction of basis function 1 to its own nucleus.
+    EXPECT_NEAR(nuclearIntegral(a, a, 0.0, 1.0), -1.2266, 3e-3);
+    // (11|11) two-electron integral.
+    EXPECT_NEAR(eriIntegral(a, a, a, a), 0.7746, 2e-3);
+}
+
+TEST(Sto3g, KineticPositiveDiagonal)
+{
+    const auto g = sto3gHydrogen(0.5);
+    EXPECT_GT(kineticIntegral(g, g), 0.0);
+}
+
+TEST(Sto3g, NuclearAttractionNegative)
+{
+    const auto g = sto3gHydrogen(0.0);
+    EXPECT_LT(nuclearIntegral(g, g, 0.0, 1.0), 0.0);
+    // Farther nucleus binds less strongly.
+    EXPECT_LT(std::abs(nuclearIntegral(g, g, 5.0, 1.0)),
+              std::abs(nuclearIntegral(g, g, 0.0, 1.0)));
+}
+
+TEST(Sto3g, NuclearScalesWithCharge)
+{
+    const auto g = sto3gHydrogen(0.0);
+    EXPECT_NEAR(nuclearIntegral(g, g, 0.7, 2.0),
+                2.0 * nuclearIntegral(g, g, 0.7, 1.0), 1e-12);
+}
+
+TEST(Sto3g, EriPermutationSymmetry)
+{
+    const auto a = sto3gHydrogen(0.0);
+    const auto b = sto3gHydrogen(1.4);
+    const double abab = eriIntegral(a, b, a, b);
+    EXPECT_NEAR(abab, eriIntegral(b, a, a, b), 1e-12);
+    EXPECT_NEAR(abab, eriIntegral(a, b, b, a), 1e-12);
+    const double aabb = eriIntegral(a, a, b, b);
+    EXPECT_NEAR(aabb, eriIntegral(b, b, a, a), 1e-12);
+}
+
+TEST(Sto3g, EriPositive)
+{
+    const auto a = sto3gHydrogen(0.0);
+    const auto b = sto3gHydrogen(1.4);
+    EXPECT_GT(eriIntegral(a, a, b, b), 0.0);
+    EXPECT_GT(eriIntegral(a, b, a, b), 0.0);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,167 @@
+/** @file Tests for the gate set: arity, names, matrices, parameters. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/gate.hpp"
+
+namespace qismet {
+namespace {
+
+const GateType kAllGates[] = {
+    GateType::I,  GateType::H,   GateType::X,  GateType::Y,  GateType::Z,
+    GateType::S,  GateType::Sdg, GateType::T,  GateType::Tdg,
+    GateType::SX, GateType::RX,  GateType::RY, GateType::RZ,
+    GateType::CX, GateType::CZ,  GateType::SWAP};
+
+TEST(Gate, ArityMatchesKind)
+{
+    EXPECT_EQ(gateArity(GateType::H), 1);
+    EXPECT_EQ(gateArity(GateType::RZ), 1);
+    EXPECT_EQ(gateArity(GateType::CX), 2);
+    EXPECT_EQ(gateArity(GateType::CZ), 2);
+    EXPECT_EQ(gateArity(GateType::SWAP), 2);
+}
+
+TEST(Gate, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (GateType g : kAllGates)
+        names.insert(gateName(g));
+    EXPECT_EQ(names.size(), std::size(kAllGates));
+}
+
+TEST(Gate, IsRotation)
+{
+    EXPECT_TRUE(isRotation(GateType::RX));
+    EXPECT_TRUE(isRotation(GateType::RY));
+    EXPECT_TRUE(isRotation(GateType::RZ));
+    EXPECT_FALSE(isRotation(GateType::H));
+    EXPECT_FALSE(isRotation(GateType::CX));
+}
+
+class GateUnitaryTest : public ::testing::TestWithParam<GateType>
+{
+};
+
+TEST_P(GateUnitaryTest, MatrixIsUnitary)
+{
+    Gate g;
+    g.type = GetParam();
+    g.qubits = {0, 1};
+    g.angle = 0.731; // arbitrary non-trivial angle for rotations
+    const Matrix u = g.matrix();
+    EXPECT_EQ(u.rows(), gateArity(g.type) == 1 ? 2u : 4u);
+    EXPECT_TRUE(u.isUnitary(1e-12)) << gateName(g.type);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateUnitaryTest,
+                         ::testing::ValuesIn(kAllGates));
+
+TEST(Gate, RotationIdentityAtZeroAngle)
+{
+    for (GateType t : {GateType::RX, GateType::RY, GateType::RZ}) {
+        Gate g;
+        g.type = t;
+        g.angle = 0.0;
+        EXPECT_NEAR(g.matrix().maxAbsDiff(Matrix::identity(2)), 0.0, 1e-14);
+    }
+}
+
+TEST(Gate, RxPiEqualsXUpToPhase)
+{
+    Gate g;
+    g.type = GateType::RX;
+    g.angle = M_PI;
+    // RX(pi) = -i X.
+    Matrix x = Matrix::fromRows({{0, 1}, {1, 0}});
+    EXPECT_NEAR((g.matrix() * Complex(0, 1)).maxAbsDiff(x), 0.0, 1e-14);
+}
+
+TEST(Gate, SSquaredIsZ)
+{
+    Gate s;
+    s.type = GateType::S;
+    Matrix z = Matrix::fromRows({{1, 0}, {0, -1}});
+    EXPECT_NEAR((s.matrix() * s.matrix()).maxAbsDiff(z), 0.0, 1e-14);
+}
+
+TEST(Gate, SxSquaredIsX)
+{
+    Gate sx;
+    sx.type = GateType::SX;
+    Matrix x = Matrix::fromRows({{0, 1}, {1, 0}});
+    EXPECT_NEAR((sx.matrix() * sx.matrix()).maxAbsDiff(x), 0.0, 1e-13);
+}
+
+TEST(Gate, HadamardConjugatesXToZ)
+{
+    Gate h;
+    h.type = GateType::H;
+    Matrix x = Matrix::fromRows({{0, 1}, {1, 0}});
+    Matrix z = Matrix::fromRows({{1, 0}, {0, -1}});
+    EXPECT_NEAR((h.matrix() * x * h.matrix()).maxAbsDiff(z), 0.0, 1e-14);
+}
+
+TEST(Gate, ResolvedAngleBound)
+{
+    Gate g;
+    g.type = GateType::RY;
+    g.angle = 1.25;
+    EXPECT_DOUBLE_EQ(g.resolvedAngle({}), 1.25);
+}
+
+TEST(Gate, ResolvedAngleParameterized)
+{
+    Gate g;
+    g.type = GateType::RY;
+    g.paramIndex = 1;
+    g.paramScale = 2.0;
+    g.angle = 0.5;
+    EXPECT_DOUBLE_EQ(g.resolvedAngle({9.0, 3.0}), 6.5);
+}
+
+TEST(Gate, ResolvedAngleOutOfRangeThrows)
+{
+    Gate g;
+    g.type = GateType::RX;
+    g.paramIndex = 5;
+    EXPECT_THROW(g.resolvedAngle({1.0}), std::out_of_range);
+}
+
+TEST(Gate, CxMapsBasisCorrectly)
+{
+    Gate g;
+    g.type = GateType::CX;
+    const Matrix u = g.matrix();
+    // Local index: bit1 = control, bit0 = target. |10> -> |11>.
+    EXPECT_DOUBLE_EQ(u(3, 2).real(), 1.0);
+    EXPECT_DOUBLE_EQ(u(2, 3).real(), 1.0);
+    EXPECT_DOUBLE_EQ(u(0, 0).real(), 1.0);
+    EXPECT_DOUBLE_EQ(u(1, 1).real(), 1.0);
+}
+
+class RotationPeriodicityTest
+    : public ::testing::TestWithParam<std::tuple<GateType, double>>
+{
+};
+
+TEST_P(RotationPeriodicityTest, FourPiPeriodic)
+{
+    const auto [type, angle] = GetParam();
+    Gate a, b;
+    a.type = b.type = type;
+    a.angle = angle;
+    b.angle = angle + 4.0 * M_PI;
+    EXPECT_NEAR(a.matrix().maxAbsDiff(b.matrix()), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Angles, RotationPeriodicityTest,
+    ::testing::Combine(::testing::Values(GateType::RX, GateType::RY,
+                                         GateType::RZ),
+                       ::testing::Values(0.0, 0.7, -2.1, 3.14)));
+
+} // namespace
+} // namespace qismet

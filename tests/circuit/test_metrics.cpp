@@ -1,0 +1,92 @@
+/** @file Tests for circuit structural metrics. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/metrics.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Metrics, CountsGateKinds)
+{
+    Circuit c(3);
+    c.h(0).h(1).cx(0, 1).cx(1, 2).rz(2, 0.1);
+    const CircuitMetrics m = computeMetrics(c);
+    EXPECT_EQ(m.numQubits, 3);
+    EXPECT_EQ(m.totalGates, 5);
+    EXPECT_EQ(m.oneQubitGates, 3);
+    EXPECT_EQ(m.twoQubitGates, 2);
+}
+
+TEST(Metrics, DepthOfSerialChain)
+{
+    Circuit c(1);
+    c.h(0).x(0).z(0);
+    EXPECT_EQ(computeMetrics(c).depth, 3);
+}
+
+TEST(Metrics, DepthOfParallelGates)
+{
+    Circuit c(3);
+    c.h(0).h(1).h(2); // all parallel
+    EXPECT_EQ(computeMetrics(c).depth, 1);
+}
+
+TEST(Metrics, CxDepthChains)
+{
+    Circuit c(3);
+    c.cx(0, 1).cx(1, 2).cx(0, 1);
+    const CircuitMetrics m = computeMetrics(c);
+    EXPECT_EQ(m.cxDepth, 3);
+    EXPECT_EQ(m.twoQubitGates, 3);
+}
+
+TEST(Metrics, CxDepthIgnoresOneQubitGates)
+{
+    Circuit c(2);
+    c.h(0).h(0).h(0).cx(0, 1);
+    EXPECT_EQ(computeMetrics(c).cxDepth, 1);
+    EXPECT_EQ(computeMetrics(c).depth, 4);
+}
+
+TEST(Duration, SerialVsParallel)
+{
+    Circuit serial(1);
+    serial.h(0).h(0);
+    EXPECT_DOUBLE_EQ(estimateDurationNs(serial, 35.0, 300.0), 70.0);
+
+    Circuit parallel(2);
+    parallel.h(0).h(1);
+    EXPECT_DOUBLE_EQ(estimateDurationNs(parallel, 35.0, 300.0), 35.0);
+}
+
+TEST(Duration, TwoQubitGateDominates)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    // h at [0, 35), cx waits for qubit 0: starts at 35, ends 335.
+    EXPECT_DOUBLE_EQ(estimateDurationNs(c, 35.0, 300.0), 335.0);
+}
+
+TEST(Duration, IndependentChainsOverlap)
+{
+    Circuit c(4);
+    c.cx(0, 1).cx(2, 3); // disjoint: run in parallel
+    EXPECT_DOUBLE_EQ(estimateDurationNs(c, 35.0, 300.0), 300.0);
+}
+
+TEST(Metrics, DeeperAnsatzMeansMoreCx)
+{
+    // Sanity of the paper's Section 3.2 premise as encoded here.
+    Circuit shallow(4);
+    shallow.cx(0, 1).cx(1, 2).cx(2, 3);
+    Circuit deep(4);
+    for (int rep = 0; rep < 4; ++rep)
+        deep.cx(0, 1).cx(1, 2).cx(2, 3);
+    EXPECT_GT(computeMetrics(deep).twoQubitGates,
+              computeMetrics(shallow).twoQubitGates);
+    EXPECT_GT(estimateDurationNs(deep), estimateDurationNs(shallow));
+}
+
+} // namespace
+} // namespace qismet

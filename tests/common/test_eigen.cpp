@@ -1,0 +1,168 @@
+/** @file Tests for the Jacobi eigensolver (real symmetric + Hermitian). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/eigen.hpp"
+#include "common/rng.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(EigRealSymmetric, DiagonalMatrix)
+{
+    const auto res = eigRealSymmetric({{3, 0, 0}, {0, 1, 0}, {0, 0, 2}});
+    ASSERT_EQ(res.values.size(), 3u);
+    EXPECT_NEAR(res.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(res.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(res.values[2], 3.0, 1e-12);
+}
+
+TEST(EigRealSymmetric, Known2x2)
+{
+    // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+    const auto res = eigRealSymmetric({{2, 1}, {1, 2}});
+    EXPECT_NEAR(res.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(res.values[1], 3.0, 1e-10);
+}
+
+TEST(EigRealSymmetric, RejectsNonSquare)
+{
+    EXPECT_THROW(eigRealSymmetric({{1, 2, 3}, {4, 5, 6}}),
+                 std::invalid_argument);
+}
+
+class EigRandomSymmetricTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigRandomSymmetricTest, ResidualAndOrthogonality)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 31 + 1);
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    for (int r = 0; r < n; ++r)
+        for (int c = r; c < n; ++c)
+            a[r][c] = a[c][r] = rng.normal();
+
+    const auto res = eigRealSymmetric(a);
+
+    // Eigenvalues sorted.
+    for (int i = 0; i + 1 < n; ++i)
+        EXPECT_LE(res.values[i], res.values[i + 1]);
+
+    // A v = lambda v for each column.
+    for (int k = 0; k < n; ++k) {
+        for (int r = 0; r < n; ++r) {
+            double av = 0.0;
+            for (int c = 0; c < n; ++c)
+                av += a[r][c] * res.vectors(c, k).real();
+            EXPECT_NEAR(av, res.values[k] * res.vectors(r, k).real(), 1e-8);
+        }
+    }
+
+    // Columns orthonormal.
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            double dot = 0.0;
+            for (int r = 0; r < n; ++r)
+                dot += res.vectors(r, i).real() * res.vectors(r, j).real();
+            EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+        }
+
+    // Trace = sum of eigenvalues.
+    double tr = 0.0, sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        tr += a[i][i];
+        sum += res.values[i];
+    }
+    EXPECT_NEAR(tr, sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigRandomSymmetricTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+TEST(EigHermitian, PauliY)
+{
+    Matrix y = Matrix::fromRows(
+        {{Complex(0, 0), Complex(0, -1)}, {Complex(0, 1), Complex(0, 0)}});
+    const auto res = eigHermitian(y);
+    EXPECT_NEAR(res.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+}
+
+TEST(EigHermitian, RejectsNonHermitian)
+{
+    Matrix m = Matrix::fromRows({{0, 1}, {0, 0}});
+    EXPECT_THROW(eigHermitian(m), std::invalid_argument);
+}
+
+class EigHermitianRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigHermitianRandomTest, Residual)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 101 + 3);
+    Matrix h(n, n);
+    for (int r = 0; r < n; ++r) {
+        h(r, r) = Complex(rng.normal(), 0.0);
+        for (int c = r + 1; c < n; ++c) {
+            h(r, c) = Complex(rng.normal(), rng.normal());
+            h(c, r) = std::conj(h(r, c));
+        }
+    }
+
+    const auto res = eigHermitian(h);
+    ASSERT_EQ(res.values.size(), static_cast<std::size_t>(n));
+
+    for (int k = 0; k < n; ++k) {
+        // ||H v - lambda v|| small and v normalized.
+        double vnorm = 0.0;
+        for (int r = 0; r < n; ++r)
+            vnorm += std::norm(res.vectors(r, k));
+        EXPECT_NEAR(vnorm, 1.0, 1e-9);
+
+        for (int r = 0; r < n; ++r) {
+            Complex hv(0, 0);
+            for (int c = 0; c < n; ++c)
+                hv += h(r, c) * res.vectors(c, k);
+            EXPECT_NEAR(std::abs(hv - res.values[k] * res.vectors(r, k)),
+                        0.0, 1e-7);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigHermitianRandomTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(GroundState, MinimalEigenpair)
+{
+    Matrix h = Matrix::fromRows({{Complex(2, 0), Complex(0, -1)},
+                                 {Complex(0, 1), Complex(2, 0)}});
+    // Eigenvalues 1 and 3.
+    EXPECT_NEAR(groundStateEnergy(h), 1.0, 1e-10);
+    const auto v = groundStateVector(h);
+    Complex hv0 = h(0, 0) * v[0] + h(0, 1) * v[1];
+    EXPECT_NEAR(std::abs(hv0 - v[0]), 0.0, 1e-9);
+}
+
+TEST(EigHermitian, DegenerateSpectrum)
+{
+    // 2*I has a fully degenerate spectrum; vectors must stay orthonormal.
+    Matrix h = Matrix::identity(4) * Complex(2.0, 0.0);
+    const auto res = eigHermitian(h);
+    for (double v : res.values)
+        EXPECT_NEAR(v, 2.0, 1e-10);
+    for (int i = 0; i < 4; ++i) {
+        double norm = 0.0;
+        for (int r = 0; r < 4; ++r)
+            norm += std::norm(res.vectors(r, i));
+        EXPECT_NEAR(norm, 1.0, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,194 @@
+/** @file Tests for the dense complex matrix type and linear solver. */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace qismet {
+namespace {
+
+Matrix
+randomMatrix(std::size_t n, Rng &rng)
+{
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = Complex(rng.normal(), rng.normal());
+    return m;
+}
+
+TEST(Matrix, IdentityProperties)
+{
+    const Matrix id = Matrix::identity(4);
+    EXPECT_TRUE(id.isHermitian());
+    EXPECT_TRUE(id.isUnitary());
+    EXPECT_DOUBLE_EQ(id.trace().real(), 4.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged)
+{
+    EXPECT_THROW(Matrix::fromRows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionSubtraction)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0).real(), 6.0);
+    EXPECT_DOUBLE_EQ(sum(1, 1).real(), 12.0);
+    const Matrix diff = sum - b;
+    EXPECT_NEAR(diff.maxAbsDiff(a), 0.0, 1e-14);
+}
+
+TEST(Matrix, MultiplyAgainstKnown)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{0, 1}, {1, 0}});
+    const Matrix p = a * b;
+    EXPECT_DOUBLE_EQ(p(0, 0).real(), 2.0);
+    EXPECT_DOUBLE_EQ(p(0, 1).real(), 1.0);
+    EXPECT_DOUBLE_EQ(p(1, 0).real(), 4.0);
+    EXPECT_DOUBLE_EQ(p(1, 1).real(), 3.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows)
+{
+    Matrix a(2, 3), b(2, 2);
+    EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, AdjointInvolution)
+{
+    Rng rng(3);
+    const Matrix m = randomMatrix(5, rng);
+    EXPECT_NEAR(m.adjoint().adjoint().maxAbsDiff(m), 0.0, 1e-14);
+}
+
+TEST(Matrix, AdjointOfProduct)
+{
+    Rng rng(5);
+    const Matrix a = randomMatrix(4, rng);
+    const Matrix b = randomMatrix(4, rng);
+    // (AB)† = B†A†
+    EXPECT_NEAR((a * b).adjoint().maxAbsDiff(b.adjoint() * a.adjoint()),
+                0.0, 1e-12);
+}
+
+TEST(Matrix, KronDimensionsAndValues)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::identity(2);
+    const Matrix k = a.kron(b);
+    EXPECT_EQ(k.rows(), 4u);
+    EXPECT_EQ(k.cols(), 4u);
+    EXPECT_DOUBLE_EQ(k(0, 0).real(), 1.0);
+    EXPECT_DOUBLE_EQ(k(1, 1).real(), 1.0);
+    EXPECT_DOUBLE_EQ(k(2, 2).real(), 4.0);
+    EXPECT_DOUBLE_EQ(k(0, 2).real(), 2.0);
+    EXPECT_DOUBLE_EQ(k(0, 1).real(), 0.0);
+}
+
+TEST(Matrix, KronMixedProduct)
+{
+    // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+    Rng rng(7);
+    const Matrix a = randomMatrix(2, rng);
+    const Matrix b = randomMatrix(2, rng);
+    const Matrix c = randomMatrix(2, rng);
+    const Matrix d = randomMatrix(2, rng);
+    EXPECT_NEAR((a.kron(b) * c.kron(d)).maxAbsDiff((a * c).kron(b * d)),
+                0.0, 1e-10);
+}
+
+TEST(Matrix, TraceRequiresSquare)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW(m.trace(), std::invalid_argument);
+}
+
+TEST(Matrix, TraceCyclic)
+{
+    Rng rng(11);
+    const Matrix a = randomMatrix(4, rng);
+    const Matrix b = randomMatrix(4, rng);
+    const Complex t1 = (a * b).trace();
+    const Complex t2 = (b * a).trace();
+    EXPECT_NEAR(std::abs(t1 - t2), 0.0, 1e-10);
+}
+
+TEST(Matrix, FrobeniusNorm)
+{
+    Matrix m = Matrix::fromRows({{3, 0}, {0, 4}});
+    EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, HermitianDetection)
+{
+    Matrix h = Matrix::fromRows(
+        {{Complex(1, 0), Complex(2, 1)}, {Complex(2, -1), Complex(3, 0)}});
+    EXPECT_TRUE(h.isHermitian());
+    h(0, 1) = Complex(2, 2);
+    EXPECT_FALSE(h.isHermitian());
+}
+
+TEST(Matrix, ApplyMatchesMultiplication)
+{
+    Rng rng(13);
+    const Matrix m = randomMatrix(6, rng);
+    std::vector<Complex> v(6);
+    for (auto &x : v)
+        x = Complex(rng.normal(), rng.normal());
+    const auto out = m.apply(v);
+    for (std::size_t r = 0; r < 6; ++r) {
+        Complex expect(0, 0);
+        for (std::size_t c = 0; c < 6; ++c)
+            expect += m(r, c) * v[c];
+        EXPECT_NEAR(std::abs(out[r] - expect), 0.0, 1e-12);
+    }
+}
+
+TEST(SolveLinear, KnownSystem)
+{
+    // x + y = 3, x - y = 1 -> x = 2, y = 1
+    const auto x = solveLinear({{1, 1}, {1, -1}}, {3, 1});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomRoundTrip)
+{
+    Rng rng(17);
+    const std::size_t n = 8;
+    std::vector<std::vector<double>> a(n, std::vector<double>(n));
+    std::vector<double> x_true(n);
+    for (auto &row : a)
+        for (auto &v : row)
+            v = rng.normal();
+    for (auto &v : x_true)
+        v = rng.normal();
+    std::vector<double> b(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b[r] += a[r][c] * x_true[c];
+    const auto x = solveLinear(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(SolveLinear, SingularThrows)
+{
+    EXPECT_THROW(solveLinear({{1, 2}, {2, 4}}, {1, 1}), std::runtime_error);
+}
+
+TEST(SolveLinear, NeedsPivoting)
+{
+    // Zero on the initial pivot position requires row exchange.
+    const auto x = solveLinear({{0, 1}, {1, 0}}, {5, 7});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,227 @@
+/** @file Unit and statistical tests for the RNG substrate. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed)
+{
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, ZeroSeedIsWellMixed)
+{
+    Xoshiro256 g(0);
+    // SplitMix64 expansion means even seed 0 gives nonzero output.
+    EXPECT_NE(g(), 0u);
+    EXPECT_NE(g(), g());
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream)
+{
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    b.jump();
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(a());
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (seen.count(b()))
+            ++collisions;
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage)
+{
+    Rng rng(17);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(23);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.normal(3.0, 0.5));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.exponential(2.0));
+    EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+    EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonMeanTest, MeanMatches)
+{
+    const double mean = GetParam();
+    Rng rng(31);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.poisson(mean)));
+    EXPECT_NEAR(stats.mean(), mean, 0.05 * std::max(1.0, mean));
+    // Poisson: variance == mean.
+    EXPECT_NEAR(stats.variance(), mean, 0.10 * std::max(1.0, mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.05, 0.5, 2.0, 10.0, 80.0));
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(37);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(41);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.discrete({0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(rng.discrete({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(Rng, SignIsBalanced)
+{
+    Rng rng(43);
+    int sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.sign();
+    EXPECT_NEAR(sum / static_cast<double>(n), 0.0, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStreams)
+{
+    Rng parent(47);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    // Children must differ from each other.
+    std::vector<double> a, b;
+    for (int i = 0; i < 1000; ++i) {
+        a.push_back(child1.uniform());
+        b.push_back(child2.uniform());
+    }
+    EXPECT_LT(std::abs(pearson(a, b)), 0.1);
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,89 @@
+/** @file Tests for table / sparkline rendering and CSV output. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv_writer.hpp"
+#include "common/table_printer.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter t("Caption");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1.0"});
+    t.addRow("beta", {2.5}, 1);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Caption"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWidthMismatch)
+{
+    TablePrinter t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Sparkline, EmptyAndConstant)
+{
+    EXPECT_EQ(sparkline({}), "");
+    const std::string s = sparkline({1.0, 1.0, 1.0});
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(Sparkline, DownsamplesToWidth)
+{
+    std::vector<double> xs(1000);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = static_cast<double>(i);
+    const std::string s = sparkline(xs, 20);
+    // Each sparkline glyph is a 3-byte UTF-8 sequence.
+    EXPECT_EQ(s.size(), 20u * 3u);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-1.0, 0), "-1");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    const std::string path = "/tmp/qismet_test_csv.csv";
+    {
+        CsvWriter w(path, {"a", "b"});
+        w.writeRow(std::vector<double>{1.5, 2.5});
+        w.writeRow(std::vector<std::string>{"x", "y"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.5");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch)
+{
+    const std::string path = "/tmp/qismet_test_csv2.csv";
+    CsvWriter w(path, {"a", "b"});
+    EXPECT_THROW(w.writeRow(std::vector<double>{1.0}),
+                 std::invalid_argument);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,118 @@
+/** @file Tests for the online-adaptive (dynamic) threshold extension. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/applications.hpp"
+#include "core/controller.hpp"
+
+namespace qismet {
+namespace {
+
+QismetControllerConfig
+adaptiveConfig()
+{
+    QismetControllerConfig cfg;
+    cfg.relativeThreshold = 0.05;
+    cfg.noiseFloor = 0.0;
+    cfg.mixedEnergy = 0.0;
+    cfg.retryBudget = 5;
+    cfg.adaptiveThreshold = true;
+    cfg.adaptiveSkipTarget = 0.10;
+    cfg.adaptiveWindow = 50;
+    return cfg;
+}
+
+EvalContext
+ctxWithTransient(double e_prev, double transient, double g_m)
+{
+    EvalContext ctx;
+    ctx.ePrev = e_prev;
+    ctx.eReferenceRerun = e_prev + transient;
+    ctx.eCurr = e_prev + g_m;
+    ctx.hasReference = true;
+    return ctx;
+}
+
+TEST(DynamicThreshold, Validation)
+{
+    QismetControllerConfig cfg = adaptiveConfig();
+    cfg.adaptiveSkipTarget = 0.0;
+    EXPECT_THROW(GradientFaithfulController{cfg}, std::invalid_argument);
+    cfg = adaptiveConfig();
+    cfg.adaptiveWindow = 5;
+    EXPECT_THROW(GradientFaithfulController{cfg}, std::invalid_argument);
+}
+
+TEST(DynamicThreshold, AdaptsToObservedMagnitudes)
+{
+    GradientFaithfulController ctrl(adaptiveConfig());
+    Rng rng(3);
+
+    // Feed 200 judgments whose relative transient magnitude is ~N(0,
+    // 0.2 * swing): the 90th percentile of |T|/swing is ~0.33.
+    for (int i = 0; i < 200; ++i) {
+        const double swing = 2.0;
+        const double transient = rng.normal(0.0, 0.2) * swing;
+        ctrl.judgeEvaluation(
+            ctxWithTransient(-swing, transient, rng.normal(0.0, 0.1)));
+    }
+    EXPECT_NEAR(ctrl.activeRelativeThreshold(), 0.33, 0.08);
+}
+
+TEST(DynamicThreshold, StaticControllerNeverAdapts)
+{
+    QismetControllerConfig cfg = adaptiveConfig();
+    cfg.adaptiveThreshold = false;
+    GradientFaithfulController ctrl(cfg);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        ctrl.judgeEvaluation(
+            ctxWithTransient(-2.0, rng.normal(0.0, 0.5), 0.1));
+    EXPECT_DOUBLE_EQ(ctrl.activeRelativeThreshold(), 0.05);
+}
+
+TEST(DynamicThreshold, ResetRestoresInitialThreshold)
+{
+    GradientFaithfulController ctrl(adaptiveConfig());
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i)
+        ctrl.judgeEvaluation(
+            ctxWithTransient(-2.0, rng.normal(0.0, 1.0), 0.1));
+    EXPECT_NE(ctrl.activeRelativeThreshold(), 0.05);
+    ctrl.reset();
+    EXPECT_DOUBLE_EQ(ctrl.activeRelativeThreshold(), 0.05);
+}
+
+TEST(DynamicThreshold, SchemeRunsEndToEnd)
+{
+    const QismetVqe runner = application(2).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 600;
+    cfg.seed = 9;
+    cfg.scheme = Scheme::QismetDynamic;
+    const auto res = runner.run(cfg);
+    EXPECT_EQ(res.scheme, "QISMET-dynamic");
+    EXPECT_EQ(res.run.jobsUsed, 600u);
+    EXPECT_LT(res.run.finalEstimate, 0.0);
+}
+
+TEST(DynamicThreshold, TracksRegimeChange)
+{
+    // After a regime change (much larger transients), the adaptive
+    // threshold grows to keep the skip rate near target.
+    GradientFaithfulController ctrl(adaptiveConfig());
+    Rng rng(11);
+    for (int i = 0; i < 120; ++i)
+        ctrl.judgeEvaluation(
+            ctxWithTransient(-2.0, rng.normal(0.0, 0.1), 0.05));
+    const double before = ctrl.activeRelativeThreshold();
+    for (int i = 0; i < 300; ++i)
+        ctrl.judgeEvaluation(
+            ctxWithTransient(-2.0, rng.normal(0.0, 1.0), 0.05));
+    EXPECT_GT(ctrl.activeRelativeThreshold(), 2.0 * before);
+}
+
+} // namespace
+} // namespace qismet

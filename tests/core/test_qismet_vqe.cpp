@@ -1,0 +1,152 @@
+/** @file Tests for the integrated experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/applications.hpp"
+#include "core/qismet_vqe.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(SchemeName, MatchesPaperLegends)
+{
+    EXPECT_EQ(schemeName(Scheme::Baseline), "Baseline");
+    EXPECT_EQ(schemeName(Scheme::Qismet), "QISMET");
+    EXPECT_EQ(schemeName(Scheme::QismetConservative),
+              "QISMET-conservative");
+    EXPECT_EQ(schemeName(Scheme::SecondOrder), "2nd-order");
+    EXPECT_EQ(schemeName(Scheme::OnlyTransients), "Only-transients");
+}
+
+TEST(QismetVqe, ConstructionValidation)
+{
+    const Application app = application(1);
+    PauliSum wrong(4);
+    wrong.add(1.0, "ZZZZ");
+    EXPECT_THROW(QismetVqe(wrong, app.ansatzCircuit, app.machine, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(QismetVqe, EnergyScalePositive)
+{
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    EXPECT_GT(runner.energyScale(), 0.0);
+    EXPECT_LT(runner.energyScale(), std::abs(app.exactGroundEnergy));
+}
+
+TEST(QismetVqe, CalibratedThresholdOrdering)
+{
+    const QismetVqe runner = application(2).makeRunner();
+    const double conservative =
+        runner.calibratedThreshold(SkipTargets::kConservative, 1);
+    const double standard =
+        runner.calibratedThreshold(SkipTargets::kDefault, 1);
+    const double aggressive =
+        runner.calibratedThreshold(SkipTargets::kAggressive, 1);
+    EXPECT_GT(conservative, standard);
+    EXPECT_GT(standard, aggressive);
+    EXPECT_GT(aggressive, 0.0);
+}
+
+TEST(QismetVqe, DeterministicRuns)
+{
+    const QismetVqe runner = application(1).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 120;
+    cfg.seed = 5;
+    cfg.scheme = Scheme::Qismet;
+    const auto a = runner.run(cfg);
+    const auto b = runner.run(cfg);
+    EXPECT_DOUBLE_EQ(a.run.finalEstimate, b.run.finalEstimate);
+    EXPECT_EQ(a.run.retriesUsed, b.run.retriesUsed);
+}
+
+TEST(QismetVqe, NoiseFreeHasNoTransients)
+{
+    const QismetVqe runner = application(1).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 150;
+    cfg.scheme = Scheme::NoiseFree;
+    const auto res = runner.run(cfg);
+    for (const auto &rec : res.run.history)
+        EXPECT_DOUBLE_EQ(rec.transientIntensity, 0.0);
+}
+
+TEST(QismetVqe, QismetSkipsAreBudgeted)
+{
+    const QismetVqe runner = application(2).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 800;
+    cfg.seed = 3;
+    cfg.scheme = Scheme::Qismet;
+    cfg.retryBudget = 2;
+    const auto res = runner.run(cfg);
+    // No evaluation may be retried more than the budget.
+    for (const auto &rec : res.run.history)
+        EXPECT_LE(rec.retryIndex, 2);
+}
+
+TEST(QismetVqe, SkipFractionNearTarget)
+{
+    const QismetVqe runner = application(2).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 1500;
+    cfg.seed = 7;
+    cfg.scheme = Scheme::Qismet;
+    const auto res = runner.run(cfg);
+    // "skip at most ~10% of the iterations": allow headroom for retry
+    // amplification but demand the controller is in the right regime.
+    EXPECT_GT(res.skipFraction, 0.005);
+    EXPECT_LT(res.skipFraction, 0.20);
+}
+
+TEST(QismetVqe, TransientScaleZeroMatchesStaticOnly)
+{
+    const QismetVqe runner = application(1).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 200;
+    cfg.scheme = Scheme::Baseline;
+    cfg.transientScale = 0.0;
+    const auto res = runner.run(cfg);
+    for (const auto &rec : res.run.history)
+        EXPECT_DOUBLE_EQ(rec.transientIntensity, 0.0);
+}
+
+TEST(QismetVqe, OverheadAccountingReflectsReferenceCircuits)
+{
+    const QismetVqe runner = application(1).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 200;
+    cfg.seed = 11;
+
+    cfg.scheme = Scheme::Baseline;
+    const auto base = runner.run(cfg);
+    cfg.scheme = Scheme::Qismet;
+    const auto qismet = runner.run(cfg);
+
+    // Section 8.3: QISMET executes the reference rerun per job, so its
+    // circuit count approaches 2x the baseline's at equal job budget.
+    EXPECT_GT(qismet.run.circuitsUsed,
+              static_cast<std::size_t>(1.8 *
+                                       static_cast<double>(
+                                           base.run.circuitsUsed)));
+}
+
+TEST(QismetVqe, ResamplingCostsMoreCircuitsPerIteration)
+{
+    const QismetVqe runner = application(1).makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 200;
+    cfg.scheme = Scheme::Resampling;
+    const auto res = runner.run(cfg);
+    // 4 evaluations per iteration instead of 2 at the same job budget:
+    // half the optimizer iterations.
+    EXPECT_NEAR(static_cast<double>(res.run.iterationEnergies.size()),
+                200.0 / 4.0, 1.0);
+}
+
+} // namespace
+} // namespace qismet

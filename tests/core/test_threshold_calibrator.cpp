@@ -1,0 +1,123 @@
+/** @file Tests for skip-rate threshold calibration. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/threshold_calibrator.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(ThresholdCalibrator, Validation)
+{
+    EXPECT_THROW(ThresholdCalibrator(0.0), std::invalid_argument);
+    EXPECT_THROW(ThresholdCalibrator(1.0), std::invalid_argument);
+    EXPECT_THROW(ThresholdCalibrator(-0.1), std::invalid_argument);
+}
+
+TEST(ThresholdCalibrator, FromSamplesQuantile)
+{
+    // 100 samples 0.01..1.00: the 10% skip target picks ~the 90th
+    // percentile.
+    std::vector<double> mags;
+    for (int i = 1; i <= 100; ++i)
+        mags.push_back(0.01 * i);
+    const double thr = ThresholdCalibrator(0.10).fromSamples(mags);
+    EXPECT_NEAR(thr, 0.90, 0.02);
+
+    const double thr25 = ThresholdCalibrator(0.25).fromSamples(mags);
+    EXPECT_LT(thr25, thr);
+}
+
+TEST(ThresholdCalibrator, FromSamplesUsesMagnitudes)
+{
+    const double thr =
+        ThresholdCalibrator(0.5).fromSamples({-1.0, -1.0, 1.0, 1.0});
+    EXPECT_NEAR(thr, 1.0, 1e-12);
+}
+
+TEST(ThresholdCalibrator, FromSamplesRejectsEmpty)
+{
+    EXPECT_THROW(ThresholdCalibrator(0.1).fromSamples({}),
+                 std::invalid_argument);
+}
+
+TEST(ThresholdCalibrator, FromTraceScalesByEnergy)
+{
+    TransientTrace trace({0.1, 0.2, 0.3, 0.4, 0.5});
+    const double thr1 = ThresholdCalibrator(0.2).fromTrace(trace, 1.0);
+    const double thr2 = ThresholdCalibrator(0.2).fromTrace(trace, 3.0);
+    EXPECT_NEAR(thr2, 3.0 * thr1, 1e-12);
+}
+
+TEST(ThresholdCalibrator, FromTraceValidation)
+{
+    EXPECT_THROW(ThresholdCalibrator(0.1).fromTrace(TransientTrace{}, 1.0),
+                 std::invalid_argument);
+    TransientTrace t({0.1});
+    EXPECT_THROW(ThresholdCalibrator(0.1).fromTrace(t, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(ThresholdCalibrator, FromTraceDifferencesAchievesTarget)
+{
+    // Synthetic trace with known difference distribution: the
+    // calibrated threshold should be exceeded by ~the target fraction
+    // of differences.
+    Rng rng(5);
+    std::vector<double> vals;
+    double v = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        v = rng.bernoulli(0.1) ? rng.uniform(0.0, 1.0) : 0.0;
+        vals.push_back(v);
+    }
+    TransientTrace trace(vals);
+    const double target = 0.10;
+    const double thr = ThresholdCalibrator(target)
+                           .fromTraceDifferences(trace, 1.0, 0.0);
+
+    int exceed = 0;
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i)
+        if (std::abs(vals[i + 1] - vals[i]) > thr)
+            ++exceed;
+    EXPECT_NEAR(exceed / static_cast<double>(vals.size() - 1), target,
+                0.02);
+}
+
+TEST(ThresholdCalibrator, NoiseRaisesDifferenceThreshold)
+{
+    TransientTrace trace(std::vector<double>(2000, 0.0));
+    const double quiet = ThresholdCalibrator(0.1).fromTraceDifferences(
+        trace, 1.0, 0.0);
+    const double noisy = ThresholdCalibrator(0.1).fromTraceDifferences(
+        trace, 1.0, 0.2);
+    EXPECT_DOUBLE_EQ(quiet, 0.0);
+    EXPECT_GT(noisy, 0.1);
+}
+
+TEST(ThresholdCalibrator, FromTraceDifferencesValidation)
+{
+    TransientTrace t({0.1});
+    EXPECT_THROW(
+        ThresholdCalibrator(0.1).fromTraceDifferences(t, 1.0, 0.0),
+        std::invalid_argument);
+    TransientTrace ok({0.1, 0.2});
+    EXPECT_THROW(
+        ThresholdCalibrator(0.1).fromTraceDifferences(ok, -1.0, 0.0),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ThresholdCalibrator(0.1).fromTraceDifferences(ok, 1.0, -0.1),
+        std::invalid_argument);
+}
+
+TEST(SkipTargets, PaperValues)
+{
+    EXPECT_DOUBLE_EQ(SkipTargets::kConservative, 0.01);
+    EXPECT_DOUBLE_EQ(SkipTargets::kDefault, 0.10);
+    EXPECT_DOUBLE_EQ(SkipTargets::kAggressive, 0.25);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,92 @@
+/** @file Tests for the CA-CFAR detector. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "filter/cfar.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Cfar, Validation)
+{
+    CfarParams p;
+    p.trainingCells = 0;
+    EXPECT_THROW(CfarDetector{p}, std::invalid_argument);
+    p = {};
+    p.thresholdFactor = 0.0;
+    EXPECT_THROW(CfarDetector{p}, std::invalid_argument);
+}
+
+TEST(Cfar, NoFlagsOnConstantSeries)
+{
+    CfarDetector det(CfarParams{});
+    const auto flags = det.detect(std::vector<double>(50, 1.0));
+    for (bool f : flags)
+        EXPECT_FALSE(f);
+}
+
+TEST(Cfar, DetectsInjectedSpike)
+{
+    Rng rng(3);
+    std::vector<double> xs(100);
+    for (auto &x : xs)
+        x = rng.normal(0.0, 0.1);
+    xs[50] = 5.0;
+
+    CfarDetector det(CfarParams{});
+    const auto flags = det.detect(xs);
+    EXPECT_TRUE(flags[50]);
+    int total = 0;
+    for (bool f : flags)
+        total += f ? 1 : 0;
+    EXPECT_LT(total, 8); // few false alarms
+}
+
+TEST(Cfar, GuardCellsProtectWideSpikes)
+{
+    Rng rng(5);
+    std::vector<double> xs(100);
+    for (auto &x : xs)
+        x = rng.normal(0.0, 0.1);
+    // A 3-sample-wide event.
+    xs[40] = xs[41] = xs[42] = 4.0;
+
+    CfarParams p;
+    p.guardCells = 3;
+    CfarDetector det(p);
+    const auto flags = det.detect(xs);
+    EXPECT_TRUE(flags[41]);
+}
+
+TEST(Cfar, StreamingMatchesSpikeDetection)
+{
+    Rng rng(7);
+    CfarDetector det(CfarParams{});
+    bool flagged = false;
+    for (int i = 0; i < 60; ++i) {
+        const double x = (i == 45) ? 8.0 : rng.normal(0.0, 0.1);
+        if (det.push(x) && i == 45)
+            flagged = true;
+    }
+    EXPECT_TRUE(flagged);
+}
+
+TEST(Cfar, StreamingEarlySamplesNeverFlag)
+{
+    CfarDetector det(CfarParams{});
+    EXPECT_FALSE(det.push(100.0));
+    EXPECT_FALSE(det.push(-100.0));
+}
+
+TEST(Cfar, ResetClearsWindow)
+{
+    CfarDetector det(CfarParams{});
+    for (int i = 0; i < 30; ++i)
+        det.push(1.0);
+    det.reset();
+    EXPECT_FALSE(det.push(100.0)); // no context after reset
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,119 @@
+/** @file Tests for the scalar Kalman filter. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "filter/kalman.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Kalman, Validation)
+{
+    KalmanParams p;
+    p.measurementVariance = 0.0;
+    EXPECT_THROW(KalmanFilter1D{p}, std::invalid_argument);
+    p = {};
+    p.processVariance = -1.0;
+    EXPECT_THROW(KalmanFilter1D{p}, std::invalid_argument);
+    p = {};
+    p.initialVariance = 0.0;
+    EXPECT_THROW(KalmanFilter1D{p}, std::invalid_argument);
+}
+
+TEST(Kalman, FirstMeasurementInitializes)
+{
+    KalmanFilter1D f(KalmanParams{});
+    EXPECT_DOUBLE_EQ(f.update(3.5), 3.5);
+    EXPECT_DOUBLE_EQ(f.estimate(), 3.5);
+}
+
+TEST(Kalman, ConvergesToConstantSignal)
+{
+    KalmanParams p;
+    p.transition = 1.0;
+    p.measurementVariance = 0.25;
+    p.processVariance = 1e-6;
+    KalmanFilter1D f(p);
+    Rng rng(3);
+    double est = 0.0;
+    for (int i = 0; i < 3000; ++i)
+        est = f.update(-2.0 + rng.normal(0.0, 0.5));
+    EXPECT_NEAR(est, -2.0, 0.1);
+    // Covariance shrinks far below the measurement variance.
+    EXPECT_LT(f.covariance(), 0.05);
+}
+
+TEST(Kalman, HighMvIgnoresMeasurements)
+{
+    // High measurement variance: the filter barely reacts (the paper's
+    // "saturates quickly and poorly" regime).
+    KalmanParams p;
+    p.measurementVariance = 100.0;
+    p.processVariance = 1e-6;
+    KalmanFilter1D f(p);
+    f.update(0.0);
+    const double est = f.update(10.0);
+    EXPECT_LT(std::abs(est), 1.0);
+    EXPECT_LT(f.lastGain(), 0.05);
+}
+
+TEST(Kalman, LowMvChasesMeasurements)
+{
+    // Low measurement variance: spikes leak straight through (the
+    // paper's pink-line regime).
+    KalmanParams p;
+    p.measurementVariance = 1e-4;
+    p.processVariance = 0.01;
+    KalmanFilter1D f(p);
+    f.update(0.0);
+    const double est = f.update(10.0);
+    EXPECT_GT(est, 9.0);
+    EXPECT_GT(f.lastGain(), 0.95);
+}
+
+TEST(Kalman, TransitionBelowOneImposesDecay)
+{
+    // T < 1 forces the prediction toward zero each step — helpful on a
+    // true descent, harmful otherwise (paper Section 7.4).
+    KalmanParams p;
+    p.transition = 0.9;
+    p.measurementVariance = 100.0; // ignore measurements
+    p.processVariance = 0.0;
+    KalmanFilter1D f(p);
+    f.update(1.0);
+    double est = 1.0;
+    for (int i = 0; i < 10; ++i)
+        est = f.update(1.0);
+    EXPECT_LT(est, 1.0);
+    EXPECT_GT(est, std::pow(0.9, 10) * 0.5);
+}
+
+TEST(Kalman, ResetForgetsState)
+{
+    KalmanFilter1D f(KalmanParams{});
+    f.update(5.0);
+    f.reset();
+    EXPECT_DOUBLE_EQ(f.estimate(), 0.0);
+    EXPECT_DOUBLE_EQ(f.update(-1.0), -1.0);
+}
+
+TEST(Kalman, TracksSlowRamp)
+{
+    KalmanParams p;
+    p.measurementVariance = 0.05;
+    p.processVariance = 0.01;
+    KalmanFilter1D f(p);
+    Rng rng(7);
+    double est = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double truth = -0.01 * i;
+        est = f.update(truth + rng.normal(0.0, 0.2));
+    }
+    EXPECT_NEAR(est, -5.0, 0.5);
+}
+
+} // namespace
+} // namespace qismet

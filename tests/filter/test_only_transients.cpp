@@ -1,0 +1,48 @@
+/** @file Tests for the only-transients skip rule. */
+
+#include <gtest/gtest.h>
+
+#include "filter/only_transients.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(OnlyTransients, Validation)
+{
+    EXPECT_THROW(OnlyTransientsSkipper(-0.1, 5), std::invalid_argument);
+    EXPECT_THROW(OnlyTransientsSkipper(0.1, 0), std::invalid_argument);
+}
+
+TEST(OnlyTransients, SkipsAboveThreshold)
+{
+    OnlyTransientsSkipper s(0.5, 5);
+    EXPECT_TRUE(s.shouldSkip(0.6, 0));
+    EXPECT_TRUE(s.shouldSkip(-0.6, 0)); // magnitude, not sign
+    EXPECT_FALSE(s.shouldSkip(0.4, 0));
+    EXPECT_FALSE(s.shouldSkip(-0.4, 0));
+}
+
+TEST(OnlyTransients, BudgetExhaustionAccepts)
+{
+    OnlyTransientsSkipper s(0.5, 3);
+    EXPECT_TRUE(s.shouldSkip(1.0, 0));
+    EXPECT_TRUE(s.shouldSkip(1.0, 2));
+    EXPECT_FALSE(s.shouldSkip(1.0, 3));
+    EXPECT_FALSE(s.shouldSkip(1.0, 10));
+}
+
+TEST(OnlyTransients, BoundaryIsInclusiveAccept)
+{
+    OnlyTransientsSkipper s(0.5, 5);
+    EXPECT_FALSE(s.shouldSkip(0.5, 0)); // exactly at threshold: accept
+}
+
+TEST(OnlyTransients, Accessors)
+{
+    OnlyTransientsSkipper s(0.25, 4);
+    EXPECT_DOUBLE_EQ(s.threshold(), 0.25);
+    EXPECT_EQ(s.retryBudget(), 4);
+}
+
+} // namespace
+} // namespace qismet

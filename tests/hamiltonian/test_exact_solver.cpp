@@ -1,0 +1,73 @@
+/** @file Tests for the dense exact solver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/exact_solver.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(ExactSolver, SingleZTerm)
+{
+    PauliSum h(1);
+    h.add(1.0, "Z");
+    const ExactSolution sol = solveExact(h);
+    EXPECT_NEAR(sol.groundEnergy(), -1.0, 1e-10);
+    EXPECT_NEAR(sol.gap(), 2.0, 1e-10);
+    // Ground state is |1>.
+    EXPECT_NEAR(std::norm(sol.groundState[1]), 1.0, 1e-10);
+}
+
+TEST(ExactSolver, FullSpectrumSorted)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    h.add(0.5, "XI");
+    const ExactSolution sol = solveExact(h);
+    ASSERT_EQ(sol.spectrum.size(), 4u);
+    for (std::size_t i = 0; i + 1 < sol.spectrum.size(); ++i)
+        EXPECT_LE(sol.spectrum[i], sol.spectrum[i + 1]);
+}
+
+TEST(ExactSolver, IdentityShiftsSpectrum)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    PauliSum shifted = h;
+    shifted.add(3.0, "II");
+    const double e0 = solveExact(h).groundEnergy();
+    const double e1 = solveExact(shifted).groundEnergy();
+    EXPECT_NEAR(e1 - e0, 3.0, 1e-10);
+}
+
+TEST(ExactSolver, GroundStateIsEigenvector)
+{
+    PauliSum h(3);
+    h.add(-1.0, "ZZI");
+    h.add(-1.0, "IZZ");
+    h.add(-0.7, "XII");
+    h.add(-0.7, "IXI");
+    h.add(-0.7, "IIX");
+    const ExactSolution sol = solveExact(h);
+
+    const Matrix m = h.toMatrix();
+    const auto hv = m.apply(sol.groundState);
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        EXPECT_NEAR(std::abs(hv[i] - sol.groundState[i] *
+                                         Complex(sol.groundEnergy(), 0.0)),
+                    0.0, 1e-8);
+}
+
+TEST(ExactSolver, CapsProblemSize)
+{
+    PauliSum h(11);
+    PauliString z(11);
+    z.setOp(0, PauliOp::Z);
+    h.add(1.0, z);
+    EXPECT_THROW(solveExact(h), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qismet

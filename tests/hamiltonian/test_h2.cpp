@@ -1,0 +1,115 @@
+/** @file Tests for the first-principles H2 problem builder. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hamiltonian/exact_solver.hpp"
+#include "chem/sto3g.hpp"
+#include "hamiltonian/h2_molecule.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(H2, EquilibriumFciEnergyMatchesLiterature)
+{
+    // STO-3G FCI at the equilibrium bond length: about -1.137 Hartree.
+    const H2Problem prob = h2Problem(0.735);
+    EXPECT_NEAR(prob.fciEnergy, -1.1373, 5e-3);
+}
+
+TEST(H2, HamiltonianIsHermitianFourQubits)
+{
+    const H2Problem prob = h2Problem(1.0);
+    EXPECT_EQ(prob.hamiltonian.numQubits(), 4);
+    EXPECT_TRUE(prob.hamiltonian.toMatrix().isHermitian(1e-9));
+}
+
+TEST(H2, CurveMinimumNearEquilibrium)
+{
+    const auto scan = h2BondScan(0.4, 2.0, 17);
+    const auto it = std::min_element(
+        scan.begin(), scan.end(), [](const H2Problem &a, const H2Problem &b) {
+            return a.fciEnergy < b.fciEnergy;
+        });
+    EXPECT_GT(it->bondAngstrom, 0.5);
+    EXPECT_LT(it->bondAngstrom, 0.95);
+}
+
+TEST(H2, DissociationTailRises)
+{
+    // Beyond the minimum the curve rises monotonically toward two free
+    // H atoms (STO-3G FCI dissociation ≈ -0.93 Ha).
+    const double e15 = h2Problem(1.5).fciEnergy;
+    const double e20 = h2Problem(2.0).fciEnergy;
+    EXPECT_LT(e15, e20);
+    EXPECT_NEAR(e20, -0.93, 0.05);
+}
+
+TEST(H2, ShortBondRepulsive)
+{
+    EXPECT_GT(h2Problem(0.4).fciEnergy, h2Problem(0.735).fciEnergy);
+}
+
+TEST(H2, NuclearRepulsionDominatesShortRange)
+{
+    const auto mol = h2MolecularHamiltonian(0.3);
+    // 1/R in bohr.
+    EXPECT_NEAR(mol.constant, 1.0 / (0.3 * kBohrPerAngstrom), 1e-12);
+}
+
+TEST(H2, OneBodySpinBlockStructure)
+{
+    const auto mol = h2MolecularHamiltonian(0.9);
+    ASSERT_EQ(mol.oneBody.size(), 4u);
+    // Opposite spins never mix.
+    EXPECT_DOUBLE_EQ(mol.oneBody[0][1], 0.0);
+    EXPECT_DOUBLE_EQ(mol.oneBody[1][0], 0.0);
+    // Bonding orbital lies below antibonding.
+    EXPECT_LT(mol.oneBody[0][0], mol.oneBody[2][2]);
+    // Spin symmetry.
+    EXPECT_DOUBLE_EQ(mol.oneBody[0][0], mol.oneBody[1][1]);
+}
+
+TEST(H2, BondScanValidation)
+{
+    EXPECT_THROW(h2BondScan(0.4, 2.0, 1), std::invalid_argument);
+    EXPECT_THROW(h2Problem(0.0), std::invalid_argument);
+    EXPECT_THROW(h2Problem(-1.0), std::invalid_argument);
+}
+
+TEST(H2, ScanEndpointsAndCount)
+{
+    const auto scan = h2BondScan(0.4, 2.0, 9);
+    ASSERT_EQ(scan.size(), 9u);
+    EXPECT_DOUBLE_EQ(scan.front().bondAngstrom, 0.4);
+    EXPECT_DOUBLE_EQ(scan.back().bondAngstrom, 2.0);
+}
+
+TEST(H2, GroundStateInTwoElectronSector)
+{
+    // The FCI ground state of the full Fock-space Hamiltonian must carry
+    // two electrons: check <N> = 2 on the ground state, where N is the
+    // JW number operator Σ (I - Z_p)/2.
+    const H2Problem prob = h2Problem(0.735);
+    PauliSum number(4);
+    number.add(2.0, "IIII");
+    for (int p = 0; p < 4; ++p) {
+        PauliString z(4);
+        z.setOp(p, PauliOp::Z);
+        number.add(-0.5, z);
+    }
+    const auto sol = solveExact(prob.hamiltonian);
+
+    // <gs| N |gs>
+    const auto n_mat = number.toMatrix();
+    const auto nv = n_mat.apply(sol.groundState);
+    Complex acc(0, 0);
+    for (std::size_t i = 0; i < nv.size(); ++i)
+        acc += std::conj(sol.groundState[i]) * nv[i];
+    EXPECT_NEAR(acc.real(), 2.0, 1e-8);
+}
+
+} // namespace
+} // namespace qismet

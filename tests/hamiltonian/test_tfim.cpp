@@ -1,0 +1,129 @@
+/** @file Tests for the TFIM Hamiltonian and its free-fermion solution. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/exact_solver.hpp"
+#include "hamiltonian/tfim.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Tfim, TermCountOpenChain)
+{
+    TfimParams p;
+    p.numQubits = 6;
+    const PauliSum h = tfimHamiltonian(p);
+    // 5 ZZ couplings + 6 X fields.
+    EXPECT_EQ(h.numTerms(), 11u);
+}
+
+TEST(Tfim, TermCountPeriodicChain)
+{
+    TfimParams p;
+    p.numQubits = 6;
+    p.periodic = true;
+    EXPECT_EQ(tfimHamiltonian(p).numTerms(), 12u);
+}
+
+TEST(Tfim, RejectsTooFewQubits)
+{
+    TfimParams p;
+    p.numQubits = 1;
+    EXPECT_THROW(tfimHamiltonian(p), std::invalid_argument);
+}
+
+TEST(Tfim, TwoQubitAnalyticValue)
+{
+    // H = -J ZZ - h (XI + IX): E0 = -sqrt(J^2 + 4 h^2).
+    TfimParams p;
+    p.numQubits = 2;
+    p.j = 1.3;
+    p.h = 0.8;
+    const double expected = -std::sqrt(p.j * p.j + 4.0 * p.h * p.h);
+    EXPECT_NEAR(tfimExactGroundEnergy(p), expected, 1e-10);
+    EXPECT_NEAR(solveExact(tfimHamiltonian(p)).groundEnergy(), expected,
+                1e-9);
+}
+
+class TfimCrossCheckTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>>
+{
+};
+
+TEST_P(TfimCrossCheckTest, FreeFermionMatchesDenseDiagonalization)
+{
+    const auto [n, j, hfield] = GetParam();
+    TfimParams p;
+    p.numQubits = n;
+    p.j = j;
+    p.h = hfield;
+    const double analytic = tfimExactGroundEnergy(p);
+    const double dense = solveExact(tfimHamiltonian(p)).groundEnergy();
+    EXPECT_NEAR(analytic, dense, 1e-8)
+        << "n=" << n << " J=" << j << " h=" << hfield;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TfimCrossCheckTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6),
+                       ::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(0.25, 1.0, 1.75)));
+
+TEST(Tfim, ClassicalLimitNoField)
+{
+    // h -> 0: ground energy -J (n-1), fully aligned spins.
+    TfimParams p;
+    p.numQubits = 5;
+    p.j = 2.0;
+    p.h = 1e-9;
+    EXPECT_NEAR(tfimExactGroundEnergy(p), -2.0 * 4.0, 1e-6);
+}
+
+TEST(Tfim, ParamagneticLimitNoCoupling)
+{
+    // J -> 0: ground energy -h n, all spins along X.
+    TfimParams p;
+    p.numQubits = 5;
+    p.j = 1e-9;
+    p.h = 1.5;
+    EXPECT_NEAR(tfimExactGroundEnergy(p), -1.5 * 5.0, 1e-6);
+}
+
+TEST(Tfim, AnalyticRejectsPeriodic)
+{
+    TfimParams p;
+    p.periodic = true;
+    EXPECT_THROW(tfimExactGroundEnergy(p), std::invalid_argument);
+}
+
+TEST(Tfim, PeriodicLowersEnergy)
+{
+    TfimParams open;
+    open.numQubits = 6;
+    TfimParams per = open;
+    per.periodic = true;
+    EXPECT_LT(solveExact(tfimHamiltonian(per)).groundEnergy(),
+              solveExact(tfimHamiltonian(open)).groundEnergy());
+}
+
+TEST(Tfim, EnergyExtensiveInSize)
+{
+    TfimParams small;
+    small.numQubits = 4;
+    TfimParams large;
+    large.numQubits = 8;
+    EXPECT_LT(tfimExactGroundEnergy(large), tfimExactGroundEnergy(small));
+}
+
+TEST(Tfim, MixedStateExpectationIsZero)
+{
+    // All TFIM terms are traceless, so <H>_mixed = 0.
+    TfimParams p;
+    p.numQubits = 4;
+    EXPECT_DOUBLE_EQ(tfimHamiltonian(p).identityCoefficient(), 0.0);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end integration tests asserting the paper's headline *shape*
+ * claims on reduced (test-sized) budgets. The full-scale numbers live
+ * in the bench binaries; these tests guard the qualitative results
+ * against regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/experiment_runner.hpp"
+#include "hamiltonian/h2_molecule.hpp"
+
+namespace qismet {
+namespace {
+
+double
+meanFinalEstimate(const QismetVqe &runner, Scheme scheme,
+                  std::size_t jobs, int trace_version,
+                  const std::vector<std::uint64_t> &seeds)
+{
+    double sum = 0.0;
+    for (auto seed : seeds) {
+        QismetVqeConfig cfg;
+        cfg.totalJobs = jobs;
+        cfg.seed = seed;
+        cfg.scheme = scheme;
+        cfg.traceVersion = trace_version;
+        sum += runner.run(cfg).run.finalEstimate;
+    }
+    return sum / static_cast<double>(seeds.size());
+}
+
+TEST(EndToEnd, QismetBeatsBaselineOnTransientHeavyApp)
+{
+    // The headline claim (Figs. 11-14, 17): QISMET lands a materially
+    // better measured expectation than the baseline.
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    const std::vector<std::uint64_t> seeds = {7, 17, 27};
+
+    const double base =
+        meanFinalEstimate(runner, Scheme::Baseline, 1200,
+                          app.spec.traceVersion, seeds);
+    const double qismet =
+        meanFinalEstimate(runner, Scheme::Qismet, 1200,
+                          app.spec.traceVersion, seeds);
+    EXPECT_LT(qismet, base - 0.3);
+}
+
+TEST(EndToEnd, SecondOrderWorseThanBaseline)
+{
+    // Fig. 14/17: 2nd-order is detrimental under transients.
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    const std::vector<std::uint64_t> seeds = {7, 17, 27};
+
+    const double base = meanFinalEstimate(
+        runner, Scheme::Baseline, 1200, app.spec.traceVersion, seeds);
+    const double second = meanFinalEstimate(
+        runner, Scheme::SecondOrder, 1200, app.spec.traceVersion, seeds);
+    EXPECT_GT(second, base - 0.2);
+}
+
+TEST(EndToEnd, QismetBeatsOnlyTransientsSkipping)
+{
+    // Fig. 15: magnitude-only skipping underperforms QISMET.
+    const Application app = application(1);
+    const QismetVqe runner = app.makeRunner();
+    const std::vector<std::uint64_t> seeds = {7, 17, 27};
+
+    const double qismet = meanFinalEstimate(
+        runner, Scheme::Qismet, 1200, app.spec.traceVersion, seeds);
+    const double only = meanFinalEstimate(
+        runner, Scheme::OnlyTransients, 1200, app.spec.traceVersion,
+        seeds);
+    EXPECT_LT(qismet, only + 0.1);
+}
+
+TEST(EndToEnd, NoiseFreeIsTheBestAnyScheme)
+{
+    const Application app = application(1);
+    const QismetVqe runner = app.makeRunner();
+    const std::vector<std::uint64_t> seeds = {7, 17};
+
+    const double noise_free = meanFinalEstimate(
+        runner, Scheme::NoiseFree, 1200, app.spec.traceVersion, seeds);
+    for (Scheme s : {Scheme::Baseline, Scheme::Qismet, Scheme::Blocking}) {
+        EXPECT_LT(noise_free,
+                  meanFinalEstimate(runner, s, 1200,
+                                    app.spec.traceVersion, seeds) +
+                      0.05)
+            << schemeName(s);
+    }
+}
+
+TEST(EndToEnd, H2QismetTracksNoiseFreeCurve)
+{
+    // Fig. 18 (shrunk): on a transient-only setup the QISMET estimate
+    // stays closer to the exact curve than the baseline at a stretched
+    // bond length.
+    const H2Problem prob = h2Problem(1.5);
+    MachineModel machine = machineModel("guadalupe");
+    machine.staticNoise.p1q = 0.0;
+    machine.staticNoise.p2q = 0.0;
+    machine.staticNoise.readoutP10 = 0.0;
+    machine.staticNoise.readoutP01 = 0.0;
+    machine.transient.burst.ratePerStep = 0.06;
+    machine.transient.burst.magnitudeMedian = 0.7;
+
+    const auto ansatz = makeAnsatz("SU2", 4, 3);
+    const QismetVqe runner(prob.hamiltonian, ansatz->build(), machine,
+                           prob.fciEnergy);
+
+    double base_err = 0.0, qismet_err = 0.0;
+    for (std::uint64_t seed : {5ull, 15ull, 25ull}) {
+        QismetVqeConfig cfg;
+        cfg.totalJobs = 900;
+        cfg.seed = seed;
+        cfg.spsaInitialStep = 1.5; // shallow H2 landscape needs big steps
+        cfg.scheme = Scheme::Baseline;
+        base_err += std::abs(runner.run(cfg).estimateError());
+        cfg.scheme = Scheme::Qismet;
+        qismet_err += std::abs(runner.run(cfg).estimateError());
+    }
+    EXPECT_LT(qismet_err, base_err);
+}
+
+TEST(EndToEnd, SamplingModePipelineRuns)
+{
+    // The full sampling pipeline (counts, readout, mitigation) must run
+    // end to end and produce sane energies.
+    const Application app = application(1);
+    const QismetVqe runner = app.makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 60;
+    cfg.estimator.mode = EstimatorMode::Sampling;
+    cfg.estimator.shots = 1024;
+    cfg.scheme = Scheme::Qismet;
+    const auto res = runner.run(cfg);
+    EXPECT_EQ(res.run.jobsUsed, 60u);
+    EXPECT_LT(res.run.finalEstimate, 1.0);
+    EXPECT_GT(res.run.finalEstimate, app.exactGroundEnergy - 1.0);
+}
+
+} // namespace
+} // namespace qismet

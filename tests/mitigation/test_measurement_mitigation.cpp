@@ -1,0 +1,134 @@
+/** @file Tests for tensored measurement-error mitigation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mitigation/measurement_mitigation.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Mitigation, IdentityMitigatorIsNoOp)
+{
+    MeasurementMitigator m(2);
+    const std::vector<double> p = {0.1, 0.2, 0.3, 0.4};
+    const auto out = m.mitigateProbabilities(p);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_NEAR(out[i], p[i], 1e-12);
+}
+
+TEST(Mitigation, ConfusionMatrixFromReadout)
+{
+    MeasurementMitigator m(1, {ReadoutError{0.1, 0.2}});
+    const auto &a = m.confusion(0);
+    EXPECT_DOUBLE_EQ(a[0][0], 0.9);  // P(read 0 | true 0)
+    EXPECT_DOUBLE_EQ(a[1][0], 0.1);  // P(read 1 | true 0)
+    EXPECT_DOUBLE_EQ(a[0][1], 0.2);  // P(read 0 | true 1)
+    EXPECT_DOUBLE_EQ(a[1][1], 0.8);
+}
+
+TEST(Mitigation, InvertsExactlyDistortedDistribution)
+{
+    // Apply the confusion matrix analytically, then mitigate: must
+    // recover the original distribution exactly.
+    const std::vector<ReadoutError> ro = {ReadoutError{0.08, 0.15},
+                                          ReadoutError{0.03, 0.25}};
+    MeasurementMitigator m(2, ro);
+
+    const std::vector<double> truth = {0.5, 0.1, 0.15, 0.25};
+    // Distort: for each qubit axis apply [[1-p10, p01],[p10, 1-p01]].
+    std::vector<double> measured = truth;
+    for (int q = 0; q < 2; ++q) {
+        const std::size_t stride = std::size_t{1} << q;
+        std::vector<double> next = measured;
+        for (std::size_t base = 0; base < 4; base += 2 * stride)
+            for (std::size_t off = 0; off < stride; ++off) {
+                const std::size_t i0 = base + off;
+                const std::size_t i1 = i0 + stride;
+                next[i0] = (1 - ro[q].p10) * measured[i0] +
+                           ro[q].p01 * measured[i1];
+                next[i1] = ro[q].p10 * measured[i0] +
+                           (1 - ro[q].p01) * measured[i1];
+            }
+        measured = next;
+    }
+
+    const auto recovered = m.mitigateProbabilities(measured);
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        EXPECT_NEAR(recovered[i], truth[i], 1e-12);
+}
+
+TEST(Mitigation, StatisticalRecoveryThroughSampler)
+{
+    const std::vector<ReadoutError> ro = {ReadoutError{0.05, 0.12},
+                                          ReadoutError{0.04, 0.10}};
+    ShotSampler sampler(ro);
+    MeasurementMitigator m(2, ro);
+
+    const std::vector<double> truth = {0.6, 0.0, 0.1, 0.3};
+    Rng rng(13);
+    const Counts counts = sampler.sample(truth, 2, 200000, rng);
+
+    const auto mitigated = m.mitigateCounts(counts);
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        EXPECT_NEAR(mitigated[i], truth[i], 0.01);
+}
+
+TEST(Mitigation, CalibrationRecoversRates)
+{
+    const std::vector<ReadoutError> ro = {ReadoutError{0.07, 0.20},
+                                          ReadoutError{0.02, 0.09}};
+    ShotSampler sampler(ro);
+    Rng rng(17);
+    const auto m = MeasurementMitigator::calibrate(2, sampler, 100000, rng);
+    EXPECT_NEAR(m.confusion(0)[1][0], 0.07, 0.01);
+    EXPECT_NEAR(m.confusion(0)[0][1], 0.20, 0.01);
+    EXPECT_NEAR(m.confusion(1)[1][0], 0.02, 0.01);
+    EXPECT_NEAR(m.confusion(1)[0][1], 0.09, 0.01);
+}
+
+TEST(Mitigation, ClipToPhysicalNormalizes)
+{
+    const auto out =
+        MeasurementMitigator::clipToPhysical({0.5, -0.1, 0.7, -0.1});
+    double sum = 0.0;
+    for (double x : out) {
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(Mitigation, ClipRejectsAllZero)
+{
+    EXPECT_THROW(MeasurementMitigator::clipToPhysical({-1.0, -2.0}),
+                 std::runtime_error);
+}
+
+TEST(Mitigation, Validation)
+{
+    EXPECT_THROW(MeasurementMitigator(0), std::invalid_argument);
+    EXPECT_THROW(MeasurementMitigator(2, {ReadoutError{}}),
+                 std::invalid_argument);
+    MeasurementMitigator m(2);
+    EXPECT_THROW(m.mitigateProbabilities({0.5, 0.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(m.confusion(2), std::out_of_range);
+
+    ShotSampler sampler;
+    Rng rng(1);
+    EXPECT_THROW(MeasurementMitigator::calibrate(1, sampler, 0, rng),
+                 std::invalid_argument);
+}
+
+TEST(Mitigation, SingularConfusionRejected)
+{
+    // p10 = p01 = 0.5 makes the confusion matrix singular.
+    EXPECT_THROW(MeasurementMitigator(1, {ReadoutError{0.5, 0.5}}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qismet

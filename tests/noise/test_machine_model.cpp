@@ -1,0 +1,103 @@
+/** @file Tests for the simulated machine registry. */
+
+#include <gtest/gtest.h>
+
+#include "noise/machine_model.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(MachineModel, AllRegisteredNamesResolve)
+{
+    for (const auto &name : machineNames()) {
+        const MachineModel m = machineModel(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_GE(m.numQubits, 7);
+        EXPECT_NO_THROW(m.staticModel());
+    }
+}
+
+TEST(MachineModel, CaseInsensitiveLookup)
+{
+    EXPECT_EQ(machineModel("Guadalupe").name, "guadalupe");
+    EXPECT_EQ(machineModel("TORONTO").name, "toronto");
+}
+
+TEST(MachineModel, UnknownNameThrows)
+{
+    EXPECT_THROW(machineModel("almaden"), std::invalid_argument);
+    EXPECT_THROW(machineModel(""), std::invalid_argument);
+}
+
+TEST(MachineModel, SevenQubitMachinesAreNoisier)
+{
+    // Paper-era reality: the small 7q devices (casablanca, jakarta) had
+    // worse gate errors than the 27q Falcons.
+    const double casablanca = machineModel("casablanca").staticNoise.p2q;
+    const double jakarta = machineModel("jakarta").staticNoise.p2q;
+    for (const auto &big : {"toronto", "guadalupe", "mumbai", "cairo",
+                            "sydney"}) {
+        EXPECT_LT(machineModel(big).staticNoise.p2q, casablanca);
+        EXPECT_LT(machineModel(big).staticNoise.p2q, jakarta);
+    }
+}
+
+TEST(MachineModel, TransientPersonalities)
+{
+    // Sydney: rare but large events (Fig. 12). Jakarta: frequent spikes
+    // (Fig. 5).
+    const MachineModel sydney = machineModel("sydney");
+    const MachineModel jakarta = machineModel("jakarta");
+    EXPECT_LT(sydney.transient.burst.ratePerStep,
+              jakarta.transient.burst.ratePerStep);
+    EXPECT_GT(sydney.transient.burst.magnitudeMedian,
+              machineModel("toronto").transient.burst.magnitudeMedian);
+}
+
+TEST(MachineModel, TraceGeneratorDeterministicPerVersion)
+{
+    const MachineModel m = machineModel("guadalupe");
+    auto t1a = m.traceGenerator(1).generate(200);
+    auto t1b = m.traceGenerator(1).generate(200);
+    for (std::size_t i = 0; i < t1a.size(); ++i)
+        EXPECT_DOUBLE_EQ(t1a.values()[i], t1b.values()[i]);
+
+    auto t2 = m.traceGenerator(2).generate(200);
+    int same = 0;
+    for (std::size_t i = 0; i < t1a.size(); ++i)
+        if (t1a.values()[i] == t2.values()[i])
+            ++same;
+    EXPECT_LT(same, 10);
+}
+
+TEST(MachineModel, DifferentMachinesDifferentTraces)
+{
+    auto a = machineModel("toronto").traceGenerator(1).generate(200);
+    auto b = machineModel("cairo").traceGenerator(1).generate(200);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a.values()[i] == b.values()[i])
+            ++same;
+    EXPECT_LT(same, 10);
+}
+
+TEST(MachineModel, VersionMustBePositive)
+{
+    EXPECT_THROW(machineModel("toronto").traceGenerator(0),
+                 std::invalid_argument);
+}
+
+TEST(MachineModel, ImpactfulTransientsAreRare)
+{
+    // Section 3.1: impactful transients are the exception. Every
+    // machine's trace should be quiet most of the time.
+    for (const auto &name : machineNames()) {
+        const auto trace =
+            machineModel(name).traceGenerator(1).generate(5000);
+        EXPECT_LT(trace.exceedanceFraction(0.3), 0.30) << name;
+        EXPECT_GT(trace.exceedanceFraction(0.3), 0.0) << name;
+    }
+}
+
+} // namespace
+} // namespace qismet

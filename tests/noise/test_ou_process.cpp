@@ -1,0 +1,73 @@
+/** @file Tests for the Ornstein-Uhlenbeck drift process. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "noise/ou_process.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(OuProcess, Validation)
+{
+    EXPECT_THROW(OuProcess(0.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(OuProcess(0.0, -1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(OuProcess(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(OuProcess, ZeroSigmaDecaysToMean)
+{
+    OuProcess ou(5.0, 0.5, 0.0, 10.0);
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i)
+        ou.step(1.0, rng);
+    EXPECT_NEAR(ou.value(), 5.0, 1e-6);
+}
+
+TEST(OuProcess, ExactDecayRate)
+{
+    OuProcess ou(0.0, 0.25, 0.0, 8.0);
+    Rng rng(1);
+    ou.step(2.0, rng);
+    EXPECT_NEAR(ou.value(), 8.0 * std::exp(-0.5), 1e-12);
+}
+
+TEST(OuProcess, StationaryMoments)
+{
+    const double theta = 0.2, sigma = 0.6;
+    OuProcess ou(1.0, theta, sigma);
+    Rng rng(9);
+    // Burn in, then sample.
+    for (int i = 0; i < 500; ++i)
+        ou.step(1.0, rng);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(ou.step(1.0, rng));
+    EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), ou.stationaryStddev(), 0.05);
+}
+
+TEST(OuProcess, StationaryStddevFormula)
+{
+    OuProcess ou(0.0, 0.5, 2.0);
+    EXPECT_DOUBLE_EQ(ou.stationaryStddev(), 2.0 / std::sqrt(1.0));
+}
+
+TEST(OuProcess, NegativeDtThrows)
+{
+    OuProcess ou(0.0, 0.5, 1.0);
+    Rng rng(1);
+    EXPECT_THROW(ou.step(-1.0, rng), std::invalid_argument);
+}
+
+TEST(OuProcess, ResetSetsValue)
+{
+    OuProcess ou(0.0, 0.5, 1.0);
+    ou.reset(3.5);
+    EXPECT_DOUBLE_EQ(ou.value(), 3.5);
+}
+
+} // namespace
+} // namespace qismet

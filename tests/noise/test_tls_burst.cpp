@@ -1,0 +1,125 @@
+/** @file Tests for the TLS burst process. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "noise/tls_burst.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(TlsBurst, Validation)
+{
+    TlsBurstParams p;
+    p.ratePerStep = -0.1;
+    EXPECT_THROW(TlsBurstProcess(p, Rng(1)), std::invalid_argument);
+    p = {};
+    p.meanDurationSteps = 0.5;
+    EXPECT_THROW(TlsBurstProcess(p, Rng(1)), std::invalid_argument);
+    p = {};
+    p.decayPerStep = 0.0;
+    EXPECT_THROW(TlsBurstProcess(p, Rng(1)), std::invalid_argument);
+    p = {};
+    p.magnitudeMedian = -1.0;
+    EXPECT_THROW(TlsBurstProcess(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(TlsBurst, ZeroRateStaysQuiet)
+{
+    TlsBurstParams p;
+    p.ratePerStep = 0.0;
+    TlsBurstProcess proc(p, Rng(3));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(proc.step(), 0.0);
+    EXPECT_EQ(proc.activeBursts(), 0u);
+}
+
+TEST(TlsBurst, BurstsAreRareOutliers)
+{
+    // The paper's key premise: impactful transients are the exception,
+    // not the norm (Fig. 3).
+    TlsBurstParams p;
+    p.ratePerStep = 0.01;
+    p.magnitudeMedian = 0.5;
+    p.meanDurationSteps = 5.0;
+    TlsBurstProcess proc(p, Rng(5));
+    int quiet = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (proc.step() < 0.05)
+            ++quiet;
+    EXPECT_GT(quiet / static_cast<double>(n), 0.8);
+}
+
+TEST(TlsBurst, OccupancyMatchesRateTimesDuration)
+{
+    TlsBurstParams p;
+    p.ratePerStep = 0.02;
+    p.meanDurationSteps = 5.0;
+    p.decayPerStep = 1.0; // no decay: occupancy is purely rate x duration
+    TlsBurstProcess proc(p, Rng(7));
+    RunningStats active;
+    for (int i = 0; i < 50000; ++i) {
+        proc.step();
+        active.add(static_cast<double>(proc.activeBursts()));
+    }
+    // Little's law: mean active bursts = arrival rate * mean duration.
+    EXPECT_NEAR(active.mean(), 0.02 * 5.0, 0.02);
+}
+
+TEST(TlsBurst, FlickerPreservesMeanDepth)
+{
+    // Exp(1) flicker has mean 1, so the long-run mean realized value
+    // with and without flicker should agree.
+    TlsBurstParams p;
+    p.ratePerStep = 0.05;
+    p.magnitudeMedian = 0.4;
+    p.magnitudeSigma = 0.0;
+    p.decayPerStep = 1.0;
+
+    auto run_mean = [&](bool flicker) {
+        TlsBurstParams q = p;
+        q.flicker = flicker;
+        TlsBurstProcess proc(q, Rng(11));
+        RunningStats stats;
+        for (int i = 0; i < 200000; ++i)
+            stats.add(proc.step());
+        return stats.mean();
+    };
+    EXPECT_NEAR(run_mean(true), run_mean(false), 0.02);
+}
+
+TEST(TlsBurst, DecayShortensImpact)
+{
+    TlsBurstParams slow;
+    slow.ratePerStep = 0.02;
+    slow.decayPerStep = 0.99;
+    slow.meanDurationSteps = 8.0;
+    TlsBurstParams fast = slow;
+    fast.decayPerStep = 0.5;
+
+    auto total = [&](const TlsBurstParams &q) {
+        TlsBurstProcess proc(q, Rng(13));
+        double sum = 0.0;
+        for (int i = 0; i < 20000; ++i)
+            sum += proc.step();
+        return sum;
+    };
+    EXPECT_GT(total(slow), total(fast));
+}
+
+TEST(TlsBurst, ValueMatchesLastStep)
+{
+    TlsBurstParams p;
+    p.ratePerStep = 0.3;
+    TlsBurstProcess proc(p, Rng(17));
+    for (int i = 0; i < 100; ++i) {
+        const double stepped = proc.step();
+        EXPECT_DOUBLE_EQ(proc.value(), stepped);
+    }
+}
+
+} // namespace
+} // namespace qismet

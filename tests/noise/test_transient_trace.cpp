@@ -1,0 +1,136 @@
+/** @file Tests for transient traces and their generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/transient_trace.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(TransientTrace, EmptyTraceReadsZero)
+{
+    TransientTrace t;
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_DOUBLE_EQ(t.at(0), 0.0);
+    EXPECT_DOUBLE_EQ(t.at(100), 0.0);
+}
+
+TEST(TransientTrace, AtBeyondEndIsZero)
+{
+    TransientTrace t({0.5, 0.2});
+    EXPECT_DOUBLE_EQ(t.at(0), 0.5);
+    EXPECT_DOUBLE_EQ(t.at(1), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(2), 0.0);
+}
+
+TEST(TransientTrace, ExceedanceFraction)
+{
+    TransientTrace t({0.0, 0.1, -0.5, 0.9});
+    EXPECT_DOUBLE_EQ(t.exceedanceFraction(0.45), 0.5);
+    EXPECT_DOUBLE_EQ(t.exceedanceFraction(2.0), 0.0);
+    // Monotone decreasing in the threshold.
+    EXPECT_GE(t.exceedanceFraction(0.05), t.exceedanceFraction(0.45));
+}
+
+TEST(TraceGenerator, Validation)
+{
+    TransientTraceParams p;
+    p.scale = -1.0;
+    EXPECT_THROW(TransientTraceGenerator(p, 1), std::invalid_argument);
+    p = {};
+    p.maxIntensity = 0.0;
+    EXPECT_THROW(TransientTraceGenerator(p, 1), std::invalid_argument);
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed)
+{
+    TransientTraceParams p;
+    TransientTraceGenerator g1(p, 42), g2(p, 42);
+    const auto t1 = g1.generate(500);
+    const auto t2 = g2.generate(500);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i)
+        EXPECT_DOUBLE_EQ(t1.values()[i], t2.values()[i]);
+}
+
+TEST(TraceGenerator, VersionsAreIndependent)
+{
+    TransientTraceParams p;
+    TransientTraceGenerator g(p, 42);
+    const auto v1 = g.generate(500);
+    const auto v2 = g.generate(500);
+    int identical = 0;
+    for (std::size_t i = 0; i < v1.size(); ++i)
+        if (v1.values()[i] == v2.values()[i])
+            ++identical;
+    EXPECT_LT(identical, 10);
+}
+
+TEST(TraceGenerator, ScaleZeroIsSilent)
+{
+    TransientTraceParams p;
+    p.scale = 0.0;
+    const auto t = TransientTraceGenerator(p, 7).generate(200);
+    for (double v : t.values())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(TraceGenerator, ClampsToMaxIntensity)
+{
+    TransientTraceParams p;
+    p.burst.ratePerStep = 0.5;
+    p.burst.magnitudeMedian = 5.0;
+    p.maxIntensity = 0.8;
+    const auto t = TransientTraceGenerator(p, 9).generate(1000);
+    for (double v : t.values()) {
+        EXPECT_LE(v, 0.8);
+        EXPECT_GE(v, -0.8);
+    }
+    EXPECT_GT(t.exceedanceFraction(0.75), 0.0); // clamp actually engaged
+}
+
+class TraceScaleTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TraceScaleTest, ScaleMultipliesIntensity)
+{
+    // The Fig. 10 knob: scaling the generator scales the trace.
+    const double scale = GetParam();
+    TransientTraceParams base;
+    base.burst.ratePerStep = 0.05;
+    base.maxIntensity = 100.0; // disable clamping for exactness
+
+    TransientTraceParams scaled = base;
+    scaled.scale = scale;
+
+    const auto t1 = TransientTraceGenerator(base, 3).generate(400);
+    const auto t2 = TransientTraceGenerator(scaled, 3).generate(400);
+    for (std::size_t i = 0; i < t1.size(); ++i)
+        EXPECT_NEAR(t2.values()[i], scale * t1.values()[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TraceScaleTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 2.0));
+
+TEST(TraceGenerator, DriftComponentHasRequestedStddev)
+{
+    TransientTraceParams p;
+    p.burst.ratePerStep = 0.0; // isolate the drift
+    p.driftStddev = 0.05;
+    const auto t = TransientTraceGenerator(p, 11).generate(50000);
+    double mean = 0.0, var = 0.0;
+    for (double v : t.values())
+        mean += v;
+    mean /= static_cast<double>(t.size());
+    for (double v : t.values())
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(t.size() - 1);
+    EXPECT_NEAR(std::sqrt(var), 0.05, 0.01);
+    EXPECT_NEAR(mean, 0.0, 0.01);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,134 @@
+/** @file Cross-validation of Pauli expectations across representations. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "pauli/expectation.hpp"
+
+namespace qismet {
+namespace {
+
+Statevector
+randomState(int num_qubits, Rng &rng)
+{
+    std::vector<Complex> amps(std::size_t{1} << num_qubits);
+    for (auto &a : amps)
+        a = Complex(rng.normal(), rng.normal());
+    Statevector st(std::move(amps));
+    st.normalize();
+    return st;
+}
+
+class ExpectationCrossCheckTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ExpectationCrossCheckTest, FastPathMatchesDenseMatrix)
+{
+    const auto pauli = PauliString::fromLabel(GetParam());
+    Rng rng(911);
+    for (int rep = 0; rep < 5; ++rep) {
+        const Statevector st = randomState(pauli.numQubits(), rng);
+
+        // Reference: <psi| P |psi> via the dense matrix.
+        const auto p_mat = pauli.toMatrix();
+        const auto pv = p_mat.apply(st.amplitudes());
+        Complex ref(0, 0);
+        for (std::size_t i = 0; i < pv.size(); ++i)
+            ref += std::conj(st.amplitudes()[i]) * pv[i];
+
+        EXPECT_NEAR(expectation(st, pauli), ref.real(), 1e-10)
+            << "label " << GetParam();
+
+        // Density-matrix path must agree too.
+        DensityMatrix rho(st);
+        EXPECT_NEAR(expectation(rho, pauli), ref.real(), 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Labels, ExpectationCrossCheckTest,
+                         ::testing::Values("Z", "X", "Y", "ZZ", "XY", "YX",
+                                           "YY", "XZY", "YIZ", "XXYZ",
+                                           "IYIY"));
+
+TEST(Expectation, SumLinearity)
+{
+    Rng rng(13);
+    const Statevector st = randomState(3, rng);
+    PauliSum h(3);
+    h.add(0.5, "ZZI");
+    h.add(-1.5, "IXX");
+    h.add(2.0, "III");
+
+    double expect = 2.0;
+    expect += 0.5 * expectation(st, PauliString::fromLabel("ZZI"));
+    expect += -1.5 * expectation(st, PauliString::fromLabel("IXX"));
+    EXPECT_NEAR(expectation(st, h), expect, 1e-12);
+}
+
+TEST(Expectation, GroundStateOfZ)
+{
+    Statevector st(1); // |0>
+    EXPECT_DOUBLE_EQ(expectation(st, PauliString::fromLabel("Z")), 1.0);
+    EXPECT_DOUBLE_EQ(expectation(st, PauliString::fromLabel("X")), 0.0);
+}
+
+TEST(Expectation, PlusStateOfX)
+{
+    Statevector st(1);
+    Circuit c(1);
+    c.h(0);
+    st.run(c);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("X")), 1.0, 1e-12);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("Z")), 0.0, 1e-12);
+}
+
+TEST(Expectation, YEigenstate)
+{
+    Statevector st(1);
+    Circuit c(1);
+    c.h(0).s(0); // |+i>
+    st.run(c);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("Y")), 1.0, 1e-12);
+}
+
+TEST(Expectation, WidthMismatchThrows)
+{
+    Statevector st(2);
+    EXPECT_THROW(expectation(st, PauliString::fromLabel("Z")),
+                 std::invalid_argument);
+}
+
+TEST(ExpectationFromCounts, IdentityIsOne)
+{
+    Counts counts = {{0, 5}};
+    EXPECT_DOUBLE_EQ(
+        expectationFromCounts(counts, PauliString::fromLabel("II")), 1.0);
+}
+
+TEST(ExpectationFromCounts, ParityOverSupport)
+{
+    // After basis change, a term's value is the parity average over its
+    // support bits.
+    Counts counts = {{0b00, 40}, {0b01, 60}};
+    const auto zi = PauliString::fromLabel("IZ"); // qubit 0
+    EXPECT_NEAR(expectationFromCounts(counts, zi), -0.2, 1e-12);
+}
+
+TEST(Expectation, BellStateCorrelations)
+{
+    Statevector st(2);
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    st.run(c);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("ZZ")), 1.0, 1e-12);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("XX")), 1.0, 1e-12);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("YY")), -1.0, 1e-12);
+    EXPECT_NEAR(expectation(st, PauliString::fromLabel("ZI")), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace qismet

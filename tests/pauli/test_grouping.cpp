@@ -1,0 +1,126 @@
+/** @file Tests for measurement-basis grouping and basis-change circuits. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "hamiltonian/tfim.hpp"
+#include "pauli/expectation.hpp"
+#include "pauli/grouping.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(Grouping, TfimFormsTwoGroups)
+{
+    TfimParams params;
+    params.numQubits = 4;
+    const PauliSum h = tfimHamiltonian(params);
+    const auto groups = groupQubitWise(h);
+    // ZZ chain terms share one group; X terms share another.
+    ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, EveryNonIdentityTermCoveredOnce)
+{
+    PauliSum h(3);
+    h.add(1.0, "ZZI");
+    h.add(1.0, "IZZ");
+    h.add(1.0, "XII");
+    h.add(1.0, "IIX");
+    h.add(0.5, "III"); // identity excluded from groups
+    const auto groups = groupQubitWise(h);
+
+    std::vector<int> covered(h.numTerms(), 0);
+    for (const auto &g : groups)
+        for (auto idx : g.termIndices)
+            ++covered[idx];
+    for (std::size_t i = 0; i < h.numTerms(); ++i) {
+        const bool identity = h.terms()[i].pauli.isIdentity();
+        EXPECT_EQ(covered[i], identity ? 0 : 1);
+    }
+}
+
+TEST(Grouping, GroupMembersQubitWiseCommute)
+{
+    // Property: all pairs inside a group are qubit-wise commuting.
+    Rng rng(17);
+    PauliSum h(4);
+    const PauliOp ops[] = {PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z};
+    for (int t = 0; t < 25; ++t) {
+        PauliString p(4);
+        for (int q = 0; q < 4; ++q)
+            p.setOp(q, ops[rng.uniformInt(4)]);
+        h.add(rng.normal(), p);
+    }
+    h.simplify();
+
+    const auto groups = groupQubitWise(h);
+    for (const auto &g : groups) {
+        for (std::size_t i = 0; i < g.termIndices.size(); ++i) {
+            for (std::size_t j = i + 1; j < g.termIndices.size(); ++j) {
+                EXPECT_TRUE(h.terms()[g.termIndices[i]].pauli
+                                .qubitWiseCommutes(
+                                    h.terms()[g.termIndices[j]].pauli));
+            }
+        }
+        // Basis must cover every member's non-identity factors.
+        for (auto idx : g.termIndices) {
+            const auto &p = h.terms()[idx].pauli;
+            for (int q = 0; q < 4; ++q) {
+                if (p.op(q) != PauliOp::I) {
+                    EXPECT_EQ(g.basis[static_cast<std::size_t>(q)],
+                              p.op(q));
+                }
+            }
+        }
+    }
+}
+
+TEST(BasisChange, RotatesXAndYOntoZ)
+{
+    // Measuring in the rotated basis must reproduce the direct
+    // expectation for every term of the group.
+    PauliSum h(2);
+    h.add(1.0, "XY");
+    h.add(1.0, "XI");
+    h.add(1.0, "IY");
+    const auto groups = groupQubitWise(h);
+    ASSERT_EQ(groups.size(), 1u);
+
+    Rng rng(3);
+    Circuit prep(2);
+    prep.ry(0, 0.7).rx(1, -1.1).cx(0, 1).rz(0, 0.4);
+    Statevector st(2);
+    st.run(prep);
+
+    Statevector rotated = st;
+    rotated.run(basisChangeCircuit(groups[0], 2));
+
+    for (auto idx : groups[0].termIndices) {
+        const auto &term = h.terms()[idx].pauli;
+        const double direct = expectation(st, term);
+        const double via_parity =
+            rotated.expectationZMask(term.supportMask());
+        EXPECT_NEAR(direct, via_parity, 1e-10) << term.label();
+    }
+}
+
+TEST(BasisChange, ZBasisNeedsNoGates)
+{
+    MeasurementGroup g;
+    g.basis = {PauliOp::Z, PauliOp::I};
+    const Circuit c = basisChangeCircuit(g, 2);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BasisChange, WidthMismatchThrows)
+{
+    MeasurementGroup g;
+    g.basis = {PauliOp::Z};
+    EXPECT_THROW(basisChangeCircuit(g, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace qismet

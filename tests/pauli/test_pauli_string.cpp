@@ -1,0 +1,134 @@
+/** @file Tests for Pauli strings: labels, masks, commutation, matrices. */
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli_string.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(PauliString, LabelRoundTrip)
+{
+    for (const std::string label : {"X", "IZ", "XYZI", "IIIIII", "ZZXXYY"}) {
+        EXPECT_EQ(PauliString::fromLabel(label).label(), label);
+    }
+}
+
+TEST(PauliString, LabelConvention)
+{
+    // Leftmost character is the highest-index qubit.
+    const auto p = PauliString::fromLabel("XI");
+    EXPECT_EQ(p.op(1), PauliOp::X);
+    EXPECT_EQ(p.op(0), PauliOp::I);
+}
+
+TEST(PauliString, BadLabelThrows)
+{
+    EXPECT_THROW(PauliString::fromLabel(""), std::invalid_argument);
+    EXPECT_THROW(PauliString::fromLabel("XQ"), std::invalid_argument);
+}
+
+TEST(PauliString, WeightAndIdentity)
+{
+    EXPECT_EQ(PauliString::fromLabel("IIII").weight(), 0);
+    EXPECT_TRUE(PauliString::fromLabel("II").isIdentity());
+    EXPECT_EQ(PauliString::fromLabel("XIZY").weight(), 3);
+}
+
+TEST(PauliString, Masks)
+{
+    const auto p = PauliString::fromLabel("ZYXI"); // q3=Z q2=Y q1=X q0=I
+    EXPECT_EQ(p.xMask(), 0b0110u); // X,Y flip
+    EXPECT_EQ(p.zMask(), 0b1100u); // Z,Y phase
+    EXPECT_EQ(p.supportMask(), 0b1110u);
+    EXPECT_EQ(p.countY(), 1);
+}
+
+TEST(PauliString, SetOpAndBounds)
+{
+    PauliString p(3);
+    p.setOp(1, PauliOp::Y);
+    EXPECT_EQ(p.op(1), PauliOp::Y);
+    EXPECT_THROW(p.setOp(3, PauliOp::X), std::out_of_range);
+    EXPECT_THROW(p.op(-1), std::out_of_range);
+}
+
+TEST(PauliString, QubitWiseCommutation)
+{
+    const auto a = PauliString::fromLabel("XI");
+    const auto b = PauliString::fromLabel("XZ");
+    const auto c = PauliString::fromLabel("ZI");
+    EXPECT_TRUE(a.qubitWiseCommutes(b));
+    EXPECT_FALSE(a.qubitWiseCommutes(c));
+}
+
+TEST(PauliString, FullCommutation)
+{
+    // XX and ZZ commute globally (two anticommuting sites) but not
+    // qubit-wise.
+    const auto xx = PauliString::fromLabel("XX");
+    const auto zz = PauliString::fromLabel("ZZ");
+    EXPECT_TRUE(xx.commutes(zz));
+    EXPECT_FALSE(xx.qubitWiseCommutes(zz));
+
+    const auto xi = PauliString::fromLabel("XI");
+    const auto zi = PauliString::fromLabel("ZI");
+    EXPECT_FALSE(xi.commutes(zi));
+}
+
+TEST(PauliString, CommutesWidthMismatchThrows)
+{
+    EXPECT_THROW(PauliString::fromLabel("X").commutes(
+                     PauliString::fromLabel("XX")),
+                 std::invalid_argument);
+}
+
+TEST(PauliString, MatrixOfSingleOps)
+{
+    EXPECT_NEAR(PauliString::fromLabel("I").toMatrix().maxAbsDiff(
+                    Matrix::identity(2)),
+                0.0, 1e-14);
+    const auto z = PauliString::fromLabel("Z").toMatrix();
+    EXPECT_DOUBLE_EQ(z(0, 0).real(), 1.0);
+    EXPECT_DOUBLE_EQ(z(1, 1).real(), -1.0);
+}
+
+TEST(PauliString, MatrixOrderingMatchesBitConvention)
+{
+    // "XI" acts X on qubit 1 (bit 1). Basis |01> (index 1) should map
+    // to |11> (index 3).
+    const auto m = PauliString::fromLabel("XI").toMatrix();
+    EXPECT_DOUBLE_EQ(m(3, 1).real(), 1.0);
+    EXPECT_DOUBLE_EQ(m(2, 0).real(), 1.0);
+    EXPECT_DOUBLE_EQ(m(0, 0).real(), 0.0);
+}
+
+class PauliMatrixHermitianTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PauliMatrixHermitianTest, HermitianAndUnitary)
+{
+    const auto m = PauliString::fromLabel(GetParam()).toMatrix();
+    EXPECT_TRUE(m.isHermitian(1e-12));
+    EXPECT_TRUE(m.isUnitary(1e-12));
+    // Pauli matrices square to identity.
+    EXPECT_NEAR((m * m).maxAbsDiff(Matrix::identity(m.rows())), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Labels, PauliMatrixHermitianTest,
+                         ::testing::Values("X", "Y", "Z", "XY", "YZ", "ZZ",
+                                           "XYZ", "YYX", "IZY"));
+
+TEST(PauliString, Ordering)
+{
+    const auto a = PauliString::fromLabel("IX");
+    const auto b = PauliString::fromLabel("XI");
+    EXPECT_TRUE(a == a);
+    EXPECT_TRUE(a < b || b < a);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace qismet

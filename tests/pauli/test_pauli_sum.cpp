@@ -1,0 +1,103 @@
+/** @file Tests for PauliSum Hamiltonians. */
+
+#include <gtest/gtest.h>
+
+#include "common/eigen.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(PauliSum, AddAndQuery)
+{
+    PauliSum h(2);
+    h.add(1.5, "ZZ");
+    h.add(-0.5, "XI");
+    EXPECT_EQ(h.numTerms(), 2u);
+    EXPECT_DOUBLE_EQ(h.l1Norm(), 2.0);
+}
+
+TEST(PauliSum, WidthMismatchThrows)
+{
+    PauliSum h(2);
+    EXPECT_THROW(h.add(1.0, "XXX"), std::invalid_argument);
+}
+
+TEST(PauliSum, SimplifyMergesDuplicates)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    h.add(2.0, "ZZ");
+    h.add(0.5, "XI");
+    h.simplify();
+    EXPECT_EQ(h.numTerms(), 2u);
+    EXPECT_DOUBLE_EQ(h.l1Norm(), 3.5);
+}
+
+TEST(PauliSum, SimplifyDropsZeroTerms)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    h.add(-1.0, "ZZ");
+    h.simplify();
+    EXPECT_EQ(h.numTerms(), 0u);
+}
+
+TEST(PauliSum, IdentityCoefficient)
+{
+    PauliSum h(2);
+    h.add(0.7, "II");
+    h.add(1.0, "ZZ");
+    h.add(0.3, "II");
+    EXPECT_DOUBLE_EQ(h.identityCoefficient(), 1.0);
+}
+
+TEST(PauliSum, ToMatrixIsHermitian)
+{
+    PauliSum h(2);
+    h.add(0.5, "XY");
+    h.add(-1.2, "ZZ");
+    h.add(0.3, "YI");
+    EXPECT_TRUE(h.toMatrix().isHermitian(1e-12));
+}
+
+TEST(PauliSum, ToMatrixKnownSpectrum)
+{
+    // H = Z0: eigenvalues ±1 each twice on 2 qubits.
+    PauliSum h(2);
+    h.add(1.0, "IZ");
+    const auto eig = eigHermitian(h.toMatrix());
+    EXPECT_NEAR(eig.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], -1.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+    EXPECT_NEAR(eig.values[3], 1.0, 1e-10);
+}
+
+TEST(PauliSum, AdditionAndScaling)
+{
+    PauliSum a(2);
+    a.add(1.0, "ZZ");
+    PauliSum b(2);
+    b.add(2.0, "ZZ");
+    b.add(1.0, "XI");
+
+    const PauliSum sum = a + b;
+    EXPECT_EQ(sum.numTerms(), 2u);
+    EXPECT_DOUBLE_EQ(sum.l1Norm(), 4.0);
+
+    const PauliSum scaled = sum * (-0.5);
+    EXPECT_DOUBLE_EQ(scaled.l1Norm(), 2.0);
+}
+
+TEST(PauliSum, ToStringListsTerms)
+{
+    PauliSum h(2);
+    h.add(-1.0, "ZZ");
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("ZZ"), std::string::npos);
+    EXPECT_NE(s.find("-1"), std::string::npos);
+    EXPECT_EQ(PauliSum(2).toString(), "0");
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,85 @@
+/** @file Tests for MaxCut instances and cost Hamiltonians. */
+
+#include <gtest/gtest.h>
+
+#include "hamiltonian/exact_solver.hpp"
+#include "qaoa/maxcut.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(MaxCut, Validation)
+{
+    EXPECT_THROW(MaxCutProblem(1, {}), std::invalid_argument);
+    EXPECT_THROW(MaxCutProblem(3, {{0, 3, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(MaxCutProblem(3, {{1, 1, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(MaxCutProblem(3, {{0, 1, -1.0}}), std::invalid_argument);
+}
+
+TEST(MaxCut, CutValueOfTriangle)
+{
+    const MaxCutProblem tri(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+    EXPECT_DOUBLE_EQ(tri.cutValue(0b000), 0.0);
+    EXPECT_DOUBLE_EQ(tri.cutValue(0b001), 2.0);
+    EXPECT_DOUBLE_EQ(tri.cutValue(0b111), 0.0);
+    EXPECT_DOUBLE_EQ(tri.maxCutValue(), 2.0);
+}
+
+class RingCutTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RingCutTest, EvenRingCutsAllEdges)
+{
+    const int n = GetParam();
+    const MaxCutProblem ring = MaxCutProblem::ring(n);
+    // Even ring: alternating assignment cuts every edge.
+    EXPECT_DOUBLE_EQ(ring.maxCutValue(),
+                     n % 2 == 0 ? static_cast<double>(n)
+                                : static_cast<double>(n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingCutTest,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+TEST(MaxCut, CostHamiltonianGroundEnergyIsMinusMaxCut)
+{
+    Rng rng(21);
+    const MaxCutProblem p = MaxCutProblem::random(5, 0.6, rng);
+    const auto sol = solveExact(p.costHamiltonian());
+    EXPECT_NEAR(sol.groundEnergy(), -p.maxCutValue(), 1e-9);
+}
+
+TEST(MaxCut, CostHamiltonianDiagonalValues)
+{
+    // <z|C|z> = -cut(z) for every computational basis state.
+    const MaxCutProblem p(3, {{0, 1, 2.0}, {1, 2, 1.0}});
+    const Matrix c = p.costHamiltonian().toMatrix();
+    for (std::uint64_t z = 0; z < 8; ++z)
+        EXPECT_NEAR(c(z, z).real(), -p.cutValue(z), 1e-12) << z;
+}
+
+TEST(MaxCut, WeightedEdges)
+{
+    const MaxCutProblem p(2, {{0, 1, 3.5}});
+    EXPECT_DOUBLE_EQ(p.maxCutValue(), 3.5);
+    EXPECT_DOUBLE_EQ(p.cutValue(0b01), 3.5);
+}
+
+TEST(MaxCut, RandomGraphDeterministicPerSeed)
+{
+    Rng a(5), b(5);
+    const auto g1 = MaxCutProblem::random(6, 0.5, a);
+    const auto g2 = MaxCutProblem::random(6, 0.5, b);
+    EXPECT_EQ(g1.edges().size(), g2.edges().size());
+}
+
+TEST(MaxCut, RandomGraphNeverEmpty)
+{
+    Rng rng(7);
+    const auto g = MaxCutProblem::random(4, 0.0, rng);
+    EXPECT_GE(g.edges().size(), 1u);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,97 @@
+/** @file Tests for the QAOA ansatz circuit. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/metrics.hpp"
+#include "pauli/expectation.hpp"
+#include "qaoa/qaoa_ansatz.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(QaoaAnsatz, ParamCountAndStructure)
+{
+    const MaxCutProblem ring = MaxCutProblem::ring(4);
+    const QaoaAnsatz ansatz(ring, 3);
+    EXPECT_EQ(ansatz.numParams(), 6);
+
+    const Circuit c = ansatz.build();
+    const CircuitMetrics m = computeMetrics(c);
+    // 2 CX per edge per layer.
+    EXPECT_EQ(m.twoQubitGates, 3 * 2 * 4);
+}
+
+TEST(QaoaAnsatz, ZeroAnglesGiveUniformSuperposition)
+{
+    const MaxCutProblem ring = MaxCutProblem::ring(4);
+    const QaoaAnsatz ansatz(ring, 2);
+    Statevector st(4);
+    st.run(ansatz.build(), std::vector<double>(4, 0.0));
+    for (std::uint64_t z = 0; z < 16; ++z)
+        EXPECT_NEAR(st.probability(z), 1.0 / 16.0, 1e-12);
+}
+
+TEST(QaoaAnsatz, ExpectationAtZeroAnglesIsMean)
+{
+    // On the uniform superposition, <ZZ> = 0 so <C> = -(1/2) sum w.
+    const MaxCutProblem ring = MaxCutProblem::ring(6);
+    const QaoaAnsatz ansatz(ring, 1);
+    Statevector st(6);
+    st.run(ansatz.build(), {0.0, 0.0});
+    EXPECT_NEAR(expectation(st, ring.costHamiltonian()), -3.0, 1e-10);
+}
+
+TEST(QaoaAnsatz, SingleLayerRingAnalyticOptimum)
+{
+    // For MaxCut-QAOA at p = 1 on a (triangle-free) ring, the optimal
+    // approximation ratio is known to be ~0.692 at gamma, beta != 0.
+    // We check that a coarse grid search beats the random-assignment
+    // ratio of 0.5 and approaches the analytic value.
+    const MaxCutProblem ring = MaxCutProblem::ring(6);
+    const QaoaAnsatz ansatz(ring, 1);
+    const Circuit c = ansatz.build();
+    const PauliSum cost = ring.costHamiltonian();
+    const double maxcut = ring.maxCutValue();
+
+    double best_ratio = 0.0;
+    for (double gamma = 0.1; gamma < 1.6; gamma += 0.1) {
+        for (double beta = 0.1; beta < 1.6; beta += 0.1) {
+            Statevector st(6);
+            st.run(c, {gamma, beta});
+            best_ratio = std::max(best_ratio,
+                                  -expectation(st, cost) / maxcut);
+        }
+    }
+    EXPECT_GT(best_ratio, 0.68);
+    EXPECT_LE(best_ratio, 1.0 + 1e-9);
+}
+
+TEST(QaoaAnsatz, DeeperIsAtLeastAsExpressive)
+{
+    const MaxCutProblem ring = MaxCutProblem::ring(4);
+    const PauliSum cost = ring.costHamiltonian();
+
+    auto best_over_grid = [&](int layers) {
+        const QaoaAnsatz ansatz(ring, layers);
+        const Circuit c = ansatz.build();
+        Rng rng(3);
+        double best = 0.0;
+        for (int t = 0; t < 400; ++t) {
+            std::vector<double> theta(
+                static_cast<std::size_t>(ansatz.numParams()));
+            for (auto &x : theta)
+                x = rng.uniform(0.0, M_PI);
+            Statevector st(4);
+            st.run(c, theta);
+            best = std::max(best, -expectation(st, cost));
+        }
+        return best;
+    };
+    EXPECT_GE(best_over_grid(2) + 0.1, best_over_grid(1));
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,120 @@
+/** @file Tests for finite-shot sampling with readout errors. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/shot_sampler.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(ReadoutError, Validation)
+{
+    ReadoutError ok{0.01, 0.02};
+    EXPECT_NO_THROW(ok.check());
+    ReadoutError bad{1.5, 0.0};
+    EXPECT_THROW(bad.check(), std::invalid_argument);
+}
+
+TEST(ShotSampler, ErrorFreeSamplingMatchesDistribution)
+{
+    ShotSampler sampler;
+    std::vector<double> probs = {0.25, 0.75};
+    Rng rng(3);
+    const Counts counts = sampler.sample(probs, 1, 40000, rng);
+    EXPECT_NEAR(counts.at(0) / 40000.0, 0.25, 0.01);
+    EXPECT_NEAR(counts.at(1) / 40000.0, 0.75, 0.01);
+}
+
+TEST(ShotSampler, ReadoutFlipsGroundState)
+{
+    // Deterministic |0> prepared, p10 = 0.1 readout flips.
+    ShotSampler sampler({ReadoutError{0.1, 0.0}});
+    std::vector<double> probs = {1.0, 0.0};
+    Rng rng(5);
+    const Counts counts = sampler.sample(probs, 1, 50000, rng);
+    EXPECT_NEAR(counts.at(1) / 50000.0, 0.1, 0.01);
+}
+
+TEST(ShotSampler, AsymmetricReadout)
+{
+    // |1> prepared with p01 = 0.2: expect ~20% zeros.
+    ShotSampler sampler({ReadoutError{0.0, 0.2}});
+    std::vector<double> probs = {0.0, 1.0};
+    Rng rng(7);
+    const Counts counts = sampler.sample(probs, 1, 50000, rng);
+    EXPECT_NEAR(counts.at(0) / 50000.0, 0.2, 0.01);
+}
+
+TEST(ShotSampler, MultiQubitIndependentFlips)
+{
+    ShotSampler sampler({ReadoutError{0.1, 0.0}, ReadoutError{0.1, 0.0}});
+    std::vector<double> probs = {1.0, 0.0, 0.0, 0.0};
+    Rng rng(11);
+    const Counts counts = sampler.sample(probs, 2, 50000, rng);
+    const double p_both =
+        counts.count(3) ? counts.at(3) / 50000.0 : 0.0;
+    EXPECT_NEAR(p_both, 0.01, 0.005);
+}
+
+TEST(ShotSampler, Validation)
+{
+    ShotSampler sampler;
+    Rng rng(1);
+    EXPECT_THROW(sampler.sample({0.5, 0.5, 0.0}, 1, 10, rng),
+                 std::invalid_argument); // size != 2^n
+    EXPECT_THROW(sampler.sample({-0.5, 1.5}, 1, 10, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sampler.sample({0.0, 0.0}, 1, 10, rng),
+                 std::invalid_argument);
+}
+
+TEST(ShotSampler, TooFewReadoutEntriesThrows)
+{
+    ShotSampler sampler({ReadoutError{0.1, 0.1}});
+    std::vector<double> probs(4, 0.25);
+    Rng rng(1);
+    EXPECT_THROW(sampler.sample(probs, 2, 10, rng), std::invalid_argument);
+}
+
+TEST(Counts, TotalShots)
+{
+    Counts c = {{0, 10}, {3, 5}};
+    EXPECT_EQ(totalShots(c), 15u);
+    EXPECT_EQ(totalShots({}), 0u);
+}
+
+TEST(Counts, ToProbabilities)
+{
+    Counts c = {{0, 30}, {2, 10}};
+    const auto p = countsToProbabilities(c, 2);
+    EXPECT_DOUBLE_EQ(p[0], 0.75);
+    EXPECT_DOUBLE_EQ(p[2], 0.25);
+    EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(Counts, ToProbabilitiesRejectsWideOutcome)
+{
+    Counts c = {{4, 1}};
+    EXPECT_THROW(countsToProbabilities(c, 2), std::out_of_range);
+}
+
+TEST(Counts, ExpectationZMask)
+{
+    // 60% |00>, 40% |01>: Z on qubit 0 = 0.6 - 0.4 = 0.2.
+    Counts c = {{0, 60}, {1, 40}};
+    EXPECT_NEAR(countsExpectationZMask(c, 0b01), 0.2, 1e-12);
+    // Z on qubit 1 always +1.
+    EXPECT_NEAR(countsExpectationZMask(c, 0b10), 1.0, 1e-12);
+    // ZZ parity: |01> has odd parity.
+    EXPECT_NEAR(countsExpectationZMask(c, 0b11), 0.2, 1e-12);
+}
+
+TEST(Counts, ExpectationOfEmptyCountsIsZero)
+{
+    EXPECT_DOUBLE_EQ(countsExpectationZMask({}, 1), 0.0);
+}
+
+} // namespace
+} // namespace qismet

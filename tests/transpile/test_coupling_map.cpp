@@ -1,0 +1,90 @@
+/** @file Tests for device coupling maps. */
+
+#include <gtest/gtest.h>
+
+#include "transpile/coupling_map.hpp"
+
+namespace qismet {
+namespace {
+
+TEST(CouplingMap, Validation)
+{
+    EXPECT_THROW(CouplingMap(0, {}), std::invalid_argument);
+    EXPECT_THROW(CouplingMap(3, {{0, 3}}), std::invalid_argument);
+    EXPECT_THROW(CouplingMap(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(CouplingMap, DeduplicatesEdges)
+{
+    const CouplingMap m(3, {{0, 1}, {1, 0}, {0, 1}});
+    EXPECT_EQ(m.edges().size(), 1u);
+}
+
+TEST(CouplingMap, LinearChain)
+{
+    const CouplingMap m = CouplingMap::linear(5);
+    EXPECT_TRUE(m.connected(0, 1));
+    EXPECT_TRUE(m.connected(3, 4));
+    EXPECT_FALSE(m.connected(0, 2));
+    EXPECT_EQ(m.distance(0, 4), 4);
+    EXPECT_TRUE(m.isConnected());
+}
+
+TEST(CouplingMap, RingWrapsAround)
+{
+    const CouplingMap m = CouplingMap::ring(6);
+    EXPECT_TRUE(m.connected(5, 0));
+    EXPECT_EQ(m.distance(0, 3), 3);
+    EXPECT_EQ(m.distance(0, 5), 1);
+}
+
+TEST(CouplingMap, Ibm7qHStructure)
+{
+    const CouplingMap m = CouplingMap::ibm7qH();
+    EXPECT_EQ(m.numQubits(), 7);
+    EXPECT_EQ(m.edges().size(), 6u);
+    EXPECT_TRUE(m.connected(1, 3));
+    EXPECT_FALSE(m.connected(2, 3));
+    EXPECT_EQ(m.distance(0, 6), 4); // 0-1-3-5-6
+    EXPECT_TRUE(m.isConnected());
+}
+
+TEST(CouplingMap, ShortestPathEndpoints)
+{
+    const CouplingMap m = CouplingMap::ibm7qH();
+    const auto path = m.shortestPath(2, 4);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 2);
+    EXPECT_EQ(path.back(), 4);
+    // Consecutive hops must be coupled.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(m.connected(path[i], path[i + 1]));
+}
+
+TEST(CouplingMap, PathToSelf)
+{
+    const CouplingMap m = CouplingMap::linear(4);
+    EXPECT_EQ(m.shortestPath(2, 2), std::vector<int>{2});
+    EXPECT_EQ(m.distance(2, 2), 0);
+}
+
+TEST(CouplingMap, DisconnectedGraphDetected)
+{
+    const CouplingMap m(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(m.isConnected());
+    EXPECT_EQ(m.distance(0, 3), -1);
+    EXPECT_TRUE(m.shortestPath(0, 3).empty());
+}
+
+TEST(CouplingMap, MachineFactory)
+{
+    EXPECT_EQ(CouplingMap::forMachine("jakarta", 7).edges().size(), 6u);
+    EXPECT_EQ(CouplingMap::forMachine("Casablanca", 7).numQubits(), 7);
+    // Falcons come back as linear chains of the requested size.
+    const CouplingMap toronto = CouplingMap::forMachine("toronto", 27);
+    EXPECT_EQ(toronto.numQubits(), 27);
+    EXPECT_EQ(toronto.edges().size(), 26u);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,158 @@
+/** @file Tests for SWAP routing, including unitary-equivalence checks. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ansatz/real_amplitudes.hpp"
+#include "circuit/metrics.hpp"
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/router.hpp"
+
+namespace qismet {
+namespace {
+
+Circuit
+randomCircuit(int num_qubits, int num_gates, Rng &rng)
+{
+    Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        const int q = static_cast<int>(rng.uniformInt(num_qubits));
+        switch (rng.uniformInt(4)) {
+          case 0: c.h(q); break;
+          case 1: c.ry(q, rng.uniform(-3.0, 3.0)); break;
+          case 2: c.rz(q, rng.uniform(-3.0, 3.0)); break;
+          default: {
+            int q2 = static_cast<int>(rng.uniformInt(num_qubits));
+            if (q2 == q)
+                q2 = (q + 1) % num_qubits;
+            c.cx(q, q2);
+          }
+        }
+    }
+    return c;
+}
+
+/**
+ * Check that the routed circuit implements the original one up to the
+ * reported output permutation: simulate both and compare probability
+ * distributions after un-permuting the physical outcome bits.
+ */
+void
+expectEquivalent(const Circuit &original, const RoutingResult &routed,
+                 const std::vector<double> &params = {})
+{
+    Statevector logical(original.numQubits());
+    logical.run(original, params);
+
+    Statevector physical(routed.circuit.numQubits());
+    physical.run(routed.circuit, params);
+
+    const auto p_logical = logical.probabilities();
+    const auto p_physical = physical.probabilities();
+
+    std::vector<double> p_unrouted(p_logical.size(), 0.0);
+    for (std::size_t i = 0; i < p_physical.size(); ++i) {
+        if (p_physical[i] < 1e-15)
+            continue;
+        const std::uint64_t l = routed.toLogical(i);
+        ASSERT_LT(l, p_unrouted.size());
+        p_unrouted[l] += p_physical[i];
+    }
+    for (std::size_t i = 0; i < p_logical.size(); ++i)
+        EXPECT_NEAR(p_unrouted[i], p_logical[i], 1e-10);
+}
+
+TEST(Router, ConnectedGatesPassThrough)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    const auto routed = routeCircuit(c, CouplingMap::linear(3));
+    EXPECT_EQ(routed.swapsInserted, 0);
+    EXPECT_EQ(routed.circuit.size(), c.size());
+    EXPECT_EQ(routed.finalLayout, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Router, InsertsSwapForDistantPair)
+{
+    Circuit c(3);
+    c.cx(0, 2); // distance 2 on a line
+    const auto routed = routeCircuit(c, CouplingMap::linear(3));
+    EXPECT_EQ(routed.swapsInserted, 1);
+    expectEquivalent(c, routed);
+}
+
+TEST(Router, Validation)
+{
+    Circuit c(4);
+    EXPECT_THROW(routeCircuit(c, CouplingMap::linear(3)),
+                 std::invalid_argument);
+    const CouplingMap disconnected(4, {{0, 1}, {2, 3}});
+    EXPECT_THROW(routeCircuit(c, disconnected), std::invalid_argument);
+}
+
+class RouterEquivalenceTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RouterEquivalenceTest, RandomCircuitsOnLinearMap)
+{
+    Rng rng(GetParam());
+    const Circuit c = randomCircuit(4, 25, rng);
+    const auto routed = routeCircuit(c, CouplingMap::linear(4));
+    expectEquivalent(c, routed);
+}
+
+TEST_P(RouterEquivalenceTest, RandomCircuitsOnIbm7qH)
+{
+    Rng rng(GetParam() * 31 + 7);
+    const Circuit c = randomCircuit(6, 25, rng);
+    const auto routed = routeCircuit(c, CouplingMap::ibm7qH());
+    EXPECT_EQ(routed.circuit.numQubits(), 7);
+    expectEquivalent(c, routed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Router, PreservesParameters)
+{
+    const RealAmplitudes ansatz(6, 2);
+    const Circuit c = ansatz.build();
+    const auto routed = routeCircuit(c, CouplingMap::ibm7qH());
+    EXPECT_EQ(routed.circuit.numParams(), c.numParams());
+
+    Rng rng(3);
+    const auto theta = ansatz.randomInitialPoint(rng);
+    expectEquivalent(c, routed, theta);
+}
+
+TEST(Router, HLatticeCostsMoreThanLine)
+{
+    // The linear-entanglement ansatz is native on a line but needs
+    // SWAPs on the 7q H lattice — the concrete reason the small
+    // machines run deeper circuits (Section 3.2).
+    const RealAmplitudes ansatz(6, 4);
+    const Circuit c = ansatz.build();
+
+    const auto on_line = routeCircuit(c, CouplingMap::linear(6));
+    const auto on_h = routeCircuit(c, CouplingMap::ibm7qH());
+    EXPECT_EQ(on_line.swapsInserted, 0);
+    EXPECT_GT(on_h.swapsInserted, 0);
+    EXPECT_GT(computeMetrics(on_h.circuit).twoQubitGates,
+              computeMetrics(on_line.circuit).twoQubitGates);
+}
+
+TEST(RoutingResult, ToLogicalPermutesBits)
+{
+    RoutingResult r;
+    r.finalLayout = {2, 0, 1}; // logical0->phys2, logical1->phys0, ...
+    // physical outcome 0b100 means phys2 = 1 -> logical 0 = 1.
+    EXPECT_EQ(r.toLogical(0b100), 0b001u);
+    EXPECT_EQ(r.toLogical(0b001), 0b010u);
+    EXPECT_EQ(r.toLogical(0b010), 0b100u);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,212 @@
+/** @file Tests for the noisy energy estimator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ansatz/real_amplitudes.hpp"
+#include "common/statistics.hpp"
+#include "hamiltonian/tfim.hpp"
+#include "noise/machine_model.hpp"
+#include "vqe/energy_estimator.hpp"
+
+namespace qismet {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : hamiltonian(tfimHamiltonian({.numQubits = 4})),
+          ansatz(RealAmplitudes(4, 2).build()),
+          noise(machineModel("guadalupe").staticModel())
+    {
+    }
+
+    PauliSum hamiltonian;
+    Circuit ansatz;
+    StaticNoiseModel noise;
+
+    std::vector<double> theta(double value = 0.4) const
+    {
+        return std::vector<double>(
+            static_cast<std::size_t>(ansatz.numParams()), value);
+    }
+};
+
+TEST(EnergyEstimator, Validation)
+{
+    Fixture f;
+    EstimatorConfig cfg;
+    cfg.shots = 0;
+    EXPECT_THROW(EnergyEstimator(f.hamiltonian, f.ansatz, f.noise, cfg),
+                 std::invalid_argument);
+
+    EstimatorConfig ok;
+    EXPECT_THROW(EnergyEstimator(f.hamiltonian, f.ansatz, std::nullopt, ok),
+                 std::invalid_argument); // noisy mode without noise model
+
+    PauliSum wrong(3);
+    wrong.add(1.0, "ZZZ");
+    EXPECT_THROW(EnergyEstimator(wrong, f.ansatz, f.noise, ok),
+                 std::invalid_argument);
+}
+
+TEST(EnergyEstimator, IdealModeIsExact)
+{
+    Fixture f;
+    EstimatorConfig cfg;
+    cfg.mode = EstimatorMode::Ideal;
+    EnergyEstimator est(f.hamiltonian, f.ansatz, std::nullopt, cfg);
+    Rng rng(1);
+    const auto t = f.theta();
+    EXPECT_DOUBLE_EQ(est.estimate(t, 0.0, rng), est.idealEnergy(t));
+    EXPECT_DOUBLE_EQ(est.estimate(t, 0.9, rng), est.idealEnergy(t));
+}
+
+TEST(EnergyEstimator, MixedEnergyIsIdentityCoefficient)
+{
+    Fixture f;
+    PauliSum shifted = f.hamiltonian;
+    shifted.add(1.75, "IIII");
+    EnergyEstimator est(shifted, f.ansatz, f.noise, {});
+    EXPECT_DOUBLE_EQ(est.mixedEnergy(), 1.75);
+}
+
+TEST(EnergyEstimator, AnalyticMeanMatchesComposition)
+{
+    Fixture f;
+    EstimatorConfig cfg;
+    cfg.mode = EstimatorMode::Analytic;
+    cfg.shots = 1 << 14;
+    EnergyEstimator est(f.hamiltonian, f.ansatz, f.noise, cfg);
+
+    const auto t = f.theta();
+    const double ideal = est.idealEnergy(t);
+
+    // Average many noisy estimates at tau = 0: expect f_static * ideal
+    // (mixed energy is 0 for the TFIM).
+    Rng rng(3);
+    RunningStats stats;
+    for (int i = 0; i < 2000; ++i)
+        stats.add(est.estimate(t, 0.0, rng));
+
+    Statevector st(4);
+    st.run(f.ansatz, t);
+    const double kappa = EnergyEstimator::transientSensitivity(st);
+    (void)kappa;
+    EXPECT_NEAR(stats.mean(), est.staticSurvival() * ideal, 0.02);
+}
+
+TEST(EnergyEstimator, FullTransientScramblesToMixed)
+{
+    Fixture f;
+    EnergyEstimator est(f.hamiltonian, f.ansatz, f.noise, {});
+    Rng rng(5);
+
+    // Prepare a half-excited state so the sensitivity is ~1 and tau = 1
+    // fully scrambles.
+    const auto t = f.theta(M_PI / 2.0);
+    Statevector st(4);
+    st.run(f.ansatz, t);
+    const double kappa = EnergyEstimator::transientSensitivity(st);
+    const double tau = 1.0 / kappa;
+
+    RunningStats stats;
+    for (int i = 0; i < 500; ++i)
+        stats.add(est.estimate(t, tau, rng));
+    EXPECT_NEAR(stats.mean(), est.mixedEnergy(), 0.05);
+}
+
+TEST(EnergyEstimator, TransientPullsTowardMixed)
+{
+    Fixture f;
+    EnergyEstimator est(f.hamiltonian, f.ansatz, f.noise, {});
+    Rng rng(7);
+    const auto t = f.theta();
+
+    RunningStats clean, noisy;
+    for (int i = 0; i < 500; ++i) {
+        clean.add(est.estimate(t, 0.0, rng));
+        noisy.add(est.estimate(t, 0.5, rng));
+    }
+    // Energies are negative; transients pull up toward 0.
+    EXPECT_LT(clean.mean(), noisy.mean());
+}
+
+TEST(EnergyEstimator, TransientSensitivityLimits)
+{
+    // |0000>: no excitation, immune. |1111>: doubly sensitive.
+    Statevector ground(4);
+    EXPECT_DOUBLE_EQ(EnergyEstimator::transientSensitivity(ground), 0.0);
+
+    Statevector excited(4);
+    Circuit flip(4);
+    flip.x(0).x(1).x(2).x(3);
+    excited.run(flip);
+    EXPECT_DOUBLE_EQ(EnergyEstimator::transientSensitivity(excited), 2.0);
+
+    Statevector half(4);
+    Circuit two(4);
+    two.x(0).x(1);
+    half.run(two);
+    EXPECT_DOUBLE_EQ(EnergyEstimator::transientSensitivity(half), 1.0);
+}
+
+TEST(EnergyEstimator, SamplingAgreesWithAnalyticOnAverage)
+{
+    Fixture f;
+    EstimatorConfig a;
+    a.mode = EstimatorMode::Analytic;
+    a.shots = 4096;
+    EstimatorConfig s;
+    s.mode = EstimatorMode::Sampling;
+    s.shots = 4096;
+
+    EnergyEstimator ea(f.hamiltonian, f.ansatz, f.noise, a);
+    EnergyEstimator es(f.hamiltonian, f.ansatz, f.noise, s);
+
+    const auto t = f.theta(-0.7);
+    Rng rng(11);
+    RunningStats sa, ss;
+    for (int i = 0; i < 300; ++i) {
+        sa.add(ea.estimate(t, 0.1, rng));
+        ss.add(es.estimate(t, 0.1, rng));
+    }
+    // The sampling path adds SPAM modeling; mitigation should bring the
+    // two paths close.
+    EXPECT_NEAR(sa.mean(), ss.mean(), 0.08);
+}
+
+TEST(EnergyEstimator, SamplingWithoutMitigationIsBiased)
+{
+    Fixture f;
+    EstimatorConfig with;
+    with.mode = EstimatorMode::Sampling;
+    with.mitigateMeasurement = true;
+    EstimatorConfig without = with;
+    without.mitigateMeasurement = false;
+
+    EnergyEstimator ew(f.hamiltonian, f.ansatz, f.noise, with);
+    EnergyEstimator eo(f.hamiltonian, f.ansatz, f.noise, without);
+
+    const auto t = f.theta(0.3);
+    Rng rng(13);
+    RunningStats sw, so;
+    for (int i = 0; i < 300; ++i) {
+        sw.add(ew.estimate(t, 0.0, rng));
+        so.add(eo.estimate(t, 0.0, rng));
+    }
+    // Un-mitigated readout pulls the estimate further from ideal.
+    const double ideal = ew.idealEnergy(t) * ew.staticSurvival();
+    EXPECT_LT(std::abs(sw.mean() - ideal), std::abs(so.mean() - ideal));
+}
+
+TEST(EnergyEstimator, GroupCountMatchesHamiltonianStructure)
+{
+    Fixture f;
+    EnergyEstimator est(f.hamiltonian, f.ansatz, f.noise, {});
+    EXPECT_EQ(est.numGroups(), 2u); // TFIM: one ZZ group + one X group
+}
+
+} // namespace
+} // namespace qismet
