@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cfar.dir/bench_ablation_cfar.cpp.o"
+  "CMakeFiles/bench_ablation_cfar.dir/bench_ablation_cfar.cpp.o.d"
+  "bench_ablation_cfar"
+  "bench_ablation_cfar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cfar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

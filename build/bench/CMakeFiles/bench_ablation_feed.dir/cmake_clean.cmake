@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_feed.dir/bench_ablation_feed.cpp.o"
+  "CMakeFiles/bench_ablation_feed.dir/bench_ablation_feed.cpp.o.d"
+  "bench_ablation_feed"
+  "bench_ablation_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

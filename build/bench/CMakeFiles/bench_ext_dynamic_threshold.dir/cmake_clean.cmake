@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamic_threshold.dir/bench_ext_dynamic_threshold.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_threshold.dir/bench_ext_dynamic_threshold.cpp.o.d"
+  "bench_ext_dynamic_threshold"
+  "bench_ext_dynamic_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

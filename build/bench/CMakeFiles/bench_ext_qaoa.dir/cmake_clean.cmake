@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_qaoa.dir/bench_ext_qaoa.cpp.o"
+  "CMakeFiles/bench_ext_qaoa.dir/bench_ext_qaoa.cpp.o.d"
+  "bench_ext_qaoa"
+  "bench_ext_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

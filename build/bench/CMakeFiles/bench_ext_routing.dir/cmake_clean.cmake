@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_routing.dir/bench_ext_routing.cpp.o"
+  "CMakeFiles/bench_ext_routing.dir/bench_ext_routing.cpp.o.d"
+  "bench_ext_routing"
+  "bench_ext_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_vqa_spikes.dir/bench_fig05_vqa_spikes.cpp.o"
+  "CMakeFiles/bench_fig05_vqa_spikes.dir/bench_fig05_vqa_spikes.cpp.o.d"
+  "bench_fig05_vqa_spikes"
+  "bench_fig05_vqa_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_vqa_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

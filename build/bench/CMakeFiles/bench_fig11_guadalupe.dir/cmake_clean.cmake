@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_guadalupe.dir/bench_fig11_guadalupe.cpp.o"
+  "CMakeFiles/bench_fig11_guadalupe.dir/bench_fig11_guadalupe.cpp.o.d"
+  "bench_fig11_guadalupe"
+  "bench_fig11_guadalupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_guadalupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

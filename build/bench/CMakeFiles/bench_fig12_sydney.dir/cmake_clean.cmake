@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sydney.dir/bench_fig12_sydney.cpp.o"
+  "CMakeFiles/bench_fig12_sydney.dir/bench_fig12_sydney.cpp.o.d"
+  "bench_fig12_sydney"
+  "bench_fig12_sydney.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sydney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

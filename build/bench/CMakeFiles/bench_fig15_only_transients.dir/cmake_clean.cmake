@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_only_transients.dir/bench_fig15_only_transients.cpp.o"
+  "CMakeFiles/bench_fig15_only_transients.dir/bench_fig15_only_transients.cpp.o.d"
+  "bench_fig15_only_transients"
+  "bench_fig15_only_transients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_only_transients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_kalman.dir/bench_fig16_kalman.cpp.o"
+  "CMakeFiles/bench_fig16_kalman.dir/bench_fig16_kalman.cpp.o.d"
+  "bench_fig16_kalman"
+  "bench_fig16_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_dissociation.dir/h2_dissociation.cpp.o"
+  "CMakeFiles/h2_dissociation.dir/h2_dissociation.cpp.o.d"
+  "h2_dissociation"
+  "h2_dissociation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_dissociation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

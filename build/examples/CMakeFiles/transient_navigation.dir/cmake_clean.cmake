@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_navigation.dir/transient_navigation.cpp.o"
+  "CMakeFiles/transient_navigation.dir/transient_navigation.cpp.o.d"
+  "transient_navigation"
+  "transient_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

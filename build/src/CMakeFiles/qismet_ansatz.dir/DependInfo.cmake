@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ansatz/ansatz.cpp" "src/CMakeFiles/qismet_ansatz.dir/ansatz/ansatz.cpp.o" "gcc" "src/CMakeFiles/qismet_ansatz.dir/ansatz/ansatz.cpp.o.d"
+  "/root/repo/src/ansatz/efficient_su2.cpp" "src/CMakeFiles/qismet_ansatz.dir/ansatz/efficient_su2.cpp.o" "gcc" "src/CMakeFiles/qismet_ansatz.dir/ansatz/efficient_su2.cpp.o.d"
+  "/root/repo/src/ansatz/real_amplitudes.cpp" "src/CMakeFiles/qismet_ansatz.dir/ansatz/real_amplitudes.cpp.o" "gcc" "src/CMakeFiles/qismet_ansatz.dir/ansatz/real_amplitudes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

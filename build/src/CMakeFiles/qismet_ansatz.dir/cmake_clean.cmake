@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_ansatz.dir/ansatz/ansatz.cpp.o"
+  "CMakeFiles/qismet_ansatz.dir/ansatz/ansatz.cpp.o.d"
+  "CMakeFiles/qismet_ansatz.dir/ansatz/efficient_su2.cpp.o"
+  "CMakeFiles/qismet_ansatz.dir/ansatz/efficient_su2.cpp.o.d"
+  "CMakeFiles/qismet_ansatz.dir/ansatz/real_amplitudes.cpp.o"
+  "CMakeFiles/qismet_ansatz.dir/ansatz/real_amplitudes.cpp.o.d"
+  "libqismet_ansatz.a"
+  "libqismet_ansatz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_apps.dir/apps/applications.cpp.o"
+  "CMakeFiles/qismet_apps.dir/apps/applications.cpp.o.d"
+  "CMakeFiles/qismet_apps.dir/apps/experiment_runner.cpp.o"
+  "CMakeFiles/qismet_apps.dir/apps/experiment_runner.cpp.o.d"
+  "libqismet_apps.a"
+  "libqismet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/boys.cpp" "src/CMakeFiles/qismet_chem.dir/chem/boys.cpp.o" "gcc" "src/CMakeFiles/qismet_chem.dir/chem/boys.cpp.o.d"
+  "/root/repo/src/chem/jordan_wigner.cpp" "src/CMakeFiles/qismet_chem.dir/chem/jordan_wigner.cpp.o" "gcc" "src/CMakeFiles/qismet_chem.dir/chem/jordan_wigner.cpp.o.d"
+  "/root/repo/src/chem/sto3g.cpp" "src/CMakeFiles/qismet_chem.dir/chem/sto3g.cpp.o" "gcc" "src/CMakeFiles/qismet_chem.dir/chem/sto3g.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_chem.dir/chem/boys.cpp.o"
+  "CMakeFiles/qismet_chem.dir/chem/boys.cpp.o.d"
+  "CMakeFiles/qismet_chem.dir/chem/jordan_wigner.cpp.o"
+  "CMakeFiles/qismet_chem.dir/chem/jordan_wigner.cpp.o.d"
+  "CMakeFiles/qismet_chem.dir/chem/sto3g.cpp.o"
+  "CMakeFiles/qismet_chem.dir/chem/sto3g.cpp.o.d"
+  "libqismet_chem.a"
+  "libqismet_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

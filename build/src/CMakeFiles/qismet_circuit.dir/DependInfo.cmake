@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/qismet_circuit.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/qismet_circuit.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/qismet_circuit.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/qismet_circuit.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/metrics.cpp" "src/CMakeFiles/qismet_circuit.dir/circuit/metrics.cpp.o" "gcc" "src/CMakeFiles/qismet_circuit.dir/circuit/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

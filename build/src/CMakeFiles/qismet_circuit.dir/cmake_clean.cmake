@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_circuit.dir/circuit/circuit.cpp.o"
+  "CMakeFiles/qismet_circuit.dir/circuit/circuit.cpp.o.d"
+  "CMakeFiles/qismet_circuit.dir/circuit/gate.cpp.o"
+  "CMakeFiles/qismet_circuit.dir/circuit/gate.cpp.o.d"
+  "CMakeFiles/qismet_circuit.dir/circuit/metrics.cpp.o"
+  "CMakeFiles/qismet_circuit.dir/circuit/metrics.cpp.o.d"
+  "libqismet_circuit.a"
+  "libqismet_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv_writer.cpp" "src/CMakeFiles/qismet_common.dir/common/csv_writer.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/csv_writer.cpp.o.d"
+  "/root/repo/src/common/eigen.cpp" "src/CMakeFiles/qismet_common.dir/common/eigen.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/eigen.cpp.o.d"
+  "/root/repo/src/common/matrix.cpp" "src/CMakeFiles/qismet_common.dir/common/matrix.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/matrix.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/qismet_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/CMakeFiles/qismet_common.dir/common/statistics.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/statistics.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/CMakeFiles/qismet_common.dir/common/table_printer.cpp.o" "gcc" "src/CMakeFiles/qismet_common.dir/common/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

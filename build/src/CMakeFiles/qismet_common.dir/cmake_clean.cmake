@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_common.dir/common/csv_writer.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/csv_writer.cpp.o.d"
+  "CMakeFiles/qismet_common.dir/common/eigen.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/eigen.cpp.o.d"
+  "CMakeFiles/qismet_common.dir/common/matrix.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/matrix.cpp.o.d"
+  "CMakeFiles/qismet_common.dir/common/rng.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/qismet_common.dir/common/statistics.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/statistics.cpp.o.d"
+  "CMakeFiles/qismet_common.dir/common/table_printer.cpp.o"
+  "CMakeFiles/qismet_common.dir/common/table_printer.cpp.o.d"
+  "libqismet_common.a"
+  "libqismet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

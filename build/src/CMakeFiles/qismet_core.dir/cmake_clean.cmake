@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_core.dir/core/controller.cpp.o"
+  "CMakeFiles/qismet_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/qismet_core.dir/core/qismet_vqe.cpp.o"
+  "CMakeFiles/qismet_core.dir/core/qismet_vqe.cpp.o.d"
+  "CMakeFiles/qismet_core.dir/core/threshold_calibrator.cpp.o"
+  "CMakeFiles/qismet_core.dir/core/threshold_calibrator.cpp.o.d"
+  "CMakeFiles/qismet_core.dir/core/transient_estimator.cpp.o"
+  "CMakeFiles/qismet_core.dir/core/transient_estimator.cpp.o.d"
+  "libqismet_core.a"
+  "libqismet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

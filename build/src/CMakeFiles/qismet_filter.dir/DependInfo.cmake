@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/cfar.cpp" "src/CMakeFiles/qismet_filter.dir/filter/cfar.cpp.o" "gcc" "src/CMakeFiles/qismet_filter.dir/filter/cfar.cpp.o.d"
+  "/root/repo/src/filter/kalman.cpp" "src/CMakeFiles/qismet_filter.dir/filter/kalman.cpp.o" "gcc" "src/CMakeFiles/qismet_filter.dir/filter/kalman.cpp.o.d"
+  "/root/repo/src/filter/only_transients.cpp" "src/CMakeFiles/qismet_filter.dir/filter/only_transients.cpp.o" "gcc" "src/CMakeFiles/qismet_filter.dir/filter/only_transients.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

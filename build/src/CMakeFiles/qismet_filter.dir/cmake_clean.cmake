@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_filter.dir/filter/cfar.cpp.o"
+  "CMakeFiles/qismet_filter.dir/filter/cfar.cpp.o.d"
+  "CMakeFiles/qismet_filter.dir/filter/kalman.cpp.o"
+  "CMakeFiles/qismet_filter.dir/filter/kalman.cpp.o.d"
+  "CMakeFiles/qismet_filter.dir/filter/only_transients.cpp.o"
+  "CMakeFiles/qismet_filter.dir/filter/only_transients.cpp.o.d"
+  "libqismet_filter.a"
+  "libqismet_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

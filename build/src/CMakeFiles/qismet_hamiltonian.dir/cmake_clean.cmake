@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/exact_solver.cpp.o"
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/exact_solver.cpp.o.d"
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/h2_molecule.cpp.o"
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/h2_molecule.cpp.o.d"
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/tfim.cpp.o"
+  "CMakeFiles/qismet_hamiltonian.dir/hamiltonian/tfim.cpp.o.d"
+  "libqismet_hamiltonian.a"
+  "libqismet_hamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

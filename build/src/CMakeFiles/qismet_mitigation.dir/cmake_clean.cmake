@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_mitigation.dir/mitigation/measurement_mitigation.cpp.o"
+  "CMakeFiles/qismet_mitigation.dir/mitigation/measurement_mitigation.cpp.o.d"
+  "libqismet_mitigation.a"
+  "libqismet_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

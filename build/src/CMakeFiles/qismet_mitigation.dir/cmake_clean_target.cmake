@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqismet_mitigation.a"
+)

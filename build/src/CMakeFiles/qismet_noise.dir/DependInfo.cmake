@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/machine_model.cpp" "src/CMakeFiles/qismet_noise.dir/noise/machine_model.cpp.o" "gcc" "src/CMakeFiles/qismet_noise.dir/noise/machine_model.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/CMakeFiles/qismet_noise.dir/noise/noise_model.cpp.o" "gcc" "src/CMakeFiles/qismet_noise.dir/noise/noise_model.cpp.o.d"
+  "/root/repo/src/noise/ou_process.cpp" "src/CMakeFiles/qismet_noise.dir/noise/ou_process.cpp.o" "gcc" "src/CMakeFiles/qismet_noise.dir/noise/ou_process.cpp.o.d"
+  "/root/repo/src/noise/tls_burst.cpp" "src/CMakeFiles/qismet_noise.dir/noise/tls_burst.cpp.o" "gcc" "src/CMakeFiles/qismet_noise.dir/noise/tls_burst.cpp.o.d"
+  "/root/repo/src/noise/transient_trace.cpp" "src/CMakeFiles/qismet_noise.dir/noise/transient_trace.cpp.o" "gcc" "src/CMakeFiles/qismet_noise.dir/noise/transient_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_noise.dir/noise/machine_model.cpp.o"
+  "CMakeFiles/qismet_noise.dir/noise/machine_model.cpp.o.d"
+  "CMakeFiles/qismet_noise.dir/noise/noise_model.cpp.o"
+  "CMakeFiles/qismet_noise.dir/noise/noise_model.cpp.o.d"
+  "CMakeFiles/qismet_noise.dir/noise/ou_process.cpp.o"
+  "CMakeFiles/qismet_noise.dir/noise/ou_process.cpp.o.d"
+  "CMakeFiles/qismet_noise.dir/noise/tls_burst.cpp.o"
+  "CMakeFiles/qismet_noise.dir/noise/tls_burst.cpp.o.d"
+  "CMakeFiles/qismet_noise.dir/noise/transient_trace.cpp.o"
+  "CMakeFiles/qismet_noise.dir/noise/transient_trace.cpp.o.d"
+  "libqismet_noise.a"
+  "libqismet_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_optim.dir/optim/spsa.cpp.o"
+  "CMakeFiles/qismet_optim.dir/optim/spsa.cpp.o.d"
+  "CMakeFiles/qismet_optim.dir/optim/spsa_variants.cpp.o"
+  "CMakeFiles/qismet_optim.dir/optim/spsa_variants.cpp.o.d"
+  "libqismet_optim.a"
+  "libqismet_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_pauli.dir/pauli/expectation.cpp.o"
+  "CMakeFiles/qismet_pauli.dir/pauli/expectation.cpp.o.d"
+  "CMakeFiles/qismet_pauli.dir/pauli/grouping.cpp.o"
+  "CMakeFiles/qismet_pauli.dir/pauli/grouping.cpp.o.d"
+  "CMakeFiles/qismet_pauli.dir/pauli/pauli_string.cpp.o"
+  "CMakeFiles/qismet_pauli.dir/pauli/pauli_string.cpp.o.d"
+  "CMakeFiles/qismet_pauli.dir/pauli/pauli_sum.cpp.o"
+  "CMakeFiles/qismet_pauli.dir/pauli/pauli_sum.cpp.o.d"
+  "libqismet_pauli.a"
+  "libqismet_pauli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qaoa/maxcut.cpp" "src/CMakeFiles/qismet_qaoa.dir/qaoa/maxcut.cpp.o" "gcc" "src/CMakeFiles/qismet_qaoa.dir/qaoa/maxcut.cpp.o.d"
+  "/root/repo/src/qaoa/qaoa_ansatz.cpp" "src/CMakeFiles/qismet_qaoa.dir/qaoa/qaoa_ansatz.cpp.o" "gcc" "src/CMakeFiles/qismet_qaoa.dir/qaoa/qaoa_ansatz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_ansatz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_qaoa.dir/qaoa/maxcut.cpp.o"
+  "CMakeFiles/qismet_qaoa.dir/qaoa/maxcut.cpp.o.d"
+  "CMakeFiles/qismet_qaoa.dir/qaoa/qaoa_ansatz.cpp.o"
+  "CMakeFiles/qismet_qaoa.dir/qaoa/qaoa_ansatz.cpp.o.d"
+  "libqismet_qaoa.a"
+  "libqismet_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qismet_qaoa.
+# This may be replaced when dependencies are built.

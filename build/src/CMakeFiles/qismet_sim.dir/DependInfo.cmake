@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/density_matrix.cpp" "src/CMakeFiles/qismet_sim.dir/sim/density_matrix.cpp.o" "gcc" "src/CMakeFiles/qismet_sim.dir/sim/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/kraus.cpp" "src/CMakeFiles/qismet_sim.dir/sim/kraus.cpp.o" "gcc" "src/CMakeFiles/qismet_sim.dir/sim/kraus.cpp.o.d"
+  "/root/repo/src/sim/shot_sampler.cpp" "src/CMakeFiles/qismet_sim.dir/sim/shot_sampler.cpp.o" "gcc" "src/CMakeFiles/qismet_sim.dir/sim/shot_sampler.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/qismet_sim.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/qismet_sim.dir/sim/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

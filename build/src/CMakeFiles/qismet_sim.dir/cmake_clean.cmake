@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_sim.dir/sim/density_matrix.cpp.o"
+  "CMakeFiles/qismet_sim.dir/sim/density_matrix.cpp.o.d"
+  "CMakeFiles/qismet_sim.dir/sim/kraus.cpp.o"
+  "CMakeFiles/qismet_sim.dir/sim/kraus.cpp.o.d"
+  "CMakeFiles/qismet_sim.dir/sim/shot_sampler.cpp.o"
+  "CMakeFiles/qismet_sim.dir/sim/shot_sampler.cpp.o.d"
+  "CMakeFiles/qismet_sim.dir/sim/statevector.cpp.o"
+  "CMakeFiles/qismet_sim.dir/sim/statevector.cpp.o.d"
+  "libqismet_sim.a"
+  "libqismet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_transpile.dir/transpile/coupling_map.cpp.o"
+  "CMakeFiles/qismet_transpile.dir/transpile/coupling_map.cpp.o.d"
+  "CMakeFiles/qismet_transpile.dir/transpile/router.cpp.o"
+  "CMakeFiles/qismet_transpile.dir/transpile/router.cpp.o.d"
+  "libqismet_transpile.a"
+  "libqismet_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

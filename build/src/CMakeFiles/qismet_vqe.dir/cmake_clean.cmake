@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qismet_vqe.dir/vqe/energy_estimator.cpp.o"
+  "CMakeFiles/qismet_vqe.dir/vqe/energy_estimator.cpp.o.d"
+  "CMakeFiles/qismet_vqe.dir/vqe/job.cpp.o"
+  "CMakeFiles/qismet_vqe.dir/vqe/job.cpp.o.d"
+  "CMakeFiles/qismet_vqe.dir/vqe/vqe_driver.cpp.o"
+  "CMakeFiles/qismet_vqe.dir/vqe/vqe_driver.cpp.o.d"
+  "libqismet_vqe.a"
+  "libqismet_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qismet_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ansatz.dir/ansatz/test_ansatz.cpp.o"
+  "CMakeFiles/test_ansatz.dir/ansatz/test_ansatz.cpp.o.d"
+  "test_ansatz"
+  "test_ansatz.pdb"
+  "test_ansatz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

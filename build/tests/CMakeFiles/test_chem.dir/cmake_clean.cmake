@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem.dir/chem/test_boys.cpp.o"
+  "CMakeFiles/test_chem.dir/chem/test_boys.cpp.o.d"
+  "CMakeFiles/test_chem.dir/chem/test_jordan_wigner.cpp.o"
+  "CMakeFiles/test_chem.dir/chem/test_jordan_wigner.cpp.o.d"
+  "CMakeFiles/test_chem.dir/chem/test_sto3g.cpp.o"
+  "CMakeFiles/test_chem.dir/chem/test_sto3g.cpp.o.d"
+  "test_chem"
+  "test_chem.pdb"
+  "test_chem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

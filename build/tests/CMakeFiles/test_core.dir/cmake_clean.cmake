@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dynamic_threshold.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dynamic_threshold.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qismet_vqe.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qismet_vqe.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_threshold_calibrator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_threshold_calibrator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transient_estimator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transient_estimator.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

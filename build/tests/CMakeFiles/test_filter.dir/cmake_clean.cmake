@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter.dir/filter/test_cfar.cpp.o"
+  "CMakeFiles/test_filter.dir/filter/test_cfar.cpp.o.d"
+  "CMakeFiles/test_filter.dir/filter/test_kalman.cpp.o"
+  "CMakeFiles/test_filter.dir/filter/test_kalman.cpp.o.d"
+  "CMakeFiles/test_filter.dir/filter/test_only_transients.cpp.o"
+  "CMakeFiles/test_filter.dir/filter/test_only_transients.cpp.o.d"
+  "test_filter"
+  "test_filter.pdb"
+  "test_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

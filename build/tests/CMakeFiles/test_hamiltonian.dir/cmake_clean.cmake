@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_exact_solver.cpp.o"
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_exact_solver.cpp.o.d"
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_h2.cpp.o"
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_h2.cpp.o.d"
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_tfim.cpp.o"
+  "CMakeFiles/test_hamiltonian.dir/hamiltonian/test_tfim.cpp.o.d"
+  "test_hamiltonian"
+  "test_hamiltonian.pdb"
+  "test_hamiltonian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise.dir/noise/test_machine_model.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_machine_model.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_ou_process.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_ou_process.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_tls_burst.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_tls_burst.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_transient_trace.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_transient_trace.cpp.o.d"
+  "test_noise"
+  "test_noise.pdb"
+  "test_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

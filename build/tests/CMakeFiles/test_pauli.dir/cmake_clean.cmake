@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pauli.dir/pauli/test_expectation.cpp.o"
+  "CMakeFiles/test_pauli.dir/pauli/test_expectation.cpp.o.d"
+  "CMakeFiles/test_pauli.dir/pauli/test_grouping.cpp.o"
+  "CMakeFiles/test_pauli.dir/pauli/test_grouping.cpp.o.d"
+  "CMakeFiles/test_pauli.dir/pauli/test_pauli_string.cpp.o"
+  "CMakeFiles/test_pauli.dir/pauli/test_pauli_string.cpp.o.d"
+  "CMakeFiles/test_pauli.dir/pauli/test_pauli_sum.cpp.o"
+  "CMakeFiles/test_pauli.dir/pauli/test_pauli_sum.cpp.o.d"
+  "test_pauli"
+  "test_pauli.pdb"
+  "test_pauli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qaoa.dir/qaoa/test_maxcut.cpp.o"
+  "CMakeFiles/test_qaoa.dir/qaoa/test_maxcut.cpp.o.d"
+  "CMakeFiles/test_qaoa.dir/qaoa/test_qaoa_ansatz.cpp.o"
+  "CMakeFiles/test_qaoa.dir/qaoa/test_qaoa_ansatz.cpp.o.d"
+  "test_qaoa"
+  "test_qaoa.pdb"
+  "test_qaoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

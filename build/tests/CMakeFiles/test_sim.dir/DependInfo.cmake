@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_density_matrix.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_density_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_density_matrix.cpp.o.d"
+  "/root/repo/tests/sim/test_kraus.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_kraus.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_kraus.cpp.o.d"
+  "/root/repo/tests/sim/test_shot_sampler.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_shot_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_shot_sampler.cpp.o.d"
+  "/root/repo/tests/sim/test_statevector.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_statevector.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qismet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_vqe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_hamiltonian.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_qaoa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_ansatz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qismet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

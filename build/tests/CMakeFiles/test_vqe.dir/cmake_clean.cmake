@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vqe.dir/vqe/test_energy_estimator.cpp.o"
+  "CMakeFiles/test_vqe.dir/vqe/test_energy_estimator.cpp.o.d"
+  "CMakeFiles/test_vqe.dir/vqe/test_job.cpp.o"
+  "CMakeFiles/test_vqe.dir/vqe/test_job.cpp.o.d"
+  "CMakeFiles/test_vqe.dir/vqe/test_vqe_driver.cpp.o"
+  "CMakeFiles/test_vqe.dir/vqe/test_vqe_driver.cpp.o.d"
+  "test_vqe"
+  "test_vqe.pdb"
+  "test_vqe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

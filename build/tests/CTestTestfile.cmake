@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_pauli[1]_include.cmake")
+include("/root/repo/build/tests/test_hamiltonian[1]_include.cmake")
+include("/root/repo/build/tests/test_chem[1]_include.cmake")
+include("/root/repo/build/tests/test_ansatz[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_mitigation[1]_include.cmake")
+include("/root/repo/build/tests/test_vqe[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_transpile[1]_include.cmake")
+include("/root/repo/build/tests/test_qaoa[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
