@@ -18,8 +18,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Ablation — adversarial transient scenarios (Section 8.2)",
         "Expect: slow drift -> QISMET ~ baseline; very long transients "

@@ -21,8 +21,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Ablation — CFAR anomaly filtering vs QISMET (Section 8.4)",
         "Expect: CFAR removes reporting spikes post-hoc but cannot "

@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Ablation — gradient-faithful feed vs skip-only QISMET",
         "Expect: skipping alone recovers part of the benefit; feeding "

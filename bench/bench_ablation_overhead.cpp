@@ -16,8 +16,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Ablation — circuit-execution overhead (Section 8.3)",
         "Expect: QISMET/baseline circuit ratio ~2x (analytic path), "

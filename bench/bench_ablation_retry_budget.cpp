@@ -15,8 +15,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Ablation — QISMET retry budget (Section 8.1)",
         "Expect: benefit saturates within a few retries; the paper "

@@ -21,8 +21,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Extension — dynamic thresholding (Section 7.7 future work)",
         "Expect: on stationary noise, dynamic ~ static QISMET; the "

@@ -17,8 +17,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Extension — QISMET on QAOA MaxCut (6 vertices, p = 3)",
         "Expect: the same transient-protection story as VQE — QISMET's "

@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Extension — routing onto device topologies",
         "Expect: the H-lattice machines pay SWAP overhead for the same "

@@ -23,8 +23,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 3 — T1 transient fluctuations over 65 hours",
         "Expect: T1 wanders near its mean; a few deep outlier dips.");

@@ -177,8 +177,9 @@ report(const char *label, const BatchResult &res, double paper_mean,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 4 — transient impact on circuit fidelity (45 h, 140-circuit "
         "hourly batches)",

@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 5 — transient spikes on a baseline VQA (simulated Jakarta)",
         "Expect: sharp upward spikes; late-run estimate barely better "

@@ -17,8 +17,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 10 — transient-magnitude sweep (0-50% of the objective)",
         "Expect: baseline VQA estimates monotonically worsen with the "

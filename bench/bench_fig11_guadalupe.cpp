@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 11 — QISMET vs baseline on simulated Guadalupe "
         "(~270 iterations)",

@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 12 — QISMET vs baseline on simulated Sydney "
         "(~350 iterations, one sharp transient phase)",

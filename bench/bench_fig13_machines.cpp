@@ -17,8 +17,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 13 — QISMET benefit across six machines",
         "Expect: 29-51% improvement in the measured expectation on every "

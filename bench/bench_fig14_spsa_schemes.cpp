@@ -18,8 +18,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 14 — App2 vs SPSA optimization schemes (2000 iterations)",
         "Expect: QISMET best; Blocking/Resampling in between; 2nd-order "

@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 15 — only-transients skipping on App1 (threshold sweep)",
         "Expect: all thresholds at or below the baseline; higher "

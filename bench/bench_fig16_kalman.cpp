@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 16 — Kalman filtering vs QISMET on App6 (500 iterations)",
         "Expect: Kalman variants between the baseline and QISMET at "

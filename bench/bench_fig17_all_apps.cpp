@@ -43,8 +43,9 @@ bestKalmanEstimate(const QismetVqe &runner, const QismetVqeConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 17 — six applications x five schemes (2000 iterations)",
         "Expect: QISMET always on top; Blocking/Resampling inconsistent; "

@@ -22,8 +22,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 18 — H2 potential-energy curve under transient-only noise",
         "Expect: QISMET close to the noise-free curve at every bond "

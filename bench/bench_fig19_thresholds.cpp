@@ -19,8 +19,9 @@
 using namespace qismet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::configureThreads(argc, argv);
     bench::printHeader(
         "Fig. 19 — QISMET error-threshold sweep on low- and high-"
         "transient use cases",

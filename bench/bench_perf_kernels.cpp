@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/applications.hpp"
+#include "common/thread_pool.hpp"
 #include "hamiltonian/tfim.hpp"
 #include "pauli/expectation.hpp"
 #include "sim/density_matrix.hpp"
@@ -102,6 +103,45 @@ BM_QismetVqeRun(benchmark::State &state)
 }
 BENCHMARK(BM_QismetVqeRun)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+void
+BM_QismetVqeEnsembleThreads(benchmark::State &state)
+{
+    // Parallel-engine scaling probe: the bench layer's trial-ensemble
+    // fan-out at 1..N workers. Results are bit-identical across thread
+    // counts (the determinism contract); only wall clock changes.
+    const Application app = application(2);
+    const QismetVqe runner = app.makeRunner();
+    QismetVqeConfig cfg;
+    cfg.totalJobs = 200;
+    cfg.scheme = Scheme::Qismet;
+    const std::vector<std::uint64_t> seeds = {7, 17, 27, 37};
+
+    const std::size_t previous = ParallelExecutor::global().threads();
+    ParallelExecutor::setGlobalThreads(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runner.runEnsemble(cfg, seeds).front().run.finalEstimate);
+    }
+    ParallelExecutor::setGlobalThreads(previous);
+}
+BENCHMARK(BM_QismetVqeEnsembleThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    qismet::bench::configureThreads(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 
 #include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
 
 namespace qismet::bench {
 
@@ -17,9 +22,10 @@ runAveraged(const QismetVqe &runner, QismetVqeConfig config, Scheme scheme,
     out.scheme = schemeName(scheme);
     config.scheme = scheme;
     const double n = static_cast<double>(seeds.size());
-    for (std::size_t i = 0; i < seeds.size(); ++i) {
-        config.seed = seeds[i];
-        const QismetVqeResult res = runner.run(config);
+    const std::vector<QismetVqeResult> results =
+        runner.runEnsemble(config, seeds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const QismetVqeResult &res = results[i];
         out.meanEstimate += res.run.finalEstimate / n;
         out.meanIdealEnergy += res.run.finalIdealEnergy / n;
         out.meanSkipFraction += res.skipFraction / n;
@@ -29,6 +35,52 @@ runAveraged(const QismetVqe &runner, QismetVqeConfig config, Scheme scheme,
             out.exampleSeries = res.run.iterationEnergies;
     }
     return out;
+}
+
+std::size_t
+configureThreads(int &argc, char **argv)
+{
+    // Consume every occurrence (last wins) so downstream argv parsers —
+    // google-benchmark in bench_perf_kernels rejects unknown flags —
+    // never see the option.
+    for (int i = 1; i < argc;) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        int consumed = 0;
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            value = arg + 10;
+            consumed = 1;
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "bench: --threads needs a value\n";
+                std::exit(2);
+            }
+            value = argv[i + 1];
+            consumed = 2;
+        } else {
+            ++i;
+            continue;
+        }
+        try {
+            const long parsed = std::stol(value);
+            if (parsed < 0)
+                throw std::invalid_argument("negative");
+            ParallelExecutor::setGlobalThreads(
+                static_cast<std::size_t>(parsed));
+        } catch (const std::exception &) {
+            std::cerr << "bench: bad --threads value '" << value
+                      << "' (want a non-negative integer)\n";
+            std::exit(2);
+        }
+        for (int j = i; j + consumed <= argc; ++j)
+            argv[j] = argv[j + consumed];
+        argc -= consumed;
+        // Re-examine index i: the shift moved the next argument into it.
+    }
+    const std::size_t active = ParallelExecutor::global().threads();
+    if (active > 1)
+        std::cout << "[threads] " << active << " workers\n";
+    return active;
 }
 
 void

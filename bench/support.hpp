@@ -7,6 +7,7 @@
 #ifndef QISMET_BENCH_SUPPORT_HPP
 #define QISMET_BENCH_SUPPORT_HPP
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,24 @@ struct AveragedOutcome
 
 /**
  * Run one scheme over the standard seed set and average the endpoints.
+ *
+ * Trials fan out over the global ParallelExecutor (QismetVqe::
+ * runEnsemble) and are folded in seed order, so the averages are
+ * bit-identical for every `--threads` setting.
  */
 AveragedOutcome runAveraged(const QismetVqe &runner, QismetVqeConfig config,
                             Scheme scheme,
                             const std::vector<std::uint64_t> &seeds = kSeeds);
+
+/**
+ * Configure the global ParallelExecutor from the command line: accepts
+ * `--threads=N` or `--threads N` (0 means all hardware threads). With
+ * no flag, the QISMET_THREADS environment variable still applies.
+ * Consumed arguments are removed from argv/argc so downstream parsers
+ * (google-benchmark) never see them. Call first thing in every bench
+ * main; returns the active thread count.
+ */
+std::size_t configureThreads(int &argc, char **argv);
 
 /** Print a convergence series as a caption + sparkline + endpoints. */
 void printSeries(const std::string &label, const std::vector<double> &series);

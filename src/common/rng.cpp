@@ -74,6 +74,13 @@ Xoshiro256::jump()
     state_[3] = s3;
 }
 
+std::uint64_t
+Xoshiro256::stateDigest() const
+{
+    return rotl(state_[0], 7) ^ rotl(state_[1], 21) ^ rotl(state_[2], 37) ^
+           rotl(state_[3], 51);
+}
+
 Rng::Rng(std::uint64_t seed) : engine_(seed) {}
 
 double
@@ -198,6 +205,17 @@ Rng
 Rng::split()
 {
     return Rng(engine_());
+}
+
+Rng
+Rng::splitAt(std::uint64_t index) const
+{
+    // One SplitMix64 round over (state digest, counter) decorrelates
+    // adjacent indices; the child constructor expands the result into a
+    // well-mixed xoshiro state.
+    std::uint64_t x =
+        engine_.stateDigest() + index * 0x9E3779B97F4A7C15ull;
+    return Rng(splitmix64(x));
 }
 
 } // namespace qismet

@@ -53,6 +53,12 @@ class Xoshiro256
      */
     void jump();
 
+    /**
+     * Deterministic 64-bit digest of the current state, without
+     * advancing it. Feeds the counter-based Rng::splitAt derivation.
+     */
+    std::uint64_t stateDigest() const;
+
   private:
     std::uint64_t state_[4];
 };
@@ -109,6 +115,21 @@ class Rng
      * yield different (deterministic) children.
      */
     Rng split();
+
+    /**
+     * Counter-based split: derive the index-th child sub-stream from the
+     * *current* state without advancing this generator.
+     *
+     * This is the parallel engine's determinism primitive: a component
+     * that fans out N tasks derives splitAt(0..N-1) from its seed Rng
+     * before dispatch, so every task's randomness is a pure function of
+     * (seed, task index) — independent of thread scheduling and of how
+     * much randomness sibling tasks consume. Children at distinct
+     * indices are pairwise uncorrelated (tested); calling splitAt twice
+     * with the same index and no intervening draws yields the same
+     * child by design.
+     */
+    Rng splitAt(std::uint64_t index) const;
 
     /** Access the raw engine (for std:: distributions). */
     Xoshiro256 &engine() { return engine_; }

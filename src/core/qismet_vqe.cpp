@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace qismet {
 
 std::string
@@ -60,6 +62,20 @@ QismetVqe::calibratedThreshold(double skip_target, int trace_version,
     TransientTrace pilot = m.traceGenerator(trace_version).generate(4000);
     return ThresholdCalibrator(skip_target)
         .fromTraceDifferences(pilot, 1.0, 0.0);
+}
+
+std::vector<QismetVqeResult>
+QismetVqe::runEnsemble(const QismetVqeConfig &config,
+                       const std::vector<std::uint64_t> &seeds) const
+{
+    std::vector<QismetVqeResult> results(seeds.size());
+    ParallelExecutor::global().parallelFor(
+        seeds.size(), [&](std::size_t i) {
+            QismetVqeConfig trial = config;
+            trial.seed = seeds[i];
+            results[i] = run(trial);
+        });
+    return results;
 }
 
 QismetVqeResult

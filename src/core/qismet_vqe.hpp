@@ -138,6 +138,18 @@ class QismetVqe
     QismetVqeResult run(const QismetVqeConfig &config) const;
 
     /**
+     * Run the same experiment once per seed, fanning the independent
+     * trials out over the global ParallelExecutor (the bench layer's
+     * seed-averaged figures are exactly this shape). Every trial
+     * derives all of its randomness from its own seed, so the returned
+     * results — ordered like `seeds` — are bit-identical for every
+     * thread count.
+     */
+    std::vector<QismetVqeResult>
+    runEnsemble(const QismetVqeConfig &config,
+                const std::vector<std::uint64_t> &seeds) const;
+
+    /**
      * The energy scale used to convert trace intensities into
      * energy-unit thresholds: f_static · (E_mixed - E_ground).
      */

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace qismet {
 
 void
@@ -73,6 +75,26 @@ ShotSampler::sample(const Statevector &state, std::size_t shots,
                     Rng &rng) const
 {
     return sample(state.probabilities(), state.numQubits(), shots, rng);
+}
+
+std::vector<Counts>
+ShotSampler::sampleBatch(
+    const std::vector<std::vector<double>> &distributions, int num_qubits,
+    std::size_t shots, Rng &rng) const
+{
+    // Split the sub-streams serially, before any fan-out, so the
+    // randomness each distribution sees is independent of scheduling.
+    std::vector<Rng> subRngs;
+    subRngs.reserve(distributions.size());
+    for (std::size_t i = 0; i < distributions.size(); ++i)
+        subRngs.push_back(rng.split());
+
+    std::vector<Counts> out(distributions.size());
+    ParallelExecutor::global().parallelFor(
+        distributions.size(), [&](std::size_t i) {
+            out[i] = sample(distributions[i], num_qubits, shots, subRngs[i]);
+        });
+    return out;
 }
 
 std::uint64_t

@@ -60,6 +60,20 @@ class ShotSampler
     Counts sample(const Statevector &state, std::size_t shots,
                   Rng &rng) const;
 
+    /**
+     * Sample a batch of independent distributions, fanning the work out
+     * over the global ParallelExecutor.
+     *
+     * Each distribution receives its own RNG sub-stream split from
+     * `rng` before dispatch (`rng` advances once per distribution, as
+     * if split() were called in index order), so the result is a pure
+     * function of the inputs and the rng state — bit-identical for
+     * every thread count.
+     */
+    std::vector<Counts>
+    sampleBatch(const std::vector<std::vector<double>> &distributions,
+                int num_qubits, std::size_t shots, Rng &rng) const;
+
     const std::vector<ReadoutError> &readout() const { return readout_; }
 
   private:

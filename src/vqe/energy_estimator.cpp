@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "pauli/expectation.hpp"
 #include "sim/statevector.hpp"
 
@@ -106,13 +107,25 @@ EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
     // (terms measured in the same group share shots; covariances between
     // terms are neglected, which tests show is adequate for our
     // Hamiltonians).
+    //
+    // The per-term ideal expectations are pure reads of `state`, so they
+    // fan out over the executor; the reduction below stays serial in
+    // term order, keeping the sum bit-identical for every thread count.
+    const auto &terms = hamiltonian_.terms();
+    std::vector<double> p_ideal(terms.size(), 0.0);
+    ParallelExecutor::global().parallelFor(
+        terms.size(), [&](std::size_t k) {
+            if (!terms[k].pauli.isIdentity())
+                p_ideal[k] = expectation(state, terms[k].pauli);
+        });
+
     double e = mixedEnergy_;
     double var = 0.0;
-    for (const auto &t : hamiltonian_.terms()) {
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+        const auto &t = terms[k];
         if (t.pauli.isIdentity())
             continue;
-        const double p_ideal = expectation(state, t.pauli);
-        const double p_noisy = f * p_ideal;
+        const double p_noisy = f * p_ideal[k];
         e += t.coefficient * p_noisy;
         var += t.coefficient * t.coefficient * (1.0 - p_noisy * p_noisy) /
                static_cast<double>(config_.shots);
@@ -133,41 +146,59 @@ EnergyEstimator::estimateSampling(const std::vector<double> &theta,
     const double f =
         effectiveSurvival(tau, transientSensitivity(prepared));
 
-    double e = mixedEnergy_;
-    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        // Rotate into the group's measurement basis.
-        Statevector state = prepared;
-        state.run(basisChanges_[gi]);
+    // Measurement groups are independent circuits of the same job, so
+    // they fan out in parallel. Each group gets its own RNG sub-stream,
+    // split from the caller's stream in group order *before* dispatch,
+    // and the group energies are folded serially in group order — both
+    // are required for thread-count-invariant results.
+    std::vector<Rng> groupRngs;
+    groupRngs.reserve(groups_.size());
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi)
+        groupRngs.push_back(rng.split());
 
-        // Depolarize the outcome distribution by the survival factor,
-        // then sample through the readout channel.
-        std::vector<double> probs = state.probabilities();
-        for (auto &p : probs)
-            p = f * p + (1.0 - f) * uniform;
+    std::vector<double> groupEnergies(groups_.size(), 0.0);
+    ParallelExecutor::global().parallelFor(
+        groups_.size(), [&](std::size_t gi) {
+            // Rotate into the group's measurement basis.
+            Statevector state = prepared;
+            state.run(basisChanges_[gi]);
 
-        const Counts counts = sampler_->sample(probs, n, config_.shots, rng);
+            // Depolarize the outcome distribution by the survival
+            // factor, then sample through the readout channel.
+            std::vector<double> probs = state.probabilities();
+            for (auto &p : probs)
+                p = f * p + (1.0 - f) * uniform;
 
-        std::vector<double> est_probs;
-        if (mitigator_) {
-            est_probs = MeasurementMitigator::clipToPhysical(
-                mitigator_->mitigateCounts(counts));
-        } else {
-            est_probs = countsToProbabilities(counts, n);
-        }
+            const Counts counts =
+                sampler_->sample(probs, n, config_.shots, groupRngs[gi]);
 
-        // Every term in the group is diagonal after the basis change:
-        // its value is the average parity over its support.
-        for (std::size_t ti : groups_[gi].termIndices) {
-            const auto &term = hamiltonian_.terms()[ti];
-            const std::uint64_t mask = term.pauli.supportMask();
-            double parity_avg = 0.0;
-            for (std::size_t b = 0; b < dim; ++b) {
-                const int parity = std::popcount(b & mask) & 1;
-                parity_avg += (parity ? -1.0 : 1.0) * est_probs[b];
+            std::vector<double> est_probs;
+            if (mitigator_) {
+                est_probs = MeasurementMitigator::clipToPhysical(
+                    mitigator_->mitigateCounts(counts));
+            } else {
+                est_probs = countsToProbabilities(counts, n);
             }
-            e += term.coefficient * parity_avg;
-        }
-    }
+
+            // Every term in the group is diagonal after the basis
+            // change: its value is the average parity over its support.
+            double e_group = 0.0;
+            for (std::size_t ti : groups_[gi].termIndices) {
+                const auto &term = hamiltonian_.terms()[ti];
+                const std::uint64_t mask = term.pauli.supportMask();
+                double parity_avg = 0.0;
+                for (std::size_t b = 0; b < dim; ++b) {
+                    const int parity = std::popcount(b & mask) & 1;
+                    parity_avg += (parity ? -1.0 : 1.0) * est_probs[b];
+                }
+                e_group += term.coefficient * parity_avg;
+            }
+            groupEnergies[gi] = e_group;
+        });
+
+    double e = mixedEnergy_;
+    for (double e_group : groupEnergies)
+        e += e_group;
     return e;
 }
 

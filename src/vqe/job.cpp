@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace qismet {
 
 JobExecutor::JobExecutor(const EnergyEstimator &estimator,
@@ -35,17 +37,33 @@ JobExecutor::execute(const JobRequest &request)
     result.jobIndex = jobCount_;
     result.transientIntensity = trace_.at(jobCount_);
 
-    result.energies.reserve(request.evaluations.size());
-    for (const auto &theta : request.evaluations) {
-        // Every circuit in the job sees the job's transient instance
-        // plus a little intra-job drift.
-        const double tau = result.transientIntensity +
-            rng_.normal(0.0,
-                        intraJobJitter_ +
-                            relativeJitter_ *
-                                std::abs(result.transientIntensity));
-        result.energies.push_back(estimator_.estimate(theta, tau, rng_));
-    }
+    // Counter-based per-job stream: a job's randomness depends only on
+    // (seed, job index), never on how many circuits earlier jobs
+    // carried or on which thread runs what.
+    Rng jobRng = rng_.splitAt(jobCount_);
+
+    // Every circuit in the job sees the job's transient instance plus a
+    // little intra-job drift. The jitter draws and the per-circuit
+    // sub-streams are taken serially in evaluation order; only the
+    // (independent) circuit executions fan out.
+    const std::size_t n_evals = request.evaluations.size();
+    std::vector<double> taus(n_evals);
+    for (auto &tau : taus)
+        tau = result.transientIntensity +
+              jobRng.normal(0.0,
+                            intraJobJitter_ +
+                                relativeJitter_ *
+                                    std::abs(result.transientIntensity));
+    std::vector<Rng> evalRngs;
+    evalRngs.reserve(n_evals);
+    for (std::size_t i = 0; i < n_evals; ++i)
+        evalRngs.push_back(jobRng.split());
+
+    result.energies.assign(n_evals, 0.0);
+    ParallelExecutor::global().parallelFor(n_evals, [&](std::size_t i) {
+        result.energies[i] = estimator_.estimate(request.evaluations[i],
+                                                 taus[i], evalRngs[i]);
+    });
 
     // Overhead accounting: each evaluation costs numGroups() circuits,
     // plus any standing mitigation circuits.

@@ -65,7 +65,16 @@ class JobExecutor
                 double relative_jitter = 0.15,
                 int mitigation_circuits = 0);
 
-    /** Execute the next job in sequence. */
+    /**
+     * Execute the next job in sequence.
+     *
+     * The job's circuits run in parallel over the global
+     * ParallelExecutor. Randomness is scheduling-independent: the job
+     * derives a counter-based sub-stream from its index
+     * (Rng::splitAt), draws the intra-job jitter serially, and hands
+     * every circuit its own child stream before the fan-out — so
+     * results are bit-identical for every thread count.
+     */
     JobResult execute(const JobRequest &request);
 
     /** Jobs executed so far. */

@@ -223,5 +223,107 @@ TEST(Rng, SameSeedSameSequence)
         EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
 }
 
+TEST(Rng, SplitAtIsPureAndDeterministic)
+{
+    // splitAt must not advance the parent, and the same index from the
+    // same parent state must yield the same child stream.
+    const Rng parent(53);
+    Rng childA = parent.splitAt(6);
+    Rng childB = parent.splitAt(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(childA.uniform(), childB.uniform());
+
+    Rng advanced(53);
+    Rng untouched(53);
+    (void)advanced.splitAt(3);
+    (void)advanced.splitAt(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(advanced.uniform(), untouched.uniform());
+}
+
+TEST(Rng, SplitAtDistinctIndicesGiveDistinctStreams)
+{
+    const Rng parent(59);
+    std::set<std::uint64_t> first_draws;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        Rng child = parent.splitAt(i);
+        first_draws.insert(child.engine()());
+    }
+    EXPECT_EQ(first_draws.size(), 64u);
+}
+
+/** Pearson correlation of a against b delayed by `lag` samples. */
+double
+laggedPearson(const std::vector<double> &a, const std::vector<double> &b,
+              std::size_t lag)
+{
+    const std::size_t m = a.size() - lag;
+    std::vector<double> head(a.begin(), a.begin() + static_cast<long>(m));
+    std::vector<double> tail(b.begin() + static_cast<long>(lag), b.end());
+    return pearson(head, tail);
+}
+
+/**
+ * Pairwise lagged-correlation bound shared by the split() and splitAt()
+ * sub-stream tests. For independent uniform streams of length M the
+ * sample correlation is ~Normal(0, 1/sqrt(M - lag)); 4.75 sigma leaves
+ * comfortable headroom over all stream pairs and lags at a fixed seed.
+ */
+void
+expectPairwiseUncorrelated(const std::vector<std::vector<double>> &streams)
+{
+    const std::size_t draws = streams.front().size();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        for (std::size_t j = i + 1; j < streams.size(); ++j) {
+            for (std::size_t lag = 0; lag <= 3; ++lag) {
+                const double bound =
+                    4.75 / std::sqrt(static_cast<double>(draws - lag));
+                EXPECT_LT(std::abs(laggedPearson(streams[i], streams[j],
+                                                 lag)),
+                          bound)
+                    << "streams " << i << "," << j << " lag " << lag;
+                EXPECT_LT(std::abs(laggedPearson(streams[j], streams[i],
+                                                 lag)),
+                          bound)
+                    << "streams " << j << "," << i << " lag " << lag;
+            }
+        }
+    }
+}
+
+TEST(Rng, SplitSubStreamsPairwiseUncorrelated)
+{
+    const std::size_t num_streams = 24;
+    const std::size_t draws = 4096;
+    Rng parent(61);
+    std::vector<std::vector<double>> streams;
+    for (std::size_t s = 0; s < num_streams; ++s) {
+        Rng child = parent.split();
+        std::vector<double> xs(draws);
+        for (auto &x : xs)
+            x = child.uniform();
+        streams.push_back(std::move(xs));
+    }
+    expectPairwiseUncorrelated(streams);
+}
+
+TEST(Rng, SplitAtSubStreamsPairwiseUncorrelated)
+{
+    // The counter-based children the parallel engine hands to sibling
+    // tasks: consecutive indices from one parent state.
+    const std::size_t num_streams = 24;
+    const std::size_t draws = 4096;
+    const Rng parent(67);
+    std::vector<std::vector<double>> streams;
+    for (std::size_t s = 0; s < num_streams; ++s) {
+        Rng child = parent.splitAt(s);
+        std::vector<double> xs(draws);
+        for (auto &x : xs)
+            x = child.uniform();
+        streams.push_back(std::move(xs));
+    }
+    expectPairwiseUncorrelated(streams);
+}
+
 } // namespace
 } // namespace qismet

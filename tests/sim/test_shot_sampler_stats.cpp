@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Statistical validation of the shot sampler: chi-squared goodness of
+ * fit of sampled counts against the exact distribution at fixed seeds
+ * (with and without readout errors), and batch-API consistency with
+ * the parallel engine's sub-stream splitting contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/shot_sampler.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+namespace {
+
+/** Restores the global executor's thread count on scope exit. */
+class GlobalThreadsGuard
+{
+  public:
+    GlobalThreadsGuard() : saved_(ParallelExecutor::global().threads()) {}
+    ~GlobalThreadsGuard() { ParallelExecutor::setGlobalThreads(saved_); }
+
+  private:
+    std::size_t saved_;
+};
+
+/**
+ * Pearson chi-squared statistic of counts against expected
+ * probabilities, pooling bins whose expectation is below 5 counts
+ * (standard validity rule). Returns {statistic, degrees of freedom}.
+ */
+std::pair<double, int>
+chiSquared(const Counts &counts, const std::vector<double> &probs,
+           std::size_t shots)
+{
+    double stat = 0.0;
+    int bins = 0;
+    double pooled_expected = 0.0;
+    double pooled_observed = 0.0;
+    for (std::size_t b = 0; b < probs.size(); ++b) {
+        const double expected = probs[b] * static_cast<double>(shots);
+        const auto it = counts.find(b);
+        const double observed =
+            it == counts.end() ? 0.0 : static_cast<double>(it->second);
+        if (expected < 5.0) {
+            pooled_expected += expected;
+            pooled_observed += observed;
+            continue;
+        }
+        stat += (observed - expected) * (observed - expected) / expected;
+        ++bins;
+    }
+    if (pooled_expected >= 5.0) {
+        stat += (pooled_observed - pooled_expected) *
+                (pooled_observed - pooled_expected) / pooled_expected;
+        ++bins;
+    }
+    return {stat, bins - 1};
+}
+
+/** Upper chi-squared critical values at alpha = 0.001 for df = 1..32. */
+double
+chiSquaredCritical(int df)
+{
+    static const double kCritical[] = {
+        10.83, 13.82, 16.27, 18.47, 20.52, 22.46, 24.32, 26.12,
+        27.88, 29.59, 31.26, 32.91, 34.53, 36.12, 37.70, 39.25,
+        40.79, 42.31, 43.82, 45.31, 46.80, 48.27, 49.73, 51.18,
+        52.62, 54.05, 55.48, 56.89, 58.30, 59.70, 61.10, 62.49};
+    if (df < 1 || df > 32)
+        throw std::invalid_argument("chiSquaredCritical: df out of table");
+    return kCritical[df - 1];
+}
+
+/** Readout-corrupted distribution, computed analytically per qubit. */
+std::vector<double>
+applyReadoutToDistribution(const std::vector<double> &probs, int num_qubits,
+                           const std::vector<ReadoutError> &readout)
+{
+    std::vector<double> out = probs;
+    for (int q = 0; q < num_qubits; ++q) {
+        std::vector<double> next(out.size(), 0.0);
+        const std::uint64_t bit = std::uint64_t{1} << q;
+        for (std::size_t b = 0; b < out.size(); ++b) {
+            const bool is_one = b & bit;
+            const double flip = is_one ? readout[q].p01 : readout[q].p10;
+            next[b] += out[b] * (1.0 - flip);
+            next[b ^ bit] += out[b] * flip;
+        }
+        out = std::move(next);
+    }
+    return out;
+}
+
+TEST(ShotSamplerStats, ChiSquaredUniformDistribution)
+{
+    // 3 qubits, uniform over 8 outcomes.
+    const int n = 3;
+    const std::vector<double> probs(8, 1.0 / 8.0);
+    const std::size_t shots = 40000;
+    const ShotSampler sampler;
+    // Several fixed seeds: the test is deterministic, and multiple
+    // draws guard against one lucky pass.
+    for (std::uint64_t seed : {3u, 17u, 251u}) {
+        Rng rng(seed);
+        const Counts counts = sampler.sample(probs, n, shots, rng);
+        const auto [stat, df] = chiSquared(counts, probs, shots);
+        ASSERT_GE(df, 1);
+        EXPECT_LT(stat, chiSquaredCritical(df)) << "seed " << seed;
+    }
+}
+
+TEST(ShotSamplerStats, ChiSquaredSkewedDistribution)
+{
+    // A strongly non-uniform 4-qubit distribution from a product state.
+    const int n = 4;
+    Statevector sv(n);
+    Circuit c(n);
+    c.ry(0, 0.4).ry(1, 1.1).ry(2, 2.3).h(3);
+    sv.run(c);
+    const auto probs = sv.probabilities();
+    const std::size_t shots = 60000;
+    const ShotSampler sampler;
+    for (std::uint64_t seed : {5u, 23u, 407u}) {
+        Rng rng(seed);
+        const Counts counts = sampler.sample(probs, n, shots, rng);
+        const auto [stat, df] = chiSquared(counts, probs, shots);
+        ASSERT_GE(df, 1);
+        EXPECT_LT(stat, chiSquaredCritical(df)) << "seed " << seed;
+    }
+}
+
+TEST(ShotSamplerStats, ChiSquaredThroughReadoutChannel)
+{
+    // Counts must fit the analytically readout-corrupted distribution,
+    // not the ideal one.
+    const int n = 2;
+    const std::vector<double> probs = {0.55, 0.25, 0.15, 0.05};
+    const std::vector<ReadoutError> readout = {{0.02, 0.08}, {0.01, 0.05}};
+    const auto corrupted = applyReadoutToDistribution(probs, n, readout);
+    // High shot count so the readout bias (~1% mass shifted) is far past
+    // the critical value for the "does NOT fit ideal" half of the test.
+    const std::size_t shots = 200000;
+    const ShotSampler sampler(readout);
+    for (std::uint64_t seed : {11u, 73u}) {
+        Rng rng(seed);
+        const Counts counts = sampler.sample(probs, n, shots, rng);
+        const auto [stat, df] = chiSquared(counts, corrupted, shots);
+        ASSERT_GE(df, 1);
+        EXPECT_LT(stat, chiSquaredCritical(df)) << "seed " << seed;
+        // And it must NOT fit the ideal distribution: the readout
+        // asymmetry (p01 > p10) shifts enough mass at this shot count
+        // that the statistic blows past the critical value.
+        const auto [stat_ideal, df_ideal] = chiSquared(counts, probs, shots);
+        EXPECT_GT(stat_ideal, chiSquaredCritical(df_ideal))
+            << "seed " << seed;
+    }
+}
+
+TEST(ShotSamplerStats, BatchMatchesSequentialSplits)
+{
+    // sampleBatch must equal sampling each distribution with the
+    // sub-streams split() would produce in index order — at any thread
+    // count.
+    const int n = 3;
+    Statevector sv(n);
+    Circuit c(n);
+    c.h(0).cx(0, 1).ry(2, 0.7);
+    sv.run(c);
+    const std::vector<std::vector<double>> batch(6, sv.probabilities());
+    const std::size_t shots = 512;
+    const ShotSampler sampler;
+
+    Rng reference(99);
+    std::vector<Counts> expected;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Rng sub = reference.split();
+        expected.push_back(sampler.sample(batch[i], n, shots, sub));
+    }
+
+    GlobalThreadsGuard guard;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ParallelExecutor::setGlobalThreads(threads);
+        Rng rng(99);
+        const auto got = sampler.sampleBatch(batch, n, shots, rng);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], expected[i]) << "distribution " << i
+                                           << " threads " << threads;
+    }
+}
+
+} // namespace
+} // namespace qismet

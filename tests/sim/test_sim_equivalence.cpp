@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Randomized cross-validation of the two exact simulators: for seeded
+ * random circuits over varied widths and gate mixes, the statevector
+ * probabilities must match the density-matrix diagonal to 1e-10, and
+ * noiseless Kraus channels must leave the density matrix invariant.
+ * These are the invariants the parallel energy estimator leans on when
+ * it treats simulator calls as pure, scheduling-free functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/kraus.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+namespace {
+
+/** Random circuit over the full gate set (entanglers when width > 1). */
+Circuit
+randomCircuit(int num_qubits, int num_gates, Rng &rng)
+{
+    Circuit c(num_qubits);
+    for (int g = 0; g < num_gates; ++g) {
+        const int q = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(num_qubits)));
+        const std::uint64_t kind = rng.uniformInt(num_qubits > 1 ? 15 : 12);
+        switch (kind) {
+          case 0: c.h(q); break;
+          case 1: c.x(q); break;
+          case 2: c.y(q); break;
+          case 3: c.z(q); break;
+          case 4: c.s(q); break;
+          case 5: c.sdg(q); break;
+          case 6: c.t(q); break;
+          case 7: c.tdg(q); break;
+          case 8: c.sx(q); break;
+          case 9: c.rx(q, rng.uniform(-M_PI, M_PI)); break;
+          case 10: c.ry(q, rng.uniform(-M_PI, M_PI)); break;
+          case 11: c.rz(q, rng.uniform(-M_PI, M_PI)); break;
+          default: {
+            int p = static_cast<int>(
+                rng.uniformInt(static_cast<std::uint64_t>(num_qubits - 1)));
+            if (p >= q)
+                ++p; // distinct second qubit
+            if (kind == 12)
+                c.cx(q, p);
+            else if (kind == 13)
+                c.cz(q, p);
+            else
+                c.swap(q, p);
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+/** (width, generator-seed) grid giving ~50 distinct random circuits. */
+class SimEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SimEquivalenceTest, DensityMatrixDiagonalMatchesStatevector)
+{
+    const int n = std::get<0>(GetParam());
+    const int seed = std::get<1>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(1000 * n + seed));
+    const Circuit circuit = randomCircuit(n, 8 * n + 12, rng);
+
+    Statevector sv(n);
+    sv.run(circuit);
+    DensityMatrix dm(n);
+    dm.run(circuit);
+
+    const auto sv_probs = sv.probabilities();
+    const auto dm_probs = dm.probabilities();
+    ASSERT_EQ(sv_probs.size(), dm_probs.size());
+    for (std::size_t b = 0; b < sv_probs.size(); ++b)
+        EXPECT_NEAR(sv_probs[b], dm_probs[b], 1e-10)
+            << "basis state " << b;
+
+    // The unitary evolution must keep the state pure and faithful.
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+    EXPECT_NEAR(dm.fidelity(sv), 1.0, 1e-10);
+}
+
+TEST_P(SimEquivalenceTest, NoiselessKrausChannelsAreIdentity)
+{
+    const int n = std::get<0>(GetParam());
+    const int seed = std::get<1>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(7000 * n + seed));
+    const Circuit circuit = randomCircuit(n, 6 * n + 10, rng);
+
+    DensityMatrix dm(n);
+    dm.run(circuit);
+
+    std::vector<Complex> before;
+    before.reserve(dm.dim() * dm.dim());
+    for (std::size_t r = 0; r < dm.dim(); ++r)
+        for (std::size_t c = 0; c < dm.dim(); ++c)
+            before.push_back(dm.element(r, c));
+
+    const KrausChannel noiseless[] = {
+        KrausChannel::identity1q(),
+        KrausChannel::depolarizing1q(0.0),
+        KrausChannel::amplitudeDamping(0.0),
+        KrausChannel::phaseDamping(0.0),
+        KrausChannel::bitFlip(0.0),
+        KrausChannel::thermalRelaxation(50e3, 70e3, 0.0),
+    };
+    for (const auto &channel : noiseless)
+        for (int q = 0; q < n; ++q)
+            dm.applyChannel1q(q, channel);
+
+    std::size_t k = 0;
+    for (std::size_t r = 0; r < dm.dim(); ++r) {
+        for (std::size_t c = 0; c < dm.dim(); ++c, ++k) {
+            EXPECT_NEAR(dm.element(r, c).real(), before[k].real(), 1e-10)
+                << "rho(" << r << "," << c << ") real";
+            EXPECT_NEAR(dm.element(r, c).imag(), before[k].imag(), 1e-10)
+                << "rho(" << r << "," << c << ") imag";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, SimEquivalenceTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4,
+                                                              5),
+                                            ::testing::Range(0, 10)));
+
+} // namespace
+} // namespace qismet
