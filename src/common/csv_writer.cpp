@@ -1,6 +1,9 @@
 #include "common/csv_writer.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace qismet {
 

@@ -7,6 +7,7 @@
 #ifndef QISMET_COMMON_CSV_WRITER_HPP
 #define QISMET_COMMON_CSV_WRITER_HPP
 
+#include <cstddef>
 #include <fstream>
 #include <string>
 #include <vector>

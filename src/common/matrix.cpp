@@ -1,7 +1,10 @@
 #include "common/matrix.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace qismet {
 

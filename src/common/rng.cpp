@@ -1,7 +1,10 @@
 #include "common/rng.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace qismet {
 

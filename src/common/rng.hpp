@@ -14,6 +14,7 @@
 #ifndef QISMET_COMMON_RNG_HPP
 #define QISMET_COMMON_RNG_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace qismet {
 

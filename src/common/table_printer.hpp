@@ -10,6 +10,7 @@
 #ifndef QISMET_COMMON_TABLE_PRINTER_HPP
 #define QISMET_COMMON_TABLE_PRINTER_HPP
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

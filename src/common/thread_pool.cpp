@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace qismet {
 

@@ -21,7 +21,7 @@ Statevector::Statevector(std::vector<Complex> amplitudes)
     if (amps_.empty() || (amps_.size() & (amps_.size() - 1)) != 0)
         throw std::invalid_argument(
             "Statevector: amplitude count must be a power of two");
-    numQubits_ = std::bit_width(amps_.size()) - 1;
+    numQubits_ = static_cast<int>(std::bit_width(amps_.size())) - 1;
 }
 
 void

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "pauli/expectation.hpp"

@@ -31,6 +31,7 @@
 #ifndef QISMET_VQE_ENERGY_ESTIMATOR_HPP
 #define QISMET_VQE_ENERGY_ESTIMATOR_HPP
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <vector>

@@ -1,7 +1,11 @@
 #include "vqe/job.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 

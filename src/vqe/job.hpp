@@ -15,6 +15,7 @@
 #define QISMET_VQE_JOB_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"

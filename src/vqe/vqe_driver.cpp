@@ -1,7 +1,9 @@
 #include "vqe/vqe_driver.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace qismet {
 

@@ -23,6 +23,8 @@
 #ifndef QISMET_VQE_VQE_DRIVER_HPP
 #define QISMET_VQE_VQE_DRIVER_HPP
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -23,8 +23,8 @@ TEST(ShotSampler, ErrorFreeSamplingMatchesDistribution)
     std::vector<double> probs = {0.25, 0.75};
     Rng rng(3);
     const Counts counts = sampler.sample(probs, 1, 40000, rng);
-    EXPECT_NEAR(counts.at(0) / 40000.0, 0.25, 0.01);
-    EXPECT_NEAR(counts.at(1) / 40000.0, 0.75, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts.at(0)) / 40000.0, 0.25, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts.at(1)) / 40000.0, 0.75, 0.01);
 }
 
 TEST(ShotSampler, ReadoutFlipsGroundState)
@@ -34,7 +34,7 @@ TEST(ShotSampler, ReadoutFlipsGroundState)
     std::vector<double> probs = {1.0, 0.0};
     Rng rng(5);
     const Counts counts = sampler.sample(probs, 1, 50000, rng);
-    EXPECT_NEAR(counts.at(1) / 50000.0, 0.1, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts.at(1)) / 50000.0, 0.1, 0.01);
 }
 
 TEST(ShotSampler, AsymmetricReadout)
@@ -44,7 +44,7 @@ TEST(ShotSampler, AsymmetricReadout)
     std::vector<double> probs = {0.0, 1.0};
     Rng rng(7);
     const Counts counts = sampler.sample(probs, 1, 50000, rng);
-    EXPECT_NEAR(counts.at(0) / 50000.0, 0.2, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts.at(0)) / 50000.0, 0.2, 0.01);
 }
 
 TEST(ShotSampler, MultiQubitIndependentFlips)
@@ -54,7 +54,7 @@ TEST(ShotSampler, MultiQubitIndependentFlips)
     Rng rng(11);
     const Counts counts = sampler.sample(probs, 2, 50000, rng);
     const double p_both =
-        counts.count(3) ? counts.at(3) / 50000.0 : 0.0;
+        counts.count(3) ? static_cast<double>(counts.at(3)) / 50000.0 : 0.0;
     EXPECT_NEAR(p_both, 0.01, 0.005);
 }
 

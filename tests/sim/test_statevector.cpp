@@ -182,8 +182,8 @@ TEST(Statevector, SamplingMatchesDistribution)
         else
             FAIL() << "impossible outcome " << s;
     }
-    EXPECT_NEAR(zeros / 20000.0, 0.5, 0.02);
-    EXPECT_NEAR(threes / 20000.0, 0.5, 0.02);
+    EXPECT_NEAR(static_cast<double>(zeros) / 20000.0, 0.5, 0.02);
+    EXPECT_NEAR(static_cast<double>(threes) / 20000.0, 0.5, 0.02);
 }
 
 TEST(Statevector, RunRejectsWidthMismatch)

@@ -1,0 +1,32 @@
+// Fixture: every statement here must trigger the ambient-rng rule.
+// This file is never compiled; it only feeds the linter's test suite.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int ambientLibcRand()
+{
+    return std::rand(); // line 10: std::rand
+}
+
+void ambientSrand()
+{
+    srand(1234); // line 15: unqualified srand call
+}
+
+unsigned ambientRandomDevice()
+{
+    std::random_device rd; // line 20: hardware entropy source
+    return rd();
+}
+
+std::mt19937 ambientTimeSeededEngine()
+{
+    return std::mt19937(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void ambientTimeSeedCall(std::mt19937 &engine)
+{
+    engine.seed(time(nullptr)); // line 31: time-based reseed
+}

@@ -1,0 +1,29 @@
+// Fixture: every statement here must trigger the naked-new rule.
+// This file is never compiled; it only feeds the linter's test suite.
+
+struct Buffer
+{
+    double *data;
+};
+
+Buffer makeBuffer(unsigned n)
+{
+    Buffer b;
+    b.data = new double[n]; // line 12: naked array new
+    return b;
+}
+
+void freeBuffer(Buffer &b)
+{
+    delete[] b.data; // line 18: naked array delete
+}
+
+int *leakyInt()
+{
+    return new int(7); // line 23: naked scalar new
+}
+
+void dropInt(int *p)
+{
+    delete p; // line 28: naked scalar delete
+}

@@ -1,0 +1,21 @@
+// Fixture: every statement here must trigger the raw-thread rule.
+// This file is never compiled; it only feeds the linter's test suite.
+#include <future>
+#include <thread>
+
+void spawnRawThread()
+{
+    std::thread worker([] {}); // line 9: raw std::thread
+    worker.join();
+}
+
+void spawnJthread()
+{
+    std::jthread worker([] {}); // line 15: raw std::jthread
+}
+
+int spawnAsync()
+{
+    auto result = std::async(std::launch::async, [] { return 1; });
+    return result.get();
+}

@@ -1,0 +1,32 @@
+// Fixture: every fan-out here must trigger the split-in-task rule.
+// This file is never compiled; it only feeds the linter's test suite.
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+#include <vector>
+
+void splitInsideParallelFor(const qismet::ParallelExecutor &exec,
+                            qismet::Rng &rng, std::vector<double> &out)
+{
+    exec.parallelFor(out.size(), [&](std::size_t i) {
+        qismet::Rng task = rng.splitAt(i); // derive BEFORE dispatch instead
+        out[i] = task.uniform();
+    });
+}
+
+void splitInsideSubmit(qismet::ThreadPool &pool, qismet::Rng &rng,
+                       std::vector<double> &out)
+{
+    pool.submit([&] {
+        qismet::Rng task = rng.split(); // scheduling-order dependent
+        out.push_back(task.uniform());
+    });
+}
+
+std::vector<double> splitInsideMap(const qismet::ParallelExecutor &exec,
+                                   qismet::Rng &rng)
+{
+    return exec.map<double>(8, [&](std::size_t i) {
+        return rng.splitAt(i).uniform(); // derive BEFORE dispatch instead
+    });
+}

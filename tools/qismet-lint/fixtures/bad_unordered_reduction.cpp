@@ -1,0 +1,34 @@
+// Fixture: every loop here must trigger the unordered-reduction rule.
+// This file is never compiled; it only feeds the linter's test suite.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double reduceOverUnorderedMap(
+    const std::unordered_map<std::string, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &entry : weights) {
+        total += entry.second; // fold order follows hash order
+    }
+    return total;
+}
+
+double reduceOverUnorderedSet(const std::unordered_set<int> &ids)
+{
+    double total = 0.0;
+    for (int id : ids) {
+        total *= static_cast<double>(id);
+    }
+    return total;
+}
+
+double accumulateOverUnordered(
+    const std::unordered_map<int, double> &weights)
+{
+    return std::accumulate(weights.begin(), weights.end(), 0.0,
+                           [](double acc, const auto &kv) {
+                               return acc + kv.second;
+                           });
+}

@@ -1,0 +1,93 @@
+// Fixture: nothing in this file may trigger any qismet-lint rule.
+// It deliberately walks close to every rule's boundary: deterministic
+// RNG flowing through qismet::Rng, splits derived before dispatch,
+// ordered reductions, timing (not seeding) from the steady clock, and
+// smart-pointer ownership. This file is never compiled; it only feeds
+// the linter's test suite.
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+// "new" and "delete" inside comments and strings must not fire: the
+// old code used `new double[n]` and `delete[]`, which we removed.
+const char *kBanner = "brand new deterministic engine (std::rand-free)";
+
+class Estimator
+{
+  public:
+    Estimator() = default;
+    Estimator(const Estimator &) = delete; // deleted, not naked delete
+    Estimator &operator=(const Estimator &) = delete;
+
+    // A member named like the libc function is not ambient randomness.
+    double rand() { return rng_.uniform(); }
+
+  private:
+    qismet::Rng rng_{42};
+};
+
+double splitBeforeDispatch(const qismet::ParallelExecutor &exec,
+                           const qismet::Rng &seedRng, std::size_t n)
+{
+    // The determinism idiom: derive every task's sub-stream up front...
+    std::vector<qismet::Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        streams.push_back(seedRng.splitAt(i));
+    }
+    // ...then hand each task its own stream; no split inside the body.
+    std::vector<double> slots(n, 0.0);
+    exec.parallelFor(n, [&](std::size_t i) {
+        slots[i] = streams[i].uniform();
+    });
+    // Index-ordered serial fold over a vector: deterministic.
+    return std::accumulate(slots.begin(), slots.end(), 0.0);
+}
+
+double orderedReduction(const std::map<std::string, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &entry : weights) {
+        total += entry.second; // std::map iterates in key order: fine
+    }
+    return total;
+}
+
+int lookupWithoutReduction(
+    const std::unordered_map<std::string, int> &index, int fallback)
+{
+    // Unordered containers are fine for lookups and order-independent
+    // scans; only numeric reductions over their iteration order race.
+    auto it = index.find("target");
+    for (const auto &entry : index) {
+        if (entry.second < 0) {
+            return fallback;
+        }
+    }
+    return it == index.end() ? fallback : it->second;
+}
+
+double timedButNotSeeded(Estimator &est)
+{
+    // Clock use for *timing* is allowed; only clock-derived seeds fire.
+    auto t0 = std::chrono::steady_clock::now();
+    double value = est.rand();
+    auto t1 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(t1 - t0); // this_thread is not std::thread
+    return value;
+}
+
+std::unique_ptr<std::vector<double>> ownedBuffer(std::size_t n)
+{
+    auto buffer = std::make_unique<std::vector<double>>(n, 0.0);
+    (*buffer)[0] = 1.0; // subscript bracket, not a lambda capture
+    return buffer;
+}

@@ -1,0 +1,40 @@
+// Fixture: every violation here carries a documented escape, so the
+// file must lint clean. Exercises same-line escapes, line-above
+// escapes, multi-rule escapes, and the file-wide form. This file is
+// never compiled; it only feeds the linter's test suite.
+//
+// qismet-lint: allow-file(naked-new)
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+// Covered by the allow-file(naked-new) escape above.
+int *fileWideEscape() { return new int(3); }
+
+int sameLineEscape()
+{
+    return std::rand(); // qismet-lint: allow(ambient-rng)
+}
+
+void lineAboveEscape()
+{
+    // qismet-lint: allow(raw-thread)
+    std::thread worker([] {});
+    worker.join();
+}
+
+double reductionEscape(const std::unordered_map<int, double> &weights)
+{
+    double total = 0.0;
+    // qismet-lint: allow(unordered-reduction)
+    for (const auto &kv : weights) {
+        total += kv.second;
+    }
+    return total;
+}
+
+void multiRuleEscape()
+{
+    std::thread t([] { srand(7); }); // qismet-lint: allow(raw-thread, ambient-rng)
+    t.join();
+}

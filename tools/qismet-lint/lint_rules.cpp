@@ -1,0 +1,908 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace qlint {
+namespace {
+
+bool isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Source text with comments, string literals and char literals blanked
+ * out (replaced by spaces, newlines preserved), plus the suppression
+ * escapes harvested from the comments while blanking them.
+ */
+struct Scrubbed
+{
+    std::string text; ///< Same length/line structure as the input.
+    /** Rules allowed on a given 1-based line via inline escapes. */
+    std::map<int, std::set<std::string>> lineAllows;
+    /** Rules disabled for the whole file via allow-file escapes. */
+    std::set<std::string> fileAllows;
+
+    bool allowed(const std::string &rule, int line) const
+    {
+        if (fileAllows.count(rule) != 0) {
+            return true;
+        }
+        auto it = lineAllows.find(line);
+        return it != lineAllows.end() && it->second.count(rule) != 0;
+    }
+};
+
+/** Parse `qismet-lint: allow(a, b)` / `allow-file(c)` escapes out of one
+ *  comment. A line escape covers the comment's own line and the line
+ *  below it, so it can sit at the end of the offending line or alone on
+ *  the line above. */
+void parseEscapes(const std::string &comment, int line, Scrubbed &out)
+{
+    const std::string marker = "qismet-lint:";
+    std::size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+        std::size_t cursor = at + marker.size();
+        while (cursor < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[cursor])) != 0) {
+            ++cursor;
+        }
+        bool fileWide = comment.compare(cursor, 11, "allow-file(") == 0;
+        bool lineWide = !fileWide && comment.compare(cursor, 6, "allow(") == 0;
+        if (fileWide || lineWide) {
+            std::size_t open = comment.find('(', cursor);
+            std::size_t close = comment.find(')', open);
+            if (open != std::string::npos && close != std::string::npos) {
+                std::string args = comment.substr(open + 1, close - open - 1);
+                std::replace(args.begin(), args.end(), ',', ' ');
+                std::istringstream stream(args);
+                std::string rule;
+                while (stream >> rule) {
+                    if (fileWide) {
+                        out.fileAllows.insert(rule);
+                    } else {
+                        out.lineAllows[line].insert(rule);
+                        out.lineAllows[line + 1].insert(rule);
+                    }
+                }
+            }
+        }
+        at = comment.find(marker, at + marker.size());
+    }
+}
+
+Scrubbed scrub(const std::string &src)
+{
+    Scrubbed out;
+    out.text = src;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto blank = [&](std::size_t pos) {
+        if (src[pos] != '\n') {
+            out.text[pos] = ' ';
+        }
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t start = i;
+            while (i < n && src[i] != '\n') {
+                blank(i);
+                ++i;
+            }
+            parseEscapes(src.substr(start, i - start), line, out);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t start = i;
+            int startLine = line;
+            blank(i);
+            blank(i + 1);
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') {
+                    ++line;
+                }
+                blank(i);
+                ++i;
+            }
+            if (i + 1 < n) {
+                blank(i);
+                blank(i + 1);
+                i += 2;
+            } else {
+                i = n;
+            }
+            parseEscapes(src.substr(start, i - start), startLine, out);
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+            (i == 0 || !isIdentChar(src[i - 1]))) {
+            std::size_t open = src.find('(', i + 2);
+            if (open != std::string::npos) {
+                std::string delim = src.substr(i + 2, open - i - 2);
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = src.find(closer, open + 1);
+                std::size_t stop =
+                    end == std::string::npos ? n : end + closer.size();
+                for (std::size_t k = i; k < stop; ++k) {
+                    if (src[k] == '\n') {
+                        ++line;
+                    }
+                    blank(k);
+                }
+                i = stop;
+                continue;
+            }
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            blank(i);
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    blank(i);
+                    ++i;
+                }
+                if (src[i] == '\n') {
+                    ++line;
+                }
+                blank(i);
+                ++i;
+            }
+            if (i < n) {
+                blank(i);
+                ++i;
+            }
+            continue;
+        }
+        ++i;
+    }
+    return out;
+}
+
+/** Identifier token with its position in the scrubbed text. */
+struct Token
+{
+    std::string name;
+    std::size_t pos;  ///< First character offset.
+    std::size_t end;  ///< One past the last character.
+    int line;         ///< 1-based.
+};
+
+std::vector<Token> tokenize(const std::string &text)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (text[i] == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (isIdentStart(text[i])) {
+            std::size_t start = i;
+            while (i < text.size() && isIdentChar(text[i])) {
+                ++i;
+            }
+            tokens.push_back({text.substr(start, i - start), start, i, line});
+            continue;
+        }
+        ++i;
+    }
+    return tokens;
+}
+
+std::size_t prevNonSpace(const std::string &text, std::size_t pos)
+{
+    while (pos > 0) {
+        --pos;
+        char c = text[pos];
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            return pos;
+        }
+    }
+    return std::string::npos;
+}
+
+std::size_t nextNonSpace(const std::string &text, std::size_t pos)
+{
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+        ++pos;
+    }
+    return pos < text.size() ? pos : std::string::npos;
+}
+
+/** Matching close index for the paren/brace/bracket at `open`, or npos. */
+std::size_t matchDelim(const std::string &text, std::size_t open)
+{
+    char oc = text[open];
+    char cc = oc == '(' ? ')' : (oc == '{' ? '}' : ']');
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == oc) {
+            ++depth;
+        } else if (text[i] == cc) {
+            if (--depth == 0) {
+                return i;
+            }
+        }
+    }
+    return std::string::npos;
+}
+
+/** Matching '>' for the '<' at `open`, tolerating nested parens. */
+std::size_t matchAngle(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    int paren = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '(') {
+            ++paren;
+        } else if (c == ')') {
+            --paren;
+        } else if (paren == 0 && c == '<') {
+            ++depth;
+        } else if (paren == 0 && c == '>') {
+            if (i > 0 && text[i - 1] == '-') {
+                continue; // -> operator
+            }
+            if (--depth == 0) {
+                return i;
+            }
+        } else if (c == ';') {
+            return std::string::npos; // statement ended: not a template
+        }
+    }
+    return std::string::npos;
+}
+
+/**
+ * Namespace qualifier of the token at `pos`, when written `qual::name`.
+ * Returns true and fills `qualifier` ("" for a leading `::`).
+ */
+bool hasQualifier(const std::string &text, std::size_t pos,
+                  std::string &qualifier)
+{
+    std::size_t p = prevNonSpace(text, pos);
+    if (p == std::string::npos || text[p] != ':' || p == 0 ||
+        text[p - 1] != ':') {
+        return false;
+    }
+    std::size_t q = prevNonSpace(text, p - 1);
+    if (q == std::string::npos || !isIdentChar(text[q])) {
+        qualifier.clear();
+        return true;
+    }
+    std::size_t end = q + 1;
+    while (q > 0 && isIdentChar(text[q - 1])) {
+        --q;
+    }
+    qualifier = text.substr(q, end - q);
+    return true;
+}
+
+/** True when the token at `pos` is accessed as a member (`.x` / `->x`). */
+bool isMemberAccess(const std::string &text, std::size_t pos)
+{
+    std::size_t p = prevNonSpace(text, pos);
+    if (p == std::string::npos) {
+        return false;
+    }
+    if (text[p] == '.') {
+        return true;
+    }
+    return text[p] == '>' && p > 0 && text[p - 1] == '-';
+}
+
+bool isCalled(const std::string &text, std::size_t end)
+{
+    std::size_t p = nextNonSpace(text, end);
+    return p != std::string::npos && text[p] == '(';
+}
+
+bool pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    if (path.size() < suffix.size()) {
+        return false;
+    }
+    if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+        return false;
+    }
+    return path.size() == suffix.size() ||
+           path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool pathAllowed(const std::string &path,
+                 const std::vector<std::string> &suffixes)
+{
+    return std::any_of(suffixes.begin(), suffixes.end(),
+                       [&](const std::string &s) {
+                           return pathEndsWith(path, s);
+                       });
+}
+
+const std::vector<std::string> &ambientRngAllowedPaths()
+{
+    static const std::vector<std::string> paths = {
+        "src/common/rng.cpp", "src/common/rng.hpp"};
+    return paths;
+}
+
+const std::vector<std::string> &rawThreadAllowedPaths()
+{
+    static const std::vector<std::string> paths = {
+        "src/common/thread_pool.cpp", "src/common/thread_pool.hpp"};
+    return paths;
+}
+
+class Linter
+{
+  public:
+    Linter(std::string path, const std::string &content)
+        : path_(std::move(path)), scrubbed_(scrub(content)),
+          tokens_(tokenize(scrubbed_.text))
+    {
+        std::replace(path_.begin(), path_.end(), '\\', '/');
+    }
+
+    std::vector<Finding> run()
+    {
+        collectUnorderedDecls();
+        checkAmbientRng();
+        checkUnorderedReduction();
+        checkRawThread();
+        checkNakedNew();
+        checkSplitInTask();
+        std::sort(findings_.begin(), findings_.end(),
+                  [](const Finding &a, const Finding &b) {
+                      return a.line < b.line ||
+                             (a.line == b.line && a.rule < b.rule);
+                  });
+        return findings_;
+    }
+
+  private:
+    void report(const std::string &rule, int line, const std::string &message)
+    {
+        if (!scrubbed_.allowed(rule, line)) {
+            findings_.push_back({path_, line, rule, message});
+        }
+    }
+
+    /** Scrubbed text of the 1-based line `line`. */
+    std::string lineText(int line) const
+    {
+        std::size_t start = 0;
+        int cur = 1;
+        const std::string &t = scrubbed_.text;
+        while (cur < line) {
+            start = t.find('\n', start);
+            if (start == std::string::npos) {
+                return "";
+            }
+            ++start;
+            ++cur;
+        }
+        std::size_t end = t.find('\n', start);
+        return t.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+    }
+
+    // ---- ambient-rng -----------------------------------------------------
+
+    void checkAmbientRng()
+    {
+        if (pathAllowed(path_, ambientRngAllowedPaths())) {
+            return;
+        }
+        const std::string rule = "ambient-rng";
+        for (const Token &t : tokens_) {
+            std::string qual;
+            bool qualified = hasQualifier(scrubbed_.text, t.pos, qual);
+            bool stdOrGlobal = !qualified || qual == "std" || qual.empty();
+            if ((t.name == "rand" || t.name == "srand") && stdOrGlobal &&
+                !isMemberAccess(scrubbed_.text, t.pos) &&
+                !looksLikeDeclaration(t) &&
+                isCalled(scrubbed_.text, t.end)) {
+                report(rule, t.line,
+                       "call to " + t.name +
+                           "(): all randomness must flow through qismet::Rng "
+                           "(src/common/rng.hpp)");
+            } else if (t.name == "random_device" && stdOrGlobal &&
+                       !isMemberAccess(scrubbed_.text, t.pos)) {
+                report(rule, t.line,
+                       "std::random_device is non-deterministic; seed a "
+                       "qismet::Rng explicitly instead");
+            } else if (isSeedSink(t.name) && seededFromTime(t)) {
+                report(rule, t.line,
+                       "time-based seeding of '" + t.name +
+                           "' breaks reproducibility; use an explicit seed");
+            }
+        }
+    }
+
+    /**
+     * `double rand(...)` declares a member/function named like the libc
+     * one; only calls are ambient. A call is never directly preceded by
+     * an unqualified type-position identifier (keywords like `return`
+     * excepted), so treat that shape as a declaration.
+     */
+    bool looksLikeDeclaration(const Token &t) const
+    {
+        std::size_t p = prevNonSpace(scrubbed_.text, t.pos);
+        if (p == std::string::npos || !isIdentChar(scrubbed_.text[p])) {
+            return false;
+        }
+        std::size_t start = p;
+        while (start > 0 && isIdentChar(scrubbed_.text[start - 1])) {
+            --start;
+        }
+        static const std::set<std::string> valueKeywords = {
+            "return", "throw", "case", "else", "do", "co_return",
+            "co_yield", "co_await"};
+        return valueKeywords.count(
+                   scrubbed_.text.substr(start, p + 1 - start)) == 0;
+    }
+
+    static bool isSeedSink(const std::string &name)
+    {
+        static const std::set<std::string> sinks = {
+            "mt19937",      "mt19937_64", "minstd_rand",
+            "minstd_rand0", "default_random_engine",
+            "ranlux24",     "ranlux48",   "knuth_b",
+            "Xoshiro256",   "Rng",        "seed"};
+        return sinks.count(name) != 0;
+    }
+
+    /**
+     * True when the seed-sink token draws on a clock: its call
+     * arguments (or, for non-call mentions, its source line) reference
+     * `::now` or a `time(...)` call.
+     */
+    bool seededFromTime(const Token &t) const
+    {
+        if (isCalled(scrubbed_.text, t.end)) {
+            std::size_t open = nextNonSpace(scrubbed_.text, t.end);
+            std::size_t close = matchDelim(scrubbed_.text, open);
+            if (close != std::string::npos) {
+                return hasTimeSource(
+                    scrubbed_.text.substr(open + 1, close - open - 1));
+            }
+        }
+        return hasTimeSource(lineText(t.line));
+    }
+
+    static bool hasTimeSource(const std::string &text)
+    {
+        if (text.find("::now") != std::string::npos) {
+            return true;
+        }
+        // A call to time(...) — token `time` followed by '('.
+        std::size_t at = 0;
+        while ((at = text.find("time", at)) != std::string::npos) {
+            bool startOk = at == 0 || !isIdentChar(text[at - 1]);
+            std::size_t after = at + 4;
+            bool endOk = after >= text.size() || !isIdentChar(text[after]);
+            if (startOk && endOk) {
+                std::size_t p = nextNonSpace(text, after);
+                if (p != std::string::npos && text[p] == '(') {
+                    return true;
+                }
+            }
+            at += 4;
+        }
+        return false;
+    }
+
+    // ---- unordered-reduction ---------------------------------------------
+
+    void collectUnorderedDecls()
+    {
+        for (const Token &t : tokens_) {
+            if (t.name != "unordered_map" && t.name != "unordered_set" &&
+                t.name != "unordered_multimap" &&
+                t.name != "unordered_multiset") {
+                continue;
+            }
+            std::size_t lt = nextNonSpace(scrubbed_.text, t.end);
+            if (lt == std::string::npos || scrubbed_.text[lt] != '<') {
+                continue;
+            }
+            std::size_t gt = matchAngle(scrubbed_.text, lt);
+            if (gt == std::string::npos) {
+                continue;
+            }
+            std::size_t p = gt + 1;
+            while (true) {
+                p = nextNonSpace(scrubbed_.text, p);
+                if (p == std::string::npos) {
+                    break;
+                }
+                char c = scrubbed_.text[p];
+                if (c == '&' || c == '*') {
+                    ++p;
+                    continue;
+                }
+                if (isIdentStart(c)) {
+                    std::size_t end = p;
+                    while (end < scrubbed_.text.size() &&
+                           isIdentChar(scrubbed_.text[end])) {
+                        ++end;
+                    }
+                    std::string name = scrubbed_.text.substr(p, end - p);
+                    if (name == "const") {
+                        p = end;
+                        continue;
+                    }
+                    unorderedVars_.insert(name);
+                }
+                break;
+            }
+        }
+    }
+
+    bool mentionsUnordered(const std::string &expr) const
+    {
+        if (expr.find("unordered_") != std::string::npos) {
+            return true;
+        }
+        std::size_t i = 0;
+        while (i < expr.size()) {
+            if (isIdentStart(expr[i])) {
+                std::size_t start = i;
+                while (i < expr.size() && isIdentChar(expr[i])) {
+                    ++i;
+                }
+                if (unorderedVars_.count(expr.substr(start, i - start)) != 0) {
+                    return true;
+                }
+                continue;
+            }
+            ++i;
+        }
+        return false;
+    }
+
+    static bool hasNumericAccumulation(const std::string &body)
+    {
+        for (const char *op : {"+=", "-=", "*=", "/="}) {
+            if (body.find(op) != std::string::npos) {
+                return true;
+            }
+        }
+        return body.find("accumulate") != std::string::npos;
+    }
+
+    void checkUnorderedReduction()
+    {
+        const std::string rule = "unordered-reduction";
+        const std::string &text = scrubbed_.text;
+        for (const Token &t : tokens_) {
+            if (t.name == "for") {
+                std::size_t open = nextNonSpace(text, t.end);
+                if (open == std::string::npos || text[open] != '(') {
+                    continue;
+                }
+                std::size_t close = matchDelim(text, open);
+                if (close == std::string::npos) {
+                    continue;
+                }
+                std::string head = text.substr(open + 1, close - open - 1);
+                std::size_t colon = rangeForColon(head);
+                if (colon == std::string::npos) {
+                    continue;
+                }
+                std::string rangeExpr = head.substr(colon + 1);
+                if (!mentionsUnordered(rangeExpr)) {
+                    continue;
+                }
+                std::string body = statementAfter(close + 1);
+                if (hasNumericAccumulation(body)) {
+                    report(rule, t.line,
+                           "range-for over an unordered container feeds a "
+                           "numeric reduction; hash iteration order is "
+                           "unspecified, breaking bit-exact determinism — "
+                           "copy into a sorted/ordered sequence first");
+                }
+            } else if (t.name == "accumulate" &&
+                       isCalled(text, t.end)) {
+                std::size_t open = nextNonSpace(text, t.end);
+                std::size_t close = matchDelim(text, open);
+                if (close == std::string::npos) {
+                    continue;
+                }
+                std::string args = text.substr(open + 1, close - open - 1);
+                if (mentionsUnordered(args)) {
+                    report(rule, t.line,
+                           "std::accumulate over an unordered container "
+                           "depends on hash iteration order, breaking "
+                           "bit-exact determinism");
+                }
+            }
+        }
+    }
+
+    /** Offset of the range-for ':' inside a for-head, or npos. */
+    static std::size_t rangeForColon(const std::string &head)
+    {
+        int depth = 0;
+        for (std::size_t i = 0; i < head.size(); ++i) {
+            char c = head[i];
+            if (c == '(' || c == '[' || c == '{' || c == '<') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+                --depth;
+            } else if (c == ';') {
+                return std::string::npos; // classic for loop
+            } else if (c == ':' && depth == 0) {
+                bool doubled = (i + 1 < head.size() && head[i + 1] == ':') ||
+                               (i > 0 && head[i - 1] == ':');
+                if (!doubled) {
+                    return i;
+                }
+            } else if (c == '?') {
+                // conditional expression: its ':' is not ours; bail on
+                // pathological heads rather than misreport.
+                return std::string::npos;
+            }
+        }
+        return std::string::npos;
+    }
+
+    /** The statement starting at `pos`: a brace block or text up to ';'. */
+    std::string statementAfter(std::size_t pos) const
+    {
+        const std::string &text = scrubbed_.text;
+        std::size_t p = nextNonSpace(text, pos);
+        if (p == std::string::npos) {
+            return "";
+        }
+        if (text[p] == '{') {
+            std::size_t close = matchDelim(text, p);
+            if (close == std::string::npos) {
+                return text.substr(p);
+            }
+            return text.substr(p, close - p + 1);
+        }
+        std::size_t semi = text.find(';', p);
+        return text.substr(p, semi == std::string::npos ? std::string::npos
+                                                        : semi - p + 1);
+    }
+
+    // ---- raw-thread ------------------------------------------------------
+
+    void checkRawThread()
+    {
+        if (pathAllowed(path_, rawThreadAllowedPaths())) {
+            return;
+        }
+        const std::string rule = "raw-thread";
+        for (const Token &t : tokens_) {
+            if (t.name == "pthread_create") {
+                report(rule, t.line,
+                       "pthread_create outside ThreadPool: route all "
+                       "parallelism through qismet::ThreadPool / "
+                       "ParallelExecutor");
+                continue;
+            }
+            if (t.name != "thread" && t.name != "jthread" &&
+                t.name != "async") {
+                continue;
+            }
+            std::string qual;
+            if (hasQualifier(scrubbed_.text, t.pos, qual) && qual == "std") {
+                report(rule, t.line,
+                       "std::" + t.name +
+                           " outside ThreadPool: route all parallelism "
+                           "through qismet::ThreadPool / ParallelExecutor "
+                           "(src/common/thread_pool.hpp)");
+            }
+        }
+    }
+
+    // ---- naked-new -------------------------------------------------------
+
+    void checkNakedNew()
+    {
+        const std::string rule = "naked-new";
+        const std::string &text = scrubbed_.text;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            const Token &t = tokens_[i];
+            bool afterOperator =
+                i > 0 && tokens_[i - 1].name == "operator" &&
+                nextNonSpace(text, tokens_[i - 1].end) == t.pos;
+            if (t.name == "new") {
+                if (afterOperator) {
+                    continue;
+                }
+                report(rule, t.line,
+                       "naked new expression: own memory with "
+                       "std::vector / std::unique_ptr / std::make_unique");
+            } else if (t.name == "delete") {
+                if (afterOperator) {
+                    continue;
+                }
+                std::size_t p = prevNonSpace(text, t.pos);
+                if (p != std::string::npos && text[p] == '=') {
+                    continue; // deleted special member function
+                }
+                report(rule, t.line,
+                       "naked delete expression: own memory with "
+                       "std::vector / std::unique_ptr / std::make_unique");
+            }
+        }
+    }
+
+    // ---- split-in-task ---------------------------------------------------
+
+    void checkSplitInTask()
+    {
+        const std::string rule = "split-in-task";
+        const std::string &text = scrubbed_.text;
+        for (const Token &t : tokens_) {
+            bool member = isMemberAccess(text, t.pos);
+            bool dispatch = (t.name == "submit" || t.name == "parallelFor") ||
+                            (t.name == "map" && member);
+            if (!dispatch) {
+                continue;
+            }
+            // Accept both `submit(...)` and `map<T>(...)` call shapes.
+            std::size_t open = nextNonSpace(text, t.end);
+            if (open != std::string::npos && text[open] == '<') {
+                std::size_t gt = matchAngle(text, open);
+                if (gt == std::string::npos) {
+                    continue;
+                }
+                open = nextNonSpace(text, gt + 1);
+            }
+            if (open == std::string::npos || text[open] != '(') {
+                continue;
+            }
+            std::size_t close = matchDelim(text, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            scanLambdasForSplit(rule, open + 1, close);
+        }
+    }
+
+    /** Find lambda bodies inside [begin, end) and flag split calls. */
+    void scanLambdasForSplit(const std::string &rule, std::size_t begin,
+                             std::size_t end)
+    {
+        const std::string &text = scrubbed_.text;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (text[i] != '[') {
+                continue;
+            }
+            std::size_t prev = prevNonSpace(text, i);
+            if (prev != std::string::npos &&
+                (isIdentChar(text[prev]) || text[prev] == ')' ||
+                 text[prev] == ']')) {
+                continue; // subscript, not a capture list
+            }
+            std::size_t captureClose = matchDelim(text, i);
+            if (captureClose == std::string::npos || captureClose >= end) {
+                continue;
+            }
+            std::size_t p = nextNonSpace(text, captureClose + 1);
+            if (p != std::string::npos && text[p] == '(') {
+                std::size_t paramsClose = matchDelim(text, p);
+                if (paramsClose == std::string::npos) {
+                    continue;
+                }
+                p = nextNonSpace(text, paramsClose + 1);
+            }
+            // Tolerate `mutable`, `noexcept`, `-> T` between params and body.
+            while (p != std::string::npos && p < end && text[p] != '{' &&
+                   text[p] != ';' && text[p] != ',') {
+                ++p;
+                p = nextNonSpace(text, p);
+            }
+            if (p == std::string::npos || p >= end || text[p] != '{') {
+                continue;
+            }
+            std::size_t bodyClose = matchDelim(text, p);
+            if (bodyClose == std::string::npos) {
+                continue;
+            }
+            flagSplitCalls(rule, p, bodyClose);
+            i = bodyClose;
+        }
+    }
+
+    void flagSplitCalls(const std::string &rule, std::size_t begin,
+                        std::size_t end)
+    {
+        const std::string &text = scrubbed_.text;
+        for (const Token &t : tokens_) {
+            if (t.pos < begin || t.pos >= end) {
+                continue;
+            }
+            if ((t.name == "splitAt" || t.name == "split") &&
+                isMemberAccess(text, t.pos) && isCalled(text, t.end)) {
+                report(rule, t.line,
+                       "Rng::" + t.name +
+                           " inside a parallel task body: derive every "
+                           "task's sub-stream before dispatch "
+                           "(splitAt(index) at the fan-out site) so the "
+                           "stream is a pure function of (seed, index)");
+            }
+        }
+    }
+
+    std::string path_;
+    Scrubbed scrubbed_;
+    std::vector<Token> tokens_;
+    std::set<std::string> unorderedVars_;
+    std::vector<Finding> findings_;
+};
+
+} // namespace
+
+const std::vector<std::string> &allRules()
+{
+    static const std::vector<std::string> rules = {
+        "ambient-rng", "unordered-reduction", "raw-thread", "naked-new",
+        "split-in-task"};
+    return rules;
+}
+
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content)
+{
+    return Linter(path, content).run();
+}
+
+std::vector<Finding> lintFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("qismet-lint: cannot read " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintSource(path, buffer.str());
+}
+
+bool isLintablePath(const std::string &path)
+{
+    for (const char *ext : {".cpp", ".cc", ".hpp", ".h"}) {
+        std::size_t len = std::char_traits<char>::length(ext);
+        if (path.size() > len &&
+            path.compare(path.size() - len, len, ext) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace qlint

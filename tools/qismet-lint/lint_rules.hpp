@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Rule engine for qismet-lint, the project-specific determinism and
+ * concurrency linter.
+ *
+ * qismet-lint enforces the invariants that clang-tidy cannot express —
+ * the contracts that make `--threads=N` output bit-identical to
+ * `--threads=1` (DESIGN.md "Parallel execution & determinism model"):
+ *
+ *  - `ambient-rng`        — all randomness must flow through qismet::Rng;
+ *                           no std::rand/srand, no std::random_device,
+ *                           no time-based seeding outside
+ *                           src/common/rng.cpp.
+ *  - `unordered-reduction`— iterating a std::unordered_{map,set} into a
+ *                           numeric accumulation is forbidden: hash-table
+ *                           iteration order is unspecified, so the
+ *                           floating-point fold order (and hence the
+ *                           bits of the result) would vary.
+ *  - `raw-thread`         — no std::thread / std::jthread / std::async /
+ *                           pthread_create outside
+ *                           src/common/thread_pool.{cpp,hpp}; all
+ *                           parallelism goes through ThreadPool /
+ *                           ParallelExecutor.
+ *  - `naked-new`          — no naked new/delete expressions; use
+ *                           containers or smart pointers.
+ *  - `split-in-task`      — Rng::split / Rng::splitAt must be called
+ *                           *before* fan-out, never inside a lambda body
+ *                           handed to ThreadPool::submit,
+ *                           ParallelExecutor::parallelFor or
+ *                           ParallelExecutor::map (a split inside the
+ *                           task body would depend on scheduling order).
+ *
+ * Suppression: append `// qismet-lint: allow(<rule>[, <rule>...])` to the
+ * offending line, or place it alone on the line directly above. A
+ * file-wide escape `// qismet-lint: allow-file(<rule>)` disables one rule
+ * for the whole file. Every escape is greppable and reviewable.
+ */
+
+#ifndef QISMET_TOOLS_LINT_RULES_HPP
+#define QISMET_TOOLS_LINT_RULES_HPP
+
+#include <string>
+#include <vector>
+
+namespace qlint {
+
+/** One rule violation at a specific source location. */
+struct Finding
+{
+    std::string file;    ///< Path as given to the linter.
+    int line;            ///< 1-based line number.
+    std::string rule;    ///< Rule slug, e.g. "ambient-rng".
+    std::string message; ///< Human-readable explanation.
+};
+
+/** Names of all rules, in reporting order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Lint an in-memory translation unit.
+ *
+ * @param path    Path used both for reporting and for the per-rule
+ *                allowlists (e.g. src/common/rng.cpp may use ambient
+ *                randomness primitives). Forward or backward slashes.
+ * @param content Full file content.
+ * @return All findings, ordered by line.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/**
+ * Lint a file on disk.
+ *
+ * @throws std::runtime_error when the file cannot be read.
+ */
+std::vector<Finding> lintFile(const std::string &path);
+
+/** True for the extensions qismet-lint understands (.cpp/.cc/.hpp/.h). */
+bool isLintablePath(const std::string &path);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_RULES_HPP

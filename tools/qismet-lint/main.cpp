@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Command-line driver for qismet-lint.
+ *
+ * Usage:
+ *   qismet-lint [--list-rules] <file-or-directory>...
+ *
+ * Directories are walked recursively for .cpp/.cc/.hpp/.h files;
+ * `build*` directories and linter `fixtures/` directories (which contain
+ * intentionally-bad code) are skipped. Exit status: 0 when clean, 1 when
+ * findings were reported, 2 on usage or I/O errors.
+ */
+
+#include "lint_rules.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool skippedDirectory(const fs::path &dir)
+{
+    std::string name = dir.filename().string();
+    return name.rfind("build", 0) == 0 || name == "fixtures" ||
+           name == ".git";
+}
+
+void collectFiles(const fs::path &root, std::vector<std::string> &out)
+{
+    if (fs::is_regular_file(root)) {
+        out.push_back(root.string());
+        return;
+    }
+    if (!fs::is_directory(root)) {
+        throw std::runtime_error("qismet-lint: no such file or directory: " +
+                                 root.string());
+    }
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && skippedDirectory(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() &&
+            qlint::isLintablePath(it->path().string())) {
+            out.push_back(it->path().string());
+        }
+    }
+}
+
+} // namespace
+
+int main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--list-rules") {
+                for (const std::string &rule : qlint::allRules()) {
+                    std::cout << rule << "\n";
+                }
+                return 0;
+            }
+            if (arg == "--help" || arg == "-h") {
+                std::cout << "usage: qismet-lint [--list-rules] "
+                             "<file-or-directory>...\n";
+                return 0;
+            }
+            collectFiles(arg, files);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    if (files.empty()) {
+        std::cerr << "qismet-lint: no input files (see --help)\n";
+        return 2;
+    }
+
+    std::size_t findingCount = 0;
+    for (const std::string &file : files) {
+        try {
+            for (const qlint::Finding &f : qlint::lintFile(file)) {
+                std::cerr << f.file << ":" << f.line << ": [" << f.rule
+                          << "] " << f.message << "\n";
+                ++findingCount;
+            }
+        } catch (const std::exception &e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    }
+
+    if (findingCount != 0) {
+        std::cerr << "qismet-lint: " << findingCount << " finding"
+                  << (findingCount == 1 ? "" : "s") << " in " << files.size()
+                  << " files (suppress with `// qismet-lint: allow(<rule>)` "
+                     "where justified)\n";
+        return 1;
+    }
+    std::cout << "qismet-lint: " << files.size() << " files clean\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+# Format gate for the `lint` target: clang-format --dry-run -Werror over
+# every source file (fixtures included — bad style in fixtures would
+# leak into copy-pasted fixes). Invoked as:
+#   cmake -DCLANG_FORMAT=... -DSOURCE_DIR=... -P run_clang_format.cmake
+
+if(NOT CLANG_FORMAT OR NOT SOURCE_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DCLANG_FORMAT=<exe> -DSOURCE_DIR=<dir> "
+        "-P run_clang_format.cmake")
+endif()
+
+file(GLOB_RECURSE format_sources
+    ${SOURCE_DIR}/src/*.cpp ${SOURCE_DIR}/src/*.hpp
+    ${SOURCE_DIR}/bench/*.cpp ${SOURCE_DIR}/bench/*.hpp
+    ${SOURCE_DIR}/tests/*.cpp ${SOURCE_DIR}/tests/*.hpp
+    ${SOURCE_DIR}/examples/*.cpp
+    ${SOURCE_DIR}/tools/*.cpp ${SOURCE_DIR}/tools/*.hpp)
+
+list(LENGTH format_sources count)
+message(STATUS "lint: clang-format --dry-run over ${count} files")
+
+execute_process(
+    COMMAND ${CLANG_FORMAT} --dry-run -Werror ${format_sources}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lint: clang-format found style drift:\n${err}")
+endif()
+message(STATUS "lint: clang-format clean")

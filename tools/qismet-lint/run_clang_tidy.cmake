@@ -1,0 +1,48 @@
+# Runs the repository .clang-tidy profile over every translation unit in
+# compile_commands.json scope. Invoked by the `lint` target and the
+# lint.clang_tidy ctest:
+#   cmake -DCLANG_TIDY=... -DSOURCE_DIR=... -DBUILD_DIR=... \
+#         -P run_clang_tidy.cmake
+# Fails (FATAL_ERROR) on the first file with findings; the per-directory
+# .clang-tidy files under tests/ and bench/ tune the profile.
+
+if(NOT CLANG_TIDY OR NOT SOURCE_DIR OR NOT BUILD_DIR)
+    message(FATAL_ERROR
+        "usage: cmake -DCLANG_TIDY=<exe> -DSOURCE_DIR=<dir> "
+        "-DBUILD_DIR=<dir> -P run_clang_tidy.cmake")
+endif()
+
+if(NOT EXISTS ${BUILD_DIR}/compile_commands.json)
+    message(FATAL_ERROR
+        "lint: ${BUILD_DIR}/compile_commands.json missing — configure with "
+        "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default preset does)")
+endif()
+
+file(GLOB_RECURSE tidy_sources
+    ${SOURCE_DIR}/src/*.cpp
+    ${SOURCE_DIR}/bench/*.cpp
+    ${SOURCE_DIR}/tests/*.cpp
+    ${SOURCE_DIR}/examples/*.cpp
+    ${SOURCE_DIR}/tools/*.cpp)
+list(FILTER tidy_sources EXCLUDE REGEX "/fixtures/")
+
+list(LENGTH tidy_sources count)
+message(STATUS "lint: clang-tidy over ${count} files")
+
+set(failed 0)
+foreach(source IN LISTS tidy_sources)
+    execute_process(
+        COMMAND ${CLANG_TIDY} --quiet -p ${BUILD_DIR} ${source}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(STATUS "clang-tidy findings in ${source}:\n${out}${err}")
+        set(failed 1)
+    endif()
+endforeach()
+
+if(failed)
+    message(FATAL_ERROR "lint: clang-tidy reported findings")
+endif()
+message(STATUS "lint: clang-tidy clean")

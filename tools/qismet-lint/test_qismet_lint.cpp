@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Test suite for the qismet-lint rule engine.
+ *
+ * Two layers: focused unit tests running each rule against small inline
+ * snippets (both firing and deliberately-close non-firing shapes), and
+ * fixture tests running the full engine over the known-bad / known-good
+ * files in fixtures/ (path injected as QISMET_LINT_FIXTURE_DIR).
+ */
+
+#include "lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using qlint::Finding;
+using qlint::lintFile;
+using qlint::lintSource;
+
+std::string fixture(const std::string &name)
+{
+    return std::string(QISMET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding> ruleFindings(const std::vector<Finding> &all,
+                                  const std::string &rule)
+{
+    std::vector<Finding> out;
+    std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+                 [&](const Finding &f) { return f.rule == rule; });
+    return out;
+}
+
+int countRule(const std::string &path, const std::string &source,
+              const std::string &rule)
+{
+    return static_cast<int>(
+        ruleFindings(lintSource(path, source), rule).size());
+}
+
+// ---- rule registry -------------------------------------------------------
+
+TEST(LintRegistry, AllFiveRulesRegistered)
+{
+    const auto &rules = qlint::allRules();
+    ASSERT_EQ(rules.size(), 5u);
+    for (const char *rule :
+         {"ambient-rng", "unordered-reduction", "raw-thread", "naked-new",
+          "split-in-task"}) {
+        EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
+            << rule;
+    }
+}
+
+TEST(LintRegistry, LintablePaths)
+{
+    EXPECT_TRUE(qlint::isLintablePath("src/a.cpp"));
+    EXPECT_TRUE(qlint::isLintablePath("src/a.hpp"));
+    EXPECT_TRUE(qlint::isLintablePath("src/a.h"));
+    EXPECT_TRUE(qlint::isLintablePath("src/a.cc"));
+    EXPECT_FALSE(qlint::isLintablePath("CMakeLists.txt"));
+    EXPECT_FALSE(qlint::isLintablePath("README.md"));
+}
+
+// ---- ambient-rng ---------------------------------------------------------
+
+TEST(AmbientRng, FiresOnStdRandAndSrand)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "int f() { return std::rand(); }",
+                        "ambient-rng"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp", "void f() { srand(7); }", "ambient-rng"),
+              1);
+}
+
+TEST(AmbientRng, FiresOnRandomDevice)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "std::random_device rd;", "ambient-rng"),
+              1);
+}
+
+TEST(AmbientRng, FiresOnTimeSeeding)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "std::mt19937 gen(std::chrono::steady_clock::now()"
+                        ".time_since_epoch().count());",
+                        "ambient-rng"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp", "engine.seed(time(nullptr));",
+                        "ambient-rng"),
+              1);
+}
+
+TEST(AmbientRng, AllowedInsideRngImplementation)
+{
+    // The one blessed home for entropy plumbing.
+    EXPECT_EQ(countRule("src/common/rng.cpp",
+                        "std::random_device rd; (void)rd;", "ambient-rng"),
+              0);
+}
+
+TEST(AmbientRng, IgnoresMembersAndDeclarationsNamedRand)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "double v = dist.rand();",
+                        "ambient-rng"),
+              0);
+    EXPECT_EQ(countRule("src/x.cpp", "double rand() { return 0.0; }",
+                        "ambient-rng"),
+              0);
+    // `return rand()` is a real call even though `return` precedes it.
+    EXPECT_EQ(countRule("src/x.cpp", "int f() { return rand(); }",
+                        "ambient-rng"),
+              1);
+}
+
+TEST(AmbientRng, IgnoresTimingWithoutSeeding)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "auto t0 = std::chrono::steady_clock::now();",
+                        "ambient-rng"),
+              0);
+}
+
+// ---- unordered-reduction -------------------------------------------------
+
+TEST(UnorderedReduction, FiresOnRangeForAccumulation)
+{
+    const char *src = R"(
+        double f(const std::unordered_map<std::string, double> &m) {
+            double total = 0.0;
+            for (const auto &kv : m) total += kv.second;
+            return total;
+        })";
+    EXPECT_EQ(countRule("src/x.cpp", src, "unordered-reduction"), 1);
+}
+
+TEST(UnorderedReduction, FiresOnStdAccumulate)
+{
+    const char *src = R"(
+        std::unordered_set<int> ids;
+        double f() {
+            return std::accumulate(ids.begin(), ids.end(), 0.0);
+        })";
+    EXPECT_EQ(countRule("src/x.cpp", src, "unordered-reduction"), 1);
+}
+
+TEST(UnorderedReduction, IgnoresOrderedContainers)
+{
+    const char *src = R"(
+        double f(const std::map<std::string, double> &m,
+                 const std::vector<double> &v) {
+            double total = std::accumulate(v.begin(), v.end(), 0.0);
+            for (const auto &kv : m) total += kv.second;
+            return total;
+        })";
+    EXPECT_EQ(countRule("src/x.cpp", src, "unordered-reduction"), 0);
+}
+
+TEST(UnorderedReduction, IgnoresNonReducingIteration)
+{
+    const char *src = R"(
+        bool f(const std::unordered_map<int, int> &m) {
+            for (const auto &kv : m)
+                if (kv.second < 0) return true;
+            return false;
+        })";
+    EXPECT_EQ(countRule("src/x.cpp", src, "unordered-reduction"), 0);
+}
+
+// ---- raw-thread ----------------------------------------------------------
+
+TEST(RawThread, FiresOnThreadJthreadAsync)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "std::thread t([]{}); t.join();",
+                        "raw-thread"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp", "std::jthread t([]{});", "raw-thread"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "auto f = std::async(std::launch::async, []{});",
+                        "raw-thread"),
+              1);
+}
+
+TEST(RawThread, AllowedInsideThreadPool)
+{
+    EXPECT_EQ(countRule("src/common/thread_pool.cpp",
+                        "workers_.emplace_back(std::thread([]{}));",
+                        "raw-thread"),
+              0);
+    EXPECT_EQ(countRule("src/common/thread_pool.hpp",
+                        "std::vector<std::thread> workers_;", "raw-thread"),
+              0);
+}
+
+TEST(RawThread, IgnoresThisThreadAndHeaders)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "std::this_thread::sleep_for(delay); "
+                        "#include <thread>",
+                        "raw-thread"),
+              0);
+}
+
+// ---- naked-new -----------------------------------------------------------
+
+TEST(NakedNew, FiresOnNewAndDelete)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "int *p = new int(3);", "naked-new"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp", "delete p;", "naked-new"), 1);
+    EXPECT_EQ(countRule("src/x.cpp", "delete[] arr;", "naked-new"), 1);
+}
+
+TEST(NakedNew, IgnoresDeletedFunctionsAndComments)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "Foo(const Foo &) = delete;",
+                        "naked-new"),
+              0);
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "// the new engine replaced delete-heavy code\n"
+                        "const char *s = \"new delete\";",
+                        "naked-new"),
+              0);
+}
+
+// ---- split-in-task -------------------------------------------------------
+
+TEST(SplitInTask, FiresInsideDispatchLambdas)
+{
+    const char *inParallelFor = R"(
+        exec.parallelFor(n, [&](std::size_t i) {
+            Rng task = rng.splitAt(i);
+            out[i] = task.uniform();
+        });)";
+    EXPECT_EQ(countRule("src/x.cpp", inParallelFor, "split-in-task"), 1);
+
+    const char *inSubmit = R"(
+        pool.submit([&] { use(rng.split()); });)";
+    EXPECT_EQ(countRule("src/x.cpp", inSubmit, "split-in-task"), 1);
+
+    const char *inMap = R"(
+        auto v = exec.map<double>(8, [&](std::size_t i) {
+            return rng.splitAt(i).uniform();
+        });)";
+    EXPECT_EQ(countRule("src/x.cpp", inMap, "split-in-task"), 1);
+}
+
+TEST(SplitInTask, IgnoresSplitBeforeDispatch)
+{
+    const char *src = R"(
+        std::vector<Rng> streams;
+        for (std::size_t i = 0; i < n; ++i)
+            streams.push_back(rng.splitAt(i));
+        exec.parallelFor(n, [&](std::size_t i) {
+            out[i] = streams[i].uniform();
+        });)";
+    EXPECT_EQ(countRule("src/x.cpp", src, "split-in-task"), 0);
+}
+
+TEST(SplitInTask, IgnoresSplitInDispatchArgumentPosition)
+{
+    // Evaluated on the dispatching thread before the task runs: fine.
+    const char *src = "pool.submit(makeTask(rng.splitAt(3)));";
+    EXPECT_EQ(countRule("src/x.cpp", src, "split-in-task"), 0);
+}
+
+// ---- suppression escapes -------------------------------------------------
+
+TEST(Suppression, SameLineEscape)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "int v = std::rand(); // qismet-lint: "
+                        "allow(ambient-rng)",
+                        "ambient-rng"),
+              0);
+}
+
+TEST(Suppression, LineAboveEscape)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "// qismet-lint: allow(naked-new)\n"
+                        "int *p = new int(1);",
+                        "naked-new"),
+              0);
+}
+
+TEST(Suppression, FileWideEscape)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "// qismet-lint: allow-file(raw-thread)\n"
+                        "std::thread a([]{});\n"
+                        "std::thread b([]{});",
+                        "raw-thread"),
+              0);
+}
+
+TEST(Suppression, EscapeIsRuleSpecific)
+{
+    // An escape for one rule must not silence another on the same line.
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "int *p = new int(std::rand()); // qismet-lint: "
+                        "allow(naked-new)",
+                        "ambient-rng"),
+              1);
+}
+
+// ---- fixture files -------------------------------------------------------
+
+struct BadFixtureCase
+{
+    const char *file;
+    const char *rule;
+    int expectedFindings;
+};
+
+class BadFixtures : public ::testing::TestWithParam<BadFixtureCase>
+{
+};
+
+TEST_P(BadFixtures, EveryFindingMatchesTheTargetRule)
+{
+    const BadFixtureCase &param = GetParam();
+    const auto findings = lintFile(fixture(param.file));
+    EXPECT_EQ(static_cast<int>(findings.size()), param.expectedFindings)
+        << param.file;
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, param.rule) << f.file << ":" << f.line;
+        EXPECT_GT(f.line, 0);
+        EXPECT_FALSE(f.message.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, BadFixtures,
+    ::testing::Values(
+        BadFixtureCase{"bad_ambient_rng.cpp", "ambient-rng", 5},
+        BadFixtureCase{"bad_unordered_reduction.cpp", "unordered-reduction",
+                       3},
+        BadFixtureCase{"bad_raw_thread.cpp", "raw-thread", 3},
+        BadFixtureCase{"bad_naked_new.cpp", "naked-new", 4},
+        BadFixtureCase{"bad_split_in_task.cpp", "split-in-task", 3}),
+    [](const ::testing::TestParamInfo<BadFixtureCase> &param) {
+        std::string name = param.param.rule;
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(GoodFixtures, CleanFileHasNoFindings)
+{
+    const auto findings = lintFile(fixture("good_clean.cpp"));
+    EXPECT_TRUE(findings.empty())
+        << findings.size() << " unexpected findings; first: "
+        << (findings.empty() ? ""
+                             : findings[0].file + ":" +
+                                   std::to_string(findings[0].line) + " [" +
+                                   findings[0].rule + "]");
+}
+
+TEST(GoodFixtures, SuppressedFileHasNoFindings)
+{
+    const auto findings = lintFile(fixture("good_suppressed.cpp"));
+    EXPECT_TRUE(findings.empty())
+        << findings.size() << " unexpected findings; first: "
+        << (findings.empty() ? ""
+                             : findings[0].file + ":" +
+                                   std::to_string(findings[0].line) + " [" +
+                                   findings[0].rule + "]");
+}
+
+} // namespace
