@@ -23,12 +23,16 @@ GradientFaithfulController::GradientFaithfulController(
          config_.adaptiveWindow < 10))
         throw std::invalid_argument(
             "GradientFaithfulController: bad adaptive settings");
+    if (config_.degradedBandFactor < 1.0)
+        throw std::invalid_argument(
+            "GradientFaithfulController: degraded band factor < 1");
 }
 
 double
-GradientFaithfulController::effectiveThreshold(double e_prev) const
+GradientFaithfulController::effectiveThreshold(double e_prev,
+                                               double shot_fraction) const
 {
-    return std::max(config_.noiseFloor,
+    return std::max(config_.noiseFloor / std::sqrt(shot_fraction),
                     relativeThreshold_ *
                         std::abs(e_prev - config_.mixedEnergy));
 }
@@ -53,8 +57,25 @@ GradientFaithfulController::observeRelativeMagnitude(double rel_magnitude)
 Decision
 GradientFaithfulController::judgeEvaluation(const EvalContext &ctx)
 {
-    if (!ctx.hasReference)
-        return Decision::Accept;
+    if (!ctx.hasReference) {
+        if (!ctx.referenceLost)
+            return Decision::Accept;
+        // Degraded mode: the reference rerun was lost, so no transient
+        // estimate exists. Accept on the machine estimate when the
+        // perceived move is small (inside the widened band — the
+        // transient-free gradient cannot point far elsewhere); retry
+        // large, unverifiable moves until the shared budget is spent.
+        ++judged_;
+        const double band = config_.degradedBandFactor *
+                            effectiveThreshold(ctx.ePrev,
+                                               ctx.shotFraction);
+        if (std::abs(ctx.machineGradient()) <= band)
+            return Decision::Accept;
+        if (ctx.retryIndex >= config_.retryBudget)
+            return Decision::Accept;
+        ++skips_;
+        return Decision::Retry;
+    }
 
     ++judged_;
     const TransientEstimate est = estimator_.estimate(
@@ -74,7 +95,8 @@ GradientFaithfulController::judgeEvaluation(const EvalContext &ctx)
 
     // Fig. 9 pink band: small swings are always accepted. A sign flip
     // with |T_m| inside the band implies both gradients are tiny.
-    if (std::abs(est.transient) <= effectiveThreshold(ctx.ePrev))
+    if (std::abs(est.transient) <=
+        effectiveThreshold(ctx.ePrev, ctx.shotFraction))
         return Decision::Accept;
 
     // Fig. 9 (c/f): a truly-bad configuration perceived good (or vice
@@ -99,7 +121,8 @@ GradientFaithfulController::energyForOptimizer(const EvalContext &ctx)
     // Estimated transient on this job, relative to the transient-free
     // estimate of the previous evaluation.
     const double transient = ctx.eReferenceRerun - fedPrev_;
-    if (std::abs(transient) > effectiveThreshold(fedPrev_)) {
+    if (std::abs(transient) >
+        effectiveThreshold(fedPrev_, ctx.shotFraction)) {
         // Significant: hand the tuner the prediction E_p = E_m - T_m.
         fedPrev_ = ctx.eCurr - transient;
     } else {

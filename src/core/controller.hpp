@@ -58,6 +58,18 @@ struct QismetControllerConfig
     std::size_t adaptiveWindow = 120;
 
     /**
+     * Degraded-mode accept band (fault resilience): when a job's
+     * reference rerun is lost (FaultKind::ReferenceLoss) there is no
+     * transient estimate T_m, so the sign test is impossible. The
+     * controller then falls back to judging the raw machine gradient
+     * G_m against the error-threshold band *widened by this factor* —
+     * small moves are trusted (the transient-free gradient cannot
+     * differ much), large unverifiable moves are retried. Must be
+     * >= 1; 1 reuses the ordinary band.
+     */
+    double degradedBandFactor = 2.0;
+
+    /**
      * Keep the tuner's gradients faithful to the transient-free
      * prediction (paper Fig. 8 / Section 5.1): when the estimated
      * transient on a job exceeds the error threshold, the energy handed
@@ -111,8 +123,14 @@ class GradientFaithfulController : public TuningPolicy
 
     const QismetControllerConfig &config() const { return config_; }
 
-    /** Effective (energy-units) threshold for a given previous energy. */
-    double effectiveThreshold(double e_prev) const;
+    /**
+     * Effective (energy-units) threshold for a given previous energy.
+     * Partial-result jobs (shot_fraction < 1) carry proportionally more
+     * shot noise, so the noise-floor leg of the band widens by
+     * 1/sqrt(shot_fraction).
+     */
+    double effectiveThreshold(double e_prev,
+                              double shot_fraction = 1.0) const;
 
     /** Currently active relative threshold (adapted when dynamic). */
     double activeRelativeThreshold() const { return relativeThreshold_; }

@@ -1,9 +1,11 @@
 #include "core/qismet_vqe.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace qismet {
 
@@ -111,6 +113,17 @@ QismetVqe::run(const QismetVqeConfig &config) const
                          config.intraJobRelativeJitter,
                          mitigation_circuits);
 
+    // --- Fault injection ----------------------------------------------
+    // The injector's stream is derived from the master seed but
+    // independent of the executor's, so the same trajectory modulo the
+    // faults themselves is replayed when rates change from zero.
+    std::optional<FaultInjector> injector;
+    if (config.faults.enabled()) {
+        injector.emplace(config.faults,
+                         config.seed * 0xD1342543DE82EF95ull + 0xFA17ull);
+        executor.setFaultInjector(&*injector);
+    }
+
     // --- Optimizer ----------------------------------------------------
     SpsaGains gains = SpsaGains::forHorizon(
         config.totalJobs,
@@ -212,6 +225,8 @@ QismetVqe::run(const QismetVqeConfig &config) const
     VqeDriverConfig dcfg;
     dcfg.totalJobs = config.totalJobs;
     dcfg.seed = config.seed;
+    dcfg.retry = config.faultRetry;
+    dcfg.retry.maxRetries = config.retryBudget;
     VqeDriver driver(estimator, executor, *optimizer, *policy, dcfg);
 
     // Deterministic initial point shared across schemes with equal seed.

@@ -19,6 +19,7 @@
 #include "ansatz/ansatz.hpp"
 #include "core/controller.hpp"
 #include "core/threshold_calibrator.hpp"
+#include "fault/fault_policy.hpp"
 #include "noise/machine_model.hpp"
 #include "optim/spsa_variants.hpp"
 #include "pauli/pauli_sum.hpp"
@@ -90,6 +91,18 @@ struct QismetVqeConfig
      * wants small positive angles) should supply their own.
      */
     std::vector<double> initialTheta;
+    /**
+     * Fault-injection policy for the job pipeline (all rates zero =
+     * disabled, the default; existing experiments are unchanged).
+     * Fault draws derive from `seed` through an independent stream.
+     */
+    FaultPolicy faults;
+    /**
+     * Backoff shape for fault retries. Its maxRetries is overridden
+     * with `retryBudget` at run time, so fault retries and controller
+     * reject-retries share one per-evaluation budget.
+     */
+    RetryPolicy faultRetry;
 };
 
 /** Result of one experiment. */

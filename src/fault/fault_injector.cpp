@@ -1,0 +1,68 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace qismet {
+
+FaultInjector::FaultInjector(FaultPolicy policy, std::uint64_t seed)
+    : policy_(policy), root_(seed)
+{
+    policy_.validate();
+}
+
+FaultEvent
+FaultInjector::eventFor(std::size_t job_index,
+                        double transient_intensity) const
+{
+    FaultEvent event;
+    if (!policy_.enabled())
+        return event;
+
+    // Burst correlation: a machine in a bad noise phase also drops jobs
+    // more often. The boost is a deterministic function of tau, which is
+    // itself a deterministic function of (trace seed, job index).
+    const double boost =
+        1.0 + policy_.burstCoupling *
+                  std::max(0.0, transient_intensity) / policy_.burstScale;
+    double p_timeout = policy_.timeoutRate * boost;
+    double p_error = policy_.errorRate * boost;
+    double p_partial = policy_.partialRate * boost;
+    double p_refloss = policy_.referenceLossRate * boost;
+    const double total = p_timeout + p_error + p_partial + p_refloss;
+    if (total > policy_.maxFaultProbability) {
+        const double rescale = policy_.maxFaultProbability / total;
+        p_timeout *= rescale;
+        p_error *= rescale;
+        p_partial *= rescale;
+        p_refloss *= rescale;
+    }
+
+    Rng draw = root_.splitAt(job_index);
+    const double u = draw.uniform();
+    if (u < p_timeout) {
+        event.kind = FaultKind::JobTimeout;
+    } else if (u < p_timeout + p_error) {
+        event.kind = FaultKind::JobError;
+    } else if (u < p_timeout + p_error + p_partial) {
+        event.kind = FaultKind::PartialResult;
+        event.shotFraction =
+            draw.uniform(policy_.minShotFraction, 1.0);
+    } else if (u < p_timeout + p_error + p_partial + p_refloss) {
+        event.kind = FaultKind::ReferenceLoss;
+    }
+    return event;
+}
+
+FaultSchedule
+FaultInjector::schedule(const TransientTrace &trace,
+                        std::size_t num_jobs) const
+{
+    std::vector<FaultEvent> events;
+    events.reserve(num_jobs);
+    for (std::size_t i = 0; i < num_jobs; ++i)
+        events.push_back(eventFor(i, trace.at(i)));
+    return FaultSchedule(std::move(events));
+}
+
+} // namespace qismet

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic fault injection for the job-execution path.
+ *
+ * Determinism contract (DESIGN.md "Parallel execution & determinism
+ * model"): the fault hitting job i is a pure function of
+ * (injector seed, i, tau(i)) — drawn from the counter-based sub-stream
+ * Rng::splitAt(i) of a root generator that is never advanced. Fault
+ * decisions therefore do not perturb any other component's randomness,
+ * are independent of thread scheduling, and can be precomputed into a
+ * FaultSchedule that matches the live decisions event for event.
+ */
+
+#ifndef QISMET_FAULT_FAULT_INJECTOR_HPP
+#define QISMET_FAULT_FAULT_INJECTOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fault/fault_policy.hpp"
+#include "fault/fault_schedule.hpp"
+#include "noise/transient_trace.hpp"
+
+namespace qismet {
+
+/** Draws per-job fault events from a FaultPolicy. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param policy Failure process (validated here).
+     * @param seed Root seed of the injector's counter-based streams.
+     * @throws std::invalid_argument when the policy is malformed.
+     */
+    FaultInjector(FaultPolicy policy, std::uint64_t seed);
+
+    /**
+     * The fault event for one job. Pure in (seed, job_index,
+     * transient_intensity): calling it any number of times, from any
+     * thread count, yields the same event.
+     *
+     * @param job_index The executor's global job counter.
+     * @param transient_intensity tau(job), for burst correlation.
+     */
+    FaultEvent eventFor(std::size_t job_index,
+                        double transient_intensity) const;
+
+    /**
+     * Precompute the schedule for the first `num_jobs` jobs of a run
+     * over the given transient trace. Matches the live eventFor
+     * decisions exactly.
+     */
+    FaultSchedule schedule(const TransientTrace &trace,
+                           std::size_t num_jobs) const;
+
+    const FaultPolicy &policy() const { return policy_; }
+
+  private:
+    FaultPolicy policy_;
+    /** Root stream; only splitAt (non-advancing) is ever called. */
+    Rng root_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FAULT_FAULT_INJECTOR_HPP

@@ -1,0 +1,83 @@
+#include "fault/fault_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qismet {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::JobTimeout: return "timeout";
+      case FaultKind::JobError: return "error";
+      case FaultKind::PartialResult: return "partial";
+      case FaultKind::ReferenceLoss: return "reference-loss";
+    }
+    return "?";
+}
+
+bool
+FaultPolicy::enabled() const
+{
+    return totalBaseRate() > 0.0;
+}
+
+double
+FaultPolicy::totalBaseRate() const
+{
+    return timeoutRate + errorRate + partialRate + referenceLossRate;
+}
+
+void
+FaultPolicy::validate() const
+{
+    const double rates[] = {timeoutRate, errorRate, partialRate,
+                            referenceLossRate};
+    for (double r : rates)
+        if (!(r >= 0.0 && r <= 1.0))
+            throw std::invalid_argument(
+                "FaultPolicy: fault rates must lie in [0, 1]");
+    if (burstCoupling < 0.0)
+        throw std::invalid_argument(
+            "FaultPolicy: negative burst coupling");
+    if (burstScale <= 0.0)
+        throw std::invalid_argument(
+            "FaultPolicy: burst scale must be positive");
+    if (!(minShotFraction > 0.0 && minShotFraction <= 1.0))
+        throw std::invalid_argument(
+            "FaultPolicy: minShotFraction must lie in (0, 1]");
+    if (!(maxFaultProbability > 0.0 && maxFaultProbability < 1.0))
+        throw std::invalid_argument(
+            "FaultPolicy: maxFaultProbability must lie in (0, 1)");
+}
+
+double
+RetryPolicy::backoffSecondsFor(int attempt) const
+{
+    if (attempt < 0)
+        throw std::invalid_argument("RetryPolicy: negative attempt");
+    const double raw =
+        baseBackoffSeconds *
+        std::pow(backoffMultiplier, static_cast<double>(attempt));
+    return std::min(maxBackoffSeconds, raw);
+}
+
+void
+RetryPolicy::validate() const
+{
+    if (maxRetries < 1)
+        throw std::invalid_argument("RetryPolicy: retry budget < 1");
+    if (baseBackoffSeconds < 0.0 || maxBackoffSeconds < 0.0)
+        throw std::invalid_argument("RetryPolicy: negative backoff");
+    if (backoffMultiplier < 1.0)
+        throw std::invalid_argument(
+            "RetryPolicy: backoff multiplier must be >= 1");
+    if (maxBackoffSeconds < baseBackoffSeconds)
+        throw std::invalid_argument(
+            "RetryPolicy: backoff ceiling below base");
+}
+
+} // namespace qismet

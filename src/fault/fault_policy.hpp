@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fault-model configuration for the job pipeline.
+ *
+ * QISMET's premise is that quantum jobs misbehave: besides the noisy
+ * *results* the transient model covers, real fleets routinely produce
+ * failed or degraded *jobs* — queue timeouts, aborted executions,
+ * partial (shot-truncated) results, and dropped circuits within a
+ * batch. This module describes the failure process (FaultPolicy) and
+ * the recovery behavior (RetryPolicy) that the FaultInjector and the
+ * VQE driver implement. Fault rates of zero (the default) disable
+ * injection entirely, so every existing experiment is unchanged unless
+ * it opts in.
+ */
+
+#ifndef QISMET_FAULT_FAULT_POLICY_HPP
+#define QISMET_FAULT_FAULT_POLICY_HPP
+
+#include <string>
+
+namespace qismet {
+
+/** What went wrong with a job (or nothing, the common case). */
+enum class FaultKind
+{
+    None,          ///< The job executes normally.
+    JobTimeout,    ///< The job expired in the queue; no results.
+    JobError,      ///< The backend aborted the job; no results.
+    PartialResult, ///< The job returned shot-truncated (noisier) results.
+    ReferenceLoss, ///< The batch's reference-rerun circuits were dropped.
+};
+
+/** Display name of a fault kind. */
+std::string faultKindName(FaultKind kind);
+
+/**
+ * The failure process of the simulated fleet.
+ *
+ * Each job independently suffers at most one fault. The per-kind
+ * probabilities below are *base* rates; when `burstCoupling > 0` every
+ * rate is additionally multiplied by
+ *
+ *   1 + burstCoupling * max(tau, 0) / burstScale
+ *
+ * where tau is the job's transient intensity — modeling the empirical
+ * correlation between device-level noise bursts and job failures (a
+ * machine in a bad phase both distorts *and* drops jobs). The combined
+ * probability is capped at `maxFaultProbability` (uniformly rescaled)
+ * so no configuration can starve the pipeline completely.
+ */
+struct FaultPolicy
+{
+    /** Base probability a job times out in the queue. */
+    double timeoutRate = 0.0;
+    /** Base probability the backend errors the job out. */
+    double errorRate = 0.0;
+    /** Base probability the job returns shot-truncated results. */
+    double partialRate = 0.0;
+    /** Base probability the reference-rerun circuits are lost. */
+    double referenceLossRate = 0.0;
+    /** Strength of the burst-correlated failure boost (0 = none). */
+    double burstCoupling = 0.0;
+    /** Transient intensity at which the boost adds one full multiple. */
+    double burstScale = 0.3;
+    /** Partial results keep at least this fraction of the shots. */
+    double minShotFraction = 0.25;
+    /** Hard cap on the per-job combined fault probability. */
+    double maxFaultProbability = 0.9;
+
+    /** True when any base rate is positive. */
+    bool enabled() const;
+
+    /** Sum of the base rates (before burst boost and cap). */
+    double totalBaseRate() const;
+
+    /** @throws std::invalid_argument on out-of-range parameters. */
+    void validate() const;
+};
+
+/**
+ * Recovery behavior for failed jobs: bounded exponential backoff in
+ * *simulated* time plus a per-evaluation retry budget. The budget is
+ * shared with the acceptance policy's reject-retries (both consume the
+ * same per-evaluation retry counter), so an evaluation never costs more
+ * than `maxRetries + 1` jobs no matter how rejections and faults
+ * interleave.
+ */
+struct RetryPolicy
+{
+    /** Retries per evaluation before graceful degradation kicks in. */
+    int maxRetries = 5;
+    /** Backoff before the first fault retry (simulated seconds). */
+    double baseBackoffSeconds = 2.0;
+    /** Backoff growth factor per retry. */
+    double backoffMultiplier = 2.0;
+    /** Backoff ceiling (simulated seconds). */
+    double maxBackoffSeconds = 60.0;
+
+    /**
+     * Backoff charged before retry number `attempt` (0-based):
+     * min(maxBackoffSeconds, baseBackoffSeconds * multiplier^attempt).
+     */
+    double backoffSecondsFor(int attempt) const;
+
+    /** @throws std::invalid_argument on out-of-range parameters. */
+    void validate() const;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FAULT_FAULT_POLICY_HPP

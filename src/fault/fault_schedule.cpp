@@ -1,0 +1,79 @@
+#include "fault/fault_schedule.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace qismet {
+
+namespace {
+
+/** The canonical fault-free event returned past the schedule's end. */
+const FaultEvent kNoFault{};
+
+void
+fnv1aMix(std::uint64_t &hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001B3ull;
+    }
+}
+
+} // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+}
+
+const FaultEvent &
+FaultSchedule::at(std::size_t job_index) const
+{
+    if (job_index >= events_.size())
+        return kNoFault;
+    return events_[job_index];
+}
+
+std::size_t
+FaultSchedule::count(FaultKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &ev : events_)
+        if (ev.kind == kind)
+            ++n;
+    return n;
+}
+
+double
+FaultSchedule::faultFraction() const
+{
+    if (events_.empty())
+        return 0.0;
+    return 1.0 - static_cast<double>(count(FaultKind::None)) /
+                     static_cast<double>(events_.size());
+}
+
+std::string
+FaultSchedule::digest() const
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const auto &ev : events_) {
+        const auto kind = static_cast<std::uint32_t>(ev.kind);
+        fnv1aMix(hash, &kind, sizeof(kind));
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(ev.shotFraction));
+        std::memcpy(&bits, &ev.shotFraction, sizeof(bits));
+        fnv1aMix(hash, &bits, sizeof(bits));
+    }
+    static const char *hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = hex[hash & 0xF];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace qismet

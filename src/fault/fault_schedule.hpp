@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Realized fault schedules: which fault (if any) hits each job index.
+ *
+ * A FaultSchedule is the fault analogue of a TransientTrace — a citable
+ * per-job artifact that analysis, tests and benches can inspect and
+ * checksum. The FaultInjector produces schedules ahead of time and
+ * guarantees (by construction, via counter-based Rng::splitAt streams)
+ * that its live per-job decisions match the precomputed schedule
+ * exactly, at every thread count.
+ */
+
+#ifndef QISMET_FAULT_FAULT_SCHEDULE_HPP
+#define QISMET_FAULT_FAULT_SCHEDULE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/fault_policy.hpp"
+
+namespace qismet {
+
+/** The fault (or lack of one) realized for a single job. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::None;
+    /** Retained shot fraction; < 1 only for PartialResult faults. */
+    double shotFraction = 1.0;
+
+    bool operator==(const FaultEvent &other) const
+    {
+        return kind == other.kind && shotFraction == other.shotFraction;
+    }
+};
+
+/** A realized fault schedule: one FaultEvent per job index. */
+class FaultSchedule
+{
+  public:
+    /** Empty schedule (fault-free on demand). */
+    FaultSchedule() = default;
+
+    /** Wrap explicit per-job events. */
+    explicit FaultSchedule(std::vector<FaultEvent> events);
+
+    /** Event for the job with the given index (None past the end). */
+    const FaultEvent &at(std::size_t job_index) const;
+
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Number of jobs hit by the given fault kind. */
+    std::size_t count(FaultKind kind) const;
+
+    /** Fraction of jobs hit by any fault. */
+    double faultFraction() const;
+
+    /**
+     * Deterministic 64-bit FNV-1a digest over the schedule's bytes
+     * (kinds and shot fractions), rendered as 16 hex characters. Two
+     * schedules digest equal iff they are event-for-event identical —
+     * the byte-identity check the cross-thread-count tests assert.
+     */
+    std::string digest() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_FAULT_FAULT_SCHEDULE_HPP

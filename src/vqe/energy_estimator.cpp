@@ -82,24 +82,36 @@ EnergyEstimator::effectiveSurvival(double tau, double sensitivity) const
                       1.0);
 }
 
+std::size_t
+EnergyEstimator::effectiveShots(double shot_fraction) const
+{
+    const double scaled =
+        std::round(shot_fraction * static_cast<double>(config_.shots));
+    return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
 double
 EnergyEstimator::estimate(const std::vector<double> &theta, double tau,
-                          Rng &rng) const
+                          Rng &rng, double shot_fraction) const
 {
+    if (!(shot_fraction > 0.0 && shot_fraction <= 1.0))
+        throw std::invalid_argument(
+            "EnergyEstimator: shot fraction must lie in (0, 1]");
     switch (config_.mode) {
       case EstimatorMode::Ideal:
         return idealEnergy(theta);
       case EstimatorMode::Analytic:
-        return estimateAnalytic(theta, tau, rng);
+        return estimateAnalytic(theta, tau, rng, shot_fraction);
       case EstimatorMode::Sampling:
-        return estimateSampling(theta, tau, rng);
+        return estimateSampling(theta, tau, rng, shot_fraction);
     }
     throw std::logic_error("EnergyEstimator::estimate: bad mode");
 }
 
 double
 EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
-                                  double tau, Rng &rng) const
+                                  double tau, Rng &rng,
+                                  double shot_fraction) const
 {
     Statevector state(ansatz_.numQubits());
     state.run(ansatz_, theta);
@@ -123,6 +135,10 @@ EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
                 p_ideal[k] = expectation(state, terms[k].pauli);
         });
 
+    // Partial-result jobs deliver fewer shots; the shot-noise variance
+    // scales inversely with the retained count.
+    const double shots_eff =
+        static_cast<double>(effectiveShots(shot_fraction));
     double e = mixedEnergy_;
     double var = 0.0;
     for (std::size_t k = 0; k < terms.size(); ++k) {
@@ -132,15 +148,17 @@ EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
         const double p_noisy = f * p_ideal[k];
         e += t.coefficient * p_noisy;
         var += t.coefficient * t.coefficient * (1.0 - p_noisy * p_noisy) /
-               static_cast<double>(config_.shots);
+               shots_eff;
     }
     return e + rng.normal(0.0, std::sqrt(var));
 }
 
 double
 EnergyEstimator::estimateSampling(const std::vector<double> &theta,
-                                  double tau, Rng &rng) const
+                                  double tau, Rng &rng,
+                                  double shot_fraction) const
 {
+    const std::size_t shots_eff = effectiveShots(shot_fraction);
     const int n = ansatz_.numQubits();
     const std::size_t dim = std::size_t{1} << n;
     const double uniform = 1.0 / static_cast<double>(dim);
@@ -174,7 +192,7 @@ EnergyEstimator::estimateSampling(const std::vector<double> &theta,
                 p = f * p + (1.0 - f) * uniform;
 
             const Counts counts =
-                sampler_->sample(probs, n, config_.shots, groupRngs[gi]);
+                sampler_->sample(probs, n, shots_eff, groupRngs[gi]);
 
             std::vector<double> est_probs;
             if (mitigator_) {

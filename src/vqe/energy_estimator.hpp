@@ -94,9 +94,14 @@ class EnergyEstimator
     /**
      * Machine-style estimate of <H>(θ) under transient intensity tau.
      * Each call models one execution of the iteration's circuits.
+     *
+     * @param shot_fraction Fraction of the configured shots actually
+     *        retained, in (0, 1] — partial-result jobs deliver fewer
+     *        shots, inflating the shot-noise variance accordingly
+     *        (Analytic mode) or sampling fewer counts (Sampling mode).
      */
     double estimate(const std::vector<double> &theta, double tau,
-                    Rng &rng) const;
+                    Rng &rng, double shot_fraction = 1.0) const;
 
     /** Expectation in the maximally mixed state (identity coefficient). */
     double mixedEnergy() const { return mixedEnergy_; }
@@ -120,10 +125,11 @@ class EnergyEstimator
 
   private:
     double effectiveSurvival(double tau, double sensitivity) const;
+    std::size_t effectiveShots(double shot_fraction) const;
     double estimateAnalytic(const std::vector<double> &theta, double tau,
-                            Rng &rng) const;
+                            Rng &rng, double shot_fraction) const;
     double estimateSampling(const std::vector<double> &theta, double tau,
-                            Rng &rng) const;
+                            Rng &rng, double shot_fraction) const;
 
     PauliSum hamiltonian_;
     Circuit ansatz_;

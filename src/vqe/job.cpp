@@ -4,12 +4,27 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace qismet {
+
+std::string
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Completed: return "completed";
+      case JobStatus::TimedOut: return "timed-out";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::PartialResult: return "partial";
+      case JobStatus::ReferenceLost: return "reference-lost";
+    }
+    return "?";
+}
 
 JobExecutor::JobExecutor(const EnergyEstimator &estimator,
                          TransientTrace trace, std::uint64_t seed,
@@ -41,6 +56,33 @@ JobExecutor::execute(const JobRequest &request)
     result.jobIndex = jobCount_;
     result.transientIntensity = trace_.at(jobCount_);
 
+    // Fault injection first: a timed-out or errored job never runs its
+    // circuits, but it did occupy the machine slot — the job index
+    // advances and the circuit volume is charged, exactly like a real
+    // fleet bills a failed submission. The fault draw lives in the
+    // injector's own counter-based stream, so the executor's RNG and
+    // every later job's randomness are untouched.
+    FaultEvent fault;
+    if (faultInjector_ != nullptr)
+        fault = faultInjector_->eventFor(jobCount_,
+                                         result.transientIntensity);
+    const std::size_t job_circuits =
+        request.evaluations.size() * estimator_.numGroups() +
+        static_cast<std::size_t>(mitigationCircuits_);
+    if (fault.kind == FaultKind::JobTimeout ||
+        fault.kind == FaultKind::JobError) {
+        result.status = fault.kind == FaultKind::JobTimeout
+                            ? JobStatus::TimedOut
+                            : JobStatus::Failed;
+        circuitCount_ += job_circuits;
+        ++jobCount_;
+        return result;
+    }
+    if (fault.kind == FaultKind::PartialResult) {
+        result.status = JobStatus::PartialResult;
+        result.shotFraction = fault.shotFraction;
+    }
+
     // Counter-based per-job stream: a job's randomness depends only on
     // (seed, job index), never on how many circuits earlier jobs
     // carried or on which thread runs what.
@@ -65,14 +107,23 @@ JobExecutor::execute(const JobRequest &request)
 
     result.energies.assign(n_evals, 0.0);
     ParallelExecutor::global().parallelFor(n_evals, [&](std::size_t i) {
-        result.energies[i] = estimator_.estimate(request.evaluations[i],
-                                                 taus[i], evalRngs[i]);
+        result.energies[i] =
+            estimator_.estimate(request.evaluations[i], taus[i],
+                                evalRngs[i], result.shotFraction);
     });
+
+    // Reference loss: the machine ran the whole batch, but the results
+    // of everything past the primary evaluation were dropped on the way
+    // back. Running first and truncating after keeps the primary energy
+    // bit-identical to the fault-free value.
+    if (fault.kind == FaultKind::ReferenceLoss && n_evals > 1) {
+        result.status = JobStatus::ReferenceLost;
+        result.energies.resize(1);
+    }
 
     // Overhead accounting: each evaluation costs numGroups() circuits,
     // plus any standing mitigation circuits.
-    circuitCount_ += request.evaluations.size() * estimator_.numGroups() +
-                     static_cast<std::size_t>(mitigationCircuits_);
+    circuitCount_ += job_circuits;
     ++jobCount_;
     return result;
 }

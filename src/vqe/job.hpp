@@ -9,6 +9,12 @@
  * intensity τ(job) to the whole batch, adding small per-circuit jitter
  * to model the residual intra-job fluctuation that QISMET's error
  * threshold must tolerate.
+ *
+ * Jobs can also *fail*: an optional FaultInjector (src/fault) models
+ * queue timeouts, backend errors, shot-truncated partial results and
+ * dropped reference circuits. Fault decisions are counter-based per job
+ * index, so enabling them never perturbs the randomness of the circuits
+ * that do run, and schedules are bit-identical at every thread count.
  */
 
 #ifndef QISMET_VQE_JOB_HPP
@@ -18,11 +24,15 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "common/rng.hpp"
 #include "noise/transient_trace.hpp"
 #include "vqe/energy_estimator.hpp"
 
 namespace qismet {
+
+class FaultInjector;
 
 /** One circuit-batch execution request. */
 struct JobRequest
@@ -31,14 +41,42 @@ struct JobRequest
     std::vector<std::vector<double>> evaluations;
 };
 
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Completed,     ///< All circuits ran; results are complete.
+    TimedOut,      ///< Queue timeout; no results, the slot is consumed.
+    Failed,        ///< Backend error; no results, the slot is consumed.
+    PartialResult, ///< Results present but shot-truncated (noisier).
+    ReferenceLost, ///< Primary result present; reference reruns dropped.
+};
+
+/** Display name of a job status. */
+std::string jobStatusName(JobStatus status);
+
 /** Results of a job: one energy per requested evaluation. */
 struct JobResult
 {
+    /**
+     * Energies per requested evaluation. Empty when the job failed;
+     * truncated to the primary evaluation when the reference was lost.
+     */
     std::vector<double> energies;
     /** Transient intensity the job experienced (for analysis only). */
     double transientIntensity = 0.0;
     /** Index of the job in the executor's sequence. */
     std::size_t jobIndex = 0;
+    /** How the job ended. */
+    JobStatus status = JobStatus::Completed;
+    /** Retained shot fraction (< 1 for PartialResult jobs). */
+    double shotFraction = 1.0;
+
+    /** True when the job produced no usable results at all. */
+    bool failed() const
+    {
+        return status == JobStatus::TimedOut ||
+               status == JobStatus::Failed;
+    }
 };
 
 /** Executes jobs against an estimator under a transient trace. */
@@ -89,6 +127,19 @@ class JobExecutor
 
     const TransientTrace &trace() const { return trace_; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault injector. Not owned;
+     * must outlive the executor's use. Injection consults the
+     * injector's counter-based stream only, so attaching one changes
+     * nothing about the randomness of the circuits that still run.
+     */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        faultInjector_ = injector;
+    }
+
+    const FaultInjector *faultInjector() const { return faultInjector_; }
+
   private:
     const EnergyEstimator &estimator_;
     TransientTrace trace_;
@@ -96,6 +147,7 @@ class JobExecutor
     double intraJobJitter_;
     double relativeJitter_;
     int mitigationCircuits_;
+    const FaultInjector *faultInjector_ = nullptr;
     std::size_t jobCount_ = 0;
     std::size_t circuitCount_ = 0;
 };

@@ -49,6 +49,9 @@ VqeDriver::VqeDriver(const EnergyEstimator &estimator, JobExecutor &executor,
         throw std::invalid_argument("VqeDriver: zero job budget");
     if (config_.finalWindow == 0)
         throw std::invalid_argument("VqeDriver: zero final window");
+    if (config_.jobDurationSeconds < 0.0)
+        throw std::invalid_argument("VqeDriver: negative job duration");
+    config_.retry.validate();
 }
 
 VqeRunResult
@@ -90,14 +93,57 @@ VqeDriver::run(const std::vector<double> &initial_theta)
 
             const JobResult job = executor_.execute(request);
             ++result.jobsUsed;
+            result.simTimeSeconds += config_.jobDurationSeconds;
+
+            if (job.failed()) {
+                // The fleet returned nothing. Record the loss, then
+                // either retry (backoff in simulated time, consuming
+                // the shared per-evaluation budget) or — once the
+                // budget is spent and a previous estimate exists —
+                // degrade: carry that estimate forward and mark the
+                // evaluation skipped.
+                ++result.faultsSeen;
+                VqeJobRecord rec;
+                rec.jobIndex = job.jobIndex;
+                rec.evalIndex = eval_index;
+                rec.retryIndex = retry;
+                rec.transientIntensity = job.transientIntensity;
+                rec.status = job.status;
+                if (retry >= config_.retry.maxRetries && have_prev) {
+                    rec.carriedForward = true;
+                    result.history.push_back(rec);
+                    ++result.evalsCarriedForward;
+                    energy_out = e_prev;
+                    measured_out = e_prev;
+                    ++eval_index;
+                    return true;
+                }
+                result.history.push_back(rec);
+                const double backoff =
+                    config_.retry.backoffSecondsFor(retry);
+                result.simTimeSeconds += backoff;
+                result.backoffSeconds += backoff;
+                ++retry;
+                ++result.retriesUsed;
+                ++result.faultRetries;
+                continue;
+            }
+
+            const bool reference_lost =
+                with_reference && job.status == JobStatus::ReferenceLost;
+            if (job.status == JobStatus::PartialResult || reference_lost)
+                ++result.faultsSeen;
 
             EvalContext ctx;
             ctx.evalIndex = eval_index;
             ctx.retryIndex = retry;
             ctx.ePrev = e_prev;
             ctx.eCurr = job.energies[0];
-            ctx.hasReference = with_reference;
-            ctx.eReferenceRerun = with_reference ? job.energies[1] : 0.0;
+            ctx.hasReference = with_reference && !reference_lost;
+            ctx.eReferenceRerun =
+                ctx.hasReference ? job.energies[1] : 0.0;
+            ctx.referenceLost = reference_lost;
+            ctx.shotFraction = job.shotFraction;
 
             const Decision decision =
                 have_prev ? policy_.judgeEvaluation(ctx)
@@ -110,6 +156,7 @@ VqeDriver::run(const std::vector<double> &initial_theta)
             rec.transientIntensity = job.transientIntensity;
             rec.eMeasured = ctx.eCurr;
             rec.accepted = (decision == Decision::Accept);
+            rec.status = job.status;
             result.history.push_back(rec);
 
             if (decision == Decision::Accept) {

@@ -18,6 +18,14 @@
  *    update given the iteration energies (blocking).
  * Every retry consumes a job from the same total budget, so all schemes
  * compare at equal machine time.
+ *
+ * Resilience: jobs can fail outright (timeout / backend error, via the
+ * executor's FaultInjector). The driver retries failed jobs under a
+ * RetryPolicy — bounded exponential backoff in simulated time, against
+ * the same per-evaluation retry budget the acceptance policy consumes —
+ * and degrades gracefully once the budget is spent: the previous
+ * accepted energy is carried forward and the evaluation marked skipped,
+ * so a burst of fleet failures dents progress instead of ending it.
  */
 
 #ifndef QISMET_VQE_VQE_DRIVER_HPP
@@ -29,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_policy.hpp"
 #include "optim/spsa.hpp"
 #include "vqe/job.hpp"
 
@@ -49,6 +58,15 @@ struct EvalContext
     bool hasReference = false;
     /** Rerun energy of the previous evaluation's circuits, E_mR(i). */
     double eReferenceRerun = 0.0;
+    /**
+     * True when the job was supposed to carry a reference rerun but the
+     * fleet dropped it (FaultKind::ReferenceLoss): hasReference is then
+     * false and policies must degrade gracefully — QISMET falls back to
+     * judging the machine estimate against a widened threshold band.
+     */
+    bool referenceLost = false;
+    /** Retained shot fraction of this job (< 1 for partial results). */
+    double shotFraction = 1.0;
 
     /** Machine gradient G_m(i+1) = E_m(i+1) - E_m(i). */
     double machineGradient() const { return eCurr - ePrev; }
@@ -157,9 +175,17 @@ struct VqeJobRecord
     int evalIndex = 0;
     int retryIndex = 0;
     double transientIntensity = 0.0;
-    /** Primary energy measured in this job. */
+    /** Primary energy measured in this job (0 when the job failed). */
     double eMeasured = 0.0;
     bool accepted = false;
+    /** How the job ended (faults show up here). */
+    JobStatus status = JobStatus::Completed;
+    /**
+     * True when this failed job exhausted the retry budget and the
+     * driver carried the previous accepted energy forward instead
+     * (graceful degradation — the evaluation was skipped).
+     */
+    bool carriedForward = false;
 };
 
 /** Full result of a VQE run. */
@@ -176,10 +202,23 @@ struct VqeRunResult
     double finalIdealEnergy = 0.0;
     std::size_t jobsUsed = 0;
     std::size_t circuitsUsed = 0;
-    /** Jobs spent on retries (QISMET skips). */
+    /** Jobs spent on retries (QISMET skips and fault retries). */
     std::size_t retriesUsed = 0;
     /** Optimizer moves rejected (blocking). */
     std::size_t rejections = 0;
+    /** Jobs that suffered any injected fault. */
+    std::size_t faultsSeen = 0;
+    /** Retries forced by failed (timed-out / errored) jobs. */
+    std::size_t faultRetries = 0;
+    /**
+     * Evaluations skipped after fault-retry exhaustion, with the
+     * previous accepted energy carried forward.
+     */
+    std::size_t evalsCarriedForward = 0;
+    /** Simulated wall time: job slots plus fault-retry backoff. */
+    double simTimeSeconds = 0.0;
+    /** Simulated time spent waiting in fault-retry backoff alone. */
+    double backoffSeconds = 0.0;
 
     /** Measured primary-energy series over every job. */
     std::vector<double> perJobEnergySeries() const;
@@ -196,6 +235,15 @@ struct VqeDriverConfig
     std::uint64_t seed = 7;
     /** Window (iterations) for the final-estimate average. */
     std::size_t finalWindow = 10;
+    /**
+     * Recovery behavior for failed jobs. `retry.maxRetries` is the
+     * shared per-evaluation budget: policy reject-retries and fault
+     * retries both advance the same counter, and once it is spent a
+     * failed job degrades to carrying the previous estimate forward.
+     */
+    RetryPolicy retry;
+    /** Simulated duration of one job slot (for simTimeSeconds). */
+    double jobDurationSeconds = 1.0;
 };
 
 /** Runs one VQE tuning experiment. */

@@ -1,0 +1,193 @@
+/** @file Tests for the deterministic fault injector and its schedules. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "fault/fault_injector.hpp"
+#include "noise/transient_trace.hpp"
+
+namespace qismet {
+namespace {
+
+FaultPolicy
+mixedPolicy()
+{
+    FaultPolicy policy;
+    policy.timeoutRate = 0.04;
+    policy.errorRate = 0.02;
+    policy.partialRate = 0.03;
+    policy.referenceLossRate = 0.03;
+    policy.burstCoupling = 1.0;
+    return policy;
+}
+
+TransientTrace
+rampTrace(std::size_t n)
+{
+    std::vector<double> taus(n);
+    for (std::size_t i = 0; i < n; ++i)
+        taus[i] = 0.4 * static_cast<double>(i) / static_cast<double>(n);
+    return TransientTrace(taus);
+}
+
+TEST(FaultInjector, RejectsMalformedPolicy)
+{
+    FaultPolicy bad;
+    bad.timeoutRate = 2.0;
+    EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+}
+
+TEST(FaultInjector, EventForIsPureInIndexAndSeed)
+{
+    const FaultInjector a(mixedPolicy(), 99);
+    const FaultInjector b(mixedPolicy(), 99);
+    for (std::size_t i = 0; i < 500; ++i) {
+        const FaultEvent ea = a.eventFor(i, 0.1);
+        // Repeated calls and a twin injector agree exactly.
+        EXPECT_TRUE(ea == a.eventFor(i, 0.1));
+        EXPECT_TRUE(ea == b.eventFor(i, 0.1));
+    }
+    // A different seed realizes a different schedule.
+    const FaultInjector c(mixedPolicy(), 100);
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < 500; ++i)
+        if (!(a.eventFor(i, 0.1) == c.eventFor(i, 0.1)))
+            ++differing;
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjector, ScheduleMatchesLiveDecisions)
+{
+    const FaultInjector injector(mixedPolicy(), 7);
+    const TransientTrace trace = rampTrace(400);
+    const FaultSchedule schedule = injector.schedule(trace, 400);
+    ASSERT_EQ(schedule.size(), 400u);
+    for (std::size_t i = 0; i < 400; ++i)
+        EXPECT_TRUE(schedule.at(i) == injector.eventFor(i, trace.at(i)));
+    // Past the end the schedule reads fault-free.
+    EXPECT_EQ(schedule.at(400).kind, FaultKind::None);
+}
+
+TEST(FaultInjector, ScheduleDigestIdenticalAcrossThreadCounts)
+{
+    // The schedule derivation itself is serial, but this pins the
+    // byte-identity contract end to end: derive the schedule under
+    // different global thread counts and compare digests.
+    const std::size_t saved = ParallelExecutor::global().threads();
+    const TransientTrace trace = rampTrace(300);
+    std::vector<std::string> digests;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ParallelExecutor::setGlobalThreads(threads);
+        const FaultInjector injector(mixedPolicy(), 21);
+        digests.push_back(injector.schedule(trace, 300).digest());
+    }
+    ParallelExecutor::setGlobalThreads(saved);
+    for (std::size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[0], digests[i]);
+}
+
+TEST(FaultInjector, RatesApproximatelyHonored)
+{
+    FaultPolicy policy;
+    policy.timeoutRate = 0.10;
+    policy.errorRate = 0.05;
+    policy.partialRate = 0.05;
+    const FaultInjector injector(policy, 3);
+    const std::size_t n = 20000;
+    const FaultSchedule schedule =
+        injector.schedule(TransientTrace{}, n);
+
+    const auto frac = [&](FaultKind kind) {
+        return static_cast<double>(schedule.count(kind)) /
+               static_cast<double>(n);
+    };
+    EXPECT_NEAR(frac(FaultKind::JobTimeout), 0.10, 0.01);
+    EXPECT_NEAR(frac(FaultKind::JobError), 0.05, 0.01);
+    EXPECT_NEAR(frac(FaultKind::PartialResult), 0.05, 0.01);
+    EXPECT_DOUBLE_EQ(frac(FaultKind::ReferenceLoss), 0.0);
+    EXPECT_NEAR(schedule.faultFraction(), 0.20, 0.02);
+}
+
+TEST(FaultInjector, BurstCouplingRaisesFaultOddsAtHighTau)
+{
+    FaultPolicy policy;
+    policy.errorRate = 0.05;
+    policy.burstCoupling = 2.0;
+    policy.burstScale = 0.3;
+    const FaultInjector injector(policy, 11);
+
+    const std::size_t n = 20000;
+    std::size_t calm = 0, bursty = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (injector.eventFor(i, 0.0).kind != FaultKind::None)
+            ++calm;
+        if (injector.eventFor(i, 0.6).kind != FaultKind::None)
+            ++bursty;
+    }
+    // tau = 0.6 with coupling 2 and scale 0.3 => rate x5.
+    EXPECT_NEAR(static_cast<double>(calm) / static_cast<double>(n),
+                0.05, 0.01);
+    EXPECT_NEAR(static_cast<double>(bursty) / static_cast<double>(n),
+                0.25, 0.02);
+}
+
+TEST(FaultInjector, CombinedProbabilityIsCapped)
+{
+    FaultPolicy policy;
+    policy.timeoutRate = 0.8;
+    policy.errorRate = 0.8;
+    policy.maxFaultProbability = 0.6;
+    const FaultInjector injector(policy, 5);
+    const std::size_t n = 20000;
+    const FaultSchedule schedule =
+        injector.schedule(TransientTrace{}, n);
+    EXPECT_NEAR(schedule.faultFraction(), 0.6, 0.02);
+    // The cap rescales uniformly, preserving the kind mix.
+    EXPECT_NEAR(static_cast<double>(schedule.count(FaultKind::JobTimeout)) /
+                    static_cast<double>(n),
+                0.3, 0.02);
+}
+
+TEST(FaultInjector, PartialFaultsCarryBoundedShotFractions)
+{
+    FaultPolicy policy;
+    policy.partialRate = 1.0; // maxFaultProbability caps this at 0.9
+    policy.minShotFraction = 0.4;
+    const FaultInjector injector(policy, 13);
+    std::size_t partials = 0;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        const FaultEvent ev = injector.eventFor(i, 0.0);
+        if (ev.kind != FaultKind::PartialResult) {
+            EXPECT_DOUBLE_EQ(ev.shotFraction, 1.0);
+            continue;
+        }
+        ++partials;
+        EXPECT_GE(ev.shotFraction, 0.4);
+        EXPECT_LT(ev.shotFraction, 1.0);
+    }
+    EXPECT_GT(partials, 1000u);
+}
+
+TEST(FaultSchedule, DigestDetectsAnyDifference)
+{
+    std::vector<FaultEvent> events(10);
+    const FaultSchedule a{events};
+    events[7].kind = FaultKind::JobTimeout;
+    const FaultSchedule b{events};
+    events[7].kind = FaultKind::None;
+    events[7].shotFraction = 0.999;
+    const FaultSchedule c{events};
+
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+    EXPECT_NE(b.digest(), c.digest());
+    // Identical schedules digest identically.
+    EXPECT_EQ(a.digest(),
+              FaultSchedule(std::vector<FaultEvent>(10)).digest());
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Single-command CI driver: configure -> build -> tier1 tests -> golden
+# traces -> lint. This is the gate every change must pass; it mirrors
+# what the presets do individually, in the order that fails fastest.
+#
+# Usage: tools/ci.sh [--with-coverage]
+#
+#   --with-coverage   additionally build the instrumented tree, rerun
+#                     tier1 on it and print a line-coverage summary
+#                     (uses gcovr/llvm-cov/gcov, whichever exists).
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+with_coverage=0
+for arg in "$@"; do
+    case "$arg" in
+      --with-coverage) with_coverage=1 ;;
+      *) echo "usage: tools/ci.sh [--with-coverage]" >&2; exit 2 ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+stage() { echo; echo "=== ci: $1 ==="; }
+
+stage "configure (preset: default)"
+cmake --preset default
+
+stage "build (-j$jobs)"
+cmake --build --preset default -j "$jobs"
+
+stage "tier1 test gate"
+ctest --preset tier1
+
+stage "golden-trace regression suite"
+ctest --preset golden
+
+stage "lint (qismet-lint + clang-tidy profile + format check)"
+cmake --preset lint >/dev/null
+cmake --build --preset lint
+
+if [[ $with_coverage -eq 1 ]]; then
+    stage "coverage build"
+    cmake --preset coverage
+    cmake --build --preset coverage -j "$jobs"
+    stage "coverage tier1 run"
+    ctest --preset tier1-coverage
+    stage "coverage report"
+    cmake --build --preset coverage-report
+fi
+
+stage "OK — all gates passed"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Summarize line coverage for a QISMET_COVERAGE=ON build tree.
+#
+# Usage: coverage-report.sh <source-dir> <binary-dir>
+#
+# Picks the best available backend — gcovr (rich HTML/XML report),
+# llvm-cov's gcov mode, or plain gcov — and degrades to a clear skip
+# message when none is installed, so the coverage preset works on any
+# machine without extra dependencies.
+
+set -euo pipefail
+
+src_dir=${1:?usage: coverage-report.sh <source-dir> <binary-dir>}
+bin_dir=${2:?usage: coverage-report.sh <source-dir> <binary-dir>}
+
+cd "$bin_dir"
+
+if ! find . -name '*.gcda' -print -quit | grep -q .; then
+    echo "coverage: no .gcda files under $bin_dir — run the tests first" \
+         "(ctest --preset tier1-coverage)" >&2
+    exit 1
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+    echo "coverage: using gcovr"
+    gcovr --root "$src_dir" --filter "$src_dir/src" \
+          --object-directory "$bin_dir" \
+          --xml coverage.xml --html-details coverage.html \
+          --print-summary
+    echo "coverage: wrote $bin_dir/coverage.xml and coverage.html"
+    exit 0
+fi
+
+# Prefer the toolchain's own gcov: llvm-cov's gcov mode cannot read
+# gcno files emitted by newer gcc ("Invalid .gcno File!").
+gcov_tool=""
+if command -v gcov >/dev/null 2>&1; then
+    gcov_tool="gcov"
+elif command -v llvm-cov >/dev/null 2>&1; then
+    gcov_tool="llvm-cov gcov"
+else
+    echo "coverage: neither gcovr, llvm-cov nor gcov found — skipping" \
+         "report generation (raw .gcda files remain in $bin_dir)"
+    exit 0
+fi
+
+# Plain-gcov fallback: per-file "Lines executed" summaries for src/,
+# aggregated into one totals line at the end.
+echo "coverage: using $gcov_tool (install gcovr for an HTML report)"
+mkdir -p coverage
+summary=$(find . -name '*.gcda' -path '*src*' -print0 |
+    xargs -0 $gcov_tool --relative-only --source-prefix "$src_dir" \
+        2>/dev/null | tr -d "'" |
+    awk '/^File/ { file = $2; expect = 1 }
+         /^Lines executed:/ {
+             # Only the per-file line right after "File ..."; each gcov
+             # invocation also prints an overall trailer we must skip.
+             if (!expect) next
+             expect = 0
+             split($0, m, /[:% ]+/)
+             covered += m[3] / 100.0 * m[5]; total += m[5]
+             printf "  %6.2f%% of %5d  %s\n", m[3], m[5], file
+         }
+         END {
+             if (total > 0)
+                 printf "TOTAL  %.2f%% of %d lines\n",
+                        100.0 * covered / total, total
+         }')
+echo "$summary" | sort -u | grep -v '^TOTAL' || true
+echo "$summary" | grep '^TOTAL' || true
+mv -f ./*.gcov coverage/ 2>/dev/null || true
+echo "coverage: per-file .gcov dumps in $bin_dir/coverage/"
