@@ -55,6 +55,13 @@ runComparison(const Application &app, const std::vector<Scheme> &schemes,
         QismetVqeConfig cfg = base_config;
         cfg.scheme = s;
         cfg.traceVersion = app.spec.traceVersion;
+        // Each scheme gets its own journal/snapshot pair so a killed
+        // comparison resumes per scheme (the config digest would
+        // reject cross-scheme reuse anyway).
+        if (!cfg.checkpointDir.empty()) {
+            cfg.checkpointDir += '/';
+            cfg.checkpointDir += schemeName(s);
+        }
 
         SchemeOutcome out;
         out.scheme = schemeName(s);

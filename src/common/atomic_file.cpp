@@ -1,0 +1,185 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream> // qismet-lint: allow-file(raw-file-write) — this IS the atomic layer
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace qismet {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    throw FileError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/** Directory part of a path ("." when there is no separator). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync a directory so a completed rename inside it is durable. */
+void
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        throwErrno("open directory", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        throwErrno("fsync directory", dir);
+}
+
+/** Write the whole buffer to the descriptor, retrying short writes. */
+void
+writeAll(int fd, std::string_view bytes, const std::string &path)
+{
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("write", path);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t seed)
+{
+    return fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st = {};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw FileError("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        throw FileError("read error on '" + path + "'");
+    return std::move(buf).str();
+}
+
+void
+atomicWriteFile(const std::string &path, std::string_view bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throwErrno("open temp file", tmp);
+    try {
+        writeAll(fd, bytes, tmp);
+        if (::fsync(fd) != 0)
+            throwErrno("fsync", tmp);
+    }
+    catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0)
+        throwErrno("close", tmp);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throwErrno("rename temp over", path);
+    }
+    syncDir(dirOf(path));
+}
+
+DurableFile::DurableFile(const std::string &path, Mode mode)
+    : path_(path)
+{
+    int flags = O_WRONLY | O_CREAT;
+    if (mode == Mode::Truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        throwErrno("open durable file", path);
+    if (mode == Mode::Append) {
+        const off_t end = ::lseek(fd_, 0, SEEK_END);
+        if (end < 0) {
+            ::close(fd_);
+            fd_ = -1;
+            throwErrno("seek to end of", path);
+        }
+        offset_ = static_cast<std::uint64_t>(end);
+    }
+}
+
+DurableFile::~DurableFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+DurableFile::append(std::string_view bytes)
+{
+    writeAll(fd_, bytes, path_);
+    offset_ += bytes.size();
+}
+
+void
+DurableFile::sync()
+{
+    if (::fsync(fd_) != 0)
+        throwErrno("fsync", path_);
+}
+
+void
+DurableFile::truncateTo(std::uint64_t offset)
+{
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0)
+        throwErrno("truncate", path_);
+    if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0)
+        throwErrno("seek", path_);
+    offset_ = offset;
+}
+
+} // namespace qismet

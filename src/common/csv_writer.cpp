@@ -1,19 +1,34 @@
 #include "common/csv_writer.hpp"
 
 #include <cstddef>
+#include <cstdio>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/atomic_file.hpp"
 
 namespace qismet {
 
 CsvWriter::CsvWriter(const std::string &path,
                      const std::vector<std::string> &header)
-    : out_(path), width_(header.size())
+    : path_(path), width_(header.size())
 {
-    if (!out_)
-        throw std::runtime_error("CsvWriter: cannot open " + path);
     writeRow(header);
+}
+
+CsvWriter::~CsvWriter()
+{
+    try {
+        close();
+    }
+    catch (const std::exception &err) {
+        // Destructors must not throw; losing a bench CSV is not worth
+        // a terminate, but it must not be silent either.
+        std::fprintf(stderr, "CsvWriter: failed to publish '%s': %s\n",
+                     path_.c_str(), err.what());
+    }
 }
 
 void
@@ -23,10 +38,11 @@ CsvWriter::writeRow(const std::vector<double> &values)
         throw std::invalid_argument("CsvWriter::writeRow: width mismatch");
     for (std::size_t i = 0; i < values.size(); ++i) {
         if (i)
-            out_ << ',';
-        out_ << values[i];
+            buffer_ << ',';
+        buffer_ << values[i];
     }
-    out_ << '\n';
+    buffer_ << '\n';
+    dirty_ = true;
 }
 
 void
@@ -36,10 +52,20 @@ CsvWriter::writeRow(const std::vector<std::string> &values)
         throw std::invalid_argument("CsvWriter::writeRow: width mismatch");
     for (std::size_t i = 0; i < values.size(); ++i) {
         if (i)
-            out_ << ',';
-        out_ << values[i];
+            buffer_ << ',';
+        buffer_ << values[i];
     }
-    out_ << '\n';
+    buffer_ << '\n';
+    dirty_ = true;
+}
+
+void
+CsvWriter::close()
+{
+    if (!dirty_)
+        return;
+    atomicWriteFile(path_, buffer_.str());
+    dirty_ = false;
 }
 
 } // namespace qismet

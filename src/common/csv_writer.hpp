@@ -2,13 +2,19 @@
  * @file
  * Minimal CSV emission so benches can dump raw series alongside the ASCII
  * tables (for external plotting of the reproduced figures).
+ *
+ * Rows are buffered in memory and published atomically (temp -> fsync
+ * -> rename, via the atomic-file layer) when the writer is closed or
+ * destroyed: an interrupted bench run never leaves a truncated or
+ * half-written CSV behind — the previous complete file (or no file)
+ * survives instead.
  */
 
 #ifndef QISMET_COMMON_CSV_WRITER_HPP
 #define QISMET_COMMON_CSV_WRITER_HPP
 
 #include <cstddef>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,10 +25,17 @@ class CsvWriter
 {
   public:
     /**
-     * Open (truncate) the file and write the header row.
-     * @throws std::runtime_error when the file cannot be opened.
+     * Start a CSV with the given header row. Nothing touches the
+     * filesystem until close() (or destruction) publishes the file
+     * atomically.
      */
     CsvWriter(const std::string &path, const std::vector<std::string> &header);
+
+    /** Publishes on destruction; write errors are reported to stderr. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** Append one numeric row (must match header width). */
     void writeRow(const std::vector<double> &values);
@@ -30,9 +43,18 @@ class CsvWriter
     /** Append one string row (must match header width). */
     void writeRow(const std::vector<std::string> &values);
 
+    /**
+     * Atomically publish the buffered rows to the target path.
+     * Idempotent; later writeRow calls re-open the buffer for the next
+     * publish. @throws FileError when the write fails.
+     */
+    void close();
+
   private:
-    std::ofstream out_;
+    std::string path_;
+    std::ostringstream buffer_;
     std::size_t width_;
+    bool dirty_ = false;
 };
 
 } // namespace qismet

@@ -84,7 +84,38 @@ Xoshiro256::stateDigest() const
            rotl(state_[3], 51);
 }
 
+std::array<std::uint64_t, 4>
+Xoshiro256::state() const
+{
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void
+Xoshiro256::setState(const std::array<std::uint64_t, 4> &state)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        state_[i] = state[i];
+}
+
 Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+RngState
+Rng::saveState() const
+{
+    RngState state;
+    state.engine = engine_.state();
+    state.hasSpareNormal = hasSpareNormal_;
+    state.spareNormal = spareNormal_;
+    return state;
+}
+
+void
+Rng::restoreState(const RngState &state)
+{
+    engine_.setState(state.engine);
+    hasSpareNormal_ = state.hasSpareNormal;
+    spareNormal_ = state.spareNormal;
+}
 
 double
 Rng::uniform()

@@ -14,6 +14,7 @@
 #ifndef QISMET_COMMON_RNG_HPP
 #define QISMET_COMMON_RNG_HPP
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -60,8 +61,26 @@ class Xoshiro256
      */
     std::uint64_t stateDigest() const;
 
+    /** Raw engine state (for checkpointing). */
+    std::array<std::uint64_t, 4> state() const;
+
+    /** Restore a state previously captured with state(). */
+    void setState(const std::array<std::uint64_t, 4> &state);
+
   private:
     std::uint64_t state_[4];
+};
+
+/**
+ * Complete serializable state of an Rng: the engine words plus the
+ * Marsaglia-polar spare-normal cache. Restoring it resumes the stream
+ * bit-exactly, including a buffered second normal deviate.
+ */
+struct RngState
+{
+    std::array<std::uint64_t, 4> engine = {};
+    bool hasSpareNormal = false;
+    double spareNormal = 0.0;
 };
 
 /**
@@ -134,6 +153,12 @@ class Rng
 
     /** Access the raw engine (for std:: distributions). */
     Xoshiro256 &engine() { return engine_; }
+
+    /** Capture the full stream position (for checkpointing). */
+    RngState saveState() const;
+
+    /** Resume from a position captured with saveState(). */
+    void restoreState(const RngState &state);
 
   private:
     Xoshiro256 engine_;

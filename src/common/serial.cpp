@@ -1,0 +1,156 @@
+#include "common/serial.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace qismet {
+
+namespace {
+
+void
+putLE(std::string &out, std::uint64_t value, std::size_t width)
+{
+    for (std::size_t i = 0; i < width; ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xFFull));
+}
+
+std::uint64_t
+getLE(const unsigned char *bytes, std::size_t width)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+void
+Encoder::writeU8(std::uint8_t value)
+{
+    putLE(out_, value, 1);
+}
+
+void
+Encoder::writeU32(std::uint32_t value)
+{
+    putLE(out_, value, 4);
+}
+
+void
+Encoder::writeU64(std::uint64_t value)
+{
+    putLE(out_, value, 8);
+}
+
+void
+Encoder::writeI64(std::int64_t value)
+{
+    putLE(out_, static_cast<std::uint64_t>(value), 8);
+}
+
+void
+Encoder::writeF64(double value)
+{
+    putLE(out_, std::bit_cast<std::uint64_t>(value), 8);
+}
+
+void
+Encoder::writeBool(bool value)
+{
+    putLE(out_, value ? 1u : 0u, 1);
+}
+
+void
+Encoder::writeVecF64(const std::vector<double> &values)
+{
+    writeU64(values.size());
+    for (const double v : values)
+        writeF64(v);
+}
+
+void
+Encoder::writeString(std::string_view value)
+{
+    writeU64(value.size());
+    out_.append(value.data(), value.size());
+}
+
+const unsigned char *
+Decoder::need(std::size_t n)
+{
+    if (remaining() < n)
+        throw SerialError("decode past end of buffer (need " +
+                          std::to_string(n) + " bytes, have " +
+                          std::to_string(remaining()) + ")");
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(bytes_.data()) + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint8_t
+Decoder::readU8()
+{
+    return static_cast<std::uint8_t>(getLE(need(1), 1));
+}
+
+std::uint32_t
+Decoder::readU32()
+{
+    return static_cast<std::uint32_t>(getLE(need(4), 4));
+}
+
+std::uint64_t
+Decoder::readU64()
+{
+    return getLE(need(8), 8);
+}
+
+std::int64_t
+Decoder::readI64()
+{
+    return static_cast<std::int64_t>(getLE(need(8), 8));
+}
+
+double
+Decoder::readF64()
+{
+    return std::bit_cast<double>(getLE(need(8), 8));
+}
+
+bool
+Decoder::readBool()
+{
+    return getLE(need(1), 1) != 0;
+}
+
+std::vector<double>
+Decoder::readVecF64()
+{
+    const std::uint64_t count = readU64();
+    // Divide rather than multiply: a hostile count must not overflow.
+    if (count > remaining() / 8)
+        throw SerialError("vector length " + std::to_string(count) +
+                          " exceeds remaining buffer");
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        values.push_back(readF64());
+    return values;
+}
+
+std::string
+Decoder::readString()
+{
+    const std::uint64_t length = readU64();
+    if (length > remaining())
+        throw SerialError("string length " + std::to_string(length) +
+                          " exceeds remaining buffer");
+    const unsigned char *p = need(static_cast<std::size_t>(length));
+    return std::string(reinterpret_cast<const char *>(p),
+                       static_cast<std::size_t>(length));
+}
+
+} // namespace qismet

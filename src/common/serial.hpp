@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal binary serializer for checkpoint payloads.
+ *
+ * All integers are little-endian fixed-width; doubles are encoded as
+ * the little-endian image of their IEEE-754 bit pattern, so a value
+ * round-trips *bit-exactly* — the property the crash-resume contract
+ * rests on. The format carries no type tags: encoder and decoder must
+ * agree on the field sequence, which is versioned at the container
+ * level (journal/snapshot headers).
+ *
+ * Decoder fails closed: any read past the end of the buffer, and any
+ * length prefix larger than the bytes that remain, throws SerialError
+ * instead of returning garbage.
+ */
+
+#ifndef QISMET_COMMON_SERIAL_HPP
+#define QISMET_COMMON_SERIAL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qismet {
+
+/** Raised on any malformed or truncated decode. */
+class SerialError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Appends little-endian fields to a growing byte buffer. */
+class Encoder
+{
+  public:
+    void writeU8(std::uint8_t value);
+    void writeU32(std::uint32_t value);
+    void writeU64(std::uint64_t value);
+    void writeI64(std::int64_t value);
+    void writeF64(double value);
+    void writeBool(bool value);
+    /** u64 count followed by the elements. */
+    void writeVecF64(const std::vector<double> &values);
+    /** u64 length followed by the raw bytes. */
+    void writeString(std::string_view value);
+
+    const std::string &bytes() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/** Reads fields in the order the Encoder wrote them. */
+class Decoder
+{
+  public:
+    explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t readU8();
+    std::uint32_t readU32();
+    std::uint64_t readU64();
+    std::int64_t readI64();
+    double readF64();
+    bool readBool();
+    std::vector<double> readVecF64();
+    std::string readString();
+
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    /** @throws SerialError when fewer than `n` bytes remain. */
+    const unsigned char *need(std::size_t n);
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_SERIAL_HPP

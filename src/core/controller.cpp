@@ -144,6 +144,30 @@ GradientFaithfulController::reset()
     haveFedPrev_ = false;
 }
 
+void
+GradientFaithfulController::saveState(Encoder &enc) const
+{
+    enc.writeF64(relativeThreshold_);
+    enc.writeVecF64(estimator_.magnitudeHistory());
+    enc.writeVecF64(relativeHistory_);
+    enc.writeU64(skips_);
+    enc.writeU64(judged_);
+    enc.writeF64(fedPrev_);
+    enc.writeBool(haveFedPrev_);
+}
+
+void
+GradientFaithfulController::loadState(Decoder &dec)
+{
+    relativeThreshold_ = dec.readF64();
+    estimator_.restoreMagnitudes(dec.readVecF64());
+    relativeHistory_ = dec.readVecF64();
+    skips_ = static_cast<std::size_t>(dec.readU64());
+    judged_ = static_cast<std::size_t>(dec.readU64());
+    fedPrev_ = dec.readF64();
+    haveFedPrev_ = dec.readBool();
+}
+
 double
 GradientFaithfulController::skipFraction() const
 {
@@ -193,6 +217,22 @@ OnlyTransientsPolicy::reset()
     judged_ = 0;
 }
 
+void
+OnlyTransientsPolicy::saveState(Encoder &enc) const
+{
+    enc.writeVecF64(estimator_.magnitudeHistory());
+    enc.writeU64(skips_);
+    enc.writeU64(judged_);
+}
+
+void
+OnlyTransientsPolicy::loadState(Decoder &dec)
+{
+    estimator_.restoreMagnitudes(dec.readVecF64());
+    skips_ = static_cast<std::size_t>(dec.readU64());
+    judged_ = static_cast<std::size_t>(dec.readU64());
+}
+
 KalmanPolicy::KalmanPolicy(KalmanParams params) : filter_(params) {}
 
 double
@@ -205,6 +245,18 @@ void
 KalmanPolicy::reset()
 {
     filter_.reset();
+}
+
+void
+KalmanPolicy::saveState(Encoder &enc) const
+{
+    filter_.saveState(enc);
+}
+
+void
+KalmanPolicy::loadState(Decoder &dec)
+{
+    filter_.loadState(dec);
 }
 
 } // namespace qismet

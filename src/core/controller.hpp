@@ -110,6 +110,8 @@ class GradientFaithfulController : public TuningPolicy
     double energyForOptimizer(const EvalContext &ctx) override;
 
     void reset() override;
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
 
     /** Iterations the controller chose to skip (retries issued). */
     std::size_t skipsIssued() const { return skips_; }
@@ -170,6 +172,8 @@ class OnlyTransientsPolicy : public TuningPolicy
     bool wantsReferenceRerun() const override { return true; }
     Decision judgeEvaluation(const EvalContext &ctx) override;
     void reset() override;
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
 
     std::size_t skipsIssued() const { return skips_; }
     std::size_t judged() const { return judged_; }
@@ -201,6 +205,8 @@ class KalmanPolicy : public TuningPolicy
     }
     double transformEnergy(double e_measured) override;
     void reset() override;
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
 
     const KalmanFilter1D &filter() const { return filter_; }
 

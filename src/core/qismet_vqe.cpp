@@ -4,10 +4,53 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+#include "common/serial.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_injector.hpp"
+#include "persist/checkpoint.hpp"
 
 namespace qismet {
+
+std::uint64_t
+runConfigDigest(const QismetVqeConfig &config, int num_params)
+{
+    Encoder enc;
+    enc.writeU32(static_cast<std::uint32_t>(config.scheme));
+    enc.writeU64(config.totalJobs);
+    enc.writeU64(config.seed);
+    enc.writeI64(config.traceVersion);
+    enc.writeU32(static_cast<std::uint32_t>(config.estimator.mode));
+    enc.writeU64(config.estimator.shots);
+    enc.writeBool(config.estimator.mitigateMeasurement);
+    enc.writeF64(config.transientScale);
+    enc.writeI64(config.retryBudget);
+    enc.writeF64(config.kalman.transition);
+    enc.writeF64(config.kalman.measurementVariance);
+    enc.writeF64(config.kalman.processVariance);
+    enc.writeF64(config.kalman.initialVariance);
+    enc.writeF64(config.onlyTransientsSkipTarget);
+    enc.writeF64(config.intraJobJitter);
+    enc.writeF64(config.intraJobRelativeJitter);
+    enc.writeF64(config.spsaInitialStep);
+    enc.writeBool(config.qismetCorrectedFeed);
+    enc.writeF64(config.spsaPerturbation);
+    enc.writeVecF64(config.initialTheta);
+    enc.writeF64(config.faults.timeoutRate);
+    enc.writeF64(config.faults.errorRate);
+    enc.writeF64(config.faults.partialRate);
+    enc.writeF64(config.faults.referenceLossRate);
+    enc.writeF64(config.faults.burstCoupling);
+    enc.writeF64(config.faults.burstScale);
+    enc.writeF64(config.faults.minShotFraction);
+    enc.writeF64(config.faults.maxFaultProbability);
+    enc.writeI64(config.faultRetry.maxRetries);
+    enc.writeF64(config.faultRetry.baseBackoffSeconds);
+    enc.writeF64(config.faultRetry.backoffMultiplier);
+    enc.writeF64(config.faultRetry.maxBackoffSeconds);
+    enc.writeI64(num_params);
+    return fnv1a64(enc.bytes());
+}
 
 std::string
 schemeName(Scheme scheme)
@@ -75,6 +118,11 @@ QismetVqe::runEnsemble(const QismetVqeConfig &config,
         seeds.size(), [&](std::size_t i) {
             QismetVqeConfig trial = config;
             trial.seed = seeds[i];
+            // Trials must not share journal files: isolate each seed
+            // in its own checkpoint subdirectory.
+            if (!trial.checkpointDir.empty())
+                trial.checkpointDir +=
+                    "/seed-" + std::to_string(seeds[i]);
             results[i] = run(trial);
         });
     return results;
@@ -221,12 +269,25 @@ QismetVqe::run(const QismetVqeConfig &config) const
         break;
     }
 
+    // --- Durability -----------------------------------------------------
+    std::optional<CheckpointManager> checkpoint;
+    if (!config.checkpointDir.empty()) {
+        CheckpointConfig ckpt_cfg;
+        ckpt_cfg.dir = config.checkpointDir;
+        ckpt_cfg.snapshotEveryIters = config.snapshotEveryIters;
+        ckpt_cfg.resume = config.resume;
+        checkpoint.emplace(ckpt_cfg,
+                           runConfigDigest(config, ansatz_.numParams()));
+    }
+
     // --- Driver ---------------------------------------------------------
     VqeDriverConfig dcfg;
     dcfg.totalJobs = config.totalJobs;
     dcfg.seed = config.seed;
     dcfg.retry = config.faultRetry;
     dcfg.retry.maxRetries = config.retryBudget;
+    if (checkpoint)
+        dcfg.checkpoint = &*checkpoint;
     VqeDriver driver(estimator, executor, *optimizer, *policy, dcfg);
 
     // Deterministic initial point shared across schemes with equal seed.

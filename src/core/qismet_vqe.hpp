@@ -103,7 +103,30 @@ struct QismetVqeConfig
      * reject-retries share one per-evaluation budget.
      */
     RetryPolicy faultRetry;
+    /**
+     * Durability: directory for the write-ahead journal + snapshots.
+     * Empty (the default) disables checkpointing entirely.
+     */
+    std::string checkpointDir;
+    /**
+     * Resume from `checkpointDir` if a valid checkpoint of *this*
+     * configuration exists there (config digests are verified);
+     * otherwise start fresh. Resumed runs continue bit-identically
+     * with the uninterrupted run at any thread count.
+     */
+    bool resume = false;
+    /** Snapshot cadence in optimizer iterations (>= 1). */
+    std::size_t snapshotEveryIters = 1;
 };
+
+/**
+ * Digest of the configuration fields that determine a run's trajectory
+ * (plus the parameter count). Stamped into journal and snapshot
+ * headers so a checkpoint can never be resumed under a different
+ * configuration.
+ */
+std::uint64_t runConfigDigest(const QismetVqeConfig &config,
+                              int num_params);
 
 /** Result of one experiment. */
 struct QismetVqeResult

@@ -56,6 +56,12 @@ class TransientEstimator
     /** Clear the history. */
     void reset() { magnitudes_.clear(); }
 
+    /** Crash-recovery: restore a history captured by magnitudeHistory(). */
+    void restoreMagnitudes(std::vector<double> magnitudes)
+    {
+        magnitudes_ = std::move(magnitudes);
+    }
+
   private:
     std::vector<double> magnitudes_;
 };

@@ -1,0 +1,69 @@
+#include "fault/crash_point.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace qismet {
+
+namespace {
+
+struct Armed
+{
+    std::string point;
+    int countdown = 0;
+    CrashPoints::Action action = CrashPoints::Action::Throw;
+};
+
+std::atomic<bool> g_armed{false};
+Armed g_state;
+
+} // namespace
+
+void
+CrashPoints::arm(const std::string &point, int countdown, Action action)
+{
+    g_state.point = point;
+    g_state.countdown = countdown;
+    g_state.action = action;
+    g_armed.store(true, std::memory_order_release);
+}
+
+void
+CrashPoints::disarm()
+{
+    g_armed.store(false, std::memory_order_release);
+}
+
+bool
+CrashPoints::armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+bool
+CrashPoints::fires(const char *point)
+{
+    if (!g_armed.load(std::memory_order_acquire))
+        return false;
+    if (g_state.point != point)
+        return false;
+    if (--g_state.countdown > 0)
+        return false;
+    // Disarm before dying so recovery code running in the same process
+    // (the in-process harness) does not re-fire on its own writes.
+    g_armed.store(false, std::memory_order_release);
+    return true;
+}
+
+void
+CrashPoints::crash(const char *point)
+{
+    if (g_state.action == Action::Exit) {
+        // A real crash: no stack unwinding, no stream flushing, no
+        // atexit handlers — exactly what kill -9 recovery must survive.
+        std::_Exit(kCrashExitCode);
+    }
+    throw SimulatedCrash(point);
+}
+
+} // namespace qismet

@@ -45,4 +45,22 @@ KalmanFilter1D::reset()
     initialized_ = false;
 }
 
+void
+KalmanFilter1D::saveState(Encoder &enc) const
+{
+    enc.writeF64(x_);
+    enc.writeF64(p_);
+    enc.writeF64(gain_);
+    enc.writeBool(initialized_);
+}
+
+void
+KalmanFilter1D::loadState(Decoder &dec)
+{
+    x_ = dec.readF64();
+    p_ = dec.readF64();
+    gain_ = dec.readF64();
+    initialized_ = dec.readBool();
+}
+
 } // namespace qismet

@@ -17,6 +17,8 @@
 #ifndef QISMET_FILTER_KALMAN_HPP
 #define QISMET_FILTER_KALMAN_HPP
 
+#include "common/serial.hpp"
+
 namespace qismet {
 
 /** Scalar Kalman filter hyper-parameters. */
@@ -55,6 +57,12 @@ class KalmanFilter1D
 
     /** Forget all state. */
     void reset();
+
+    /** Serialize posterior state for crash-safe checkpointing. */
+    void saveState(Encoder &enc) const;
+
+    /** Restore state produced by saveState (same params). */
+    void loadState(Decoder &dec);
 
     const KalmanParams &params() const { return params_; }
 

@@ -88,4 +88,16 @@ Spsa::propose(const std::vector<double> &theta, int k,
     return next;
 }
 
+void
+Spsa::saveState(Encoder &enc) const
+{
+    enc.writeVecF64(delta_);
+}
+
+void
+Spsa::loadState(Decoder &dec)
+{
+    delta_ = dec.readVecF64();
+}
+
 } // namespace qismet

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 
 namespace qismet {
 
@@ -79,6 +80,18 @@ class StochasticOptimizer
 
     /** Relative per-iteration circuit cost vs. plain SPSA (1.0). */
     virtual double evaluationCostFactor() const { return 1.0; }
+
+    /**
+     * Serialize all between-iteration mutable state (perturbation
+     * directions planned but not yet consumed, smoothed accumulators)
+     * for crash-safe checkpointing. Gains and other construction-time
+     * configuration are NOT included — a resumed run reconstructs the
+     * optimizer from its config and restores only this state.
+     */
+    virtual void saveState(Encoder &enc) const { (void)enc; }
+
+    /** Restore state produced by saveState on an identical config. */
+    virtual void loadState(Decoder &dec) { (void)dec; }
 };
 
 /** Plain first-order SPSA. */
@@ -95,6 +108,9 @@ class Spsa : public StochasticOptimizer
                                 const std::vector<double> &energies) override;
 
     const SpsaGains &gains() const { return gains_; }
+
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
 
   protected:
     /** Draw a Rademacher (±1) direction vector. */

@@ -155,4 +155,46 @@ SecondOrderSpsa::propose(const std::vector<double> &theta, int k,
     return next;
 }
 
+void
+ResamplingSpsa::saveState(Encoder &enc) const
+{
+    Spsa::saveState(enc);
+    enc.writeU64(deltas_.size());
+    for (const auto &delta : deltas_)
+        enc.writeVecF64(delta);
+}
+
+void
+ResamplingSpsa::loadState(Decoder &dec)
+{
+    Spsa::loadState(dec);
+    const std::uint64_t count = dec.readU64();
+    deltas_.clear();
+    for (std::uint64_t i = 0; i < count; ++i)
+        deltas_.push_back(dec.readVecF64());
+}
+
+void
+SecondOrderSpsa::saveState(Encoder &enc) const
+{
+    Spsa::saveState(enc);
+    enc.writeVecF64(delta2_);
+    enc.writeI64(hessianSamples_);
+    enc.writeU64(hessian_.size());
+    for (const auto &row : hessian_)
+        enc.writeVecF64(row);
+}
+
+void
+SecondOrderSpsa::loadState(Decoder &dec)
+{
+    Spsa::loadState(dec);
+    delta2_ = dec.readVecF64();
+    hessianSamples_ = static_cast<int>(dec.readI64());
+    const std::uint64_t rows = dec.readU64();
+    hessian_.clear();
+    for (std::uint64_t i = 0; i < rows; ++i)
+        hessian_.push_back(dec.readVecF64());
+}
+
 } // namespace qismet

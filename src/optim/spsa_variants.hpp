@@ -38,6 +38,9 @@ class ResamplingSpsa : public Spsa
     std::vector<double> propose(const std::vector<double> &theta, int k,
                                 const std::vector<double> &energies) override;
 
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
+
   private:
     int samples_;
     std::vector<std::vector<double>> deltas_;
@@ -64,6 +67,9 @@ class SecondOrderSpsa : public Spsa
                                           int k, Rng &rng) override;
     std::vector<double> propose(const std::vector<double> &theta, int k,
                                 const std::vector<double> &energies) override;
+
+    void saveState(Encoder &enc) const override;
+    void loadState(Decoder &dec) override;
 
   private:
     double regularization_;

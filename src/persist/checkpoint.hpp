@@ -1,0 +1,126 @@
+/**
+ * @file
+ * CheckpointManager: the driver-facing facade over journal + snapshot.
+ *
+ * A checkpoint directory holds exactly two files:
+ *
+ *     journal.qjnl    write-ahead record stream (append + fsync)
+ *     snapshot.qsnp   latest full snapshot (atomic replace)
+ *
+ * Protocol (driver side):
+ *   1. recover(): if resuming and a valid snapshot exists, return it
+ *      together with the journal frames up to the snapshot's position;
+ *      the driver replays those to rebuild its history, then calls
+ *      beginResumed() which truncates the journal tail. Otherwise the
+ *      driver calls beginFresh().
+ *   2. Every executed job / completed iteration is journaled *before*
+ *      the driver proceeds (write-ahead + fsync).
+ *   3. At iteration boundaries (cadence `snapshotEveryIters`) the
+ *      driver captures a RunSnapshot; writeSnapshot() stamps it with
+ *      the current journal position and atomically replaces the file.
+ *
+ * Failure policy: a missing checkpoint is a fresh start; a *corrupt*
+ * one (bad snapshot, structurally corrupt journal, digest mismatch,
+ * journal shorter than the snapshot claims) throws CheckpointError —
+ * recovery never silently degrades to a wrong trajectory.
+ */
+
+#ifndef QISMET_PERSIST_CHECKPOINT_HPP
+#define QISMET_PERSIST_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "persist/journal.hpp"
+#include "persist/snapshot.hpp"
+
+namespace qismet {
+
+/** Raised when recovery finds inconsistent checkpoint state. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Durability settings threaded from the run configuration. */
+struct CheckpointConfig
+{
+    std::string dir;                    ///< checkpoint directory
+    std::size_t snapshotEveryIters = 1; ///< snapshot cadence
+    bool resume = false;                ///< attempt recovery first
+};
+
+class CheckpointManager
+{
+  public:
+    /** State recovered from disk, ready for driver replay. */
+    struct Recovered
+    {
+        RunSnapshot snapshot;
+        std::vector<JournalFrame> frames; ///< prefix up to the snapshot
+    };
+
+    CheckpointManager(CheckpointConfig config,
+                      std::uint64_t config_digest);
+
+    /**
+     * Attempt recovery. Returns the snapshot + replayable journal
+     * prefix, or nullopt for a fresh start (not resuming, or nothing
+     * durable on disk yet). @throws CheckpointError on corruption or a
+     * configuration-digest mismatch.
+     */
+    std::optional<Recovered> recover();
+
+    /** Start a fresh journal (truncates any previous run's files). */
+    void beginFresh();
+
+    /** Continue the recovered journal, truncated at the snapshot. */
+    void beginResumed(const Recovered &recovered);
+
+    /** Journal one executed job (durable before return). */
+    void appendJob(const JournalJobRecord &record);
+
+    /** Journal one completed iteration (durable before return). */
+    void appendIteration(const JournalIterationRecord &record);
+
+    /** True when a snapshot is due at completed-iteration count `k`. */
+    bool snapshotDue(std::uint64_t completed_iterations) const
+    {
+        return completed_iterations % config_.snapshotEveryIters == 0;
+    }
+
+    /**
+     * Stamp the snapshot with the current journal position and config
+     * digest, then atomically replace the snapshot file.
+     */
+    void writeSnapshot(RunSnapshot snapshot);
+
+    /** Frames durable in the journal so far. */
+    std::uint64_t journalFrames() const;
+
+    /** Notes accumulated during recovery (torn-tail reports etc.). */
+    const std::string &diagnostics() const { return diagnostics_; }
+
+    std::string journalPath() const
+    {
+        return config_.dir + "/journal.qjnl";
+    }
+    std::string snapshotPath() const
+    {
+        return config_.dir + "/snapshot.qsnp";
+    }
+
+  private:
+    CheckpointConfig config_;
+    std::uint64_t configDigest_;
+    std::optional<JournalWriter> journal_;
+    std::string diagnostics_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_PERSIST_CHECKPOINT_HPP

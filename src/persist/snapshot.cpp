@@ -1,0 +1,170 @@
+#include "persist/snapshot.hpp"
+
+#include "common/atomic_file.hpp"
+#include "common/serial.hpp"
+
+namespace qismet {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'S', 'N', 'P'};
+
+void
+encodeRng(Encoder &enc, const RngState &state)
+{
+    for (const std::uint64_t word : state.engine)
+        enc.writeU64(word);
+    enc.writeBool(state.hasSpareNormal);
+    enc.writeF64(state.spareNormal);
+}
+
+RngState
+decodeRng(Decoder &dec)
+{
+    RngState state;
+    for (std::uint64_t &word : state.engine)
+        word = dec.readU64();
+    state.hasSpareNormal = dec.readBool();
+    state.spareNormal = dec.readF64();
+    return state;
+}
+
+} // namespace
+
+std::string
+RunSnapshot::encode() const
+{
+    Encoder enc;
+    enc.writeU64(configDigest);
+    enc.writeU64(journalFrames);
+    enc.writeU64(journalOffset);
+    enc.writeU64(iteration);
+    enc.writeI64(evalIndex);
+    enc.writeVecF64(theta);
+    enc.writeVecF64(prevPoint);
+    enc.writeBool(havePrev);
+    enc.writeF64(ePrev);
+    enc.writeBool(haveIterPrev);
+    enc.writeF64(eIterPrev);
+    enc.writeU64(jobsUsed);
+    enc.writeU64(retriesUsed);
+    enc.writeU64(rejections);
+    enc.writeU64(faultsSeen);
+    enc.writeU64(faultRetries);
+    enc.writeU64(evalsCarriedForward);
+    enc.writeF64(simTimeSeconds);
+    enc.writeF64(backoffSeconds);
+    encodeRng(enc, optimizerRng);
+    enc.writeU64(executorJobs);
+    enc.writeU64(executorCircuits);
+    enc.writeString(policyState);
+    enc.writeString(optimizerState);
+    return enc.take();
+}
+
+RunSnapshot
+RunSnapshot::decode(const std::string &payload)
+{
+    try {
+        Decoder dec(payload);
+        RunSnapshot snap;
+        snap.configDigest = dec.readU64();
+        snap.journalFrames = dec.readU64();
+        snap.journalOffset = dec.readU64();
+        snap.iteration = dec.readU64();
+        snap.evalIndex = dec.readI64();
+        snap.theta = dec.readVecF64();
+        snap.prevPoint = dec.readVecF64();
+        snap.havePrev = dec.readBool();
+        snap.ePrev = dec.readF64();
+        snap.haveIterPrev = dec.readBool();
+        snap.eIterPrev = dec.readF64();
+        snap.jobsUsed = dec.readU64();
+        snap.retriesUsed = dec.readU64();
+        snap.rejections = dec.readU64();
+        snap.faultsSeen = dec.readU64();
+        snap.faultRetries = dec.readU64();
+        snap.evalsCarriedForward = dec.readU64();
+        snap.simTimeSeconds = dec.readF64();
+        snap.backoffSeconds = dec.readF64();
+        snap.optimizerRng = decodeRng(dec);
+        snap.executorJobs = dec.readU64();
+        snap.executorCircuits = dec.readU64();
+        snap.policyState = dec.readString();
+        snap.optimizerState = dec.readString();
+        if (!dec.atEnd())
+            throw SnapshotError("snapshot payload has " +
+                                std::to_string(dec.remaining()) +
+                                " trailing bytes");
+        return snap;
+    }
+    catch (const SerialError &err) {
+        throw SnapshotError(std::string("malformed snapshot payload: ") +
+                            err.what());
+    }
+}
+
+void
+saveSnapshotFile(const std::string &path, const RunSnapshot &snapshot)
+{
+    const std::string payload = snapshot.encode();
+    Encoder enc;
+    enc.writeU8(static_cast<std::uint8_t>(kMagic[0]));
+    enc.writeU8(static_cast<std::uint8_t>(kMagic[1]));
+    enc.writeU8(static_cast<std::uint8_t>(kMagic[2]));
+    enc.writeU8(static_cast<std::uint8_t>(kMagic[3]));
+    enc.writeU32(kSnapshotVersion);
+    enc.writeU64(payload.size());
+    std::string bytes = enc.take();
+    bytes += payload;
+    Encoder sum;
+    sum.writeU64(fnv1a64(payload));
+    bytes += sum.bytes();
+    atomicWriteFile(path, bytes);
+}
+
+RunSnapshot
+loadSnapshotFile(const std::string &path)
+{
+    std::string bytes;
+    try {
+        bytes = readFile(path);
+    }
+    catch (const FileError &err) {
+        throw SnapshotError(std::string("cannot read snapshot: ") +
+                            err.what());
+    }
+    constexpr std::uint64_t kHeaderSize = 16; // magic + version + len
+    if (bytes.size() < kHeaderSize + 8)
+        throw SnapshotError("snapshot '" + path +
+                            "' is truncated below its header (" +
+                            std::to_string(bytes.size()) + " bytes)");
+    Decoder dec(bytes);
+    char magic[4];
+    for (char &c : magic)
+        c = static_cast<char>(dec.readU8());
+    if (magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+        magic[2] != kMagic[2] || magic[3] != kMagic[3])
+        throw SnapshotError("snapshot '" + path + "' has bad magic");
+    const std::uint32_t version = dec.readU32();
+    if (version != kSnapshotVersion)
+        throw SnapshotError("snapshot '" + path +
+                            "' has unsupported version " +
+                            std::to_string(version));
+    const std::uint64_t length = dec.readU64();
+    if (length != bytes.size() - kHeaderSize - 8)
+        throw SnapshotError(
+            "snapshot '" + path + "' payload length " +
+            std::to_string(length) + " does not match file size");
+    const std::string payload =
+        bytes.substr(kHeaderSize, static_cast<std::size_t>(length));
+    Decoder tail(std::string_view(bytes).substr(
+        static_cast<std::size_t>(kHeaderSize + length)));
+    const std::uint64_t stored = tail.readU64();
+    if (stored != fnv1a64(payload))
+        throw SnapshotError("snapshot '" + path +
+                            "' failed its payload checksum");
+    return RunSnapshot::decode(payload);
+}
+
+} // namespace qismet

@@ -125,6 +125,22 @@ class JobExecutor
     /** The transient intensity the *next* job will experience. */
     double peekNextIntensity() const;
 
+    /**
+     * Crash-recovery: fast-forward the job/circuit counters to a
+     * snapshotted position. The root RNG is never advanced by
+     * execute() (every job derives a counter-based splitAt sub-stream
+     * from the immutable root), so restoring the counters alone makes
+     * the resumed executor produce the uninterrupted run's remaining
+     * jobs bit for bit. The same holds for the attached fault
+     * injector, whose schedule is a pure function of the job index.
+     */
+    void restoreProgress(std::size_t jobs_executed,
+                         std::size_t circuits_executed)
+    {
+        jobCount_ = jobs_executed;
+        circuitCount_ = circuits_executed;
+    }
+
     const TransientTrace &trace() const { return trace_; }
 
     /**

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/crash_point.hpp"
+#include "persist/checkpoint.hpp"
+
 namespace qismet {
 
 BlockingPolicy::BlockingPolicy(double tolerance) : tolerance_(tolerance)
@@ -75,6 +78,157 @@ VqeDriver::run(const std::vector<double> &initial_theta)
     double e_iter_prev = 0.0;
     bool have_iter_prev = false;
 
+    CheckpointManager *ckpt = config_.checkpoint;
+    if (ckpt != nullptr) {
+        if (auto recovered = ckpt->recover()) {
+            const RunSnapshot &snap = recovered->snapshot;
+            k = static_cast<int>(snap.iteration);
+            eval_index = static_cast<int>(snap.evalIndex);
+            theta = snap.theta;
+            prev_point = snap.prevPoint;
+            e_prev = snap.ePrev;
+            have_prev = snap.havePrev;
+            e_iter_prev = snap.eIterPrev;
+            have_iter_prev = snap.haveIterPrev;
+            result.jobsUsed = static_cast<std::size_t>(snap.jobsUsed);
+            result.retriesUsed =
+                static_cast<std::size_t>(snap.retriesUsed);
+            result.rejections =
+                static_cast<std::size_t>(snap.rejections);
+            result.faultsSeen =
+                static_cast<std::size_t>(snap.faultsSeen);
+            result.faultRetries =
+                static_cast<std::size_t>(snap.faultRetries);
+            result.evalsCarriedForward =
+                static_cast<std::size_t>(snap.evalsCarriedForward);
+            result.simTimeSeconds = snap.simTimeSeconds;
+            result.backoffSeconds = snap.backoffSeconds;
+            opt_rng.restoreState(snap.optimizerRng);
+            executor_.restoreProgress(
+                static_cast<std::size_t>(snap.executorJobs),
+                static_cast<std::size_t>(snap.executorCircuits));
+            try {
+                Decoder policyDec(snap.policyState);
+                policy_.loadState(policyDec);
+                Decoder optDec(snap.optimizerState);
+                optimizer_.loadState(optDec);
+            }
+            catch (const SerialError &err) {
+                throw CheckpointError(
+                    std::string("corrupt component state in snapshot: ") +
+                    err.what());
+            }
+            // Replay the journal prefix to rebuild the run history.
+            std::uint64_t iterFrames = 0;
+            try {
+                for (const JournalFrame &frame : recovered->frames) {
+                    Decoder dec(frame.payload);
+                    if (frame.type == JournalFrameType::Job) {
+                        const JournalJobRecord jr =
+                            JournalJobRecord::decode(dec);
+                        VqeJobRecord rec;
+                        rec.jobIndex =
+                            static_cast<std::size_t>(jr.jobIndex);
+                        rec.evalIndex = static_cast<int>(jr.evalIndex);
+                        rec.retryIndex =
+                            static_cast<int>(jr.retryIndex);
+                        rec.transientIntensity = jr.transientIntensity;
+                        rec.eMeasured = jr.eMeasured;
+                        rec.accepted = jr.accepted;
+                        rec.status = static_cast<JobStatus>(jr.status);
+                        rec.carriedForward = jr.carriedForward;
+                        result.history.push_back(rec);
+                    }
+                    else {
+                        const JournalIterationRecord ir =
+                            JournalIterationRecord::decode(dec);
+                        result.iterationEnergies.push_back(
+                            ir.eReported);
+                        ++iterFrames;
+                    }
+                }
+            }
+            catch (const SerialError &err) {
+                throw CheckpointError(
+                    std::string("corrupt journal record payload: ") +
+                    err.what());
+            }
+            if (result.history.size() != result.jobsUsed)
+                throw CheckpointError(
+                    "journal replay rebuilt " +
+                    std::to_string(result.history.size()) +
+                    " job records but the snapshot accounts for " +
+                    std::to_string(result.jobsUsed));
+            if (iterFrames != snap.iteration)
+                throw CheckpointError(
+                    "journal replay rebuilt " +
+                    std::to_string(iterFrames) +
+                    " iterations but the snapshot was taken at "
+                    "iteration " +
+                    std::to_string(snap.iteration));
+            ckpt->beginResumed(*recovered);
+        }
+        else {
+            ckpt->beginFresh();
+        }
+    }
+
+    // Capture the complete resumable state at an iteration boundary.
+    auto snapshot_now = [&] {
+        RunSnapshot snap;
+        snap.iteration = static_cast<std::uint64_t>(k);
+        snap.evalIndex = eval_index;
+        snap.theta = theta;
+        snap.prevPoint = prev_point;
+        snap.havePrev = have_prev;
+        snap.ePrev = e_prev;
+        snap.haveIterPrev = have_iter_prev;
+        snap.eIterPrev = e_iter_prev;
+        snap.jobsUsed = result.jobsUsed;
+        snap.retriesUsed = result.retriesUsed;
+        snap.rejections = result.rejections;
+        snap.faultsSeen = result.faultsSeen;
+        snap.faultRetries = result.faultRetries;
+        snap.evalsCarriedForward = result.evalsCarriedForward;
+        snap.simTimeSeconds = result.simTimeSeconds;
+        snap.backoffSeconds = result.backoffSeconds;
+        snap.optimizerRng = opt_rng.saveState();
+        snap.executorJobs = executor_.jobsExecuted();
+        snap.executorCircuits = executor_.circuitsExecuted();
+        Encoder policyEnc;
+        policy_.saveState(policyEnc);
+        snap.policyState = policyEnc.take();
+        Encoder optEnc;
+        optimizer_.saveState(optEnc);
+        snap.optimizerState = optEnc.take();
+        ckpt->writeSnapshot(std::move(snap));
+    };
+
+    // Write-ahead journal one executed job (no-op without durability).
+    auto journal_job = [&](const VqeJobRecord &rec,
+                           const std::vector<double> &point,
+                           double shot_fraction, bool has_reference,
+                           double e_reference,
+                           double transient_estimate) {
+        if (ckpt == nullptr)
+            return;
+        JournalJobRecord jr;
+        jr.jobIndex = rec.jobIndex;
+        jr.evalIndex = rec.evalIndex;
+        jr.retryIndex = rec.retryIndex;
+        jr.transientIntensity = rec.transientIntensity;
+        jr.eMeasured = rec.eMeasured;
+        jr.accepted = rec.accepted;
+        jr.status = static_cast<std::uint8_t>(rec.status);
+        jr.carriedForward = rec.carriedForward;
+        jr.shotFraction = shot_fraction;
+        jr.transientEstimate = transient_estimate;
+        jr.hasReference = has_reference;
+        jr.eReference = e_reference;
+        jr.point = point;
+        ckpt->appendJob(jr);
+    };
+
     // Evaluate one parameter point, retrying per the policy, charging
     // the job budget. On success fills the optimizer-facing energy
     // (possibly policy-corrected) and the raw measured energy. Returns
@@ -112,6 +266,8 @@ VqeDriver::run(const std::vector<double> &initial_theta)
                 if (retry >= config_.retry.maxRetries && have_prev) {
                     rec.carriedForward = true;
                     result.history.push_back(rec);
+                    journal_job(rec, point, job.shotFraction, false,
+                                0.0, 0.0);
                     ++result.evalsCarriedForward;
                     energy_out = e_prev;
                     measured_out = e_prev;
@@ -119,6 +275,8 @@ VqeDriver::run(const std::vector<double> &initial_theta)
                     return true;
                 }
                 result.history.push_back(rec);
+                journal_job(rec, point, job.shotFraction, false, 0.0,
+                            0.0);
                 const double backoff =
                     config_.retry.backoffSecondsFor(retry);
                 result.simTimeSeconds += backoff;
@@ -158,6 +316,10 @@ VqeDriver::run(const std::vector<double> &initial_theta)
             rec.accepted = (decision == Decision::Accept);
             rec.status = job.status;
             result.history.push_back(rec);
+            journal_job(rec, point, ctx.shotFraction, ctx.hasReference,
+                        ctx.eReferenceRerun,
+                        ctx.hasReference ? ctx.transientEstimate()
+                                         : 0.0);
 
             if (decision == Decision::Accept) {
                 energy_out = policy_.energyForOptimizer(ctx);
@@ -175,6 +337,12 @@ VqeDriver::run(const std::vector<double> &initial_theta)
     };
 
     while (result.jobsUsed < config_.totalJobs) {
+        if (ckpt != nullptr) {
+            if (ckpt->snapshotDue(static_cast<std::uint64_t>(k)))
+                snapshot_now();
+            CrashPoints::hit(kCrashIterationBoundary);
+        }
+
         const auto points = optimizer_.plan(theta, k, opt_rng);
 
         std::vector<double> energies;
@@ -200,12 +368,16 @@ VqeDriver::run(const std::vector<double> &initial_theta)
         // policy-corrected `energies` instead.
         const double e_iter =
             measured_sum / static_cast<double>(energies.size());
-        result.iterationEnergies.push_back(policy_.transformEnergy(e_iter));
+        const double e_reported = policy_.transformEnergy(e_iter);
+        result.iterationEnergies.push_back(e_reported);
 
         const std::vector<double> candidate =
             optimizer_.propose(theta, k, energies);
 
-        if (!have_iter_prev || policy_.acceptMove(e_iter_prev, e_iter)) {
+        bool move_accepted = true;
+        if (have_iter_prev)
+            move_accepted = policy_.acceptMove(e_iter_prev, e_iter);
+        if (move_accepted) {
             theta = candidate;
             e_iter_prev = e_iter;
             have_iter_prev = true;
@@ -213,8 +385,21 @@ VqeDriver::run(const std::vector<double> &initial_theta)
             ++result.rejections;
             // Blocking: stay; the next iteration re-probes from theta.
         }
+        if (ckpt != nullptr) {
+            JournalIterationRecord ir;
+            ir.iteration = static_cast<std::uint64_t>(k);
+            ir.eReported = e_reported;
+            ir.moveAccepted = move_accepted;
+            ckpt->appendIteration(ir);
+        }
         ++k;
     }
+
+    // Final snapshot: a completed (or budget-exhausted) run leaves its
+    // checkpoint at the end, so resuming it is a deterministic no-op
+    // that just recomputes the final statistics.
+    if (ckpt != nullptr)
+        snapshot_now();
 
     result.finalTheta = theta;
     result.circuitsUsed = executor_.circuitsExecuted();

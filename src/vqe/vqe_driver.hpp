@@ -37,11 +37,14 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hpp"
 #include "fault/fault_policy.hpp"
 #include "optim/spsa.hpp"
 #include "vqe/job.hpp"
 
 namespace qismet {
+
+class CheckpointManager;
 
 /** What a policy sees when judging one evaluation job. */
 struct EvalContext
@@ -142,6 +145,17 @@ class TuningPolicy
 
     /** Reset all internal state before a fresh run. */
     virtual void reset() {}
+
+    /**
+     * Serialize mutable calibration state (thresholds, estimator
+     * history, filter posteriors) for crash-safe checkpointing.
+     * Construction-time configuration is not included — a resumed run
+     * rebuilds the policy from its config and restores only this.
+     */
+    virtual void saveState(Encoder &enc) const { (void)enc; }
+
+    /** Restore state produced by saveState on an identical config. */
+    virtual void loadState(Decoder &dec) { (void)dec; }
 };
 
 /** Baseline policy: accept everything, report raw measurements. */
@@ -244,6 +258,14 @@ struct VqeDriverConfig
     RetryPolicy retry;
     /** Simulated duration of one job slot (for simTimeSeconds). */
     double jobDurationSeconds = 1.0;
+    /**
+     * Optional durability (not owned; may be null). When set, every
+     * executed job and completed iteration is journaled write-ahead,
+     * snapshots are taken at iteration boundaries, and run() first
+     * attempts recovery — restoring driver, policy, optimizer, RNG and
+     * executor state so the resumed run continues bit-identically.
+     */
+    CheckpointManager *checkpoint = nullptr;
 };
 
 /** Runs one VQE tuning experiment. */

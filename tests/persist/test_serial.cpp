@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the checkpoint serializer: bit-exact round trips and
+ * fail-closed decoding of truncated or hostile buffers.
+ */
+
+#include "common/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qismet {
+namespace {
+
+std::uint64_t doubleBits(double v)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+TEST(Serial, RoundTripsEveryFieldType)
+{
+    const std::string blob("opaque\0blob", 11); // embedded NUL survives
+    Encoder enc;
+    enc.writeU8(0xAB);
+    enc.writeU32(0xDEADBEEFu);
+    enc.writeU64(0x0123456789ABCDEFull);
+    enc.writeI64(-42);
+    enc.writeF64(-0.1);
+    enc.writeBool(true);
+    enc.writeBool(false);
+    enc.writeVecF64({1.5, -2.25, 0.0});
+    enc.writeString(blob);
+
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.readU8(), 0xAB);
+    EXPECT_EQ(dec.readU32(), 0xDEADBEEFu);
+    EXPECT_EQ(dec.readU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(dec.readI64(), -42);
+    EXPECT_EQ(doubleBits(dec.readF64()), doubleBits(-0.1));
+    EXPECT_TRUE(dec.readBool());
+    EXPECT_FALSE(dec.readBool());
+    EXPECT_EQ(dec.readVecF64(), (std::vector<double>{1.5, -2.25, 0.0}));
+    EXPECT_EQ(dec.readString(), blob);
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Serial, DoublesRoundTripBitExactly)
+{
+    // The crash-resume contract is bit identity, so the serializer must
+    // preserve every IEEE-754 payload including signed zero, denormals,
+    // infinities and NaN bit patterns.
+    const double cases[] = {
+        0.0,
+        -0.0,
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        0.1,
+        -1.0 / 3.0,
+        1e308,
+        -2.2793949905318796,
+    };
+    for (double v : cases) {
+        Encoder enc;
+        enc.writeF64(v);
+        Decoder dec(enc.bytes());
+        EXPECT_EQ(doubleBits(dec.readF64()), doubleBits(v));
+    }
+}
+
+TEST(Serial, IntegersAreLittleEndianFixedWidth)
+{
+    Encoder enc;
+    enc.writeU32(0x01020304u);
+    const std::string &b = enc.bytes();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+    EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x03);
+    EXPECT_EQ(static_cast<unsigned char>(b[2]), 0x02);
+    EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(Serial, ThrowsOnTruncatedReads)
+{
+    Encoder enc;
+    enc.writeU64(7);
+    const std::string &bytes = enc.bytes();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        Decoder dec(std::string_view(bytes).substr(0, cut));
+        EXPECT_THROW((void)dec.readU64(), SerialError) << "cut=" << cut;
+    }
+}
+
+TEST(Serial, ThrowsOnHostileVectorCount)
+{
+    // A corrupt count prefix must not trigger a huge allocation or an
+    // overflowing size computation.
+    Encoder enc;
+    enc.writeU64(std::numeric_limits<std::uint64_t>::max());
+    enc.writeF64(1.0);
+    Decoder dec(enc.bytes());
+    EXPECT_THROW((void)dec.readVecF64(), SerialError);
+
+    Encoder enc2;
+    enc2.writeU64((std::numeric_limits<std::uint64_t>::max() / 8) + 1);
+    Decoder dec2(enc2.bytes());
+    EXPECT_THROW((void)dec2.readVecF64(), SerialError);
+}
+
+TEST(Serial, ThrowsOnHostileStringLength)
+{
+    Encoder enc;
+    enc.writeU64(1u << 20);
+    enc.writeU8('x');
+    Decoder dec(enc.bytes());
+    EXPECT_THROW((void)dec.readString(), SerialError);
+}
+
+TEST(Serial, RemainingAndAtEndTrackPosition)
+{
+    Encoder enc;
+    enc.writeU32(1);
+    enc.writeU32(2);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.remaining(), 8u);
+    EXPECT_FALSE(dec.atEnd());
+    (void)dec.readU32();
+    EXPECT_EQ(dec.remaining(), 4u);
+    (void)dec.readU32();
+    EXPECT_TRUE(dec.atEnd());
+}
+
+} // namespace
+} // namespace qismet

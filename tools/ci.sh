@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Single-command CI driver: configure -> build -> tier1 tests -> golden
-# traces -> lint. This is the gate every change must pass; it mirrors
-# what the presets do individually, in the order that fails fastest.
+# traces -> crash-resume recovery (in-process suite plus a scripted
+# kill-mid-run + resume + trajectory-diff smoke) -> lint. This is the
+# gate every change must pass; it mirrors what the presets do
+# individually, in the order that fails fastest.
 #
 # Usage: tools/ci.sh [--with-coverage]
 #
@@ -39,6 +41,35 @@ ctest --preset tier1
 
 stage "golden-trace regression suite"
 ctest --preset golden
+
+stage "crash-resume recovery suite"
+ctest --preset recovery
+
+stage "kill-mid-run + resume smoke (real process death)"
+ckpt_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir"' EXIT
+smoke=./build/examples/checkpoint_resume
+smoke_args=(--app 1 --jobs 120 --faults --seed 23)
+want=$("$smoke" "${smoke_args[@]}" --threads 4 | head -1)
+# The kill leg must die with the crash exit code, not finish.
+set +e
+"$smoke" "${smoke_args[@]}" --threads 4 \
+    --checkpoint-dir "$ckpt_dir" --crash-after-iters 6
+kill_status=$?
+set -e
+if [[ $kill_status -ne 43 ]]; then
+    echo "ci: kill leg exited $kill_status, expected 43" >&2
+    exit 1
+fi
+# Resume on a different thread count; the trajectory digest must match
+# the uninterrupted run bit for bit.
+got=$("$smoke" "${smoke_args[@]}" --threads 2 \
+    --checkpoint-dir "$ckpt_dir" --resume | head -1)
+if [[ "$got" != "$want" ]]; then
+    echo "ci: resumed digest '$got' != straight-run digest '$want'" >&2
+    exit 1
+fi
+echo "resume digest matches straight run: $got"
 
 stage "lint (qismet-lint + clang-tidy profile + format check)"
 cmake --preset lint >/dev/null

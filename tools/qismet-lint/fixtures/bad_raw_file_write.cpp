@@ -1,0 +1,40 @@
+// Fixture: every write-capable file API the raw-file-write rule must
+// flag when it appears under src/. The test harness lints this file
+// under a synthetic src/ path (the fixtures/ directory itself is
+// outside the rule's scope by design).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void dumpDirectly(const std::string &path)
+{
+    std::ofstream out(path); // finding 1: writable stream
+    out << "torn on crash\n";
+}
+
+void updateInPlace(const std::string &path)
+{
+    std::fstream rw(path); // finding 2: read/write stream
+    rw << "also torn\n";
+}
+
+void cStdio(const char *path)
+{
+    FILE *f = fopen(path, "w"); // finding 3: C stdio open
+    std::fclose(f);
+    std::freopen(path, "a", stdout); // finding 4: C stdio reopen
+}
+
+void readingIsFine(const std::string &path)
+{
+    std::ifstream in(path); // no finding: reads cannot tear files
+    std::string line;
+    std::getline(in, line);
+}
+
+void escapedWrite(const std::string &path)
+{
+    // qismet-lint: allow(raw-file-write) — fixture exercising the escape
+    std::ofstream out(path);
+    out << "deliberately suppressed\n";
+}

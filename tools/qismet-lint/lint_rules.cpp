@@ -363,6 +363,26 @@ const std::vector<std::string> &rawThreadAllowedPaths()
     return paths;
 }
 
+const std::vector<std::string> &rawFileWriteAllowedPaths()
+{
+    static const std::vector<std::string> paths = {
+        "src/common/atomic_file.cpp", "src/common/atomic_file.hpp"};
+    return paths;
+}
+
+/**
+ * True for files in the shipped source tree (`src/...`), where every
+ * persistence write must flow through the atomic-file layer. Tests,
+ * benches and tools may write scratch files directly — they are not
+ * durability-critical and some (journal fuzzers) write torn files on
+ * purpose.
+ */
+bool underSrcTree(const std::string &path)
+{
+    return path.rfind("src/", 0) == 0 ||
+           path.find("/src/") != std::string::npos;
+}
+
 class Linter
 {
   public:
@@ -379,6 +399,7 @@ class Linter
         checkAmbientRng();
         checkUnorderedReduction();
         checkRawThread();
+        checkRawFileWrite();
         checkNakedNew();
         checkSplitInTask();
         std::sort(findings_.begin(), findings_.end(),
@@ -728,6 +749,47 @@ class Linter
         }
     }
 
+    // ---- raw-file-write --------------------------------------------------
+
+    /**
+     * Persistence writes in src/ must go through the atomic-file layer
+     * (temp -> fsync -> rename) so a crash can never leave a torn file.
+     * Flags writable stream types (`std::ofstream` / `std::fstream`) and
+     * C stdio open calls; `std::ifstream` is read-only and stays legal.
+     */
+    void checkRawFileWrite()
+    {
+        if (!underSrcTree(path_) ||
+            pathAllowed(path_, rawFileWriteAllowedPaths())) {
+            return;
+        }
+        const std::string rule = "raw-file-write";
+        const std::string fix =
+            ": route persistence through qismet::atomicWriteFile / "
+            "DurableFile (src/common/atomic_file.hpp) so a crash cannot "
+            "leave a torn or half-written file";
+        for (const Token &t : tokens_) {
+            if (t.name == "fopen" || t.name == "freopen") {
+                std::string qual;
+                bool qualified = hasQualifier(scrubbed_.text, t.pos, qual);
+                bool stdOrGlobal = !qualified || qual == "std" ||
+                                   qual.empty();
+                if (stdOrGlobal && !isMemberAccess(scrubbed_.text, t.pos) &&
+                    isCalled(scrubbed_.text, t.end)) {
+                    report(rule, t.line, "call to " + t.name + "()" + fix);
+                }
+                continue;
+            }
+            if (t.name != "ofstream" && t.name != "fstream") {
+                continue;
+            }
+            std::string qual;
+            if (hasQualifier(scrubbed_.text, t.pos, qual) && qual == "std") {
+                report(rule, t.line, "std::" + t.name + " in src/" + fix);
+            }
+        }
+    }
+
     // ---- naked-new -------------------------------------------------------
 
     void checkNakedNew()
@@ -871,8 +933,8 @@ class Linter
 const std::vector<std::string> &allRules()
 {
     static const std::vector<std::string> rules = {
-        "ambient-rng", "unordered-reduction", "raw-thread", "naked-new",
-        "split-in-task"};
+        "ambient-rng", "unordered-reduction", "raw-thread",
+        "raw-file-write", "naked-new", "split-in-task"};
     return rules;
 }
 

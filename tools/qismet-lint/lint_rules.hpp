@@ -21,6 +21,14 @@
  *                           src/common/thread_pool.{cpp,hpp}; all
  *                           parallelism goes through ThreadPool /
  *                           ParallelExecutor.
+ *  - `raw-file-write`     — no direct persistence writes in src/
+ *                           (std::ofstream / std::fstream / fopen /
+ *                           freopen); everything durable goes through
+ *                           qismet::atomicWriteFile / DurableFile
+ *                           (src/common/atomic_file.{hpp,cpp}, which is
+ *                           itself allowlisted) so a crash can never
+ *                           leave a torn file. Reads (std::ifstream) and
+ *                           code outside src/ are unrestricted.
  *  - `naked-new`          — no naked new/delete expressions; use
  *                           containers or smart pointers.
  *  - `split-in-task`      — Rng::split / Rng::splitAt must be called

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,15 @@ using qlint::lintSource;
 std::string fixture(const std::string &name)
 {
     return std::string(QISMET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** Fixture file content, for lintSource runs under a synthetic path. */
+std::string fixtureSource(const std::string &name)
+{
+    std::ifstream in(fixture(name), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
 }
 
 std::vector<Finding> ruleFindings(const std::vector<Finding> &all,
@@ -45,13 +56,13 @@ int countRule(const std::string &path, const std::string &source,
 
 // ---- rule registry -------------------------------------------------------
 
-TEST(LintRegistry, AllFiveRulesRegistered)
+TEST(LintRegistry, AllSixRulesRegistered)
 {
     const auto &rules = qlint::allRules();
-    ASSERT_EQ(rules.size(), 5u);
+    ASSERT_EQ(rules.size(), 6u);
     for (const char *rule :
-         {"ambient-rng", "unordered-reduction", "raw-thread", "naked-new",
-          "split-in-task"}) {
+         {"ambient-rng", "unordered-reduction", "raw-thread",
+          "raw-file-write", "naked-new", "split-in-task"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << rule;
     }
@@ -205,6 +216,96 @@ TEST(RawThread, IgnoresThisThreadAndHeaders)
                         "#include <thread>",
                         "raw-thread"),
               0);
+}
+
+// ---- raw-file-write ------------------------------------------------------
+
+TEST(RawFileWrite, FiresOnWritableStreamsUnderSrc)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "std::ofstream out(\"a.csv\");",
+                        "raw-file-write"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp", "std::fstream rw(\"a.bin\");",
+                        "raw-file-write"),
+              1);
+    EXPECT_EQ(countRule("/root/repo/src/x.cpp",
+                        "std::ofstream out(\"a.csv\");", "raw-file-write"),
+              1);
+}
+
+TEST(RawFileWrite, FiresOnCStdioOpens)
+{
+    EXPECT_EQ(countRule("src/x.cpp", "FILE *f = fopen(\"a\", \"w\");",
+                        "raw-file-write"),
+              1);
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "std::freopen(\"a\", \"a\", stdout);",
+                        "raw-file-write"),
+              1);
+}
+
+TEST(RawFileWrite, IgnoresReadsIncludesAndMembers)
+{
+    // std::ifstream cannot tear a file.
+    EXPECT_EQ(countRule("src/x.cpp", "std::ifstream in(\"a.csv\");",
+                        "raw-file-write"),
+              0);
+    // The include itself is unqualified; only std:: usages fire.
+    EXPECT_EQ(countRule("src/x.cpp", "#include <fstream>\nint x;",
+                        "raw-file-write"),
+              0);
+    // Member functions that happen to share a name are not C stdio.
+    EXPECT_EQ(countRule("src/x.cpp", "archive.fopen(path);",
+                        "raw-file-write"),
+              0);
+}
+
+TEST(RawFileWrite, ScopedToSrcTreeOnly)
+{
+    // Tests, benches and tools write scratch files directly — some
+    // (journal fuzzers) write torn files on purpose.
+    for (const char *path : {"tests/persist/test_journal.cpp",
+                             "bench/bench_sweep.cpp",
+                             "tools/qismet-lint/lint_rules.cpp"}) {
+        EXPECT_EQ(countRule(path, "std::ofstream out(\"a\"); fopen(\"b\", "
+                                  "\"w\");",
+                            "raw-file-write"),
+                  0)
+            << path;
+    }
+}
+
+TEST(RawFileWrite, AllowedInsideAtomicFileLayer)
+{
+    EXPECT_EQ(countRule("src/common/atomic_file.cpp",
+                        "std::ofstream out(tmp);", "raw-file-write"),
+              0);
+    EXPECT_EQ(countRule("src/common/atomic_file.hpp",
+                        "FILE *f = fopen(tmp, \"w\");", "raw-file-write"),
+              0);
+}
+
+TEST(RawFileWrite, EscapeSuppressesFinding)
+{
+    EXPECT_EQ(countRule("src/x.cpp",
+                        "std::ofstream out(p); // qismet-lint: "
+                        "allow(raw-file-write)",
+                        "raw-file-write"),
+              0);
+}
+
+TEST(RawFileWrite, FixtureFiresUnderSyntheticSrcPath)
+{
+    const auto findings = lintSource("src/persist/bad_raw_file_write.cpp",
+                                     fixtureSource("bad_raw_file_write.cpp"));
+    const auto hits = ruleFindings(findings, "raw-file-write");
+    EXPECT_EQ(hits.size(), 4u);
+    for (const Finding &f : hits) {
+        EXPECT_GT(f.line, 0);
+        EXPECT_FALSE(f.message.empty());
+    }
+    // Outside src/ (the fixture's real path) the rule stays silent.
+    EXPECT_TRUE(lintFile(fixture("bad_raw_file_write.cpp")).empty());
 }
 
 // ---- naked-new -----------------------------------------------------------
