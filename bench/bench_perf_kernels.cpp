@@ -66,6 +66,38 @@ BM_DensityMatrixNoisyGate(benchmark::State &state)
 BENCHMARK(BM_DensityMatrixNoisyGate)->Arg(4)->Arg(6)->Arg(8);
 
 void
+BM_DensityMatrixScratchReuse(benchmark::State &state)
+{
+    // Guards the no-allocation contract of the channel/gate hot loop:
+    // after a warm-up pass sizes the member scratch, steady-state
+    // iterations must not reallocate (scratchAllocCount must not move).
+    const int n = static_cast<int>(state.range(0));
+    DensityMatrix rho(n);
+    const KrausChannel dep2 = KrausChannel::depolarizing2q(0.01);
+    const KrausChannel amp = KrausChannel::amplitudeDamping(0.02);
+    Gate h;
+    h.type = GateType::H;
+    h.qubits = {0};
+
+    rho.applyChannel2q(0, 1, dep2);
+    rho.applyChannel1q(0, amp);
+    rho.applyGate(h);
+    const std::size_t warm = rho.scratchAllocCount();
+
+    for (auto _ : state) {
+        rho.applyChannel2q(0, 1, dep2);
+        rho.applyChannel1q(0, amp);
+        rho.applyGate(h);
+        benchmark::DoNotOptimize(rho.trace());
+    }
+    if (rho.scratchAllocCount() != warm)
+        state.SkipWithError("density-matrix scratch reallocated after warm-up");
+    state.counters["scratch_allocs"] =
+        static_cast<double>(rho.scratchAllocCount());
+}
+BENCHMARK(BM_DensityMatrixScratchReuse)->Arg(4)->Arg(6);
+
+void
 BM_EnergyEstimate(benchmark::State &state)
 {
     const Application app = application(2);
@@ -129,6 +161,7 @@ BENCHMARK(BM_QismetVqeEnsembleThreads)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
     ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond);
 

@@ -13,6 +13,24 @@ isRotation(GateType type)
            type == GateType::RZ;
 }
 
+bool
+isDiagonal(GateType type)
+{
+    switch (type) {
+      case GateType::I:
+      case GateType::Z:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::T:
+      case GateType::Tdg:
+      case GateType::RZ:
+      case GateType::CZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
 int
 gateArity(GateType type)
 {
@@ -67,66 +85,106 @@ Gate::resolvedAngle(const std::vector<double> &params) const
 Matrix
 Gate::matrix(const std::vector<double> &params) const
 {
+    const std::size_t n = gateArity(type) == 1 ? 2 : 4;
+    Matrix m(n, n);
+    matrixInto(&m(0, 0), params);
+    return m;
+}
+
+void
+Gate::matrixInto(Complex *out, const std::vector<double> &params) const
+{
     const Complex i(0.0, 1.0);
+    const Complex zero(0.0, 0.0);
+    const Complex one(1.0, 0.0);
     const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+    auto fill1q = [out](Complex a, Complex b, Complex c, Complex d) {
+        out[0] = a;
+        out[1] = b;
+        out[2] = c;
+        out[3] = d;
+    };
 
     switch (type) {
       case GateType::I:
-        return Matrix::identity(2);
+        fill1q(one, zero, zero, one);
+        return;
       case GateType::H:
-        return Matrix::fromRows({{inv_sqrt2, inv_sqrt2},
-                                 {inv_sqrt2, -inv_sqrt2}});
+        fill1q(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+        return;
       case GateType::X:
-        return Matrix::fromRows({{0, 1}, {1, 0}});
+        fill1q(zero, one, one, zero);
+        return;
       case GateType::Y:
-        return Matrix::fromRows({{0, -i}, {i, 0}});
+        fill1q(zero, -i, i, zero);
+        return;
       case GateType::Z:
-        return Matrix::fromRows({{1, 0}, {0, -1}});
+        fill1q(one, zero, zero, -one);
+        return;
       case GateType::S:
-        return Matrix::fromRows({{1, 0}, {0, i}});
+        fill1q(one, zero, zero, i);
+        return;
       case GateType::Sdg:
-        return Matrix::fromRows({{1, 0}, {0, -i}});
+        fill1q(one, zero, zero, -i);
+        return;
       case GateType::T:
-        return Matrix::fromRows(
-            {{1, 0}, {0, std::exp(i * (M_PI / 4.0))}});
+        fill1q(one, zero, zero, std::exp(i * (M_PI / 4.0)));
+        return;
       case GateType::Tdg:
-        return Matrix::fromRows(
-            {{1, 0}, {0, std::exp(-i * (M_PI / 4.0))}});
+        fill1q(one, zero, zero, std::exp(-i * (M_PI / 4.0)));
+        return;
       case GateType::SX:
-        return Matrix::fromRows({{Complex(0.5, 0.5), Complex(0.5, -0.5)},
-                                 {Complex(0.5, -0.5), Complex(0.5, 0.5)}});
+        fill1q(Complex(0.5, 0.5), Complex(0.5, -0.5), Complex(0.5, -0.5),
+               Complex(0.5, 0.5));
+        return;
       case GateType::RX: {
         const double a = resolvedAngle(params) / 2.0;
-        return Matrix::fromRows({{std::cos(a), -i * std::sin(a)},
-                                 {-i * std::sin(a), std::cos(a)}});
+        fill1q(std::cos(a), -i * std::sin(a), -i * std::sin(a),
+               std::cos(a));
+        return;
       }
       case GateType::RY: {
         const double a = resolvedAngle(params) / 2.0;
-        return Matrix::fromRows({{std::cos(a), -std::sin(a)},
-                                 {std::sin(a), std::cos(a)}});
+        fill1q(std::cos(a), -std::sin(a), std::sin(a), std::cos(a));
+        return;
       }
       case GateType::RZ: {
         const double a = resolvedAngle(params) / 2.0;
-        return Matrix::fromRows({{std::exp(-i * a), 0},
-                                 {0, std::exp(i * a)}});
+        fill1q(std::exp(-i * a), zero, zero, std::exp(i * a));
+        return;
       }
       case GateType::CX:
-        return Matrix::fromRows({{1, 0, 0, 0},
-                                 {0, 1, 0, 0},
-                                 {0, 0, 0, 1},
-                                 {0, 0, 1, 0}});
       case GateType::CZ:
-        return Matrix::fromRows({{1, 0, 0, 0},
-                                 {0, 1, 0, 0},
-                                 {0, 0, 1, 0},
-                                 {0, 0, 0, -1}});
-      case GateType::SWAP:
-        return Matrix::fromRows({{1, 0, 0, 0},
-                                 {0, 0, 1, 0},
-                                 {0, 1, 0, 0},
-                                 {0, 0, 0, 1}});
+      case GateType::SWAP: {
+        for (int k = 0; k < 16; ++k)
+            out[k] = zero;
+        if (type == GateType::CX) {
+            out[0] = out[5] = one;
+            out[2 * 4 + 3] = out[3 * 4 + 2] = one;
+        } else if (type == GateType::CZ) {
+            out[0] = out[5] = out[10] = one;
+            out[15] = -one;
+        } else {
+            out[0] = out[15] = one;
+            out[1 * 4 + 2] = out[2 * 4 + 1] = one;
+        }
+        return;
+      }
     }
-    throw std::logic_error("Gate::matrix: unknown gate type");
+    throw std::logic_error("Gate::matrixInto: unknown gate type");
+}
+
+void
+Gate::diagonalInto(Complex *out, const std::vector<double> &params) const
+{
+    if (!isDiagonal(type) || gateArity(type) != 1)
+        throw std::logic_error(
+            "Gate::diagonalInto: gate is not a 1-qubit diagonal");
+    Complex m[4];
+    matrixInto(m, params);
+    out[0] = m[0];
+    out[1] = m[3];
 }
 
 } // namespace qismet

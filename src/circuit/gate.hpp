@@ -41,6 +41,14 @@ enum class GateType
 /** True for RX / RY / RZ. */
 bool isRotation(GateType type);
 
+/**
+ * True when the gate's unitary is diagonal in the computational basis
+ * (I, Z, S, Sdg, T, Tdg, RZ, CZ). Diagonal gates all commute with one
+ * another, which is what lets the circuit compiler merge whole runs of
+ * them into a single pass over the amplitudes.
+ */
+bool isDiagonal(GateType type);
+
 /** Number of qubits the gate type acts on (1 or 2). */
 int gateArity(GateType type);
 
@@ -85,6 +93,24 @@ struct Gate
      * @param params Needed for parameterized rotations.
      */
     Matrix matrix(const std::vector<double> &params = {}) const;
+
+    /**
+     * Allocation-free variant of matrix(): writes the dense unitary
+     * row-major into `out` (4 entries for 1-qubit gates, 16 for 2-qubit
+     * gates). Hot paths — the circuit compiler's bind step — use this to
+     * avoid a heap-allocated Matrix per gate application.
+     * @param out Caller-owned storage of at least 4 (1q) / 16 (2q) entries.
+     * @param params Needed for parameterized rotations.
+     */
+    void matrixInto(Complex *out, const std::vector<double> &params = {}) const;
+
+    /**
+     * Diagonal of the gate's unitary, for diagonal 1-qubit gates only
+     * (isDiagonal(type) && arity 1): writes {u00, u11} into `out`.
+     * @throws std::logic_error for non-diagonal or 2-qubit gates.
+     */
+    void diagonalInto(Complex *out,
+                      const std::vector<double> &params = {}) const;
 };
 
 } // namespace qismet

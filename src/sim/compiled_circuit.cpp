@@ -1,0 +1,484 @@
+#include "sim/compiled_circuit.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qismet {
+
+namespace {
+
+/** Local bit position of qubit `q` inside the gathered `mask` index. */
+int
+localBit(std::uint64_t mask, int q)
+{
+    return std::popcount(mask & ((std::uint64_t{1} << q) - 1));
+}
+
+/** acc = f * acc, 2x2 row-major. */
+void
+mulLeft2x2(const Complex *f, Complex *acc)
+{
+    const Complex a0 = acc[0], a1 = acc[1], a2 = acc[2], a3 = acc[3];
+    acc[0] = f[0] * a0 + f[1] * a2;
+    acc[1] = f[0] * a1 + f[1] * a3;
+    acc[2] = f[2] * a0 + f[3] * a2;
+    acc[3] = f[2] * a1 + f[3] * a3;
+}
+
+/** acc = f * acc, 4x4 row-major. */
+void
+mulLeft4x4(const Complex *f, Complex *acc)
+{
+    Complex out[16];
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            Complex sum(0.0, 0.0);
+            for (int k = 0; k < 4; ++k)
+                sum += f[r * 4 + k] * acc[k * 4 + c];
+            out[r * 4 + c] = sum;
+        }
+    }
+    for (int k = 0; k < 16; ++k)
+        acc[k] = out[k];
+}
+
+/**
+ * Expand a 1q matrix to the 4x4 acting on one half of a 2q op.
+ * sub == 0: f acts on the op's most-significant qubit (F = f (x) I);
+ * sub == 1: on the least-significant one (F = I (x) f).
+ */
+void
+expand1qTo4x4(const Complex *f, int sub, Complex *out)
+{
+    for (int k = 0; k < 16; ++k)
+        out[k] = Complex(0.0, 0.0);
+    if (sub == 0) {
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                for (int x = 0; x < 2; ++x)
+                    out[((a << 1) | x) * 4 + ((b << 1) | x)] = f[a * 2 + b];
+    } else {
+        for (int x = 0; x < 2; ++x)
+            for (int a = 0; a < 2; ++a)
+                for (int b = 0; b < 2; ++b)
+                    out[((x << 1) | a) * 4 + ((x << 1) | b)] = f[a * 2 + b];
+    }
+}
+
+/** Matrix entries an op of this kind occupies in its pool. */
+std::size_t
+matrixSize(CompiledOpKind kind, std::uint64_t mask)
+{
+    switch (kind) {
+      case CompiledOpKind::Dense1:
+      case CompiledOpKind::PermX:
+        return 4;
+      case CompiledOpKind::Diag:
+        return std::size_t{1} << std::popcount(mask);
+      case CompiledOpKind::Dense2:
+      case CompiledOpKind::PermCX:
+      case CompiledOpKind::PermSwap:
+        return 16;
+    }
+    return 0;
+}
+
+} // namespace
+
+CompiledCircuit::CompiledCircuit(const Circuit &circuit,
+                                 CompileOptions options)
+    : numQubits_(circuit.numQubits()), numParams_(circuit.numParams())
+{
+    const bool absorb2q =
+        options.absorb2q == CompileOptions::Absorb2q::Always ||
+        (options.absorb2q == CompileOptions::Absorb2q::Auto &&
+         numQubits_ >= options.absorb2qAutoWidth);
+    const bool fuse = options.fuse;
+
+    /** Fusion work-in-progress node; becomes one CompiledOp unless erased. */
+    struct BNode
+    {
+        CompiledOpKind kind = CompiledOpKind::Dense1;
+        int q0 = 0;
+        int q1 = 0;
+        std::uint64_t mask = 0;
+        std::vector<ParamFactor> factors;
+        bool erased = false;
+    };
+    std::vector<BNode> nodes;
+
+    // Index of the last live node touching each qubit. kNone = untouched;
+    // kBarrier = the last toucher was cancelled away, so its *predecessor*
+    // (which we no longer know) bounds fusion — treat as unfusable.
+    constexpr int kNone = -1;
+    constexpr int kBarrier = -2;
+    std::vector<int> lastTouch(static_cast<std::size_t>(numQubits_), kNone);
+    int lastDiag = kNone;
+
+    auto live = [&nodes](int idx) {
+        return idx >= 0 && !nodes[static_cast<std::size_t>(idx)].erased;
+    };
+    auto node = [&nodes](int idx) -> BNode & {
+        return nodes[static_cast<std::size_t>(idx)];
+    };
+    // A diagonal gate on `q` may hoist into the diag run at lastDiag iff
+    // nothing after that node touches q.
+    auto hoistOk = [&](int q) {
+        const int t = lastTouch[static_cast<std::size_t>(q)];
+        return t == kNone || (t >= 0 && t <= lastDiag);
+    };
+    auto touch = [&lastTouch](int q, int idx) {
+        lastTouch[static_cast<std::size_t>(q)] = idx;
+    };
+    auto newNode = [&nodes](CompiledOpKind kind, int q0, int q1,
+                            std::uint64_t mask, const Gate &g,
+                            int sub) -> int {
+        BNode n;
+        n.kind = kind;
+        n.q0 = q0;
+        n.q1 = q1;
+        n.mask = mask;
+        n.factors.push_back(ParamFactor{g, sub});
+        nodes.push_back(std::move(n));
+        return static_cast<int>(nodes.size()) - 1;
+    };
+    // Sub-position of qubit q inside 2q node n (0 = q0/MSB, 1 = q1/LSB).
+    auto subOf = [](const BNode &n, int q) { return q == n.q0 ? 0 : 1; };
+
+    for (const Gate &g : circuit.gates()) {
+        if (g.type == GateType::I)
+            continue;
+        ++stats_.inputGates;
+
+        if (gateArity(g.type) == 1) {
+            const int q = g.qubits[0];
+            const int t = lastTouch[static_cast<std::size_t>(q)];
+            const bool diag = isDiagonal(g.type);
+
+            // Multiply into the last dense node touching q, whatever the
+            // gate (dense and diagonal 1q gates alike).
+            if (fuse && live(t) &&
+                (node(t).kind == CompiledOpKind::Dense1 ||
+                 node(t).kind == CompiledOpKind::Dense2)) {
+                BNode &n = node(t);
+                const int sub =
+                    n.kind == CompiledOpKind::Dense1 ? -1 : subOf(n, q);
+                n.factors.push_back(ParamFactor{g, sub});
+                continue;
+            }
+            // X·X on the same qubit cancels outright.
+            if (fuse && g.type == GateType::X && live(t) &&
+                node(t).kind == CompiledOpKind::PermX &&
+                node(t).factors.size() == 1) {
+                node(t).erased = true;
+                stats_.cancelled += 2;
+                touch(q, kBarrier);
+                continue;
+            }
+            // Promote a pending X into a dense 1q product.
+            if (fuse && live(t) && node(t).kind == CompiledOpKind::PermX) {
+                BNode &n = node(t);
+                n.kind = CompiledOpKind::Dense1;
+                n.factors.push_back(ParamFactor{g, -1});
+                continue;
+            }
+            // Absorb into a neighbouring CX/SWAP as a dense 4x4 (gated:
+            // only profitable once states outgrow cache).
+            if (fuse && absorb2q && live(t) &&
+                (node(t).kind == CompiledOpKind::PermCX ||
+                 node(t).kind == CompiledOpKind::PermSwap)) {
+                BNode &n = node(t);
+                n.kind = CompiledOpKind::Dense2;
+                n.factors.push_back(ParamFactor{g, subOf(n, q)});
+                continue;
+            }
+            if (diag) {
+                // Hoist into the open run of commuting diagonals.
+                if (fuse && live(lastDiag) && hoistOk(q)) {
+                    BNode &n = node(lastDiag);
+                    const std::uint64_t bit = std::uint64_t{1} << q;
+                    const int width = std::popcount(n.mask | bit);
+                    if (width <= options.maxDiagQubits) {
+                        n.mask |= bit;
+                        n.factors.push_back(ParamFactor{g, -1});
+                        touch(q, lastDiag);
+                        continue;
+                    }
+                }
+                lastDiag = newNode(CompiledOpKind::Diag, q, q,
+                                   std::uint64_t{1} << q, g, -1);
+                touch(q, lastDiag);
+                continue;
+            }
+            const CompiledOpKind kind = g.type == GateType::X
+                                            ? CompiledOpKind::PermX
+                                            : CompiledOpKind::Dense1;
+            touch(q, newNode(kind, q, q, 0, g, -1));
+            continue;
+        }
+
+        // Two-qubit gates.
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        const int ta = lastTouch[static_cast<std::size_t>(a)];
+        const int tb = lastTouch[static_cast<std::size_t>(b)];
+
+        // Multiply into an open dense 4x4 on the same pair.
+        if (fuse && ta == tb && live(ta) &&
+            node(ta).kind == CompiledOpKind::Dense2) {
+            node(ta).factors.push_back(ParamFactor{g, -1});
+            continue;
+        }
+
+        if (g.type == GateType::CZ) {
+            if (fuse && live(lastDiag) && hoistOk(a) && hoistOk(b)) {
+                BNode &n = node(lastDiag);
+                const std::uint64_t bits =
+                    (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+                const int width = std::popcount(n.mask | bits);
+                if (width <= options.maxDiagQubits) {
+                    n.mask |= bits;
+                    n.factors.push_back(ParamFactor{g, -1});
+                    touch(a, lastDiag);
+                    touch(b, lastDiag);
+                    continue;
+                }
+            }
+            lastDiag = newNode(CompiledOpKind::Diag, a, b,
+                               (std::uint64_t{1} << a) |
+                                   (std::uint64_t{1} << b),
+                               g, -1);
+            touch(a, lastDiag);
+            touch(b, lastDiag);
+            continue;
+        }
+
+        // CX·CX (same orientation) / SWAP·SWAP cancel.
+        const CompiledOpKind permKind = g.type == GateType::CX
+                                            ? CompiledOpKind::PermCX
+                                            : CompiledOpKind::PermSwap;
+        if (fuse && ta == tb && live(ta) && node(ta).kind == permKind &&
+            node(ta).factors.size() == 1 &&
+            (permKind == CompiledOpKind::PermSwap ||
+             (node(ta).q0 == a && node(ta).q1 == b))) {
+            node(ta).erased = true;
+            stats_.cancelled += 2;
+            touch(a, kBarrier);
+            touch(b, kBarrier);
+            continue;
+        }
+
+        // Pull pending dense 1q work on either leg into a dense 4x4
+        // together with this entangler (gated like absorb2q above).
+        const bool pullA =
+            fuse && absorb2q && live(ta) &&
+            node(ta).kind == CompiledOpKind::Dense1;
+        const bool pullB =
+            fuse && absorb2q && live(tb) &&
+            node(tb).kind == CompiledOpKind::Dense1;
+        if (pullA || pullB) {
+            BNode n;
+            n.kind = CompiledOpKind::Dense2;
+            n.q0 = a;
+            n.q1 = b;
+            if (pullA) {
+                for (const ParamFactor &f : node(ta).factors)
+                    n.factors.push_back(ParamFactor{f.gate, 0});
+                node(ta).erased = true;
+            }
+            if (pullB) {
+                for (const ParamFactor &f : node(tb).factors)
+                    n.factors.push_back(ParamFactor{f.gate, 1});
+                node(tb).erased = true;
+            }
+            n.factors.push_back(ParamFactor{g, -1});
+            nodes.push_back(std::move(n));
+            const int idx = static_cast<int>(nodes.size()) - 1;
+            touch(a, idx);
+            touch(b, idx);
+            continue;
+        }
+
+        const int idx = newNode(permKind, a, b, 0, g, -1);
+        touch(a, idx);
+        touch(b, idx);
+    }
+
+    // Emit the op stream: constant nodes evaluate into the const pool
+    // now; parameterized nodes become bind-time slots.
+    for (const BNode &n : nodes) {
+        if (n.erased)
+            continue;
+        bool parameterized = false;
+        for (const ParamFactor &f : n.factors)
+            parameterized = parameterized || f.gate.isParameterized();
+
+        const std::size_t size = matrixSize(n.kind, n.mask);
+        CompiledOp op;
+        op.kind = n.kind;
+        op.parameterized = parameterized;
+        op.q0 = n.q0;
+        op.q1 = n.q1;
+        op.mask = n.mask;
+
+        ParamSlot slot;
+        slot.kind = n.kind;
+        slot.mask = n.mask;
+        slot.q0 = n.q0;
+        slot.q1 = n.q1;
+        slot.factors = n.factors;
+
+        if (parameterized) {
+            op.offset = static_cast<std::uint32_t>(bindPoolSize_);
+            slot.offset = op.offset;
+            bindPoolSize_ += size;
+            slots_.push_back(std::move(slot));
+        } else {
+            op.offset = static_cast<std::uint32_t>(constPool_.size());
+            slot.offset = op.offset;
+            constPool_.resize(constPool_.size() + size);
+            evalSlot(slot, {}, constPool_.data() + op.offset);
+        }
+        ops_.push_back(op);
+
+        ++stats_.ops;
+        switch (n.kind) {
+          case CompiledOpKind::Dense1:
+            ++stats_.dense1;
+            break;
+          case CompiledOpKind::Dense2:
+            ++stats_.dense2;
+            break;
+          case CompiledOpKind::Diag:
+            ++stats_.diag;
+            break;
+          case CompiledOpKind::PermX:
+          case CompiledOpKind::PermCX:
+          case CompiledOpKind::PermSwap:
+            ++stats_.perm;
+            break;
+        }
+    }
+}
+
+void
+CompiledCircuit::evalSlot(const ParamSlot &slot,
+                          const std::vector<double> &params,
+                          Complex *out) const
+{
+    switch (slot.kind) {
+      case CompiledOpKind::Dense1:
+      case CompiledOpKind::PermX: {
+        out[0] = out[3] = Complex(1.0, 0.0);
+        out[1] = out[2] = Complex(0.0, 0.0);
+        Complex f[4];
+        for (const ParamFactor &factor : slot.factors) {
+            factor.gate.matrixInto(f, params);
+            mulLeft2x2(f, out);
+        }
+        return;
+      }
+      case CompiledOpKind::Dense2:
+      case CompiledOpKind::PermCX:
+      case CompiledOpKind::PermSwap: {
+        for (int k = 0; k < 16; ++k)
+            out[k] = Complex(0.0, 0.0);
+        out[0] = out[5] = out[10] = out[15] = Complex(1.0, 0.0);
+        Complex f[16];
+        Complex expanded[16];
+        for (const ParamFactor &factor : slot.factors) {
+            const Gate &g = factor.gate;
+            if (factor.sub >= 0) {
+                Complex f1[4];
+                g.matrixInto(f1, params);
+                expand1qTo4x4(f1, factor.sub, expanded);
+                mulLeft4x4(expanded, out);
+                continue;
+            }
+            g.matrixInto(f, params);
+            if (g.qubits[0] == slot.q1 && g.qubits[1] == slot.q0) {
+                // The factor's qubit order is reversed relative to the
+                // op: permute local indices by swapping their two bits.
+                auto p = [](int x) { return ((x & 1) << 1) | (x >> 1); };
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        expanded[p(r) * 4 + p(c)] = f[r * 4 + c];
+                mulLeft4x4(expanded, out);
+            } else {
+                mulLeft4x4(f, out);
+            }
+        }
+        return;
+      }
+      case CompiledOpKind::Diag: {
+        const std::size_t size = matrixSize(slot.kind, slot.mask);
+        for (std::size_t k = 0; k < size; ++k)
+            out[k] = Complex(1.0, 0.0);
+        for (const ParamFactor &factor : slot.factors) {
+            const Gate &g = factor.gate;
+            if (gateArity(g.type) == 1) {
+                Complex d[2];
+                g.diagonalInto(d, params);
+                const int bi = localBit(slot.mask, g.qubits[0]);
+                for (std::size_t li = 0; li < size; ++li)
+                    out[li] *= d[(li >> bi) & 1];
+            } else {
+                // CZ: phase -1 where both acted-on bits are set.
+                const std::size_t b0 = static_cast<std::size_t>(
+                    localBit(slot.mask, g.qubits[0]));
+                const std::size_t b1 = static_cast<std::size_t>(
+                    localBit(slot.mask, g.qubits[1]));
+                const std::size_t both =
+                    (std::size_t{1} << b0) | (std::size_t{1} << b1);
+                for (std::size_t li = 0; li < size; ++li)
+                    if ((li & both) == both)
+                        out[li] = -out[li];
+            }
+        }
+        return;
+      }
+    }
+    throw std::logic_error("CompiledCircuit::evalSlot: unknown op kind");
+}
+
+void
+CompiledCircuit::bind(const std::vector<double> &params,
+                      std::vector<Complex> &pool) const
+{
+    if (params.size() != static_cast<std::size_t>(numParams_)) {
+        throw std::invalid_argument(
+            "CompiledCircuit::bind: expected " +
+            std::to_string(numParams_) + " parameters, got " +
+            std::to_string(params.size()));
+    }
+    pool.resize(bindPoolSize_);
+    for (const ParamSlot &slot : slots_)
+        evalSlot(slot, params, pool.data() + slot.offset);
+}
+
+namespace {
+
+std::atomic<int> g_fusionOverride{-1};
+
+} // namespace
+
+bool
+fusionEnabled()
+{
+    const int override_ = g_fusionOverride.load(std::memory_order_relaxed);
+    if (override_ >= 0)
+        return override_ != 0;
+    static const bool envDisabled =
+        std::getenv("QISMET_NO_FUSION") != nullptr;
+    return !envDisabled;
+}
+
+void
+setFusionEnabled(bool on)
+{
+    g_fusionOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace qismet

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Compiled-circuit execution layer: gate fusion and constant-matrix
+ * caching for the simulators.
+ *
+ * A `CompiledCircuit` lowers a `Circuit` once into a flat op-stream the
+ * simulators execute without touching `Gate::matrix` again:
+ *
+ *  - **Constant folding.** Every constant gate's dense matrix is
+ *    resolved at compile time into a shared matrix pool. Parameterized
+ *    gates become *parameter slots*: at run time `bind()` re-evaluates
+ *    only the parameter-dependent entries into a caller-owned scratch
+ *    pool, so one compiled circuit serves every (θ, thread) pair.
+ *  - **Greedy fusion.** Adjacent 1q gates on the same qubit fuse into a
+ *    single 2×2; 1q gates are absorbed into neighbouring 2q ops as 4×4
+ *    products (cost-gated — see `CompileOptions::absorb2q`); runs of
+ *    commuting diagonal gates (Z/S/T/RZ/CZ...) merge into one
+ *    multi-qubit diagonal table applied in a single pass; X·X, CX·CX
+ *    and SWAP·SWAP pairs cancel.
+ *  - **Kernel classification.** Each op carries a kind tag so the
+ *    simulators dispatch to specialized kernels: diagonal ops touch
+ *    each amplitude exactly once, permutation ops (X/CX/SWAP) move
+ *    amplitudes without arithmetic, and dense 2q ops enumerate their
+ *    dim/4 base indices directly via bit-deposit instead of
+ *    scan-and-skip.
+ *
+ * Determinism contract: compilation is a pure function of (circuit,
+ * options); executing a compiled circuit is bit-identical run-to-run
+ * and at every thread count. Fusion *does* change the floating-point
+ * summation order relative to the unfused gate-by-gate path, so
+ * results agree with the legacy path to ~1e-12, not bit-for-bit —
+ * golden traces were regenerated once when this layer landed
+ * (DESIGN.md §11). The escape hatch `QISMET_NO_FUSION=1` (or
+ * `setFusionEnabled(false)`, or `EstimatorConfig::compileCircuits =
+ * false`) restores the exact legacy path for A/B comparison.
+ */
+
+#ifndef QISMET_SIM_COMPILED_CIRCUIT_HPP
+#define QISMET_SIM_COMPILED_CIRCUIT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** Kernel selector for one compiled op. */
+enum class CompiledOpKind : std::uint8_t
+{
+    Dense1,   ///< Arbitrary 2×2 on one qubit.
+    Dense2,   ///< Arbitrary 4×4 on a qubit pair (q0 = most significant).
+    Diag,     ///< Diagonal over the qubits in `mask`; matrix = phase table.
+    PermX,    ///< Pauli-X: amplitude pair swap.
+    PermCX,   ///< Controlled-X: conditional pair swap (q0 = control).
+    PermSwap, ///< SWAP: cross-qubit amplitude exchange.
+};
+
+/** One executable op of a compiled circuit. */
+struct CompiledOp
+{
+    CompiledOpKind kind = CompiledOpKind::Dense1;
+    /** True when the matrix lives in the bind pool, not the const pool. */
+    bool parameterized = false;
+    /** Acting qubits; q0 is the most-significant local qubit (2q ops). */
+    int q0 = 0;
+    int q1 = 0;
+    /** Diag only: set of acted-on qubits. */
+    std::uint64_t mask = 0;
+    /**
+     * Offset of this op's matrix into the const pool (constant ops) or
+     * the bind pool (parameterized ops). Dense1/PermX: 4 entries
+     * row-major; Dense2/PermCX/PermSwap: 16; Diag: 2^popcount(mask)
+     * phase-table entries indexed by the gathered mask bits (ascending
+     * qubit order).
+     */
+    std::uint32_t offset = 0;
+};
+
+/** Fusion-pass accounting, for tests and compile-time introspection. */
+struct FusionStats
+{
+    std::size_t inputGates = 0; ///< Gates in the source circuit (I skipped).
+    std::size_t ops = 0;        ///< Compiled ops emitted.
+    std::size_t dense1 = 0;
+    std::size_t dense2 = 0;
+    std::size_t diag = 0;
+    std::size_t perm = 0;
+    std::size_t cancelled = 0;  ///< Gates removed by X·X / CX·CX / SWAP·SWAP.
+};
+
+/** Compilation policy knobs. */
+struct CompileOptions
+{
+    /** Master switch: false lowers one op per gate with no merging. */
+    bool fuse = true;
+
+    /** Cap on the qubit count of a merged diagonal run (table = 2^n). */
+    int maxDiagQubits = 10;
+
+    /**
+     * Whether dense 1q gates may absorb a neighbouring CX/SWAP into a
+     * dense 4×4 (losing the permutation fast path but saving a memory
+     * pass). `Auto` enables it only for wide registers where passes
+     * are memory-bound; small states are compute-bound and keep the
+     * permutation kernels.
+     */
+    enum class Absorb2q : std::uint8_t
+    {
+        Auto,
+        Always,
+        Never,
+    };
+    Absorb2q absorb2q = Absorb2q::Auto;
+
+    /** Register width at and above which `Auto` absorbs into 2q ops. */
+    int absorb2qAutoWidth = 14;
+};
+
+/**
+ * A circuit lowered to a flat op-stream with cached matrices.
+ *
+ * Immutable after construction and safe to share across threads: the
+ * parameter-dependent matrices are evaluated by `bind()` into a
+ * caller-owned pool, never into the compiled circuit itself.
+ */
+class CompiledCircuit
+{
+  public:
+    /** Compile `circuit` under the given options. */
+    explicit CompiledCircuit(const Circuit &circuit,
+                             CompileOptions options = {});
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    const std::vector<CompiledOp> &ops() const { return ops_; }
+    const FusionStats &stats() const { return stats_; }
+
+    /** Constant-matrix pool (offsets from constant ops point here). */
+    const std::vector<Complex> &constPool() const { return constPool_; }
+
+    /** Entries `bind()` writes; 0 when the circuit has no parameters. */
+    std::size_t bindPoolSize() const { return bindPoolSize_; }
+
+    /** True when at least one op depends on a circuit parameter. */
+    bool parameterized() const { return !slots_.empty(); }
+
+    /**
+     * Evaluate all parameter-dependent matrices for `params` into
+     * `pool` (resized to bindPoolSize()). Each simulator thread owns
+     * its own pool, keeping concurrent runs race-free.
+     * @throws std::invalid_argument on parameter-count mismatch.
+     */
+    void bind(const std::vector<double> &params,
+              std::vector<Complex> &pool) const;
+
+    /** Matrix storage for `op`, given the pool bind() filled. */
+    const Complex *matrixFor(const CompiledOp &op,
+                             const std::vector<Complex> &pool) const
+    {
+        return (op.parameterized ? pool.data() : constPool_.data()) +
+               op.offset;
+    }
+
+  private:
+    /**
+     * One multiplicative factor of a fused op, in application order.
+     * `sub` locates 1q factors inside a 2q op: 0 = the op's
+     * most-significant qubit (q0), 1 = q1, -1 = full-width factor.
+     */
+    struct ParamFactor
+    {
+        Gate gate;
+        int sub = -1;
+    };
+
+    /** Re-evaluation plan for one parameterized op. */
+    struct ParamSlot
+    {
+        CompiledOpKind kind = CompiledOpKind::Dense1;
+        std::uint32_t offset = 0;
+        std::uint64_t mask = 0;
+        int q0 = 0;
+        int q1 = 0;
+        std::vector<ParamFactor> factors;
+    };
+
+    void evalSlot(const ParamSlot &slot, const std::vector<double> &params,
+                  Complex *out) const;
+
+    int numQubits_ = 0;
+    int numParams_ = 0;
+    std::vector<CompiledOp> ops_;
+    std::vector<Complex> constPool_;
+    std::vector<ParamSlot> slots_;
+    std::size_t bindPoolSize_ = 0;
+    FusionStats stats_;
+};
+
+/**
+ * Scatter the low bits of `value` onto the set bits of `mask`
+ * (PDEP-style bit deposit). The kernels use this to enumerate the
+ * 2^k basis indices spanned by a k-qubit op directly, instead of
+ * scanning all dim indices and skipping.
+ */
+inline std::uint64_t
+depositBits(std::uint64_t value, std::uint64_t mask)
+{
+    std::uint64_t out = 0;
+    while (mask != 0) {
+        const std::uint64_t low = mask & (~mask + 1);
+        if ((value & 1u) != 0u)
+            out |= low;
+        mask ^= low;
+        value >>= 1;
+    }
+    return out;
+}
+
+/**
+ * Global compile-on/off switch the simulators consult: true unless the
+ * `QISMET_NO_FUSION` environment variable is set (read once) or
+ * `setFusionEnabled(false)` was called. With fusion disabled,
+ * `Statevector::run(Circuit)` / `DensityMatrix::run(Circuit)` take the
+ * original gate-by-gate path bit-for-bit.
+ */
+bool fusionEnabled();
+
+/** Programmatic override of the fusion switch (tests, A/B benches). */
+void setFusionEnabled(bool on);
+
+/**
+ * Minimum state size (amplitudes for a statevector, elements for a
+ * density matrix) at which `run(Circuit)` auto-compiles before
+ * executing. Below it the one-shot compile costs more than the sweep it
+ * saves, so the legacy per-gate path runs instead. Irrelevant to
+ * callers holding a CompiledCircuit, who have already paid the compile.
+ */
+inline constexpr std::size_t kAutoCompileAmplitudes = 64;
+
+} // namespace qismet
+
+#endif // QISMET_SIM_COMPILED_CIRCUIT_HPP

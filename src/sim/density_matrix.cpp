@@ -1,9 +1,42 @@
 #include "sim/density_matrix.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 namespace qismet {
+
+namespace {
+
+/** out = m† for a row-major w x w matrix. */
+void
+adjointInto(const Complex *m, int w, Complex *out)
+{
+    for (int r = 0; r < w; ++r)
+        for (int c = 0; c < w; ++c)
+            out[c * w + r] = std::conj(m[r * w + c]);
+}
+
+/** k-th index with bit `b` clear, counting upward (bit-deposit). */
+std::size_t
+depositOne(std::size_t k, std::size_t b)
+{
+    return (k & (b - 1)) | ((k << 1) & ~((b << 1) - 1));
+}
+
+/** k-th index with bits b1|b0 clear, counting upward. */
+std::size_t
+depositTwo(std::size_t k, std::size_t b1, std::size_t b0)
+{
+    const std::size_t lo = b1 < b0 ? b1 : b0;
+    const std::size_t hi = b1 < b0 ? b0 : b1;
+    const std::size_t mLow = lo - 1;
+    const std::size_t mMid = (hi - 1) & ~((lo << 1) - 1);
+    const std::size_t mHigh = ~((hi << 1) - 1);
+    return (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
+}
+
+} // namespace
 
 DensityMatrix::DensityMatrix(int num_qubits) : numQubits_(num_qubits)
 {
@@ -39,11 +72,11 @@ DensityMatrix::checkQubit(int q) const
 }
 
 void
-DensityMatrix::applyLeft1q(int q, const Matrix &m,
+DensityMatrix::applyLeft1q(int q, const Complex *m,
                            std::vector<Complex> &rho) const
 {
     const std::size_t stride = std::size_t{1} << q;
-    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
     for (std::size_t base = 0; base < dim_; base += 2 * stride) {
         for (std::size_t off = 0; off < stride; ++off) {
             const std::size_t r0 = base + off;
@@ -59,11 +92,11 @@ DensityMatrix::applyLeft1q(int q, const Matrix &m,
 }
 
 void
-DensityMatrix::applyRight1q(int q, const Matrix &m,
+DensityMatrix::applyRight1q(int q, const Complex *m,
                             std::vector<Complex> &rho) const
 {
     const std::size_t stride = std::size_t{1} << q;
-    const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
     for (std::size_t base = 0; base < dim_; base += 2 * stride) {
         for (std::size_t off = 0; off < stride; ++off) {
             const std::size_t c0 = base + off;
@@ -79,7 +112,7 @@ DensityMatrix::applyRight1q(int q, const Matrix &m,
 }
 
 void
-DensityMatrix::applyLeft2q(int q1, int q0, const Matrix &m,
+DensityMatrix::applyLeft2q(int q1, int q0, const Complex *m,
                            std::vector<Complex> &rho) const
 {
     const std::size_t b1 = std::size_t{1} << q1;
@@ -95,7 +128,7 @@ DensityMatrix::applyLeft2q(int q1, int q0, const Matrix &m,
             for (int r = 0; r < 4; ++r) {
                 Complex acc(0.0, 0.0);
                 for (int k = 0; k < 4; ++k)
-                    acc += m(r, k) * in[k];
+                    acc += m[r * 4 + k] * in[k];
                 rho[rows[r] * dim_ + c] = acc;
             }
         }
@@ -103,7 +136,7 @@ DensityMatrix::applyLeft2q(int q1, int q0, const Matrix &m,
 }
 
 void
-DensityMatrix::applyRight2q(int q1, int q0, const Matrix &m,
+DensityMatrix::applyRight2q(int q1, int q0, const Complex *m,
                             std::vector<Complex> &rho) const
 {
     const std::size_t b1 = std::size_t{1} << q1;
@@ -119,7 +152,7 @@ DensityMatrix::applyRight2q(int q1, int q0, const Matrix &m,
             for (int c = 0; c < 4; ++c) {
                 Complex acc(0.0, 0.0);
                 for (int k = 0; k < 4; ++k)
-                    acc += in[k] * m(k, c);
+                    acc += in[k] * m[k * 4 + c];
                 rho[r * dim_ + cols[c]] = acc;
             }
         }
@@ -129,17 +162,51 @@ DensityMatrix::applyRight2q(int q1, int q0, const Matrix &m,
 void
 DensityMatrix::applyGate(const Gate &gate, const std::vector<double> &params)
 {
-    const Matrix u = gate.matrix(params);
-    const Matrix udag = u.adjoint();
+    // Stack storage for the unitary and its adjoint: no per-gate heap
+    // allocation on the conjugation path.
+    Complex u[16];
+    Complex udag[16];
     if (gateArity(gate.type) == 1) {
         checkQubit(gate.qubits[0]);
+        gate.matrixInto(u, params);
+        adjointInto(u, 2, udag);
         applyLeft1q(gate.qubits[0], u, rho_);
         applyRight1q(gate.qubits[0], udag, rho_);
     } else {
         checkQubit(gate.qubits[0]);
         checkQubit(gate.qubits[1]);
+        gate.matrixInto(u, params);
+        adjointInto(u, 4, udag);
         applyLeft2q(gate.qubits[0], gate.qubits[1], u, rho_);
         applyRight2q(gate.qubits[0], gate.qubits[1], udag, rho_);
+    }
+}
+
+void
+DensityMatrix::lowerKrausOperators(const KrausChannel &channel, int w)
+{
+    const auto &ops = channel.operators();
+    if (sparseOps_.size() < ops.size()) {
+        sparseOps_.resize(ops.size());
+        ++scratchAllocs_;
+    }
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+        const Matrix &k = ops[o];
+        SparseKraus &s = sparseOps_[o];
+        for (int r = 0; r < w; ++r) {
+            int nnz = 0;
+            for (int c = 0; c < w; ++c) {
+                const Complex v = k(static_cast<std::size_t>(r),
+                                    static_cast<std::size_t>(c));
+                if (v != Complex(0.0, 0.0)) {
+                    s.col[r][nnz] = c;
+                    s.val[r][nnz] = v;
+                    s.cval[r][nnz] = std::conj(v);
+                    ++nnz;
+                }
+            }
+            s.nnz[r] = nnz;
+        }
     }
 }
 
@@ -147,21 +214,104 @@ void
 DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
                              const KrausChannel &channel)
 {
-    std::vector<Complex> acc(dim_ * dim_, Complex(0.0, 0.0));
-    for (const Matrix &k : channel.operators()) {
-        std::vector<Complex> term = rho_;
-        const Matrix kdag = k.adjoint();
-        if (qubits.size() == 1) {
-            applyLeft1q(qubits[0], k, term);
-            applyRight1q(qubits[0], kdag, term);
-        } else {
-            applyLeft2q(qubits[0], qubits[1], k, term);
-            applyRight2q(qubits[0], qubits[1], kdag, term);
+    // K acts on a fixed 2- or 4-dimensional local subspace, so each
+    // (row-block, col-block) tile of ρ maps onto itself:
+    //   out[rows[r], cols[c]] = Σ_k Σ_ab K_k[r,a] ρ[rows[a], cols[b]] K̄_k[c,b]
+    // Load the tile once, accumulate every operator's contribution
+    // through the sparse row forms, and write it back — fully in place,
+    // one pass over ρ, no per-channel buffers at all. Noise operators
+    // are (near-)Paulis with 1-2 nonzeros per row, so the inner sums
+    // collapse accordingly.
+    const std::size_t numOps = channel.operators().size();
+
+    if (qubits.size() == 1) {
+        lowerKrausOperators(channel, 2);
+        const std::size_t b = std::size_t{1} << qubits[0];
+        const std::size_t half = dim_ >> 1;
+        for (std::size_t ri = 0; ri < half; ++ri) {
+            const std::size_t rb = depositOne(ri, b);
+            const std::size_t rows[2] = {rb, rb | b};
+            for (std::size_t ci = 0; ci < half; ++ci) {
+                const std::size_t cb = depositOne(ci, b);
+                const std::size_t cols[2] = {cb, cb | b};
+                Complex blk[2][2];
+                for (int a = 0; a < 2; ++a)
+                    for (int bb = 0; bb < 2; ++bb)
+                        blk[a][bb] = rho_[rows[a] * dim_ + cols[bb]];
+                Complex out[2][2] = {{Complex(0.0, 0.0), Complex(0.0, 0.0)},
+                                     {Complex(0.0, 0.0), Complex(0.0, 0.0)}};
+                for (std::size_t o = 0; o < numOps; ++o) {
+                    const SparseKraus &s = sparseOps_[o];
+                    Complex t[2][2];
+                    for (int r = 0; r < 2; ++r) {
+                        t[r][0] = t[r][1] = Complex(0.0, 0.0);
+                        for (int e = 0; e < s.nnz[r]; ++e) {
+                            const Complex v = s.val[r][e];
+                            const int a = s.col[r][e];
+                            t[r][0] += v * blk[a][0];
+                            t[r][1] += v * blk[a][1];
+                        }
+                    }
+                    for (int c = 0; c < 2; ++c)
+                        for (int e = 0; e < s.nnz[c]; ++e) {
+                            const Complex cv = s.cval[c][e];
+                            const int bb = s.col[c][e];
+                            out[0][c] += t[0][bb] * cv;
+                            out[1][c] += t[1][bb] * cv;
+                        }
+                }
+                for (int r = 0; r < 2; ++r)
+                    for (int c = 0; c < 2; ++c)
+                        rho_[rows[r] * dim_ + cols[c]] = out[r][c];
+            }
         }
-        for (std::size_t i = 0; i < acc.size(); ++i)
-            acc[i] += term[i];
+        return;
     }
-    rho_ = std::move(acc);
+
+    lowerKrausOperators(channel, 4);
+    const std::size_t b1 = std::size_t{1} << qubits[0];
+    const std::size_t b0 = std::size_t{1} << qubits[1];
+    const std::size_t quarter = dim_ >> 2;
+    for (std::size_t ri = 0; ri < quarter; ++ri) {
+        const std::size_t rb = depositTwo(ri, b1, b0);
+        const std::size_t rows[4] = {rb, rb | b0, rb | b1, rb | b1 | b0};
+        for (std::size_t ci = 0; ci < quarter; ++ci) {
+            const std::size_t cb = depositTwo(ci, b1, b0);
+            const std::size_t cols[4] = {cb, cb | b0, cb | b1, cb | b1 | b0};
+            Complex blk[4][4];
+            for (int a = 0; a < 4; ++a)
+                for (int bb = 0; bb < 4; ++bb)
+                    blk[a][bb] = rho_[rows[a] * dim_ + cols[bb]];
+            Complex out[4][4];
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    out[r][c] = Complex(0.0, 0.0);
+            for (std::size_t o = 0; o < numOps; ++o) {
+                const SparseKraus &s = sparseOps_[o];
+                Complex t[4][4];
+                for (int r = 0; r < 4; ++r) {
+                    t[r][0] = t[r][1] = t[r][2] = t[r][3] =
+                        Complex(0.0, 0.0);
+                    for (int e = 0; e < s.nnz[r]; ++e) {
+                        const Complex v = s.val[r][e];
+                        const int a = s.col[r][e];
+                        for (int bb = 0; bb < 4; ++bb)
+                            t[r][bb] += v * blk[a][bb];
+                    }
+                }
+                for (int c = 0; c < 4; ++c)
+                    for (int e = 0; e < s.nnz[c]; ++e) {
+                        const Complex cv = s.cval[c][e];
+                        const int bb = s.col[c][e];
+                        for (int r = 0; r < 4; ++r)
+                            out[r][c] += t[r][bb] * cv;
+                    }
+            }
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    rho_[rows[r] * dim_ + cols[c]] = out[r][c];
+        }
+    }
 }
 
 void
@@ -190,8 +340,77 @@ DensityMatrix::run(const Circuit &circuit, const std::vector<double> &params)
 {
     if (circuit.numQubits() != numQubits_)
         throw std::invalid_argument("DensityMatrix::run: width mismatch");
+    // Same amortization rule as Statevector::run, against the dim^2
+    // elements a density-matrix sweep touches.
+    if (fusionEnabled() && dim_ * dim_ >= kAutoCompileAmplitudes) {
+        run(CompiledCircuit(circuit), params);
+        return;
+    }
     for (const Gate &g : circuit.gates())
         applyGate(g, params);
+}
+
+void
+DensityMatrix::run(const CompiledCircuit &circuit,
+                   const std::vector<double> &params)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("DensityMatrix::run: width mismatch");
+    if (circuit.parameterized()) {
+        if (bindPool_.capacity() < circuit.bindPoolSize())
+            ++scratchAllocs_;
+        circuit.bind(params, bindPool_);
+    }
+    Complex adj[16];
+    for (const CompiledOp &op : circuit.ops()) {
+        const Complex *m = circuit.matrixFor(op, bindPool_);
+        switch (op.kind) {
+          case CompiledOpKind::Dense1:
+          case CompiledOpKind::PermX:
+            adjointInto(m, 2, adj);
+            applyLeft1q(op.q0, m, rho_);
+            applyRight1q(op.q0, adj, rho_);
+            break;
+          case CompiledOpKind::Dense2:
+          case CompiledOpKind::PermCX:
+          case CompiledOpKind::PermSwap:
+            adjointInto(m, 4, adj);
+            applyLeft2q(op.q0, op.q1, m, rho_);
+            applyRight2q(op.q0, op.q1, adj, rho_);
+            break;
+          case CompiledOpKind::Diag:
+            applyDiagConjugation(op.mask, m);
+            break;
+        }
+    }
+}
+
+void
+DensityMatrix::applyDiagConjugation(std::uint64_t mask, const Complex *table)
+{
+    // Expand the op's phase table to a per-row phase vector once, then
+    // sweep ρ a single time: ρ[r,c] *= d[r] * conj(d[c]).
+    if (diagPhase_.capacity() < dim_)
+        ++scratchAllocs_;
+    diagPhase_.resize(dim_);
+    const std::uint64_t comp = (dim_ - 1) & ~mask;
+    const int t = std::popcount(mask);
+    const std::uint64_t entries = std::uint64_t{1} << t;
+    for (std::uint64_t li = 0; li < entries; ++li) {
+        const Complex d = table[li];
+        const std::uint64_t fixed = depositBits(li, mask);
+        std::uint64_t s = 0;
+        do {
+            diagPhase_[fixed | s] = d;
+            s = (s - comp) & comp;
+        } while (s != 0);
+    }
+    for (std::size_t r = 0; r < dim_; ++r) {
+        const Complex pr = diagPhase_[r];
+        Complex *row = rho_.data() + r * dim_;
+        for (std::size_t c = 0; c < dim_; ++c)
+            row[c] *= pr * std::conj(diagPhase_[c]);
+    }
 }
 
 double

@@ -16,6 +16,7 @@
 
 #include "circuit/circuit.hpp"
 #include "common/matrix.hpp"
+#include "sim/compiled_circuit.hpp"
 #include "sim/kraus.hpp"
 #include "sim/statevector.hpp"
 
@@ -52,8 +53,24 @@ class DensityMatrix
     /** Apply a 2-qubit channel to (q1, q0), q1 = most significant. */
     void applyChannel2q(int q1, int q0, const KrausChannel &channel);
 
-    /** Run a noiseless circuit. */
+    /**
+     * Run a noiseless circuit. With fusion enabled (fusionEnabled())
+     * the circuit is compiled and executed through the fused kernels;
+     * otherwise the original gate-by-gate path runs bit-for-bit.
+     */
     void run(const Circuit &circuit, const std::vector<double> &params = {});
+
+    /** Run a pre-compiled circuit (compile once, conjugate many). */
+    void run(const CompiledCircuit &circuit,
+             const std::vector<double> &params = {});
+
+    /**
+     * Number of times a member scratch buffer had to (re)allocate.
+     * Steady-state noisy simulation reuses warm scratch, so this
+     * counter stays flat across repeated channel/gate applications —
+     * the perf bench asserts exactly that.
+     */
+    std::size_t scratchAllocCount() const { return scratchAllocs_; }
 
     /** Trace of the density matrix (should stay 1). */
     double trace() const;
@@ -71,24 +88,47 @@ class DensityMatrix
     double expectation(const Matrix &observable) const;
 
   private:
+    /**
+     * Sparse row form of one Kraus operator (every gate-level operator
+     * here is at most 4x4, and noise operators are near-Pauli, so rows
+     * hold 1-2 nonzeros). `cval` caches the conjugates for the K† side.
+     */
+    struct SparseKraus
+    {
+        int nnz[4] = {0, 0, 0, 0};
+        int col[4][4] = {};
+        Complex val[4][4];
+        Complex cval[4][4];
+    };
+
     void checkQubit(int q) const;
-    /** ρ → Mρ restricted to qubit q (M is 2x2). */
-    void applyLeft1q(int q, const Matrix &m, std::vector<Complex> &rho) const;
-    /** ρ → ρM restricted to qubit q (M is 2x2). */
-    void applyRight1q(int q, const Matrix &m, std::vector<Complex> &rho) const;
-    /** ρ → Mρ restricted to (q1, q0) (M is 4x4, q1 most significant). */
-    void applyLeft2q(int q1, int q0, const Matrix &m,
+    /** ρ → Mρ restricted to qubit q (M is 2x2 row-major). */
+    void applyLeft1q(int q, const Complex *m, std::vector<Complex> &rho) const;
+    /** ρ → ρM restricted to qubit q (M is 2x2 row-major). */
+    void applyRight1q(int q, const Complex *m,
+                      std::vector<Complex> &rho) const;
+    /** ρ → Mρ restricted to (q1, q0) (M 4x4 row-major, q1 most signif.). */
+    void applyLeft2q(int q1, int q0, const Complex *m,
                      std::vector<Complex> &rho) const;
     /** ρ → ρM restricted to (q1, q0). */
-    void applyRight2q(int q1, int q0, const Matrix &m,
+    void applyRight2q(int q1, int q0, const Complex *m,
                       std::vector<Complex> &rho) const;
-    /** ρ → Σ_k K_k ρ K_k† for 1- or 2-qubit Kraus sets. */
+    /** ρ → D ρ D† for a diagonal op over `mask` (compiled Diag kernel). */
+    void applyDiagConjugation(std::uint64_t mask, const Complex *table);
+    /** ρ → Σ_k K_k ρ K_k† for 1- or 2-qubit Kraus sets, in place. */
     void applyKrausSum(const std::vector<int> &qubits,
                        const KrausChannel &channel);
+    /** Lower the channel's operators into sparseOps_ (w = 2 or 4). */
+    void lowerKrausOperators(const KrausChannel &channel, int w);
 
     int numQubits_;
     std::size_t dim_;
     std::vector<Complex> rho_; // row-major dim_ x dim_
+    /** Member scratch, reused across calls (see scratchAllocCount). */
+    std::vector<SparseKraus> sparseOps_;
+    std::vector<Complex> bindPool_;
+    std::vector<Complex> diagPhase_;
+    std::size_t scratchAllocs_ = 0;
 };
 
 } // namespace qismet

@@ -56,6 +56,14 @@ ShotSampler::sample(const std::vector<double> &probs, int num_qubits,
         acc += std::max(0.0, probs[i]);
         cdf[i] = acc;
     }
+    return sampleFromCdf(cdf, num_qubits, shots, rng);
+}
+
+Counts
+ShotSampler::sampleFromCdf(const std::vector<double> &cdf, int num_qubits,
+                           std::size_t shots, Rng &rng) const
+{
+    const double acc = cdf.back();
     if (acc <= 0.0)
         throw std::invalid_argument("ShotSampler: all-zero distribution");
 
@@ -74,7 +82,8 @@ Counts
 ShotSampler::sample(const Statevector &state, std::size_t shots,
                     Rng &rng) const
 {
-    return sample(state.probabilities(), state.numQubits(), shots, rng);
+    return sampleFromCdf(state.cumulativeProbabilities(), state.numQubits(),
+                         shots, rng);
 }
 
 std::vector<Counts>

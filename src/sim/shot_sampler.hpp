@@ -56,7 +56,12 @@ class ShotSampler
     Counts sample(const std::vector<double> &probs, int num_qubits,
                   std::size_t shots, Rng &rng) const;
 
-    /** Convenience overload sampling directly from a statevector. */
+    /**
+     * Convenience overload sampling directly from a statevector.
+     * Reuses the state's cached CDF (Statevector::
+     * cumulativeProbabilities), so repeated sampling of an unchanged
+     * state skips both the probability copy and the CDF rebuild.
+     */
     Counts sample(const Statevector &state, std::size_t shots,
                   Rng &rng) const;
 
@@ -79,6 +84,8 @@ class ShotSampler
   private:
     std::uint64_t applyReadout(std::uint64_t bits, int num_qubits,
                                Rng &rng) const;
+    Counts sampleFromCdf(const std::vector<double> &cdf, int num_qubits,
+                         std::size_t shots, Rng &rng) const;
 
     std::vector<ReadoutError> readout_;
 };

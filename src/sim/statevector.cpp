@@ -29,6 +29,7 @@ Statevector::reset()
 {
     std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
     amps_[0] = Complex(1.0, 0.0);
+    invalidateCache();
 }
 
 void
@@ -44,6 +45,7 @@ Statevector::apply1q(int q, const Matrix &u)
     checkQubit(q);
     if (u.rows() != 2 || u.cols() != 2)
         throw std::invalid_argument("Statevector::apply1q: matrix not 2x2");
+    invalidateCache();
 
     const std::uint64_t stride = std::uint64_t{1} << q;
     const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
@@ -69,6 +71,7 @@ Statevector::apply2q(int q1, int q0, const Matrix &u)
         throw std::invalid_argument("Statevector::apply2q: equal qubits");
     if (u.rows() != 4 || u.cols() != 4)
         throw std::invalid_argument("Statevector::apply2q: matrix not 4x4");
+    invalidateCache();
 
     const std::uint64_t b1 = std::uint64_t{1} << q1;
     const std::uint64_t b0 = std::uint64_t{1} << q0;
@@ -93,6 +96,7 @@ Statevector::apply2q(int q1, int q0, const Matrix &u)
 void
 Statevector::applyGate(const Gate &gate, const std::vector<double> &params)
 {
+    invalidateCache();
     // Fast paths for the common entanglers; everything else goes through
     // the dense matrix.
     switch (gate.type) {
@@ -142,8 +146,198 @@ Statevector::run(const Circuit &circuit, const std::vector<double> &params)
 {
     if (circuit.numQubits() != numQubits_)
         throw std::invalid_argument("Statevector::run: width mismatch");
+    // One-shot compile only pays for itself once the per-gate sweep
+    // touches enough amplitudes; below that the legacy loop wins.
+    // Callers that rerun a circuit should hold a CompiledCircuit (the
+    // energy estimator does), which always uses the fused kernels.
+    if (fusionEnabled() && amps_.size() >= kAutoCompileAmplitudes) {
+        run(CompiledCircuit(circuit), params);
+        return;
+    }
     for (const Gate &g : circuit.gates())
         applyGate(g, params);
+}
+
+void
+Statevector::run(const CompiledCircuit &circuit,
+                 const std::vector<double> &params)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("Statevector::run: width mismatch");
+    invalidateCache();
+    if (circuit.parameterized())
+        circuit.bind(params, bindPool_);
+    for (const CompiledOp &op : circuit.ops()) {
+        const Complex *m = circuit.matrixFor(op, bindPool_);
+        switch (op.kind) {
+          case CompiledOpKind::Dense1:
+            applyDense1(op.q0, m);
+            break;
+          case CompiledOpKind::Dense2:
+            applyDense2(op.q0, op.q1, m);
+            break;
+          case CompiledOpKind::Diag:
+            applyDiag(op.mask, m);
+            break;
+          case CompiledOpKind::PermX:
+            applyPermX(op.q0);
+            break;
+          case CompiledOpKind::PermCX:
+            applyPermCX(op.q0, op.q1);
+            break;
+          case CompiledOpKind::PermSwap:
+            applyPermSwap(op.q0, op.q1);
+            break;
+        }
+    }
+}
+
+void
+Statevector::applyDense1(int q, const Complex *m)
+{
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    const Complex u00 = m[0], u01 = m[1], u10 = m[2], u11 = m[3];
+
+    if (u00.imag() == 0.0 && u01.imag() == 0.0 && u10.imag() == 0.0 &&
+        u11.imag() == 0.0) {
+        // Real matrix (H, RY, X-basis changes): half the multiplies.
+        const double r00 = u00.real(), r01 = u01.real();
+        const double r10 = u10.real(), r11 = u11.real();
+        for (std::uint64_t base = 0; base < amps_.size();
+             base += 2 * stride) {
+            for (std::uint64_t offset = 0; offset < stride; ++offset) {
+                const std::uint64_t i0 = base + offset;
+                const std::uint64_t i1 = i0 + stride;
+                const Complex a0 = amps_[i0];
+                const Complex a1 = amps_[i1];
+                amps_[i0] = Complex(r00 * a0.real() + r01 * a1.real(),
+                                    r00 * a0.imag() + r01 * a1.imag());
+                amps_[i1] = Complex(r10 * a0.real() + r11 * a1.real(),
+                                    r10 * a0.imag() + r11 * a1.imag());
+            }
+        }
+        return;
+    }
+
+    for (std::uint64_t base = 0; base < amps_.size(); base += 2 * stride) {
+        for (std::uint64_t offset = 0; offset < stride; ++offset) {
+            const std::uint64_t i0 = base + offset;
+            const std::uint64_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = u00 * a0 + u01 * a1;
+            amps_[i1] = u10 * a0 + u11 * a1;
+        }
+    }
+}
+
+void
+Statevector::applyDense2(int qm, int ql, const Complex *m)
+{
+    // Enumerate the dim/4 base indices directly: deposit the counter's
+    // bits around the two acted-on bit positions instead of scanning
+    // all dim indices and skipping 3 of every 4.
+    const std::uint64_t bm = std::uint64_t{1} << qm;
+    const std::uint64_t bl = std::uint64_t{1} << ql;
+    const int pLow = qm < ql ? qm : ql;
+    const int pHigh = qm < ql ? ql : qm;
+    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
+    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
+                               ~((std::uint64_t{2} << pLow) - 1);
+    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
+    const std::uint64_t quarter = amps_.size() >> 2;
+
+    for (std::uint64_t k = 0; k < quarter; ++k) {
+        const std::uint64_t base =
+            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
+        // Local index: bit1 = qubit qm state, bit0 = qubit ql state.
+        const std::uint64_t idx[4] = {base, base | bl, base | bm,
+                                      base | bm | bl};
+        Complex in[4];
+        for (int c = 0; c < 4; ++c)
+            in[c] = amps_[idx[c]];
+        for (int r = 0; r < 4; ++r) {
+            Complex acc(0.0, 0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += m[r * 4 + c] * in[c];
+            amps_[idx[r]] = acc;
+        }
+    }
+}
+
+void
+Statevector::applyDiag(std::uint64_t mask, const Complex *table)
+{
+    // One multiply per amplitude: for each table entry, walk the
+    // complement subspace (all indices whose masked bits equal the
+    // entry's pattern) with the subset-increment trick.
+    const std::uint64_t comp = (amps_.size() - 1) & ~mask;
+    const int t = std::popcount(mask);
+    const std::uint64_t entries = std::uint64_t{1} << t;
+    const Complex one(1.0, 0.0);
+
+    for (std::uint64_t li = 0; li < entries; ++li) {
+        const Complex d = table[li];
+        if (d == one)
+            continue; // common for merged CZ/S/T runs
+        const std::uint64_t fixed = depositBits(li, mask);
+        std::uint64_t s = 0;
+        do {
+            amps_[fixed | s] *= d;
+            s = (s - comp) & comp;
+        } while (s != 0);
+    }
+}
+
+void
+Statevector::applyPermX(int q)
+{
+    const std::uint64_t b = std::uint64_t{1} << q;
+    const std::uint64_t mLow = b - 1;
+    const std::uint64_t mHigh = ~((b << 1) - 1);
+    const std::uint64_t half = amps_.size() >> 1;
+    for (std::uint64_t k = 0; k < half; ++k) {
+        const std::uint64_t i = (k & mLow) | ((k << 1) & mHigh);
+        std::swap(amps_[i], amps_[i | b]);
+    }
+}
+
+void
+Statevector::applyPermCX(int qc, int qt)
+{
+    const std::uint64_t bc = std::uint64_t{1} << qc;
+    const std::uint64_t bt = std::uint64_t{1} << qt;
+    const int pLow = qc < qt ? qc : qt;
+    const int pHigh = qc < qt ? qt : qc;
+    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
+    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
+                               ~((std::uint64_t{2} << pLow) - 1);
+    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
+    const std::uint64_t quarter = amps_.size() >> 2;
+    for (std::uint64_t k = 0; k < quarter; ++k) {
+        const std::uint64_t base =
+            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
+        std::swap(amps_[base | bc], amps_[base | bc | bt]);
+    }
+}
+
+void
+Statevector::applyPermSwap(int qa, int qb)
+{
+    const std::uint64_t ba = std::uint64_t{1} << qa;
+    const std::uint64_t bb = std::uint64_t{1} << qb;
+    const int pLow = qa < qb ? qa : qb;
+    const int pHigh = qa < qb ? qb : qa;
+    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
+    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
+                               ~((std::uint64_t{2} << pLow) - 1);
+    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
+    const std::uint64_t quarter = amps_.size() >> 2;
+    for (std::uint64_t k = 0; k < quarter; ++k) {
+        const std::uint64_t base =
+            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
+        std::swap(amps_[base | ba], amps_[base | bb]);
+    }
 }
 
 double
@@ -195,21 +389,34 @@ Statevector::normalize()
     const double n = norm();
     if (n <= 0.0)
         throw std::runtime_error("Statevector::normalize: zero state");
+    invalidateCache();
     for (auto &a : amps_)
         a /= n;
+}
+
+const std::vector<double> &
+Statevector::cumulativeProbabilities() const
+{
+    if (!cdfValid_) {
+        cdf_.resize(amps_.size());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            acc += std::norm(amps_[i]);
+            cdf_[i] = acc;
+        }
+        cdfValid_ = true;
+    }
+    return cdf_;
 }
 
 std::vector<std::uint64_t>
 Statevector::sample(Rng &rng, std::size_t shots) const
 {
     // Inverse-CDF sampling over the cumulative distribution; for the
-    // small dims here a binary search per shot is fast enough.
-    std::vector<double> cdf(amps_.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        acc += std::norm(amps_[i]);
-        cdf[i] = acc;
-    }
+    // small dims here a binary search per shot is fast enough. The CDF
+    // itself is cached across calls until the state mutates.
+    const std::vector<double> &cdf = cumulativeProbabilities();
+    const double acc = cdf.back();
     std::vector<std::uint64_t> out;
     out.reserve(shots);
     for (std::size_t s = 0; s < shots; ++s) {

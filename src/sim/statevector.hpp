@@ -17,6 +17,7 @@
 #include "circuit/circuit.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "sim/compiled_circuit.hpp"
 
 namespace qismet {
 
@@ -50,8 +51,23 @@ class Statevector
      */
     void apply2q(int q1, int q0, const Matrix &u);
 
-    /** Run a whole circuit. */
+    /**
+     * Run a whole circuit. With fusion enabled (the default, see
+     * fusionEnabled()) the circuit is compiled and executed through the
+     * fused kernels; otherwise the original gate-by-gate path runs
+     * bit-for-bit.
+     */
     void run(const Circuit &circuit, const std::vector<double> &params = {});
+
+    /**
+     * Run a pre-compiled circuit. This is the hot path: callers that
+     * execute the same circuit many times (the VQE estimator) compile
+     * once and reuse. Parameter-dependent matrices are bound into this
+     * statevector's own scratch pool, so distinct Statevector instances
+     * may run the same CompiledCircuit concurrently.
+     */
+    void run(const CompiledCircuit &circuit,
+             const std::vector<double> &params = {});
 
     /** Probability of the basis state with the given index. */
     double probability(std::uint64_t basis_state) const;
@@ -73,19 +89,48 @@ class Statevector
 
     /**
      * Sample shot basis-state indices from the current distribution.
+     * Reuses the cached CDF (see cumulativeProbabilities()), so
+     * repeated sampling of an unchanged state pays the CDF build once.
      * @param rng Source of randomness.
      * @param shots Number of samples.
      */
     std::vector<std::uint64_t> sample(Rng &rng, std::size_t shots) const;
+
+    /**
+     * Cumulative probability vector (prefix sums of |amplitude|^2),
+     * built lazily and cached until the next state mutation. Shared
+     * with ShotSampler so neither rebuilds the CDF per call.
+     *
+     * The cache makes concurrent first calls on the *same* object a
+     * data race; concurrent samplers each run their own copy of the
+     * state (as the energy estimator already does).
+     */
+    const std::vector<double> &cumulativeProbabilities() const;
 
     /** <Z_mask> where mask selects the qubits whose parities multiply. */
     double expectationZMask(std::uint64_t mask) const;
 
   private:
     void checkQubit(int q) const;
+    /** Drop caches that depend on the amplitudes (the sampling CDF). */
+    void invalidateCache() { cdfValid_ = false; }
+
+    // Fused kernels for the compiled op stream. Matrices are row-major
+    // raw pointers into a compiled circuit's const/bind pool.
+    void applyDense1(int q, const Complex *m);
+    void applyDense2(int qm, int ql, const Complex *m);
+    void applyDiag(std::uint64_t mask, const Complex *table);
+    void applyPermX(int q);
+    void applyPermCX(int qc, int qt);
+    void applyPermSwap(int qa, int qb);
 
     int numQubits_;
     std::vector<Complex> amps_;
+    /** Scratch for CompiledCircuit::bind (reused across runs). */
+    std::vector<Complex> bindPool_;
+    /** Lazily built sampling CDF; valid only while cdfValid_. */
+    mutable std::vector<double> cdf_;
+    mutable bool cdfValid_ = false;
 };
 
 } // namespace qismet

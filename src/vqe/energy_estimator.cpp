@@ -39,6 +39,16 @@ EnergyEstimator::EnergyEstimator(PauliSum hamiltonian,
         basisChanges_.push_back(
             basisChangeCircuit(g, hamiltonian_.numQubits()));
 
+    // Compile the per-iteration circuits once; thousands of estimate()
+    // calls then skip both per-gate matrix derivation and the fusion
+    // pass itself.
+    if (config_.compileCircuits) {
+        compiledAnsatz_.emplace(ansatz_);
+        compiledBasisChanges_.reserve(basisChanges_.size());
+        for (const auto &bc : basisChanges_)
+            compiledBasisChanges_.emplace_back(bc);
+    }
+
     if (noise_) {
         staticSurvival_ = noise_->survivalFactor(ansatz_);
         sampler_.emplace(noise_->readoutErrors(ansatz_.numQubits()));
@@ -49,11 +59,23 @@ EnergyEstimator::EnergyEstimator(PauliSum hamiltonian,
     }
 }
 
+void
+EnergyEstimator::prepareState(Statevector &state,
+                              const std::vector<double> &theta) const
+{
+    // fusionEnabled() is consulted at call time so the QISMET_NO_FUSION
+    // escape hatch also bypasses circuits compiled at construction.
+    if (compiledAnsatz_ && fusionEnabled())
+        state.run(*compiledAnsatz_, theta);
+    else
+        state.run(ansatz_, theta);
+}
+
 double
 EnergyEstimator::idealEnergy(const std::vector<double> &theta) const
 {
     Statevector state(ansatz_.numQubits());
-    state.run(ansatz_, theta);
+    prepareState(state, theta);
     return expectation(state, hamiltonian_);
 }
 
@@ -114,7 +136,7 @@ EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
                                   double shot_fraction) const
 {
     Statevector state(ansatz_.numQubits());
-    state.run(ansatz_, theta);
+    prepareState(state, theta);
 
     const double f = effectiveSurvival(tau, transientSensitivity(state));
 
@@ -164,7 +186,7 @@ EnergyEstimator::estimateSampling(const std::vector<double> &theta,
     const double uniform = 1.0 / static_cast<double>(dim);
 
     Statevector prepared(n);
-    prepared.run(ansatz_, theta);
+    prepareState(prepared, theta);
     const double f =
         effectiveSurvival(tau, transientSensitivity(prepared));
 
@@ -183,7 +205,10 @@ EnergyEstimator::estimateSampling(const std::vector<double> &theta,
         groups_.size(), [&](std::size_t gi) {
             // Rotate into the group's measurement basis.
             Statevector state = prepared;
-            state.run(basisChanges_[gi]);
+            if (!compiledBasisChanges_.empty() && fusionEnabled())
+                state.run(compiledBasisChanges_[gi]);
+            else
+                state.run(basisChanges_[gi]);
 
             // Depolarize the outcome distribution by the survival
             // factor, then sample through the readout channel.

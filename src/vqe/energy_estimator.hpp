@@ -43,6 +43,7 @@
 #include "noise/noise_model.hpp"
 #include "pauli/grouping.hpp"
 #include "pauli/pauli_sum.hpp"
+#include "sim/compiled_circuit.hpp"
 #include "sim/statevector.hpp"
 
 namespace qismet {
@@ -72,6 +73,12 @@ struct EstimatorConfig
     std::size_t shots = 4096;
     /** Apply tensored measurement-error mitigation (Sampling mode). */
     bool mitigateMeasurement = true;
+    /**
+     * Compile the ansatz and basis-change circuits once in the
+     * constructor and reuse across every iteration/thread (the
+     * compile=off escape hatch alongside QISMET_NO_FUSION).
+     */
+    bool compileCircuits = true;
 };
 
 /** Produces machine-style energy estimates for one VQE problem. */
@@ -130,6 +137,9 @@ class EnergyEstimator
                             Rng &rng, double shot_fraction) const;
     double estimateSampling(const std::vector<double> &theta, double tau,
                             Rng &rng, double shot_fraction) const;
+    /** Prepare |ψ(θ)> through the compiled ansatz when available. */
+    void prepareState(Statevector &state,
+                      const std::vector<double> &theta) const;
 
     PauliSum hamiltonian_;
     Circuit ansatz_;
@@ -138,6 +148,14 @@ class EnergyEstimator
 
     std::vector<MeasurementGroup> groups_;
     std::vector<Circuit> basisChanges_;
+    /**
+     * Circuits compiled once at construction; every estimate() reuses
+     * them instead of re-deriving gate matrices. The basis-change
+     * circuits are parameter-free, so concurrent group threads may run
+     * the same compiled instance safely.
+     */
+    std::optional<CompiledCircuit> compiledAnsatz_;
+    std::vector<CompiledCircuit> compiledBasisChanges_;
     std::optional<ShotSampler> sampler_;
     std::optional<MeasurementMitigator> mitigator_;
     double mixedEnergy_ = 0.0;

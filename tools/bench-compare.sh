@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Compare a fresh google-benchmark JSON report against the tracked
+# baseline and fail on wall-clock regressions.
+#
+# Usage: tools/bench-compare.sh [--threshold R] [--update] BASELINE CURRENT
+#
+#   BASELINE      committed reference report (BENCH_kernels.json)
+#   CURRENT       report from the run under test
+#   --threshold R fail when current/baseline > R for any shared
+#                 benchmark (default 1.15)
+#   --update      instead of comparing, overwrite BASELINE with CURRENT
+#                 (how the baseline is deliberately refreshed after an
+#                 intentional performance change)
+#
+# Benchmarks present in only one report are listed but never fail the
+# gate: new benchmarks have no baseline yet and retired ones no current
+# number, and neither is a regression.
+
+set -euo pipefail
+
+threshold=1.15
+update=0
+positional=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --threshold) threshold=$2; shift 2 ;;
+      --update) update=1; shift ;;
+      -h|--help) grep '^#' "$0" | cut -c3-; exit 0 ;;
+      *) positional+=("$1"); shift ;;
+    esac
+done
+if [[ ${#positional[@]} -ne 2 ]]; then
+    echo "usage: tools/bench-compare.sh [--threshold R] [--update] BASELINE CURRENT" >&2
+    exit 2
+fi
+baseline=${positional[0]}
+current=${positional[1]}
+
+if [[ $update -eq 1 ]]; then
+    cp "$current" "$baseline"
+    echo "bench-compare: baseline $baseline refreshed from $current"
+    exit 0
+fi
+
+python3 - "$baseline" "$current" "$threshold" <<'PY'
+import json
+import sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for b in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        # With --benchmark_repetitions each repetition reports under the
+        # same name; keep the fastest. The minimum is the noise-robust
+        # statistic — scheduling and thermal interference only ever add
+        # time, so min-of-N approximates the machine's true capability.
+        entry = (b["real_time"], b.get("time_unit", "ns"))
+        prior = out.get(b["name"])
+        if prior is None or entry[0] * UNIT_NS.get(entry[1], 1.0) < prior[
+            0
+        ] * UNIT_NS.get(prior[1], 1.0):
+            out[b["name"]] = entry
+    return out
+
+
+base = load(baseline_path)
+cur = load(current_path)
+
+
+def to_ns(value, unit):
+    return value * UNIT_NS.get(unit, 1.0)
+
+
+shared = sorted(set(base) & set(cur))
+only_base = sorted(set(base) - set(cur))
+only_cur = sorted(set(cur) - set(base))
+
+if not shared:
+    print("bench-compare: no overlapping benchmarks between reports", file=sys.stderr)
+    sys.exit(1)
+
+failures = []
+print(f"{'benchmark':46s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+for name in shared:
+    b_ns = to_ns(*base[name])
+    c_ns = to_ns(*cur[name])
+    ratio = c_ns / b_ns if b_ns > 0 else float("inf")
+    flag = ""
+    if ratio > threshold:
+        failures.append((name, ratio))
+        flag = "  << REGRESSION"
+    print(f"{name:46s} {b_ns:10.0f}ns {c_ns:10.0f}ns {ratio:6.2f}x{flag}")
+
+for name in only_cur:
+    print(f"{name:46s} {'(new)':>12s} {to_ns(*cur[name]):10.0f}ns      -")
+for name in only_base:
+    print(f"{name:46s} {to_ns(*base[name]):10.0f}ns {'(gone)':>12s}      -")
+
+if failures:
+    print(
+        f"\nbench-compare: {len(failures)} benchmark(s) regressed beyond "
+        f"{threshold:.2f}x:",
+        file=sys.stderr,
+    )
+    for name, ratio in failures:
+        print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    sys.exit(1)
+
+print(f"\nbench-compare: OK ({len(shared)} compared, threshold {threshold:.2f}x)")
+PY

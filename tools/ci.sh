@@ -71,6 +71,21 @@ if [[ "$got" != "$want" ]]; then
 fi
 echo "resume digest matches straight run: $got"
 
+stage "kernel benchmarks vs tracked baseline (BENCH_kernels.json)"
+# Short min_time keeps this a smoke-level gate: it catches order-of-
+# magnitude regressions (a dropped fusion path, an allocation in the
+# Kraus loop), not single-percent drift. Three repetitions feed the
+# min-of-N comparison in bench-compare.sh, which rides out scheduling
+# and thermal noise on shared CI machines. The committed baseline holds
+# the pre-compiled-engine numbers; refresh deliberately with
+# tools/bench-compare.sh --update after an intentional perf change.
+./build/bench/bench_perf_kernels \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=3 \
+    --benchmark_out_format=json \
+    --benchmark_out=build/BENCH_kernels.json
+tools/bench-compare.sh BENCH_kernels.json build/BENCH_kernels.json
+
 stage "lint (qismet-lint + clang-tidy profile + format check)"
 cmake --preset lint >/dev/null
 cmake --build --preset lint

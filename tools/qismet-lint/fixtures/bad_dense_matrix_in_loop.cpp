@@ -1,0 +1,43 @@
+// Fixture: every loop-body .matrix() call here must trigger the
+// dense-matrix-in-loop rule when linted under a synthetic src/sim path.
+// This file is never compiled; it only feeds the linter's test suite.
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+#include <vector>
+
+void matrixInRangeFor(qismet::Statevector &state,
+                      const qismet::Circuit &circuit)
+{
+    for (const qismet::Gate &g : circuit.gates()) {
+        auto m = g.matrix(); // allocate once via CompiledCircuit instead
+        (void)m;
+        (void)state;
+    }
+}
+
+void matrixInWhileLoop(const qismet::Gate &gate, std::size_t shots)
+{
+    std::size_t s = 0;
+    while (s < shots) {
+        auto m = gate.matrix(); // hoist out of the per-shot loop
+        (void)m;
+        ++s;
+    }
+}
+
+void matrixInSingleStatementBody(const std::vector<qismet::Gate> &gates,
+                                 std::vector<double> &traces)
+{
+    for (const qismet::Gate &g : gates)
+        traces.push_back(g.matrix()(0, 0).real()); // per-iteration alloc
+}
+
+// A call before any loop is fine: resolved once, reused after.
+void matrixOutsideLoop(const qismet::Gate &gate, std::size_t shots)
+{
+    const auto m = gate.matrix();
+    for (std::size_t s = 0; s < shots; ++s) {
+        (void)m;
+    }
+}

@@ -383,6 +383,23 @@ bool underSrcTree(const std::string &path)
            path.find("/src/") != std::string::npos;
 }
 
+/**
+ * True for the simulator hot layers, where a per-iteration
+ * `Gate::matrix()` call is an allocation in the per-gate/per-shot loop.
+ * Everything else (tests, benches, setup code) may trade the allocation
+ * for clarity.
+ */
+bool underSimHotTree(const std::string &path)
+{
+    for (const char *tree : {"src/sim/", "src/vqe/"}) {
+        if (path.rfind(tree, 0) == 0 ||
+            path.find(std::string("/") + tree) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
 class Linter
 {
   public:
@@ -402,6 +419,7 @@ class Linter
         checkRawFileWrite();
         checkNakedNew();
         checkSplitInTask();
+        checkDenseMatrixInLoop();
         std::sort(findings_.begin(), findings_.end(),
                   [](const Finding &a, const Finding &b) {
                       return a.line < b.line ||
@@ -921,6 +939,77 @@ class Linter
         }
     }
 
+    // ---- dense-matrix-in-loop --------------------------------------------
+
+    /**
+     * `Gate::matrix()` heap-allocates a fresh dense matrix on every
+     * call. Inside a loop in the simulator hot layers that is a hidden
+     * per-iteration allocation — exactly the pattern the compiled
+     * engine exists to remove. Loop bodies are found lexically
+     * (`for`/`while` + parens + brace block or single statement), which
+     * matches how the hot loops in src/sim and src/vqe are written.
+     */
+    void checkDenseMatrixInLoop()
+    {
+        if (!underSimHotTree(path_)) {
+            return;
+        }
+        const std::string rule = "dense-matrix-in-loop";
+        const std::string &text = scrubbed_.text;
+
+        std::vector<std::pair<std::size_t, std::size_t>> bodies;
+        for (const Token &t : tokens_) {
+            if ((t.name != "for" && t.name != "while") ||
+                isMemberAccess(text, t.pos)) {
+                continue;
+            }
+            std::size_t open = nextNonSpace(text, t.end);
+            if (open == std::string::npos || text[open] != '(') {
+                continue;
+            }
+            std::size_t close = matchDelim(text, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            std::size_t bodyStart = nextNonSpace(text, close + 1);
+            if (bodyStart == std::string::npos) {
+                continue;
+            }
+            std::size_t bodyEnd;
+            if (text[bodyStart] == '{') {
+                bodyEnd = matchDelim(text, bodyStart);
+            } else {
+                bodyEnd = text.find(';', bodyStart);
+            }
+            if (bodyEnd == std::string::npos) {
+                continue;
+            }
+            bodies.emplace_back(bodyStart, bodyEnd + 1);
+        }
+
+        std::set<std::size_t> flagged;
+        for (const Token &t : tokens_) {
+            if (t.name != "matrix" || !isMemberAccess(text, t.pos) ||
+                !isCalled(text, t.end)) {
+                continue;
+            }
+            for (const auto &body : bodies) {
+                if (t.pos < body.first || t.pos >= body.second) {
+                    continue;
+                }
+                if (flagged.insert(t.pos).second) {
+                    report(rule, t.line,
+                           ".matrix() inside a loop allocates a fresh "
+                           "dense matrix every iteration: resolve "
+                           "matrices once via CompiledCircuit, or fill "
+                           "preallocated scratch with Gate::matrixInto "
+                           "(DESIGN.md section 11)");
+                }
+                break;
+            }
+        }
+    }
+
     std::string path_;
     Scrubbed scrubbed_;
     std::vector<Token> tokens_;
@@ -933,8 +1022,9 @@ class Linter
 const std::vector<std::string> &allRules()
 {
     static const std::vector<std::string> rules = {
-        "ambient-rng", "unordered-reduction", "raw-thread",
-        "raw-file-write", "naked-new", "split-in-task"};
+        "ambient-rng",    "unordered-reduction", "raw-thread",
+        "raw-file-write", "naked-new",           "split-in-task",
+        "dense-matrix-in-loop"};
     return rules;
 }
 

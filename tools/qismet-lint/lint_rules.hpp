@@ -37,6 +37,14 @@
  *                           ParallelExecutor::parallelFor or
  *                           ParallelExecutor::map (a split inside the
  *                           task body would depend on scheduling order).
+ *  - `dense-matrix-in-loop`— no `.matrix()` calls inside loop bodies in
+ *                           the simulator hot layers (src/sim, src/vqe):
+ *                           Gate::matrix() builds a fresh dense matrix
+ *                           per call, so a per-iteration call allocates
+ *                           in the per-gate/per-shot hot loop. Resolve
+ *                           matrices once via CompiledCircuit, or fill
+ *                           preallocated scratch with Gate::matrixInto
+ *                           (DESIGN.md section 11).
  *
  * Suppression: append `// qismet-lint: allow(<rule>[, <rule>...])` to the
  * offending line, or place it alone on the line directly above. A

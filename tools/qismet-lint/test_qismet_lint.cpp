@@ -56,13 +56,14 @@ int countRule(const std::string &path, const std::string &source,
 
 // ---- rule registry -------------------------------------------------------
 
-TEST(LintRegistry, AllSixRulesRegistered)
+TEST(LintRegistry, AllSevenRulesRegistered)
 {
     const auto &rules = qlint::allRules();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     for (const char *rule :
          {"ambient-rng", "unordered-reduction", "raw-thread",
-          "raw-file-write", "naked-new", "split-in-task"}) {
+          "raw-file-write", "naked-new", "split-in-task",
+          "dense-matrix-in-loop"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << rule;
     }
@@ -409,6 +410,116 @@ TEST(Suppression, EscapeIsRuleSpecific)
                         "allow(naked-new)",
                         "ambient-rng"),
               1);
+}
+
+// ---- dense-matrix-in-loop ------------------------------------------------
+
+TEST(DenseMatrixInLoop, FiresInsideForAndWhileBodies)
+{
+    const std::string src = R"(
+        void f(const std::vector<Gate> &gates) {
+            for (const Gate &g : gates) {
+                auto m = g.matrix();
+            }
+            std::size_t s = 0;
+            while (s < 8) {
+                apply(gate.matrix());
+                ++s;
+            }
+        }
+    )";
+    EXPECT_EQ(countRule("src/sim/statevector.cpp", src,
+                        "dense-matrix-in-loop"),
+              2);
+}
+
+TEST(DenseMatrixInLoop, FiresInSingleStatementBody)
+{
+    const std::string src = R"(
+        void f(const std::vector<Gate> &gates) {
+            for (const Gate &g : gates)
+                apply(g.matrix());
+        }
+    )";
+    EXPECT_EQ(countRule("src/vqe/energy_estimator.cpp", src,
+                        "dense-matrix-in-loop"),
+              1);
+}
+
+TEST(DenseMatrixInLoop, SilentOutsideLoopBodies)
+{
+    const std::string src = R"(
+        void f(const Gate &gate) {
+            const auto m = gate.matrix();
+            for (std::size_t s = 0; s < 8; ++s) {
+                apply(m);
+            }
+        }
+    )";
+    EXPECT_EQ(countRule("src/sim/statevector.cpp", src,
+                        "dense-matrix-in-loop"),
+              0);
+}
+
+TEST(DenseMatrixInLoop, SilentOutsideHotTrees)
+{
+    // Only src/sim and src/vqe are per-amplitude hot layers; setup code,
+    // tests and benches may call matrix() freely.
+    const std::string src = R"(
+        void f(const std::vector<Gate> &gates) {
+            for (const Gate &g : gates) {
+                auto m = g.matrix();
+            }
+        }
+    )";
+    for (const char *path :
+         {"src/circuit/gate.cpp", "tests/sim/test_statevector.cpp",
+          "bench/bench_perf_kernels.cpp"}) {
+        EXPECT_EQ(countRule(path, src, "dense-matrix-in-loop"), 0) << path;
+    }
+}
+
+TEST(DenseMatrixInLoop, NonMemberAndUncalledMatrixTokensIgnored)
+{
+    const std::string src = R"(
+        void f() {
+            for (int i = 0; i < 4; ++i) {
+                Matrix matrix = identity();
+                auto fn = &Gate::matrix;
+                use(matrix, fn);
+            }
+        }
+    )";
+    EXPECT_EQ(countRule("src/sim/kraus.cpp", src, "dense-matrix-in-loop"),
+              0);
+}
+
+TEST(DenseMatrixInLoop, SuppressibleOnTheOffendingLine)
+{
+    const std::string src = R"(
+        void f(const std::vector<Gate> &gates) {
+            for (const Gate &g : gates) {
+                auto m = g.matrix(); // qismet-lint: allow(dense-matrix-in-loop)
+            }
+        }
+    )";
+    EXPECT_EQ(countRule("src/sim/statevector.cpp", src,
+                        "dense-matrix-in-loop"),
+              0);
+}
+
+TEST(DenseMatrixInLoop, FixtureFiresUnderSyntheticSimPath)
+{
+    const auto findings =
+        lintSource("src/sim/bad_dense_matrix_in_loop.cpp",
+                   fixtureSource("bad_dense_matrix_in_loop.cpp"));
+    EXPECT_EQ(findings.size(), 3u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "dense-matrix-in-loop")
+            << f.file << ":" << f.line;
+    }
+    // Under the fixture's real path (outside src/sim) the rule is silent.
+    EXPECT_TRUE(lintFile(fixture("bad_dense_matrix_in_loop.cpp")).empty());
 }
 
 // ---- fixture files -------------------------------------------------------
