@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Serve-layer scaling bench: one fixed multi-tenant workload pushed
+ * through the ServeScheduler at increasing worker counts, reporting
+ * wall-clock throughput and proving the combined trajectory digest is
+ * identical at every scale (the determinism contract, measured).
+ *
+ *   ./build/bench/bench_serve [--runs N] [--backends K]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/scheduler.hpp"
+#include "support.hpp"
+
+using namespace qismet;
+
+namespace {
+
+/** Deterministic mixed-tenant workload (all in-memory, no crashes). */
+std::vector<ServeJobSpec>
+makeWorkload(std::size_t runs)
+{
+    std::vector<ServeJobSpec> specs;
+    specs.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+        Rng rng(deriveStreamSeed(7202, StreamDomain::kSoakSpec, i));
+        ServeJobSpec spec;
+        spec.tenantId = rng.uniformInt(4);
+        spec.priority = static_cast<int>(rng.uniformInt(2));
+        spec.kind = WorkloadKind::TfimApp;
+        spec.appIndex = static_cast<int>(1 + rng.uniformInt(6));
+        spec.seed = rng.engine()();
+        spec.totalJobs = 8 + rng.uniformInt(8);
+        spec.withFaults = rng.bernoulli(0.25);
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Run the workload at one worker count; returns {seconds, digest}. */
+std::pair<double, std::uint64_t>
+soakOnce(const std::vector<ServeJobSpec> &specs, std::size_t workers,
+         std::size_t backends)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.backends.assign(backends, "guadalupe");
+
+    const auto start = std::chrono::steady_clock::now();
+    ServeScheduler scheduler(cfg);
+    for (const ServeJobSpec &spec : specs)
+        scheduler.submit(spec);
+    scheduler.drain();
+    const auto stop = std::chrono::steady_clock::now();
+
+    std::string table;
+    for (std::uint64_t id : scheduler.jobIds()) {
+        const auto info = scheduler.poll(id);
+        if (info && info->state == ServeJobState::Completed)
+            table += std::to_string(id) + ',' +
+                     info->trajectoryDigest + '\n';
+    }
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return {seconds, fnv1a64(table)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Keep the run physics single-threaded: this bench scales the
+    // *scheduler* workers, so run-level parallelism would only blur
+    // the speedup attribution.
+    qismet::bench::configureThreads(argc, argv);
+
+    std::size_t runs = 48;
+    std::size_t backends = 8;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--runs" && i + 1 < argc)
+            runs = static_cast<std::size_t>(std::atol(argv[++i]));
+        else if (arg == "--backends" && i + 1 < argc)
+            backends = static_cast<std::size_t>(std::atol(argv[++i]));
+    }
+
+    qismet::bench::printHeader(
+        "serve scaling",
+        "multi-tenant serve throughput scales with workers while every "
+        "run stays bit-identical to its solo execution");
+
+    const std::vector<ServeJobSpec> specs = makeWorkload(runs);
+    std::printf("%zu runs over %zu backends\n\n", runs, backends);
+    std::printf("%-8s %-10s %-10s %s\n", "workers", "seconds",
+                "runs/s", "combined digest");
+
+    std::uint64_t reference = 0;
+    bool mismatch = false;
+    for (std::size_t workers : {1, 2, 4, 8}) {
+        const auto [seconds, digest] = soakOnce(specs, workers, backends);
+        if (workers == 1)
+            reference = digest;
+        else if (digest != reference)
+            mismatch = true;
+        std::printf("%-8zu %-10.3f %-10.1f %016llx%s\n", workers,
+                    seconds, static_cast<double>(runs) / seconds,
+                    static_cast<unsigned long long>(digest),
+                    digest == reference ? "" : "  << MISMATCH");
+    }
+
+    if (mismatch) {
+        std::fprintf(stderr,
+                     "\nbench_serve: digest drift across worker "
+                     "counts — determinism contract violated\n");
+        return 1;
+    }
+    std::printf("\nall worker counts produced identical digests\n");
+    return 0;
+}

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <string>
 
@@ -32,59 +31,11 @@
 #include "fault/crash_point.hpp"
 #include "hamiltonian/h2_molecule.hpp"
 #include "noise/machine_model.hpp"
+#include "vqe/run_digest.hpp"
 
 using namespace qismet;
 
 namespace {
-
-/** Bit-exact hex image of a double. */
-std::string
-bits(double value)
-{
-    std::uint64_t u = 0;
-    std::memcpy(&u, &value, sizeof(u));
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(u));
-    return std::string(buf);
-}
-
-/** FNV-1a digest of the full trajectory (golden-trace CSV layout). */
-std::string
-trajectoryDigest(const VqeRunResult &run)
-{
-    std::string csv =
-        "job,eval,retry,status,accepted,carried,e_measured,tau\n";
-    for (const VqeJobRecord &rec : run.history) {
-        csv += std::to_string(rec.jobIndex) + ',' +
-               std::to_string(rec.evalIndex) + ',' +
-               std::to_string(rec.retryIndex) + ',' +
-               jobStatusName(rec.status) + ',' +
-               (rec.accepted ? '1' : '0') + ',' +
-               (rec.carriedForward ? '1' : '0') + ',' +
-               bits(rec.eMeasured) + ',' +
-               bits(rec.transientIntensity) + '\n';
-    }
-    csv += "iteration,e_reported\n";
-    for (std::size_t i = 0; i < run.iterationEnergies.size(); ++i)
-        csv += std::to_string(i) + ',' +
-               bits(run.iterationEnergies[i]) + '\n';
-    csv += "counters," + std::to_string(run.jobsUsed) + ',' +
-           std::to_string(run.retriesUsed) + ',' +
-           std::to_string(run.faultRetries) + ',' +
-           std::to_string(run.evalsCarriedForward) + '\n';
-    csv += "final," + bits(run.finalEstimate) + '\n';
-
-    std::uint64_t hash = 0xCBF29CE484222325ull;
-    for (const char c : csv) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001B3ull;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash));
-    return std::string(buf);
-}
 
 int
 usage()

@@ -29,6 +29,21 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveStreamSeed(std::uint64_t root, std::uint64_t domain,
+                 std::uint64_t index)
+{
+    // Each level passes through a full SplitMix64 avalanche before the
+    // next is folded in. The leading constant domain-separates derived
+    // seeds from raw user seeds fed straight to Rng(seed).
+    std::uint64_t x = root ^ 0x243F6A8885A308D3ull;
+    std::uint64_t h = splitmix64(x);
+    x = h ^ domain;
+    h = splitmix64(x);
+    x = h ^ index;
+    return splitmix64(x);
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
@@ -239,6 +254,12 @@ Rng
 Rng::split()
 {
     return Rng(engine_());
+}
+
+Rng
+Rng::splitStream(std::uint64_t domain, std::uint64_t index) const
+{
+    return Rng(deriveStreamSeed(engine_.stateDigest(), domain, index));
 }
 
 Rng

@@ -23,6 +23,49 @@
 namespace qismet {
 
 /**
+ * Stream-allocation convention (the serve layer's collision-safety
+ * contract).
+ *
+ * Hand-rolled stream offsets — `seed + tenantId`, `seed * K + C`,
+ * `splitAt(tenantId * 1000 + runId)` — are forbidden for new code:
+ * linear packings collide under adversarial ID patterns (tenant 1 /
+ * run 1000 aliases tenant 2 / run 0), and affine `seed * A + B`
+ * derivations in two components can be mapped onto each other by
+ * solving one linear congruence. Instead, derive every stream as
+ *
+ *     deriveStreamSeed(root, StreamDomain::kX, index)
+ *
+ * where each level (root, domain, index) passes through a full
+ * SplitMix64 avalanche before the next is folded in. No arithmetic
+ * relation among roots, domains or indices can then relate two derived
+ * seeds; residual collisions are 64-bit-birthday events, not
+ * constructible ones. The qismet-lint rule `stream-offset` enforces
+ * this in src/serve, where tenant/job IDs are caller-controlled.
+ * (The pre-serve affine derivations inside src/core are kept verbatim
+ * for trace stability; their seeds are process-internal, not
+ * caller-controlled.)
+ */
+namespace StreamDomain {
+/** One VQA run multiplexed by the serve layer (index = serve job id). */
+inline constexpr std::uint64_t kServeRun = 1;
+/** Backend calibration stream (index = backend id). */
+inline constexpr std::uint64_t kBackend = 2;
+/** Per-lease backend stream (index = lease epoch). */
+inline constexpr std::uint64_t kBackendLease = 3;
+/** Soak-driver workload generator (index = spec ordinal). */
+inline constexpr std::uint64_t kSoakSpec = 4;
+/** Crash-plan draws for one soak spec (index = spec ordinal). */
+inline constexpr std::uint64_t kSoakCrashPlan = 5;
+} // namespace StreamDomain
+
+/**
+ * Derive the seed of an independent sub-stream from (root, domain,
+ * index), avalanching at every level (see StreamDomain above).
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t root, std::uint64_t domain,
+                               std::uint64_t index);
+
+/**
  * xoshiro256++ pseudo random engine (Blackman & Vigna).
  *
  * Satisfies UniformRandomBitGenerator. Seeded through SplitMix64 so that
@@ -150,6 +193,18 @@ class Rng
      * child by design.
      */
     Rng splitAt(std::uint64_t index) const;
+
+    /**
+     * Domain-separated counter split: derive the child stream for
+     * (domain, index) from the current state without advancing it.
+     *
+     * The collision-safe form of splitAt for caller-controlled indices
+     * (tenant IDs, serve job IDs): the derivation avalanches root,
+     * domain and index independently (deriveStreamSeed), so children of
+     * different domains can never be aliased by arithmetic on the
+     * indices. See the StreamDomain convention note above.
+     */
+    Rng splitStream(std::uint64_t domain, std::uint64_t index) const;
 
     /** Access the raw engine (for std:: distributions). */
     Xoshiro256 &engine() { return engine_; }

@@ -126,8 +126,14 @@ ParallelExecutor::parallelFor(
         return;
     }
 
-    if (!pool_)
-        pool_ = std::make_unique<ThreadPool>(threads_);
+    {
+        // Double-checked under the lock: concurrent regions (serve
+        // workers) may race on first use; later reads are safe because
+        // every region passes through this acquire/release pair.
+        std::lock_guard<std::mutex> lock(poolInit_);
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(threads_);
+    }
 
     // Dynamic index claiming: workers race on `next`, but every index
     // runs exactly once and tasks are independent, so results do not

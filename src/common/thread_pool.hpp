@@ -153,6 +153,12 @@ class ParallelExecutor
     std::size_t threads_ = 1;
     /** Lazily (re)created when threads_ > 1. */
     mutable std::unique_ptr<ThreadPool> pool_;
+    /**
+     * Guards lazy pool creation: the serve layer enters parallel
+     * regions from many scheduler workers at once, so first-use must
+     * not race. setThreads() remains non-concurrent by contract.
+     */
+    mutable std::mutex poolInit_;
 };
 
 } // namespace qismet

@@ -288,6 +288,10 @@ QismetVqe::run(const QismetVqeConfig &config) const
     dcfg.retry.maxRetries = config.retryBudget;
     if (checkpoint)
         dcfg.checkpoint = &*checkpoint;
+    dcfg.crashAfterIters = config.crashAfterIters;
+    if (config.crashAfterIters > 0 && config.checkpointDir.empty())
+        throw std::invalid_argument(
+            "QismetVqe::run: crashAfterIters requires checkpointDir");
     VqeDriver driver(estimator, executor, *optimizer, *policy, dcfg);
 
     // Deterministic initial point shared across schemes with equal seed.

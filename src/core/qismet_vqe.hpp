@@ -117,6 +117,15 @@ struct QismetVqeConfig
     bool resume = false;
     /** Snapshot cadence in optimizer iterations (>= 1). */
     std::size_t snapshotEveryIters = 1;
+    /**
+     * Per-run crash injection (serve soak harness): when > 0, the run
+     * throws SimulatedCrash at this optimizer-iteration boundary after
+     * any due snapshot. Requires `checkpointDir`. Excluded from
+     * runConfigDigest like the other durability fields, so a resume
+     * leg with a different (or no) planned crash can recover the
+     * checkpoint.
+     */
+    std::size_t crashAfterIters = 0;
 };
 
 /**

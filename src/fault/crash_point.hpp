@@ -31,6 +31,8 @@ inline constexpr const char *kCrashJournalTornWrite =
     "journal:torn-write";
 inline constexpr const char *kCrashBeforeSnapshot =
     "snapshot:before-write";
+inline constexpr const char *kCrashServeJobBoundary =
+    "serve:job-boundary";
 
 /** Thrown by an armed crash point in Action::Throw mode. */
 class SimulatedCrash : public std::runtime_error

@@ -1,0 +1,106 @@
+#include "serve/backend_pool.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qismet {
+
+BackendPool::BackendPool(const std::vector<std::string> &machine_names,
+                         std::uint64_t seed)
+{
+    if (machine_names.empty())
+        throw std::invalid_argument("BackendPool: empty fleet");
+    backends_.reserve(machine_names.size());
+    for (std::size_t id = 0; id < machine_names.size(); ++id) {
+        Backend b;
+        b.model = machineModel(machine_names[id]);
+        b.streamSeed =
+            deriveStreamSeed(seed, StreamDomain::kBackend, id);
+        backends_.push_back(std::move(b));
+    }
+}
+
+bool
+BackendPool::anyFree() const
+{
+    return freeCount() > 0;
+}
+
+std::size_t
+BackendPool::freeCount() const
+{
+    std::size_t n = 0;
+    for (const Backend &b : backends_)
+        if (!b.leased)
+            ++n;
+    return n;
+}
+
+BackendLease
+BackendPool::acquire()
+{
+    for (std::size_t id = 0; id < backends_.size(); ++id) {
+        Backend &b = backends_[id];
+        if (b.leased)
+            continue;
+        b.leased = true;
+        ++b.epoch;
+        return BackendLease{id, b.epoch};
+    }
+    throw std::runtime_error("BackendPool::acquire: pool exhausted");
+}
+
+void
+BackendPool::release(const BackendLease &lease)
+{
+    if (lease.backendId >= backends_.size())
+        throw std::invalid_argument(
+            "BackendPool::release: unknown backend " +
+            std::to_string(lease.backendId));
+    Backend &b = backends_[lease.backendId];
+    if (!b.leased)
+        throw std::invalid_argument(
+            "BackendPool::release: backend " +
+            std::to_string(lease.backendId) +
+            " is not leased (double release?)");
+    if (b.epoch != lease.epoch)
+        throw std::invalid_argument(
+            "BackendPool::release: stale lease epoch " +
+            std::to_string(lease.epoch) + " for backend " +
+            std::to_string(lease.backendId) + " (current " +
+            std::to_string(b.epoch) + ")");
+    b.leased = false;
+    ++b.completedLeases;
+    b.calibrationDigest ^= deriveStreamSeed(
+        b.streamSeed, StreamDomain::kBackendLease, lease.epoch);
+}
+
+const BackendPool::Backend &
+BackendPool::at(std::size_t backend_id) const
+{
+    if (backend_id >= backends_.size())
+        throw std::invalid_argument("BackendPool: unknown backend " +
+                                    std::to_string(backend_id));
+    return backends_[backend_id];
+}
+
+const MachineModel &
+BackendPool::machine(std::size_t backend_id) const
+{
+    return at(backend_id).model;
+}
+
+std::uint64_t
+BackendPool::leasesCompleted(std::size_t backend_id) const
+{
+    return at(backend_id).completedLeases;
+}
+
+std::uint64_t
+BackendPool::calibrationDigest(std::size_t backend_id) const
+{
+    return at(backend_id).calibrationDigest;
+}
+
+} // namespace qismet

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * BackendPool: a fleet of simulated machines leased to serve-layer
+ * runs, one run per machine at a time.
+ *
+ * Isolation invariants (tests/serve/test_backend_pool.cpp):
+ *  - a backend is leased to at most one run at a time; double-acquire
+ *    of an exhausted pool and double-release both throw;
+ *  - every lease carries the backend's monotonically increasing epoch,
+ *    so a stale lease (released, re-acquired by someone else) can never
+ *    release the backend out from under its new holder;
+ *  - per-machine calibration state advances by one splitStream draw per
+ *    completed lease, derived from (pool seed, backend id, epoch) via
+ *    the StreamDomain convention — machines never share or cross-feed
+ *    their streams.
+ *
+ * Determinism note: a lease models *capacity and machine state*, not
+ * run physics. Serve-layer runs draw every bit of their randomness from
+ * their own spec (see job_spec.hpp), never from the leased backend —
+ * that is what makes a multiplexed run bit-identical to its solo
+ * execution regardless of which backend it landed on.
+ */
+
+#ifndef QISMET_SERVE_BACKEND_POOL_HPP
+#define QISMET_SERVE_BACKEND_POOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/machine_model.hpp"
+
+namespace qismet {
+
+/** Proof of exclusive ownership of one backend for one run leg. */
+struct BackendLease
+{
+    std::size_t backendId = 0;
+    std::uint64_t epoch = 0;
+};
+
+/**
+ * Fixed fleet of simulated machines with exclusive leasing.
+ * Not thread-safe; the scheduler serializes access under its mutex.
+ */
+class BackendPool
+{
+  public:
+    /**
+     * @param machine_names One machine per backend (names may repeat —
+     *        a fleet of identical machines is the common soak setup).
+     * @param seed Root of the per-machine calibration streams.
+     * @throws std::invalid_argument on an empty fleet or unknown name.
+     */
+    BackendPool(const std::vector<std::string> &machine_names,
+                std::uint64_t seed);
+
+    std::size_t size() const { return backends_.size(); }
+
+    /** True when at least one backend is free. */
+    bool anyFree() const;
+
+    /** Free-backend count. */
+    std::size_t freeCount() const;
+
+    /**
+     * Lease the lowest-id free backend (deterministic selection).
+     * @throws std::runtime_error when the pool is exhausted.
+     */
+    BackendLease acquire();
+
+    /**
+     * Return a leased backend and advance its calibration stream.
+     * @throws std::invalid_argument on an unknown id, a stale epoch, or
+     *         a backend that is not currently leased (double release).
+     */
+    void release(const BackendLease &lease);
+
+    /** The machine model of one backend. */
+    const MachineModel &machine(std::size_t backend_id) const;
+
+    /** Completed-lease count of one backend. */
+    std::uint64_t leasesCompleted(std::size_t backend_id) const;
+
+    /**
+     * Rolling digest of the backend's calibration stream: one
+     * deriveStreamSeed draw folded in per completed lease. Equal
+     * histories give equal digests; leases on other machines never
+     * change it (the isolation regression test).
+     */
+    std::uint64_t calibrationDigest(std::size_t backend_id) const;
+
+  private:
+    struct Backend
+    {
+        MachineModel model;
+        std::uint64_t streamSeed = 0; ///< per-machine stream root
+        bool leased = false;
+        std::uint64_t epoch = 0; ///< increments on each acquire
+        std::uint64_t completedLeases = 0;
+        std::uint64_t calibrationDigest = 0;
+    };
+
+    const Backend &at(std::size_t backend_id) const;
+
+    std::vector<Backend> backends_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_SERVE_BACKEND_POOL_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ServeManifest: the scheduler's own write-ahead journal, recording
+ * job submissions, cancellations and completions so a killed serve
+ * process (exit 43 mid-soak) can rebuild its job table and resume
+ * every in-flight run from its per-run checkpoint.
+ *
+ * File layout mirrors the run journal (persist/journal.hpp):
+ *
+ *     header := magic "QSVM" | u32 version | u64 fleetDigest
+ *               | u64 fnv1a(preceding 16 bytes)
+ *     frame  := u8 type | u32 payloadLen | payload
+ *               | u64 fnv1a(type byte + payload)
+ *
+ * and the reader applies the same fail-closed torn-tail policy: a
+ * partial trailing frame is provably a crash artifact and is dropped;
+ * any mid-file corruption throws. The manifest stores *facts about
+ * jobs* (spec, outcome digest) — never scheduling state like tenant
+ * passes or leases, which are recomputed live so recovery can never
+ * disagree with the scheduler's own arithmetic.
+ */
+
+#ifndef QISMET_SERVE_MANIFEST_HPP
+#define QISMET_SERVE_MANIFEST_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "serve/job_spec.hpp"
+
+namespace qismet {
+
+/** Raised when a manifest is structurally invalid (not merely torn). */
+class ManifestError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/** Recorded outcome of one completed job. */
+struct ManifestCompletion
+{
+    std::string trajectoryDigest;
+    double finalEstimate = 0.0;
+    std::uint64_t jobsUsed = 0;
+};
+
+/** Everything a scan recovers from a manifest file. */
+struct ManifestScan
+{
+    std::uint64_t fleetDigest = 0;
+    /** (jobId, spec) in submission order. */
+    std::vector<std::pair<std::uint64_t, ServeJobSpec>> submitted;
+    std::map<std::uint64_t, ManifestCompletion> completed;
+    std::set<std::uint64_t> cancelled;
+    std::uint64_t cleanOffset = 0;
+    bool tornTail = false;
+    std::string diagnostic;
+};
+
+/**
+ * Scan a manifest file.
+ * @throws ManifestError on structural corruption or a bad header.
+ */
+ManifestScan scanManifest(const std::string &path);
+
+/** Append side; every record is fsynced before the call returns. */
+class ServeManifest
+{
+  public:
+    /**
+     * Truncate mode starts a fresh manifest; Append continues an
+     * existing one from `offset` (recovery truncates the torn tail).
+     */
+    ServeManifest(const std::string &path, std::uint64_t fleet_digest,
+                  DurableFile::Mode mode, std::uint64_t offset = 0);
+
+    void appendSubmit(std::uint64_t job_id, const ServeJobSpec &spec);
+    void appendCancel(std::uint64_t job_id);
+    void appendComplete(std::uint64_t job_id,
+                        const ManifestCompletion &completion);
+
+  private:
+    void appendFrame(std::uint8_t type, const std::string &payload);
+
+    DurableFile file_;
+};
+
+} // namespace qismet
+
+#endif // QISMET_SERVE_MANIFEST_HPP

@@ -1,0 +1,226 @@
+#include "serve/scheduler.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "fault/crash_point.hpp"
+#include "vqe/run_digest.hpp"
+
+namespace qismet {
+
+namespace {
+
+/** Digest of the fleet configuration, stamped into the manifest so a
+ * resume under a different fleet is rejected loudly. */
+std::uint64_t
+fleetDigest(const ServeSchedulerConfig &config)
+{
+    Encoder enc;
+    enc.writeU64(config.backendSeed);
+    enc.writeU64(config.backends.size());
+    for (const std::string &name : config.backends)
+        enc.writeString(name);
+    return fnv1a64(enc.bytes());
+}
+
+} // namespace
+
+ServeScheduler::ServeScheduler(ServeSchedulerConfig config)
+    : config_(std::move(config)),
+      backendPool_(config_.backends, config_.backendSeed),
+      core_(backendPool_)
+{
+    if (config_.workers == 0)
+        throw std::invalid_argument("ServeScheduler: zero workers");
+    if (config_.resume && config_.stateDir.empty())
+        throw std::invalid_argument(
+            "ServeScheduler: resume without a stateDir");
+
+    if (!config_.stateDir.empty()) {
+        std::filesystem::create_directories(config_.stateDir);
+        const std::string path = config_.stateDir + "/manifest.qsvm";
+        const std::uint64_t digest = fleetDigest(config_);
+        if (config_.resume && fileExists(path)) {
+            const ManifestScan scan = scanManifest(path);
+            if (scan.fleetDigest != digest)
+                throw ManifestError(
+                    "manifest '" + path +
+                    "' was written by a different fleet "
+                    "configuration — refusing to resume");
+            manifest_.emplace(path, digest, DurableFile::Mode::Append,
+                              scan.cleanOffset);
+            for (const auto &[jobId, spec] : scan.submitted) {
+                core_.replaySubmit(jobId, spec);
+                if (scan.cancelled.count(jobId) != 0) {
+                    core_.cancel(jobId);
+                    continue;
+                }
+                auto done = scan.completed.find(jobId);
+                if (done != scan.completed.end()) {
+                    core_.replayComplete(
+                        jobId, done->second.trajectoryDigest,
+                        done->second.finalEstimate,
+                        done->second.jobsUsed);
+                    ++replayedCompletions_;
+                }
+            }
+        }
+        else {
+            manifest_.emplace(path, digest,
+                              DurableFile::Mode::Truncate);
+        }
+    }
+
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
+    std::lock_guard<std::mutex> lock(mutex_);
+    pumpLocked();
+}
+
+ServeScheduler::~ServeScheduler()
+{
+    drain();
+    // ThreadPool's destructor joins the (now idle) workers before the
+    // core, manifest and backend pool go away.
+}
+
+void
+ServeScheduler::setTenantWeight(std::uint64_t tenant_id, double weight)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    core_.setTenantWeight(tenant_id, weight);
+}
+
+std::string
+ServeScheduler::runDir(std::uint64_t job_id) const
+{
+    return config_.stateDir + "/run-" + std::to_string(job_id);
+}
+
+std::uint64_t
+ServeScheduler::submit(const ServeJobSpec &spec)
+{
+    spec.validate();
+    if (!spec.crashPlan.empty() && config_.stateDir.empty())
+        throw std::invalid_argument(
+            "ServeScheduler::submit: a crash plan needs a durable "
+            "scheduler (stateDir) to recover from");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = core_.submit(spec);
+    if (manifest_)
+        manifest_->appendSubmit(id, spec);
+    pumpLocked();
+    return id;
+}
+
+bool
+ServeScheduler::cancel(std::uint64_t job_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool cancelled = core_.cancel(job_id);
+    if (cancelled && manifest_)
+        manifest_->appendCancel(job_id);
+    return cancelled;
+}
+
+std::optional<ServeJobInfo>
+ServeScheduler::poll(std::uint64_t job_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return core_.find(job_id);
+}
+
+void
+ServeScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return core_.pendingCount() == 0; });
+}
+
+std::vector<std::uint64_t>
+ServeScheduler::jobIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return core_.jobIds();
+}
+
+std::uint64_t
+ServeScheduler::backendLeases(std::size_t backend_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return backendPool_.leasesCompleted(backend_id);
+}
+
+std::uint64_t
+ServeScheduler::backendCalibrationDigest(std::size_t backend_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return backendPool_.calibrationDigest(backend_id);
+}
+
+std::uint64_t
+ServeScheduler::tenantDispatches(std::uint64_t tenant_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return core_.tenantDispatches(tenant_id);
+}
+
+void
+ServeScheduler::pumpLocked()
+{
+    while (auto dispatch = core_.nextDispatch()) {
+        // The worker gets its own copy of the dispatch; the lambda is
+        // the only owner, so the leg's identity can't be raced.
+        pool_->submit(
+            [this, d = *dispatch]() mutable { runLeg(d); });
+    }
+}
+
+void
+ServeScheduler::runLeg(const ServeDispatch &dispatch)
+{
+    // Heavy section — no scheduler lock held. Everything the run
+    // consumes derives from the spec (and its checkpoint directory),
+    // which is what keeps it bit-identical to a solo execution.
+    bool crashed = false;
+    ManifestCompletion completion;
+    QismetVqeConfig cfg = buildRunConfig(dispatch.spec);
+    if (!config_.stateDir.empty()) {
+        cfg.checkpointDir = runDir(dispatch.jobId);
+        cfg.resume = dispatch.resume;
+        cfg.crashAfterIters = dispatch.crashAfterIters;
+    }
+    try {
+        const QismetVqe runner = buildRunner(dispatch.spec);
+        const QismetVqeResult result = runner.run(cfg);
+        completion.trajectoryDigest = trajectoryDigest(result.run);
+        completion.finalEstimate = result.run.finalEstimate;
+        completion.jobsUsed = result.run.jobsUsed;
+    }
+    catch (const SimulatedCrash &) {
+        crashed = true;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed) {
+        core_.onRunCrashed(dispatch);
+    }
+    else {
+        // Write-ahead: the outcome is durable before the job table
+        // flips to Completed, so a kill between the two re-runs the
+        // leg (deterministic) instead of losing the result.
+        if (manifest_)
+            manifest_->appendComplete(dispatch.jobId, completion);
+        core_.onRunFinished(dispatch, completion.trajectoryDigest,
+                            completion.finalEstimate,
+                            completion.jobsUsed);
+    }
+    // The soak harness arms this point in Exit mode (std::_Exit(43)):
+    // a genuine whole-process death at a job boundary, serialized
+    // under the scheduler lock so the countdown is exact.
+    CrashPoints::hit(kCrashServeJobBoundary);
+    pumpLocked();
+    if (core_.pendingCount() == 0)
+        idle_.notify_all();
+}
+
+} // namespace qismet

@@ -1,0 +1,227 @@
+#include "serve/serve_core.hpp"
+
+#include <stdexcept>
+
+namespace qismet {
+
+std::string
+serveJobStateName(ServeJobState state)
+{
+    switch (state) {
+      case ServeJobState::Queued: return "queued";
+      case ServeJobState::Running: return "running";
+      case ServeJobState::Completed: return "completed";
+      case ServeJobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+ServeCore::ServeCore(BackendPool &pool) : pool_(pool) {}
+
+ServeCore::TenantState &
+ServeCore::tenant(std::uint64_t tenant_id)
+{
+    auto it = tenants_.find(tenant_id);
+    if (it == tenants_.end()) {
+        TenantState fresh;
+        // A tenant joining mid-flight starts at the current virtual
+        // time: it competes fairly from now on instead of burning its
+        // accumulated "absence credit" to monopolize the fleet.
+        fresh.pass = virtualTime_;
+        it = tenants_.emplace(tenant_id, fresh).first;
+    }
+    return it->second;
+}
+
+void
+ServeCore::setTenantWeight(std::uint64_t tenant_id, double weight)
+{
+    if (!(weight > 0.0))
+        throw std::invalid_argument(
+            "ServeCore::setTenantWeight: weight must be positive");
+    tenant(tenant_id).weight = weight;
+}
+
+std::uint64_t
+ServeCore::submit(ServeJobSpec spec)
+{
+    spec.validate();
+    const std::uint64_t id = nextJobId_++;
+    ServeJobInfo info;
+    info.jobId = id;
+    info.spec = std::move(spec);
+    tenant(info.spec.tenantId); // materialize fair-share state
+    jobs_.emplace(id, std::move(info));
+    ++queued_;
+    return id;
+}
+
+void
+ServeCore::replaySubmit(std::uint64_t job_id, ServeJobSpec spec)
+{
+    spec.validate();
+    if (job_id < nextJobId_)
+        throw std::invalid_argument(
+            "ServeCore::replaySubmit: job id " +
+            std::to_string(job_id) + " is not monotonically fresh");
+    nextJobId_ = job_id + 1;
+    ServeJobInfo info;
+    info.jobId = job_id;
+    info.spec = std::move(spec);
+    // The pre-crash process may have run any number of this job's legs;
+    // whatever checkpoint survived is the resume point. A job that
+    // never started has no checkpoint and recovery degrades to a fresh
+    // start — both end at the solo digest.
+    info.resumeNextLeg = true;
+    tenant(info.spec.tenantId);
+    jobs_.emplace(job_id, std::move(info));
+    ++queued_;
+}
+
+void
+ServeCore::replayComplete(std::uint64_t job_id, std::string digest,
+                          double final_estimate, std::uint64_t jobs_used)
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Queued)
+        throw std::invalid_argument(
+            "ServeCore::replayComplete: job " + std::to_string(job_id) +
+            " is not a replayed queued job");
+    ServeJobInfo &info = it->second;
+    info.state = ServeJobState::Completed;
+    info.trajectoryDigest = std::move(digest);
+    info.finalEstimate = final_estimate;
+    info.jobsUsed = jobs_used;
+    --queued_;
+    ++completed_;
+}
+
+bool
+ServeCore::cancel(std::uint64_t job_id)
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Queued)
+        return false;
+    it->second.state = ServeJobState::Cancelled;
+    --queued_;
+    ++cancelled_;
+    return true;
+}
+
+std::optional<ServeDispatch>
+ServeCore::nextDispatch()
+{
+    if (queued_ == 0 || !pool_.anyFree())
+        return std::nullopt;
+
+    // Pick: highest priority, then lowest tenant pass, then lowest id.
+    // std::map iteration is id-ascending, so the first job seen wins
+    // all ties deterministically.
+    ServeJobInfo *best = nullptr;
+    double bestPass = 0.0;
+    for (auto &[id, info] : jobs_) {
+        if (info.state != ServeJobState::Queued)
+            continue;
+        const double pass = tenant(info.spec.tenantId).pass;
+        if (best == nullptr ||
+            info.spec.priority > best->spec.priority ||
+            (info.spec.priority == best->spec.priority &&
+             pass < bestPass)) {
+            best = &info;
+            bestPass = pass;
+        }
+    }
+    if (best == nullptr)
+        return std::nullopt;
+
+    TenantState &t = tenant(best->spec.tenantId);
+    virtualTime_ = t.pass;
+    t.pass += 1.0 / t.weight;
+    ++t.dispatches;
+    ++totalDispatches_;
+
+    best->state = ServeJobState::Running;
+    --queued_;
+    ++running_;
+    ++best->legsDispatched;
+
+    ServeDispatch d;
+    d.jobId = best->jobId;
+    d.spec = best->spec;
+    d.leg = best->leg;
+    d.resume = best->resumeNextLeg;
+    d.crashAfterIters = best->leg < best->spec.crashPlan.size()
+                            ? best->spec.crashPlan[best->leg]
+                            : 0;
+    d.lease = pool_.acquire();
+    return d;
+}
+
+void
+ServeCore::onRunFinished(const ServeDispatch &dispatch,
+                         std::string digest, double final_estimate,
+                         std::uint64_t jobs_used)
+{
+    auto it = jobs_.find(dispatch.jobId);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Running)
+        throw std::invalid_argument(
+            "ServeCore::onRunFinished: job " +
+            std::to_string(dispatch.jobId) + " is not running");
+    pool_.release(dispatch.lease);
+    ServeJobInfo &info = it->second;
+    info.state = ServeJobState::Completed;
+    info.trajectoryDigest = std::move(digest);
+    info.finalEstimate = final_estimate;
+    info.jobsUsed = jobs_used;
+    --running_;
+    ++completed_;
+}
+
+void
+ServeCore::onRunCrashed(const ServeDispatch &dispatch)
+{
+    auto it = jobs_.find(dispatch.jobId);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Running)
+        throw std::invalid_argument(
+            "ServeCore::onRunCrashed: job " +
+            std::to_string(dispatch.jobId) + " is not running");
+    pool_.release(dispatch.lease);
+    ServeJobInfo &info = it->second;
+    info.state = ServeJobState::Queued;
+    ++info.leg;
+    info.resumeNextLeg = true;
+    --running_;
+    ++queued_;
+}
+
+std::optional<ServeJobInfo>
+ServeCore::find(std::uint64_t job_id) const
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+ServeCore::tenantDispatches(std::uint64_t tenant_id) const
+{
+    auto it = tenants_.find(tenant_id);
+    return it == tenants_.end() ? 0 : it->second.dispatches;
+}
+
+std::vector<std::uint64_t>
+ServeCore::jobIds() const
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(jobs_.size());
+    for (const auto &[id, info] : jobs_)
+        ids.push_back(id);
+    return ids;
+}
+
+} // namespace qismet

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ServeCore: the scheduler's deterministic heart — job table, stride
+ * fair-share queue, and backend leasing — as a single-threaded state
+ * machine with no clocks, no I/O and no randomness of its own.
+ *
+ * The threaded ServeScheduler drives this object under one mutex; the
+ * property-test suite drives it directly with randomized
+ * submit/cancel/crash sequences. Because every transition is a pure
+ * function of the call sequence, "deterministic dispatch order under a
+ * fixed seed" is testable without threads, and the threaded wrapper
+ * inherits per-run determinism from the job-spec purity argument
+ * (job_spec.hpp) rather than from dispatch-order stability.
+ *
+ * Scheduling model (DESIGN.md §12): strict priority first, stride
+ * fair-share within a priority level. Each tenant carries a `pass`
+ * that advances by 1/weight per dispatched leg; the queued job with the
+ * (highest priority, lowest tenant pass, lowest job id) dispatches
+ * next. Stride scheduling bounds any backlogged tenant's lag behind its
+ * weighted share by one dispatch, which gives both the fairness bound
+ * and starvation-freedom the property suite asserts.
+ */
+
+#ifndef QISMET_SERVE_SERVE_CORE_HPP
+#define QISMET_SERVE_SERVE_CORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/backend_pool.hpp"
+#include "serve/job_spec.hpp"
+
+namespace qismet {
+
+/** Lifecycle of one serve job. */
+enum class ServeJobState : std::uint8_t
+{
+    Queued = 0,   ///< waiting for a backend (first leg or resume leg)
+    Running = 1,  ///< a leg is executing on a leased backend
+    Completed = 2,///< final leg finished; digest recorded
+    Cancelled = 3 ///< cancelled while queued (never dispatched again)
+};
+
+std::string serveJobStateName(ServeJobState state);
+
+/** Everything the scheduler knows about one job (poll() view). */
+struct ServeJobInfo
+{
+    std::uint64_t jobId = 0;
+    ServeJobSpec spec;
+    ServeJobState state = ServeJobState::Queued;
+    /** Crash-plan leg to run next (== crashes survived so far). */
+    std::size_t leg = 0;
+    /** Next leg resumes from the job's checkpoint directory. */
+    bool resumeNextLeg = false;
+    /** Legs dispatched (completed or crashed) so far. */
+    std::uint64_t legsDispatched = 0;
+    /** Filled when Completed. */
+    std::string trajectoryDigest;
+    double finalEstimate = 0.0;
+    std::uint64_t jobsUsed = 0;
+};
+
+/** One dispatch decision: run this job's next leg on this lease. */
+struct ServeDispatch
+{
+    std::uint64_t jobId = 0;
+    ServeJobSpec spec;
+    std::size_t leg = 0;
+    bool resume = false;
+    /** 0 = run to completion; else SimulatedCrash at this iteration. */
+    std::uint64_t crashAfterIters = 0;
+    BackendLease lease;
+};
+
+class ServeCore
+{
+  public:
+    /** @param pool Backend fleet; not owned, must outlive the core. */
+    explicit ServeCore(BackendPool &pool);
+
+    /**
+     * Set a tenant's fair-share weight (> 0; default 1.0). Takes
+     * effect from the tenant's next dispatch.
+     */
+    void setTenantWeight(std::uint64_t tenant_id, double weight);
+
+    /** Enqueue a job; returns its id (dense, starting at 1). */
+    std::uint64_t submit(ServeJobSpec spec);
+
+    /**
+     * Manifest replay: re-create a job under its original id.
+     * The job is queued with resumeNextLeg set — an interrupted leg
+     * recovers from its checkpoint, a never-started one begins fresh.
+     * @throws std::invalid_argument on id reuse or non-monotonic ids.
+     */
+    void replaySubmit(std::uint64_t job_id, ServeJobSpec spec);
+
+    /** Manifest replay: mark a replayed job done with its recorded
+     * result (it will not be re-run). */
+    void replayComplete(std::uint64_t job_id, std::string digest,
+                        double final_estimate, std::uint64_t jobs_used);
+
+    /**
+     * Cancel a queued job. Returns true when the job was queued (now
+     * Cancelled); false when unknown, running, or already terminal —
+     * running legs are never preempted.
+     */
+    bool cancel(std::uint64_t job_id);
+
+    /**
+     * Pick and lease the next leg to run, or nullopt when no job is
+     * queued or no backend is free. Advances the chosen tenant's pass.
+     */
+    std::optional<ServeDispatch> nextDispatch();
+
+    /** A dispatched leg finished its run (final leg). */
+    void onRunFinished(const ServeDispatch &dispatch, std::string digest,
+                       double final_estimate, std::uint64_t jobs_used);
+
+    /** A dispatched leg died at its planned crash; requeue the job. */
+    void onRunCrashed(const ServeDispatch &dispatch);
+
+    /** Job view, or nullopt for an unknown id. */
+    std::optional<ServeJobInfo> find(std::uint64_t job_id) const;
+
+    std::size_t queuedCount() const { return queued_; }
+    std::size_t runningCount() const { return running_; }
+    std::size_t completedCount() const { return completed_; }
+    std::size_t cancelledCount() const { return cancelled_; }
+    /** Jobs not yet terminal (queued + running). */
+    std::size_t pendingCount() const { return queued_ + running_; }
+
+    /** Legs dispatched for a tenant (fairness accounting). */
+    std::uint64_t tenantDispatches(std::uint64_t tenant_id) const;
+
+    /** Total legs dispatched. */
+    std::uint64_t totalDispatches() const { return totalDispatches_; }
+
+    /** All job ids in submission order (tests iterate results). */
+    std::vector<std::uint64_t> jobIds() const;
+
+  private:
+    struct TenantState
+    {
+        double weight = 1.0;
+        double pass = 0.0;
+        std::uint64_t dispatches = 0;
+    };
+
+    TenantState &tenant(std::uint64_t tenant_id);
+
+    BackendPool &pool_;
+    std::map<std::uint64_t, ServeJobInfo> jobs_;
+    std::map<std::uint64_t, TenantState> tenants_;
+    /** Virtual time: pass of the most recently dispatched tenant. */
+    double virtualTime_ = 0.0;
+    std::uint64_t nextJobId_ = 1;
+    std::size_t queued_ = 0;
+    std::size_t running_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t cancelled_ = 0;
+    std::uint64_t totalDispatches_ = 0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_SERVE_SERVE_CORE_HPP

@@ -1,0 +1,60 @@
+#include "vqe/run_digest.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "vqe/job.hpp"
+
+namespace qismet {
+
+std::string
+bitsHex(double value)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &value, sizeof(u));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(u));
+    return std::string(buf);
+}
+
+std::string
+trajectoryCsv(const VqeRunResult &run)
+{
+    std::string csv =
+        "job,eval,retry,status,accepted,carried,e_measured,tau\n";
+    for (const VqeJobRecord &rec : run.history) {
+        csv += std::to_string(rec.jobIndex) + ',' +
+               std::to_string(rec.evalIndex) + ',' +
+               std::to_string(rec.retryIndex) + ',' +
+               jobStatusName(rec.status) + ',' +
+               (rec.accepted ? '1' : '0') + ',' +
+               (rec.carriedForward ? '1' : '0') + ',' +
+               bitsHex(rec.eMeasured) + ',' +
+               bitsHex(rec.transientIntensity) + '\n';
+    }
+    csv += "iteration,e_reported\n";
+    for (std::size_t i = 0; i < run.iterationEnergies.size(); ++i)
+        csv += std::to_string(i) + ',' +
+               bitsHex(run.iterationEnergies[i]) + '\n';
+    csv += "final," + bitsHex(run.finalEstimate) + '\n';
+    return csv;
+}
+
+std::string
+trajectoryDigest(const VqeRunResult &run)
+{
+    const std::string csv = trajectoryCsv(run);
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const char c : csv) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return std::string(buf);
+}
+
+} // namespace qismet

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Canonical trajectory digest of a VQE run.
+ *
+ * One bit-exact CSV rendering (the golden-trace layout) and its FNV-1a
+ * checksum, shared by the golden-trace tests, the checkpoint-resume
+ * smoke driver, and the serve layer's solo-equivalence verification.
+ * Two runs have equal digests iff their job histories, per-iteration
+ * reported energies, and final estimates are bit-identical — this is
+ * the value the determinism contract ("same trajectory at any thread
+ * count / interleaving / resume pattern") is stated over.
+ */
+
+#ifndef QISMET_VQE_RUN_DIGEST_HPP
+#define QISMET_VQE_RUN_DIGEST_HPP
+
+#include <string>
+
+#include "vqe/vqe_driver.hpp"
+
+namespace qismet {
+
+/** Bit-exact 16-hex-digit image of a double (checksum-stable cell). */
+std::string bitsHex(double value);
+
+/** Render the run as the golden-trace CSV (job table + iteration table
+ * + final estimate). */
+std::string trajectoryCsv(const VqeRunResult &run);
+
+/** FNV-1a 64-bit digest of trajectoryCsv(run), as 16 hex digits. */
+std::string trajectoryDigest(const VqeRunResult &run);
+
+} // namespace qismet
+
+#endif // QISMET_VQE_RUN_DIGEST_HPP

@@ -54,6 +54,10 @@ VqeDriver::VqeDriver(const EnergyEstimator &estimator, JobExecutor &executor,
         throw std::invalid_argument("VqeDriver: zero final window");
     if (config_.jobDurationSeconds < 0.0)
         throw std::invalid_argument("VqeDriver: negative job duration");
+    if (config_.crashAfterIters > 0 && config_.checkpoint == nullptr)
+        throw std::invalid_argument(
+            "VqeDriver: crashAfterIters without a checkpoint would "
+            "lose the run");
     config_.retry.validate();
 }
 
@@ -342,6 +346,9 @@ VqeDriver::run(const std::vector<double> &initial_theta)
                 snapshot_now();
             CrashPoints::hit(kCrashIterationBoundary);
         }
+        if (config_.crashAfterIters > 0 &&
+            static_cast<std::size_t>(k) >= config_.crashAfterIters)
+            throw SimulatedCrash(kCrashIterationBoundary);
 
         const auto points = optimizer_.plan(theta, k, opt_rng);
 

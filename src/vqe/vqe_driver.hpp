@@ -266,6 +266,16 @@ struct VqeDriverConfig
      * executor state so the resumed run continues bit-identically.
      */
     CheckpointManager *checkpoint = nullptr;
+    /**
+     * Per-run crash injection: when > 0, throw SimulatedCrash at the
+     * boundary of this optimizer iteration, after any due snapshot has
+     * been written. Unlike the process-global CrashPoints registry
+     * (which can arm only one point at a time), this is run-local
+     * state, so hundreds of concurrently multiplexed runs can each
+     * carry their own crash plan. Requires `checkpoint` so the crash
+     * is recoverable; a resumed run continues bit-identically.
+     */
+    std::size_t crashAfterIters = 0;
 };
 
 /** Runs one VQE tuning experiment. */

@@ -25,10 +25,8 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "apps/applications.hpp"
@@ -38,6 +36,7 @@
 #include "noise/machine_model.hpp"
 #include "qaoa/maxcut.hpp"
 #include "qaoa/qaoa_ansatz.hpp"
+#include "vqe/run_digest.hpp"
 
 namespace qismet {
 namespace {
@@ -52,50 +51,9 @@ class GlobalThreadsGuard
     std::size_t saved_;
 };
 
-/** Bit-exact hex image of a double, for checksum-stable CSV cells. */
-std::string
-bits(double value)
-{
-    std::uint64_t u = 0;
-    std::memcpy(&u, &value, sizeof(u));
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(u));
-    return std::string(buf);
-}
-
-/** Render a run as the golden CSV and return its FNV-1a digest. */
-std::string
-trajectoryDigest(const VqeRunResult &run)
-{
-    std::string csv =
-        "job,eval,retry,status,accepted,carried,e_measured,tau\n";
-    for (const VqeJobRecord &rec : run.history) {
-        csv += std::to_string(rec.jobIndex) + ',' +
-               std::to_string(rec.evalIndex) + ',' +
-               std::to_string(rec.retryIndex) + ',' +
-               jobStatusName(rec.status) + ',' +
-               (rec.accepted ? '1' : '0') + ',' +
-               (rec.carriedForward ? '1' : '0') + ',' +
-               bits(rec.eMeasured) + ',' +
-               bits(rec.transientIntensity) + '\n';
-    }
-    csv += "iteration,e_reported\n";
-    for (std::size_t i = 0; i < run.iterationEnergies.size(); ++i)
-        csv += std::to_string(i) + ',' +
-               bits(run.iterationEnergies[i]) + '\n';
-    csv += "final," + bits(run.finalEstimate) + '\n';
-
-    std::uint64_t hash = 0xCBF29CE484222325ull;
-    for (const char c : csv) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001B3ull;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash));
-    return std::string(buf);
-}
+// The CSV rendering and FNV-1a digest live in vqe/run_digest.hpp
+// (trajectoryDigest); the serve layer's solo-equivalence tests compare
+// against the same function, so "golden" means one thing repo-wide.
 
 struct Trace
 {

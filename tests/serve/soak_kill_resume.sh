@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Whole-process kill-and-resume soak: run the serve_soak CLI with an
+# armed Exit crash point (std::_Exit(43) at a job boundary), then
+# resume over the surviving state directory and verify every recovered
+# run finishes bit-identical to its solo execution.
+#
+# Usage: soak_kill_resume.sh <serve_soak-binary> [runs] [kill-after]
+set -u
+
+SOAK_BIN=${1:?usage: soak_kill_resume.sh <serve_soak-binary>}
+RUNS=${2:-120}
+KILL_AFTER=${3:-25}
+STATE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/qismet_soak_kill.XXXXXX")
+trap 'rm -rf "$STATE_DIR"' EXIT
+
+echo "== phase 1: soak $RUNS runs, kill at job boundary $KILL_AFTER =="
+"$SOAK_BIN" --runs "$RUNS" --workers 4 --state-dir "$STATE_DIR/state" \
+    --kill-after "$KILL_AFTER"
+status=$?
+if [ "$status" -ne 43 ]; then
+    echo "FAIL: expected the armed crash point to exit 43, got $status"
+    exit 1
+fi
+
+echo "== phase 2: resume the killed scheduler, verify against solo =="
+"$SOAK_BIN" --resume --workers 4 --state-dir "$STATE_DIR/state" \
+    --verify-solo --digest-out "$STATE_DIR/phase2.csv" || exit 1
+
+echo "== phase 3: clean same-seed run must reproduce every digest =="
+"$SOAK_BIN" --runs "$RUNS" --workers 2 \
+    --state-dir "$STATE_DIR/clean" \
+    --digest-out "$STATE_DIR/clean.csv" || exit 1
+
+# The kill may have interrupted the submission loop, so the recovered
+# run set is a prefix of the clean run's (a submit the manifest never
+# acknowledged was never a job). Every job that *did* survive must
+# match the uninterrupted run byte for byte, and the kill point
+# guarantees at least KILL_AFTER of them completed.
+RECOVERED=$(wc -l < "$STATE_DIR/phase2.csv")
+if [ "$RECOVERED" -lt "$KILL_AFTER" ]; then
+    echo "FAIL: only $RECOVERED runs recovered (< $KILL_AFTER)"
+    exit 1
+fi
+if ! head -n "$RECOVERED" "$STATE_DIR/clean.csv" \
+        | cmp -s - "$STATE_DIR/phase2.csv"; then
+    echo "FAIL: kill+resume digests differ from an uninterrupted run"
+    head -n "$RECOVERED" "$STATE_DIR/clean.csv" \
+        | diff - "$STATE_DIR/phase2.csv" | head -20
+    exit 1
+fi
+echo "PASS: kill+resume soak ($RECOVERED runs) is bit-identical to" \
+     "the clean run"

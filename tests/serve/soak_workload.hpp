@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared soak-fleet builder for the serve soak tests (tier1 smoke and
+ * the `soak`-labelled thousand-run variant). Mirrors the spec shape of
+ * tools/serve_soak.cpp: every spec is a pure function of
+ * (master seed, index) through the StreamDomain convention.
+ */
+
+#ifndef QISMET_TESTS_SERVE_SOAK_WORKLOAD_HPP
+#define QISMET_TESTS_SERVE_SOAK_WORKLOAD_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/scheduler.hpp"
+#include "vqe/run_digest.hpp"
+
+namespace qismet::test {
+
+inline std::vector<ServeJobSpec>
+soakWorkload(std::uint64_t master_seed, std::size_t count,
+             bool with_crashes)
+{
+    std::vector<ServeJobSpec> specs;
+    for (std::size_t i = 0; i < count; ++i) {
+        Rng rng(deriveStreamSeed(master_seed, StreamDomain::kSoakSpec,
+                                 i));
+        ServeJobSpec spec;
+        spec.tenantId = rng.uniformInt(5);
+        spec.priority = static_cast<int>(rng.uniformInt(3));
+        spec.kind = WorkloadKind::TfimApp;
+        spec.appIndex = static_cast<int>(1 + rng.uniformInt(6));
+        spec.seed = rng.engine()();
+        spec.totalJobs = 5 + rng.uniformInt(6);
+        spec.withFaults = rng.bernoulli(0.3);
+        if (with_crashes && rng.bernoulli(0.25)) {
+            Rng plan(deriveStreamSeed(
+                master_seed, StreamDomain::kSoakCrashPlan, i));
+            std::uint64_t at = 1 + plan.uniformInt(3);
+            spec.crashPlan.push_back(at);
+            if (plan.bernoulli(0.5))
+                spec.crashPlan.push_back(at + 1 + plan.uniformInt(3));
+        }
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** The spec's solo trajectory digest (crash plan stripped). */
+inline std::string
+soloDigest(ServeJobSpec spec)
+{
+    spec.crashPlan.clear();
+    const QismetVqe runner = buildRunner(spec);
+    return trajectoryDigest(runner.run(buildRunConfig(spec)).run);
+}
+
+} // namespace qismet::test
+
+#endif // QISMET_TESTS_SERVE_SOAK_WORKLOAD_HPP

@@ -1,0 +1,167 @@
+#include "serve/backend_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace qismet {
+namespace {
+
+TEST(BackendPool, ConstructionValidates)
+{
+    EXPECT_THROW(BackendPool({}, 1), std::invalid_argument);
+    EXPECT_THROW(BackendPool({"not-a-machine"}, 1),
+                 std::invalid_argument);
+    const BackendPool pool({"guadalupe", "toronto"}, 1);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.freeCount(), 2u);
+    EXPECT_TRUE(pool.anyFree());
+}
+
+TEST(BackendPool, AcquiresLowestIdFreeBackend)
+{
+    BackendPool pool({"guadalupe", "guadalupe", "guadalupe"}, 1);
+    const BackendLease a = pool.acquire();
+    const BackendLease b = pool.acquire();
+    EXPECT_EQ(a.backendId, 0u);
+    EXPECT_EQ(b.backendId, 1u);
+    pool.release(a);
+    // 0 freed: the next acquire goes back to the lowest id.
+    EXPECT_EQ(pool.acquire().backendId, 0u);
+    EXPECT_EQ(pool.acquire().backendId, 2u);
+}
+
+TEST(BackendPool, ExhaustedPoolThrows)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    const BackendLease lease = pool.acquire();
+    EXPECT_FALSE(pool.anyFree());
+    EXPECT_THROW(pool.acquire(), std::runtime_error);
+    pool.release(lease);
+    EXPECT_TRUE(pool.anyFree());
+}
+
+TEST(BackendPool, DoubleReleaseThrows)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    const BackendLease lease = pool.acquire();
+    pool.release(lease);
+    EXPECT_THROW(pool.release(lease), std::invalid_argument);
+}
+
+TEST(BackendPool, StaleEpochCannotRelease)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    const BackendLease first = pool.acquire();
+    pool.release(first);
+    const BackendLease second = pool.acquire();
+    EXPECT_NE(first.epoch, second.epoch);
+    // The old lease must not be able to yank the backend from its new
+    // holder.
+    EXPECT_THROW(pool.release(first), std::invalid_argument);
+    pool.release(second);
+}
+
+TEST(BackendPool, UnknownIdThrows)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    BackendLease bogus;
+    bogus.backendId = 99;
+    EXPECT_THROW(pool.release(bogus), std::invalid_argument);
+    EXPECT_THROW(pool.machine(99), std::invalid_argument);
+}
+
+TEST(BackendPool, EpochsIncreaseMonotonically)
+{
+    BackendPool pool({"guadalupe"}, 7);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 5; ++i) {
+        const BackendLease lease = pool.acquire();
+        EXPECT_GT(lease.epoch, last);
+        last = lease.epoch;
+        pool.release(lease);
+    }
+    EXPECT_EQ(pool.leasesCompleted(0), 5u);
+}
+
+TEST(BackendPool, CalibrationStreamsAreIsolatedPerMachine)
+{
+    // Two pools with the same seed: in pool A only backend 0 works; in
+    // pool B both work. Backend 0's calibration digest must not care
+    // what backend 1 did.
+    BackendPool a({"guadalupe", "toronto"}, 42);
+    BackendPool b({"guadalupe", "toronto"}, 42);
+
+    for (int i = 0; i < 3; ++i) {
+        const BackendLease lease = a.acquire(); // always backend 0
+        a.release(lease);
+    }
+    for (int i = 0; i < 3; ++i) {
+        const BackendLease l0 = b.acquire();
+        const BackendLease l1 = b.acquire();
+        b.release(l0);
+        b.release(l1);
+    }
+
+    EXPECT_EQ(a.calibrationDigest(0), b.calibrationDigest(0));
+    EXPECT_NE(b.calibrationDigest(0), b.calibrationDigest(1));
+    EXPECT_EQ(a.calibrationDigest(1), 0u) << "idle machine must not "
+                                             "advance its stream";
+}
+
+TEST(BackendPool, IdenticalMachinesStillHaveDistinctStreams)
+{
+    // A fleet of identical machines: same model, but per-backend stream
+    // roots must differ (keyed by backend id, not machine name).
+    BackendPool pool({"guadalupe", "guadalupe"}, 42);
+    const BackendLease l0 = pool.acquire();
+    const BackendLease l1 = pool.acquire();
+    pool.release(l0);
+    pool.release(l1);
+    EXPECT_NE(pool.calibrationDigest(0), pool.calibrationDigest(1));
+}
+
+TEST(BackendPool, EqualHistoriesGiveEqualDigests)
+{
+    BackendPool a({"sydney"}, 9);
+    BackendPool b({"sydney"}, 9);
+    for (int i = 0; i < 4; ++i) {
+        const BackendLease la = a.acquire();
+        a.release(la);
+        const BackendLease lb = b.acquire();
+        b.release(lb);
+    }
+    EXPECT_EQ(a.calibrationDigest(0), b.calibrationDigest(0));
+    EXPECT_NE(a.calibrationDigest(0), 0u);
+}
+
+TEST(BackendPool, NoDoubleLeaseUnderChurn)
+{
+    BackendPool pool(
+        {"guadalupe", "toronto", "sydney", "casablanca"}, 3);
+    std::vector<BackendLease> held;
+    std::set<std::size_t> heldIds;
+    // Deterministic churn: acquire until exhausted, release half,
+    // repeat — held ids must stay unique throughout.
+    for (int round = 0; round < 6; ++round) {
+        while (pool.anyFree()) {
+            const BackendLease lease = pool.acquire();
+            EXPECT_TRUE(heldIds.insert(lease.backendId).second)
+                << "backend " << lease.backendId << " double-leased";
+            held.push_back(lease);
+        }
+        const std::size_t releaseCount = held.size() / 2;
+        for (std::size_t i = 0; i < releaseCount; ++i) {
+            pool.release(held.back());
+            heldIds.erase(held.back().backendId);
+            held.pop_back();
+        }
+    }
+    for (const BackendLease &lease : held)
+        pool.release(lease);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,298 @@
+#include "serve/serve_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace qismet {
+namespace {
+
+ServeJobSpec
+spec(std::uint64_t tenant, int priority = 0)
+{
+    ServeJobSpec s;
+    s.tenantId = tenant;
+    s.priority = priority;
+    s.kind = WorkloadKind::TfimApp;
+    s.appIndex = 1;
+    s.totalJobs = 4;
+    return s;
+}
+
+/** Dispatch + finish one leg; returns the dispatched job id. */
+std::uint64_t
+step(ServeCore &core)
+{
+    const auto d = core.nextDispatch();
+    EXPECT_TRUE(d.has_value());
+    core.onRunFinished(*d, "digest", -1.0, 4);
+    return d->jobId;
+}
+
+TEST(ServeCore, SubmitAssignsDenseIdsFromOne)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    EXPECT_EQ(core.submit(spec(0)), 1u);
+    EXPECT_EQ(core.submit(spec(0)), 2u);
+    EXPECT_EQ(core.submit(spec(1)), 3u);
+    EXPECT_EQ(core.queuedCount(), 3u);
+    EXPECT_EQ(core.jobIds(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ServeCore, LifecycleQueuedRunningCompleted)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    const std::uint64_t id = core.submit(spec(0));
+    EXPECT_EQ(core.find(id)->state, ServeJobState::Queued);
+
+    const auto d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->jobId, id);
+    EXPECT_FALSE(d->resume);
+    EXPECT_EQ(d->crashAfterIters, 0u);
+    EXPECT_EQ(core.find(id)->state, ServeJobState::Running);
+    EXPECT_FALSE(pool.anyFree());
+
+    core.onRunFinished(*d, "abc", -2.5, 4);
+    const auto info = core.find(id);
+    EXPECT_EQ(info->state, ServeJobState::Completed);
+    EXPECT_EQ(info->trajectoryDigest, "abc");
+    EXPECT_EQ(info->finalEstimate, -2.5);
+    EXPECT_EQ(info->jobsUsed, 4u);
+    EXPECT_TRUE(pool.anyFree());
+    EXPECT_EQ(core.pendingCount(), 0u);
+}
+
+TEST(ServeCore, NoDispatchWithoutFreeBackend)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    core.submit(spec(0));
+    core.submit(spec(0));
+    const auto first = core.nextDispatch();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(core.nextDispatch().has_value())
+        << "single backend is leased; second job must wait";
+    core.onRunFinished(*first, "d", 0.0, 4);
+    EXPECT_TRUE(core.nextDispatch().has_value());
+}
+
+TEST(ServeCore, FifoWithinOneTenant)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    core.submit(spec(0));
+    core.submit(spec(0));
+    core.submit(spec(0));
+    EXPECT_EQ(step(core), 1u);
+    EXPECT_EQ(step(core), 2u);
+    EXPECT_EQ(step(core), 3u);
+}
+
+TEST(ServeCore, StrictPriorityFirst)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    core.submit(spec(0, 0)); // id 1, low priority
+    core.submit(spec(1, 5)); // id 2, high priority
+    core.submit(spec(2, 5)); // id 3, high priority
+    EXPECT_EQ(step(core), 2u);
+    EXPECT_EQ(step(core), 3u);
+    EXPECT_EQ(step(core), 1u);
+}
+
+TEST(ServeCore, EqualWeightsAlternateTenants)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    // Tenant 0 floods first; tenant 1's jobs arrive after. Stride
+    // fair-share interleaves them instead of draining tenant 0.
+    const std::uint64_t a1 = core.submit(spec(0));
+    const std::uint64_t a2 = core.submit(spec(0));
+    const std::uint64_t b1 = core.submit(spec(1));
+    const std::uint64_t b2 = core.submit(spec(1));
+    EXPECT_EQ(step(core), a1);
+    EXPECT_EQ(step(core), b1);
+    EXPECT_EQ(step(core), a2);
+    EXPECT_EQ(step(core), b2);
+}
+
+TEST(ServeCore, WeightsSkewTheShare)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    core.setTenantWeight(0, 2.0);
+    core.setTenantWeight(1, 1.0);
+    for (int i = 0; i < 30; ++i) {
+        core.submit(spec(0));
+        core.submit(spec(1));
+    }
+    for (int i = 0; i < 30; ++i)
+        step(core);
+    // Weight 2 tenant gets ~2/3 of the first 30 dispatches.
+    const std::uint64_t heavy = core.tenantDispatches(0);
+    const std::uint64_t light = core.tenantDispatches(1);
+    EXPECT_EQ(heavy + light, 30u);
+    EXPECT_NEAR(static_cast<double>(heavy), 20.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(light), 10.0, 1.0);
+}
+
+TEST(ServeCore, LateTenantGetsNoAbsenceCredit)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    for (int i = 0; i < 10; ++i)
+        core.submit(spec(0));
+    for (int i = 0; i < 5; ++i)
+        step(core);
+    // Tenant 1 joins late: it must share from now on, not monopolize
+    // the queue to "catch up" on dispatches it never asked for.
+    core.submit(spec(1));
+    core.submit(spec(1));
+    const std::uint64_t first = step(core);
+    const std::uint64_t second = step(core);
+    EXPECT_NE(first, second);
+    const bool interleaved =
+        core.tenantDispatches(1) == 1u || core.tenantDispatches(1) == 2u;
+    EXPECT_TRUE(interleaved);
+    // But never both late jobs before tenant 0 runs again.
+    EXPECT_GE(core.tenantDispatches(0), 6u - 1u);
+}
+
+TEST(ServeCore, SetTenantWeightValidates)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    EXPECT_THROW(core.setTenantWeight(0, 0.0), std::invalid_argument);
+    EXPECT_THROW(core.setTenantWeight(0, -1.0), std::invalid_argument);
+}
+
+TEST(ServeCore, CancelOnlyQueuedJobs)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    const std::uint64_t a = core.submit(spec(0));
+    const std::uint64_t b = core.submit(spec(0));
+    const auto d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    ASSERT_EQ(d->jobId, a);
+
+    EXPECT_FALSE(core.cancel(a)) << "running job is not preemptible";
+    EXPECT_TRUE(core.cancel(b));
+    EXPECT_FALSE(core.cancel(b)) << "already cancelled";
+    EXPECT_FALSE(core.cancel(999)) << "unknown id";
+    EXPECT_EQ(core.find(b)->state, ServeJobState::Cancelled);
+
+    core.onRunFinished(*d, "d", 0.0, 4);
+    EXPECT_FALSE(core.cancel(a)) << "completed job";
+    EXPECT_FALSE(core.nextDispatch().has_value())
+        << "cancelled job must never dispatch";
+    EXPECT_EQ(core.cancelledCount(), 1u);
+    EXPECT_EQ(core.completedCount(), 1u);
+}
+
+TEST(ServeCore, CrashPlanDrivesLegsAndResume)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    ServeJobSpec s = spec(0);
+    s.crashPlan = {2, 5};
+    const std::uint64_t id = core.submit(s);
+
+    // Leg 0: fresh start, crashes at iteration 2.
+    auto d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_FALSE(d->resume);
+    EXPECT_EQ(d->crashAfterIters, 2u);
+    core.onRunCrashed(*d);
+    EXPECT_EQ(core.find(id)->state, ServeJobState::Queued);
+    EXPECT_TRUE(pool.anyFree()) << "crashed leg released its lease";
+
+    // Leg 1: resumes, crashes at iteration 5.
+    d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->resume);
+    EXPECT_EQ(d->leg, 1u);
+    EXPECT_EQ(d->crashAfterIters, 5u);
+    core.onRunCrashed(*d);
+
+    // Leg 2: past the plan — runs to completion.
+    d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->resume);
+    EXPECT_EQ(d->crashAfterIters, 0u);
+    core.onRunFinished(*d, "final", -1.5, 4);
+    const auto info = core.find(id);
+    EXPECT_EQ(info->state, ServeJobState::Completed);
+    EXPECT_EQ(info->legsDispatched, 3u);
+}
+
+TEST(ServeCore, ReplayRebuildsTheJobTable)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    ServeJobSpec s = spec(3);
+    core.replaySubmit(5, s);
+    core.replaySubmit(9, s);
+    EXPECT_THROW(core.replaySubmit(9, s), std::invalid_argument)
+        << "id reuse";
+    EXPECT_THROW(core.replaySubmit(7, s), std::invalid_argument)
+        << "non-monotonic id";
+
+    core.replayComplete(5, "olddigest", -3.0, 4);
+    EXPECT_EQ(core.find(5)->state, ServeJobState::Completed);
+    EXPECT_EQ(core.find(5)->trajectoryDigest, "olddigest");
+    EXPECT_THROW(core.replayComplete(5, "x", 0.0, 0),
+                 std::invalid_argument)
+        << "double replay-complete";
+
+    // The un-completed replayed job dispatches with resume set: its
+    // checkpoint (if any) carries the progress.
+    const auto d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->jobId, 9u);
+    EXPECT_TRUE(d->resume);
+
+    // Fresh submissions continue above the replayed id range.
+    EXPECT_EQ(core.submit(spec(0)), 10u);
+}
+
+TEST(ServeCore, FinishValidatesJobState)
+{
+    BackendPool pool({"guadalupe"}, 1);
+    ServeCore core(pool);
+    core.submit(spec(0));
+    const auto d = core.nextDispatch();
+    ASSERT_TRUE(d.has_value());
+    core.onRunFinished(*d, "d", 0.0, 4);
+    EXPECT_THROW(core.onRunFinished(*d, "d", 0.0, 4),
+                 std::invalid_argument)
+        << "double finish of the same dispatch";
+    EXPECT_THROW(core.onRunCrashed(*d), std::invalid_argument);
+}
+
+TEST(ServeCore, MultipleBackendsRunConcurrentLegs)
+{
+    BackendPool pool({"guadalupe", "toronto", "sydney"}, 1);
+    ServeCore core(pool);
+    for (int i = 0; i < 5; ++i)
+        core.submit(spec(static_cast<std::uint64_t>(i)));
+    const auto d1 = core.nextDispatch();
+    const auto d2 = core.nextDispatch();
+    const auto d3 = core.nextDispatch();
+    ASSERT_TRUE(d1 && d2 && d3);
+    EXPECT_FALSE(core.nextDispatch().has_value()) << "pool exhausted";
+    EXPECT_EQ(core.runningCount(), 3u);
+    // Distinct backends, distinct jobs.
+    EXPECT_NE(d1->lease.backendId, d2->lease.backendId);
+    EXPECT_NE(d2->lease.backendId, d3->lease.backendId);
+    core.onRunFinished(*d2, "d", 0.0, 4);
+    EXPECT_TRUE(core.nextDispatch().has_value())
+        << "freed backend re-dispatches immediately";
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Threaded end-to-end tests of the ServeScheduler: multiplexed runs
+ * stay bit-identical to solo execution at every worker count, crash
+ * plans recover through per-run checkpoints, and a rebuilt scheduler
+ * (manifest resume) completes interrupted work deterministically.
+ */
+
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/crash_point.hpp"
+#include "vqe/run_digest.hpp"
+
+namespace qismet {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Small mixed-tenant workload, cheap enough for tier1. */
+std::vector<ServeJobSpec>
+smallWorkload(std::size_t count)
+{
+    std::vector<ServeJobSpec> specs;
+    for (std::size_t i = 0; i < count; ++i) {
+        Rng rng(deriveStreamSeed(404, StreamDomain::kSoakSpec, i));
+        ServeJobSpec spec;
+        spec.tenantId = rng.uniformInt(3);
+        spec.priority = static_cast<int>(rng.uniformInt(2));
+        spec.kind = WorkloadKind::TfimApp;
+        spec.appIndex = static_cast<int>(1 + rng.uniformInt(6));
+        spec.seed = rng.engine()();
+        spec.totalJobs = 6 + rng.uniformInt(6);
+        spec.withFaults = rng.bernoulli(0.5);
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::string
+soloDigest(const ServeJobSpec &spec)
+{
+    const QismetVqe runner = buildRunner(spec);
+    return trajectoryDigest(runner.run(buildRunConfig(spec)).run);
+}
+
+/** Run a workload through a scheduler; digests keyed by job id. */
+std::map<std::uint64_t, std::string>
+serveAll(const std::vector<ServeJobSpec> &specs,
+         ServeSchedulerConfig cfg)
+{
+    ServeScheduler scheduler(cfg);
+    for (const ServeJobSpec &spec : specs)
+        scheduler.submit(spec);
+    scheduler.drain();
+    std::map<std::uint64_t, std::string> digests;
+    for (std::uint64_t id : scheduler.jobIds()) {
+        const auto info = scheduler.poll(id);
+        EXPECT_TRUE(info.has_value());
+        EXPECT_EQ(info->state, ServeJobState::Completed);
+        digests[id] = info->trajectoryDigest;
+    }
+    return digests;
+}
+
+fs::path
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("qismet_serve_" + name);
+    fs::remove_all(dir);
+    return dir;
+}
+
+TEST(ServeScheduler, ConfigValidation)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = 0;
+    EXPECT_THROW(ServeScheduler s(cfg), std::invalid_argument);
+    cfg.workers = 1;
+    cfg.resume = true;
+    EXPECT_THROW(ServeScheduler s(cfg), std::invalid_argument)
+        << "resume without stateDir";
+}
+
+TEST(ServeScheduler, CrashPlanRequiresDurableScheduler)
+{
+    ServeSchedulerConfig cfg;
+    ServeScheduler scheduler(cfg);
+    ServeJobSpec spec;
+    spec.totalJobs = 4;
+    spec.crashPlan = {2};
+    EXPECT_THROW(scheduler.submit(spec), std::invalid_argument);
+}
+
+TEST(ServeScheduler, ServedRunMatchesSoloExecution)
+{
+    ServeJobSpec spec;
+    spec.kind = WorkloadKind::TfimApp;
+    spec.appIndex = 2;
+    spec.seed = 1234;
+    spec.totalJobs = 10;
+    spec.withFaults = true;
+
+    ServeSchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.backends = {"guadalupe", "toronto"};
+    const auto digests = serveAll({spec, spec, spec}, cfg);
+    const std::string solo = soloDigest(spec);
+    ASSERT_EQ(digests.size(), 3u);
+    for (const auto &[id, digest] : digests)
+        EXPECT_EQ(digest, solo) << "job " << id;
+}
+
+TEST(ServeScheduler, DigestsIdenticalAcrossWorkerCounts)
+{
+    const std::vector<ServeJobSpec> specs = smallWorkload(8);
+    ServeSchedulerConfig cfg;
+    cfg.backends = {"guadalupe", "guadalupe", "guadalupe",
+                    "guadalupe"};
+    cfg.workers = 1;
+    const auto w1 = serveAll(specs, cfg);
+    cfg.workers = 2;
+    const auto w2 = serveAll(specs, cfg);
+    cfg.workers = 4;
+    const auto w4 = serveAll(specs, cfg);
+    EXPECT_EQ(w1, w2);
+    EXPECT_EQ(w1, w4);
+
+    // And every one equals its solo execution.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(w1.at(i + 1), soloDigest(specs[i])) << "spec " << i;
+}
+
+TEST(ServeScheduler, CancelQueuedJobNeverRuns)
+{
+    // One worker, one backend: submit two, cancel the second while the
+    // first may still be running. If the cancel lands while queued the
+    // job must stay cancelled; if the race was lost it completed.
+    ServeSchedulerConfig cfg;
+    ServeScheduler scheduler(cfg);
+    const std::vector<ServeJobSpec> specs = smallWorkload(2);
+    const std::uint64_t first = scheduler.submit(specs[0]);
+    const std::uint64_t second = scheduler.submit(specs[1]);
+    const bool cancelled = scheduler.cancel(second);
+    scheduler.drain();
+    EXPECT_EQ(scheduler.poll(first)->state, ServeJobState::Completed);
+    const ServeJobState got = scheduler.poll(second)->state;
+    EXPECT_EQ(got, cancelled ? ServeJobState::Cancelled
+                             : ServeJobState::Completed);
+    EXPECT_FALSE(scheduler.poll(999).has_value());
+}
+
+TEST(ServeScheduler, CrashPlanLegsRecoverBitIdentically)
+{
+    const fs::path dir = freshDir("crashplan");
+    ServeJobSpec spec;
+    spec.kind = WorkloadKind::TfimApp;
+    spec.appIndex = 3;
+    spec.seed = 777;
+    spec.totalJobs = 10;
+    spec.crashPlan = {2, 5};
+
+    ServeJobSpec noCrash = spec;
+    noCrash.crashPlan.clear();
+
+    ServeSchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.stateDir = (dir / "state").string();
+    const auto digests = serveAll({spec, noCrash}, cfg);
+    const std::string solo = soloDigest(noCrash);
+    // Three legs (crash@2, crash@5, finish) produce the same
+    // trajectory as the uninterrupted run: resume is bit-exact and
+    // crashAfterIters never enters the run config digest.
+    EXPECT_EQ(digests.at(1), solo);
+    EXPECT_EQ(digests.at(2), solo);
+    fs::remove_all(dir);
+}
+
+TEST(ServeScheduler, LegAccountingCoversCrashes)
+{
+    const fs::path dir = freshDir("legs");
+    ServeJobSpec spec;
+    spec.totalJobs = 8;
+    spec.crashPlan = {3};
+
+    ServeSchedulerConfig cfg;
+    cfg.stateDir = (dir / "state").string();
+    ServeScheduler scheduler(cfg);
+    const std::uint64_t id = scheduler.submit(spec);
+    scheduler.drain();
+    const auto info = scheduler.poll(id);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, ServeJobState::Completed);
+    EXPECT_EQ(info->legsDispatched, 2u) << "crash leg + finish leg";
+    // The fleet telemetry agrees: every leg was a completed lease.
+    EXPECT_EQ(scheduler.backendLeases(0), 2u);
+    fs::remove_all(dir);
+}
+
+TEST(ServeScheduler, ResumeReplaysCompletedJobsWithoutRerun)
+{
+    const fs::path dir = freshDir("resume_done");
+    ServeSchedulerConfig cfg;
+    cfg.stateDir = (dir / "state").string();
+    const std::vector<ServeJobSpec> specs = smallWorkload(3);
+
+    std::map<std::uint64_t, std::string> before;
+    {
+        ServeScheduler scheduler(cfg);
+        for (const ServeJobSpec &spec : specs)
+            scheduler.submit(spec);
+        scheduler.drain();
+        for (std::uint64_t id : scheduler.jobIds())
+            before[id] = scheduler.poll(id)->trajectoryDigest;
+    }
+
+    cfg.resume = true;
+    ServeScheduler resumed(cfg);
+    EXPECT_EQ(resumed.replayedCompletions(), 3u);
+    resumed.drain();
+    for (const auto &[id, digest] : before) {
+        const auto info = resumed.poll(id);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->state, ServeJobState::Completed);
+        EXPECT_EQ(info->trajectoryDigest, digest);
+    }
+    // New work continues above the replayed id range.
+    EXPECT_EQ(resumed.submit(specs[0]), 4u);
+    resumed.drain();
+    EXPECT_EQ(resumed.poll(4)->trajectoryDigest, before.at(1));
+    fs::remove_all(dir);
+}
+
+TEST(ServeScheduler, ResumeRejectsDifferentFleet)
+{
+    const fs::path dir = freshDir("fleet_mismatch");
+    ServeSchedulerConfig cfg;
+    cfg.stateDir = (dir / "state").string();
+    cfg.backends = {"guadalupe", "toronto"};
+    {
+        ServeScheduler scheduler(cfg);
+    }
+    cfg.resume = true;
+    cfg.backends = {"guadalupe"};
+    EXPECT_THROW(ServeScheduler s(cfg), ManifestError);
+    fs::remove_all(dir);
+}
+
+TEST(ServeScheduler, ResumeFinishesInterruptedRunBitIdentically)
+{
+    // Simulate a whole-process kill mid-run without leaving the test
+    // process: run leg 0 by hand until its planned crash (leaving a
+    // genuine mid-run checkpoint in the scheduler's run dir), write a
+    // manifest that records the submission but no completion, then
+    // construct a resume scheduler over that state.
+    const fs::path dir = freshDir("resume_midrun");
+    const std::string state = (dir / "state").string();
+    fs::create_directories(state);
+
+    ServeJobSpec spec;
+    spec.kind = WorkloadKind::TfimApp;
+    spec.appIndex = 1;
+    spec.seed = 4242;
+    spec.totalJobs = 10;
+    spec.crashPlan = {3};
+
+    ServeSchedulerConfig cfg;
+    cfg.stateDir = state;
+
+    {
+        // Leg 0, exactly as a worker would run it.
+        QismetVqeConfig runCfg = buildRunConfig(spec);
+        runCfg.checkpointDir = state + "/run-1";
+        runCfg.crashAfterIters = spec.crashPlan[0];
+        EXPECT_THROW(buildRunner(spec).run(runCfg), SimulatedCrash);
+    }
+    {
+        // The manifest a killed scheduler would have left behind. The
+        // fleet digest must match the config above (same encoding the
+        // scheduler uses).
+        Encoder enc;
+        enc.writeU64(cfg.backendSeed);
+        enc.writeU64(cfg.backends.size());
+        for (const std::string &name : cfg.backends)
+            enc.writeString(name);
+        ServeManifest manifest(state + "/manifest.qsvm",
+                               fnv1a64(enc.bytes()),
+                               DurableFile::Mode::Truncate);
+        manifest.appendSubmit(1, spec);
+    }
+
+    cfg.resume = true;
+    ServeScheduler resumed(cfg);
+    EXPECT_EQ(resumed.replayedCompletions(), 0u);
+    resumed.drain();
+    const auto info = resumed.poll(1);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, ServeJobState::Completed);
+
+    ServeJobSpec noCrash = spec;
+    noCrash.crashPlan.clear();
+    EXPECT_EQ(info->trajectoryDigest, soloDigest(noCrash))
+        << "recovered run must continue the interrupted trajectory, "
+           "not restart it";
+    fs::remove_all(dir);
+}
+
+TEST(ServeScheduler, FairShareHoldsUnderThreads)
+{
+    // Two tenants, weight 1:3, single backend so dispatches serialize.
+    ServeSchedulerConfig cfg;
+    cfg.workers = 2;
+    ServeScheduler scheduler(cfg);
+    scheduler.setTenantWeight(0, 1.0);
+    scheduler.setTenantWeight(1, 3.0);
+    const std::vector<ServeJobSpec> base = smallWorkload(1);
+    for (int i = 0; i < 8; ++i) {
+        ServeJobSpec spec = base[0];
+        spec.priority = 0;
+        spec.tenantId = 0;
+        scheduler.submit(spec);
+        spec.tenantId = 1;
+        scheduler.submit(spec);
+        scheduler.submit(spec);
+        scheduler.submit(spec);
+    }
+    scheduler.drain();
+    EXPECT_EQ(scheduler.tenantDispatches(0), 8u);
+    EXPECT_EQ(scheduler.tenantDispatches(1), 24u);
+}
+
+} // namespace
+} // namespace qismet

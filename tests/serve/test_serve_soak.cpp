@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The full serve-layer soak (`soak` ctest label, not tier1): >= 1000
+ * short multiplexed runs with crash injection. Every run's digest must
+ * equal its solo digest, and the whole digest table must be identical
+ * at 1/2/4/8 workers. Run with `ctest -L soak` or the soak preset.
+ *
+ * The bounded per-commit variant is test_serve_soak_smoke.cpp; the
+ * whole-process kill (exit 43) variant is soak_kill_resume.sh —
+ * std::_Exit cannot be exercised inside a gtest process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soak_workload.hpp"
+
+namespace qismet {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::map<std::uint64_t, std::string>
+runFleet(const std::vector<ServeJobSpec> &specs, std::size_t workers,
+         const std::string &state_dir)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.backends.assign(4, "guadalupe");
+    cfg.stateDir = state_dir;
+    ServeScheduler scheduler(cfg);
+    for (const ServeJobSpec &spec : specs)
+        scheduler.submit(spec);
+    scheduler.drain();
+    std::map<std::uint64_t, std::string> digests;
+    for (std::uint64_t id : scheduler.jobIds()) {
+        const auto info = scheduler.poll(id);
+        EXPECT_EQ(info->state, ServeJobState::Completed);
+        digests[id] = info->trajectoryDigest;
+    }
+    return digests;
+}
+
+TEST(ServeSoak, ThousandRunSoak)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "qismet_soak_thousand";
+    fs::remove_all(dir);
+    const std::size_t kRuns = 1000;
+    const std::vector<ServeJobSpec> specs =
+        test::soakWorkload(90210, kRuns, true);
+
+    // The same fleet at every worker count, each over fresh state.
+    std::map<std::uint64_t, std::string> reference;
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        std::string leaf = "w";
+        leaf += std::to_string(workers);
+        const std::string state = (dir / leaf).string();
+        const auto digests = runFleet(specs, workers, state);
+        ASSERT_EQ(digests.size(), kRuns);
+        if (reference.empty())
+            reference = digests;
+        else
+            ASSERT_EQ(digests, reference)
+                << "digest table drifted at " << workers << " workers";
+    }
+
+    // Every run bit-identical to its solo execution.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        ASSERT_EQ(reference.at(i + 1), test::soloDigest(specs[i]))
+            << "run " << i << " diverged from solo";
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded tier1 soak: a small fleet with crash plans and a scheduler
+ * teardown/reconstruct (manifest resume) in the middle — the fast
+ * per-commit stand-in for the full `soak`-labelled thousand-run test
+ * (test_serve_soak.cpp) and the exit-43 kill harness
+ * (soak_kill_resume.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soak_workload.hpp"
+
+namespace qismet {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ServeSoak, SoakSmoke)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "qismet_soak_smoke";
+    fs::remove_all(dir);
+    const std::vector<ServeJobSpec> specs =
+        test::soakWorkload(31337, 24, true);
+
+    // Phase 1: first half of the fleet through a durable scheduler.
+    std::map<std::uint64_t, std::string> firstHalf;
+    {
+        ServeSchedulerConfig cfg;
+        cfg.workers = 4;
+        cfg.backends.assign(3, "guadalupe");
+        cfg.stateDir = (dir / "state").string();
+        ServeScheduler scheduler(cfg);
+        for (std::size_t i = 0; i < specs.size() / 2; ++i)
+            scheduler.submit(specs[i]);
+        scheduler.drain();
+        for (std::uint64_t id : scheduler.jobIds())
+            firstHalf[id] = scheduler.poll(id)->trajectoryDigest;
+    }
+
+    // Phase 2: reconstruct over the same state (the bounded stand-in
+    // for a process kill), replay phase 1, then soak the second half.
+    {
+        ServeSchedulerConfig cfg;
+        cfg.workers = 4;
+        cfg.backends.assign(3, "guadalupe");
+        cfg.stateDir = (dir / "state").string();
+        cfg.resume = true;
+        ServeScheduler scheduler(cfg);
+        EXPECT_EQ(scheduler.replayedCompletions(), firstHalf.size());
+        for (std::size_t i = specs.size() / 2; i < specs.size(); ++i)
+            scheduler.submit(specs[i]);
+        scheduler.drain();
+
+        for (std::uint64_t id : scheduler.jobIds()) {
+            const auto info = scheduler.poll(id);
+            ASSERT_TRUE(info.has_value());
+            ASSERT_EQ(info->state, ServeJobState::Completed);
+            const auto replayed = firstHalf.find(id);
+            if (replayed != firstHalf.end()) {
+                EXPECT_EQ(info->trajectoryDigest, replayed->second)
+                    << "replayed job " << id << " lost its digest";
+            }
+            // Every run — replayed, crash-recovered or fresh — equals
+            // its solo execution.
+            const ServeJobSpec &spec = specs[id - 1];
+            EXPECT_EQ(info->trajectoryDigest, test::soloDigest(spec))
+                << "job " << id << " diverged from solo";
+        }
+    }
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Single-command CI driver: configure -> build -> tier1 tests -> golden
 # traces -> crash-resume recovery (in-process suite plus a scripted
-# kill-mid-run + resume + trajectory-diff smoke) -> lint. This is the
-# gate every change must pass; it mirrors what the presets do
-# individually, in the order that fails fastest.
+# kill-mid-run + resume + trajectory-diff smoke) -> serve-layer soak
+# (multi-tenant multiplex + scheduler kill/resume) -> kernel-bench
+# baseline gate -> lint. This is the gate every change must pass; it
+# mirrors what the presets do individually, in the order that fails
+# fastest.
 #
 # Usage: tools/ci.sh [--with-coverage]
 #
@@ -70,6 +72,14 @@ if [[ "$got" != "$want" ]]; then
     exit 1
 fi
 echo "resume digest matches straight run: $got"
+
+stage "serve-layer soak (multiplexed runs + scheduler kill/resume)"
+# The `soak` label holds the 1000-run multi-tenant soak (every digest
+# equal to its solo execution at 1/2/4/8 workers) and the whole-process
+# kill(exit 43)+resume script over the serve_soak CLI. The bounded
+# tier1 stand-in (ServeSoak.SoakSmoke) already ran in the tier1 gate;
+# this stage runs the full thing — about a minute.
+ctest --preset soak
 
 stage "kernel benchmarks vs tracked baseline (BENCH_kernels.json)"
 # Short min_time keeps this a smoke-level gate: it catches order-of-

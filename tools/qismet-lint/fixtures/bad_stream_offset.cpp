@@ -1,0 +1,53 @@
+// Fixture: every derivation here must trigger the stream-offset rule
+// when linted under a synthetic src/serve path (the rule is path-scoped,
+// so under this file's real path it stays silent).
+// This file is never compiled; it only feeds the linter's test suite.
+#include "common/rng.hpp"
+
+#include <cstdint>
+
+namespace qismet {
+
+Rng linearPackedIndex(const Rng &root, std::uint64_t tenant,
+                      std::uint64_t run)
+{
+    // tenant 1 / run 1000 aliases tenant 2 / run 0.
+    return root.splitAt(tenant * 1000 + run);
+}
+
+Rng affineOffsetSeed(std::uint64_t seed, std::uint64_t tenant)
+{
+    Rng stream(seed + tenant); // adjacent tenants share shifted streams
+    return stream;
+}
+
+std::uint64_t shiftPackedSeed(std::uint64_t seed, std::uint64_t job)
+{
+    Rng rng(seed ^ (job << 8)); // low run bits collide with the seed
+    return rng.engine()();
+}
+
+Rng sequentialSplit(Rng &root)
+{
+    return root.split(); // order-dependent: stream != f(root, id)
+}
+
+std::uint64_t packedDeriveIndex(std::uint64_t root, std::uint64_t tenant,
+                                std::uint64_t run)
+{
+    // The avalanche cannot help when the index itself is a packing.
+    return deriveStreamSeed(root, 1, tenant * 4096 + run);
+}
+
+// The blessed shape: one avalanched level per (domain, index) pair.
+Rng cleanDerivation(const Rng &root, std::uint64_t tenant)
+{
+    return root.splitStream(StreamDomain::kServeRun, tenant);
+}
+
+Rng cleanSeedForward(std::uint64_t root, std::uint64_t jobId)
+{
+    return Rng(deriveStreamSeed(root, StreamDomain::kServeRun, jobId));
+}
+
+} // namespace qismet

@@ -400,6 +400,19 @@ bool underSimHotTree(const std::string &path)
     return false;
 }
 
+/**
+ * True for the serve layer, where tenant and job IDs arrive from
+ * callers and stream allocation must therefore be collision-safe
+ * (the stream-offset rule). Pre-serve code keeps its historical
+ * derivations verbatim for trace stability — its seeds are
+ * process-internal, not caller-controlled.
+ */
+bool underServeTree(const std::string &path)
+{
+    return path.rfind("src/serve/", 0) == 0 ||
+           path.find("/src/serve/") != std::string::npos;
+}
+
 class Linter
 {
   public:
@@ -420,6 +433,7 @@ class Linter
         checkNakedNew();
         checkSplitInTask();
         checkDenseMatrixInLoop();
+        checkStreamOffset();
         std::sort(findings_.begin(), findings_.end(),
                   [](const Finding &a, const Finding &b) {
                       return a.line < b.line ||
@@ -1010,6 +1024,145 @@ class Linter
         }
     }
 
+    // ---- stream-offset ---------------------------------------------------
+
+    /**
+     * In src/serve, tenant/job IDs are caller-controlled, so stream
+     * seeds must come from deriveStreamSeed / Rng::splitStream —
+     * avalanched at every level — never from sequential Rng::split /
+     * Rng::splitAt or hand-rolled affine packings (`seed + id`,
+     * `id * K + run`), which collide under adversarial ID patterns
+     * (StreamDomain note, src/common/rng.hpp). Flags split calls and
+     * arithmetic in the arguments of Rng constructions, splitStream and
+     * deriveStreamSeed.
+     */
+    void checkStreamOffset()
+    {
+        if (!underServeTree(path_)) {
+            return;
+        }
+        const std::string rule = "stream-offset";
+        const std::string &text = scrubbed_.text;
+        for (const Token &t : tokens_) {
+            if ((t.name == "split" || t.name == "splitAt") &&
+                isMemberAccess(text, t.pos) && isCalled(text, t.end)) {
+                report(rule, t.line,
+                       "Rng::" + t.name +
+                           " in src/serve: allocate sub-streams with "
+                           "Rng::splitStream(domain, index) / "
+                           "deriveStreamSeed — sequential and offset "
+                           "splits collide under caller-controlled IDs "
+                           "(StreamDomain note, src/common/rng.hpp)");
+                continue;
+            }
+            std::size_t open = std::string::npos;
+            if ((t.name == "splitStream" || t.name == "deriveStreamSeed") &&
+                isCalled(text, t.end)) {
+                open = nextNonSpace(text, t.end);
+            } else if (t.name == "Rng") {
+                open = constructionArgs(t);
+            }
+            if (open == std::string::npos) {
+                continue;
+            }
+            std::size_t close = matchDelim(text, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            if (hasSeedArithmetic(
+                    text.substr(open + 1, close - open - 1))) {
+                report(rule, t.line,
+                       "hand-rolled seed arithmetic feeding '" + t.name +
+                           "': affine offsets (`seed + id`, "
+                           "`id * K + run`) collide under "
+                           "caller-controlled IDs — pass raw IDs as the "
+                           "deriveStreamSeed / splitStream index instead "
+                           "(src/common/rng.hpp)");
+            }
+        }
+    }
+
+    /**
+     * Opening delimiter of an `Rng` construction's arguments — the
+     * temporary `Rng(...)` / `Rng{...}` shape or a declaration
+     * `Rng name(...)` / `Rng name{...}` — or npos when the token is a
+     * reference, pointer, parameter type or anything else that carries
+     * no constructor arguments.
+     */
+    std::size_t constructionArgs(const Token &t) const
+    {
+        const std::string &text = scrubbed_.text;
+        std::size_t p = nextNonSpace(text, t.end);
+        if (p == std::string::npos) {
+            return std::string::npos;
+        }
+        if (text[p] == '(' || text[p] == '{') {
+            return p;
+        }
+        if (!isIdentStart(text[p])) {
+            return std::string::npos;
+        }
+        std::size_t end = p;
+        while (end < text.size() && isIdentChar(text[end])) {
+            ++end;
+        }
+        std::size_t q = nextNonSpace(text, end);
+        if (q != std::string::npos && (text[q] == '(' || text[q] == '{')) {
+            return q;
+        }
+        return std::string::npos;
+    }
+
+    /**
+     * True when an argument list contains offset arithmetic: `+ - * ^ %
+     * |` or a `<<` shift-packing. Tolerates `++`/`--`, `->`, `||` and
+     * unary minus — only a binary minus (operand on its left) counts.
+     */
+    static bool hasSeedArithmetic(const std::string &args)
+    {
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const char c = args[i];
+            const char prev = i > 0 ? args[i - 1] : '\0';
+            const char next = i + 1 < args.size() ? args[i + 1] : '\0';
+            switch (c) {
+            case '*':
+            case '^':
+            case '%':
+                return true;
+            case '+':
+                if (prev != '+' && next != '+') {
+                    return true;
+                }
+                break;
+            case '|':
+                if (prev != '|' && next != '|') {
+                    return true;
+                }
+                break;
+            case '<':
+                if (next == '<') {
+                    return true;
+                }
+                break;
+            case '-': {
+                if (prev == '-' || next == '-' || next == '>') {
+                    break;
+                }
+                const std::size_t p = prevNonSpace(args, i);
+                if (p != std::string::npos &&
+                    (isIdentChar(args[p]) || args[p] == ')' ||
+                     args[p] == ']')) {
+                    return true;
+                }
+                break;
+            }
+            default:
+                break;
+            }
+        }
+        return false;
+    }
+
     std::string path_;
     Scrubbed scrubbed_;
     std::vector<Token> tokens_;
@@ -1024,7 +1177,7 @@ const std::vector<std::string> &allRules()
     static const std::vector<std::string> rules = {
         "ambient-rng",    "unordered-reduction", "raw-thread",
         "raw-file-write", "naked-new",           "split-in-task",
-        "dense-matrix-in-loop"};
+        "dense-matrix-in-loop", "stream-offset"};
     return rules;
 }
 

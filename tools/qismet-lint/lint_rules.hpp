@@ -45,6 +45,16 @@
  *                           matrices once via CompiledCircuit, or fill
  *                           preallocated scratch with Gate::matrixInto
  *                           (DESIGN.md section 11).
+ *  - `stream-offset`      — in src/serve, where tenant and job IDs are
+ *                           caller-controlled, sub-streams must be
+ *                           allocated with Rng::splitStream /
+ *                           deriveStreamSeed. Flags Rng::split /
+ *                           Rng::splitAt calls and affine seed
+ *                           arithmetic (`seed + id`, `id * K + run`)
+ *                           feeding an Rng construction or a
+ *                           stream-derivation call: linear packings
+ *                           collide under adversarial ID patterns
+ *                           (StreamDomain note, src/common/rng.hpp).
  *
  * Suppression: append `// qismet-lint: allow(<rule>[, <rule>...])` to the
  * offending line, or place it alone on the line directly above. A

@@ -56,14 +56,14 @@ int countRule(const std::string &path, const std::string &source,
 
 // ---- rule registry -------------------------------------------------------
 
-TEST(LintRegistry, AllSevenRulesRegistered)
+TEST(LintRegistry, AllEightRulesRegistered)
 {
     const auto &rules = qlint::allRules();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     for (const char *rule :
          {"ambient-rng", "unordered-reduction", "raw-thread",
           "raw-file-write", "naked-new", "split-in-task",
-          "dense-matrix-in-loop"}) {
+          "dense-matrix-in-loop", "stream-offset"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << rule;
     }
@@ -520,6 +520,110 @@ TEST(DenseMatrixInLoop, FixtureFiresUnderSyntheticSimPath)
     }
     // Under the fixture's real path (outside src/sim) the rule is silent.
     EXPECT_TRUE(lintFile(fixture("bad_dense_matrix_in_loop.cpp")).empty());
+}
+
+// ---- stream-offset -------------------------------------------------------
+
+TEST(StreamOffset, FiresOnSplitCallsUnderServe)
+{
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng leg = rng.splitAt(jobId);", "stream-offset"),
+              1);
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "Rng next = rng.split();", "stream-offset"),
+              1);
+}
+
+TEST(StreamOffset, FiresOnAffineSeedArithmetic)
+{
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(spec.seed + tenantId);", "stream-offset"),
+              1);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(seed - tenantId);", "stream-offset"),
+              1);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng{tenant * 1000 + run};", "stream-offset"),
+              1);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "const std::uint64_t s = deriveStreamSeed(root, "
+                        "StreamDomain::kServeRun, tenant * 64 + run);",
+                        "stream-offset"),
+              1);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng leg = rng.splitStream(StreamDomain::kServeRun, "
+                        "(tenant << 20) | run);",
+                        "stream-offset"),
+              1);
+}
+
+TEST(StreamOffset, IgnoresAvalanchedDerivations)
+{
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "b.streamSeed = deriveStreamSeed(seed, "
+                        "StreamDomain::kBackend, id);",
+                        "stream-offset"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(deriveStreamSeed(root, "
+                        "StreamDomain::kServeRun, jobId));",
+                        "stream-offset"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng leg = rng.splitStream(StreamDomain::kServeRun, "
+                        "jobId);",
+                        "stream-offset"),
+              0);
+    // References, parameters and plain mentions carry no ctor args.
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "void f(Rng &rng, const Rng *other);",
+                        "stream-offset"),
+              0);
+}
+
+TEST(StreamOffset, ScopedToServeTreeOnly)
+{
+    // Pre-serve derivations keep their historical form for trace
+    // stability; tests and tools are free to construct ad-hoc streams.
+    const char *src = "Rng rng(seed + tenant); Rng leg = rng.splitAt(i);";
+    for (const char *path :
+         {"src/core/qismet_runner.cpp", "src/common/rng.cpp",
+          "tests/serve/test_serve_core.cpp", "tools/serve_soak.cpp"}) {
+        EXPECT_EQ(countRule(path, src, "stream-offset"), 0) << path;
+    }
+}
+
+TEST(StreamOffset, SuppressibleAndIncrementTolerant)
+{
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(seed + tenant); // qismet-lint: "
+                        "allow(stream-offset)",
+                        "stream-offset"),
+              0);
+    // ++/--, -> and unary minus are not offset arithmetic.
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(nextSeed(it->second, idx++));",
+                        "stream-offset"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "Rng rng(pick(seed, -1));", "stream-offset"),
+              0);
+}
+
+TEST(StreamOffset, FixtureFiresUnderSyntheticServePath)
+{
+    const auto findings =
+        lintSource("src/serve/bad_stream_offset.cpp",
+                   fixtureSource("bad_stream_offset.cpp"));
+    const auto hits = ruleFindings(findings, "stream-offset");
+    EXPECT_EQ(hits.size(), 5u);
+    for (const Finding &f : hits) {
+        EXPECT_GT(f.line, 0);
+        EXPECT_FALSE(f.message.empty());
+    }
+    // Under the fixture's real path (outside src/serve) the rule — and
+    // every other rule — stays silent.
+    EXPECT_TRUE(lintFile(fixture("bad_stream_offset.cpp")).empty());
 }
 
 // ---- fixture files -------------------------------------------------------
