@@ -72,8 +72,12 @@ ServeScheduler::ServeScheduler(ServeSchedulerConfig config)
     }
 
     pool_ = std::make_unique<ThreadPool>(config_.workers);
-    std::lock_guard<std::mutex> lock(mutex_);
-    pumpLocked();
+    std::vector<ServeDispatch> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch = collectDispatchesLocked();
+    }
+    dispatchBatch(std::move(batch));
 }
 
 ServeScheduler::~ServeScheduler()
@@ -104,11 +108,16 @@ ServeScheduler::submit(const ServeJobSpec &spec)
         throw std::invalid_argument(
             "ServeScheduler::submit: a crash plan needs a durable "
             "scheduler (stateDir) to recover from");
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::uint64_t id = core_.submit(spec);
-    if (manifest_)
-        manifest_->appendSubmit(id, spec);
-    pumpLocked();
+    std::uint64_t id = 0;
+    std::vector<ServeDispatch> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = core_.submit(spec);
+        if (manifest_)
+            manifest_->appendSubmit(id, spec);
+        batch = collectDispatchesLocked();
+    }
+    dispatchBatch(std::move(batch));
     return id;
 }
 
@@ -164,14 +173,23 @@ ServeScheduler::tenantDispatches(std::uint64_t tenant_id) const
     return core_.tenantDispatches(tenant_id);
 }
 
-void
-ServeScheduler::pumpLocked()
+std::vector<ServeDispatch>
+ServeScheduler::collectDispatchesLocked()
 {
-    while (auto dispatch = core_.nextDispatch()) {
+    std::vector<ServeDispatch> batch;
+    while (auto dispatch = core_.nextDispatch())
+        batch.push_back(*dispatch);
+    return batch;
+}
+
+void
+ServeScheduler::dispatchBatch(std::vector<ServeDispatch> batch)
+{
+    for (ServeDispatch &dispatch : batch) {
         // The worker gets its own copy of the dispatch; the lambda is
         // the only owner, so the leg's identity can't be raced.
         pool_->submit(
-            [this, d = *dispatch]() mutable { runLeg(d); });
+            [this, d = std::move(dispatch)]() mutable { runLeg(d); });
     }
 }
 
@@ -200,27 +218,31 @@ ServeScheduler::runLeg(const ServeDispatch &dispatch)
         crashed = true;
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (crashed) {
-        core_.onRunCrashed(dispatch);
+    std::vector<ServeDispatch> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (crashed) {
+            core_.onRunCrashed(dispatch);
+        }
+        else {
+            // Write-ahead: the outcome is durable before the job table
+            // flips to Completed, so a kill between the two re-runs the
+            // leg (deterministic) instead of losing the result.
+            if (manifest_)
+                manifest_->appendComplete(dispatch.jobId, completion);
+            core_.onRunFinished(dispatch, completion.trajectoryDigest,
+                                completion.finalEstimate,
+                                completion.jobsUsed);
+        }
+        // The soak harness arms this point in Exit mode (std::_Exit(43)):
+        // a genuine whole-process death at a job boundary, serialized
+        // under the scheduler lock so the countdown is exact.
+        CrashPoints::hit(kCrashServeJobBoundary);
+        batch = collectDispatchesLocked();
+        if (core_.pendingCount() == 0)
+            idle_.notify_all();
     }
-    else {
-        // Write-ahead: the outcome is durable before the job table
-        // flips to Completed, so a kill between the two re-runs the
-        // leg (deterministic) instead of losing the result.
-        if (manifest_)
-            manifest_->appendComplete(dispatch.jobId, completion);
-        core_.onRunFinished(dispatch, completion.trajectoryDigest,
-                            completion.finalEstimate,
-                            completion.jobsUsed);
-    }
-    // The soak harness arms this point in Exit mode (std::_Exit(43)):
-    // a genuine whole-process death at a job boundary, serialized
-    // under the scheduler lock so the countdown is exact.
-    CrashPoints::hit(kCrashServeJobBoundary);
-    pumpLocked();
-    if (core_.pendingCount() == 0)
-        idle_.notify_all();
+    dispatchBatch(std::move(batch));
 }
 
 } // namespace qismet

@@ -127,8 +127,17 @@ class ServeScheduler
 
   private:
     void recoverLocked();
-    /** Dispatch every runnable leg to the pool (lock held). */
-    void pumpLocked();
+    /**
+     * Drain every runnable leg out of the core (lock held). The caller
+     * releases the lock and hands the batch to dispatchBatch(): leg
+     * *identity* (backend lease, spec, resume point) is fixed here
+     * under the mutex, while the ThreadPool submission happens outside
+     * it so the scheduler lock is never held across pool dispatch
+     * (lock-order rule).
+     */
+    std::vector<ServeDispatch> collectDispatchesLocked();
+    /** Submit a collected batch to the pool. Call with no lock held. */
+    void dispatchBatch(std::vector<ServeDispatch> batch);
     /** Execute one leg on a worker thread. */
     void runLeg(const ServeDispatch &dispatch);
     std::string runDir(std::uint64_t job_id) const;

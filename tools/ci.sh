@@ -3,7 +3,9 @@
 # traces -> crash-resume recovery (in-process suite plus a scripted
 # kill-mid-run + resume + trajectory-diff smoke) -> serve-layer soak
 # (multi-tenant multiplex + scheduler kill/resume) -> kernel-bench
-# baseline gate -> lint. This is the gate every change must pass; it
+# baseline gate -> lint (baseline diff + SARIF artifact) -> TSan sweep
+# of the concurrency-heavy suites. This is the gate every change must
+# pass; it
 # mirrors what the presets do individually, in the order that fails
 # fastest.
 #
@@ -96,9 +98,25 @@ stage "kernel benchmarks vs tracked baseline (BENCH_kernels.json)"
     --benchmark_out=build/BENCH_kernels.json
 tools/bench-compare.sh BENCH_kernels.json build/BENCH_kernels.json
 
-stage "lint (qismet-lint + clang-tidy profile + format check)"
+stage "lint (baseline diff + SARIF artifact + clang-tidy + format)"
+# qismet-lint runs in baseline-diff mode: only findings beyond the
+# committed lint-baseline.json ratchet fail the stage. The sweep also
+# writes build/qismet-lint.sarif for CI upload. The ctest pass adds the
+# rule-engine/semantic-index suites and the baseline gate (a seeded
+# fixture tree that must fail against the clean baseline).
 cmake --preset lint >/dev/null
 cmake --build --preset lint
+ctest --preset lint
+echo "ci: SARIF artifact at build/qismet-lint.sarif"
+
+stage "tsan subsystem sweep (serve + persist + fault suites)"
+# The concurrency-heavy suites rerun under ThreadSanitizer; any data
+# race is a hard failure. Only the three subsystem binaries are built
+# in the tsan tree to keep the stage bounded (~3 min).
+cmake --preset tsan >/dev/null
+cmake --build build-tsan --target test_serve test_persist test_fault \
+    -j "$jobs"
+ctest --preset tsan-subsys
 
 if [[ $with_coverage -eq 1 ]]; then
     stage "coverage build"

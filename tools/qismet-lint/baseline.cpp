@@ -1,0 +1,217 @@
+#include "baseline.hpp"
+
+#include "sarif.hpp" // jsonEscape
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace qlint {
+namespace {
+
+/** Minimal recursive-descent cursor over the baseline JSON subset. */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+            ++pos;
+        }
+    }
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("lint-baseline: malformed JSON (" +
+                                 what + " near offset " +
+                                 std::to_string(pos) + ")");
+    }
+
+    void expect(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos;
+    }
+
+    bool peek(char c)
+    {
+        skipWs();
+        return pos < text.size() && text[pos] == c;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos];
+            if (c == '\\' && pos + 1 < text.size()) {
+                ++pos;
+                char e = text[pos];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                default: out += e;
+                }
+            } else {
+                out += c;
+            }
+            ++pos;
+        }
+        expect('"');
+        return out;
+    }
+
+    long parseInt()
+    {
+        skipWs();
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-') {
+            ++pos;
+        }
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+            ++pos;
+        }
+        if (pos == start) {
+            fail("expected integer");
+        }
+        return std::stol(text.substr(start, pos - start));
+    }
+};
+
+} // namespace
+
+Baseline baselineFromFindings(const std::vector<Finding> &findings)
+{
+    Baseline out;
+    for (const Finding &f : findings) {
+        ++out[{f.file, f.rule}];
+    }
+    return out;
+}
+
+std::string renderBaseline(const Baseline &baseline)
+{
+    std::string out;
+    out += "{\n  \"version\": 1,\n  \"findings\": [";
+    bool first = true;
+    for (const auto &[key, count] : baseline) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    { \"file\": \"" + jsonEscape(key.first) +
+               "\", \"rule\": \"" + jsonEscape(key.second) +
+               "\", \"count\": " + std::to_string(count) + " }";
+    }
+    out += first ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+Baseline parseBaseline(const std::string &json)
+{
+    Cursor cur{json};
+    Baseline out;
+    cur.expect('{');
+    bool sawFindings = false;
+    while (!cur.peek('}')) {
+        std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "version") {
+            long version = cur.parseInt();
+            if (version != 1) {
+                cur.fail("unsupported version " +
+                         std::to_string(version));
+            }
+        } else if (key == "findings") {
+            sawFindings = true;
+            cur.expect('[');
+            while (!cur.peek(']')) {
+                cur.expect('{');
+                std::string file;
+                std::string rule;
+                long count = -1;
+                while (!cur.peek('}')) {
+                    std::string field = cur.parseString();
+                    cur.expect(':');
+                    if (field == "file") {
+                        file = cur.parseString();
+                    } else if (field == "rule") {
+                        rule = cur.parseString();
+                    } else if (field == "count") {
+                        count = cur.parseInt();
+                    } else {
+                        cur.fail("unknown field '" + field + "'");
+                    }
+                    if (cur.peek(',')) {
+                        cur.expect(',');
+                    }
+                }
+                cur.expect('}');
+                if (file.empty() || rule.empty() || count < 0) {
+                    cur.fail("incomplete finding entry");
+                }
+                out[{file, rule}] += static_cast<int>(count);
+                if (cur.peek(',')) {
+                    cur.expect(',');
+                }
+            }
+            cur.expect(']');
+        } else {
+            cur.fail("unknown key '" + key + "'");
+        }
+        if (cur.peek(',')) {
+            cur.expect(',');
+        }
+    }
+    cur.expect('}');
+    if (!sawFindings) {
+        cur.fail("missing findings array");
+    }
+    return out;
+}
+
+std::vector<Finding> diffAgainstBaseline(
+    const std::vector<Finding> &findings, const Baseline &baseline)
+{
+    // Bucket findings, sort each bucket by line so the earliest
+    // (longest-standing) ones soak up the tolerated count.
+    std::map<std::pair<std::string, std::string>, std::vector<Finding>>
+        buckets;
+    for (const Finding &f : findings) {
+        buckets[{f.file, f.rule}].push_back(f);
+    }
+    std::vector<Finding> fresh;
+    for (auto &[key, bucket] : buckets) {
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const Finding &a, const Finding &b) {
+                      return a.line < b.line;
+                  });
+        auto it = baseline.find(key);
+        std::size_t tolerated =
+            it == baseline.end() ? 0
+                                 : static_cast<std::size_t>(it->second);
+        for (std::size_t i = tolerated; i < bucket.size(); ++i) {
+            fresh.push_back(bucket[i]);
+        }
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file) {
+                      return a.file < b.file;
+                  }
+                  if (a.line != b.line) {
+                      return a.line < b.line;
+                  }
+                  return a.rule < b.rule;
+              });
+    return fresh;
+}
+
+} // namespace qlint

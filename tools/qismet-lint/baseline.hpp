@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Finding baseline for ratchet-style gating. CI runs the linter in
+ * baseline-diff mode: findings already recorded in the committed
+ * lint-baseline.json are tolerated, anything new fails the build. The
+ * baseline is keyed by (file, rule) with a count, not by line number,
+ * so unrelated edits that shift lines do not churn it — but adding one
+ * more violation of an already-baselined rule to a file still trips
+ * the gate.
+ *
+ * The format is deliberately minimal JSON:
+ *
+ *   { "version": 1,
+ *     "findings": [ { "file": "src/x.cpp", "rule": "lock-order",
+ *                     "count": 2 } ] }
+ *
+ * written sorted by (file, rule) so regeneration is deterministic and
+ * diffs are reviewable. The parser accepts exactly what the writer
+ * produces plus arbitrary whitespace.
+ */
+
+#ifndef QISMET_TOOLS_LINT_BASELINE_HPP
+#define QISMET_TOOLS_LINT_BASELINE_HPP
+
+#include "lint_rules.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qlint {
+
+/** (file, rule) -> tolerated finding count. */
+using Baseline = std::map<std::pair<std::string, std::string>, int>;
+
+/** Build a baseline from a finding set. */
+Baseline baselineFromFindings(const std::vector<Finding> &findings);
+
+/** Serialize a baseline to its canonical JSON form. */
+std::string renderBaseline(const Baseline &baseline);
+
+/**
+ * Parse a baseline document.
+ *
+ * @throws std::runtime_error on malformed input.
+ */
+Baseline parseBaseline(const std::string &json);
+
+/**
+ * Findings not covered by the baseline: for each (file, rule) bucket,
+ * the findings beyond the tolerated count (highest line numbers are
+ * the ones reported, so long-standing entries stay suppressed).
+ */
+std::vector<Finding> diffAgainstBaseline(
+    const std::vector<Finding> &findings, const Baseline &baseline);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_BASELINE_HPP

@@ -1,0 +1,35 @@
+// Clean fixture: the compliant counterpart of du_unsynced — sync
+// before rename, sync between truncate and append, checksum before
+// decode.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/codec.hpp"
+
+void publishSnapshot(DurableFile &file, const std::string &tmp_path,
+                     const std::string &final_path)
+{
+    file.sync();
+    std::filesystem::rename(tmp_path, final_path);
+}
+
+void compactJournal(DurableFile &file, std::uint64_t offset,
+                    const std::vector<std::uint8_t> &frame)
+{
+    file.truncateTo(offset);
+    file.sync();
+    file.append(frame);
+    file.sync();
+}
+
+std::uint64_t loadCounter(const std::string &path)
+{
+    const std::string bytes = readFile(path);
+    if (fnv1a64(bytes.data(), bytes.size()) == 0)
+        return 0;
+    Decoder dec(bytes);
+    return dec.readU64();
+}

@@ -1,0 +1,23 @@
+// Clean fixture: the lock guards only the state mutation; the batch is
+// dispatched after the guard's scope closes.
+#include "serve/clean_queue.hpp"
+
+std::vector<int> CleanQueue::collectLocked()
+{
+    std::vector<int> batch;
+    batch.swap(pending_);
+    return batch;
+}
+
+void CleanQueue::push(int job)
+{
+    std::vector<int> batch;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        pending_.push_back(job);
+        batch = collectLocked();
+    }
+    for (int queued : batch) {
+        pool_->submit([queued] { (void)queued; });
+    }
+}

@@ -1,0 +1,25 @@
+// Clean fixture: the compliant counterpart of lo_submit — collect
+// under the lock, release it, then dispatch.
+#ifndef FIXTURE_CLEAN_TREE_QUEUE_HPP
+#define FIXTURE_CLEAN_TREE_QUEUE_HPP
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+class CleanQueue
+{
+  public:
+    void push(int job);
+
+  private:
+    std::vector<int> collectLocked();
+
+    std::mutex mutex_;
+    std::vector<int> pending_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+#endif

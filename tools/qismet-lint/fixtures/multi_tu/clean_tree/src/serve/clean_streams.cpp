@@ -1,0 +1,18 @@
+// Clean fixture: the compliant counterpart of sl_reuse. Each helper
+// gets its own substream derived before the calls, so no stream has
+// two consumers and no pass should fire anywhere in this tree.
+#include "common/rng.hpp"
+
+double drawNoise(Rng &rng)
+{
+    return rng.uniform();
+}
+
+double scheduleNoise(const Rng &rng)
+{
+    Rng first = rng.splitStream(StreamDomain::kServeRun, 0);
+    Rng second = rng.splitStream(StreamDomain::kServeRun, 1);
+    const double a = drawNoise(first);
+    const double b = drawNoise(second);
+    return a - b;
+}

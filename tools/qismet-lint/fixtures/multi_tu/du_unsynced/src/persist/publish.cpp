@@ -1,0 +1,31 @@
+// Deliberately-bad fixture: three crash-safety ordering bugs.
+//  1. publishSnapshot renames with no fsync of the temp file first —
+//     a crash can expose an empty file at the final path.
+//  2. compactJournal appends right after truncateTo with no sync
+//     between — a crash can resurrect stale bytes past the new tail.
+//  3. loadCounter decodes persisted bytes without verifying a
+//     checksum — a torn tail parses as garbage instead of being
+//     rejected.
+#include "persist/publish.hpp"
+
+#include <filesystem>
+
+void publishSnapshot(const std::string &tmp_path,
+                     const std::string &final_path)
+{
+    std::filesystem::rename(tmp_path, final_path);
+}
+
+void compactJournal(DurableFile &file, std::uint64_t offset,
+                    const std::vector<std::uint8_t> &frame)
+{
+    file.truncateTo(offset);
+    file.append(frame);
+}
+
+std::uint64_t loadCounter(const std::string &path)
+{
+    const std::string bytes = readFile(path);
+    Decoder dec(bytes);
+    return dec.readU64();
+}

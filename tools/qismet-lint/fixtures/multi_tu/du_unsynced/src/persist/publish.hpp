@@ -1,0 +1,19 @@
+// Deliberately-bad fixture: declarations for the three
+// durability-ordering violations in publish.cpp.
+#ifndef FIXTURE_DU_UNSYNCED_PUBLISH_HPP
+#define FIXTURE_DU_UNSYNCED_PUBLISH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/codec.hpp"
+
+void publishSnapshot(const std::string &tmp_path,
+                     const std::string &final_path);
+void compactJournal(DurableFile &file, std::uint64_t offset,
+                    const std::vector<std::uint8_t> &frame);
+std::uint64_t loadCounter(const std::string &path);
+
+#endif

@@ -1,0 +1,27 @@
+// Deliberately-bad fixture: one half of a lock-order cycle split
+// across two headers. Alpha's own methods are individually fine; the
+// cycle only exists once cross.cpp nests the two mutexes both ways.
+#ifndef FIXTURE_LO_CYCLE_ALPHA_HPP
+#define FIXTURE_LO_CYCLE_ALPHA_HPP
+
+#include <mutex>
+
+class Beta;
+
+class Alpha
+{
+  public:
+    void doA()
+    {
+        std::lock_guard<std::mutex> guard(mutexA_);
+        ++countA_;
+    }
+
+    void aThenB(Beta &beta);
+
+  private:
+    std::mutex mutexA_;
+    long countA_ = 0;
+};
+
+#endif

@@ -1,0 +1,25 @@
+// Deliberately-bad fixture: the other half of the cross-header cycle.
+#ifndef FIXTURE_LO_CYCLE_BETA_HPP
+#define FIXTURE_LO_CYCLE_BETA_HPP
+
+#include <mutex>
+
+class Alpha;
+
+class Beta
+{
+  public:
+    void doB()
+    {
+        std::lock_guard<std::mutex> guard(mutexB_);
+        ++countB_;
+    }
+
+    void bThenA(Alpha &alpha);
+
+  private:
+    std::mutex mutexB_;
+    long countB_ = 0;
+};
+
+#endif

@@ -1,0 +1,20 @@
+// Deliberately-bad fixture: closes the cycle. aThenB holds mutexA_
+// while Beta::doB takes mutexB_; bThenA holds mutexB_ while Alpha::doA
+// takes mutexA_. Run both concurrently and each thread can hold one
+// mutex while waiting for the other.
+#include "serve/alpha.hpp"
+#include "serve/beta.hpp"
+
+void Alpha::aThenB(Beta &beta)
+{
+    std::lock_guard<std::mutex> guard(mutexA_);
+    beta.doB();
+    ++countA_;
+}
+
+void Beta::bThenA(Alpha &alpha)
+{
+    std::lock_guard<std::mutex> guard(mutexB_);
+    alpha.doA();
+    ++countB_;
+}

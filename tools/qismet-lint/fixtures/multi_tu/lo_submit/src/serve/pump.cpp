@@ -1,0 +1,27 @@
+// Deliberately-bad fixture: push() reaches ThreadPool::submit through
+// pumpLocked while mutex_ is held (transitive), and pushDirect()
+// submits under the lock outright. Both nest the pool's queue mutex
+// under mutex_ and stall the fan-out behind the critical section.
+#include "serve/queue.hpp"
+
+void WorkQueue::pumpLocked()
+{
+    while (pending_ > 0) {
+        --pending_;
+        pool_->submit([] {});
+    }
+}
+
+void WorkQueue::push(int job)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    pending_ += job;
+    pumpLocked();
+}
+
+void WorkQueue::pushDirect(int job)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    pending_ += job;
+    pool_->submit([] {});
+}

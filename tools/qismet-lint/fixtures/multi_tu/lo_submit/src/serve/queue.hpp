@@ -1,0 +1,27 @@
+// Deliberately-bad fixture: the dispatch-under-lock antipattern the
+// serve scheduler used to have. The header is clean; pump.cpp holds
+// mutex_ across ThreadPool::submit, once directly and once through
+// pumpLocked.
+#ifndef FIXTURE_LO_SUBMIT_QUEUE_HPP
+#define FIXTURE_LO_SUBMIT_QUEUE_HPP
+
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+class WorkQueue
+{
+  public:
+    void push(int job);
+    void pushDirect(int job);
+
+  private:
+    void pumpLocked();
+
+    std::mutex mutex_;
+    int pending_ = 0;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+#endif

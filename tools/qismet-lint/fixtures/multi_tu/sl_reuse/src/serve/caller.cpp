@@ -1,0 +1,13 @@
+// Deliberately-bad fixture: one Rng handed to two consuming callees.
+// forwardDraw() advances the stream through a chain spanning two other
+// translation units (forward.hpp -> draw.hpp), then drawOne() advances
+// the *same* stream again — the two results are coupled, so adding a
+// draw inside one helper silently shifts the other's replay.
+#include "serve/forward.hpp"
+
+double scheduleNoise(Rng &rng)
+{
+    const double a = forwardDraw(rng);
+    const double b = drawOne(rng);
+    return a - b;
+}

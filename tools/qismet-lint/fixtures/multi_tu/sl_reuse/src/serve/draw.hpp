@@ -1,0 +1,13 @@
+// Deliberately-bad fixture: terminal consumer of an Rng stream.
+// The reuse bug lives two translation units away, in caller.cpp.
+#ifndef FIXTURE_SL_REUSE_DRAW_HPP
+#define FIXTURE_SL_REUSE_DRAW_HPP
+
+#include "common/rng.hpp"
+
+inline double drawOne(Rng &rng)
+{
+    return rng.uniform();
+}
+
+#endif

@@ -1,0 +1,14 @@
+// Deliberately-bad fixture: middle hop — forwards the stream by
+// reference to the terminal consumer in draw.hpp. No bug here either;
+// lineage only breaks at the caller.
+#ifndef FIXTURE_SL_REUSE_FORWARD_HPP
+#define FIXTURE_SL_REUSE_FORWARD_HPP
+
+#include "serve/draw.hpp"
+
+inline double forwardDraw(Rng &rng)
+{
+    return drawOne(rng);
+}
+
+#endif

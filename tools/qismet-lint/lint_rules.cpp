@@ -1,353 +1,16 @@
 #include "lint_rules.hpp"
 
+#include "source_model.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 namespace qlint {
 namespace {
-
-bool isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool isIdentStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/**
- * Source text with comments, string literals and char literals blanked
- * out (replaced by spaces, newlines preserved), plus the suppression
- * escapes harvested from the comments while blanking them.
- */
-struct Scrubbed
-{
-    std::string text; ///< Same length/line structure as the input.
-    /** Rules allowed on a given 1-based line via inline escapes. */
-    std::map<int, std::set<std::string>> lineAllows;
-    /** Rules disabled for the whole file via allow-file escapes. */
-    std::set<std::string> fileAllows;
-
-    bool allowed(const std::string &rule, int line) const
-    {
-        if (fileAllows.count(rule) != 0) {
-            return true;
-        }
-        auto it = lineAllows.find(line);
-        return it != lineAllows.end() && it->second.count(rule) != 0;
-    }
-};
-
-/** Parse `qismet-lint: allow(a, b)` / `allow-file(c)` escapes out of one
- *  comment. A line escape covers the comment's own line and the line
- *  below it, so it can sit at the end of the offending line or alone on
- *  the line above. */
-void parseEscapes(const std::string &comment, int line, Scrubbed &out)
-{
-    const std::string marker = "qismet-lint:";
-    std::size_t at = comment.find(marker);
-    while (at != std::string::npos) {
-        std::size_t cursor = at + marker.size();
-        while (cursor < comment.size() &&
-               std::isspace(static_cast<unsigned char>(comment[cursor])) != 0) {
-            ++cursor;
-        }
-        bool fileWide = comment.compare(cursor, 11, "allow-file(") == 0;
-        bool lineWide = !fileWide && comment.compare(cursor, 6, "allow(") == 0;
-        if (fileWide || lineWide) {
-            std::size_t open = comment.find('(', cursor);
-            std::size_t close = comment.find(')', open);
-            if (open != std::string::npos && close != std::string::npos) {
-                std::string args = comment.substr(open + 1, close - open - 1);
-                std::replace(args.begin(), args.end(), ',', ' ');
-                std::istringstream stream(args);
-                std::string rule;
-                while (stream >> rule) {
-                    if (fileWide) {
-                        out.fileAllows.insert(rule);
-                    } else {
-                        out.lineAllows[line].insert(rule);
-                        out.lineAllows[line + 1].insert(rule);
-                    }
-                }
-            }
-        }
-        at = comment.find(marker, at + marker.size());
-    }
-}
-
-Scrubbed scrub(const std::string &src)
-{
-    Scrubbed out;
-    out.text = src;
-    int line = 1;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-
-    auto blank = [&](std::size_t pos) {
-        if (src[pos] != '\n') {
-            out.text[pos] = ' ';
-        }
-    };
-
-    while (i < n) {
-        char c = src[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        // Line comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            std::size_t start = i;
-            while (i < n && src[i] != '\n') {
-                blank(i);
-                ++i;
-            }
-            parseEscapes(src.substr(start, i - start), line, out);
-            continue;
-        }
-        // Block comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            std::size_t start = i;
-            int startLine = line;
-            blank(i);
-            blank(i + 1);
-            i += 2;
-            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-                if (src[i] == '\n') {
-                    ++line;
-                }
-                blank(i);
-                ++i;
-            }
-            if (i + 1 < n) {
-                blank(i);
-                blank(i + 1);
-                i += 2;
-            } else {
-                i = n;
-            }
-            parseEscapes(src.substr(start, i - start), startLine, out);
-            continue;
-        }
-        // Raw string literal R"delim( ... )delim".
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-            (i == 0 || !isIdentChar(src[i - 1]))) {
-            std::size_t open = src.find('(', i + 2);
-            if (open != std::string::npos) {
-                std::string delim = src.substr(i + 2, open - i - 2);
-                std::string closer = ")" + delim + "\"";
-                std::size_t end = src.find(closer, open + 1);
-                std::size_t stop =
-                    end == std::string::npos ? n : end + closer.size();
-                for (std::size_t k = i; k < stop; ++k) {
-                    if (src[k] == '\n') {
-                        ++line;
-                    }
-                    blank(k);
-                }
-                i = stop;
-                continue;
-            }
-        }
-        // String / char literal.
-        if (c == '"' || c == '\'') {
-            char quote = c;
-            blank(i);
-            ++i;
-            while (i < n && src[i] != quote) {
-                if (src[i] == '\\' && i + 1 < n) {
-                    blank(i);
-                    ++i;
-                }
-                if (src[i] == '\n') {
-                    ++line;
-                }
-                blank(i);
-                ++i;
-            }
-            if (i < n) {
-                blank(i);
-                ++i;
-            }
-            continue;
-        }
-        ++i;
-    }
-    return out;
-}
-
-/** Identifier token with its position in the scrubbed text. */
-struct Token
-{
-    std::string name;
-    std::size_t pos;  ///< First character offset.
-    std::size_t end;  ///< One past the last character.
-    int line;         ///< 1-based.
-};
-
-std::vector<Token> tokenize(const std::string &text)
-{
-    std::vector<Token> tokens;
-    int line = 1;
-    std::size_t i = 0;
-    while (i < text.size()) {
-        if (text[i] == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (isIdentStart(text[i])) {
-            std::size_t start = i;
-            while (i < text.size() && isIdentChar(text[i])) {
-                ++i;
-            }
-            tokens.push_back({text.substr(start, i - start), start, i, line});
-            continue;
-        }
-        ++i;
-    }
-    return tokens;
-}
-
-std::size_t prevNonSpace(const std::string &text, std::size_t pos)
-{
-    while (pos > 0) {
-        --pos;
-        char c = text[pos];
-        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-            return pos;
-        }
-    }
-    return std::string::npos;
-}
-
-std::size_t nextNonSpace(const std::string &text, std::size_t pos)
-{
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-        ++pos;
-    }
-    return pos < text.size() ? pos : std::string::npos;
-}
-
-/** Matching close index for the paren/brace/bracket at `open`, or npos. */
-std::size_t matchDelim(const std::string &text, std::size_t open)
-{
-    char oc = text[open];
-    char cc = oc == '(' ? ')' : (oc == '{' ? '}' : ']');
-    int depth = 0;
-    for (std::size_t i = open; i < text.size(); ++i) {
-        if (text[i] == oc) {
-            ++depth;
-        } else if (text[i] == cc) {
-            if (--depth == 0) {
-                return i;
-            }
-        }
-    }
-    return std::string::npos;
-}
-
-/** Matching '>' for the '<' at `open`, tolerating nested parens. */
-std::size_t matchAngle(const std::string &text, std::size_t open)
-{
-    int depth = 0;
-    int paren = 0;
-    for (std::size_t i = open; i < text.size(); ++i) {
-        char c = text[i];
-        if (c == '(') {
-            ++paren;
-        } else if (c == ')') {
-            --paren;
-        } else if (paren == 0 && c == '<') {
-            ++depth;
-        } else if (paren == 0 && c == '>') {
-            if (i > 0 && text[i - 1] == '-') {
-                continue; // -> operator
-            }
-            if (--depth == 0) {
-                return i;
-            }
-        } else if (c == ';') {
-            return std::string::npos; // statement ended: not a template
-        }
-    }
-    return std::string::npos;
-}
-
-/**
- * Namespace qualifier of the token at `pos`, when written `qual::name`.
- * Returns true and fills `qualifier` ("" for a leading `::`).
- */
-bool hasQualifier(const std::string &text, std::size_t pos,
-                  std::string &qualifier)
-{
-    std::size_t p = prevNonSpace(text, pos);
-    if (p == std::string::npos || text[p] != ':' || p == 0 ||
-        text[p - 1] != ':') {
-        return false;
-    }
-    std::size_t q = prevNonSpace(text, p - 1);
-    if (q == std::string::npos || !isIdentChar(text[q])) {
-        qualifier.clear();
-        return true;
-    }
-    std::size_t end = q + 1;
-    while (q > 0 && isIdentChar(text[q - 1])) {
-        --q;
-    }
-    qualifier = text.substr(q, end - q);
-    return true;
-}
-
-/** True when the token at `pos` is accessed as a member (`.x` / `->x`). */
-bool isMemberAccess(const std::string &text, std::size_t pos)
-{
-    std::size_t p = prevNonSpace(text, pos);
-    if (p == std::string::npos) {
-        return false;
-    }
-    if (text[p] == '.') {
-        return true;
-    }
-    return text[p] == '>' && p > 0 && text[p - 1] == '-';
-}
-
-bool isCalled(const std::string &text, std::size_t end)
-{
-    std::size_t p = nextNonSpace(text, end);
-    return p != std::string::npos && text[p] == '(';
-}
-
-bool pathEndsWith(const std::string &path, const std::string &suffix)
-{
-    if (path.size() < suffix.size()) {
-        return false;
-    }
-    if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
-        0) {
-        return false;
-    }
-    return path.size() == suffix.size() ||
-           path[path.size() - suffix.size() - 1] == '/';
-}
-
-bool pathAllowed(const std::string &path,
-                 const std::vector<std::string> &suffixes)
-{
-    return std::any_of(suffixes.begin(), suffixes.end(),
-                       [&](const std::string &s) {
-                           return pathEndsWith(path, s);
-                       });
-}
 
 const std::vector<std::string> &ambientRngAllowedPaths()
 {
@@ -368,19 +31,6 @@ const std::vector<std::string> &rawFileWriteAllowedPaths()
     static const std::vector<std::string> paths = {
         "src/common/atomic_file.cpp", "src/common/atomic_file.hpp"};
     return paths;
-}
-
-/**
- * True for files in the shipped source tree (`src/...`), where every
- * persistence write must flow through the atomic-file layer. Tests,
- * benches and tools may write scratch files directly — they are not
- * durability-critical and some (journal fuzzers) write torn files on
- * purpose.
- */
-bool underSrcTree(const std::string &path)
-{
-    return path.rfind("src/", 0) == 0 ||
-           path.find("/src/") != std::string::npos;
 }
 
 /**
@@ -1177,7 +827,9 @@ const std::vector<std::string> &allRules()
     static const std::vector<std::string> rules = {
         "ambient-rng",    "unordered-reduction", "raw-thread",
         "raw-file-write", "naked-new",           "split-in-task",
-        "dense-matrix-in-loop", "stream-offset"};
+        "dense-matrix-in-loop", "stream-offset",
+        // Cross-TU passes (passes.cpp) over the semantic index.
+        "stream-lineage", "lock-order", "durability-ordering"};
     return rules;
 }
 

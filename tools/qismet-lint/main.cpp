@@ -3,18 +3,36 @@
  * Command-line driver for qismet-lint.
  *
  * Usage:
- *   qismet-lint [--list-rules] <file-or-directory>...
+ *   qismet-lint [options] <file-or-directory>...
+ *
+ *   --list-rules            print all rule slugs
+ *   --explain <rule>        print the full documentation for one rule
+ *   --rules-md              print the generated RULES.md and exit
+ *   --sarif <path>          also write findings as SARIF 2.1.0
+ *   --baseline <path>       diff findings against a committed baseline:
+ *                           only findings beyond it fail the run
+ *   --write-baseline <path> write the current findings as the baseline
+ *                           and exit 0
  *
  * Directories are walked recursively for .cpp/.cc/.hpp/.h files;
  * `build*` directories and linter `fixtures/` directories (which contain
- * intentionally-bad code) are skipped. Exit status: 0 when clean, 1 when
+ * intentionally-bad code) are skipped. The per-file rules run on every
+ * file; the cross-TU passes (stream-lineage, lock-order,
+ * durability-ordering) run over a semantic index built from the same
+ * file set. Exit status: 0 when clean (or within baseline), 1 when new
  * findings were reported, 2 on usage or I/O errors.
  */
 
+#include "baseline.hpp"
 #include "lint_rules.hpp"
+#include "passes.hpp"
+#include "rule_docs.hpp"
+#include "sarif.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -52,11 +70,43 @@ void collectFiles(const fs::path &root, std::vector<std::string> &out)
     }
 }
 
+std::string readWhole(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("qismet-lint: cannot read " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void writeWhole(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("qismet-lint: cannot write " + path);
+    }
+    out << content;
+}
+
+void usage(std::ostream &os)
+{
+    os << "usage: qismet-lint [--list-rules] [--explain <rule>] "
+          "[--rules-md]\n"
+          "                   [--sarif <path>] [--baseline <path>]\n"
+          "                   [--write-baseline <path>] "
+          "<file-or-directory>...\n";
+}
+
 } // namespace
 
 int main(int argc, char **argv)
 {
     std::vector<std::string> files;
+    std::string sarifPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
     try {
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -66,10 +116,53 @@ int main(int argc, char **argv)
                 }
                 return 0;
             }
-            if (arg == "--help" || arg == "-h") {
-                std::cout << "usage: qismet-lint [--list-rules] "
-                             "<file-or-directory>...\n";
+            if (arg == "--explain") {
+                if (i + 1 >= argc) {
+                    std::cerr << "qismet-lint: --explain needs a rule "
+                                 "name (see --list-rules)\n";
+                    return 2;
+                }
+                const qlint::RuleDoc *doc =
+                    qlint::findRuleDoc(argv[++i]);
+                if (doc == nullptr) {
+                    std::cerr << "qismet-lint: unknown rule '"
+                              << argv[i]
+                              << "' (see --list-rules)\n";
+                    return 2;
+                }
+                std::cout << qlint::explainRule(*doc);
                 return 0;
+            }
+            if (arg == "--rules-md") {
+                std::cout << qlint::renderRulesMarkdown();
+                return 0;
+            }
+            if (arg == "--sarif" || arg == "--baseline" ||
+                arg == "--write-baseline") {
+                if (i + 1 >= argc) {
+                    std::cerr << "qismet-lint: " << arg
+                              << " needs a path\n";
+                    return 2;
+                }
+                std::string path = argv[++i];
+                if (arg == "--sarif") {
+                    sarifPath = path;
+                } else if (arg == "--baseline") {
+                    baselinePath = path;
+                } else {
+                    writeBaselinePath = path;
+                }
+                continue;
+            }
+            if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            }
+            if (arg.rfind("--", 0) == 0) {
+                std::cerr << "qismet-lint: unknown option " << arg
+                          << "\n";
+                usage(std::cerr);
+                return 2;
             }
             collectFiles(arg, files);
         }
@@ -83,27 +176,73 @@ int main(int argc, char **argv)
         return 2;
     }
 
-    std::size_t findingCount = 0;
-    for (const std::string &file : files) {
-        try {
-            for (const qlint::Finding &f : qlint::lintFile(file)) {
-                std::cerr << f.file << ":" << f.line << ": [" << f.rule
-                          << "] " << f.message << "\n";
-                ++findingCount;
+    std::vector<qlint::Finding> findings;
+    std::vector<std::pair<std::string, std::string>> contents;
+    contents.reserve(files.size());
+    try {
+        for (const std::string &file : files) {
+            contents.emplace_back(file, readWhole(file));
+            for (qlint::Finding f :
+                 qlint::lintSource(file, contents.back().second)) {
+                findings.push_back(std::move(f));
             }
+        }
+        // Cross-TU passes over the whole file set.
+        const qlint::SemanticIndex index = qlint::buildIndex(contents);
+        for (qlint::Finding f : qlint::runPasses(index)) {
+            findings.push_back(std::move(f));
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        if (!sarifPath.empty()) {
+            writeWhole(sarifPath, qlint::renderSarif(findings));
+        }
+        if (!writeBaselinePath.empty()) {
+            writeWhole(writeBaselinePath,
+                       qlint::renderBaseline(
+                           qlint::baselineFromFindings(findings)));
+            std::cout << "qismet-lint: baseline of " << findings.size()
+                      << " finding(s) written to " << writeBaselinePath
+                      << "\n";
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    std::vector<qlint::Finding> reported = findings;
+    std::string gateNote;
+    if (!baselinePath.empty()) {
+        try {
+            reported = qlint::diffAgainstBaseline(
+                findings, qlint::parseBaseline(readWhole(baselinePath)));
+            gateNote = " new (beyond " + baselinePath + ")";
         } catch (const std::exception &e) {
             std::cerr << e.what() << "\n";
             return 2;
         }
     }
 
-    if (findingCount != 0) {
-        std::cerr << "qismet-lint: " << findingCount << " finding"
-                  << (findingCount == 1 ? "" : "s") << " in " << files.size()
-                  << " files (suppress with `// qismet-lint: allow(<rule>)` "
-                     "where justified)\n";
+    for (const qlint::Finding &f : reported) {
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    }
+    if (!reported.empty()) {
+        std::cerr << "qismet-lint: " << reported.size() << gateNote
+                  << " finding" << (reported.size() == 1 ? "" : "s")
+                  << " in " << files.size()
+                  << " files (suppress with `// qismet-lint: "
+                     "allow(<rule>)` where justified; `--explain "
+                     "<rule>` for rationale)\n";
         return 1;
     }
-    std::cout << "qismet-lint: " << files.size() << " files clean\n";
+    std::cout << "qismet-lint: " << files.size() << " files clean"
+              << (baselinePath.empty() ? "" : " (baseline-diff mode)")
+              << "\n";
     return 0;
 }

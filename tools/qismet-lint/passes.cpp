@@ -1,0 +1,834 @@
+#include "passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace qlint {
+namespace {
+
+const std::vector<std::string> streamTrees = {"src/serve/", "src/persist/",
+                                              "src/fault/"};
+const std::vector<std::string> durabilityTrees = {"src/persist/",
+                                                  "src/serve/"};
+/** The pool implementation may hold its own queue mutex around its own
+ *  bookkeeping; the held-across-dispatch rule targets callers. */
+const std::vector<std::string> lockDispatchAllowedPaths = {
+    "src/common/thread_pool.cpp", "src/common/thread_pool.hpp"};
+
+bool underServe(const std::string &path)
+{
+    return underTrees(path, {"src/serve/"});
+}
+
+/** Advancing Rng methods, minus split/splitAt which the lexical
+ *  split-in-task rule already owns inside dispatch lambdas. */
+bool isDrawMethod(const std::string &name)
+{
+    static const std::set<std::string> methods = {
+        "uniform", "uniformInt", "normal", "exponential",
+        "poisson", "bernoulli",  "discrete", "sign", "engine"};
+    return methods.count(name) != 0;
+}
+
+/** A bare identifier expression (possibly with leading `&` or `*`). */
+bool bareIdentifier(const std::string &expr, std::string &name)
+{
+    std::size_t i = 0;
+    while (i < expr.size() && (expr[i] == '&' || expr[i] == '*' ||
+                               std::isspace(static_cast<unsigned char>(
+                                   expr[i])) != 0)) {
+        ++i;
+    }
+    if (i >= expr.size() || !isIdentStart(expr[i])) {
+        return false;
+    }
+    std::size_t start = i;
+    while (i < expr.size() && isIdentChar(expr[i])) {
+        ++i;
+    }
+    while (i < expr.size() &&
+           std::isspace(static_cast<unsigned char>(expr[i])) != 0) {
+        ++i;
+    }
+    if (i != expr.size()) {
+        return false;
+    }
+    name = expr.substr(start, expr.size() - start);
+    return true;
+}
+
+/**
+ * Affine / linear arithmetic over identifiers: `a + b`, `a * K + r`,
+ * `a ^ b`, `a % n`, `a | b`, `a << k`, and binary minus. The same
+ * notion as the per-file stream-offset rule: packings that are linear
+ * in an adversarial ID collide, unlike the SplitMix64 avalanche in
+ * deriveStreamSeed.
+ */
+bool hasAffineArithmetic(const std::string &expr)
+{
+    int depth = 0;
+    bool sawIdent = false;
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+        char c = expr[i];
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+            continue;
+        }
+        if (c == ')' || c == ']' || c == '}') {
+            --depth;
+            continue;
+        }
+        if (isIdentChar(c)) {
+            sawIdent = true;
+            continue;
+        }
+        if (depth != 0 || !sawIdent) {
+            continue;
+        }
+        if (c == '+' || c == '^' || c == '%') {
+            if (i + 1 < expr.size() && expr[i + 1] == c) {
+                ++i; // ++ / ^^ (not arithmetic packing)
+                continue;
+            }
+            return true;
+        }
+        if (c == '*' || c == '|') {
+            // Unary deref / logical-or start vs binary operator.
+            if (i + 1 < expr.size() && expr[i + 1] == c) {
+                ++i;
+                continue;
+            }
+            std::size_t p = prevNonSpace(expr, i);
+            if (p != std::string::npos &&
+                (isIdentChar(expr[p]) || expr[p] == ')')) {
+                return true;
+            }
+            continue;
+        }
+        if (c == '<' && i + 1 < expr.size() && expr[i + 1] == '<') {
+            return true;
+        }
+        if (c == '-') {
+            if (i + 1 < expr.size() &&
+                (expr[i + 1] == '>' || expr[i + 1] == '-')) {
+                ++i; // member access / decrement
+                continue;
+            }
+            std::size_t p = prevNonSpace(expr, i);
+            if (p != std::string::npos &&
+                (isIdentChar(expr[p]) || expr[p] == ')')) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** Innermost lambda of `fn` containing `pos`, or nullptr. */
+const LambdaRange *enclosingLambda(const FunctionInfo &fn,
+                                   std::size_t pos)
+{
+    const LambdaRange *best = nullptr;
+    for (const LambdaRange &l : fn.lambdas) {
+        if (l.begin < pos && pos < l.end &&
+            (best == nullptr || l.begin > best->begin)) {
+            best = &l;
+        }
+    }
+    return best;
+}
+
+struct PassContext
+{
+    const SemanticIndex &index;
+    std::vector<Finding> findings;
+
+    void emit(const std::string &file, int line, const std::string &rule,
+              const std::string &message)
+    {
+        if (index.allowed(file, rule, line)) {
+            return;
+        }
+        findings.push_back({file, line, rule, message});
+    }
+
+    /**
+     * Candidate definitions for a call site, narrowed by receiver type
+     * (member calls), explicit qualifier, or the caller's own class.
+     * Resolution is best-effort: when narrowing finds nothing, all
+     * same-named definitions are returned.
+     */
+    std::vector<const FunctionInfo *>
+    resolveCall(const FunctionInfo &caller, const CallSite &call) const
+    {
+        std::set<std::string> classes;
+        if (call.memberCall && !call.object.empty() &&
+            call.object != "this") {
+            classes = index.typeTokensFor(call.object);
+        } else if (!call.qualifier.empty() && call.qualifier != "std") {
+            classes.insert(call.qualifier);
+        } else if (!caller.className.empty()) {
+            classes.insert(caller.className);
+        }
+        return index.resolve(call.callee, classes);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// stream-lineage
+
+class StreamLineagePass
+{
+  public:
+    explicit StreamLineagePass(PassContext &ctx) : ctx_(ctx) {}
+
+    void run()
+    {
+        for (const TuIndex &tu : ctx_.index.tus) {
+            for (const FunctionInfo &fn : tu.functions) {
+                if (underTrees(tu.path, streamTrees)) {
+                    checkDoubleConsumption(fn);
+                }
+                if (underSrcTree(tu.path)) {
+                    checkDispatchConsumption(fn);
+                    checkAffineCrossing(tu.path, fn);
+                }
+            }
+        }
+    }
+
+  private:
+    /** Does `fn` advance the stream of its `paramIdx`-th parameter,
+     *  directly or by handing it to a consuming callee? */
+    bool consumesParam(const FunctionInfo &fn, std::size_t paramIdx,
+                       std::set<const FunctionInfo *> &visited)
+    {
+        if (paramIdx >= fn.params.size() ||
+            fn.params[paramIdx].name.empty() ||
+            visited.count(&fn) != 0) {
+            return false;
+        }
+        visited.insert(&fn);
+        const std::string &param = fn.params[paramIdx].name;
+        if (fn.consumedRngs.count(param) != 0) {
+            return true;
+        }
+        for (const CallSite &call : fn.calls) {
+            for (std::size_t j = 0; j < call.args.size(); ++j) {
+                std::string name;
+                if (!bareIdentifier(call.args[j], name) ||
+                    name != param) {
+                    continue;
+                }
+                for (const FunctionInfo *callee :
+                     ctx_.resolveCall(fn, call)) {
+                    if (consumesParam(*callee, j, visited)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    bool callConsumes(const FunctionInfo &fn, const CallSite &call,
+                      const std::string &rng)
+    {
+        for (std::size_t j = 0; j < call.args.size(); ++j) {
+            std::string name;
+            if (!bareIdentifier(call.args[j], name) || name != rng) {
+                continue;
+            }
+            for (const FunctionInfo *callee : ctx_.resolveCall(fn, call)) {
+                std::set<const FunctionInfo *> visited;
+                if (consumesParam(*callee, j, visited)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Names of the Rng streams `fn` owns: Rng params + Rng locals. */
+    std::map<std::string, bool> ownedStreams(const FunctionInfo &fn)
+    {
+        std::map<std::string, bool> out; // name -> isParam
+        for (const ParamInfo &p : fn.params) {
+            if (p.isRng && !p.name.empty()) {
+                out[p.name] = true;
+            }
+        }
+        for (const auto &[name, pos] : fn.localRngVars) {
+            (void)pos;
+            out.emplace(name, false);
+        }
+        return out;
+    }
+
+    void checkDoubleConsumption(const FunctionInfo &fn)
+    {
+        for (const auto &[rng, isParam] : ownedStreams(fn)) {
+            (void)isParam;
+            std::vector<const CallSite *> consumers;
+            for (const CallSite &call : fn.calls) {
+                if (callConsumes(fn, call, rng)) {
+                    consumers.push_back(&call);
+                }
+            }
+            if (consumers.size() < 2) {
+                continue;
+            }
+            const CallSite &second = *consumers[1];
+            ctx_.emit(fn.file, second.line, "stream-lineage",
+                      "`" + rng + "` is handed to " +
+                          std::to_string(consumers.size()) +
+                          " consuming callees in " + fn.qualifiedName +
+                          " (first `" + consumers[0]->callee +
+                          "` at line " +
+                          std::to_string(consumers[0]->line) +
+                          ", then `" + second.callee +
+                          "`); each callee assumes an independent "
+                          "stream — derive substreams with "
+                          "Rng::splitStream / splitAt instead of "
+                          "reusing one stream");
+        }
+    }
+
+    /** True when `name` is a stream that outlives the lambda at `pos`:
+     *  a parameter, or a local declared outside that lambda. */
+    bool isOuterStream(const FunctionInfo &fn, const std::string &name,
+                       std::size_t pos)
+    {
+        for (const ParamInfo &p : fn.params) {
+            if (p.isRng && p.name == name) {
+                return true;
+            }
+        }
+        auto it = fn.localRngVars.find(name);
+        if (it == fn.localRngVars.end()) {
+            return false;
+        }
+        const LambdaRange *lambda = enclosingLambda(fn, pos);
+        if (lambda == nullptr) {
+            return true;
+        }
+        // Declared inside the same lambda body: task-local, fine.
+        return it->second <= lambda->begin || it->second >= lambda->end;
+    }
+
+    void checkDispatchConsumption(const FunctionInfo &fn)
+    {
+        for (const CallSite &call : fn.calls) {
+            if (!call.inDispatchLambda) {
+                continue;
+            }
+            // (b1) direct draw on a captured outer stream.
+            if (call.memberCall && isDrawMethod(call.callee) &&
+                !call.object.empty() &&
+                isOuterStream(fn, call.object, call.pos)) {
+                ctx_.emit(fn.file, call.line, "stream-lineage",
+                          "`" + call.object + "." + call.callee +
+                              "()` draws from an outer Rng inside a "
+                              "task dispatched by ThreadPool/"
+                              "ParallelExecutor in " + fn.qualifiedName +
+                              "; the draw order then depends on "
+                              "scheduling — split a per-task stream "
+                              "before fan-out and move it into the "
+                              "capture");
+                continue;
+            }
+            // (b2) outer stream passed into a consuming helper.
+            for (const std::string &arg : call.args) {
+                std::string name;
+                if (!bareIdentifier(arg, name) ||
+                    !isOuterStream(fn, name, call.pos)) {
+                    continue;
+                }
+                if (callConsumes(fn, call, name)) {
+                    ctx_.emit(
+                        fn.file, call.line, "stream-lineage",
+                        "outer Rng `" + name + "` is passed to `" +
+                            call.callee +
+                            "` inside a dispatched task in " +
+                            fn.qualifiedName +
+                            "; the callee advances the shared stream "
+                            "under scheduler control — hand each task "
+                            "its own substream instead");
+                    break;
+                }
+            }
+        }
+    }
+
+    /** Does `fn` feed its `paramIdx`-th parameter into a stream
+     *  derivation (deriveStreamSeed / splitStream / splitAt), directly
+     *  or transitively? */
+    bool paramFeedsDerivation(const FunctionInfo &fn,
+                              std::size_t paramIdx,
+                              std::set<const FunctionInfo *> &visited)
+    {
+        if (paramIdx >= fn.params.size() ||
+            fn.params[paramIdx].name.empty() ||
+            visited.count(&fn) != 0) {
+            return false;
+        }
+        visited.insert(&fn);
+        const std::string &param = fn.params[paramIdx].name;
+        for (const CallSite &call : fn.calls) {
+            bool derivation = call.callee == "deriveStreamSeed" ||
+                              call.callee == "splitStream" ||
+                              call.callee == "splitAt";
+            for (std::size_t j = 0; j < call.args.size(); ++j) {
+                const std::string &arg = call.args[j];
+                std::string name;
+                bool mentions = false;
+                if (bareIdentifier(arg, name)) {
+                    mentions = name == param;
+                } else {
+                    // The param may appear inside a larger expression
+                    // (`base + id`): token-scan the argument.
+                    std::size_t at = arg.find(param);
+                    while (at != std::string::npos && !mentions) {
+                        bool lb = at == 0 || !isIdentChar(arg[at - 1]);
+                        bool rb = at + param.size() >= arg.size() ||
+                                  !isIdentChar(arg[at + param.size()]);
+                        mentions = lb && rb;
+                        at = arg.find(param, at + 1);
+                    }
+                }
+                if (!mentions) {
+                    continue;
+                }
+                if (derivation) {
+                    return true;
+                }
+                if (bareIdentifier(arg, name) && name == param) {
+                    for (const FunctionInfo *callee :
+                         ctx_.resolveCall(fn, call)) {
+                        if (paramFeedsDerivation(*callee, j, visited)) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    void checkAffineCrossing(const std::string &path,
+                             const FunctionInfo &fn)
+    {
+        for (const CallSite &call : fn.calls) {
+            // Direct derivation calls with affine args are the per-file
+            // stream-offset rule's territory; this pass owns the
+            // cross-boundary case only.
+            if (call.callee == "deriveStreamSeed" ||
+                call.callee == "splitStream" ||
+                call.callee == "splitAt") {
+                continue;
+            }
+            for (std::size_t j = 0; j < call.args.size(); ++j) {
+                if (!hasAffineArithmetic(call.args[j])) {
+                    continue;
+                }
+                for (const FunctionInfo *callee :
+                     ctx_.resolveCall(fn, call)) {
+                    if (!underServe(path) && !underServe(callee->file)) {
+                        continue;
+                    }
+                    std::set<const FunctionInfo *> visited;
+                    if (!paramFeedsDerivation(*callee, j, visited)) {
+                        continue;
+                    }
+                    ctx_.emit(
+                        fn.file, call.line, "stream-lineage",
+                        "affine seed packing `" + call.args[j] +
+                            "` crosses into `" +
+                            callee->qualifiedName +
+                            "`, which feeds it to a stream "
+                            "derivation; linear packings collide "
+                            "under adversarial IDs — pass raw IDs "
+                            "and let deriveStreamSeed mix them");
+                    break;
+                }
+            }
+        }
+    }
+
+    PassContext &ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+class LockOrderPass
+{
+  public:
+    explicit LockOrderPass(PassContext &ctx) : ctx_(ctx) {}
+
+    void run()
+    {
+        for (const TuIndex &tu : ctx_.index.tus) {
+            if (!underSrcTree(tu.path)) {
+                continue;
+            }
+            for (const FunctionInfo &fn : tu.functions) {
+                scanFunction(tu.path, fn);
+            }
+        }
+        reportCycles();
+    }
+
+  private:
+    struct EdgeSite
+    {
+        std::string file;
+        int line = 0;
+        std::string via;
+    };
+
+    /** Mutexes `fn` acquires, directly or via callees. */
+    const std::set<std::string> &acquiredSet(const FunctionInfo &fn)
+    {
+        auto it = acquiredMemo_.find(&fn);
+        if (it != acquiredMemo_.end()) {
+            return it->second;
+        }
+        // Insert an empty set first to break recursion cycles.
+        std::set<std::string> &out = acquiredMemo_[&fn];
+        for (const LockSite &lock : fn.locks) {
+            out.insert(lock.mutexKey);
+        }
+        for (const CallSite &call : fn.calls) {
+            if (call.inDispatchLambda) {
+                continue; // runs later, not under this stack
+            }
+            for (const FunctionInfo *callee : ctx_.resolveCall(fn, call)) {
+                const std::set<std::string> acquired =
+                    acquiredSet(*callee);
+                out.insert(acquired.begin(), acquired.end());
+            }
+        }
+        return out;
+    }
+
+    /** Is this call itself a pool dispatch? */
+    bool isDispatchCall(const CallSite &call) const
+    {
+        if (call.callee == "parallelFor") {
+            return true;
+        }
+        if ((call.callee != "submit" && call.callee != "map") ||
+            !call.memberCall || call.object.empty()) {
+            return false;
+        }
+        std::set<std::string> types =
+            ctx_.index.typeTokensFor(call.object);
+        if (types.count("ThreadPool") != 0 ||
+            types.count("ParallelExecutor") != 0) {
+            return true;
+        }
+        if (!types.empty()) {
+            return false; // known receiver of another type
+        }
+        // Unknown receiver (local variable): fall back to a name hint.
+        std::string lowered = call.object;
+        std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        return call.callee == "submit" &&
+               (lowered.find("pool") != std::string::npos ||
+                lowered.find("executor") != std::string::npos);
+    }
+
+    /** Does `fn` reach a pool dispatch, directly or via callees? */
+    bool reachesDispatch(const FunctionInfo &fn)
+    {
+        auto it = dispatchMemo_.find(&fn);
+        if (it != dispatchMemo_.end()) {
+            return it->second;
+        }
+        dispatchMemo_[&fn] = false;
+        for (const CallSite &call : fn.calls) {
+            if (call.inDispatchLambda) {
+                continue;
+            }
+            if (isDispatchCall(call)) {
+                return dispatchMemo_[&fn] = true;
+            }
+            for (const FunctionInfo *callee : ctx_.resolveCall(fn, call)) {
+                if (reachesDispatch(*callee)) {
+                    return dispatchMemo_[&fn] = true;
+                }
+            }
+        }
+        return false;
+    }
+
+    void addEdge(const std::string &from, const std::string &to,
+                 const std::string &file, int line,
+                 const std::string &via)
+    {
+        edges_[from].insert(to);
+        sites_.emplace(std::make_pair(from, to), EdgeSite{file, line, via});
+    }
+
+    void scanFunction(const std::string &path, const FunctionInfo &fn)
+    {
+        const bool dispatchExempt =
+            pathAllowed(path, lockDispatchAllowedPaths);
+        for (const LockSite &lock : fn.locks) {
+            // Nested direct locks in the same function.
+            for (const LockSite &inner : fn.locks) {
+                if (inner.pos > lock.pos && inner.pos < lock.scopeEnd) {
+                    addEdge(lock.mutexKey, inner.mutexKey, fn.file,
+                            inner.line, fn.qualifiedName);
+                }
+            }
+            for (const CallSite &call : fn.calls) {
+                if (call.pos <= lock.pos || call.pos >= lock.scopeEnd ||
+                    call.inDispatchLambda) {
+                    continue;
+                }
+                if (!dispatchExempt && isDispatchCall(call)) {
+                    ctx_.emit(fn.file, call.line, "lock-order",
+                              "`" + lock.mutexExpr +
+                                  "` is held across a ThreadPool/"
+                                  "ParallelExecutor dispatch in " +
+                                  fn.qualifiedName +
+                                  "; collect the work under the lock, "
+                                  "release it, then submit");
+                    continue;
+                }
+                for (const FunctionInfo *callee :
+                     ctx_.resolveCall(fn, call)) {
+                    for (const std::string &acquired :
+                         acquiredSet(*callee)) {
+                        addEdge(lock.mutexKey, acquired, fn.file,
+                                call.line,
+                                fn.qualifiedName + " -> " +
+                                    callee->qualifiedName);
+                    }
+                    if (!dispatchExempt && reachesDispatch(*callee)) {
+                        ctx_.emit(
+                            fn.file, call.line, "lock-order",
+                            "`" + lock.mutexExpr + "` is held while `" +
+                                callee->qualifiedName +
+                                "` dispatches to the ThreadPool in " +
+                                fn.qualifiedName +
+                                "; collect the work under the lock, "
+                                "release it, then submit");
+                    }
+                }
+            }
+        }
+    }
+
+    void reportCycles()
+    {
+        // Self-edges: re-acquiring a held mutex deadlocks outright.
+        std::set<std::set<std::string>> reported;
+        for (const auto &[from, tos] : edges_) {
+            if (tos.count(from) != 0) {
+                const EdgeSite &site = sites_.at({from, from});
+                ctx_.emit(site.file, site.line, "lock-order",
+                          "`" + from +
+                              "` is re-acquired while already held "
+                              "(via " + site.via + "): self-deadlock");
+                reported.insert({from});
+            }
+        }
+        // Two-step reachability: an edge a->b with a path b ->* a
+        // closes a cycle.
+        for (const auto &[from, tos] : edges_) {
+            for (const std::string &to : tos) {
+                if (to == from || !reaches(to, from)) {
+                    continue;
+                }
+                std::set<std::string> key = {from, to};
+                if (!reported.insert(key).second) {
+                    continue;
+                }
+                const EdgeSite &site = sites_.at({from, to});
+                ctx_.emit(site.file, site.line, "lock-order",
+                          "lock-order cycle: `" + from + "` -> `" + to +
+                              "` here (via " + site.via +
+                              "), but another path acquires `" + from +
+                              "` while holding `" + to +
+                              "`; pick one global order");
+            }
+        }
+    }
+
+    bool reaches(const std::string &from, const std::string &target)
+    {
+        std::set<std::string> seen;
+        std::vector<std::string> stack = {from};
+        while (!stack.empty()) {
+            std::string node = stack.back();
+            stack.pop_back();
+            if (node == target) {
+                return true;
+            }
+            if (!seen.insert(node).second) {
+                continue;
+            }
+            auto it = edges_.find(node);
+            if (it == edges_.end()) {
+                continue;
+            }
+            stack.insert(stack.end(), it->second.begin(),
+                         it->second.end());
+        }
+        return false;
+    }
+
+    PassContext &ctx_;
+    std::map<const FunctionInfo *, std::set<std::string>> acquiredMemo_;
+    std::map<const FunctionInfo *, bool> dispatchMemo_;
+    std::map<std::string, std::set<std::string>> edges_;
+    std::map<std::pair<std::string, std::string>, EdgeSite> sites_;
+};
+
+// ---------------------------------------------------------------------------
+// durability-ordering
+
+class DurabilityPass
+{
+  public:
+    explicit DurabilityPass(PassContext &ctx) : ctx_(ctx) {}
+
+    void run()
+    {
+        for (const TuIndex &tu : ctx_.index.tus) {
+            if (!underTrees(tu.path, durabilityTrees)) {
+                continue;
+            }
+            for (const FunctionInfo &fn : tu.functions) {
+                checkFunction(fn);
+            }
+        }
+    }
+
+  private:
+    void checkFunction(const FunctionInfo &fn)
+    {
+        using Kind = DurabilityEvent::Kind;
+        bool hasChecksum = false;
+        for (const DurabilityEvent &e : fn.durability) {
+            if (e.kind == Kind::Checksum) {
+                hasChecksum = true;
+            }
+        }
+        for (std::size_t i = 0; i < fn.durability.size(); ++i) {
+            const DurabilityEvent &e = fn.durability[i];
+            if (e.kind == Kind::Rename) {
+                bool syncedBefore = false;
+                for (std::size_t j = 0; j < i; ++j) {
+                    Kind k = fn.durability[j].kind;
+                    if (k == Kind::Sync || k == Kind::AtomicWrite) {
+                        syncedBefore = true;
+                        break;
+                    }
+                }
+                if (!syncedBefore) {
+                    ctx_.emit(fn.file, e.line, "durability-ordering",
+                              "rename in " + fn.qualifiedName +
+                                  " publishes a file with no fsync "
+                                  "before it; a crash can expose an "
+                                  "empty or torn file at the final "
+                                  "path — sync the temp file first "
+                                  "(or use atomicWriteFile)");
+                }
+            }
+            if (e.kind == Kind::TruncateTo) {
+                for (std::size_t j = i + 1; j < fn.durability.size();
+                     ++j) {
+                    Kind k = fn.durability[j].kind;
+                    if (k == Kind::Sync) {
+                        break;
+                    }
+                    if (k == Kind::Append) {
+                        ctx_.emit(
+                            fn.file, fn.durability[j].line,
+                            "durability-ordering",
+                            "append after truncateTo with no sync "
+                            "between in " + fn.qualifiedName +
+                                "; the truncate may still be in the "
+                                "page cache when the append lands, so "
+                                "a crash can resurrect stale bytes "
+                                "past the new tail — sync after "
+                                "truncating");
+                        break;
+                    }
+                }
+            }
+            if (e.kind == Kind::ReadFile && !hasChecksum) {
+                bool decodes = false;
+                for (std::size_t j = i + 1; j < fn.durability.size();
+                     ++j) {
+                    if (fn.durability[j].kind == Kind::Decode) {
+                        decodes = true;
+                        break;
+                    }
+                }
+                if (decodes) {
+                    ctx_.emit(fn.file, e.line, "durability-ordering",
+                              "persisted bytes are decoded in " +
+                                  fn.qualifiedName +
+                                  " without a checksum verification; "
+                                  "a torn tail parses as garbage "
+                                  "instead of being rejected — verify "
+                                  "fnv1a64 before decoding");
+                }
+            }
+        }
+    }
+
+    PassContext &ctx_;
+};
+
+} // namespace
+
+const std::vector<std::string> &passRules()
+{
+    static const std::vector<std::string> rules = {
+        "stream-lineage", "lock-order", "durability-ordering"};
+    return rules;
+}
+
+std::vector<Finding> runPasses(const SemanticIndex &index)
+{
+    PassContext ctx{index, {}};
+    StreamLineagePass(ctx).run();
+    LockOrderPass(ctx).run();
+    DurabilityPass(ctx).run();
+
+    std::sort(ctx.findings.begin(), ctx.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file) {
+                      return a.file < b.file;
+                  }
+                  if (a.line != b.line) {
+                      return a.line < b.line;
+                  }
+                  if (a.rule != b.rule) {
+                      return a.rule < b.rule;
+                  }
+                  return a.message < b.message;
+              });
+    ctx.findings.erase(
+        std::unique(ctx.findings.begin(), ctx.findings.end(),
+                    [](const Finding &a, const Finding &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.rule == b.rule &&
+                               a.message == b.message;
+                    }),
+        ctx.findings.end());
+    return ctx.findings;
+}
+
+} // namespace qlint

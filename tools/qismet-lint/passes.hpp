@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Phase 2 of the cross-translation-unit analyzer: dataflow passes over
+ * the semantic index (semantic_index.hpp).
+ *
+ * Three rules, each invisible to the per-file engine because the
+ * evidence spans translation units:
+ *
+ *  - `stream-lineage`       — an Rng stream must have exactly one
+ *    consumer. Flags (a) the same bare Rng handed to two or more
+ *    consuming callees in src/serve, src/persist or src/fault — each
+ *    helper assumes an independent stream, so adding a draw in one
+ *    silently shifts every replay of the other; (b) an outer Rng
+ *    (parameter or pre-dispatch local) consumed inside a lambda handed
+ *    to ThreadPool::submit / ParallelExecutor::parallelFor/map — the
+ *    draw order then depends on scheduling; (c) an affine index packing
+ *    (`base + id`, `id * K + run`) that crosses a function boundary
+ *    before feeding deriveStreamSeed / splitStream in or from
+ *    src/serve, where IDs are adversarial and linear packings collide.
+ *
+ *  - `lock-order`           — builds the mutex acquisition graph over
+ *    the whole source tree (a lock held at a call site contributes
+ *    edges to every mutex the transitive callees acquire) and flags
+ *    cycles, self-re-acquisition, and any path that reaches
+ *    ThreadPool::submit / ParallelExecutor dispatch while a lock is
+ *    held: the pool's queue mutex and worker rendezvous then nest under
+ *    an application lock, which both serializes the fan-out and is one
+ *    reader away from deadlock.
+ *
+ *  - `durability-ordering`  — in src/persist and src/serve, flags
+ *    rename without a preceding fsync (the classic torn-publish),
+ *    a journal append after truncateTo with no sync between (the
+ *    truncate may still be in the page cache when the append lands),
+ *    and decoding persisted bytes without a checksum verification in
+ *    the same function (torn tails read as garbage instead of being
+ *    rejected).
+ *
+ * Every finding honors the same `// qismet-lint: allow(<rule>)` escapes
+ * as the per-file rules.
+ */
+
+#ifndef QISMET_TOOLS_LINT_PASSES_HPP
+#define QISMET_TOOLS_LINT_PASSES_HPP
+
+#include "lint_rules.hpp"
+#include "semantic_index.hpp"
+
+#include <vector>
+
+namespace qlint {
+
+/** Rule slugs of the cross-TU passes, in reporting order. */
+const std::vector<std::string> &passRules();
+
+/** Run all cross-TU passes. Findings are sorted by (file, line, rule). */
+std::vector<Finding> runPasses(const SemanticIndex &index);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_PASSES_HPP

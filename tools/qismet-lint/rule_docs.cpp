@@ -1,0 +1,228 @@
+#include "rule_docs.hpp"
+
+namespace qlint {
+
+const std::vector<RuleDoc> &allRuleDocs()
+{
+    static const std::vector<RuleDoc> docs = {
+        {"ambient-rng",
+         "All randomness must flow through qismet::Rng.",
+         "std::rand/srand, std::random_device and time-based seeding "
+         "make runs unreproducible: the accept/reject replay loop "
+         "(DESIGN.md section 2) requires that re-running a config "
+         "reproduces every draw bit-for-bit. qismet::Rng is a "
+         "counter-based generator seeded explicitly from the config, "
+         "so the whole program's randomness is a pure function of the "
+         "seed. Only src/common/rng.cpp may touch the ambient "
+         "primitives (to implement entropy capture for `--seed auto`).",
+         "everywhere except src/common/rng.cpp",
+         "per-file",
+         "double jitter = std::rand() / double(RAND_MAX);",
+         "double jitter = rng.uniform();"},
+        {"unordered-reduction",
+         "Never fold numbers out of unordered container iteration.",
+         "std::unordered_map/set iteration order is unspecified and "
+         "varies across libstdc++ versions, hash seeds and load "
+         "factors. Accumulating floats in that order makes the bits of "
+         "the result depend on it (floating-point addition is not "
+         "associative). Iterate a sorted view, or accumulate into an "
+         "order-independent integral domain first.",
+         "src/",
+         "per-file",
+         "for (auto &[k, v] : unorderedWeights) { sum += v; }",
+         "for (auto &k : sortedKeys(unorderedWeights)) { sum += "
+         "unorderedWeights.at(k); }"},
+        {"raw-thread",
+         "No std::thread/std::async outside the ThreadPool.",
+         "Ad-hoc threads bypass the deterministic fan-out contract: "
+         "ThreadPool/ParallelExecutor own chunking, result ordering "
+         "and the `--threads=N` == `--threads=1` bit-identity "
+         "guarantee (DESIGN.md section 6). A raw std::thread has no "
+         "such discipline and its interleaving leaks into results. "
+         "pthread_create and std::jthread are equally banned.",
+         "everywhere except src/common/thread_pool.{cpp,hpp}",
+         "per-file",
+         "std::thread t([&] { work(); }); t.join();",
+         "executor.parallelFor(0, n, [&](std::size_t i) { work(i); });"},
+        {"raw-file-write",
+         "All durable writes go through atomicWriteFile/DurableFile.",
+         "A bare std::ofstream write can be torn by a crash: partial "
+         "content at the final path, no fsync, no rename discipline. "
+         "atomicWriteFile writes a temp file, fsyncs it, renames into "
+         "place and fsyncs the directory; DurableFile gives "
+         "append/sync/truncate with explicit durability points "
+         "(DESIGN.md section 8). Reads are unrestricted; code outside "
+         "src/ (tests, tools, bench) is unrestricted.",
+         "src/ writes, except src/common/atomic_file.{hpp,cpp}",
+         "per-file",
+         "std::ofstream out(path); out << payload;",
+         "qismet::atomicWriteFile(path, payload);"},
+        {"naked-new",
+         "No naked new/delete; use containers or smart pointers.",
+         "Manual lifetime management invites leaks and double-frees, "
+         "and every owning raw pointer is a code path the "
+         "crash-recovery tests cannot reason about. std::vector, "
+         "std::unique_ptr and std::make_unique cover every use in "
+         "this codebase.",
+         "src/",
+         "per-file",
+         "auto *state = new SimState(n);",
+         "auto state = std::make_unique<SimState>(n);"},
+        {"split-in-task",
+         "Derive substreams before fan-out, never inside a task.",
+         "Rng::split() advances the parent stream, so calling it "
+         "inside a lambda handed to ThreadPool::submit or "
+         "ParallelExecutor::parallelFor/map makes the derived seed "
+         "depend on which task ran first — scheduling order becomes "
+         "data. Split per-task streams in the submission loop and "
+         "move them into the capture.",
+         "src/",
+         "per-file",
+         "pool.submit([&] { auto r = rng.split(); ... });",
+         "auto r = rng.split(); pool.submit([r]() mutable { ... });"},
+        {"dense-matrix-in-loop",
+         "No Gate::matrix() inside simulator hot loops.",
+         "Gate::matrix() builds a fresh dense matrix on every call. "
+         "Inside the per-gate/per-shot loops of src/sim and src/vqe "
+         "that is an allocation per iteration, which dominated the "
+         "profile before CompiledCircuit existed (DESIGN.md section "
+         "11). Resolve matrices once via CompiledCircuit, or fill "
+         "preallocated scratch with Gate::matrixInto.",
+         "src/sim/, src/vqe/",
+         "per-file",
+         "for (auto &g : gates) { apply(g.matrix(), psi); }",
+         "CompiledCircuit cc(circuit); cc.run(psi);"},
+        {"stream-offset",
+         "In src/serve, use splitStream/deriveStreamSeed, not affine "
+         "packing.",
+         "Serve-layer tenant and job IDs are caller-controlled. An "
+         "affine packing (`seed + id`, `id * K + run`) maps distinct "
+         "ID pairs to the same seed under adversarial patterns, "
+         "which collapses two tenants onto one stream. "
+         "deriveStreamSeed applies a SplitMix64 avalanche at every "
+         "level, so structured inputs cannot collide by construction "
+         "(src/common/rng.hpp, StreamDomain note).",
+         "src/serve/",
+         "per-file",
+         "Rng jobRng(config.seed + jobId);",
+         "Rng jobRng(deriveStreamSeed(config.seed, kServeRun, jobId));"},
+        {"stream-lineage",
+         "An Rng stream must have exactly one consumer.",
+         "Three cross-TU shapes break stream lineage. (a) Reuse: one "
+         "Rng handed to two consuming callees couples them — adding a "
+         "draw in the first silently shifts every value the second "
+         "produces, which breaks replay stability across code "
+         "changes. (b) Dispatch capture: an outer Rng drawn from "
+         "inside a ThreadPool/ParallelExecutor task makes the draw "
+         "order a function of scheduling. (c) Affine crossing: an "
+         "affine index packing (`base + id`) computed in one function "
+         "and fed to a stream derivation in another reintroduces the "
+         "collision the per-file stream-offset rule bans, one call "
+         "away from where that rule can see it. Fix all three by "
+         "deriving a dedicated substream (Rng::splitAt / splitStream) "
+         "at the ownership boundary and passing raw IDs to "
+         "deriveStreamSeed.",
+         "reuse: src/serve, src/persist, src/fault; dispatch capture: "
+         "src/; affine crossing: caller or callee in src/serve",
+         "cross-TU",
+         "helperA(rng); helperB(rng); // both draw from rng",
+         "helperA(rng.splitAt(0)); helperB(rng.splitAt(1));"},
+        {"lock-order",
+         "No lock cycles; never hold a lock across pool dispatch.",
+         "The pass builds the mutex acquisition graph for the whole "
+         "tree: a lock held at a call site adds edges to every mutex "
+         "the transitive callees acquire, with receivers resolved "
+         "through member declarations so same-named methods on "
+         "different classes do not alias. Cycles (A held while taking "
+         "B, elsewhere B held while taking A) deadlock under "
+         "contention. Holding any lock across ThreadPool::submit / "
+         "ParallelExecutor::parallelFor nests the pool's queue mutex "
+         "under an application lock, serializes the fan-out, and "
+         "deadlocks outright if a task ever needs the held lock. "
+         "Collect work under the lock, release it, then submit.",
+         "src/ (the pool's own internals in "
+         "src/common/thread_pool.* are exempt from the dispatch "
+         "check)",
+         "cross-TU",
+         "std::lock_guard<std::mutex> g(mutex_); pool_->submit(task);",
+         "auto batch = collectLocked(); /* unlock */ for (auto &t : "
+         "batch) pool_->submit(t);"},
+        {"durability-ordering",
+         "fsync before rename; sync after truncate; checksum before "
+         "decode.",
+         "Crash-safety is an ordering discipline, checked per "
+         "function over the indexed durability events. (1) rename "
+         "with no preceding fsync can publish an empty file: the "
+         "metadata operation may be durable before the data blocks. "
+         "(2) An append after truncateTo with no sync between lets a "
+         "crash resurrect stale bytes past the new tail, which the "
+         "journal scan would then misparse. (3) Decoding persisted "
+         "bytes without a checksum verification turns a torn tail "
+         "into garbage state instead of a rejected record — every "
+         "framed read must verify fnv1a64 first (DESIGN.md section "
+         "8).",
+         "src/persist/, src/serve/",
+         "cross-TU",
+         "fs::rename(tmp, final); // no fsync of tmp",
+         "file.sync(); fs::rename(tmp, final); syncDir(dir);"},
+    };
+    return docs;
+}
+
+const RuleDoc *findRuleDoc(const std::string &id)
+{
+    for (const RuleDoc &doc : allRuleDocs()) {
+        if (doc.id == id) {
+            return &doc;
+        }
+    }
+    return nullptr;
+}
+
+std::string explainRule(const RuleDoc &doc)
+{
+    std::string out;
+    out += doc.id + " — " + doc.shortText + "\n\n";
+    out += doc.fullText + "\n\n";
+    out += "scope:    " + doc.scope + "\n";
+    out += "analysis: " + doc.crossTu + "\n\n";
+    out += "  bad:  " + doc.badExample + "\n";
+    out += "  good: " + doc.goodExample + "\n\n";
+    out += "suppress: // qismet-lint: allow(" + doc.id +
+           ")   (file-wide: allow-file)\n";
+    return out;
+}
+
+std::string renderRulesMarkdown()
+{
+    std::string out;
+    out += "# qismet-lint rules\n\n";
+    out += "<!-- Generated by `qismet-lint --rules-md`. Edit "
+           "tools/qismet-lint/rule_docs.cpp, not this file. -->\n\n";
+    out += "The determinism and crash-safety invariants the tree must "
+           "hold, as enforced\nby `qismet-lint`. Per-file rules see one "
+           "translation unit at a time; cross-TU\nrules run dataflow "
+           "passes over a semantic index of the whole source tree\n"
+           "(`tools/qismet-lint/semantic_index.hpp`).\n\n";
+    out += "Suppress a finding with `// qismet-lint: allow(<rule>)` on "
+           "the offending line\nor the line above, or "
+           "`// qismet-lint: allow-file(<rule>)` for a whole file.\n"
+           "Every escape is greppable and reviewable.\n\n";
+    out += "| rule | analysis | summary |\n|---|---|---|\n";
+    for (const RuleDoc &doc : allRuleDocs()) {
+        out += "| [`" + doc.id + "`](#" + doc.id + ") | " + doc.crossTu +
+               " | " + doc.shortText + " |\n";
+    }
+    out += "\n";
+    for (const RuleDoc &doc : allRuleDocs()) {
+        out += "## " + doc.id + "\n\n";
+        out += "**" + doc.shortText + "**\n\n";
+        out += doc.fullText + "\n\n";
+        out += "*Scope:* " + doc.scope + "\n\n";
+        out += "```cpp\n// bad\n" + doc.badExample + "\n\n// good\n" +
+               doc.goodExample + "\n```\n\n";
+    }
+    return out;
+}
+
+} // namespace qlint

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Rule documentation registry: one entry per rule, shared by the SARIF
+ * emitter (tool.driver.rules metadata), the `--explain <rule>` CLI mode
+ * and the generated RULES.md. Keeping the prose here means the three
+ * outputs can never drift apart.
+ */
+
+#ifndef QISMET_TOOLS_LINT_RULE_DOCS_HPP
+#define QISMET_TOOLS_LINT_RULE_DOCS_HPP
+
+#include <string>
+#include <vector>
+
+namespace qlint {
+
+/** Documentation for one lint rule. */
+struct RuleDoc
+{
+    std::string id;        ///< Rule slug, e.g. "stream-lineage".
+    std::string shortText; ///< One-sentence summary (SARIF shortDescription).
+    std::string fullText;  ///< Full rationale: why, what breaks, how to fix.
+    std::string scope;     ///< Which paths the rule applies to.
+    std::string crossTu;   ///< "per-file" or "cross-TU".
+    std::string badExample;  ///< Code that trips the rule.
+    std::string goodExample; ///< The compliant rewrite.
+};
+
+/** Docs for every rule, in allRules() order. */
+const std::vector<RuleDoc> &allRuleDocs();
+
+/** Doc for one rule, or nullptr for an unknown slug. */
+const RuleDoc *findRuleDoc(const std::string &id);
+
+/** `--explain` output for one rule: the doc rendered for a terminal. */
+std::string explainRule(const RuleDoc &doc);
+
+/** The full RULES.md content generated from the registry. */
+std::string renderRulesMarkdown();
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_RULE_DOCS_HPP

@@ -1,0 +1,93 @@
+#include "sarif.hpp"
+
+#include "rule_docs.hpp"
+
+#include <cstdio>
+
+namespace qlint {
+
+std::string jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string renderSarif(const std::vector<Finding> &findings)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n    {\n";
+    out += "      \"tool\": {\n        \"driver\": {\n";
+    out += "          \"name\": \"qismet-lint\",\n";
+    out += "          \"informationUri\": "
+           "\"tools/qismet-lint/RULES.md\",\n";
+    out += "          \"rules\": [\n";
+    const std::vector<RuleDoc> &docs = allRuleDocs();
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+        const RuleDoc &doc = docs[i];
+        out += "            {\n";
+        out += "              \"id\": \"" + jsonEscape(doc.id) + "\",\n";
+        out += "              \"shortDescription\": { \"text\": \"" +
+               jsonEscape(doc.shortText) + "\" },\n";
+        out += "              \"fullDescription\": { \"text\": \"" +
+               jsonEscape(doc.fullText) + "\" },\n";
+        out += "              \"defaultConfiguration\": { \"level\": "
+               "\"error\" }\n";
+        out += i + 1 < docs.size() ? "            },\n"
+                                   : "            }\n";
+    }
+    out += "          ]\n        }\n      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + jsonEscape(f.rule) + "\",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": { \"text\": \"" +
+               jsonEscape(f.message) + "\" },\n";
+        out += "          \"locations\": [\n            {\n";
+        out += "              \"physicalLocation\": {\n";
+        out += "                \"artifactLocation\": { \"uri\": \"" +
+               jsonEscape(f.file) + "\" },\n";
+        out += "                \"region\": { \"startLine\": " +
+               std::to_string(f.line < 1 ? 1 : f.line) + " }\n";
+        out += "              }\n            }\n          ]\n";
+        out += i + 1 < findings.size() ? "        },\n" : "        }\n";
+    }
+    out += "      ]\n    }\n  ]\n}\n";
+    return out;
+}
+
+} // namespace qlint

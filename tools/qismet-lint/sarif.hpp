@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SARIF 2.1.0 emission for qismet-lint findings, so CI systems and
+ * editors that speak the Static Analysis Results Interchange Format can
+ * ingest the linter's output directly. The emitter produces the minimal
+ * valid document: one run, tool.driver with per-rule metadata from the
+ * rule-doc registry, and one result per finding with a physical
+ * location. No external JSON library: the subset of JSON needed here is
+ * strings, objects and arrays, hand-escaped.
+ */
+
+#ifndef QISMET_TOOLS_LINT_SARIF_HPP
+#define QISMET_TOOLS_LINT_SARIF_HPP
+
+#include "lint_rules.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qlint {
+
+/** Escape a string for embedding in a JSON document (adds no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render findings as a SARIF 2.1.0 document.
+ *
+ * The document carries `version`, `$schema`, and a single run whose
+ * `tool.driver` lists every registered rule (id, shortDescription,
+ * fullDescription, helpUri-free) and whose `results` reference rules by
+ * id with `level: "error"` and a physicalLocation (artifact URI +
+ * region.startLine).
+ */
+std::string renderSarif(const std::vector<Finding> &findings);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_SARIF_HPP

@@ -1,0 +1,997 @@
+#include "semantic_index.hpp"
+
+#include <algorithm>
+
+namespace qlint {
+namespace {
+
+/** Keywords that look like calls or definitions but are neither. */
+bool isControlKeyword(const std::string &name)
+{
+    static const std::set<std::string> keywords = {
+        "if",       "for",     "while",   "switch",   "catch",
+        "return",   "sizeof",  "alignof", "decltype", "throw",
+        "do",       "else",    "case",    "goto",     "new",
+        "delete",   "static_assert",      "noexcept", "operator",
+        "co_await", "co_yield","co_return"};
+    return keywords.count(name) != 0;
+}
+
+/** Rng methods that advance the stream (consume randomness). */
+bool isAdvancingRngMethod(const std::string &name)
+{
+    static const std::set<std::string> methods = {
+        "uniform", "uniformInt", "normal",   "exponential", "poisson",
+        "bernoulli", "discrete", "sign",     "split",       "engine"};
+    return methods.count(name) != 0;
+}
+
+std::string trimmed(const std::string &s)
+{
+    std::size_t a = 0;
+    std::size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) {
+        ++a;
+    }
+    while (b > a &&
+           std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) {
+        --b;
+    }
+    return s.substr(a, b - a);
+}
+
+/** Split an argument-list range at top-level commas. */
+std::vector<std::string> splitArgs(const std::string &text,
+                                   std::size_t begin, std::size_t end)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::size_t start = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+        char c = text[i];
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            --depth;
+        } else if (c == '<') {
+            // Treat as nesting only when it plausibly opens a template
+            // (heuristic: preceded by an identifier character).
+            std::size_t p = prevNonSpace(text, i);
+            if (p != std::string::npos && isIdentChar(text[p])) {
+                std::size_t close = matchAngle(text, i);
+                if (close != std::string::npos && close < end) {
+                    i = close;
+                }
+            }
+        } else if (c == ',' && depth == 0) {
+            out.push_back(trimmed(text.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    if (end > start || !out.empty()) {
+        std::string last = trimmed(text.substr(start, end - start));
+        if (!last.empty() || !out.empty()) {
+            out.push_back(last);
+        }
+    }
+    if (out.size() == 1 && out[0].empty()) {
+        out.clear();
+    }
+    return out;
+}
+
+/** All identifier tokens of an expression string. */
+std::vector<std::string> identTokens(const std::string &expr)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < expr.size()) {
+        if (isIdentStart(expr[i])) {
+            std::size_t start = i;
+            while (i < expr.size() && isIdentChar(expr[i])) {
+                ++i;
+            }
+            out.push_back(expr.substr(start, i - start));
+            continue;
+        }
+        ++i;
+    }
+    return out;
+}
+
+/** Class/struct scope discovered in a TU. */
+struct ClassScope
+{
+    std::string name;
+    std::size_t open;  ///< Offset of the `{`.
+    std::size_t close; ///< Offset of the matching `}`.
+};
+
+/** Brace pair inside a function body (for enclosing-scope queries). */
+struct BracePair
+{
+    std::size_t open;
+    std::size_t close;
+};
+
+std::vector<BracePair> bracePairs(const std::string &text,
+                                  std::size_t begin, std::size_t end)
+{
+    std::vector<BracePair> pairs;
+    std::vector<std::size_t> stack;
+    for (std::size_t i = begin; i <= end && i < text.size(); ++i) {
+        if (text[i] == '{') {
+            stack.push_back(i);
+        } else if (text[i] == '}' && !stack.empty()) {
+            pairs.push_back({stack.back(), i});
+            stack.pop_back();
+        }
+    }
+    return pairs;
+}
+
+/** Innermost brace pair containing `pos`, or {begin,end} fallback. */
+BracePair enclosingScope(const std::vector<BracePair> &pairs,
+                         std::size_t pos, std::size_t begin,
+                         std::size_t end)
+{
+    BracePair best{begin, end};
+    for (const BracePair &p : pairs) {
+        if (p.open < pos && pos < p.close &&
+            (p.open > best.open || best.open == begin)) {
+            if (p.open >= best.open) {
+                best = p;
+            }
+        }
+    }
+    return best;
+}
+
+class TuParser
+{
+  public:
+    TuParser(TuIndex &tu) : tu_(tu), text_(tu.scrubbed.text),
+                            tokens_(tokenize(text_))
+    {
+    }
+
+    void run()
+    {
+        collectClassScopes();
+        collectMembers();
+        collectFunctions();
+    }
+
+  private:
+    /** Innermost class scope containing `pos`, or "". */
+    std::string enclosingClass(std::size_t pos) const
+    {
+        std::string best;
+        std::size_t bestOpen = 0;
+        for (const ClassScope &s : classes_) {
+            if (s.open < pos && pos < s.close && s.open >= bestOpen) {
+                best = s.name;
+                bestOpen = s.open;
+            }
+        }
+        return best;
+    }
+
+    void collectClassScopes()
+    {
+        for (std::size_t k = 0; k < tokens_.size(); ++k) {
+            const Token &t = tokens_[k];
+            if (t.name != "class" && t.name != "struct") {
+                continue;
+            }
+            if (k > 0 && tokens_[k - 1].name == "enum") {
+                continue; // enum class
+            }
+            if (k + 1 >= tokens_.size()) {
+                continue;
+            }
+            const Token &nameTok = tokens_[k + 1];
+            // Find the first of '{' / ';' / '(' after the name; only a
+            // '{' makes this a definition with a scope.
+            std::size_t p = nameTok.end;
+            std::size_t brace = std::string::npos;
+            while (p < text_.size()) {
+                char c = text_[p];
+                if (c == '{') {
+                    brace = p;
+                    break;
+                }
+                if (c == ';' || c == '(' || c == ')') {
+                    break;
+                }
+                ++p;
+            }
+            if (brace == std::string::npos) {
+                continue;
+            }
+            std::size_t close = matchDelim(text_, brace);
+            if (close == std::string::npos) {
+                continue;
+            }
+            classes_.push_back({nameTok.name, brace, close});
+        }
+    }
+
+    /**
+     * Member-variable declarations: statements directly inside a class
+     * body (depth 1 relative to the class brace) with no call shape.
+     * Records mutex owners and the type tokens of every member, which
+     * phase 2 uses to disambiguate same-named methods by receiver.
+     */
+    void collectMembers()
+    {
+        for (const ClassScope &cls : classes_) {
+            int depth = 0;
+            std::size_t stmtStart = cls.open + 1;
+            for (std::size_t i = cls.open + 1; i < cls.close; ++i) {
+                char c = text_[i];
+                if (c == '{' || c == '(') {
+                    ++depth;
+                } else if (c == '}' || c == ')') {
+                    --depth;
+                    if (c == '}' && depth == 0) {
+                        stmtStart = i + 1; // end of a nested body
+                    }
+                } else if (c == ';' && depth == 0) {
+                    recordMember(cls,
+                                 text_.substr(stmtStart, i - stmtStart));
+                    stmtStart = i + 1;
+                }
+            }
+        }
+    }
+
+    void recordMember(const ClassScope &cls, const std::string &stmt)
+    {
+        // `Type name_;` declarations only: skip method declarations
+        // (an identifier immediately followed by '(') and using/friend
+        // statements.
+        std::vector<std::string> idents = identTokens(stmt);
+        if (idents.size() < 2) {
+            return;
+        }
+        for (const char *skip : {"using", "friend", "typedef", "enum",
+                                 "static_assert", "operator"}) {
+            if (idents.front() == skip) {
+                return;
+            }
+        }
+        // Declarator name: last identifier before any '=' initializer.
+        std::string decl = stmt;
+        std::size_t eq = std::string::npos;
+        for (std::size_t i = 0; i + 1 < decl.size(); ++i) {
+            if (decl[i] == '=' && decl[i + 1] != '=' &&
+                (i == 0 || decl[i - 1] != '=')) {
+                eq = i;
+                break;
+            }
+        }
+        if (eq != std::string::npos) {
+            decl = decl.substr(0, eq);
+        }
+        std::vector<std::string> declIdents = identTokens(decl);
+        if (declIdents.size() < 2) {
+            return;
+        }
+        const std::string name = declIdents.back();
+        // A method declaration's last token is a parameter or `const`.
+        std::size_t namePos = decl.rfind(name);
+        std::size_t after = namePos + name.size();
+        while (after < decl.size() &&
+               std::isspace(static_cast<unsigned char>(decl[after])) !=
+                   0) {
+            ++after;
+        }
+        if (after < decl.size() &&
+            (decl[after] == '(' || decl[after] == ')')) {
+            return;
+        }
+        std::set<std::string> typeTokens;
+        for (std::size_t i = 0; i + 1 < declIdents.size(); ++i) {
+            typeTokens.insert(declIdents[i]);
+        }
+        if (typeTokens.count("mutex") != 0 ||
+            typeTokens.count("shared_mutex") != 0 ||
+            typeTokens.count("recursive_mutex") != 0) {
+            tu_.mutexOwners[name] = cls.name;
+        }
+        auto &existing = tu_.memberTypeTokens[name];
+        existing.insert(typeTokens.begin(), typeTokens.end());
+    }
+
+    void collectFunctions()
+    {
+        for (std::size_t k = 0; k < tokens_.size(); ++k) {
+            const Token &t = tokens_[k];
+            if (isControlKeyword(t.name) || t.name == "class" ||
+                t.name == "struct" || t.name == "namespace" ||
+                t.name == "enum") {
+                continue;
+            }
+            if (isMemberAccess(text_, t.pos)) {
+                continue;
+            }
+            // A name preceded by ',' or a single ':' is a constructor
+            // initializer (`: a_(x), b_(y) {`), whose last entry would
+            // otherwise look exactly like `name(...) {`.
+            std::size_t before = prevNonSpace(text_, t.pos);
+            if (before != std::string::npos &&
+                (text_[before] == ',' ||
+                 (text_[before] == ':' &&
+                  (before == 0 || text_[before - 1] != ':')))) {
+                continue;
+            }
+            std::size_t open = nextNonSpace(text_, t.end);
+            if (open == std::string::npos || text_[open] != '(') {
+                continue;
+            }
+            std::size_t close = matchDelim(text_, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            std::size_t body = findBody(close);
+            if (body == std::string::npos) {
+                continue;
+            }
+            std::size_t bodyEnd = matchDelim(text_, body);
+            if (bodyEnd == std::string::npos) {
+                continue;
+            }
+            FunctionInfo fn;
+            fn.name = t.name;
+            std::string qual;
+            if (hasQualifier(text_, t.pos, qual) && !qual.empty() &&
+                qual != "std") {
+                fn.className = qual;
+            } else {
+                fn.className = enclosingClass(t.pos);
+            }
+            fn.qualifiedName = fn.className.empty()
+                                   ? fn.name
+                                   : fn.className + "::" + fn.name;
+            fn.file = tu_.path;
+            fn.line = t.line;
+            fn.bodyBegin = body;
+            fn.bodyEnd = bodyEnd;
+            parseParams(fn, open, close);
+            parseBody(fn);
+            tu_.functions.push_back(std::move(fn));
+        }
+    }
+
+    /**
+     * Body `{` for a definition whose parameter list closed at `close`,
+     * or npos when this is a declaration/call. Tolerates `const`,
+     * `noexcept(...)`, `override`, `final`, trailing return types and
+     * constructor initializer lists.
+     */
+    std::size_t findBody(std::size_t close) const
+    {
+        std::size_t p = nextNonSpace(text_, close + 1);
+        while (p != std::string::npos) {
+            char c = text_[p];
+            if (c == '{') {
+                return p;
+            }
+            if (c == ';' || c == ',' || c == ')' || c == '=' ||
+                c == '.' || c == '[') {
+                return std::string::npos;
+            }
+            if (c == '-' && p + 1 < text_.size() &&
+                text_[p + 1] == '>') {
+                // Trailing return type: scan to the first top-level
+                // '{' or ';'.
+                int depth = 0;
+                for (std::size_t i = p + 2; i < text_.size(); ++i) {
+                    char d = text_[i];
+                    if (d == '(' || d == '<' || d == '[') {
+                        ++depth;
+                    } else if (d == ')' || d == '>' || d == ']') {
+                        --depth;
+                    } else if (depth == 0 && d == '{') {
+                        return i;
+                    } else if (depth == 0 && d == ';') {
+                        return std::string::npos;
+                    }
+                }
+                return std::string::npos;
+            }
+            if (c == ':' &&
+                (p + 1 >= text_.size() || text_[p + 1] != ':')) {
+                return initListBody(p + 1);
+            }
+            if (isIdentStart(c)) {
+                std::size_t end = p;
+                while (end < text_.size() && isIdentChar(text_[end])) {
+                    ++end;
+                }
+                const std::string word = text_.substr(end - (end - p), end - p);
+                if (word == "const" || word == "override" ||
+                    word == "final" || word == "mutable") {
+                    p = nextNonSpace(text_, end);
+                    continue;
+                }
+                if (word == "noexcept") {
+                    p = nextNonSpace(text_, end);
+                    if (p != std::string::npos && text_[p] == '(') {
+                        std::size_t nc = matchDelim(text_, p);
+                        if (nc == std::string::npos) {
+                            return std::string::npos;
+                        }
+                        p = nextNonSpace(text_, nc + 1);
+                    }
+                    continue;
+                }
+                return std::string::npos;
+            }
+            return std::string::npos;
+        }
+        return std::string::npos;
+    }
+
+    /** Body `{` after a constructor initializer list starting at `p`. */
+    std::size_t initListBody(std::size_t p) const
+    {
+        while (true) {
+            p = nextNonSpace(text_, p);
+            if (p == std::string::npos) {
+                return std::string::npos;
+            }
+            // Initializer name: identifiers, `::`, template args.
+            bool sawName = false;
+            while (p != std::string::npos && p < text_.size()) {
+                if (isIdentStart(text_[p])) {
+                    while (p < text_.size() && isIdentChar(text_[p])) {
+                        ++p;
+                    }
+                    sawName = true;
+                    continue;
+                }
+                if (text_[p] == ':' && p + 1 < text_.size() &&
+                    text_[p + 1] == ':') {
+                    p += 2;
+                    continue;
+                }
+                if (text_[p] == '<') {
+                    std::size_t g = matchAngle(text_, p);
+                    if (g == std::string::npos) {
+                        return std::string::npos;
+                    }
+                    p = g + 1;
+                    continue;
+                }
+                if (std::isspace(static_cast<unsigned char>(
+                        text_[p])) != 0) {
+                    std::size_t q = nextNonSpace(text_, p);
+                    // Whitespace inside the name chain is only legal
+                    // before the opening delimiter.
+                    if (q != std::string::npos &&
+                        (text_[q] == '(' || text_[q] == '{')) {
+                        p = q;
+                    }
+                    break;
+                }
+                break;
+            }
+            if (!sawName || p == std::string::npos ||
+                p >= text_.size() ||
+                (text_[p] != '(' && text_[p] != '{')) {
+                return std::string::npos;
+            }
+            std::size_t close = matchDelim(text_, p);
+            if (close == std::string::npos) {
+                return std::string::npos;
+            }
+            p = nextNonSpace(text_, close + 1);
+            if (p == std::string::npos) {
+                return std::string::npos;
+            }
+            if (text_[p] == ',') {
+                ++p;
+                continue;
+            }
+            if (text_[p] == '{') {
+                return p;
+            }
+            return std::string::npos;
+        }
+    }
+
+    void parseParams(FunctionInfo &fn, std::size_t open,
+                     std::size_t close)
+    {
+        for (const std::string &piece :
+             splitArgs(text_, open + 1, close)) {
+            if (piece.empty() || piece == "void") {
+                continue;
+            }
+            ParamInfo param;
+            param.type = piece;
+            std::vector<std::string> idents = identTokens(piece);
+            if (!idents.empty()) {
+                const std::string &last = idents.back();
+                // The declarator name is the final identifier unless the
+                // parameter is unnamed (`const Rng &`).
+                std::size_t lastAt = piece.rfind(last);
+                std::size_t after = lastAt + last.size();
+                bool nameLike = true;
+                for (std::size_t i = after; i < piece.size(); ++i) {
+                    if (std::isspace(static_cast<unsigned char>(
+                            piece[i])) == 0 &&
+                        piece[i] != '=') {
+                        nameLike = piece[i] == '=';
+                        break;
+                    }
+                    if (piece[i] == '=') {
+                        break;
+                    }
+                }
+                if (nameLike && idents.size() > 1) {
+                    param.name = last;
+                }
+                for (const std::string &id : idents) {
+                    if (id == "Rng" &&
+                        piece.find("RngState") == std::string::npos) {
+                        param.isRng = true;
+                    }
+                }
+            }
+            fn.params.push_back(std::move(param));
+        }
+    }
+
+    void parseBody(FunctionInfo &fn)
+    {
+        const std::vector<BracePair> pairs =
+            bracePairs(text_, fn.bodyBegin, fn.bodyEnd);
+        collectCalls(fn);
+        markLambdaCalls(fn);
+        collectLocks(fn, pairs);
+        collectDurability(fn);
+        collectRngInfo(fn);
+    }
+
+    void collectCalls(FunctionInfo &fn)
+    {
+        for (const Token &u : tokens_) {
+            if (u.pos <= fn.bodyBegin || u.pos >= fn.bodyEnd) {
+                continue;
+            }
+            if (isControlKeyword(u.name) || u.name == "class" ||
+                u.name == "struct") {
+                continue;
+            }
+            std::size_t open = nextNonSpace(text_, u.end);
+            if (open != std::string::npos && text_[open] == '<') {
+                std::size_t g = matchAngle(text_, open);
+                if (g == std::string::npos) {
+                    continue;
+                }
+                open = nextNonSpace(text_, g + 1);
+            }
+            if (open == std::string::npos || text_[open] != '(') {
+                continue;
+            }
+            std::size_t close = matchDelim(text_, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            CallSite call;
+            call.callee = u.name;
+            call.line = u.line;
+            call.pos = u.pos;
+            call.memberCall = isMemberAccess(text_, u.pos);
+            std::string qual;
+            if (hasQualifier(text_, u.pos, qual)) {
+                call.qualifier = qual;
+            }
+            if (call.memberCall) {
+                std::size_t p = prevNonSpace(text_, u.pos);
+                if (p != std::string::npos && text_[p] == '>') {
+                    --p; // the '-' of '->'
+                }
+                if (p != std::string::npos && p > 0) {
+                    std::size_t q = prevNonSpace(text_, p);
+                    if (q != std::string::npos &&
+                        isIdentChar(text_[q])) {
+                        std::size_t end = q + 1;
+                        while (q > 0 && isIdentChar(text_[q - 1])) {
+                            --q;
+                        }
+                        call.object = text_.substr(q, end - q);
+                    }
+                }
+            }
+            call.args = splitArgs(text_, open + 1, close);
+            callSpans_.emplace_back(open, close);
+            fn.calls.push_back(std::move(call));
+        }
+    }
+
+    /** Lambda body ranges in `fn`, flagging calls inside them and
+     *  whether the lambda is an argument of a dispatch call. */
+    void markLambdaCalls(FunctionInfo &fn)
+    {
+        // Argument spans of dispatch calls in this function.
+        std::vector<std::pair<std::size_t, std::size_t>> dispatchSpans;
+        for (std::size_t i = 0; i < fn.calls.size(); ++i) {
+            const CallSite &c = fn.calls[i];
+            bool dispatch =
+                c.callee == "submit" || c.callee == "parallelFor" ||
+                (c.callee == "map" && c.memberCall);
+            if (dispatch) {
+                dispatchSpans.push_back(callSpans_[callSpans_.size() -
+                                                   fn.calls.size() + i]);
+            }
+        }
+
+        // Lambda bodies inside the function body.
+        std::vector<std::pair<std::size_t, std::size_t>> lambdaBodies;
+        std::vector<bool> lambdaDispatch;
+        for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+            if (text_[i] != '[') {
+                continue;
+            }
+            std::size_t prev = prevNonSpace(text_, i);
+            if (prev != std::string::npos &&
+                (isIdentChar(text_[prev]) || text_[prev] == ')' ||
+                 text_[prev] == ']')) {
+                continue; // subscript, not a capture list
+            }
+            std::size_t captureClose = matchDelim(text_, i);
+            if (captureClose == std::string::npos ||
+                captureClose >= fn.bodyEnd) {
+                continue;
+            }
+            std::size_t p = nextNonSpace(text_, captureClose + 1);
+            if (p != std::string::npos && text_[p] == '(') {
+                std::size_t paramsClose = matchDelim(text_, p);
+                if (paramsClose == std::string::npos) {
+                    continue;
+                }
+                p = nextNonSpace(text_, paramsClose + 1);
+            }
+            while (p != std::string::npos && p < fn.bodyEnd &&
+                   text_[p] != '{' && text_[p] != ';' &&
+                   text_[p] != ',') {
+                ++p;
+                p = nextNonSpace(text_, p);
+            }
+            if (p == std::string::npos || p >= fn.bodyEnd ||
+                text_[p] != '{') {
+                continue;
+            }
+            std::size_t bodyClose = matchDelim(text_, p);
+            if (bodyClose == std::string::npos) {
+                continue;
+            }
+            bool inDispatch = false;
+            for (const auto &span : dispatchSpans) {
+                if (i > span.first && i < span.second) {
+                    inDispatch = true;
+                    break;
+                }
+            }
+            lambdaBodies.emplace_back(p, bodyClose);
+            lambdaDispatch.push_back(inDispatch);
+            fn.lambdas.push_back({p, bodyClose, inDispatch});
+        }
+
+        for (CallSite &c : fn.calls) {
+            for (std::size_t j = 0; j < lambdaBodies.size(); ++j) {
+                if (c.pos > lambdaBodies[j].first &&
+                    c.pos < lambdaBodies[j].second) {
+                    c.inLambda = true;
+                    if (lambdaDispatch[j]) {
+                        c.inDispatchLambda = true;
+                    }
+                }
+            }
+        }
+    }
+
+    void collectLocks(FunctionInfo &fn,
+                      const std::vector<BracePair> &pairs)
+    {
+        for (const Token &u : tokens_) {
+            if (u.pos <= fn.bodyBegin || u.pos >= fn.bodyEnd) {
+                continue;
+            }
+            if (u.name != "lock_guard" && u.name != "unique_lock" &&
+                u.name != "scoped_lock" && u.name != "shared_lock") {
+                continue;
+            }
+            std::size_t p = nextNonSpace(text_, u.end);
+            if (p != std::string::npos && text_[p] == '<') {
+                std::size_t g = matchAngle(text_, p);
+                if (g == std::string::npos) {
+                    continue;
+                }
+                p = nextNonSpace(text_, g + 1);
+            }
+            // Skip the guard variable name.
+            if (p == std::string::npos || !isIdentStart(text_[p])) {
+                continue;
+            }
+            while (p < text_.size() && isIdentChar(text_[p])) {
+                ++p;
+            }
+            std::size_t open = nextNonSpace(text_, p);
+            if (open == std::string::npos ||
+                (text_[open] != '(' && text_[open] != '{')) {
+                continue;
+            }
+            std::size_t close = matchDelim(text_, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            const BracePair scope = enclosingScope(
+                pairs, u.pos, fn.bodyBegin, fn.bodyEnd);
+            for (const std::string &arg :
+                 splitArgs(text_, open + 1, close)) {
+                if (arg.empty() || arg == "std::adopt_lock" ||
+                    arg == "std::defer_lock") {
+                    continue;
+                }
+                LockSite lock;
+                lock.mutexExpr = arg;
+                lock.line = u.line;
+                lock.pos = u.pos;
+                lock.scopeEnd = scope.close;
+                fn.locks.push_back(std::move(lock));
+            }
+        }
+    }
+
+    void collectDurability(FunctionInfo &fn)
+    {
+        using Kind = DurabilityEvent::Kind;
+        for (const CallSite &c : fn.calls) {
+            Kind kind;
+            if (c.callee == "append" && c.memberCall) {
+                kind = Kind::Append;
+            } else if ((c.callee == "sync" && c.memberCall) ||
+                       c.callee == "fsync" || c.callee == "fdatasync") {
+                kind = Kind::Sync;
+            } else if ((c.callee == "truncateTo" && c.memberCall) ||
+                       c.callee == "ftruncate") {
+                kind = Kind::TruncateTo;
+            } else if (c.callee == "rename") {
+                kind = Kind::Rename;
+            } else if (c.callee == "atomicWriteFile") {
+                kind = Kind::AtomicWrite;
+            } else if (c.callee == "readFile") {
+                kind = Kind::ReadFile;
+            } else if (c.callee == "fnv1a64" ||
+                       c.callee.find("hecksum") != std::string::npos) {
+                kind = Kind::Checksum;
+            } else if (c.callee == "decode" || c.callee == "Decoder") {
+                kind = Kind::Decode;
+            } else {
+                continue;
+            }
+            DurabilityEvent event;
+            event.kind = kind;
+            event.object = c.object;
+            event.line = c.line;
+            event.pos = c.pos;
+            fn.durability.push_back(std::move(event));
+        }
+        // `Decoder dec(...)` constructions are declarations, not calls.
+        for (const Token &u : tokens_) {
+            if (u.pos <= fn.bodyBegin || u.pos >= fn.bodyEnd ||
+                u.name != "Decoder" || isMemberAccess(text_, u.pos)) {
+                continue;
+            }
+            std::size_t p = nextNonSpace(text_, u.end);
+            if (p == std::string::npos || !isIdentStart(text_[p])) {
+                continue;
+            }
+            DurabilityEvent event;
+            event.kind = Kind::Decode;
+            event.line = u.line;
+            event.pos = u.pos;
+            fn.durability.push_back(std::move(event));
+        }
+        std::sort(fn.durability.begin(), fn.durability.end(),
+                  [](const DurabilityEvent &a, const DurabilityEvent &b) {
+                      return a.pos < b.pos;
+                  });
+    }
+
+    void collectRngInfo(FunctionInfo &fn)
+    {
+        // Local Rng declarations: `Rng v = ...` / `Rng v(...)`, and
+        // `auto v = <expr with a split derivation>`.
+        for (std::size_t k = 0; k < tokens_.size(); ++k) {
+            const Token &u = tokens_[k];
+            if (u.pos <= fn.bodyBegin || u.pos >= fn.bodyEnd) {
+                continue;
+            }
+            if (u.name != "Rng" && u.name != "auto") {
+                continue;
+            }
+            if (isMemberAccess(text_, u.pos)) {
+                continue;
+            }
+            if (k + 1 >= tokens_.size()) {
+                continue;
+            }
+            const Token &var = tokens_[k + 1];
+            if (var.pos >= fn.bodyEnd ||
+                nextNonSpace(text_, u.end) != var.pos) {
+                continue;
+            }
+            std::size_t after = nextNonSpace(text_, var.end);
+            if (after == std::string::npos) {
+                continue;
+            }
+            char c = text_[after];
+            if (u.name == "Rng") {
+                if (c == '=' || c == '(' || c == '{' || c == ';') {
+                    fn.localRngVars[var.name] = var.pos;
+                }
+                continue;
+            }
+            // auto v = <...split...>;
+            if (c != '=') {
+                continue;
+            }
+            std::size_t semi = text_.find(';', after);
+            if (semi == std::string::npos || semi > fn.bodyEnd) {
+                continue;
+            }
+            const std::string init =
+                text_.substr(after, semi - after);
+            if (init.find("splitAt") != std::string::npos ||
+                init.find("splitStream") != std::string::npos ||
+                init.find(".split") != std::string::npos) {
+                fn.localRngVars[var.name] = var.pos;
+            }
+        }
+        for (const CallSite &c : fn.calls) {
+            if (c.memberCall && !c.object.empty() &&
+                isAdvancingRngMethod(c.callee)) {
+                fn.consumedRngs.insert(c.object);
+            }
+        }
+    }
+
+    TuIndex &tu_;
+    const std::string &text_;
+    std::vector<Token> tokens_;
+    std::vector<ClassScope> classes_;
+    /** (open, close) spans parallel to the calls pushed per function. */
+    std::vector<std::pair<std::size_t, std::size_t>> callSpans_;
+};
+
+} // namespace
+
+std::size_t FunctionInfo::paramIndex(const std::string &paramName) const
+{
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i].name == paramName) {
+            return i;
+        }
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+std::vector<const FunctionInfo *>
+SemanticIndex::resolve(const std::string &name) const
+{
+    std::vector<const FunctionInfo *> out;
+    auto range = byName_.equal_range(name);
+    for (auto it = range.first; it != range.second; ++it) {
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+std::vector<const FunctionInfo *>
+SemanticIndex::resolve(const std::string &name,
+                       const std::set<std::string> &classes) const
+{
+    std::vector<const FunctionInfo *> all = resolve(name);
+    if (classes.empty()) {
+        return all;
+    }
+    std::vector<const FunctionInfo *> narrowed;
+    for (const FunctionInfo *fn : all) {
+        if (classes.count(fn->className) != 0) {
+            narrowed.push_back(fn);
+        }
+    }
+    return narrowed.empty() ? all : narrowed;
+}
+
+std::set<std::string>
+SemanticIndex::typeTokensFor(const std::string &object) const
+{
+    std::set<std::string> out;
+    for (const TuIndex &tu : tus) {
+        auto it = tu.memberTypeTokens.find(object);
+        if (it != tu.memberTypeTokens.end()) {
+            out.insert(it->second.begin(), it->second.end());
+        }
+    }
+    return out;
+}
+
+bool SemanticIndex::allowed(const std::string &file,
+                            const std::string &rule, int line) const
+{
+    for (const TuIndex &tu : tus) {
+        if (tu.path == file) {
+            return tu.scrubbed.allowed(rule, line);
+        }
+    }
+    return false;
+}
+
+SemanticIndex
+buildIndex(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    SemanticIndex index;
+    index.tus.reserve(files.size());
+    for (const auto &[path, content] : files) {
+        TuIndex tu;
+        tu.path = path;
+        std::replace(tu.path.begin(), tu.path.end(), '\\', '/');
+        tu.scrubbed = scrub(content);
+        TuParser(tu).run();
+        index.tus.push_back(std::move(tu));
+    }
+
+    // Global mutex identity: a lock in scheduler.cpp guards a member
+    // declared in scheduler.hpp, so owner resolution unions every TU.
+    std::map<std::string, std::set<std::string>> owners;
+    for (const TuIndex &tu : index.tus) {
+        for (const auto &[name, cls] : tu.mutexOwners) {
+            owners[name].insert(cls);
+        }
+    }
+    for (TuIndex &tu : index.tus) {
+        for (FunctionInfo &fn : tu.functions) {
+            for (LockSite &lock : fn.locks) {
+                std::vector<std::string> idents =
+                    identTokens(lock.mutexExpr);
+                if (idents.empty()) {
+                    lock.mutexKey = lock.mutexExpr;
+                    continue;
+                }
+                // Strip a `this` receiver; the mutex name is the last
+                // identifier of the expression.
+                std::string name = idents.back();
+                auto it = owners.find(name);
+                if (it != owners.end()) {
+                    if (it->second.count(fn.className) != 0) {
+                        lock.mutexKey = fn.className + "::" + name;
+                    } else if (it->second.size() == 1) {
+                        lock.mutexKey =
+                            *it->second.begin() + "::" + name;
+                    } else {
+                        lock.mutexKey = name;
+                    }
+                } else {
+                    // Unknown declaration site: identity is file-local.
+                    lock.mutexKey = tu.path + "::" + name;
+                }
+            }
+        }
+    }
+
+    for (const TuIndex &tu : index.tus) {
+        for (const FunctionInfo &fn : tu.functions) {
+            index.byName_.emplace(fn.name, &fn);
+        }
+    }
+    return index;
+}
+
+} // namespace qlint

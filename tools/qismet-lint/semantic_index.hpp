@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Phase 1 of the cross-translation-unit analyzer: a lightweight
+ * semantic index of the source tree.
+ *
+ * The per-file rules in lint_rules.cpp see one translation unit at a
+ * time, which is enough for lexical invariants (no std::thread, no
+ * naked new) but blind to the bugs that live *between* files: a helper
+ * in one TU that advances an Rng handed to it by a dispatch loop in
+ * another, a mutex acquisition order split across two headers, an
+ * affine seed packing computed three calls away from the
+ * deriveStreamSeed it feeds. The index makes those visible without a
+ * real C++ frontend: it records, per TU,
+ *
+ *  - function definitions (free and member, in-class and out-of-line),
+ *    with their parameter lists and which parameters are `Rng`s;
+ *  - every call site inside each body — callee name, receiver object,
+ *    argument expressions, and whether the call sits inside a lambda
+ *    handed to ThreadPool::submit / ParallelExecutor::parallelFor/map;
+ *  - RAII lock-guard scopes (`std::lock_guard` / `unique_lock` /
+ *    `scoped_lock`), with the guarded mutex resolved to a
+ *    class-qualified identity via member-declaration tracking;
+ *  - durability events (DurableFile::append/sync/truncateTo, rename,
+ *    atomicWriteFile, readFile, checksum and decode calls), in body
+ *    order;
+ *  - which Rng-typed locals/parameters each function *consumes*
+ *    (advances) directly.
+ *
+ * Phase 2 (passes.cpp) runs dataflow queries over this index. The
+ * parser is heuristic by design — it lexes rather than parses — and is
+ * tuned to the project's house style (clang-format, out-of-line
+ * definitions in .cpp, inline methods in headers). Shapes it cannot
+ * resolve degrade to "no finding", never to a crash.
+ */
+
+#ifndef QISMET_TOOLS_LINT_SEMANTIC_INDEX_HPP
+#define QISMET_TOOLS_LINT_SEMANTIC_INDEX_HPP
+
+#include "source_model.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qlint {
+
+/** One declared parameter of an indexed function. */
+struct ParamInfo
+{
+    std::string name; ///< Empty for unnamed parameters.
+    std::string type; ///< Raw (scrubbed) declaration text.
+    bool isRng = false; ///< Type mentions `Rng` (not `RngState`).
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee;    ///< Last identifier of the callee expression.
+    std::string qualifier; ///< `std`, a class name, or "".
+    std::string object;    ///< Receiver identifier for member calls.
+    bool memberCall = false;
+    int line = 0;
+    std::size_t pos = 0; ///< Offset of the callee token in the TU text.
+    std::vector<std::string> args; ///< Trimmed argument expressions.
+    /** True when the call sits inside a lambda body that is itself an
+     *  argument of a ThreadPool/ParallelExecutor dispatch call. */
+    bool inDispatchLambda = false;
+    /** True when the call sits inside any lambda body. */
+    bool inLambda = false;
+};
+
+/** One RAII lock scope (`std::lock_guard<std::mutex> l(m_);` etc.). */
+struct LockSite
+{
+    std::string mutexExpr; ///< Raw first-argument text, e.g. `mutex_`.
+    std::string mutexKey;  ///< Qualified identity, e.g. `ThreadPool::mutex_`.
+    int line = 0;
+    std::size_t pos = 0;      ///< Offset of the guard token.
+    std::size_t scopeEnd = 0; ///< Offset of the enclosing block's `}`.
+};
+
+/** Ordered durability-relevant event inside a function body. */
+struct DurabilityEvent
+{
+    enum class Kind
+    {
+        Append,     ///< DurableFile-style `.append(...)`.
+        Sync,       ///< `.sync()` / `fsync(...)` / `fdatasync(...)`.
+        TruncateTo, ///< `.truncateTo(...)` / `ftruncate(...)`.
+        Rename,     ///< `rename(...)` (std::filesystem or C).
+        AtomicWrite,///< `atomicWriteFile(...)` (already safe).
+        ReadFile,   ///< `readFile(...)` of persisted bytes.
+        Checksum,   ///< `fnv1a64(...)` or a `*hecksum*` call.
+        Decode,     ///< `Decoder` construction or `.decode(...)`.
+    };
+    Kind kind;
+    std::string object; ///< Receiver identifier, if a member call.
+    int line = 0;
+    std::size_t pos = 0;
+};
+
+/** One lambda body inside a function. */
+struct LambdaRange
+{
+    std::size_t begin = 0; ///< Offset of the lambda body `{`.
+    std::size_t end = 0;   ///< Offset of the matching `}`.
+    /** True when the lambda is an argument of a dispatch call. */
+    bool dispatch = false;
+};
+
+/** One function definition (free or member). */
+struct FunctionInfo
+{
+    std::string name;          ///< Unqualified name.
+    std::string className;     ///< Enclosing/qualifying class, or "".
+    std::string qualifiedName; ///< `Class::name` or `name`.
+    std::string file;
+    int line = 0;
+    std::size_t bodyBegin = 0; ///< Offset of the body `{`.
+    std::size_t bodyEnd = 0;   ///< Offset of the body `}`.
+    std::vector<ParamInfo> params;
+    std::vector<CallSite> calls;
+    std::vector<LockSite> locks;
+    std::vector<LambdaRange> lambdas;
+    std::vector<DurabilityEvent> durability;
+    /** Rng-typed locals declared in the body, name -> declaration offset. */
+    std::map<std::string, std::size_t> localRngVars;
+    /** Identifiers (params/locals) whose stream this function advances
+     *  directly (uniform/normal/split/... receivers). */
+    std::set<std::string> consumedRngs;
+
+    /** Index of the parameter named `name`, or npos. */
+    std::size_t paramIndex(const std::string &name) const;
+};
+
+/** Index of one translation unit. */
+struct TuIndex
+{
+    std::string path;
+    Scrubbed scrubbed; ///< Kept for escape lookups and text access.
+    std::vector<FunctionInfo> functions;
+    /** Mutex-typed member/field name -> owning class. */
+    std::map<std::string, std::string> mutexOwners;
+    /** Member variable name -> class-name tokens from its declared type
+     *  (used to disambiguate same-named methods by receiver). */
+    std::map<std::string, std::set<std::string>> memberTypeTokens;
+};
+
+/** The whole-tree index phase 2 operates on. */
+struct SemanticIndex
+{
+    std::vector<TuIndex> tus;
+
+    /** All definitions with the given unqualified name. */
+    std::vector<const FunctionInfo *>
+    resolve(const std::string &name) const;
+
+    /** Definitions named `name`, restricted to classes in `classes`
+     *  when that narrows to at least one; otherwise all of them. */
+    std::vector<const FunctionInfo *>
+    resolve(const std::string &name,
+            const std::set<std::string> &classes) const;
+
+    /** Union of memberTypeTokens across TUs for `object`, or empty. */
+    std::set<std::string> typeTokensFor(const std::string &object) const;
+
+    /** True when an escape suppresses `rule` at `file`:`line`. */
+    bool allowed(const std::string &file, const std::string &rule,
+                 int line) const;
+
+  private:
+    friend SemanticIndex
+    buildIndex(const std::vector<std::pair<std::string, std::string>> &);
+    std::multimap<std::string, const FunctionInfo *> byName_;
+};
+
+/**
+ * Build the index over (path, content) pairs. Paths are normalized to
+ * forward slashes; content is scrubbed and parsed heuristically.
+ */
+SemanticIndex
+buildIndex(const std::vector<std::pair<std::string, std::string>> &files);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_SEMANTIC_INDEX_HPP

@@ -1,0 +1,331 @@
+#include "source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace qlint {
+
+bool isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+/** Parse `qismet-lint: allow(a, b)` / `allow-file(c)` escapes out of one
+ *  comment. A line escape covers the comment's own line and the line
+ *  below it, so it can sit at the end of the offending line or alone on
+ *  the line above. */
+void parseEscapes(const std::string &comment, int line, Scrubbed &out)
+{
+    const std::string marker = "qismet-lint:";
+    std::size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+        std::size_t cursor = at + marker.size();
+        while (cursor < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[cursor])) !=
+                   0) {
+            ++cursor;
+        }
+        bool fileWide = comment.compare(cursor, 11, "allow-file(") == 0;
+        bool lineWide = !fileWide && comment.compare(cursor, 6, "allow(") == 0;
+        if (fileWide || lineWide) {
+            std::size_t open = comment.find('(', cursor);
+            std::size_t close = comment.find(')', open);
+            if (open != std::string::npos && close != std::string::npos) {
+                std::string args = comment.substr(open + 1, close - open - 1);
+                std::replace(args.begin(), args.end(), ',', ' ');
+                std::istringstream stream(args);
+                std::string rule;
+                while (stream >> rule) {
+                    if (fileWide) {
+                        out.fileAllows.insert(rule);
+                    } else {
+                        out.lineAllows[line].insert(rule);
+                        out.lineAllows[line + 1].insert(rule);
+                    }
+                }
+            }
+        }
+        at = comment.find(marker, at + marker.size());
+    }
+}
+
+} // namespace
+
+Scrubbed scrub(const std::string &src)
+{
+    Scrubbed out;
+    out.text = src;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto blank = [&](std::size_t pos) {
+        if (src[pos] != '\n') {
+            out.text[pos] = ' ';
+        }
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t start = i;
+            while (i < n && src[i] != '\n') {
+                blank(i);
+                ++i;
+            }
+            parseEscapes(src.substr(start, i - start), line, out);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t start = i;
+            int startLine = line;
+            blank(i);
+            blank(i + 1);
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') {
+                    ++line;
+                }
+                blank(i);
+                ++i;
+            }
+            if (i + 1 < n) {
+                blank(i);
+                blank(i + 1);
+                i += 2;
+            } else {
+                i = n;
+            }
+            parseEscapes(src.substr(start, i - start), startLine, out);
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+            (i == 0 || !isIdentChar(src[i - 1]))) {
+            std::size_t open = src.find('(', i + 2);
+            if (open != std::string::npos) {
+                std::string delim = src.substr(i + 2, open - i - 2);
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = src.find(closer, open + 1);
+                std::size_t stop =
+                    end == std::string::npos ? n : end + closer.size();
+                for (std::size_t k = i; k < stop; ++k) {
+                    if (src[k] == '\n') {
+                        ++line;
+                    }
+                    blank(k);
+                }
+                i = stop;
+                continue;
+            }
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            blank(i);
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    blank(i);
+                    ++i;
+                }
+                if (src[i] == '\n') {
+                    ++line;
+                }
+                blank(i);
+                ++i;
+            }
+            if (i < n) {
+                blank(i);
+                ++i;
+            }
+            continue;
+        }
+        ++i;
+    }
+    return out;
+}
+
+std::vector<Token> tokenize(const std::string &text)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (text[i] == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (isIdentStart(text[i])) {
+            std::size_t start = i;
+            while (i < text.size() && isIdentChar(text[i])) {
+                ++i;
+            }
+            tokens.push_back({text.substr(start, i - start), start, i, line});
+            continue;
+        }
+        ++i;
+    }
+    return tokens;
+}
+
+std::size_t prevNonSpace(const std::string &text, std::size_t pos)
+{
+    while (pos > 0) {
+        --pos;
+        char c = text[pos];
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            return pos;
+        }
+    }
+    return std::string::npos;
+}
+
+std::size_t nextNonSpace(const std::string &text, std::size_t pos)
+{
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+        ++pos;
+    }
+    return pos < text.size() ? pos : std::string::npos;
+}
+
+std::size_t matchDelim(const std::string &text, std::size_t open)
+{
+    char oc = text[open];
+    char cc = oc == '(' ? ')' : (oc == '{' ? '}' : ']');
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == oc) {
+            ++depth;
+        } else if (text[i] == cc) {
+            if (--depth == 0) {
+                return i;
+            }
+        }
+    }
+    return std::string::npos;
+}
+
+std::size_t matchAngle(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    int paren = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '(') {
+            ++paren;
+        } else if (c == ')') {
+            --paren;
+        } else if (paren == 0 && c == '<') {
+            ++depth;
+        } else if (paren == 0 && c == '>') {
+            if (i > 0 && text[i - 1] == '-') {
+                continue; // -> operator
+            }
+            if (--depth == 0) {
+                return i;
+            }
+        } else if (c == ';') {
+            return std::string::npos; // statement ended: not a template
+        }
+    }
+    return std::string::npos;
+}
+
+bool hasQualifier(const std::string &text, std::size_t pos,
+                  std::string &qualifier)
+{
+    std::size_t p = prevNonSpace(text, pos);
+    if (p == std::string::npos || text[p] != ':' || p == 0 ||
+        text[p - 1] != ':') {
+        return false;
+    }
+    std::size_t q = prevNonSpace(text, p - 1);
+    if (q == std::string::npos || !isIdentChar(text[q])) {
+        qualifier.clear();
+        return true;
+    }
+    std::size_t end = q + 1;
+    while (q > 0 && isIdentChar(text[q - 1])) {
+        --q;
+    }
+    qualifier = text.substr(q, end - q);
+    return true;
+}
+
+bool isMemberAccess(const std::string &text, std::size_t pos)
+{
+    std::size_t p = prevNonSpace(text, pos);
+    if (p == std::string::npos) {
+        return false;
+    }
+    if (text[p] == '.') {
+        return true;
+    }
+    return text[p] == '>' && p > 0 && text[p - 1] == '-';
+}
+
+bool isCalled(const std::string &text, std::size_t end)
+{
+    std::size_t p = nextNonSpace(text, end);
+    return p != std::string::npos && text[p] == '(';
+}
+
+bool pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    if (path.size() < suffix.size()) {
+        return false;
+    }
+    if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+        return false;
+    }
+    return path.size() == suffix.size() ||
+           path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool pathAllowed(const std::string &path,
+                 const std::vector<std::string> &suffixes)
+{
+    return std::any_of(suffixes.begin(), suffixes.end(),
+                       [&](const std::string &s) {
+                           return pathEndsWith(path, s);
+                       });
+}
+
+bool underSrcTree(const std::string &path)
+{
+    return path.rfind("src/", 0) == 0 ||
+           path.find("/src/") != std::string::npos;
+}
+
+bool underTrees(const std::string &path,
+                const std::vector<std::string> &trees)
+{
+    for (const std::string &tree : trees) {
+        if (path.rfind(tree, 0) == 0 ||
+            path.find("/" + tree) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace qlint

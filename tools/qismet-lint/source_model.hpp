@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lexical source model shared by the per-file rule engine
+ * (lint_rules.cpp) and the cross-TU semantic index
+ * (semantic_index.cpp).
+ *
+ * qismet-lint deliberately does not parse C++ — it lexes it. The model
+ * is a scrubbed text buffer (comments and literals blanked, line
+ * structure preserved), an identifier token stream over that buffer,
+ * and a handful of cursor helpers (delimiter matching, qualifier and
+ * member-access detection). That is enough to express every invariant
+ * the linter polices, and it keeps the tool dependency-free and fast
+ * enough to run on every file of the tree in the tier1 gate.
+ */
+
+#ifndef QISMET_TOOLS_LINT_SOURCE_MODEL_HPP
+#define QISMET_TOOLS_LINT_SOURCE_MODEL_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qlint {
+
+bool isIdentChar(char c);
+bool isIdentStart(char c);
+
+/**
+ * Source text with comments, string literals and char literals blanked
+ * out (replaced by spaces, newlines preserved), plus the suppression
+ * escapes harvested from the comments while blanking them.
+ */
+struct Scrubbed
+{
+    std::string text; ///< Same length/line structure as the input.
+    /** Rules allowed on a given 1-based line via inline escapes. */
+    std::map<int, std::set<std::string>> lineAllows;
+    /** Rules disabled for the whole file via allow-file escapes. */
+    std::set<std::string> fileAllows;
+
+    bool allowed(const std::string &rule, int line) const
+    {
+        if (fileAllows.count(rule) != 0) {
+            return true;
+        }
+        auto it = lineAllows.find(line);
+        return it != lineAllows.end() && it->second.count(rule) != 0;
+    }
+};
+
+/** Blank comments/literals and harvest `qismet-lint:` escapes. */
+Scrubbed scrub(const std::string &src);
+
+/** Identifier token with its position in the scrubbed text. */
+struct Token
+{
+    std::string name;
+    std::size_t pos; ///< First character offset.
+    std::size_t end; ///< One past the last character.
+    int line;        ///< 1-based.
+};
+
+/** All identifier tokens of a scrubbed buffer, in order. */
+std::vector<Token> tokenize(const std::string &text);
+
+/** Offset of the previous non-space character before `pos`, or npos. */
+std::size_t prevNonSpace(const std::string &text, std::size_t pos);
+
+/** Offset of the first non-space character at or after `pos`, or npos. */
+std::size_t nextNonSpace(const std::string &text, std::size_t pos);
+
+/** Matching close index for the paren/brace/bracket at `open`, or npos. */
+std::size_t matchDelim(const std::string &text, std::size_t open);
+
+/** Matching '>' for the '<' at `open`, tolerating nested parens. */
+std::size_t matchAngle(const std::string &text, std::size_t open);
+
+/**
+ * Namespace qualifier of the token at `pos`, when written `qual::name`.
+ * Returns true and fills `qualifier` ("" for a leading `::`).
+ */
+bool hasQualifier(const std::string &text, std::size_t pos,
+                  std::string &qualifier);
+
+/** True when the token at `pos` is accessed as a member (`.x` / `->x`). */
+bool isMemberAccess(const std::string &text, std::size_t pos);
+
+/** True when the token ending at `end` is immediately called. */
+bool isCalled(const std::string &text, std::size_t end);
+
+/** True when `path` ends with `suffix` on a path-component boundary. */
+bool pathEndsWith(const std::string &path, const std::string &suffix);
+
+/** True when `path` matches any of the suffixes. */
+bool pathAllowed(const std::string &path,
+                 const std::vector<std::string> &suffixes);
+
+/** True for files in the shipped source tree (`src/...`). */
+bool underSrcTree(const std::string &path);
+
+/** True for files under any of the given trees (e.g. "src/serve/"). */
+bool underTrees(const std::string &path,
+                const std::vector<std::string> &trees);
+
+} // namespace qlint
+
+#endif // QISMET_TOOLS_LINT_SOURCE_MODEL_HPP

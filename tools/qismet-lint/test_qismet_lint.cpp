@@ -9,12 +9,11 @@
  */
 
 #include "lint_rules.hpp"
+#include "test_support.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,47 +22,23 @@ namespace {
 using qlint::Finding;
 using qlint::lintFile;
 using qlint::lintSource;
-
-std::string fixture(const std::string &name)
-{
-    return std::string(QISMET_LINT_FIXTURE_DIR) + "/" + name;
-}
-
-/** Fixture file content, for lintSource runs under a synthetic path. */
-std::string fixtureSource(const std::string &name)
-{
-    std::ifstream in(fixture(name), std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
-
-std::vector<Finding> ruleFindings(const std::vector<Finding> &all,
-                                  const std::string &rule)
-{
-    std::vector<Finding> out;
-    std::copy_if(all.begin(), all.end(), std::back_inserter(out),
-                 [&](const Finding &f) { return f.rule == rule; });
-    return out;
-}
-
-int countRule(const std::string &path, const std::string &source,
-              const std::string &rule)
-{
-    return static_cast<int>(
-        ruleFindings(lintSource(path, source), rule).size());
-}
+using qlint_test::countRule;
+using qlint_test::fixture;
+using qlint_test::fixtureSource;
+using qlint_test::lintFixture;
+using qlint_test::ruleFindings;
 
 // ---- rule registry -------------------------------------------------------
 
-TEST(LintRegistry, AllEightRulesRegistered)
+TEST(LintRegistry, AllElevenRulesRegistered)
 {
     const auto &rules = qlint::allRules();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 11u);
     for (const char *rule :
          {"ambient-rng", "unordered-reduction", "raw-thread",
           "raw-file-write", "naked-new", "split-in-task",
-          "dense-matrix-in-loop", "stream-offset"}) {
+          "dense-matrix-in-loop", "stream-offset", "stream-lineage",
+          "lock-order", "durability-ordering"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << rule;
     }
@@ -627,10 +602,15 @@ TEST(StreamOffset, FixtureFiresUnderSyntheticServePath)
 }
 
 // ---- fixture files -------------------------------------------------------
+//
+// One harness for every fixture, single-file or directory (multi-TU):
+// a bad fixture yields exactly the expected count, all on the target
+// rule; a good fixture yields nothing. lintFixture() runs the cross-TU
+// passes in addition to the per-file rules for directory cases.
 
 struct BadFixtureCase
 {
-    const char *file;
+    const char *file; ///< File name, or a multi_tu/<case> directory.
     const char *rule;
     int expectedFindings;
 };
@@ -642,7 +622,7 @@ class BadFixtures : public ::testing::TestWithParam<BadFixtureCase>
 TEST_P(BadFixtures, EveryFindingMatchesTheTargetRule)
 {
     const BadFixtureCase &param = GetParam();
-    const auto findings = lintFile(fixture(param.file));
+    const auto findings = lintFixture(param.file);
     EXPECT_EQ(static_cast<int>(findings.size()), param.expectedFindings)
         << param.file;
     for (const Finding &f : findings) {
@@ -660,16 +640,31 @@ INSTANTIATE_TEST_SUITE_P(
                        3},
         BadFixtureCase{"bad_raw_thread.cpp", "raw-thread", 3},
         BadFixtureCase{"bad_naked_new.cpp", "naked-new", 4},
-        BadFixtureCase{"bad_split_in_task.cpp", "split-in-task", 3}),
+        BadFixtureCase{"bad_split_in_task.cpp", "split-in-task", 3},
+        // Directory fixtures: miniature source trees exercising the
+        // cross-TU passes end to end.
+        BadFixtureCase{"multi_tu/sl_reuse", "stream-lineage", 1},
+        BadFixtureCase{"multi_tu/lo_cycle", "lock-order", 1},
+        BadFixtureCase{"multi_tu/lo_submit", "lock-order", 2},
+        BadFixtureCase{"multi_tu/du_unsynced", "durability-ordering", 3}),
     [](const ::testing::TestParamInfo<BadFixtureCase> &param) {
-        std::string name = param.param.rule;
+        std::string name = param.param.file;
+        name = name.substr(name.find('/') + 1);
+        const std::size_t dot = name.find('.');
+        if (dot != std::string::npos) {
+            name = name.substr(0, dot);
+        }
         std::replace(name.begin(), name.end(), '-', '_');
         return name;
     });
 
-TEST(GoodFixtures, CleanFileHasNoFindings)
+class GoodFixtures : public ::testing::TestWithParam<const char *>
 {
-    const auto findings = lintFile(fixture("good_clean.cpp"));
+};
+
+TEST_P(GoodFixtures, NoFindings)
+{
+    const auto findings = lintFixture(GetParam());
     EXPECT_TRUE(findings.empty())
         << findings.size() << " unexpected findings; first: "
         << (findings.empty() ? ""
@@ -678,15 +673,18 @@ TEST(GoodFixtures, CleanFileHasNoFindings)
                                    findings[0].rule + "]");
 }
 
-TEST(GoodFixtures, SuppressedFileHasNoFindings)
-{
-    const auto findings = lintFile(fixture("good_suppressed.cpp"));
-    EXPECT_TRUE(findings.empty())
-        << findings.size() << " unexpected findings; first: "
-        << (findings.empty() ? ""
-                             : findings[0].file + ":" +
-                                   std::to_string(findings[0].line) + " [" +
-                                   findings[0].rule + "]");
-}
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GoodFixtures,
+    ::testing::Values("good_clean.cpp", "good_suppressed.cpp",
+                      "multi_tu/clean_tree"),
+    [](const ::testing::TestParamInfo<const char *> &param) {
+        std::string name = param.param;
+        name = name.substr(name.find('/') + 1);
+        const std::size_t dot = name.find('.');
+        if (dot != std::string::npos) {
+            name = name.substr(0, dot);
+        }
+        return name;
+    });
 
 } // namespace

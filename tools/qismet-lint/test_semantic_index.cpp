@@ -1,0 +1,828 @@
+/**
+ * @file
+ * Tests for the cross-TU analyzer: the semantic index (phase 1), the
+ * three dataflow passes (phase 2), the SARIF emitter, the baseline
+ * diff, and the rule-doc registry. In-memory multi-file cases cover
+ * the fine-grained positive/negative shapes; the on-disk multi_tu/
+ * directory fixtures (driven from test_qismet_lint.cpp) cover the
+ * end-to-end harness.
+ */
+
+#include "baseline.hpp"
+#include "passes.hpp"
+#include "rule_docs.hpp"
+#include "sarif.hpp"
+#include "semantic_index.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using qlint::buildIndex;
+using qlint::Finding;
+using qlint::FunctionInfo;
+using qlint::SemanticIndex;
+using qlint_test::passFindings;
+using qlint_test::ruleFindings;
+
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+const FunctionInfo *findFn(const SemanticIndex &index,
+                           const std::string &qualified)
+{
+    for (const auto &tu : index.tus) {
+        for (const FunctionInfo &fn : tu.functions) {
+            if (fn.qualifiedName == qualified) {
+                return &fn;
+            }
+        }
+    }
+    return nullptr;
+}
+
+// ---- phase 1: the semantic index -----------------------------------------
+
+TEST(SemanticIndex, IndexesFreeAndMemberFunctions)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/a.hpp", R"(
+            class Widget
+            {
+              public:
+                int size() const { return size_; }
+                void resize(int next);
+              private:
+                int size_ = 0;
+            };
+            int freeHelper(double x) { return static_cast<int>(x); }
+        )"},
+        {"src/serve/a.cpp", R"(
+            #include "serve/a.hpp"
+            void Widget::resize(int next)
+            {
+                size_ = freeHelper(next * 2.0);
+            }
+        )"},
+    });
+    ASSERT_NE(findFn(index, "Widget::size"), nullptr);
+    ASSERT_NE(findFn(index, "freeHelper"), nullptr);
+    const FunctionInfo *resize = findFn(index, "Widget::resize");
+    ASSERT_NE(resize, nullptr);
+    EXPECT_EQ(resize->file, "src/serve/a.cpp");
+    EXPECT_EQ(resize->className, "Widget");
+    ASSERT_EQ(resize->params.size(), 1u);
+    EXPECT_EQ(resize->params[0].name, "next");
+    ASSERT_EQ(resize->calls.size(), 1u);
+    EXPECT_EQ(resize->calls[0].callee, "freeHelper");
+}
+
+TEST(SemanticIndex, ConstructorInitializerListIsNotAFunction)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/b.cpp", R"(
+            Engine::Engine(Config config)
+                : config_(std::move(config)),
+                  pool_(config_.backends, config_.seed),
+                  core_(pool_)
+            {
+                start();
+            }
+        )"},
+    });
+    EXPECT_NE(findFn(index, "Engine::Engine"), nullptr);
+    // The last initializer (`core_(pool_) {`) must not be misread as a
+    // function definition owning the constructor body.
+    EXPECT_EQ(findFn(index, "core_"), nullptr);
+    EXPECT_EQ(findFn(index, "Engine::core_"), nullptr);
+}
+
+TEST(SemanticIndex, DeclarationsAndCallsAreNotDefinitions)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/c.cpp", R"(
+            int declared(int x);
+            void caller()
+            {
+                declared(4);
+                other.method(5);
+            }
+        )"},
+    });
+    EXPECT_EQ(findFn(index, "declared"), nullptr);
+    const FunctionInfo *caller = findFn(index, "caller");
+    ASSERT_NE(caller, nullptr);
+    ASSERT_EQ(caller->calls.size(), 2u);
+    EXPECT_FALSE(caller->calls[0].memberCall);
+    EXPECT_TRUE(caller->calls[1].memberCall);
+    EXPECT_EQ(caller->calls[1].object, "other");
+}
+
+TEST(SemanticIndex, RngParamsLocalsAndConsumptionAreTracked)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/d.cpp", R"(
+            double sample(Rng &rng, const RngState &state, int n)
+            {
+                Rng local = rng.splitAt(0);
+                double v = local.uniform();
+                return v + static_cast<double>(n);
+            }
+        )"},
+    });
+    const FunctionInfo *fn = findFn(index, "sample");
+    ASSERT_NE(fn, nullptr);
+    ASSERT_EQ(fn->params.size(), 3u);
+    EXPECT_TRUE(fn->params[0].isRng);
+    EXPECT_FALSE(fn->params[1].isRng) << "RngState is not an Rng";
+    EXPECT_FALSE(fn->params[2].isRng);
+    EXPECT_EQ(fn->localRngVars.count("local"), 1u);
+    // splitAt is const (non-advancing); uniform() consumes.
+    EXPECT_EQ(fn->consumedRngs.count("rng"), 0u);
+    EXPECT_EQ(fn->consumedRngs.count("local"), 1u);
+}
+
+TEST(SemanticIndex, MutexOwnersResolveAcrossTranslationUnits)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/e.hpp", R"(
+            #include <mutex>
+            class Keeper
+            {
+              public:
+                void touch();
+              private:
+                std::mutex mutex_;
+                long count_ = 0;
+            };
+        )"},
+        {"src/serve/e.cpp", R"(
+            #include "serve/e.hpp"
+            void Keeper::touch()
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                ++count_;
+            }
+        )"},
+    });
+    const FunctionInfo *touch = findFn(index, "Keeper::touch");
+    ASSERT_NE(touch, nullptr);
+    ASSERT_EQ(touch->locks.size(), 1u);
+    // The member is declared in e.hpp; the lock is in e.cpp.
+    EXPECT_EQ(touch->locks[0].mutexKey, "Keeper::mutex_");
+}
+
+TEST(SemanticIndex, MemberTypeTokensDisambiguateReceivers)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/f.hpp", R"(
+            #include <memory>
+            class Owner
+            {
+              private:
+                std::unique_ptr<ThreadPool> pool_;
+                std::shared_ptr<Registry> registry_;
+            };
+        )"},
+    });
+    EXPECT_EQ(index.typeTokensFor("pool_").count("ThreadPool"), 1u);
+    EXPECT_EQ(index.typeTokensFor("registry_").count("Registry"), 1u);
+    EXPECT_TRUE(index.typeTokensFor("unknown_").empty());
+}
+
+TEST(SemanticIndex, DispatchLambdaCallsAreFlagged)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/serve/g.cpp", R"(
+            void fanOut(ThreadPool &pool, Rng &rng)
+            {
+                before(rng);
+                pool.submit([&] { inside(rng); });
+                after(rng);
+            }
+        )"},
+    });
+    const FunctionInfo *fn = findFn(index, "fanOut");
+    ASSERT_NE(fn, nullptr);
+    ASSERT_EQ(fn->lambdas.size(), 1u);
+    EXPECT_TRUE(fn->lambdas[0].dispatch);
+    bool sawInside = false;
+    for (const auto &call : fn->calls) {
+        if (call.callee == "inside") {
+            sawInside = true;
+            EXPECT_TRUE(call.inDispatchLambda);
+        }
+        if (call.callee == "before" || call.callee == "after") {
+            EXPECT_FALSE(call.inDispatchLambda) << call.callee;
+        }
+    }
+    EXPECT_TRUE(sawInside);
+}
+
+TEST(SemanticIndex, DurabilityEventsAreOrderedByPosition)
+{
+    const SemanticIndex index = buildIndex({
+        {"src/persist/h.cpp", R"(
+            void writeFrame(DurableFile &file, const Bytes &frame)
+            {
+                file.append(frame);
+                file.sync();
+            }
+        )"},
+    });
+    const FunctionInfo *fn = findFn(index, "writeFrame");
+    ASSERT_NE(fn, nullptr);
+    ASSERT_EQ(fn->durability.size(), 2u);
+    using Kind = qlint::DurabilityEvent::Kind;
+    EXPECT_EQ(fn->durability[0].kind, Kind::Append);
+    EXPECT_EQ(fn->durability[1].kind, Kind::Sync);
+    EXPECT_LT(fn->durability[0].pos, fn->durability[1].pos);
+}
+
+// ---- stream-lineage ------------------------------------------------------
+
+TEST(StreamLineage, FlagsDoubleConsumptionAcrossThreeTus)
+{
+    const Files files = {
+        {"src/serve/draw.hpp",
+         "inline double drawOne(Rng &rng) { return rng.uniform(); }"},
+        {"src/serve/forward.hpp",
+         "inline double forwardDraw(Rng &rng) { return drawOne(rng); }"},
+        {"src/serve/caller.cpp", R"(
+            double schedule(Rng &rng)
+            {
+                double a = forwardDraw(rng);
+                double b = drawOne(rng);
+                return a - b;
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "stream-lineage");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/serve/caller.cpp");
+    EXPECT_NE(hits[0].message.find("rng"), std::string::npos);
+}
+
+TEST(StreamLineage, FlagsOuterDrawInsideDispatchLambda)
+{
+    const Files files = {
+        {"src/vqe/fan.cpp", R"(
+            void fanOut(ThreadPool &pool, Rng &rng, double *out)
+            {
+                for (int i = 0; i < 4; ++i) {
+                    pool.submit([&, i] { out[i] = rng.uniform(); });
+                }
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "stream-lineage");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("scheduling"), std::string::npos);
+}
+
+TEST(StreamLineage, FlagsOuterStreamPassedToConsumerInDispatch)
+{
+    const Files files = {
+        {"src/serve/noise.hpp",
+         "inline double noisy(Rng &rng) { return rng.normal(); }"},
+        {"src/serve/fan.cpp", R"(
+            void fanOut(ThreadPool &pool, Rng &rng, double *out)
+            {
+                pool.submit([&] { out[0] = noisy(rng); });
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "stream-lineage");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("noisy"), std::string::npos);
+}
+
+TEST(StreamLineage, FlagsAffinePackingCrossingIntoDerivation)
+{
+    const Files files = {
+        {"src/serve/seed_util.hpp", R"(
+            inline std::uint64_t makeSeed(std::uint64_t root,
+                                          std::uint64_t index)
+            {
+                return deriveStreamSeed(root, StreamDomain::kServeRun,
+                                        index);
+            }
+        )"},
+        {"src/serve/jobs.cpp", R"(
+            std::uint64_t jobSeed(std::uint64_t root,
+                                  std::uint64_t tenant,
+                                  std::uint64_t run)
+            {
+                return makeSeed(root, tenant * 4096 + run);
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "stream-lineage");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/serve/jobs.cpp");
+    EXPECT_NE(hits[0].message.find("makeSeed"), std::string::npos);
+}
+
+TEST(StreamLineage, SilentWhenSubstreamsAreDerivedFirst)
+{
+    const Files files = {
+        {"src/serve/draw.hpp",
+         "inline double drawOne(Rng &rng) { return rng.uniform(); }"},
+        {"src/serve/caller.cpp", R"(
+            double schedule(const Rng &rng)
+            {
+                Rng first = rng.splitAt(0);
+                Rng second = rng.splitAt(1);
+                return drawOne(first) - drawOne(second);
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "stream-lineage").empty());
+}
+
+TEST(StreamLineage, SilentForTaskLocalStreamsAndRawIds)
+{
+    const Files files = {
+        {"src/serve/seed_util.hpp", R"(
+            inline std::uint64_t makeSeed(std::uint64_t root,
+                                          std::uint64_t index)
+            {
+                return deriveStreamSeed(root, StreamDomain::kServeRun,
+                                        index);
+            }
+        )"},
+        {"src/serve/fan.cpp", R"(
+            void fanOut(ThreadPool &pool, std::uint64_t root,
+                        double *out)
+            {
+                for (std::uint64_t i = 0; i < 4; ++i) {
+                    pool.submit([&, i] {
+                        Rng task(makeSeed(root, i));
+                        out[i] = task.uniform();
+                    });
+                }
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "stream-lineage").empty());
+}
+
+TEST(StreamLineage, SilentOutsideScopedTrees)
+{
+    // The same double-consumption shape in src/vqe (sequential layer)
+    // is legitimate historical style — only serve/persist/fault are
+    // scoped for the reuse check.
+    const Files files = {
+        {"src/vqe/draw.hpp",
+         "inline double drawOne(Rng &rng) { return rng.uniform(); }"},
+        {"src/vqe/caller.cpp", R"(
+            double schedule(Rng &rng)
+            {
+                return drawOne(rng) - drawOne(rng);
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "stream-lineage").empty());
+}
+
+TEST(StreamLineage, EscapeSuppressesReuseFinding)
+{
+    const Files files = {
+        {"src/serve/draw.hpp",
+         "inline double drawOne(Rng &rng) { return rng.uniform(); }"},
+        {"src/serve/caller.cpp", R"(
+            double schedule(Rng &rng)
+            {
+                double a = drawOne(rng);
+                // qismet-lint: allow(stream-lineage)
+                double b = drawOne(rng);
+                return a - b;
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "stream-lineage").empty());
+}
+
+// ---- lock-order ----------------------------------------------------------
+
+TEST(LockOrder, FlagsCycleAcrossHeaders)
+{
+    const auto hits = ruleFindings(
+        passFindings(qlint_test::loadFixtureTree("multi_tu/lo_cycle")),
+        "lock-order");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LockOrder, FlagsDirectSubmitUnderLock)
+{
+    const Files files = {
+        {"src/serve/q.hpp", R"(
+            #include <memory>
+            #include <mutex>
+            class Q
+            {
+              public:
+                void push();
+              private:
+                std::mutex mutex_;
+                std::unique_ptr<ThreadPool> pool_;
+            };
+        )"},
+        {"src/serve/q.cpp", R"(
+            #include "serve/q.hpp"
+            void Q::push()
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                pool_->submit([] {});
+            }
+        )"},
+    };
+    const auto hits = ruleFindings(passFindings(files), "lock-order");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/serve/q.cpp");
+}
+
+TEST(LockOrder, FlagsTransitiveDispatchUnderLock)
+{
+    const Files files = {
+        {"src/serve/q.hpp", R"(
+            #include <memory>
+            #include <mutex>
+            class Q
+            {
+              public:
+                void push();
+              private:
+                void pumpLocked();
+                std::mutex mutex_;
+                std::unique_ptr<ThreadPool> pool_;
+            };
+        )"},
+        {"src/serve/q.cpp", R"(
+            #include "serve/q.hpp"
+            void Q::pumpLocked() { pool_->submit([] {}); }
+            void Q::push()
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                pumpLocked();
+            }
+        )"},
+    };
+    const auto hits = ruleFindings(passFindings(files), "lock-order");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("pumpLocked"), std::string::npos);
+}
+
+TEST(LockOrder, FlagsSelfReacquisition)
+{
+    const Files files = {
+        {"src/serve/r.hpp", R"(
+            #include <mutex>
+            class R
+            {
+              public:
+                void outer();
+                void inner();
+              private:
+                std::mutex mutex_;
+                long count_ = 0;
+            };
+        )"},
+        {"src/serve/r.cpp", R"(
+            #include "serve/r.hpp"
+            void R::inner()
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                ++count_;
+            }
+            void R::outer()
+            {
+                std::lock_guard<std::mutex> guard(mutex_);
+                inner();
+            }
+        )"},
+    };
+    const auto hits = ruleFindings(passFindings(files), "lock-order");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("re-acquired"), std::string::npos);
+}
+
+TEST(LockOrder, SilentWhenDispatchFollowsLockScope)
+{
+    const auto hits = ruleFindings(
+        passFindings(
+            qlint_test::loadFixtureTree("multi_tu/clean_tree")),
+        "lock-order");
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST(LockOrder, SilentForConsistentNestingOrder)
+{
+    // A -> B nesting from two call paths is fine as long as nothing
+    // ever takes B before A.
+    const Files files = {
+        {"src/serve/s.hpp", R"(
+            #include <mutex>
+            class S
+            {
+              public:
+                void viaOne();
+                void viaTwo();
+              private:
+                void innerLocked();
+                std::mutex outerMutex_;
+                std::mutex innerMutex_;
+                long count_ = 0;
+            };
+        )"},
+        {"src/serve/s.cpp", R"(
+            #include "serve/s.hpp"
+            void S::innerLocked()
+            {
+                std::lock_guard<std::mutex> guard(innerMutex_);
+                ++count_;
+            }
+            void S::viaOne()
+            {
+                std::lock_guard<std::mutex> guard(outerMutex_);
+                innerLocked();
+            }
+            void S::viaTwo()
+            {
+                std::lock_guard<std::mutex> guard(outerMutex_);
+                innerLocked();
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "lock-order").empty());
+}
+
+TEST(LockOrder, ThreadPoolInternalsAreExemptFromDispatchCheck)
+{
+    const Files files = {
+        {"src/common/thread_pool.cpp", R"(
+            void ParallelExecutor::warm()
+            {
+                std::lock_guard<std::mutex> guard(poolInit_);
+                pool_->submit([] {});
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "lock-order").empty());
+}
+
+// ---- durability-ordering -------------------------------------------------
+
+TEST(DurabilityOrdering, FlagsRenameWithoutSync)
+{
+    const Files files = {
+        {"src/persist/p.cpp", R"(
+            void publish(const std::string &tmp, const std::string &dst)
+            {
+                std::filesystem::rename(tmp, dst);
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "durability-ordering");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("rename"), std::string::npos);
+}
+
+TEST(DurabilityOrdering, FlagsAppendAfterTruncateWithoutSync)
+{
+    const Files files = {
+        {"src/persist/p.cpp", R"(
+            void compact(DurableFile &file, std::uint64_t offset,
+                         const Bytes &frame)
+            {
+                file.truncateTo(offset);
+                file.append(frame);
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "durability-ordering");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("truncate"), std::string::npos);
+}
+
+TEST(DurabilityOrdering, FlagsChecksumFreeDecode)
+{
+    const Files files = {
+        {"src/serve/p.cpp", R"(
+            std::uint64_t load(const std::string &path)
+            {
+                const std::string bytes = readFile(path);
+                Decoder dec(bytes);
+                return dec.readU64();
+            }
+        )"},
+    };
+    const auto hits =
+        ruleFindings(passFindings(files), "durability-ordering");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("checksum"), std::string::npos);
+}
+
+TEST(DurabilityOrdering, SilentForDisciplinedOrdering)
+{
+    const auto hits = ruleFindings(
+        passFindings(
+            qlint_test::loadFixtureTree("multi_tu/clean_tree")),
+        "durability-ordering");
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST(DurabilityOrdering, SilentOutsideDurabilityTrees)
+{
+    // Scratch I/O in tools and tests is free to skip the discipline.
+    const Files files = {
+        {"src/common/scratch.cpp", R"(
+            void publish(const std::string &tmp, const std::string &dst)
+            {
+                std::filesystem::rename(tmp, dst);
+            }
+        )"},
+        {"tools/gen.cpp", R"(
+            void publish2(const std::string &tmp, const std::string &dst)
+            {
+                std::filesystem::rename(tmp, dst);
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "durability-ordering")
+            .empty());
+}
+
+TEST(DurabilityOrdering, SilentWhenReadIsNeverDecoded)
+{
+    const Files files = {
+        {"src/persist/p.cpp", R"(
+            std::string slurp(const std::string &path)
+            {
+                return readFile(path);
+            }
+        )"},
+    };
+    EXPECT_TRUE(
+        ruleFindings(passFindings(files), "durability-ordering")
+            .empty());
+}
+
+// ---- SARIF ---------------------------------------------------------------
+
+TEST(Sarif, DocumentHasRequiredStructure)
+{
+    const std::vector<Finding> findings = {
+        {"src/serve/x.cpp", 12, "lock-order", "held across \"submit\""},
+        {"src/persist/y.cpp", 3, "durability-ordering", "no sync"},
+    };
+    const std::string doc = qlint::renderSarif(findings);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"qismet-lint\""), std::string::npos);
+    // Every registered rule appears in the driver metadata.
+    for (const auto &doc2 : qlint::allRuleDocs()) {
+        EXPECT_NE(doc.find("\"id\": \"" + doc2.id + "\""),
+                  std::string::npos)
+            << doc2.id;
+    }
+    // Both results, with escaped message content and locations.
+    EXPECT_NE(doc.find("\"ruleId\": \"lock-order\""), std::string::npos);
+    EXPECT_NE(doc.find("held across \\\"submit\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\"startLine\": 12"), std::string::npos);
+    EXPECT_NE(doc.find("\"uri\": \"src/persist/y.cpp\""),
+              std::string::npos);
+}
+
+TEST(Sarif, EmptyFindingsStillValidDocument)
+{
+    const std::string doc = qlint::renderSarif({});
+    EXPECT_NE(doc.find("\"results\": [\n      ]"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+TEST(Sarif, JsonEscapeHandlesControlCharacters)
+{
+    EXPECT_EQ(qlint::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(qlint::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---- baseline ------------------------------------------------------------
+
+TEST(Baseline, RoundTripsThroughJson)
+{
+    const std::vector<Finding> findings = {
+        {"src/a.cpp", 1, "lock-order", "m1"},
+        {"src/a.cpp", 9, "lock-order", "m2"},
+        {"src/b.cpp", 2, "stream-lineage", "m3"},
+    };
+    const qlint::Baseline base =
+        qlint::baselineFromFindings(findings);
+    const std::string json = qlint::renderBaseline(base);
+    const qlint::Baseline parsed = qlint::parseBaseline(json);
+    EXPECT_EQ(parsed, base);
+    EXPECT_EQ(parsed.at({"src/a.cpp", "lock-order"}), 2);
+    EXPECT_EQ(parsed.at({"src/b.cpp", "stream-lineage"}), 1);
+}
+
+TEST(Baseline, EmptyBaselineRoundTrips)
+{
+    const std::string json = qlint::renderBaseline({});
+    EXPECT_TRUE(qlint::parseBaseline(json).empty());
+}
+
+TEST(Baseline, DiffReportsOnlyFindingsBeyondBaseline)
+{
+    const qlint::Baseline base = {
+        {{"src/a.cpp", "lock-order"}, 1},
+    };
+    const std::vector<Finding> findings = {
+        {"src/a.cpp", 5, "lock-order", "old"},
+        {"src/a.cpp", 42, "lock-order", "new"},
+        {"src/c.cpp", 7, "durability-ordering", "brand new"},
+    };
+    const auto fresh = qlint::diffAgainstBaseline(findings, base);
+    ASSERT_EQ(fresh.size(), 2u);
+    // The earliest finding soaks up the tolerated slot.
+    EXPECT_EQ(fresh[0].line, 42);
+    EXPECT_EQ(fresh[1].file, "src/c.cpp");
+}
+
+TEST(Baseline, CleanDiffWhenWithinBaseline)
+{
+    const std::vector<Finding> findings = {
+        {"src/a.cpp", 5, "lock-order", "old"},
+    };
+    const qlint::Baseline base =
+        qlint::baselineFromFindings(findings);
+    EXPECT_TRUE(qlint::diffAgainstBaseline(findings, base).empty());
+}
+
+TEST(Baseline, MalformedJsonThrows)
+{
+    EXPECT_THROW(qlint::parseBaseline("{"), std::runtime_error);
+    EXPECT_THROW(qlint::parseBaseline("{\"version\": 2, \"findings\": []}"),
+                 std::runtime_error);
+    EXPECT_THROW(qlint::parseBaseline("{\"version\": 1}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        qlint::parseBaseline(
+            "{\"version\": 1, \"findings\": [{\"file\": \"a\"}]}"),
+        std::runtime_error);
+}
+
+// ---- rule docs -----------------------------------------------------------
+
+TEST(RuleDocs, EveryRegisteredRuleIsDocumented)
+{
+    const auto &rules = qlint::allRules();
+    const auto &docs = qlint::allRuleDocs();
+    ASSERT_EQ(docs.size(), rules.size());
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        EXPECT_EQ(docs[i].id, rules[i]) << "registry order drifted";
+        EXPECT_FALSE(docs[i].shortText.empty()) << rules[i];
+        EXPECT_FALSE(docs[i].fullText.empty()) << rules[i];
+        EXPECT_FALSE(docs[i].badExample.empty()) << rules[i];
+        EXPECT_FALSE(docs[i].goodExample.empty()) << rules[i];
+    }
+}
+
+TEST(RuleDocs, ExplainRendersSuppressionHint)
+{
+    const qlint::RuleDoc *doc = qlint::findRuleDoc("stream-lineage");
+    ASSERT_NE(doc, nullptr);
+    const std::string text = qlint::explainRule(*doc);
+    EXPECT_NE(text.find("stream-lineage"), std::string::npos);
+    EXPECT_NE(text.find("allow(stream-lineage)"), std::string::npos);
+    EXPECT_EQ(qlint::findRuleDoc("not-a-rule"), nullptr);
+}
+
+TEST(RuleDocs, MarkdownListsEveryRule)
+{
+    const std::string md = qlint::renderRulesMarkdown();
+    for (const auto &doc : qlint::allRuleDocs()) {
+        EXPECT_NE(md.find("## " + doc.id), std::string::npos) << doc.id;
+    }
+    EXPECT_NE(md.find("allow-file"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the qismet-lint test suites: fixture paths,
+ * rule-filtered finding queries, and the fixture harness itself.
+ *
+ * The harness accepts two fixture shapes:
+ *  - a single file (`bad_naked_new.cpp`): linted per-file;
+ *  - a directory (`multi_tu/sl_reuse`): a miniature source tree whose
+ *    files are loaded with paths *relative to the case root* (so
+ *    `src/serve/...` scoping applies wherever the repo is checked
+ *    out), linted per-file AND run through the cross-TU passes over a
+ *    semantic index of the whole case.
+ */
+
+#ifndef QISMET_TOOLS_LINT_TEST_SUPPORT_HPP
+#define QISMET_TOOLS_LINT_TEST_SUPPORT_HPP
+
+#include "lint_rules.hpp"
+#include "passes.hpp"
+#include "semantic_index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qlint_test {
+
+inline std::string fixture(const std::string &name)
+{
+    return std::string(QISMET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+inline std::string readWhole(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Fixture file content, for lintSource runs under a synthetic path. */
+inline std::string fixtureSource(const std::string &name)
+{
+    return readWhole(fixture(name));
+}
+
+/**
+ * All lintable files of a directory fixture as (relative path, content)
+ * pairs, sorted by path for deterministic indexing order.
+ */
+inline std::vector<std::pair<std::string, std::string>>
+loadFixtureTree(const std::string &name)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = fixture(name);
+    std::vector<std::pair<std::string, std::string>> files;
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file() ||
+            !qlint::isLintablePath(entry.path().string())) {
+            continue;
+        }
+        std::string rel =
+            fs::relative(entry.path(), root).generic_string();
+        files.emplace_back(std::move(rel),
+                           readWhole(entry.path().string()));
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/**
+ * Run the full linter over a fixture: per-file rules on every file,
+ * plus the cross-TU passes when the fixture is a directory.
+ */
+inline std::vector<qlint::Finding>
+lintFixture(const std::string &name)
+{
+    namespace fs = std::filesystem;
+    const std::string path = fixture(name);
+    if (!fs::is_directory(path)) {
+        return qlint::lintFile(path);
+    }
+    std::vector<qlint::Finding> findings;
+    const auto files = loadFixtureTree(name);
+    for (const auto &[rel, content] : files) {
+        for (qlint::Finding f : qlint::lintSource(rel, content)) {
+            findings.push_back(std::move(f));
+        }
+    }
+    for (qlint::Finding f :
+         qlint::runPasses(qlint::buildIndex(files))) {
+        findings.push_back(std::move(f));
+    }
+    return findings;
+}
+
+inline std::vector<qlint::Finding>
+ruleFindings(const std::vector<qlint::Finding> &all,
+             const std::string &rule)
+{
+    std::vector<qlint::Finding> out;
+    std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+                 [&](const qlint::Finding &f) { return f.rule == rule; });
+    return out;
+}
+
+inline int countRule(const std::string &path, const std::string &source,
+                     const std::string &rule)
+{
+    return static_cast<int>(
+        ruleFindings(qlint::lintSource(path, source), rule).size());
+}
+
+/** Index + passes over in-memory (path, content) pairs. */
+inline std::vector<qlint::Finding>
+passFindings(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    return qlint::runPasses(qlint::buildIndex(files));
+}
+
+} // namespace qlint_test
+
+#endif // QISMET_TOOLS_LINT_TEST_SUPPORT_HPP
