@@ -8,16 +8,253 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "apps/applications.hpp"
+#include "common/amp_span.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "hamiltonian/tfim.hpp"
 #include "pauli/expectation.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
 #include "support.hpp"
 
 using namespace qismet;
 
 namespace {
+
+// ---------------------------------------------------------------------
+// Per-kernel amplitude-throughput benches (DESIGN.md "SIMD +
+// intra-state parallelism"). Args are (qubits, simd) — the simd:0
+// variants pin the scalar path via setSimdEnabled(false), so one report
+// carries the A/B pair the CI speedup gate compares. Matrices are
+// unitary so repeated application keeps the amplitudes bounded (no
+// subnormal/NaN slow paths polluting the timing).
+// ---------------------------------------------------------------------
+
+/** Restore the ambient SIMD switch when a bench scope exits. */
+class SimdScope
+{
+  public:
+    explicit SimdScope(bool on) : saved_(simdEnabled())
+    {
+        setSimdEnabled(on);
+    }
+    ~SimdScope() { setSimdEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+std::vector<Complex>
+benchState(int n)
+{
+    Rng rng(91);
+    std::vector<Complex> amps(std::size_t{1} << n);
+    double norm2 = 0.0;
+    for (auto &a : amps) {
+        a = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+        norm2 += std::norm(a);
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto &a : amps)
+        a *= inv;
+    return amps;
+}
+
+void
+setAmpCounters(benchmark::State &state, double amps_per_iter)
+{
+    state.counters["amps_per_sec"] = benchmark::Counter(
+        amps_per_iter, benchmark::Counter::kIsIterationInvariantRate);
+    state.SetLabel(simdBackendName());
+}
+
+void
+BM_KernelDense1(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    // RX(0.3): complex entries, unitary — takes the general path.
+    const double c = std::cos(0.15), s = std::sin(0.15);
+    const Complex m[4] = {Complex(c, 0.0), Complex(0.0, -s),
+                          Complex(0.0, -s), Complex(c, 0.0)};
+    for (auto _ : state) {
+        kern::applyDense1(span, n / 2, m);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelDense1)
+    ->ArgsProduct({{8, 10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelDense1Real(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    // RY(0.3): real entries, unitary — takes the real fast path.
+    const double c = std::cos(0.15), s = std::sin(0.15);
+    const Complex m[4] = {Complex(c, 0.0), Complex(-s, 0.0),
+                          Complex(s, 0.0), Complex(c, 0.0)};
+    for (auto _ : state) {
+        kern::applyDense1(span, n / 2, m);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelDense1Real)
+    ->ArgsProduct({{10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelDense2(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    // RX(0.2) (x) RY(0.4): a dense unitary 4x4.
+    const double cx = std::cos(0.1), sx = std::sin(0.1);
+    const double cy = std::cos(0.2), sy = std::sin(0.2);
+    const Complex rx[4] = {Complex(cx, 0.0), Complex(0.0, -sx),
+                           Complex(0.0, -sx), Complex(cx, 0.0)};
+    const Complex ry[4] = {Complex(cy, 0.0), Complex(-sy, 0.0),
+                           Complex(sy, 0.0), Complex(cy, 0.0)};
+    Complex m[16];
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    m[(i * 2 + k) * 4 + (j * 2 + l)] =
+                        rx[i * 2 + j] * ry[k * 2 + l];
+    for (auto _ : state) {
+        kern::applyDense2(span, n - 1, n / 2, m);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelDense2)
+    ->ArgsProduct({{8, 10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelDiag(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    // Merged CZ/S/T-style table over the top 3 qubits: unit-modulus
+    // phases, one exact-one entry to exercise the skip branch. A
+    // high-qubit mask gives the kernel contiguous scale runs (the
+    // vectorizable shape); a low-qubit mask would degenerate to
+    // stride-1 single-amplitude multiplies.
+    const std::uint64_t mask = std::uint64_t{0b111} << (n - 3);
+    Complex table[8];
+    table[0] = Complex(1.0, 0.0);
+    for (int i = 1; i < 8; ++i)
+        table[i] = Complex(std::cos(0.3 * i), std::sin(0.3 * i));
+    for (auto _ : state) {
+        kern::applyDiag(span, mask, table);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelDiag)
+    ->ArgsProduct({{8, 10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelPermSwap(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    for (auto _ : state) {
+        kern::applyPermSwap(span, 0, n - 1);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelPermSwap)
+    ->ArgsProduct({{10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelNorm2(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    SimdScope simd(state.range(1) != 0);
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kern::norm2(span));
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelNorm2)
+    ->ArgsProduct({{10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "simd"});
+
+void
+BM_KernelDense1Threads(benchmark::State &state)
+{
+    // Intra-state partition scaling probe: same kernel, same bits, the
+    // state split over 1..8 workers (above the parallel threshold).
+    const int n = static_cast<int>(state.range(0));
+    const std::size_t previous = ParallelExecutor::global().threads();
+    ParallelExecutor::setGlobalThreads(
+        static_cast<std::size_t>(state.range(1)));
+    std::vector<Complex> amps = benchState(n);
+    const AmpSpan span = AmpSpan::interleaved(amps.data(), amps.size());
+    const double c = std::cos(0.15), s = std::sin(0.15);
+    const Complex m[4] = {Complex(c, 0.0), Complex(0.0, -s),
+                          Complex(0.0, -s), Complex(c, 0.0)};
+    for (auto _ : state) {
+        kern::applyDense1(span, n / 2, m);
+        benchmark::DoNotOptimize(amps.data());
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+    ParallelExecutor::setGlobalThreads(previous);
+}
+BENCHMARK(BM_KernelDense1Threads)
+    ->ArgsProduct({{12, 14}, {1, 2, 4, 8}})
+    ->ArgNames({"qubits", "threads"});
+
+void
+BM_KernelDense1Layout(benchmark::State &state)
+{
+    // Interleaved vs split-complex (SoA) A/B — the data behind the
+    // layout decision recorded in common/amp_span.hpp.
+    const int n = static_cast<int>(state.range(0));
+    const bool split = state.range(1) != 0;
+    std::vector<Complex> amps = benchState(n);
+    SplitAmpBuffer buffer;
+    buffer.pack(amps);
+    const AmpSpan span =
+        split ? buffer.span()
+              : AmpSpan::interleaved(amps.data(), amps.size());
+    const double c = std::cos(0.15), s = std::sin(0.15);
+    const Complex m[4] = {Complex(c, 0.0), Complex(0.0, -s),
+                          Complex(0.0, -s), Complex(c, 0.0)};
+    for (auto _ : state) {
+        kern::applyDense1(span, n / 2, m);
+        benchmark::DoNotOptimize(amps.data());
+        benchmark::DoNotOptimize(&buffer);
+    }
+    setAmpCounters(state, static_cast<double>(amps.size()));
+}
+BENCHMARK(BM_KernelDense1Layout)
+    ->ArgsProduct({{10, 12, 14}, {0, 1}})
+    ->ArgNames({"qubits", "split"});
 
 void
 BM_StatevectorAnsatzRun(benchmark::State &state)

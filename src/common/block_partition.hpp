@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-block partitioning for intra-state parallelism and
+ * deterministic ordered reductions.
+ *
+ * The simulation kernels split one large statevector / density matrix
+ * across the global ParallelExecutor. The partition is a **pure
+ * function of the problem size** — always `kIntraStateBlocks`
+ * contiguous, near-equal blocks — and never of the thread count, which
+ * is what makes the results bit-identical at 1/2/4/8 threads:
+ *
+ *   - elementwise kernels (gate application) compute each amplitude
+ *     independently, so any block schedule yields identical bits;
+ *   - reductions (norms, expectation values, traces) compute one
+ *     partial per block, in index order within the block, and fold the
+ *     partials serially in block order after the join — the
+ *     "unordered-reduction" lint rule's required shape.
+ *
+ * Below `intraStateParallelThreshold()` elements (default 1024 — a
+ * 10-qubit statevector) everything runs as a single serial sweep in
+ * the legacy summation order, so small states (including every golden
+ * workload) are byte-identical to the pre-SIMD code. At or above the
+ * threshold the blocked shape is used at *every* thread count,
+ * including 1, so crossing a thread-count boundary never changes bits.
+ *
+ * Nested use is safe: ParallelExecutor::parallelFor degrades to inline
+ * serial execution inside an already-parallel region (the energy
+ * estimator fans out per-term over the same executor), and the inline
+ * path walks the same blocks in the same order.
+ */
+
+#ifndef QISMET_COMMON_BLOCK_PARTITION_HPP
+#define QISMET_COMMON_BLOCK_PARTITION_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "common/matrix.hpp"
+
+namespace qismet {
+
+/** Fixed block count of every intra-state partition. */
+inline constexpr std::size_t kIntraStateBlocks = 16;
+
+/**
+ * Minimum state size (elements touched by the sweep) at which kernels
+ * split across the pool and reductions switch to the blocked shape.
+ * Default 1024 (a 10-qubit statevector; QISMET_PARALLEL_MIN_AMPS
+ * overrides, read once).
+ */
+std::size_t intraStateParallelThreshold();
+
+/**
+ * Programmatic threshold override (tests probe both sides of the
+ * boundary). 0 restores the default/environment value.
+ */
+void setIntraStateParallelThreshold(std::size_t elements);
+
+/** Half-open unit range of one block. */
+struct BlockRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** Block `index` of `units` split into kIntraStateBlocks pieces. */
+BlockRange intraStateBlock(std::size_t units, std::size_t index);
+
+/**
+ * Run `fn(begin, end)` over [0, units). Below the threshold (measured
+ * in `elements` actually touched) this is one inline call fn(0, units);
+ * at or above it the fixed blocks are dispatched through the global
+ * ParallelExecutor (inline, in order, when it has 1 thread or the
+ * caller is already inside a parallel region). `fn` must treat the
+ * units independently — elementwise kernels only.
+ */
+void forEachUnitBlocked(std::size_t units, std::size_t elements,
+                        const std::function<void(std::size_t, std::size_t)> &fn);
+
+/**
+ * Deterministic ordered reduction over [0, units): below the threshold
+ * returns blockFn(0, units) (the legacy serial summation, bit-for-bit);
+ * at or above it computes one partial per fixed block (in parallel when
+ * possible) and folds them serially in block order — the same grouping
+ * at every thread count.
+ */
+double orderedBlockReduce(
+    std::size_t units, std::size_t elements,
+    const std::function<double(std::size_t, std::size_t)> &blockFn);
+
+/** Complex-valued variant of orderedBlockReduce. */
+Complex orderedBlockReduceComplex(
+    std::size_t units, std::size_t elements,
+    const std::function<Complex(std::size_t, std::size_t)> &blockFn);
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_BLOCK_PARTITION_HPP

@@ -1,0 +1,67 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qismet {
+
+namespace {
+
+/** -1 = follow the environment, 0/1 = setSimdEnabled override. */
+std::atomic<int> g_simdOverride{-1};
+
+bool
+detectCpu()
+{
+#if QISMET_SIMD_X86
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+simdCompiledIn()
+{
+    return QISMET_SIMD_X86 != 0;
+}
+
+bool
+simdAvailable()
+{
+    static const bool available = detectCpu();
+    return available;
+}
+
+bool
+simdEnabled()
+{
+    if (!simdAvailable())
+        return false;
+    const int override_ = g_simdOverride.load(std::memory_order_relaxed);
+    if (override_ >= 0)
+        return override_ != 0;
+    static const bool envDisabled = [] {
+        const char *v = std::getenv("QISMET_SIMD");
+        return v != nullptr &&
+               (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
+    }();
+    return !envDisabled;
+}
+
+void
+setSimdEnabled(bool on)
+{
+    g_simdOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char *
+simdBackendName()
+{
+    return simdEnabled() ? "avx2" : "scalar";
+}
+
+} // namespace qismet

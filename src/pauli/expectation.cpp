@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/block_partition.hpp"
+
 namespace qismet {
 
 namespace {
@@ -40,13 +42,19 @@ expectation(const Statevector &state, const PauliString &pauli)
     const int n_y = pauli.countY();
     const auto &amps = state.amplitudes();
 
-    Complex acc(0.0, 0.0);
-    for (std::uint64_t i = 0; i < amps.size(); ++i) {
-        // <ψ|P|ψ> = Σ_i conj(ψ[i ^ xmask]) phase(i) ψ[i]
-        acc += std::conj(amps[i ^ xmask]) * pauliPhase(i, zmask, n_y) *
-               amps[i];
-    }
-    return acc.real();
+    // <ψ|P|ψ> = Σ_i conj(ψ[i ^ xmask]) phase(i) ψ[i], summed as a
+    // deterministic ordered block reduction (bit-identical at every
+    // thread count; serial legacy order below the parallel threshold).
+    return orderedBlockReduceComplex(
+               amps.size(), amps.size(),
+               [&](std::size_t lo, std::size_t hi) {
+                   Complex acc(0.0, 0.0);
+                   for (std::uint64_t i = lo; i < hi; ++i)
+                       acc += std::conj(amps[i ^ xmask]) *
+                              pauliPhase(i, zmask, n_y) * amps[i];
+                   return acc;
+               })
+        .real();
 }
 
 double

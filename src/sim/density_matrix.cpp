@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/block_partition.hpp"
+#include "sim/kernels.hpp"
+
 namespace qismet {
 
 namespace {
@@ -71,44 +74,50 @@ DensityMatrix::checkQubit(int q) const
         throw std::out_of_range("DensityMatrix: qubit out of range");
 }
 
+// The ρ sweeps reduce to the same contiguous-run kernels the
+// statevector uses: a left-multiply transforms whole row pairs/quads (a
+// row is one contiguous run), a right-multiply applies the transposed
+// matrix along each row's columns. Rows are the parallel unit — every
+// unit touches a disjoint set of rows, so the fixed-block partition
+// (common/block_partition.hpp) applies unchanged. Unlike the
+// statevector path there is no real-matrix fast path here: the legacy
+// loops always ran the complex formula, and bit-compatibility wins over
+// the micro-optimization.
+
 void
 DensityMatrix::applyLeft1q(int q, const Complex *m,
                            std::vector<Complex> &rho) const
 {
     const std::size_t stride = std::size_t{1} << q;
-    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
-    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            const std::size_t r0 = base + off;
-            const std::size_t r1 = r0 + stride;
-            for (std::size_t c = 0; c < dim_; ++c) {
-                const Complex a = rho[r0 * dim_ + c];
-                const Complex b = rho[r1 * dim_ + c];
-                rho[r0 * dim_ + c] = m00 * a + m01 * b;
-                rho[r1 * dim_ + c] = m10 * a + m11 * b;
+    Complex *base = rho.data();
+    const bool simd = simdEnabled();
+    forEachUnitBlocked(
+        dim_ >> 1, dim_ * dim_, [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                const std::size_t r0 = depositOne(k, stride);
+                kern::dense1Run(base + r0 * dim_,
+                                base + (r0 + stride) * dim_, dim_, m, simd);
             }
-        }
-    }
+        });
 }
 
 void
 DensityMatrix::applyRight1q(int q, const Complex *m,
                             std::vector<Complex> &rho) const
 {
-    const std::size_t stride = std::size_t{1} << q;
-    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
-    for (std::size_t base = 0; base < dim_; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            const std::size_t c0 = base + off;
-            const std::size_t c1 = c0 + stride;
-            for (std::size_t r = 0; r < dim_; ++r) {
-                const Complex a = rho[r * dim_ + c0];
-                const Complex b = rho[r * dim_ + c1];
-                rho[r * dim_ + c0] = a * m00 + b * m10;
-                rho[r * dim_ + c1] = a * m01 + b * m11;
-            }
-        }
-    }
+    // ρM pairs columns (c, c + stride) within each row: apply Mᵀ in
+    // dense1 form along the row. Same products, same sums as the
+    // column-outer legacy loop — complex add and multiply are
+    // element-order-insensitive here, so the traversal swap is exact.
+    const Complex mt[4] = {m[0], m[2], m[1], m[3]};
+    Complex *base = rho.data();
+    const bool simd = simdEnabled();
+    forEachUnitBlocked(
+        dim_, dim_ * dim_, [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r)
+                kern::dense1Units(base + r * dim_, q, mt, /*real=*/false,
+                                  simd, 0, dim_ >> 1);
+        });
 }
 
 void
@@ -117,46 +126,36 @@ DensityMatrix::applyLeft2q(int q1, int q0, const Complex *m,
 {
     const std::size_t b1 = std::size_t{1} << q1;
     const std::size_t b0 = std::size_t{1} << q0;
-    for (std::size_t i = 0; i < dim_; ++i) {
-        if (i & (b1 | b0))
-            continue;
-        const std::size_t rows[4] = {i, i | b0, i | b1, i | b1 | b0};
-        for (std::size_t c = 0; c < dim_; ++c) {
-            Complex in[4];
-            for (int k = 0; k < 4; ++k)
-                in[k] = rho[rows[k] * dim_ + c];
-            for (int r = 0; r < 4; ++r) {
-                Complex acc(0.0, 0.0);
-                for (int k = 0; k < 4; ++k)
-                    acc += m[r * 4 + k] * in[k];
-                rho[rows[r] * dim_ + c] = acc;
+    Complex *base = rho.data();
+    const bool simd = simdEnabled();
+    forEachUnitBlocked(
+        dim_ >> 2, dim_ * dim_, [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                const std::size_t rb = depositTwo(k, b1, b0);
+                kern::dense2Run(base + rb * dim_, base + (rb | b0) * dim_,
+                                base + (rb | b1) * dim_,
+                                base + (rb | b1 | b0) * dim_, dim_, m,
+                                simd);
             }
-        }
-    }
+        });
 }
 
 void
 DensityMatrix::applyRight2q(int q1, int q0, const Complex *m,
                             std::vector<Complex> &rho) const
 {
-    const std::size_t b1 = std::size_t{1} << q1;
-    const std::size_t b0 = std::size_t{1} << q0;
-    for (std::size_t i = 0; i < dim_; ++i) {
-        if (i & (b1 | b0))
-            continue;
-        const std::size_t cols[4] = {i, i | b0, i | b1, i | b1 | b0};
-        for (std::size_t r = 0; r < dim_; ++r) {
-            Complex in[4];
-            for (int k = 0; k < 4; ++k)
-                in[k] = rho[r * dim_ + cols[k]];
-            for (int c = 0; c < 4; ++c) {
-                Complex acc(0.0, 0.0);
-                for (int k = 0; k < 4; ++k)
-                    acc += in[k] * m[k * 4 + c];
-                rho[r * dim_ + cols[c]] = acc;
-            }
-        }
-    }
+    Complex mt[16];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            mt[c * 4 + r] = m[r * 4 + c];
+    Complex *base = rho.data();
+    const bool simd = simdEnabled();
+    forEachUnitBlocked(
+        dim_, dim_ * dim_, [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r)
+                kern::dense2Units(base + r * dim_, q1, q0, mt, simd, 0,
+                                  dim_ >> 2);
+        });
 }
 
 void
@@ -228,7 +227,13 @@ DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
         lowerKrausOperators(channel, 2);
         const std::size_t b = std::size_t{1} << qubits[0];
         const std::size_t half = dim_ >> 1;
-        for (std::size_t ri = 0; ri < half; ++ri) {
+        // Row-block pairs are the parallel unit: each ri owns two whole
+        // rows of ρ, so units are disjoint and the blocked partition
+        // applies. The tile arithmetic itself stays scalar — the sparse
+        // accumulation order is part of the determinism contract.
+        forEachUnitBlocked(half, dim_ * dim_, [&](std::size_t ri0,
+                                                  std::size_t ri1) {
+        for (std::size_t ri = ri0; ri < ri1; ++ri) {
             const std::size_t rb = depositOne(ri, b);
             const std::size_t rows[2] = {rb, rb | b};
             for (std::size_t ci = 0; ci < half; ++ci) {
@@ -265,6 +270,7 @@ DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
                         rho_[rows[r] * dim_ + cols[c]] = out[r][c];
             }
         }
+        });
         return;
     }
 
@@ -272,7 +278,9 @@ DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
     const std::size_t b1 = std::size_t{1} << qubits[0];
     const std::size_t b0 = std::size_t{1} << qubits[1];
     const std::size_t quarter = dim_ >> 2;
-    for (std::size_t ri = 0; ri < quarter; ++ri) {
+    forEachUnitBlocked(quarter, dim_ * dim_, [&](std::size_t ri0,
+                                                 std::size_t ri1) {
+    for (std::size_t ri = ri0; ri < ri1; ++ri) {
         const std::size_t rb = depositTwo(ri, b1, b0);
         const std::size_t rows[4] = {rb, rb | b0, rb | b1, rb | b1 | b0};
         for (std::size_t ci = 0; ci < quarter; ++ci) {
@@ -312,6 +320,7 @@ DensityMatrix::applyKrausSum(const std::vector<int> &qubits,
                     rho_[rows[r] * dim_ + cols[c]] = out[r][c];
         }
     }
+    });
 }
 
 void
@@ -405,31 +414,41 @@ DensityMatrix::applyDiagConjugation(std::uint64_t mask, const Complex *table)
             s = (s - comp) & comp;
         } while (s != 0);
     }
-    for (std::size_t r = 0; r < dim_; ++r) {
-        const Complex pr = diagPhase_[r];
-        Complex *row = rho_.data() + r * dim_;
-        for (std::size_t c = 0; c < dim_; ++c)
-            row[c] *= pr * std::conj(diagPhase_[c]);
-    }
+    const bool simd = simdEnabled();
+    forEachUnitBlocked(
+        dim_, dim_ * dim_, [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r)
+                kern::conjPhaseRow(rho_.data() + r * dim_,
+                                   diagPhase_.data(), diagPhase_[r], dim_,
+                                   simd);
+        });
 }
 
 double
 DensityMatrix::trace() const
 {
-    Complex t(0.0, 0.0);
-    for (std::size_t i = 0; i < dim_; ++i)
-        t += rho_[i * dim_ + i];
-    return t.real();
+    return orderedBlockReduceComplex(
+               dim_, dim_,
+               [&](std::size_t lo, std::size_t hi) {
+                   Complex t(0.0, 0.0);
+                   for (std::size_t i = lo; i < hi; ++i)
+                       t += rho_[i * dim_ + i];
+                   return t;
+               })
+        .real();
 }
 
 double
 DensityMatrix::purity() const
 {
     // Tr(ρ²) = Σ_rc ρ[r,c] ρ[c,r]; ρ is Hermitian so this is Σ |ρ[r,c]|².
-    double s = 0.0;
-    for (const auto &x : rho_)
-        s += std::norm(x);
-    return s;
+    return orderedBlockReduce(
+        rho_.size(), rho_.size(), [&](std::size_t lo, std::size_t hi) {
+            double s = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                s += std::norm(rho_[i]);
+            return s;
+        });
 }
 
 std::vector<double>
@@ -447,11 +466,19 @@ DensityMatrix::fidelity(const Statevector &reference) const
     if (reference.dim() != dim_)
         throw std::invalid_argument("DensityMatrix::fidelity: width");
     const auto &amps = reference.amplitudes();
-    Complex acc(0.0, 0.0);
-    for (std::size_t r = 0; r < dim_; ++r)
-        for (std::size_t c = 0; c < dim_; ++c)
-            acc += std::conj(amps[r]) * rho_[r * dim_ + c] * amps[c];
-    return acc.real();
+    // Blocked by row range: within a block the row-major summation order
+    // is the legacy one, and the block partials fold in fixed order.
+    return orderedBlockReduceComplex(
+               dim_, dim_ * dim_,
+               [&](std::size_t r0, std::size_t r1) {
+                   Complex acc(0.0, 0.0);
+                   for (std::size_t r = r0; r < r1; ++r)
+                       for (std::size_t c = 0; c < dim_; ++c)
+                           acc += std::conj(amps[r]) * rho_[r * dim_ + c] *
+                                  amps[c];
+                   return acc;
+               })
+        .real();
 }
 
 double
@@ -460,11 +487,16 @@ DensityMatrix::expectation(const Matrix &observable) const
     if (observable.rows() != dim_ || observable.cols() != dim_)
         throw std::invalid_argument("DensityMatrix::expectation: shape");
     // Tr(ρ O) = Σ_rc ρ[r,c] O[c,r].
-    Complex acc(0.0, 0.0);
-    for (std::size_t r = 0; r < dim_; ++r)
-        for (std::size_t c = 0; c < dim_; ++c)
-            acc += rho_[r * dim_ + c] * observable(c, r);
-    return acc.real();
+    return orderedBlockReduceComplex(
+               dim_, dim_ * dim_,
+               [&](std::size_t r0, std::size_t r1) {
+                   Complex acc(0.0, 0.0);
+                   for (std::size_t r = r0; r < r1; ++r)
+                       for (std::size_t c = 0; c < dim_; ++c)
+                           acc += rho_[r * dim_ + c] * observable(c, r);
+                   return acc;
+               })
+        .real();
 }
 
 } // namespace qismet

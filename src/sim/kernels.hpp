@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Vectorized + block-parallel simulation kernels.
+ *
+ * These are the hot inner loops of the compiled-circuit engine
+ * (DESIGN.md "SIMD + intra-state parallelism"): dense 2x2/4x4 gate
+ * application, merged diagonal tables, amplitude permutations, and the
+ * ordered reductions (norms, inner products, Z-mask expectations). The
+ * `apply*` entry points split the state across the global
+ * ParallelExecutor in fixed blocks (common/block_partition.hpp) and
+ * dispatch each block's inner loop to either the AVX2 or the portable
+ * scalar implementation (common/simd.hpp).
+ *
+ * ## Rounding contract
+ *
+ * FP contraction is **off** on every path. Both implementations execute
+ * the same IEEE-754 operations in the same order:
+ *
+ *   - complex multiply is the naive form `(xr*yr - xi*yi,
+ *     xr*yi + xi*yr)` — two multiplies, one add/sub per component, each
+ *     rounded individually, exactly what the pre-SIMD std::complex code
+ *     produced for finite values (operand order inside a product or a
+ *     commutative add may differ between lanes and scalar code; IEEE
+ *     multiply and add are commutative bit-for-bit, so this is still
+ *     identical);
+ *   - real-matrix 2x2 fast path: `r00*a0 + r01*a1` componentwise, as
+ *     before;
+ *   - 4x4 rows accumulate from an explicit zero in column order, as
+ *     before;
+ *   - diagonal entries equal to exactly 1+0i are skipped, not
+ *     multiplied, as before (multiplying by one can flip a -0.0).
+ *
+ * Consequently SIMD-on, SIMD-off, split-complex and every thread count
+ * produce bit-identical amplitudes, and all of them match the legacy
+ * gate-by-gate path bit-for-bit on finite data — pinned by
+ * tests/sim/test_kernel_equivalence.cpp and the golden replays.
+ *
+ * The contiguous-run micro-kernels (`dense1Run`, `dense2Run`, ...) are
+ * shared with the density-matrix sweeps, whose row/column structure
+ * reduces to the same dual/quad-stream inner loops.
+ */
+
+#ifndef QISMET_SIM_KERNELS_HPP
+#define QISMET_SIM_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/amp_span.hpp"
+#include "common/matrix.hpp"
+#include "common/simd.hpp"
+
+namespace qismet {
+namespace kern {
+
+/** @name Whole-state kernels (blocked/parallel + SIMD dispatch) @{ */
+
+/** Apply a dense 2x2 (row-major m[4]) to qubit q. */
+void applyDense1(const AmpSpan &amps, int q, const Complex *m);
+
+/** Apply a dense 4x4 (row-major m[16]) to (qm, ql), qm most significant. */
+void applyDense2(const AmpSpan &amps, int qm, int ql, const Complex *m);
+
+/**
+ * Apply a diagonal phase table over the qubits in `mask` (table entry
+ * index = gathered mask bits, ascending qubit order).
+ */
+void applyDiag(const AmpSpan &amps, std::uint64_t mask, const Complex *table);
+
+/** Pauli-X on qubit q (amplitude pair swap). */
+void applyPermX(const AmpSpan &amps, int q);
+
+/** CX with control qc, target qt (conditional pair swap). */
+void applyPermCX(const AmpSpan &amps, int qc, int qt);
+
+/** SWAP of qubits qa, qb (cross-qubit amplitude exchange). */
+void applyPermSwap(const AmpSpan &amps, int qa, int qb);
+
+/** @} */
+
+/** @name Ordered reductions (scalar arithmetic, fixed-block fold) @{ */
+
+/** Sum of |a_i|^2. */
+double norm2(const AmpSpan &amps);
+
+/** <a|b> = sum conj(a_i) b_i; spans must have equal size. */
+Complex innerProduct(const AmpSpan &a, const AmpSpan &b);
+
+/** <Z_mask>: parity-signed probability sum. */
+double expectationZMask(const AmpSpan &amps, std::uint64_t mask);
+
+/** @} */
+
+/**
+ * @name Contiguous-run micro-kernels (interleaved layout)
+ *
+ * Serial building blocks reused by the density-matrix sweeps. `simd`
+ * is the dispatch decision, resolved once per sweep by the caller
+ * (pass `simdEnabled()`).
+ * @{
+ */
+
+/**
+ * 2x2 across two contiguous runs: (p0[i], p1[i]) <- m * (p0[i], p1[i])
+ * for i in [0, count).
+ */
+void dense1Run(Complex *p0, Complex *p1, std::size_t count, const Complex *m,
+               bool simd);
+
+/** 4x4 across four contiguous runs, local order (p0,p1,p2,p3). */
+void dense2Run(Complex *p0, Complex *p1, Complex *p2, Complex *p3,
+               std::size_t count, const Complex *m, bool simd);
+
+/** run[i] *= d for i in [0, count). */
+void scaleRun(Complex *run, Complex d, std::size_t count, bool simd);
+
+/** row[i] *= rowPhase * conj(phases[i]) — diagonal conjugation row. */
+void conjPhaseRow(Complex *row, const Complex *phases, Complex rowPhase,
+                  std::size_t count, bool simd);
+
+/** Exchange two contiguous runs of count amplitudes. */
+void swapRuns(Complex *a, Complex *b, std::size_t count, bool simd);
+
+/** @} */
+
+/**
+ * @name Unit-range cores (interleaved layout)
+ *
+ * One "unit" is an independent work item: an amplitude pair (dense1 /
+ * permX), a 4-tuple (dense2 / permCX / permSwap), or one amplitude
+ * (diag). Each core handles an arbitrary [k0, k1) sub-range so the
+ * blocked partition can hand out pieces; the density-matrix sweeps call
+ * them serially per row with transposed matrices.
+ * @{
+ */
+
+/** Dense 2x2 over pair range; `real` selects the real-matrix fast path. */
+void dense1Units(Complex *a, int q, const Complex *m, bool real, bool simd,
+                 std::size_t k0, std::size_t k1);
+
+/** Dense 4x4 over 4-tuple range (qm most significant local bit). */
+void dense2Units(Complex *a, int qm, int ql, const Complex *m, bool simd,
+                 std::size_t k0, std::size_t k1);
+
+/** Diagonal table over amplitude range [u0, u1) of a dim-sized state. */
+void diagUnits(Complex *a, std::size_t dim, std::uint64_t mask,
+               const Complex *table, bool simd, std::size_t u0,
+               std::size_t u1);
+
+/** X pair-swap over pair range. */
+void permXUnits(Complex *a, int q, bool simd, std::size_t k0, std::size_t k1);
+
+/** CX conditional swap over 4-tuple range. */
+void permCXUnits(Complex *a, int qc, int qt, bool simd, std::size_t k0,
+                 std::size_t k1);
+
+/** SWAP exchange over 4-tuple range. */
+void permSwapUnits(Complex *a, int qa, int qb, bool simd, std::size_t k0,
+                   std::size_t k1);
+
+/** @} */
+
+namespace detail {
+
+/**
+ * AVX2 cores, compiled with per-function target("avx2,fma") attributes
+ * when QISMET_SIMD_X86; call only when simdAvailable(). Each processes
+ * the longest prefix it can vectorize and returns the number of units
+ * completed — the portable wrappers finish the tail with the scalar
+ * code, so no scalar FP ever executes inside an AVX2-target function
+ * (where the compiler would be free to contract it).
+ */
+std::size_t dense1RunAvx2(Complex *p0, Complex *p1, std::size_t count,
+                          const Complex *m);
+std::size_t dense1RunRealAvx2(Complex *p0, Complex *p1, std::size_t count,
+                              const Complex *m);
+std::size_t dense1PairsAvx2(Complex *p, std::size_t count, const Complex *m);
+std::size_t dense1PairsRealAvx2(Complex *p, std::size_t count,
+                                const Complex *m);
+std::size_t dense2RunAvx2(Complex *p0, Complex *p1, Complex *p2, Complex *p3,
+                          std::size_t count, const Complex *m);
+std::size_t scaleRunAvx2(Complex *run, Complex d, std::size_t count);
+std::size_t conjPhaseRowAvx2(Complex *row, const Complex *phases,
+                             Complex rowPhase, std::size_t count);
+std::size_t swapRunsAvx2(Complex *a, Complex *b, std::size_t count);
+std::size_t swapAdjacentPairsAvx2(Complex *p, std::size_t count);
+
+} // namespace detail
+
+} // namespace kern
+} // namespace qismet
+
+#endif // QISMET_SIM_KERNELS_HPP

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * AVX2 kernel cores.
+ *
+ * Compiled in every build (no global -mavx2): each core carries a
+ * per-function target("avx2,fma") attribute and is only called after
+ * the runtime dispatch check (simdEnabled()). Each core processes the
+ * longest 2-complex-aligned prefix and returns the number of units it
+ * completed; the wrappers in kernels_scalar.cpp run the scalar tail.
+ *
+ * Bit-compatibility with the scalar code (see kernels.hpp):
+ *
+ *   - complex multiply = mul + mul + addsub — the naive two-multiply
+ *     form, never vfmaddsub. The FMA target feature is enabled only
+ *     because the dispatch check requires it; this TU is built with
+ *     -ffp-contract=off (see src/CMakeLists.txt) so the compiler cannot
+ *     contract the intrinsic mul/add chains either (GCC lowers
+ *     _mm256_mul_pd/_mm256_add_pd to plain vector ops that are
+ *     otherwise fair game for contraction).
+ *   - IEEE-754 multiplies and adds are commutative bit-for-bit, so
+ *     lane-parallel evaluation with swapped operand order is identical
+ *     to the scalar loops.
+ */
+
+#include "sim/kernels.hpp"
+
+#if QISMET_SIMD_X86
+
+#include <immintrin.h>
+
+#define QISMET_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+namespace qismet {
+namespace kern {
+namespace detail {
+
+namespace {
+
+/**
+ * (ur + i*ui) * v for two packed complexes in v, constant broadcast
+ * factors: addsub(ur*v, ui*swap(v)) = [ur*re - ui*im, ur*im + ui*re].
+ */
+QISMET_TARGET_AVX2 inline __m256d
+cmulConst(__m256d ur, __m256d ui, __m256d v)
+{
+    const __m256d sw = _mm256_permute_pd(v, 0b0101);
+    return _mm256_addsub_pd(_mm256_mul_pd(ur, v), _mm256_mul_pd(ui, sw));
+}
+
+/** Elementwise complex multiply x*y of two packed-complex vectors. */
+QISMET_TARGET_AVX2 inline __m256d
+cmulVec(__m256d x, __m256d y)
+{
+    const __m256d yr = _mm256_movedup_pd(y);
+    const __m256d yi = _mm256_permute_pd(y, 0b1111);
+    const __m256d xsw = _mm256_permute_pd(x, 0b0101);
+    return _mm256_addsub_pd(_mm256_mul_pd(x, yr), _mm256_mul_pd(xsw, yi));
+}
+
+} // namespace
+
+QISMET_TARGET_AVX2 std::size_t
+dense1RunAvx2(Complex *p0, Complex *p1, std::size_t count, const Complex *m)
+{
+    double *d0 = reinterpret_cast<double *>(p0);
+    double *d1 = reinterpret_cast<double *>(p1);
+    const __m256d u00r = _mm256_set1_pd(m[0].real());
+    const __m256d u00i = _mm256_set1_pd(m[0].imag());
+    const __m256d u01r = _mm256_set1_pd(m[1].real());
+    const __m256d u01i = _mm256_set1_pd(m[1].imag());
+    const __m256d u10r = _mm256_set1_pd(m[2].real());
+    const __m256d u10i = _mm256_set1_pd(m[2].imag());
+    const __m256d u11r = _mm256_set1_pd(m[3].real());
+    const __m256d u11i = _mm256_set1_pd(m[3].imag());
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d a0 = _mm256_loadu_pd(d0 + 2 * i);
+        const __m256d a1 = _mm256_loadu_pd(d1 + 2 * i);
+        const __m256d o0 = _mm256_add_pd(cmulConst(u00r, u00i, a0),
+                                         cmulConst(u01r, u01i, a1));
+        const __m256d o1 = _mm256_add_pd(cmulConst(u10r, u10i, a0),
+                                         cmulConst(u11r, u11i, a1));
+        _mm256_storeu_pd(d0 + 2 * i, o0);
+        _mm256_storeu_pd(d1 + 2 * i, o1);
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+dense1RunRealAvx2(Complex *p0, Complex *p1, std::size_t count,
+                  const Complex *m)
+{
+    double *d0 = reinterpret_cast<double *>(p0);
+    double *d1 = reinterpret_cast<double *>(p1);
+    const __m256d r00 = _mm256_set1_pd(m[0].real());
+    const __m256d r01 = _mm256_set1_pd(m[1].real());
+    const __m256d r10 = _mm256_set1_pd(m[2].real());
+    const __m256d r11 = _mm256_set1_pd(m[3].real());
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d a0 = _mm256_loadu_pd(d0 + 2 * i);
+        const __m256d a1 = _mm256_loadu_pd(d1 + 2 * i);
+        const __m256d o0 = _mm256_add_pd(_mm256_mul_pd(r00, a0),
+                                         _mm256_mul_pd(r01, a1));
+        const __m256d o1 = _mm256_add_pd(_mm256_mul_pd(r10, a0),
+                                         _mm256_mul_pd(r11, a1));
+        _mm256_storeu_pd(d0 + 2 * i, o0);
+        _mm256_storeu_pd(d1 + 2 * i, o1);
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+dense1PairsAvx2(Complex *p, std::size_t count, const Complex *m)
+{
+    double *d = reinterpret_cast<double *>(p);
+    const __m256d u00r = _mm256_set1_pd(m[0].real());
+    const __m256d u00i = _mm256_set1_pd(m[0].imag());
+    const __m256d u01r = _mm256_set1_pd(m[1].real());
+    const __m256d u01i = _mm256_set1_pd(m[1].imag());
+    const __m256d u10r = _mm256_set1_pd(m[2].real());
+    const __m256d u10i = _mm256_set1_pd(m[2].imag());
+    const __m256d u11r = _mm256_set1_pd(m[3].real());
+    const __m256d u11i = _mm256_set1_pd(m[3].imag());
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        // Two adjacent (a0, a1) pairs; regroup across the 128-bit lanes
+        // so each vector holds two a0's or two a1's.
+        const __m256d v0 = _mm256_loadu_pd(d + 4 * i);
+        const __m256d v1 = _mm256_loadu_pd(d + 4 * i + 4);
+        const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+        const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+        const __m256d o0 = _mm256_add_pd(cmulConst(u00r, u00i, a0),
+                                         cmulConst(u01r, u01i, a1));
+        const __m256d o1 = _mm256_add_pd(cmulConst(u10r, u10i, a0),
+                                         cmulConst(u11r, u11i, a1));
+        _mm256_storeu_pd(d + 4 * i, _mm256_permute2f128_pd(o0, o1, 0x20));
+        _mm256_storeu_pd(d + 4 * i + 4,
+                         _mm256_permute2f128_pd(o0, o1, 0x31));
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+dense1PairsRealAvx2(Complex *p, std::size_t count, const Complex *m)
+{
+    double *d = reinterpret_cast<double *>(p);
+    const __m256d r00 = _mm256_set1_pd(m[0].real());
+    const __m256d r01 = _mm256_set1_pd(m[1].real());
+    const __m256d r10 = _mm256_set1_pd(m[2].real());
+    const __m256d r11 = _mm256_set1_pd(m[3].real());
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d v0 = _mm256_loadu_pd(d + 4 * i);
+        const __m256d v1 = _mm256_loadu_pd(d + 4 * i + 4);
+        const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+        const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+        const __m256d o0 = _mm256_add_pd(_mm256_mul_pd(r00, a0),
+                                         _mm256_mul_pd(r01, a1));
+        const __m256d o1 = _mm256_add_pd(_mm256_mul_pd(r10, a0),
+                                         _mm256_mul_pd(r11, a1));
+        _mm256_storeu_pd(d + 4 * i, _mm256_permute2f128_pd(o0, o1, 0x20));
+        _mm256_storeu_pd(d + 4 * i + 4,
+                         _mm256_permute2f128_pd(o0, o1, 0x31));
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+dense2RunAvx2(Complex *p0, Complex *p1, Complex *p2, Complex *p3,
+              std::size_t count, const Complex *m)
+{
+    double *d0 = reinterpret_cast<double *>(p0);
+    double *d1 = reinterpret_cast<double *>(p1);
+    double *d2 = reinterpret_cast<double *>(p2);
+    double *d3 = reinterpret_cast<double *>(p3);
+    __m256d mr[16];
+    __m256d mi[16];
+    for (int e = 0; e < 16; ++e) {
+        mr[e] = _mm256_set1_pd(m[e].real());
+        mi[e] = _mm256_set1_pd(m[e].imag());
+    }
+    const __m256d zero = _mm256_setzero_pd();
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d in[4] = {
+            _mm256_loadu_pd(d0 + 2 * i), _mm256_loadu_pd(d1 + 2 * i),
+            _mm256_loadu_pd(d2 + 2 * i), _mm256_loadu_pd(d3 + 2 * i)};
+        __m256d out[4];
+        for (int r = 0; r < 4; ++r) {
+            // Start from an explicit zero and add in column order — the
+            // scalar accumulator's grouping (0.0 + (-0.0) = +0.0, so
+            // the leading zero is not a no-op).
+            __m256d acc = zero;
+            for (int c = 0; c < 4; ++c)
+                acc = _mm256_add_pd(
+                    acc, cmulConst(mr[r * 4 + c], mi[r * 4 + c], in[c]));
+            out[r] = acc;
+        }
+        _mm256_storeu_pd(d0 + 2 * i, out[0]);
+        _mm256_storeu_pd(d1 + 2 * i, out[1]);
+        _mm256_storeu_pd(d2 + 2 * i, out[2]);
+        _mm256_storeu_pd(d3 + 2 * i, out[3]);
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+scaleRunAvx2(Complex *run, Complex d, std::size_t count)
+{
+    double *p = reinterpret_cast<double *>(run);
+    const __m256d dr = _mm256_set1_pd(d.real());
+    const __m256d di = _mm256_set1_pd(d.imag());
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d v = _mm256_loadu_pd(p + 2 * i);
+        _mm256_storeu_pd(p + 2 * i, cmulConst(dr, di, v));
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+conjPhaseRowAvx2(Complex *row, const Complex *phases, Complex rowPhase,
+                 std::size_t count)
+{
+    double *r = reinterpret_cast<double *>(row);
+    const double *ph = reinterpret_cast<const double *>(phases);
+    const __m256d prr = _mm256_set1_pd(rowPhase.real());
+    const __m256d pri = _mm256_set1_pd(rowPhase.imag());
+    // Sign-flip the imaginary lanes: conj via xor, exact.
+    const __m256d conjMask = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d cph =
+            _mm256_xor_pd(_mm256_loadu_pd(ph + 2 * i), conjMask);
+        const __m256d t = cmulConst(prr, pri, cph);
+        const __m256d v = _mm256_loadu_pd(r + 2 * i);
+        _mm256_storeu_pd(r + 2 * i, cmulVec(v, t));
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+swapRunsAvx2(Complex *a, Complex *b, std::size_t count)
+{
+    double *da = reinterpret_cast<double *>(a);
+    double *db = reinterpret_cast<double *>(b);
+    const std::size_t vec = count & ~std::size_t{1};
+    for (std::size_t i = 0; i < vec; i += 2) {
+        const __m256d va = _mm256_loadu_pd(da + 2 * i);
+        const __m256d vb = _mm256_loadu_pd(db + 2 * i);
+        _mm256_storeu_pd(da + 2 * i, vb);
+        _mm256_storeu_pd(db + 2 * i, va);
+    }
+    return vec;
+}
+
+QISMET_TARGET_AVX2 std::size_t
+swapAdjacentPairsAvx2(Complex *p, std::size_t count)
+{
+    double *d = reinterpret_cast<double *>(p);
+    // One unit (adjacent complex pair) per 256-bit vector: swapping the
+    // two 128-bit halves swaps the amplitudes.
+    for (std::size_t i = 0; i < count; ++i) {
+        const __m256d v = _mm256_loadu_pd(d + 4 * i);
+        _mm256_storeu_pd(d + 4 * i, _mm256_permute2f128_pd(v, v, 0x01));
+    }
+    return count;
+}
+
+} // namespace detail
+} // namespace kern
+} // namespace qismet
+
+#endif // QISMET_SIMD_X86

@@ -1,0 +1,757 @@
+/**
+ * @file
+ * Portable kernel implementations + SIMD dispatch wrappers.
+ *
+ * Every scalar loop here is a line-for-line transplant of the pre-SIMD
+ * simulator code (statevector.cpp / density_matrix.cpp at the time the
+ * kernels were extracted): same formulas, same accumulation order, same
+ * special cases. The AVX2 cores (kernels_avx2.cpp) mirror these ops
+ * lane-wise; the wrappers below let them process the longest vector
+ * prefix and always finish the tail with the scalar code, so the tail
+ * never executes inside an AVX2-target function where the compiler
+ * could contract it. See kernels.hpp for the full rounding contract.
+ */
+
+#include "sim/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/block_partition.hpp"
+#include "sim/compiled_circuit.hpp"
+
+namespace qismet {
+namespace kern {
+
+namespace {
+
+/** k-th index with bit `b` clear, counting upward (bit-deposit). */
+inline std::size_t
+deposit1(std::size_t k, std::size_t b)
+{
+    return (k & (b - 1)) | ((k << 1) & ~((b << 1) - 1));
+}
+
+/** k-th index with bits bA|bB clear, counting upward. */
+inline std::size_t
+deposit2(std::size_t k, std::size_t bA, std::size_t bB)
+{
+    const std::size_t lo = bA < bB ? bA : bB;
+    const std::size_t hi = bA < bB ? bB : bA;
+    const std::size_t mLow = lo - 1;
+    const std::size_t mMid = (hi - 1) & ~((lo << 1) - 1);
+    const std::size_t mHigh = ~((hi << 1) - 1);
+    return (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
+}
+
+/* ------------------------------------------------------------------ */
+/* Scalar micro-kernels (exact legacy formulas).                       */
+/* ------------------------------------------------------------------ */
+
+inline void
+dense1RunScalar(Complex *p0, Complex *p1, std::size_t count, const Complex *m)
+{
+    const Complex u00 = m[0], u01 = m[1], u10 = m[2], u11 = m[3];
+    for (std::size_t i = 0; i < count; ++i) {
+        const Complex a0 = p0[i];
+        const Complex a1 = p1[i];
+        p0[i] = u00 * a0 + u01 * a1;
+        p1[i] = u10 * a0 + u11 * a1;
+    }
+}
+
+inline void
+dense1RunRealScalar(Complex *p0, Complex *p1, std::size_t count,
+                    const Complex *m)
+{
+    const double r00 = m[0].real(), r01 = m[1].real();
+    const double r10 = m[2].real(), r11 = m[3].real();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Complex a0 = p0[i];
+        const Complex a1 = p1[i];
+        p0[i] = Complex(r00 * a0.real() + r01 * a1.real(),
+                        r00 * a0.imag() + r01 * a1.imag());
+        p1[i] = Complex(r10 * a0.real() + r11 * a1.real(),
+                        r10 * a0.imag() + r11 * a1.imag());
+    }
+}
+
+/** 2x2 on interleaved adjacent pairs (the q = 0 case). */
+inline void
+dense1PairsScalarCore(Complex *p, std::size_t count, const Complex *m)
+{
+    const Complex u00 = m[0], u01 = m[1], u10 = m[2], u11 = m[3];
+    for (std::size_t i = 0; i < count; ++i) {
+        const Complex a0 = p[2 * i];
+        const Complex a1 = p[2 * i + 1];
+        p[2 * i] = u00 * a0 + u01 * a1;
+        p[2 * i + 1] = u10 * a0 + u11 * a1;
+    }
+}
+
+inline void
+dense1PairsRealScalarCore(Complex *p, std::size_t count, const Complex *m)
+{
+    const double r00 = m[0].real(), r01 = m[1].real();
+    const double r10 = m[2].real(), r11 = m[3].real();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Complex a0 = p[2 * i];
+        const Complex a1 = p[2 * i + 1];
+        p[2 * i] = Complex(r00 * a0.real() + r01 * a1.real(),
+                           r00 * a0.imag() + r01 * a1.imag());
+        p[2 * i + 1] = Complex(r10 * a0.real() + r11 * a1.real(),
+                               r10 * a0.imag() + r11 * a1.imag());
+    }
+}
+
+inline void
+dense2RunScalar(Complex *p0, Complex *p1, Complex *p2, Complex *p3,
+                std::size_t count, const Complex *m)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const Complex in[4] = {p0[i], p1[i], p2[i], p3[i]};
+        Complex out[4];
+        for (int r = 0; r < 4; ++r) {
+            Complex acc(0.0, 0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += m[r * 4 + c] * in[c];
+            out[r] = acc;
+        }
+        p0[i] = out[0];
+        p1[i] = out[1];
+        p2[i] = out[2];
+        p3[i] = out[3];
+    }
+}
+
+/** One 4-tuple at scattered indices (the pLow = 0 case). */
+inline void
+dense2Quartet(Complex *a, std::size_t base, std::size_t bl, std::size_t bm,
+              const Complex *m)
+{
+    const std::size_t idx[4] = {base, base | bl, base | bm, base | bm | bl};
+    Complex in[4];
+    for (int c = 0; c < 4; ++c)
+        in[c] = a[idx[c]];
+    for (int r = 0; r < 4; ++r) {
+        Complex acc(0.0, 0.0);
+        for (int c = 0; c < 4; ++c)
+            acc += m[r * 4 + c] * in[c];
+        a[idx[r]] = acc;
+    }
+}
+
+inline void
+scaleRunScalar(Complex *run, Complex d, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        run[i] *= d;
+}
+
+inline void
+conjPhaseRowScalar(Complex *row, const Complex *phases, Complex rowPhase,
+                   std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        row[i] *= rowPhase * std::conj(phases[i]);
+}
+
+inline void
+swapRunsScalar(Complex *a, Complex *b, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        std::swap(a[i], b[i]);
+}
+
+/* ------------------------------------------------------------------ */
+/* Dispatching micro-kernel variants used only inside this TU.         */
+/* ------------------------------------------------------------------ */
+
+inline void
+dense1RunReal(Complex *p0, Complex *p1, std::size_t count, const Complex *m,
+              bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::dense1RunRealAvx2(p0, p1, count, m);
+#else
+    (void)simd;
+#endif
+    dense1RunRealScalar(p0 + done, p1 + done, count - done, m);
+}
+
+inline void
+dense1Pairs(Complex *p, std::size_t count, const Complex *m, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::dense1PairsAvx2(p, count, m);
+#else
+    (void)simd;
+#endif
+    dense1PairsScalarCore(p + 2 * done, count - done, m);
+}
+
+inline void
+dense1PairsReal(Complex *p, std::size_t count, const Complex *m, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::dense1PairsRealAvx2(p, count, m);
+#else
+    (void)simd;
+#endif
+    dense1PairsRealScalarCore(p + 2 * done, count - done, m);
+}
+
+inline void
+swapAdjacentPairs(Complex *p, std::size_t count, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::swapAdjacentPairsAvx2(p, count);
+#else
+    (void)simd;
+#endif
+    for (std::size_t i = done; i < count; ++i)
+        std::swap(p[2 * i], p[2 * i + 1]);
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Public contiguous-run micro-kernels.                                */
+/* ------------------------------------------------------------------ */
+
+void
+dense1Run(Complex *p0, Complex *p1, std::size_t count, const Complex *m,
+          bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::dense1RunAvx2(p0, p1, count, m);
+#else
+    (void)simd;
+#endif
+    dense1RunScalar(p0 + done, p1 + done, count - done, m);
+}
+
+void
+dense2Run(Complex *p0, Complex *p1, Complex *p2, Complex *p3,
+          std::size_t count, const Complex *m, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::dense2RunAvx2(p0, p1, p2, p3, count, m);
+#else
+    (void)simd;
+#endif
+    dense2RunScalar(p0 + done, p1 + done, p2 + done, p3 + done, count - done,
+                    m);
+}
+
+void
+scaleRun(Complex *run, Complex d, std::size_t count, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::scaleRunAvx2(run, d, count);
+#else
+    (void)simd;
+#endif
+    scaleRunScalar(run + done, d, count - done);
+}
+
+void
+conjPhaseRow(Complex *row, const Complex *phases, Complex rowPhase,
+             std::size_t count, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::conjPhaseRowAvx2(row, phases, rowPhase, count);
+#else
+    (void)simd;
+#endif
+    conjPhaseRowScalar(row + done, phases + done, rowPhase, count - done);
+}
+
+void
+swapRuns(Complex *a, Complex *b, std::size_t count, bool simd)
+{
+    std::size_t done = 0;
+#if QISMET_SIMD_X86
+    if (simd)
+        done = detail::swapRunsAvx2(a, b, count);
+#else
+    (void)simd;
+#endif
+    swapRunsScalar(a + done, b + done, count - done);
+}
+
+/* ------------------------------------------------------------------ */
+/* Unit-range cores over an interleaved array.                         */
+/*                                                                     */
+/* A "unit" is one independent work item: an amplitude pair (dense1 /  */
+/* permX), a 4-tuple (dense2 / permCX / permSwap), or one amplitude    */
+/* (diag). Each core handles any [k0, k1) sub-range so the blocked     */
+/* partition can hand out pieces; the walk decomposes the range into   */
+/* contiguous runs (all unit addresses below the acted-on qubit are    */
+/* consecutive) and feeds them to the run micro-kernels.               */
+/* ------------------------------------------------------------------ */
+
+void
+dense1Units(Complex *a, int q, const Complex *m, bool real, bool simd,
+            std::size_t k0, std::size_t k1)
+{
+    if (q == 0) {
+        // Units are adjacent (even, odd) amplitude pairs.
+        if (real)
+            dense1PairsReal(a + 2 * k0, k1 - k0, m, simd);
+        else
+            dense1Pairs(a + 2 * k0, k1 - k0, m, simd);
+        return;
+    }
+    const std::size_t s = std::size_t{1} << q;
+    std::size_t k = k0;
+    while (k < k1) {
+        const std::size_t off = k & (s - 1);
+        const std::size_t len = std::min(s - off, k1 - k);
+        const std::size_t i0 = deposit1(k, s);
+        if (real)
+            dense1RunReal(a + i0, a + i0 + s, len, m, simd);
+        else
+            dense1Run(a + i0, a + i0 + s, len, m, simd);
+        k += len;
+    }
+}
+
+void
+dense2Units(Complex *a, int qm, int ql, const Complex *m, bool simd,
+            std::size_t k0, std::size_t k1)
+{
+    const std::size_t bm = std::size_t{1} << qm;
+    const std::size_t bl = std::size_t{1} << ql;
+    const int pLow = qm < ql ? qm : ql;
+    if (pLow == 0) {
+        // One of the acted-on qubits is bit 0: tuples are scattered,
+        // stay scalar (see DESIGN.md — not worth a gather/blend path
+        // for the op mix the compiler emits).
+        for (std::size_t k = k0; k < k1; ++k)
+            dense2Quartet(a, deposit2(k, bm, bl), bl, bm, m);
+        return;
+    }
+    const std::size_t sLow = std::size_t{1} << pLow;
+    std::size_t k = k0;
+    while (k < k1) {
+        const std::size_t off = k & (sLow - 1);
+        const std::size_t len = std::min(sLow - off, k1 - k);
+        const std::size_t base = deposit2(k, bm, bl);
+        dense2Run(a + base, a + (base | bl), a + (base | bm),
+                  a + (base | bm | bl), len, m, simd);
+        k += len;
+    }
+}
+
+void
+diagUnits(Complex *a, std::size_t dim, std::uint64_t mask,
+          const Complex *table, bool simd, std::size_t u0, std::size_t u1)
+{
+    const std::uint64_t comp = (dim - 1) & ~mask;
+    const int t = std::popcount(mask);
+    const int freeBits = std::countr_zero(dim) - t;
+    const std::size_t subSize = std::size_t{1} << freeBits;
+    const std::size_t runLen = std::size_t{1} << std::countr_one(comp);
+    const Complex one(1.0, 0.0);
+    std::size_t u = u0;
+    while (u < u1) {
+        const std::uint64_t li = u >> freeBits;
+        const std::size_t entryBegin = static_cast<std::size_t>(li) * subSize;
+        const std::size_t jEnd = std::min(u1, entryBegin + subSize) -
+                                 entryBegin;
+        const Complex d = table[li];
+        if (d == one) { // common for merged CZ/S/T runs
+            u = entryBegin + jEnd;
+            continue;
+        }
+        const std::uint64_t fixed = depositBits(li, mask);
+        std::size_t j = u - entryBegin;
+        while (j < jEnd) {
+            const std::size_t off = j & (runLen - 1);
+            const std::size_t len = std::min(runLen - off, jEnd - j);
+            const std::uint64_t idx = fixed | depositBits(j, comp);
+            scaleRun(a + idx, d, len, simd);
+            j += len;
+        }
+        u = entryBegin + jEnd;
+    }
+}
+
+void
+permXUnits(Complex *a, int q, bool simd, std::size_t k0, std::size_t k1)
+{
+    if (q == 0) {
+        swapAdjacentPairs(a + 2 * k0, k1 - k0, simd);
+        return;
+    }
+    const std::size_t b = std::size_t{1} << q;
+    std::size_t k = k0;
+    while (k < k1) {
+        const std::size_t off = k & (b - 1);
+        const std::size_t len = std::min(b - off, k1 - k);
+        const std::size_t i0 = deposit1(k, b);
+        swapRuns(a + i0, a + i0 + b, len, simd);
+        k += len;
+    }
+}
+
+void
+permCXUnits(Complex *a, int qc, int qt, bool simd, std::size_t k0,
+            std::size_t k1)
+{
+    const std::size_t bc = std::size_t{1} << qc;
+    const std::size_t bt = std::size_t{1} << qt;
+    const int pLow = qc < qt ? qc : qt;
+    if (pLow == 0) {
+        for (std::size_t k = k0; k < k1; ++k) {
+            const std::size_t base = deposit2(k, bc, bt);
+            std::swap(a[base | bc], a[base | bc | bt]);
+        }
+        return;
+    }
+    const std::size_t sLow = std::size_t{1} << pLow;
+    std::size_t k = k0;
+    while (k < k1) {
+        const std::size_t off = k & (sLow - 1);
+        const std::size_t len = std::min(sLow - off, k1 - k);
+        const std::size_t base = deposit2(k, bc, bt);
+        swapRuns(a + (base | bc), a + (base | bc | bt), len, simd);
+        k += len;
+    }
+}
+
+void
+permSwapUnits(Complex *a, int qa, int qb, bool simd, std::size_t k0,
+              std::size_t k1)
+{
+    const std::size_t ba = std::size_t{1} << qa;
+    const std::size_t bb = std::size_t{1} << qb;
+    const int pLow = qa < qb ? qa : qb;
+    if (pLow == 0) {
+        for (std::size_t k = k0; k < k1; ++k) {
+            const std::size_t base = deposit2(k, ba, bb);
+            std::swap(a[base | ba], a[base | bb]);
+        }
+        return;
+    }
+    const std::size_t sLow = std::size_t{1} << pLow;
+    std::size_t k = k0;
+    while (k < k1) {
+        const std::size_t off = k & (sLow - 1);
+        const std::size_t len = std::min(sLow - off, k1 - k);
+        const std::size_t base = deposit2(k, ba, bb);
+        swapRuns(a + (base | ba), a + (base | bb), len, simd);
+        k += len;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Layout-generic unit cores (SplitComplex; scalar, same formulas).    */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+void
+dense1UnitsGeneric(const AmpSpan &amps, int q, const Complex *m, bool real,
+                   std::size_t k0, std::size_t k1)
+{
+    const std::size_t s = std::size_t{1} << q;
+    const Complex u00 = m[0], u01 = m[1], u10 = m[2], u11 = m[3];
+    const double r00 = m[0].real(), r01 = m[1].real();
+    const double r10 = m[2].real(), r11 = m[3].real();
+    for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t i0 = deposit1(k, s);
+        const std::size_t i1 = i0 + s;
+        const Complex a0 = amps.load(i0);
+        const Complex a1 = amps.load(i1);
+        if (real) {
+            amps.store(i0, Complex(r00 * a0.real() + r01 * a1.real(),
+                                   r00 * a0.imag() + r01 * a1.imag()));
+            amps.store(i1, Complex(r10 * a0.real() + r11 * a1.real(),
+                                   r10 * a0.imag() + r11 * a1.imag()));
+        } else {
+            amps.store(i0, u00 * a0 + u01 * a1);
+            amps.store(i1, u10 * a0 + u11 * a1);
+        }
+    }
+}
+
+void
+dense2UnitsGeneric(const AmpSpan &amps, int qm, int ql, const Complex *m,
+                   std::size_t k0, std::size_t k1)
+{
+    const std::size_t bm = std::size_t{1} << qm;
+    const std::size_t bl = std::size_t{1} << ql;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t base = deposit2(k, bm, bl);
+        const std::size_t idx[4] = {base, base | bl, base | bm,
+                                    base | bm | bl};
+        Complex in[4];
+        for (int c = 0; c < 4; ++c)
+            in[c] = amps.load(idx[c]);
+        for (int r = 0; r < 4; ++r) {
+            Complex acc(0.0, 0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += m[r * 4 + c] * in[c];
+            amps.store(idx[r], acc);
+        }
+    }
+}
+
+void
+diagUnitsGeneric(const AmpSpan &amps, std::uint64_t mask,
+                 const Complex *table, std::size_t u0, std::size_t u1)
+{
+    const std::size_t dim = amps.size();
+    const std::uint64_t comp = (dim - 1) & ~mask;
+    const int t = std::popcount(mask);
+    const int freeBits = std::countr_zero(dim) - t;
+    const std::size_t subSize = std::size_t{1} << freeBits;
+    const Complex one(1.0, 0.0);
+    std::size_t u = u0;
+    while (u < u1) {
+        const std::uint64_t li = u >> freeBits;
+        const std::size_t entryBegin = static_cast<std::size_t>(li) * subSize;
+        const std::size_t jEnd = std::min(u1, entryBegin + subSize) -
+                                 entryBegin;
+        const Complex d = table[li];
+        if (d == one) {
+            u = entryBegin + jEnd;
+            continue;
+        }
+        const std::uint64_t fixed = depositBits(li, mask);
+        for (std::size_t j = u - entryBegin; j < jEnd; ++j) {
+            const std::size_t idx = fixed | depositBits(j, comp);
+            amps.store(idx, amps.load(idx) * d);
+        }
+        u = entryBegin + jEnd;
+    }
+}
+
+void
+permXUnitsGeneric(const AmpSpan &amps, int q, std::size_t k0, std::size_t k1)
+{
+    const std::size_t b = std::size_t{1} << q;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t i0 = deposit1(k, b);
+        const Complex tmp = amps.load(i0);
+        amps.store(i0, amps.load(i0 + b));
+        amps.store(i0 + b, tmp);
+    }
+}
+
+void
+permCXUnitsGeneric(const AmpSpan &amps, int qc, int qt, std::size_t k0,
+                   std::size_t k1)
+{
+    const std::size_t bc = std::size_t{1} << qc;
+    const std::size_t bt = std::size_t{1} << qt;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t base = deposit2(k, bc, bt);
+        const Complex tmp = amps.load(base | bc);
+        amps.store(base | bc, amps.load(base | bc | bt));
+        amps.store(base | bc | bt, tmp);
+    }
+}
+
+void
+permSwapUnitsGeneric(const AmpSpan &amps, int qa, int qb, std::size_t k0,
+                     std::size_t k1)
+{
+    const std::size_t ba = std::size_t{1} << qa;
+    const std::size_t bb = std::size_t{1} << qb;
+    for (std::size_t k = k0; k < k1; ++k) {
+        const std::size_t base = deposit2(k, ba, bb);
+        const Complex tmp = amps.load(base | ba);
+        amps.store(base | ba, amps.load(base | bb));
+        amps.store(base | bb, tmp);
+    }
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Whole-state entry points: blocked partition + SIMD dispatch.        */
+/* ------------------------------------------------------------------ */
+
+void
+applyDense1(const AmpSpan &amps, int q, const Complex *m)
+{
+    const std::size_t units = amps.size() >> 1;
+    // Real matrix (H, RY, X-basis changes): half the multiplies.
+    const bool real = m[0].imag() == 0.0 && m[1].imag() == 0.0 &&
+                      m[2].imag() == 0.0 && m[3].imag() == 0.0;
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t k0, std::size_t k1) {
+                               dense1Units(a, q, m, real, simd, k0, k1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t k0, std::size_t k1) {
+                           dense1UnitsGeneric(amps, q, m, real, k0, k1);
+                       });
+}
+
+void
+applyDense2(const AmpSpan &amps, int qm, int ql, const Complex *m)
+{
+    const std::size_t units = amps.size() >> 2;
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t k0, std::size_t k1) {
+                               dense2Units(a, qm, ql, m, simd, k0, k1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t k0, std::size_t k1) {
+                           dense2UnitsGeneric(amps, qm, ql, m, k0, k1);
+                       });
+}
+
+void
+applyDiag(const AmpSpan &amps, std::uint64_t mask, const Complex *table)
+{
+    const std::size_t units = amps.size();
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t u0, std::size_t u1) {
+                               diagUnits(a, amps.size(), mask, table, simd,
+                                         u0, u1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t u0, std::size_t u1) {
+                           diagUnitsGeneric(amps, mask, table, u0, u1);
+                       });
+}
+
+void
+applyPermX(const AmpSpan &amps, int q)
+{
+    const std::size_t units = amps.size() >> 1;
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t k0, std::size_t k1) {
+                               permXUnits(a, q, simd, k0, k1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t k0, std::size_t k1) {
+                           permXUnitsGeneric(amps, q, k0, k1);
+                       });
+}
+
+void
+applyPermCX(const AmpSpan &amps, int qc, int qt)
+{
+    const std::size_t units = amps.size() >> 2;
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t k0, std::size_t k1) {
+                               permCXUnits(a, qc, qt, simd, k0, k1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t k0, std::size_t k1) {
+                           permCXUnitsGeneric(amps, qc, qt, k0, k1);
+                       });
+}
+
+void
+applyPermSwap(const AmpSpan &amps, int qa, int qb)
+{
+    const std::size_t units = amps.size() >> 2;
+    if (amps.layout() == AmpLayout::Interleaved) {
+        Complex *a = amps.complexData();
+        const bool simd = simdEnabled();
+        forEachUnitBlocked(units, amps.size(),
+                           [&](std::size_t k0, std::size_t k1) {
+                               permSwapUnits(a, qa, qb, simd, k0, k1);
+                           });
+        return;
+    }
+    forEachUnitBlocked(units, amps.size(),
+                       [&](std::size_t k0, std::size_t k1) {
+                           permSwapUnitsGeneric(amps, qa, qb, k0, k1);
+                       });
+}
+
+/* ------------------------------------------------------------------ */
+/* Ordered reductions. Scalar arithmetic only: SIMD lanes would change */
+/* the summation grouping, which the determinism contract forbids.     */
+/* ------------------------------------------------------------------ */
+
+double
+norm2(const AmpSpan &amps)
+{
+    return orderedBlockReduce(
+        amps.size(), amps.size(), [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                s += std::norm(amps.load(i));
+            return s;
+        });
+}
+
+Complex
+innerProduct(const AmpSpan &a, const AmpSpan &b)
+{
+    return orderedBlockReduceComplex(
+        a.size(), a.size(), [&](std::size_t lo, std::size_t hi) {
+            Complex acc(0.0, 0.0);
+            for (std::size_t i = lo; i < hi; ++i)
+                acc += std::conj(a.load(i)) * b.load(i);
+            return acc;
+        });
+}
+
+double
+expectationZMask(const AmpSpan &amps, std::uint64_t mask)
+{
+    return orderedBlockReduce(
+        amps.size(), amps.size(), [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i) {
+                const double p = std::norm(amps.load(i));
+                const int parity = std::popcount(i & mask) & 1;
+                s += parity ? -p : p;
+            }
+            return s;
+        });
+}
+
+} // namespace kern
+} // namespace qismet

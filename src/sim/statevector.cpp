@@ -5,6 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/amp_span.hpp"
+#include "sim/kernels.hpp"
+
 namespace qismet {
 
 Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
@@ -192,152 +195,52 @@ Statevector::run(const CompiledCircuit &circuit,
     }
 }
 
+// The fused kernels forward to the shared kernel layer (sim/kernels.hpp)
+// which adds the SIMD dispatch and the fixed-block parallel partition.
+// The pre-kernel scalar loops live on, verbatim, as the scalar path in
+// kernels_scalar.cpp — results are bit-identical (the equivalence suite
+// pins this against the legacy gate-by-gate path above).
+
+AmpSpan
+Statevector::span()
+{
+    return AmpSpan::interleaved(amps_.data(), amps_.size());
+}
+
 void
 Statevector::applyDense1(int q, const Complex *m)
 {
-    const std::uint64_t stride = std::uint64_t{1} << q;
-    const Complex u00 = m[0], u01 = m[1], u10 = m[2], u11 = m[3];
-
-    if (u00.imag() == 0.0 && u01.imag() == 0.0 && u10.imag() == 0.0 &&
-        u11.imag() == 0.0) {
-        // Real matrix (H, RY, X-basis changes): half the multiplies.
-        const double r00 = u00.real(), r01 = u01.real();
-        const double r10 = u10.real(), r11 = u11.real();
-        for (std::uint64_t base = 0; base < amps_.size();
-             base += 2 * stride) {
-            for (std::uint64_t offset = 0; offset < stride; ++offset) {
-                const std::uint64_t i0 = base + offset;
-                const std::uint64_t i1 = i0 + stride;
-                const Complex a0 = amps_[i0];
-                const Complex a1 = amps_[i1];
-                amps_[i0] = Complex(r00 * a0.real() + r01 * a1.real(),
-                                    r00 * a0.imag() + r01 * a1.imag());
-                amps_[i1] = Complex(r10 * a0.real() + r11 * a1.real(),
-                                    r10 * a0.imag() + r11 * a1.imag());
-            }
-        }
-        return;
-    }
-
-    for (std::uint64_t base = 0; base < amps_.size(); base += 2 * stride) {
-        for (std::uint64_t offset = 0; offset < stride; ++offset) {
-            const std::uint64_t i0 = base + offset;
-            const std::uint64_t i1 = i0 + stride;
-            const Complex a0 = amps_[i0];
-            const Complex a1 = amps_[i1];
-            amps_[i0] = u00 * a0 + u01 * a1;
-            amps_[i1] = u10 * a0 + u11 * a1;
-        }
-    }
+    kern::applyDense1(span(), q, m);
 }
 
 void
 Statevector::applyDense2(int qm, int ql, const Complex *m)
 {
-    // Enumerate the dim/4 base indices directly: deposit the counter's
-    // bits around the two acted-on bit positions instead of scanning
-    // all dim indices and skipping 3 of every 4.
-    const std::uint64_t bm = std::uint64_t{1} << qm;
-    const std::uint64_t bl = std::uint64_t{1} << ql;
-    const int pLow = qm < ql ? qm : ql;
-    const int pHigh = qm < ql ? ql : qm;
-    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
-    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
-                               ~((std::uint64_t{2} << pLow) - 1);
-    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
-    const std::uint64_t quarter = amps_.size() >> 2;
-
-    for (std::uint64_t k = 0; k < quarter; ++k) {
-        const std::uint64_t base =
-            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
-        // Local index: bit1 = qubit qm state, bit0 = qubit ql state.
-        const std::uint64_t idx[4] = {base, base | bl, base | bm,
-                                      base | bm | bl};
-        Complex in[4];
-        for (int c = 0; c < 4; ++c)
-            in[c] = amps_[idx[c]];
-        for (int r = 0; r < 4; ++r) {
-            Complex acc(0.0, 0.0);
-            for (int c = 0; c < 4; ++c)
-                acc += m[r * 4 + c] * in[c];
-            amps_[idx[r]] = acc;
-        }
-    }
+    kern::applyDense2(span(), qm, ql, m);
 }
 
 void
 Statevector::applyDiag(std::uint64_t mask, const Complex *table)
 {
-    // One multiply per amplitude: for each table entry, walk the
-    // complement subspace (all indices whose masked bits equal the
-    // entry's pattern) with the subset-increment trick.
-    const std::uint64_t comp = (amps_.size() - 1) & ~mask;
-    const int t = std::popcount(mask);
-    const std::uint64_t entries = std::uint64_t{1} << t;
-    const Complex one(1.0, 0.0);
-
-    for (std::uint64_t li = 0; li < entries; ++li) {
-        const Complex d = table[li];
-        if (d == one)
-            continue; // common for merged CZ/S/T runs
-        const std::uint64_t fixed = depositBits(li, mask);
-        std::uint64_t s = 0;
-        do {
-            amps_[fixed | s] *= d;
-            s = (s - comp) & comp;
-        } while (s != 0);
-    }
+    kern::applyDiag(span(), mask, table);
 }
 
 void
 Statevector::applyPermX(int q)
 {
-    const std::uint64_t b = std::uint64_t{1} << q;
-    const std::uint64_t mLow = b - 1;
-    const std::uint64_t mHigh = ~((b << 1) - 1);
-    const std::uint64_t half = amps_.size() >> 1;
-    for (std::uint64_t k = 0; k < half; ++k) {
-        const std::uint64_t i = (k & mLow) | ((k << 1) & mHigh);
-        std::swap(amps_[i], amps_[i | b]);
-    }
+    kern::applyPermX(span(), q);
 }
 
 void
 Statevector::applyPermCX(int qc, int qt)
 {
-    const std::uint64_t bc = std::uint64_t{1} << qc;
-    const std::uint64_t bt = std::uint64_t{1} << qt;
-    const int pLow = qc < qt ? qc : qt;
-    const int pHigh = qc < qt ? qt : qc;
-    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
-    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
-                               ~((std::uint64_t{2} << pLow) - 1);
-    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
-    const std::uint64_t quarter = amps_.size() >> 2;
-    for (std::uint64_t k = 0; k < quarter; ++k) {
-        const std::uint64_t base =
-            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
-        std::swap(amps_[base | bc], amps_[base | bc | bt]);
-    }
+    kern::applyPermCX(span(), qc, qt);
 }
 
 void
 Statevector::applyPermSwap(int qa, int qb)
 {
-    const std::uint64_t ba = std::uint64_t{1} << qa;
-    const std::uint64_t bb = std::uint64_t{1} << qb;
-    const int pLow = qa < qb ? qa : qb;
-    const int pHigh = qa < qb ? qb : qa;
-    const std::uint64_t mLow = (std::uint64_t{1} << pLow) - 1;
-    const std::uint64_t mMid = ((std::uint64_t{1} << pHigh) - 1) &
-                               ~((std::uint64_t{2} << pLow) - 1);
-    const std::uint64_t mHigh = ~((std::uint64_t{2} << pHigh) - 1);
-    const std::uint64_t quarter = amps_.size() >> 2;
-    for (std::uint64_t k = 0; k < quarter; ++k) {
-        const std::uint64_t base =
-            (k & mLow) | ((k << 1) & mMid) | ((k << 2) & mHigh);
-        std::swap(amps_[base | ba], amps_[base | bb]);
-    }
+    kern::applyPermSwap(span(), qa, qb);
 }
 
 double
@@ -357,15 +260,21 @@ Statevector::probabilities() const
     return p;
 }
 
+AmpSpan
+Statevector::cspan() const
+{
+    // The reduction kernels only load through the span; AmpSpan is a
+    // mutable view so the shared kernels serve both sides.
+    return AmpSpan::interleaved(const_cast<Complex *>(amps_.data()),
+                                amps_.size());
+}
+
 Complex
 Statevector::innerProduct(const Statevector &other) const
 {
     if (other.numQubits_ != numQubits_)
         throw std::invalid_argument("Statevector::innerProduct: width");
-    Complex acc(0.0, 0.0);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        acc += std::conj(amps_[i]) * other.amps_[i];
-    return acc;
+    return kern::innerProduct(cspan(), other.cspan());
 }
 
 double
@@ -377,10 +286,7 @@ Statevector::fidelity(const Statevector &other) const
 double
 Statevector::norm() const
 {
-    double s = 0.0;
-    for (const auto &a : amps_)
-        s += std::norm(a);
-    return std::sqrt(s);
+    return std::sqrt(kern::norm2(cspan()));
 }
 
 void
@@ -430,13 +336,7 @@ Statevector::sample(Rng &rng, std::size_t shots) const
 double
 Statevector::expectationZMask(std::uint64_t mask) const
 {
-    double e = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const double p = std::norm(amps_[i]);
-        const int parity = std::popcount(i & mask) & 1;
-        e += parity ? -p : p;
-    }
-    return e;
+    return kern::expectationZMask(cspan(), mask);
 }
 
 } // namespace qismet

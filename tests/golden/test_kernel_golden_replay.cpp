@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden-trace replay through the SIMD + intra-state-parallel kernel
+ * configurations: the three pinned end-to-end trajectories from
+ * test_golden_traces.cpp are re-run with (a) SIMD forced off at 2
+ * worker threads and (b) SIMD on at 8 worker threads. Every
+ * configuration must reproduce the committed digests bit-for-bit —
+ * this is the proof that vectorization and intra-state parallelism
+ * changed the speed of the simulator and not one bit of its output.
+ *
+ * The parallel threshold stays at its default: the golden states are
+ * small enough to take the serial-reduction path, and *that* is the
+ * contract that keeps their digests byte-stable (lowering the
+ * threshold regroups reduction sums by design — see
+ * common/block_partition.hpp).
+ *
+ * The digest/final-energy constants are the same values pinned in
+ * test_golden_traces.cpp; if an intentional change regenerates them
+ * there (QISMET_UPDATE_GOLDEN=1), update this file in the same commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/applications.hpp"
+#include "common/simd.hpp"
+#include "common/thread_pool.hpp"
+#include "core/qismet_vqe.hpp"
+#include "hamiltonian/h2_molecule.hpp"
+#include "noise/machine_model.hpp"
+#include "qaoa/maxcut.hpp"
+#include "qaoa/qaoa_ansatz.hpp"
+#include "vqe/run_digest.hpp"
+
+namespace qismet {
+namespace {
+
+class GlobalThreadsGuard
+{
+  public:
+    GlobalThreadsGuard() : saved_(ParallelExecutor::global().threads()) {}
+    ~GlobalThreadsGuard() { ParallelExecutor::setGlobalThreads(saved_); }
+
+  private:
+    std::size_t saved_;
+};
+
+class SimdGuard
+{
+  public:
+    SimdGuard() : saved_(simdEnabled()) {}
+    ~SimdGuard() { setSimdEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+struct Trace
+{
+    std::string digest;
+    double finalEstimate = 0.0;
+};
+
+template <typename RunFn>
+void
+replayGolden(const char *name, RunFn make_run, const char *golden_digest,
+             double golden_final)
+{
+    if (std::getenv("QISMET_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "golden update mode: regenerate via test_golden, "
+                     << "then mirror the constants here";
+
+    GlobalThreadsGuard threadsGuard;
+    SimdGuard simdGuard;
+
+    // Scalar kernels, 2 threads (a thread count the primary golden
+    // test never uses).
+    setSimdEnabled(false);
+    ParallelExecutor::setGlobalThreads(2);
+    const Trace scalar = make_run();
+    EXPECT_EQ(scalar.digest, golden_digest)
+        << name << ": scalar-kernel replay diverged from the golden";
+    EXPECT_DOUBLE_EQ(scalar.finalEstimate, golden_final);
+
+    // SIMD on (where the host supports it), 8 threads.
+    setSimdEnabled(true);
+    ParallelExecutor::setGlobalThreads(8);
+    const Trace simd = make_run();
+    EXPECT_EQ(simd.digest, golden_digest)
+        << name << ": SIMD/8-thread replay diverged";
+    EXPECT_DOUBLE_EQ(simd.finalEstimate, golden_final);
+}
+
+TEST(KernelGoldenReplay, H2Vqe)
+{
+    const H2Problem prob = h2Problem(0.735);
+    const QismetVqe runner(prob.hamiltonian,
+                           makeAnsatz("SU2", 4, 3)->build(),
+                           machineModel("guadalupe"), prob.fciEnergy);
+    replayGolden(
+        "h2-vqe",
+        [&] {
+            QismetVqeConfig cfg;
+            cfg.totalJobs = 200;
+            cfg.seed = 11;
+            cfg.scheme = Scheme::Qismet;
+            const QismetVqeResult res = runner.run(cfg);
+            return Trace{trajectoryDigest(res.run),
+                         res.run.finalEstimate};
+        },
+        "c2c0acaf7d968c0e", -0.37032714293828062);
+}
+
+TEST(KernelGoldenReplay, TfimVqeWithFaults)
+{
+    const Application app = application(1);
+    const QismetVqe runner = app.makeRunner();
+    replayGolden(
+        "tfim-vqe-faults",
+        [&] {
+            QismetVqeConfig cfg;
+            cfg.totalJobs = 200;
+            cfg.seed = 23;
+            cfg.scheme = Scheme::Qismet;
+            cfg.faults.timeoutRate = 0.02;
+            cfg.faults.errorRate = 0.01;
+            cfg.faults.partialRate = 0.02;
+            cfg.faults.referenceLossRate = 0.01;
+            cfg.faults.burstCoupling = 1.0;
+            const QismetVqeResult res = runner.run(cfg);
+            return Trace{trajectoryDigest(res.run),
+                         res.run.finalEstimate};
+        },
+        "52dbf1dc85157f0e", -2.2793949905318844);
+}
+
+TEST(KernelGoldenReplay, QaoaMaxCut)
+{
+    const MaxCutProblem problem = MaxCutProblem::ring(6);
+    const QaoaAnsatz ansatz(problem, 3);
+    const QismetVqe runner(problem.costHamiltonian(), ansatz.build(),
+                           machineModel("guadalupe"),
+                           -problem.maxCutValue());
+    replayGolden(
+        "qaoa-maxcut",
+        [&] {
+            QismetVqeConfig cfg;
+            cfg.totalJobs = 200;
+            cfg.seed = 37;
+            cfg.scheme = Scheme::Qismet;
+            cfg.initialTheta = {1.2, 2.2, 2.0, 0.5, 1.2, 2.0};
+            cfg.spsaInitialStep = 0.10;
+            cfg.spsaPerturbation = 0.05;
+            const QismetVqeResult res = runner.run(cfg);
+            return Trace{trajectoryDigest(res.run),
+                         res.run.finalEstimate};
+        },
+        "b2296b1a912f1e94", -3.7907668020003014);
+}
+
+} // namespace
+} // namespace qismet

@@ -12,6 +12,8 @@
 #include <filesystem>
 #include <string>
 
+#include <unistd.h>
+
 namespace qismet {
 namespace {
 
@@ -27,7 +29,8 @@ class AtomicFileTest : public ::testing::Test
                ("qismet_atomic_file_" +
                 std::string(::testing::UnitTest::GetInstance()
                                 ->current_test_info()
-                                ->name()));
+                                ->name()) +
+                "_" + std::to_string(::getpid()));
         fs::remove_all(dir_);
         fs::create_directories(dir_);
     }

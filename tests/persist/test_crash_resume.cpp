@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "apps/applications.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -148,7 +150,8 @@ struct TfimScenario
 std::string freshDir(const std::string &name)
 {
     const fs::path dir =
-        fs::path(::testing::TempDir()) / ("qismet_resume_" + name);
+        fs::path(::testing::TempDir()) /
+        ("qismet_resume_" + name + "_" + std::to_string(::getpid()));
     fs::remove_all(dir);
     return dir.string();
 }

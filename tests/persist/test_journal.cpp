@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 #include "fault/crash_point.hpp"
@@ -39,11 +41,16 @@ class JournalTest : public ::testing::Test
   protected:
     void SetUp() override
     {
+        // The pid suffix keeps the per-test ctest entry and the
+        // whole-binary <label>.suite entry (which run the same test
+        // concurrently under `ctest --preset all -j`) off each
+        // other's directories.
         dir_ = fs::path(::testing::TempDir()) /
                ("qismet_journal_" +
                 std::string(::testing::UnitTest::GetInstance()
                                 ->current_test_info()
-                                ->name()));
+                                ->name()) +
+                "_" + std::to_string(::getpid()));
         fs::remove_all(dir_);
         fs::create_directories(dir_);
     }

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace qismet {
 namespace {
 
@@ -20,7 +22,8 @@ class ServeManifestTest : public ::testing::Test
                ("qismet_manifest_" +
                 std::string(::testing::UnitTest::GetInstance()
                                 ->current_test_info()
-                                ->name()));
+                                ->name()) +
+                "_" + std::to_string(::getpid()));
         fs::remove_all(dir_);
         fs::create_directories(dir_);
         path_ = (dir_ / "manifest.qsvm").string();

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/rng.hpp"
 #include "fault/crash_point.hpp"
 #include "vqe/run_digest.hpp"
@@ -75,7 +77,8 @@ fs::path
 freshDir(const std::string &name)
 {
     const fs::path dir =
-        fs::path(::testing::TempDir()) / ("qismet_serve_" + name);
+        fs::path(::testing::TempDir()) /
+        ("qismet_serve_" + name + "_" + std::to_string(::getpid()));
     fs::remove_all(dir);
     return dir;
 }

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "soak_workload.hpp"
 
 namespace qismet {
@@ -48,7 +50,8 @@ runFleet(const std::vector<ServeJobSpec> &specs, std::size_t workers,
 TEST(ServeSoak, ThousandRunSoak)
 {
     const fs::path dir =
-        fs::path(::testing::TempDir()) / "qismet_soak_thousand";
+        fs::path(::testing::TempDir()) /
+        ("qismet_soak_thousand_" + std::to_string(::getpid()));
     fs::remove_all(dir);
     const std::size_t kRuns = 1000;
     const std::vector<ServeJobSpec> specs =

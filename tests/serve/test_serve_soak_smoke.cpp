@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "soak_workload.hpp"
 
 namespace qismet {
@@ -24,7 +26,8 @@ namespace fs = std::filesystem;
 TEST(ServeSoak, SoakSmoke)
 {
     const fs::path dir =
-        fs::path(::testing::TempDir()) / "qismet_soak_smoke";
+        fs::path(::testing::TempDir()) /
+        ("qismet_soak_smoke_" + std::to_string(::getpid()));
     fs::remove_all(dir);
     const std::vector<ServeJobSpec> specs =
         test::soakWorkload(31337, 24, true);

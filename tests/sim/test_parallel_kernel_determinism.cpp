@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Thread-count determinism for the intra-state parallel kernels: the
+ * fixed-block partition (common/block_partition.hpp) is a pure function
+ * of the problem size, so amplitudes, density-matrix elements and every
+ * ordered reduction must be **byte-identical** at 1/2/4/8 worker
+ * threads. The widths straddle the parallel threshold (default 1024
+ * elements): a 9-qubit statevector stays on the serial path, 10 sits
+ * exactly on the boundary, 11 is above it; the density-matrix sizes do
+ * the same in dim^2 elements (5 qubits = 1024).
+ *
+ * Also pinned here: flipping the threshold itself never changes
+ * elementwise-kernel bits (only reductions regroup across the
+ * threshold, by design — the serial side keeps the legacy summation
+ * order), and within any one threshold setting the reductions are
+ * bit-stable across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/block_partition.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/compiled_circuit.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/kraus.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+namespace {
+
+class GlobalThreadsGuard
+{
+  public:
+    GlobalThreadsGuard() : saved_(ParallelExecutor::global().threads()) {}
+    ~GlobalThreadsGuard() { ParallelExecutor::setGlobalThreads(saved_); }
+
+  private:
+    std::size_t saved_;
+};
+
+class ThresholdGuard
+{
+  public:
+    ~ThresholdGuard() { setIntraStateParallelThreshold(0); }
+};
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+Circuit
+randomKernelCircuit(int n, Rng &rng)
+{
+    // Mix that compiles into every kernel class: dense 2x2 (h/rx), 4x4
+    // (fused entangler neighborhoods), diagonal runs (rz/cz/s/t) and
+    // permutations (x/cx/swap).
+    Circuit c(n);
+    for (int g = 0; g < 8 * n; ++g) {
+        const int q = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(n)));
+        int p = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(n - 1)));
+        if (p >= q)
+            ++p;
+        switch (rng.uniformInt(9)) {
+          case 0: c.h(q); break;
+          case 1: c.x(q); break;
+          case 2: c.s(q); break;
+          case 3: c.t(q); break;
+          case 4: c.rx(q, rng.uniform(-M_PI, M_PI)); break;
+          case 5: c.rz(q, rng.uniform(-M_PI, M_PI)); break;
+          case 6: c.cx(q, p); break;
+          case 7: c.cz(q, p); break;
+          default: c.swap(q, p); break;
+        }
+    }
+    return c;
+}
+
+struct SvRun
+{
+    std::vector<Complex> amps;
+    double norm = 0.0;
+    double ez = 0.0;
+    Complex overlap;
+};
+
+SvRun
+runStatevector(int n, const CompiledCircuit &cc)
+{
+    Statevector sv(n);
+    sv.run(cc);
+    Statevector ref(n); // |0..0>, fixed second operand for the overlap
+    SvRun r;
+    r.amps = sv.amplitudes();
+    r.norm = sv.norm();
+    r.ez = sv.expectationZMask((std::uint64_t{1} << n) - 1);
+    r.overlap = sv.innerProduct(ref);
+    return r;
+}
+
+class StatevectorThreadDeterminismTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StatevectorThreadDeterminismTest, BitIdenticalAcrossThreadCounts)
+{
+    const int n = GetParam();
+    GlobalThreadsGuard guard;
+    Rng rng(static_cast<std::uint64_t>(5200 + n));
+    const CompiledCircuit cc(randomKernelCircuit(n, rng));
+
+    ParallelExecutor::setGlobalThreads(1);
+    const SvRun base = runStatevector(n, cc);
+    for (const std::size_t threads : kThreadCounts) {
+        ParallelExecutor::setGlobalThreads(threads);
+        const SvRun run = runStatevector(n, cc);
+        EXPECT_EQ(std::memcmp(run.amps.data(), base.amps.data(),
+                              base.amps.size() * sizeof(Complex)),
+                  0)
+            << n << " qubits: amplitudes differ at " << threads
+            << " threads";
+        EXPECT_EQ(run.norm, base.norm) << threads << " threads";
+        EXPECT_EQ(run.ez, base.ez) << threads << " threads";
+        EXPECT_EQ(run.overlap, base.overlap) << threads << " threads";
+    }
+}
+
+// 9/10/11 qubits = 512/1024/2048 amplitudes: below, at, above the
+// default 1024-element parallel threshold.
+INSTANTIATE_TEST_SUITE_P(ThresholdBoundary,
+                         StatevectorThreadDeterminismTest,
+                         ::testing::Values(9, 10, 11));
+
+struct DmRun
+{
+    std::vector<Complex> rho;
+    double trace = 0.0;
+    double purity = 0.0;
+    double fidelity = 0.0;
+};
+
+DmRun
+runDensityMatrix(int n, const Circuit &c, const KrausChannel &ch)
+{
+    DensityMatrix rho(n);
+    rho.run(c);
+    for (int q = 0; q < n; ++q)
+        rho.applyChannel1q(q, ch);
+    DmRun r;
+    r.rho.reserve(rho.dim() * rho.dim());
+    for (std::size_t i = 0; i < rho.dim(); ++i)
+        for (std::size_t j = 0; j < rho.dim(); ++j)
+            r.rho.push_back(rho.element(i, j));
+    r.trace = rho.trace();
+    r.purity = rho.purity();
+    r.fidelity = rho.fidelity(Statevector(n));
+    return r;
+}
+
+class DensityMatrixThreadDeterminismTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DensityMatrixThreadDeterminismTest, BitIdenticalAcrossThreadCounts)
+{
+    const int n = GetParam();
+    GlobalThreadsGuard guard;
+    Rng rng(static_cast<std::uint64_t>(6300 + n));
+    const Circuit c = randomKernelCircuit(n, rng);
+    const KrausChannel ch = KrausChannel::amplitudeDamping(0.05).then(
+        KrausChannel::phaseDamping(0.03));
+
+    ParallelExecutor::setGlobalThreads(1);
+    const DmRun base = runDensityMatrix(n, c, ch);
+    for (const std::size_t threads : kThreadCounts) {
+        ParallelExecutor::setGlobalThreads(threads);
+        const DmRun run = runDensityMatrix(n, c, ch);
+        EXPECT_EQ(std::memcmp(run.rho.data(), base.rho.data(),
+                              base.rho.size() * sizeof(Complex)),
+                  0)
+            << n << " qubits: rho differs at " << threads << " threads";
+        EXPECT_EQ(run.trace, base.trace) << threads << " threads";
+        EXPECT_EQ(run.purity, base.purity) << threads << " threads";
+        EXPECT_EQ(run.fidelity, base.fidelity) << threads << " threads";
+    }
+}
+
+// 4/5/6 qubits = 256/1024/4096 density-matrix elements: below, at,
+// above the default threshold measured in dim^2.
+INSTANTIATE_TEST_SUITE_P(ThresholdBoundary,
+                         DensityMatrixThreadDeterminismTest,
+                         ::testing::Values(4, 5, 6));
+
+TEST(ThresholdInvariance, GateKernelsBitStableAcrossThresholdSettings)
+{
+    // Elementwise kernels compute each amplitude independently, so the
+    // serial sweep and every blocked partition must produce the same
+    // bits — flipping the threshold (or crossing it by state size) can
+    // never move a gate result.
+    GlobalThreadsGuard guard;
+    ThresholdGuard thresholdGuard;
+    ParallelExecutor::setGlobalThreads(4);
+
+    const int n = 10;
+    Rng rng(777);
+    const CompiledCircuit cc(randomKernelCircuit(n, rng));
+
+    setIntraStateParallelThreshold(1);
+    Statevector blocked(n);
+    blocked.run(cc);
+
+    setIntraStateParallelThreshold(1 << 20); // force the serial path
+    Statevector serial(n);
+    serial.run(cc);
+
+    EXPECT_EQ(std::memcmp(blocked.amplitudes().data(),
+                          serial.amplitudes().data(),
+                          serial.dim() * sizeof(Complex)),
+              0)
+        << "gate kernels changed bits across the parallel threshold";
+}
+
+TEST(ThresholdInvariance, ReductionsBitStableAcrossThreadsPerSetting)
+{
+    // Reductions MAY regroup when the threshold itself moves (serial
+    // legacy order below, fixed blocks above — documented contract);
+    // within either setting they must be bit-stable across threads.
+    GlobalThreadsGuard guard;
+    ThresholdGuard thresholdGuard;
+
+    const int n = 10;
+    Rng rng(888);
+    const CompiledCircuit cc(randomKernelCircuit(n, rng));
+
+    for (const std::size_t threshold : {std::size_t{1}, std::size_t{1}
+                                                            << 20}) {
+        setIntraStateParallelThreshold(threshold);
+        ParallelExecutor::setGlobalThreads(1);
+        Statevector sv(n);
+        sv.run(cc);
+        const double norm = sv.norm();
+        const double ez = sv.expectationZMask(0x3ff);
+        for (const std::size_t threads : kThreadCounts) {
+            ParallelExecutor::setGlobalThreads(threads);
+            EXPECT_EQ(sv.norm(), norm)
+                << "threshold " << threshold << ", " << threads
+                << " threads";
+            EXPECT_EQ(sv.expectationZMask(0x3ff), ez)
+                << "threshold " << threshold << ", " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(ThresholdInvariance, BlockPartitionIsPureFunctionOfSize)
+{
+    // The partition the kernels rely on: kIntraStateBlocks contiguous
+    // near-equal ranges tiling [0, units), independent of thread count.
+    for (const std::size_t units : {std::size_t{17}, std::size_t{512},
+                                    std::size_t{1024},
+                                    std::size_t{4096}}) {
+        std::size_t covered = 0;
+        std::size_t prevEnd = 0;
+        for (std::size_t b = 0; b < kIntraStateBlocks; ++b) {
+            const BlockRange r = intraStateBlock(units, b);
+            EXPECT_EQ(r.begin, prevEnd) << "units " << units;
+            EXPECT_LE(r.end - r.begin,
+                      (units + kIntraStateBlocks - 1) / kIntraStateBlocks)
+                << "units " << units;
+            covered += r.end - r.begin;
+            prevEnd = r.end;
+        }
+        EXPECT_EQ(prevEnd, units);
+        EXPECT_EQ(covered, units);
+    }
+}
+
+} // namespace
+} // namespace qismet

@@ -55,6 +55,19 @@ UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 def load(path):
     with open(path) as f:
         report = json.load(f)
+    # google-benchmark stamps the *benchmark library's* build type into
+    # the context. A debug-instrumented measurement loop skews absolute
+    # numbers, so flag any report carrying one — comparisons against it
+    # are advisory. Warn, never fail: the machine may simply not have a
+    # release libbenchmark installed.
+    build_type = report.get("context", {}).get("library_build_type", "")
+    if build_type == "debug":
+        print(
+            f"bench-compare: WARNING: {path} was recorded with a debug "
+            "benchmark library (context.library_build_type=debug); "
+            "timings include instrumentation overhead",
+            file=sys.stderr,
+        )
     out = {}
     for b in report.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.

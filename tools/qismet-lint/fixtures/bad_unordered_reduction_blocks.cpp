@@ -1,0 +1,67 @@
+// Fixture: block-partitioned reductions that stash per-block partials
+// in unordered containers and fold them in hash order — every fold
+// below must trigger the unordered-reduction rule. This file is never
+// compiled; it only feeds the linter's test suite.
+//
+// The correct shape is common/block_partition.hpp's orderedBlockReduce:
+// partials land in a fixed-size array indexed by block number and are
+// folded serially in block order, so the grouping is a pure function of
+// the problem size, not of hashing or scheduling.
+#include <cstddef>
+#include <numeric>
+#include <unordered_map>
+
+namespace blocks {
+
+struct BlockRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+BlockRange intraStateBlock(std::size_t units, std::size_t index);
+
+extern std::unordered_map<std::size_t, double> g_blockPartials;
+
+double
+foldPartialsInHashOrder()
+{
+    // The partials were computed per block, but the map forgot the
+    // block order; this fold follows hash order.
+    double total = 0.0;
+    for (const auto &entry : g_blockPartials) {
+        total += entry.second;
+    }
+    return total;
+}
+
+double
+accumulatePartials(
+    const std::unordered_map<std::size_t, double> &partials)
+{
+    return std::accumulate(partials.begin(), partials.end(), 0.0,
+                           [](double acc, const auto &kv) {
+                               return acc + kv.second;
+                           });
+}
+
+double
+blockedNorm(const double *amps, std::size_t units)
+{
+    std::unordered_map<std::size_t, double> partial;
+    for (std::size_t b = 0; b < 16; ++b) {
+        const BlockRange r = intraStateBlock(units, b);
+        double s = 0.0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+            s += amps[i] * amps[i];
+        }
+        partial[b] = s;
+    }
+    double total = 0.0;
+    for (const auto &kv : partial) {
+        total += kv.second; // hash-order fold of ordered block work
+    }
+    return total;
+}
+
+} // namespace blocks

@@ -638,6 +638,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadFixtureCase{"bad_ambient_rng.cpp", "ambient-rng", 5},
         BadFixtureCase{"bad_unordered_reduction.cpp", "unordered-reduction",
                        3},
+        BadFixtureCase{"bad_unordered_reduction_blocks.cpp",
+                       "unordered-reduction", 3},
         BadFixtureCase{"bad_raw_thread.cpp", "raw-thread", 3},
         BadFixtureCase{"bad_naked_new.cpp", "naked-new", 4},
         BadFixtureCase{"bad_split_in_task.cpp", "split-in-task", 3},
