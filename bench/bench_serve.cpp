@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/chaos.hpp"
 #include "serve/scheduler.hpp"
 #include "support.hpp"
 
@@ -43,14 +44,17 @@ makeWorkload(std::size_t runs)
     return specs;
 }
 
-/** Run the workload at one worker count; returns {seconds, digest}. */
+/** Run the workload at one worker count; returns {seconds, digest}.
+ * With a chaos schedule the fleet faults and migrates while it is
+ * being measured — the digest check holds regardless. */
 std::pair<double, std::uint64_t>
 soakOnce(const std::vector<ServeJobSpec> &specs, std::size_t workers,
-         std::size_t backends)
+         std::size_t backends, const ChaosSchedule *chaos = nullptr)
 {
     ServeSchedulerConfig cfg;
     cfg.workers = workers;
     cfg.backends.assign(backends, "guadalupe");
+    cfg.chaos = chaos;
 
     const auto start = std::chrono::steady_clock::now();
     ServeScheduler scheduler(cfg);
@@ -122,5 +126,38 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("\nall worker counts produced identical digests\n");
+
+    // Second pass: the same workload through a chaotic fleet (staggered
+    // outages + a slowdown window). Migrations cost throughput but no
+    // spec carries a migration budget, so every run still completes and
+    // the combined digest must equal the calm fleet's — chaos overhead
+    // measured, determinism re-proven.
+    ChaosConfig chaosCfg;
+    chaosCfg.backends = backends;
+    chaosCfg.tenants = 4;
+    chaosCfg.horizonTicks = runs * 2 < 16 ? 16 : runs * 2;
+    const ChaosSchedule schedule = generateChaosSchedule(chaosCfg, 99);
+    std::printf("\nchaotic fleet (%zu events, same workload):\n\n",
+                schedule.events().size());
+    std::printf("%-8s %-10s %-10s %s\n", "workers", "seconds",
+                "runs/s", "combined digest");
+    for (std::size_t workers : {1, 2, 4, 8}) {
+        const auto [seconds, digest] =
+            soakOnce(specs, workers, backends, &schedule);
+        if (digest != reference)
+            mismatch = true;
+        std::printf("%-8zu %-10.3f %-10.1f %016llx%s\n", workers,
+                    seconds, static_cast<double>(runs) / seconds,
+                    static_cast<unsigned long long>(digest),
+                    digest == reference ? "" : "  << MISMATCH");
+    }
+    if (mismatch) {
+        std::fprintf(stderr,
+                     "\nbench_serve: chaotic-fleet digest diverged "
+                     "from the calm fleet — migration leaked into a "
+                     "run's randomness\n");
+        return 1;
+    }
+    std::printf("\nchaotic fleet matched the calm fleet's digests\n");
     return 0;
 }

@@ -56,6 +56,16 @@ inline constexpr std::uint64_t kBackendLease = 3;
 inline constexpr std::uint64_t kSoakSpec = 4;
 /** Crash-plan draws for one soak spec (index = spec ordinal). */
 inline constexpr std::uint64_t kSoakCrashPlan = 5;
+/** Chaos backend-outage windows (index = backend id). */
+inline constexpr std::uint64_t kChaosOutage = 6;
+/** Chaos backend-slowdown windows (index = backend id). */
+inline constexpr std::uint64_t kChaosSlowdown = 7;
+/** Chaos calibration-drift storms (index = backend id). */
+inline constexpr std::uint64_t kChaosStorm = 8;
+/** Chaos tenant burst floods (index = flood ordinal). */
+inline constexpr std::uint64_t kChaosFlood = 9;
+/** Chaos-driver workload generator (index = spec ordinal). */
+inline constexpr std::uint64_t kChaosWorkload = 10;
 } // namespace StreamDomain
 
 /**

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SimClock: the library's simulated-time source, shared by the fault
+ * layer's retry backoff (seconds) and the serve layer's circuit
+ * breakers (ticks).
+ *
+ * Nothing in this repository may read a wall clock on a path that
+ * feeds results — wall time would make every trajectory
+ * machine-dependent. Instead, simulated time is *advanced explicitly*
+ * by the component that owns the clock:
+ *
+ *  - VqeDriver owns one SimClock per run and advances it in seconds
+ *    (one job-slot duration per executed job, plus the retry policy's
+ *    backoff per fault retry). Because the advance sequence is a pure
+ *    function of the run's spec, `seconds()` is bit-identical across
+ *    thread counts, resumes and worker placements — which is what lets
+ *    a per-job deadline budget be enforced deterministically.
+ *
+ *  - ServeCore owns the fleet clock and advances it in ticks (one tick
+ *    per leg outcome, plus explicit advances from the chaos harness
+ *    and the idle-fleet time skip). Breaker cooldowns and chaos
+ *    windows are expressed in these ticks. Fleet ticks are
+ *    path-dependent under threads — only components whose outputs are
+ *    allowed to vary with interleaving (health telemetry, breaker
+ *    timing) may consume them; run randomness never does.
+ *
+ * The two time bases never mix: a run's seconds belong to the run, the
+ * fleet's ticks belong to the fleet.
+ */
+
+#ifndef QISMET_COMMON_SIM_CLOCK_HPP
+#define QISMET_COMMON_SIM_CLOCK_HPP
+
+#include <cstdint>
+
+namespace qismet {
+
+/** Explicitly advanced simulated clock; never reads wall time. */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current simulated tick count. */
+    std::uint64_t now() const { return ticks_; }
+
+    /** Current simulated seconds. */
+    double seconds() const { return seconds_; }
+
+    /** Advance by `ticks` ticks. */
+    void advanceTicks(std::uint64_t ticks) { ticks_ += ticks; }
+
+    /**
+     * Advance the tick count to `tick` (discrete-event time skip).
+     * A target in the past is a no-op — time never runs backwards.
+     */
+    void advanceTo(std::uint64_t tick)
+    {
+        if (tick > ticks_)
+            ticks_ = tick;
+    }
+
+    /** Advance by `s` simulated seconds (s >= 0). */
+    void advanceSeconds(double s) { seconds_ += s; }
+
+    /** Restore a checkpointed tick count (resume path). */
+    void restoreTicks(std::uint64_t ticks) { ticks_ = ticks; }
+
+    /**
+     * Restore checkpointed seconds (resume path). The subsequent
+     * advance sequence re-accumulates bit-identically because double
+     * addition from an equal start over an equal sequence is exact
+     * replay.
+     */
+    void restoreSeconds(double s) { seconds_ = s; }
+
+  private:
+    std::uint64_t ticks_ = 0;
+    double seconds_ = 0.0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_COMMON_SIM_CLOCK_HPP

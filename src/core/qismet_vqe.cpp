@@ -48,6 +48,7 @@ runConfigDigest(const QismetVqeConfig &config, int num_params)
     enc.writeF64(config.faultRetry.baseBackoffSeconds);
     enc.writeF64(config.faultRetry.backoffMultiplier);
     enc.writeF64(config.faultRetry.maxBackoffSeconds);
+    enc.writeF64(config.deadlineSimSeconds);
     enc.writeI64(num_params);
     return fnv1a64(enc.bytes());
 }
@@ -288,6 +289,7 @@ QismetVqe::run(const QismetVqeConfig &config) const
     dcfg.retry.maxRetries = config.retryBudget;
     if (checkpoint)
         dcfg.checkpoint = &*checkpoint;
+    dcfg.deadlineSimSeconds = config.deadlineSimSeconds;
     dcfg.crashAfterIters = config.crashAfterIters;
     if (config.crashAfterIters > 0 && config.checkpointDir.empty())
         throw std::invalid_argument(

@@ -118,6 +118,13 @@ struct QismetVqeConfig
     /** Snapshot cadence in optimizer iterations (>= 1). */
     std::size_t snapshotEveryIters = 1;
     /**
+     * Deadline budget over the run's simulated seconds; 0 = none. The
+     * run stops at the first optimizer-iteration boundary at or past
+     * the budget (VqeRunResult::deadlineExpired). Included in
+     * runConfigDigest: a deadline changes the trajectory.
+     */
+    double deadlineSimSeconds = 0.0;
+    /**
      * Per-run crash injection (serve soak harness): when > 0, the run
      * throws SimulatedCrash at this optimizer-iteration boundary after
      * any due snapshot. Requires `checkpointDir`. Excluded from

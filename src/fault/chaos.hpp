@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fleet-scoped chaos schedules: deterministic backend outage windows,
+ * slowdown multipliers, calibration-drift storms and tenant burst
+ * floods for the serve layer.
+ *
+ * A ChaosSchedule is the fleet analogue of a FaultSchedule — a citable
+ * artifact drawn ahead of time from dedicated Rng::splitStream domains
+ * (StreamDomain::kChaosOutage/kChaosSlowdown/kChaosStorm/kChaosFlood),
+ * never from live scheduler state. Two processes given the same seed
+ * and ChaosConfig derive byte-identical schedules, which is what makes
+ * a chaos replay comparable across worker counts and across a
+ * kill(43)+resume boundary (the resumed process re-derives the same
+ * schedule from the same CLI arguments).
+ *
+ * Event windows are expressed in fleet ticks (ServeCore's SimClock):
+ * [startTick, endTick). Fleet ticks are interleaving-dependent under
+ * threads, so *which* leg collides with a window may vary with worker
+ * count — by design. The determinism contract of chaos replay is
+ * outcome purity, not collision identity: every job's final digest is a
+ * pure function of its spec regardless of how many backend faults and
+ * migrations it suffered along the way (DESIGN.md §15).
+ */
+
+#ifndef QISMET_FAULT_CHAOS_HPP
+#define QISMET_FAULT_CHAOS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qismet {
+
+/** Fleet-scoped chaos event families. */
+enum class ChaosKind : std::uint8_t
+{
+    /** Backend refuses work: legs dispatched to it fault immediately,
+     * completions inside the window are lost in transit. */
+    BackendOutage = 0,
+    /** Backend responds slowly: success latency observations are
+     * multiplied by `magnitude` while the window is open. */
+    BackendSlowdown = 1,
+    /** Calibration drifts: `count` extra draws fold into the backend's
+     * calibration stream when the storm is first observed. */
+    CalibrationStorm = 2,
+    /** A tenant floods the queue with `count` lowest-priority jobs
+     * (materialized by the chaos driver, not the scheduler). */
+    TenantFlood = 3
+};
+
+std::string chaosKindName(ChaosKind kind);
+
+/** One scheduled chaos event. */
+struct ChaosEvent
+{
+    ChaosKind kind = ChaosKind::BackendOutage;
+    /** Backend id (outage/slowdown/storm) or tenant id (flood). */
+    std::uint64_t target = 0;
+    /** Window in fleet ticks, [startTick, endTick). */
+    std::uint64_t startTick = 0;
+    std::uint64_t endTick = 0;
+    /** Slowdown multiplier (>= 1) for BackendSlowdown; unused else. */
+    double magnitude = 1.0;
+    /** Storm drift draws / flood burst size; unused else. */
+    std::uint64_t count = 0;
+};
+
+/** Generation knobs for generateChaosSchedule. */
+struct ChaosConfig
+{
+    /** Fleet size the schedule targets (>= 1). */
+    std::size_t backends = 2;
+    /** Tenant-id space floods draw from (>= 1). */
+    std::uint64_t tenants = 4;
+    /** Tick horizon all windows fall inside (>= 16). */
+    std::uint64_t horizonTicks = 256;
+    /** Mean outage windows per backend. */
+    double outagesPerBackend = 1.0;
+    /** Mean slowdown windows per backend. */
+    double slowdownsPerBackend = 1.0;
+    /** Mean calibration storms per backend. */
+    double stormsPerBackend = 0.5;
+    /** Tenant flood events across the whole schedule. */
+    std::size_t floods = 1;
+
+    /** @throws std::invalid_argument on malformed fields. */
+    void validate() const;
+};
+
+/**
+ * An immutable, query-friendly chaos schedule. Events are kept sorted
+ * by (startTick, kind, target) so equal event sets digest equal.
+ */
+class ChaosSchedule
+{
+  public:
+    /** Empty schedule: no chaos, every query is benign. */
+    ChaosSchedule() = default;
+
+    /** Wrap explicit events (sorted internally). */
+    explicit ChaosSchedule(std::vector<ChaosEvent> events);
+
+    std::size_t size() const { return events_.size(); }
+    const std::vector<ChaosEvent> &events() const { return events_; }
+
+    /** True when an outage window covers (backend, tick). */
+    bool outageAt(std::uint64_t backend_id, std::uint64_t tick) const;
+
+    /**
+     * Combined slowdown multiplier at (backend, tick): the product of
+     * all open slowdown windows, 1.0 when none is open.
+     */
+    double slowdownAt(std::uint64_t backend_id, std::uint64_t tick) const;
+
+    /**
+     * Indices (into events()) of calibration storms open at
+     * (backend, tick). The consumer tracks which it already applied —
+     * a storm folds into the calibration stream exactly once.
+     */
+    std::vector<std::size_t> stormsAt(std::uint64_t backend_id,
+                                      std::uint64_t tick) const;
+
+    /** All tenant-flood events, in schedule order. */
+    std::vector<ChaosEvent> floods() const;
+
+    /** Last endTick across all events (0 for an empty schedule). */
+    std::uint64_t horizon() const;
+
+    /**
+     * Deterministic FNV-1a digest over the encoded events. Stamped
+     * into the serve manifest's fleet digest so a resume under a
+     * different chaos schedule is rejected loudly.
+     */
+    std::uint64_t digest() const;
+
+  private:
+    std::vector<ChaosEvent> events_;
+};
+
+/**
+ * Draw a chaos schedule from (config, seed) via the dedicated
+ * StreamDomain chaos streams. Pure: equal inputs give byte-identical
+ * schedules in any process, at any thread count.
+ */
+ChaosSchedule generateChaosSchedule(const ChaosConfig &config,
+                                    std::uint64_t seed);
+
+} // namespace qismet
+
+#endif // QISMET_FAULT_CHAOS_HPP

@@ -41,6 +41,9 @@ ServeJobSpec::validate() const
             throw std::invalid_argument(
                 "ServeJobSpec: crashPlan must be strictly increasing");
     }
+    if (deadlineSimSeconds < 0.0)
+        throw std::invalid_argument(
+            "ServeJobSpec: negative deadline budget");
 }
 
 void
@@ -58,6 +61,8 @@ ServeJobSpec::encode(Encoder &enc) const
     enc.writeU64(crashPlan.size());
     for (std::uint64_t it : crashPlan)
         enc.writeU64(it);
+    enc.writeF64(deadlineSimSeconds);
+    enc.writeU64(migrationBudget);
 }
 
 ServeJobSpec
@@ -77,6 +82,8 @@ ServeJobSpec::decode(Decoder &dec)
     spec.crashPlan.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i)
         spec.crashPlan.push_back(dec.readU64());
+    spec.deadlineSimSeconds = dec.readF64();
+    spec.migrationBudget = dec.readU64();
     spec.validate();
     return spec;
 }
@@ -137,6 +144,7 @@ buildRunConfig(const ServeJobSpec &spec)
         cfg.faults.referenceLossRate = 0.01;
         cfg.faults.burstCoupling = 1.0;
     }
+    cfg.deadlineSimSeconds = spec.deadlineSimSeconds;
     return cfg;
 }
 

@@ -62,6 +62,22 @@ struct ServeJobSpec
      * (stateDir set). Empty = run to completion in one leg.
      */
     std::vector<std::uint64_t> crashPlan;
+    /**
+     * Deadline budget in the run's own simulated seconds (job slots +
+     * fault-retry backoff); 0 = none. The run stops cleanly at the
+     * first optimizer-iteration boundary past the budget. Because the
+     * run's simulated time is a pure function of this spec, the
+     * deadline truncates at the same iteration on every worker count,
+     * resume lineage and backend — deterministically.
+     */
+    double deadlineSimSeconds = 0.0;
+    /**
+     * Backend-fault migrations the job tolerates before it is marked
+     * Failed; 0 = unlimited. Each migration re-queues the same leg
+     * (RNG stream and checkpoint intact), so the budget bounds wasted
+     * dispatches, not correctness.
+     */
+    std::uint64_t migrationBudget = 0;
 
     /** @throws std::invalid_argument on malformed fields. */
     void validate() const;

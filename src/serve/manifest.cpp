@@ -1,5 +1,7 @@
 #include "serve/manifest.hpp"
 
+#include <algorithm>
+
 namespace qismet {
 
 namespace {
@@ -13,12 +15,14 @@ constexpr std::uint32_t kMaxFrameLen = 1u << 20;
 constexpr std::uint8_t kFrameSubmit = 1;
 constexpr std::uint8_t kFrameCancel = 2;
 constexpr std::uint8_t kFrameComplete = 3;
+constexpr std::uint8_t kFrameShed = 4;
+constexpr std::uint8_t kFrameFailed = 5;
+constexpr std::uint8_t kFrameHealth = 6;
 
 bool
 validFrameType(std::uint8_t type)
 {
-    return type == kFrameSubmit || type == kFrameCancel ||
-           type == kFrameComplete;
+    return type >= kFrameSubmit && type <= kFrameHealth;
 }
 
 std::uint64_t
@@ -135,12 +139,39 @@ scanManifest(const std::string &path)
             else if (type == kFrameCancel) {
                 result.cancelled.insert(body.readU64());
             }
+            else if (type == kFrameShed) {
+                result.shed.insert(body.readU64());
+            }
+            else if (type == kFrameFailed) {
+                result.failed.insert(body.readU64());
+            }
+            else if (type == kFrameHealth) {
+                HealthTransition t;
+                t.backendId =
+                    static_cast<std::size_t>(body.readU64());
+                t.tick = body.readU64();
+                t.health = static_cast<BackendHealth>(body.readU8());
+                t.breaker = static_cast<BreakerState>(body.readU8());
+                t.cooldownTicks = body.readU64();
+                t.breakerOpenedTick = body.readU64();
+                t.consecutiveFaults = body.readU32();
+                t.consecutiveSuccesses = body.readU32();
+                result.lastTick = std::max(result.lastTick, t.tick);
+                result.health.push_back(t);
+            }
             else {
                 const std::uint64_t jobId = body.readU64();
                 ManifestCompletion c;
                 c.trajectoryDigest = body.readString();
                 c.finalEstimate = body.readF64();
                 c.jobsUsed = body.readU64();
+                c.tick = body.readU64();
+                c.deadlineExpired = body.readBool();
+                c.retriesUsed = body.readU64();
+                c.faultRetries = body.readU64();
+                c.backoffSeconds = body.readF64();
+                c.simTimeSeconds = body.readF64();
+                result.lastTick = std::max(result.lastTick, c.tick);
                 result.completed.emplace(jobId, std::move(c));
             }
         }
@@ -214,7 +245,44 @@ ServeManifest::appendComplete(std::uint64_t job_id,
     enc.writeString(completion.trajectoryDigest);
     enc.writeF64(completion.finalEstimate);
     enc.writeU64(completion.jobsUsed);
+    enc.writeU64(completion.tick);
+    enc.writeBool(completion.deadlineExpired);
+    enc.writeU64(completion.retriesUsed);
+    enc.writeU64(completion.faultRetries);
+    enc.writeF64(completion.backoffSeconds);
+    enc.writeF64(completion.simTimeSeconds);
     appendFrame(kFrameComplete, enc.bytes());
+}
+
+void
+ServeManifest::appendShed(std::uint64_t job_id)
+{
+    Encoder enc;
+    enc.writeU64(job_id);
+    appendFrame(kFrameShed, enc.bytes());
+}
+
+void
+ServeManifest::appendFailed(std::uint64_t job_id)
+{
+    Encoder enc;
+    enc.writeU64(job_id);
+    appendFrame(kFrameFailed, enc.bytes());
+}
+
+void
+ServeManifest::appendHealth(const HealthTransition &transition)
+{
+    Encoder enc;
+    enc.writeU64(static_cast<std::uint64_t>(transition.backendId));
+    enc.writeU64(transition.tick);
+    enc.writeU8(static_cast<std::uint8_t>(transition.health));
+    enc.writeU8(static_cast<std::uint8_t>(transition.breaker));
+    enc.writeU64(transition.cooldownTicks);
+    enc.writeU64(transition.breakerOpenedTick);
+    enc.writeU32(transition.consecutiveFaults);
+    enc.writeU32(transition.consecutiveSuccesses);
+    appendFrame(kFrameHealth, enc.bytes());
 }
 
 } // namespace qismet

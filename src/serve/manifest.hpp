@@ -1,9 +1,11 @@
 /**
  * @file
  * ServeManifest: the scheduler's own write-ahead journal, recording
- * job submissions, cancellations and completions so a killed serve
- * process (exit 43 mid-soak) can rebuild its job table and resume
- * every in-flight run from its per-run checkpoint.
+ * job submissions, cancellations, completions, admission sheds,
+ * migration failures and backend health/breaker transitions so a
+ * killed serve process (exit 43 mid-soak) can rebuild its job table,
+ * its fleet health state and its fleet clock, and resume every
+ * in-flight run from its per-run checkpoint.
  *
  * File layout mirrors the run journal (persist/journal.hpp):
  *
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "common/atomic_file.hpp"
+#include "serve/backend_pool.hpp"
 #include "serve/job_spec.hpp"
 
 namespace qismet {
@@ -41,7 +44,14 @@ class ManifestError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint32_t kManifestVersion = 1;
+/**
+ * Version 2 adds the fleet-resilience frames: admission sheds,
+ * migration-budget failures and backend health/breaker transitions,
+ * plus the fleet tick + deadline flag on completions. A v1 manifest is
+ * rejected (the serve layer has no long-lived stores to migrate; a
+ * fresh soak starts a fresh manifest).
+ */
+inline constexpr std::uint32_t kManifestVersion = 2;
 
 /** Recorded outcome of one completed job. */
 struct ManifestCompletion
@@ -49,6 +59,16 @@ struct ManifestCompletion
     std::string trajectoryDigest;
     double finalEstimate = 0.0;
     std::uint64_t jobsUsed = 0;
+    /** Fleet tick when the completion was recorded (clock restore). */
+    std::uint64_t tick = 0;
+    /** The run stopped at its simulated-time deadline budget. */
+    bool deadlineExpired = false;
+    /** Retry/backoff telemetry, preserved so poll() after a resume
+     * reports the same degradation counters as the original process. */
+    std::uint64_t retriesUsed = 0;
+    std::uint64_t faultRetries = 0;
+    double backoffSeconds = 0.0;
+    double simTimeSeconds = 0.0;
 };
 
 /** Everything a scan recovers from a manifest file. */
@@ -59,6 +79,15 @@ struct ManifestScan
     std::vector<std::pair<std::uint64_t, ServeJobSpec>> submitted;
     std::map<std::uint64_t, ManifestCompletion> completed;
     std::set<std::uint64_t> cancelled;
+    /** Jobs dropped by admission control (queue bound). */
+    std::set<std::uint64_t> shed;
+    /** Jobs failed by migration-budget exhaustion. */
+    std::set<std::uint64_t> failed;
+    /** Health/breaker transitions in record order; replaying them in
+     * order reconstructs the fleet's health state at the crash. */
+    std::vector<HealthTransition> health;
+    /** Highest fleet tick recorded by any frame (clock restore). */
+    std::uint64_t lastTick = 0;
     std::uint64_t cleanOffset = 0;
     bool tornTail = false;
     std::string diagnostic;
@@ -85,6 +114,9 @@ class ServeManifest
     void appendCancel(std::uint64_t job_id);
     void appendComplete(std::uint64_t job_id,
                         const ManifestCompletion &completion);
+    void appendShed(std::uint64_t job_id);
+    void appendFailed(std::uint64_t job_id);
+    void appendHealth(const HealthTransition &transition);
 
   private:
     void appendFrame(std::uint8_t type, const std::string &payload);

@@ -28,11 +28,21 @@
  *
  * Durability: with a stateDir, every job directory stateDir/run-<id>
  * holds the run's own journal+snapshot, and stateDir/manifest.qsvm
- * records submissions/outcomes write-ahead. Killing the process
- * (CrashPoints Exit at kCrashServeJobBoundary, exit 43) and
- * constructing a scheduler with resume=true rebuilds the job table,
- * keeps completed results, and resumes in-flight runs from their
- * checkpoints.
+ * records submissions/outcomes write-ahead — including admission
+ * sheds, migration failures and backend health/breaker transitions.
+ * Killing the process (CrashPoints Exit at kCrashServeJobBoundary,
+ * exit 43) and constructing a scheduler with resume=true rebuilds the
+ * job table, the fleet health state and the fleet clock, keeps
+ * completed results, and resumes in-flight runs from their
+ * checkpoints — even mid-way through a chaos outage window.
+ *
+ * Fleet resilience (DESIGN.md §15): a leg whose backend is inside a
+ * chaos outage window faults without consuming any run randomness; the
+ * job migrates (same leg, same RNG lineage, same checkpoint) to the
+ * next leasable backend. Breaker trips and probes run on the core's
+ * fleet tick clock; run deadlines run on each run's own simulated
+ * seconds. Neither feeds run randomness, so every completed job's
+ * digest still equals its solo digest.
  */
 
 #ifndef QISMET_SERVE_SCHEDULER_HPP
@@ -69,6 +79,30 @@ struct ServeSchedulerConfig
     bool resume = false;
     /** Root seed of the backend calibration streams. */
     std::uint64_t backendSeed = 0x5EbfE5eed;
+    /**
+     * Admission bound on the queued-job count; 0 = unbounded. Past the
+     * bound the lowest-priority queued job is shed (ServeJobState::Shed,
+     * journaled). With `startPaused`, the shed *set* is deterministic:
+     * queue depth evolves purely with submission order, independent of
+     * worker timing.
+     */
+    std::size_t queueBound = 0;
+    /**
+     * Chaos schedule driving backend outages, slowdowns, calibration
+     * storms (fault/chaos.hpp). Not owned; must outlive the scheduler.
+     * Null = no chaos. Folded into the fleet digest: a manifest written
+     * under one schedule refuses to resume under another.
+     */
+    const ChaosSchedule *chaos = nullptr;
+    /** Health/breaker hysteresis knobs (backend_pool.hpp). */
+    HealthPolicy health;
+    /**
+     * Construct with dispatch paused: submissions queue (and shed)
+     * without running until setPaused(false). The chaos harness uses
+     * this to make admission-control decisions independent of worker
+     * completion timing.
+     */
+    bool startPaused = false;
 };
 
 class ServeScheduler
@@ -98,6 +132,14 @@ class ServeScheduler
     /** Cancel a queued job (running legs are never preempted). */
     bool cancel(std::uint64_t job_id);
 
+    /**
+     * Pause/unpause dispatch. Pausing never preempts running legs;
+     * unpausing dispatches everything runnable.
+     */
+    void setPaused(bool paused);
+
+    bool paused() const;
+
     /** Snapshot of one job's state, or nullopt for an unknown id. */
     std::optional<ServeJobInfo> poll(std::uint64_t job_id) const;
 
@@ -125,6 +167,22 @@ class ServeScheduler
     /** Legs dispatched for one tenant (fairness telemetry). */
     std::uint64_t tenantDispatches(std::uint64_t tenant_id) const;
 
+    /** Fleet resilience counters (sheds, migrations, breaker trips…). */
+    ServeFleetStats fleetStats() const;
+
+    /** Health / breaker state of one backend. */
+    BackendHealth backendHealth(std::size_t backend_id) const;
+    BreakerState backendBreaker(std::size_t backend_id) const;
+
+    /** Fleet clock, in ticks. */
+    std::uint64_t clockNow() const;
+
+    /**
+     * Chaos-harness hook: advance the fleet clock (e.g. past an outage
+     * window) and dispatch anything that became runnable.
+     */
+    void advanceClock(std::uint64_t ticks);
+
   private:
     void recoverLocked();
     /**
@@ -140,6 +198,11 @@ class ServeScheduler
     void dispatchBatch(std::vector<ServeDispatch> batch);
     /** Execute one leg on a worker thread. */
     void runLeg(const ServeDispatch &dispatch);
+    /** Journal shed/failed/health events drained from the core. */
+    void flushCoreEventsLocked();
+    /** Migrate a backend-faulted leg; returns the follow-up batch. */
+    std::vector<ServeDispatch> faultLegLocked(
+        const ServeDispatch &dispatch);
     std::string runDir(std::uint64_t job_id) const;
 
     ServeSchedulerConfig config_;
@@ -149,6 +212,7 @@ class ServeScheduler
     ServeCore core_;
     std::optional<ServeManifest> manifest_;
     std::size_t replayedCompletions_ = 0;
+    bool paused_ = false;
     /** Created last, destroyed first: workers must die before state. */
     std::unique_ptr<ThreadPool> pool_;
 };

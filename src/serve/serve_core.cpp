@@ -1,6 +1,7 @@
 #include "serve/serve_core.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace qismet {
 
@@ -12,11 +13,18 @@ serveJobStateName(ServeJobState state)
       case ServeJobState::Running: return "running";
       case ServeJobState::Completed: return "completed";
       case ServeJobState::Cancelled: return "cancelled";
+      case ServeJobState::Shed: return "shed";
+      case ServeJobState::Failed: return "failed";
     }
     return "?";
 }
 
-ServeCore::ServeCore(BackendPool &pool) : pool_(pool) {}
+ServeCore::ServeCore(BackendPool &pool) : ServeCore(pool, {}) {}
+
+ServeCore::ServeCore(BackendPool &pool, ServeCoreConfig config)
+    : pool_(pool), config_(config)
+{
+}
 
 ServeCore::TenantState &
 ServeCore::tenant(std::uint64_t tenant_id)
@@ -42,6 +50,33 @@ ServeCore::setTenantWeight(std::uint64_t tenant_id, double weight)
     tenant(tenant_id).weight = weight;
 }
 
+void
+ServeCore::enforceQueueBound()
+{
+    if (config_.queueBound == 0)
+        return;
+    while (queued_ > config_.queueBound) {
+        // Victim: lowest priority among queued jobs; newest (highest
+        // id) within a priority, so older admitted work is protected.
+        // std::map iterates id-ascending — the last candidate seen at
+        // the minimum priority is the newest.
+        ServeJobInfo *victim = nullptr;
+        for (auto &[id, info] : jobs_) {
+            if (info.state != ServeJobState::Queued)
+                continue;
+            if (victim == nullptr ||
+                info.spec.priority <= victim->spec.priority)
+                victim = &info;
+        }
+        if (victim == nullptr)
+            return; // unreachable: queued_ > 0 implies a queued job
+        victim->state = ServeJobState::Shed;
+        --queued_;
+        ++shed_;
+        pendingSheds_.push_back(victim->jobId);
+    }
+}
+
 std::uint64_t
 ServeCore::submit(ServeJobSpec spec)
 {
@@ -53,6 +88,7 @@ ServeCore::submit(ServeJobSpec spec)
     tenant(info.spec.tenantId); // materialize fair-share state
     jobs_.emplace(id, std::move(info));
     ++queued_;
+    enforceQueueBound();
     return id;
 }
 
@@ -76,11 +112,27 @@ ServeCore::replaySubmit(std::uint64_t job_id, ServeJobSpec spec)
     tenant(info.spec.tenantId);
     jobs_.emplace(job_id, std::move(info));
     ++queued_;
+    // No bound enforcement here: replayed sheds are recorded facts,
+    // re-applied through replayShed, never re-decided.
 }
 
 void
-ServeCore::replayComplete(std::uint64_t job_id, std::string digest,
-                          double final_estimate, std::uint64_t jobs_used)
+ServeCore::recordOutcome(ServeJobInfo &info, ServeRunOutcome outcome)
+{
+    info.trajectoryDigest = std::move(outcome.trajectoryDigest);
+    info.finalEstimate = outcome.finalEstimate;
+    info.jobsUsed = outcome.jobsUsed;
+    info.deadlineExpired = outcome.deadlineExpired;
+    info.retriesUsed = outcome.retriesUsed;
+    info.faultRetries = outcome.faultRetries;
+    info.backoffSeconds = outcome.backoffSeconds;
+    info.simTimeSeconds = outcome.simTimeSeconds;
+    if (outcome.deadlineExpired)
+        ++deadlineExpirations_;
+}
+
+void
+ServeCore::replayComplete(std::uint64_t job_id, ServeRunOutcome outcome)
 {
     auto it = jobs_.find(job_id);
     if (it == jobs_.end() ||
@@ -90,11 +142,48 @@ ServeCore::replayComplete(std::uint64_t job_id, std::string digest,
             " is not a replayed queued job");
     ServeJobInfo &info = it->second;
     info.state = ServeJobState::Completed;
-    info.trajectoryDigest = std::move(digest);
-    info.finalEstimate = final_estimate;
-    info.jobsUsed = jobs_used;
+    recordOutcome(info, std::move(outcome));
     --queued_;
     ++completed_;
+}
+
+void
+ServeCore::replayComplete(std::uint64_t job_id, std::string digest,
+                          double final_estimate, std::uint64_t jobs_used)
+{
+    ServeRunOutcome outcome;
+    outcome.trajectoryDigest = std::move(digest);
+    outcome.finalEstimate = final_estimate;
+    outcome.jobsUsed = jobs_used;
+    replayComplete(job_id, std::move(outcome));
+}
+
+void
+ServeCore::replayShed(std::uint64_t job_id)
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Queued)
+        throw std::invalid_argument(
+            "ServeCore::replayShed: job " + std::to_string(job_id) +
+            " is not a replayed queued job");
+    it->second.state = ServeJobState::Shed;
+    --queued_;
+    ++shed_;
+}
+
+void
+ServeCore::replayFailed(std::uint64_t job_id)
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Queued)
+        throw std::invalid_argument(
+            "ServeCore::replayFailed: job " + std::to_string(job_id) +
+            " is not a replayed queued job");
+    it->second.state = ServeJobState::Failed;
+    --queued_;
+    ++failed_;
 }
 
 bool
@@ -110,11 +199,45 @@ ServeCore::cancel(std::uint64_t job_id)
     return true;
 }
 
+void
+ServeCore::applyStorms(std::size_t backend_id)
+{
+    if (config_.chaos == nullptr)
+        return;
+    for (std::size_t idx :
+         config_.chaos->stormsAt(backend_id, clock_.now())) {
+        if (!appliedStorms_.insert(idx).second)
+            continue; // a storm drifts the calibration exactly once
+        const ChaosEvent &storm = config_.chaos->events()[idx];
+        auto transitions = pool_.applyCalibrationStorm(
+            backend_id, storm.count, clock_.now());
+        pendingTransitions_.insert(pendingTransitions_.end(),
+                                   transitions.begin(),
+                                   transitions.end());
+    }
+}
+
 std::optional<ServeDispatch>
 ServeCore::nextDispatch()
 {
-    if (queued_ == 0 || !pool_.anyFree())
+    if (queued_ == 0)
         return std::nullopt;
+
+    if (!pool_.anyLeasable(clock_.now())) {
+        // Idle-fleet time skip: with work queued, nothing running and
+        // every free backend behind an Open breaker, no leg completion
+        // will ever advance the clock — fast-forward to the earliest
+        // probe tick (discrete-event style) so the fleet wakes itself.
+        if (running_ != 0)
+            return std::nullopt;
+        const auto probeAt = pool_.earliestProbeTick();
+        if (!probeAt || *probeAt <= clock_.now())
+            return std::nullopt;
+        clock_.advanceTo(*probeAt);
+        ++timeSkips_;
+        if (!pool_.anyLeasable(clock_.now()))
+            return std::nullopt;
+    }
 
     // Pick: highest priority, then lowest tenant pass, then lowest id.
     // std::map iteration is id-ascending, so the first job seen wins
@@ -136,6 +259,15 @@ ServeCore::nextDispatch()
     if (best == nullptr)
         return std::nullopt;
 
+    auto lease =
+        pool_.acquireHealthAware(clock_.now(), pendingTransitions_);
+    if (!lease)
+        return std::nullopt; // raced the time-skip check; try later
+
+    // An active calibration storm on the chosen machine drifts its
+    // calibration stream the moment the fleet touches it.
+    applyStorms(lease->backendId);
+
     TenantState &t = tenant(best->spec.tenantId);
     virtualTime_ = t.pass;
     t.pass += 1.0 / t.weight;
@@ -155,14 +287,13 @@ ServeCore::nextDispatch()
     d.crashAfterIters = best->leg < best->spec.crashPlan.size()
                             ? best->spec.crashPlan[best->leg]
                             : 0;
-    d.lease = pool_.acquire();
+    d.lease = *lease;
     return d;
 }
 
 void
 ServeCore::onRunFinished(const ServeDispatch &dispatch,
-                         std::string digest, double final_estimate,
-                         std::uint64_t jobs_used)
+                         ServeRunOutcome outcome)
 {
     auto it = jobs_.find(dispatch.jobId);
     if (it == jobs_.end() ||
@@ -170,14 +301,29 @@ ServeCore::onRunFinished(const ServeDispatch &dispatch,
         throw std::invalid_argument(
             "ServeCore::onRunFinished: job " +
             std::to_string(dispatch.jobId) + " is not running");
-    pool_.release(dispatch.lease);
+    clock_.advanceTicks(1);
+    auto transitions = pool_.releaseSuccess(
+        dispatch.lease, backendSlowdown(dispatch.lease.backendId),
+        clock_.now());
+    pendingTransitions_.insert(pendingTransitions_.end(),
+                               transitions.begin(), transitions.end());
     ServeJobInfo &info = it->second;
     info.state = ServeJobState::Completed;
-    info.trajectoryDigest = std::move(digest);
-    info.finalEstimate = final_estimate;
-    info.jobsUsed = jobs_used;
+    recordOutcome(info, std::move(outcome));
     --running_;
     ++completed_;
+}
+
+void
+ServeCore::onRunFinished(const ServeDispatch &dispatch,
+                         std::string digest, double final_estimate,
+                         std::uint64_t jobs_used)
+{
+    ServeRunOutcome outcome;
+    outcome.trajectoryDigest = std::move(digest);
+    outcome.finalEstimate = final_estimate;
+    outcome.jobsUsed = jobs_used;
+    onRunFinished(dispatch, std::move(outcome));
 }
 
 void
@@ -189,13 +335,82 @@ ServeCore::onRunCrashed(const ServeDispatch &dispatch)
         throw std::invalid_argument(
             "ServeCore::onRunCrashed: job " +
             std::to_string(dispatch.jobId) + " is not running");
-    pool_.release(dispatch.lease);
+    clock_.advanceTicks(1);
+    // A planned client-side crash is not a backend fault: the machine
+    // did its work, so the lease completes (calibration advances) and
+    // counts as a success observation.
+    auto transitions = pool_.releaseSuccess(
+        dispatch.lease, backendSlowdown(dispatch.lease.backendId),
+        clock_.now());
+    pendingTransitions_.insert(pendingTransitions_.end(),
+                               transitions.begin(), transitions.end());
     ServeJobInfo &info = it->second;
     info.state = ServeJobState::Queued;
     ++info.leg;
     info.resumeNextLeg = true;
     --running_;
     ++queued_;
+}
+
+void
+ServeCore::onBackendFault(const ServeDispatch &dispatch)
+{
+    auto it = jobs_.find(dispatch.jobId);
+    if (it == jobs_.end() ||
+        it->second.state != ServeJobState::Running)
+        throw std::invalid_argument(
+            "ServeCore::onBackendFault: job " +
+            std::to_string(dispatch.jobId) + " is not running");
+    clock_.advanceTicks(1);
+    auto transitions =
+        pool_.releaseFaulted(dispatch.lease, clock_.now());
+    pendingTransitions_.insert(pendingTransitions_.end(),
+                               transitions.begin(), transitions.end());
+    ServeJobInfo &info = it->second;
+    ++info.migrations;
+    ++migrations_;
+    ++backendFaults_;
+    --running_;
+    // Migration keeps the job's leg, resume flag and (therefore) its
+    // RNG lineage and checkpoint intact: the next dispatch re-runs the
+    // exact same leg on whichever backend is healthy, which is what
+    // keeps the migrated digest equal to the solo digest.
+    if (info.spec.migrationBudget > 0 &&
+        info.migrations > info.spec.migrationBudget) {
+        info.state = ServeJobState::Failed;
+        ++failed_;
+        pendingFailed_.push_back(info.jobId);
+        return;
+    }
+    info.state = ServeJobState::Queued;
+    ++queued_;
+}
+
+bool
+ServeCore::backendDown(std::size_t backend_id) const
+{
+    return config_.chaos != nullptr &&
+           config_.chaos->outageAt(backend_id, clock_.now());
+}
+
+double
+ServeCore::backendSlowdown(std::size_t backend_id) const
+{
+    return config_.chaos == nullptr
+               ? 1.0
+               : config_.chaos->slowdownAt(backend_id, clock_.now());
+}
+
+void
+ServeCore::advanceClock(std::uint64_t ticks)
+{
+    clock_.advanceTicks(ticks);
+}
+
+void
+ServeCore::restoreClock(std::uint64_t ticks)
+{
+    clock_.restoreTicks(ticks);
 }
 
 std::optional<ServeJobInfo>
@@ -205,6 +420,25 @@ ServeCore::find(std::uint64_t job_id) const
     if (it == jobs_.end())
         return std::nullopt;
     return it->second;
+}
+
+ServeFleetStats
+ServeCore::fleetStats() const
+{
+    ServeFleetStats s;
+    s.shed = shed_;
+    s.failed = failed_;
+    s.migrations = migrations_;
+    s.backendFaults = backendFaults_;
+    s.deadlineExpirations = deadlineExpirations_;
+    s.timeSkips = timeSkips_;
+    s.clockTicks = clock_.now();
+    const BackendPoolStats &p = pool_.stats();
+    s.breakerTrips = p.breakerTrips;
+    s.breakerReopens = p.breakerReopens;
+    s.halfOpenProbes = p.halfOpenProbes;
+    s.stormsApplied = p.stormsApplied;
+    return s;
 }
 
 std::uint64_t
@@ -222,6 +456,24 @@ ServeCore::jobIds() const
     for (const auto &[id, info] : jobs_)
         ids.push_back(id);
     return ids;
+}
+
+std::vector<std::uint64_t>
+ServeCore::drainShedJobs()
+{
+    return std::exchange(pendingSheds_, {});
+}
+
+std::vector<std::uint64_t>
+ServeCore::drainFailedJobs()
+{
+    return std::exchange(pendingFailed_, {});
+}
+
+std::vector<HealthTransition>
+ServeCore::drainHealthTransitions()
+{
+    return std::exchange(pendingTransitions_, {});
 }
 
 } // namespace qismet

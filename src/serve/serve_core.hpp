@@ -1,8 +1,9 @@
 /**
  * @file
  * ServeCore: the scheduler's deterministic heart — job table, stride
- * fair-share queue, and backend leasing — as a single-threaded state
- * machine with no clocks, no I/O and no randomness of its own.
+ * fair-share queue, backend leasing, admission control and the fleet
+ * clock — as a single-threaded state machine with no wall clocks, no
+ * I/O and no randomness of its own.
  *
  * The threaded ServeScheduler drives this object under one mutex; the
  * property-test suite drives it directly with randomized
@@ -19,6 +20,17 @@
  * next. Stride scheduling bounds any backlogged tenant's lag behind its
  * weighted share by one dispatch, which gives both the fairness bound
  * and starvation-freedom the property suite asserts.
+ *
+ * Fleet resilience (DESIGN.md §15): dispatch is health-aware (healthy
+ * backends before degraded, quarantined only as breaker probes), the
+ * queue is bounded by `ServeCoreConfig::queueBound` with
+ * lowest-priority shedding, a backend fault re-queues the job with its
+ * leg, RNG lineage and checkpoint intact (deterministic migration),
+ * and the core owns the fleet SimClock that breaker cooldowns and
+ * chaos windows are expressed in. When every backend is breaker-blocked
+ * and nothing is running, nextDispatch() performs a discrete-event
+ * time skip to the earliest probe tick, so a fully quarantined fleet
+ * wakes itself instead of deadlocking.
  */
 
 #ifndef QISMET_SERVE_SERVE_CORE_HPP
@@ -27,8 +39,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
+#include "common/sim_clock.hpp"
+#include "fault/chaos.hpp"
 #include "serve/backend_pool.hpp"
 #include "serve/job_spec.hpp"
 
@@ -40,10 +55,35 @@ enum class ServeJobState : std::uint8_t
     Queued = 0,   ///< waiting for a backend (first leg or resume leg)
     Running = 1,  ///< a leg is executing on a leased backend
     Completed = 2,///< final leg finished; digest recorded
-    Cancelled = 3 ///< cancelled while queued (never dispatched again)
+    Cancelled = 3,///< cancelled while queued (never dispatched again)
+    Shed = 4,     ///< dropped by admission control (queue bound)
+    Failed = 5    ///< migration budget exhausted by backend faults
 };
 
 std::string serveJobStateName(ServeJobState state);
+
+/**
+ * Result payload of a finished run — live or manifest-replayed. The
+ * telemetry tail (retries, backoff, simulated time) rides along so
+ * poll() callers can observe degradation directly instead of inferring
+ * it from latency.
+ */
+struct ServeRunOutcome
+{
+    std::string trajectoryDigest;
+    double finalEstimate = 0.0;
+    std::uint64_t jobsUsed = 0;
+    /** The run stopped at its simulated-time deadline budget. */
+    bool deadlineExpired = false;
+    /** Retries consumed (policy rejects + fault retries). */
+    std::uint64_t retriesUsed = 0;
+    /** Retries forced by faulted jobs alone. */
+    std::uint64_t faultRetries = 0;
+    /** Simulated seconds spent in fault-retry backoff. */
+    double backoffSeconds = 0.0;
+    /** Total simulated seconds of the run. */
+    double simTimeSeconds = 0.0;
+};
 
 /** Everything the scheduler knows about one job (poll() view). */
 struct ServeJobInfo
@@ -57,10 +97,22 @@ struct ServeJobInfo
     bool resumeNextLeg = false;
     /** Legs dispatched (completed or crashed) so far. */
     std::uint64_t legsDispatched = 0;
+    /** Backend-fault migrations suffered so far. */
+    std::uint64_t migrations = 0;
     /** Filled when Completed. */
     std::string trajectoryDigest;
     double finalEstimate = 0.0;
     std::uint64_t jobsUsed = 0;
+    /** The run stopped at its simulated-time deadline budget. */
+    bool deadlineExpired = false;
+    /** Retries consumed by the run (policy rejects + fault retries). */
+    std::uint64_t retriesUsed = 0;
+    /** Retries forced by faulted jobs alone. */
+    std::uint64_t faultRetries = 0;
+    /** Simulated seconds the run spent in fault-retry backoff. */
+    double backoffSeconds = 0.0;
+    /** Total simulated seconds of the run. */
+    double simTimeSeconds = 0.0;
 };
 
 /** One dispatch decision: run this job's next leg on this lease. */
@@ -75,11 +127,43 @@ struct ServeDispatch
     BackendLease lease;
 };
 
+/** Resilience knobs of the core (all defaults = pre-chaos behavior). */
+struct ServeCoreConfig
+{
+    /**
+     * Admission bound on the queued-job count; 0 = unbounded. When a
+     * submit pushes the queue past the bound, the lowest-priority
+     * queued job (newest within a priority) is shed — possibly the
+     * arriving job itself.
+     */
+    std::size_t queueBound = 0;
+    /** Chaos schedule consulted by dispatch/outage queries; not owned,
+     * may be null (no chaos). */
+    const ChaosSchedule *chaos = nullptr;
+};
+
+/** Fleet-level resilience counters (ServeScheduler::fleetStats). */
+struct ServeFleetStats
+{
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t backendFaults = 0;
+    std::uint64_t deadlineExpirations = 0;
+    std::uint64_t timeSkips = 0;
+    std::uint64_t clockTicks = 0;
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t breakerReopens = 0;
+    std::uint64_t halfOpenProbes = 0;
+    std::uint64_t stormsApplied = 0;
+};
+
 class ServeCore
 {
   public:
     /** @param pool Backend fleet; not owned, must outlive the core. */
     explicit ServeCore(BackendPool &pool);
+    ServeCore(BackendPool &pool, ServeCoreConfig config);
 
     /**
      * Set a tenant's fair-share weight (> 0; default 1.0). Takes
@@ -87,7 +171,11 @@ class ServeCore
      */
     void setTenantWeight(std::uint64_t tenant_id, double weight);
 
-    /** Enqueue a job; returns its id (dense, starting at 1). */
+    /**
+     * Enqueue a job; returns its id (dense, starting at 1). May shed
+     * jobs (including this one) to honor the queue bound; shed ids are
+     * reported through drainShedJobs().
+     */
     std::uint64_t submit(ServeJobSpec spec);
 
     /**
@@ -100,8 +188,17 @@ class ServeCore
 
     /** Manifest replay: mark a replayed job done with its recorded
      * result (it will not be re-run). */
+    void replayComplete(std::uint64_t job_id, ServeRunOutcome outcome);
+
+    /** Convenience overload (tests): digest/estimate/jobs only. */
     void replayComplete(std::uint64_t job_id, std::string digest,
                         double final_estimate, std::uint64_t jobs_used);
+
+    /** Manifest replay: re-apply a recorded admission shed. */
+    void replayShed(std::uint64_t job_id);
+
+    /** Manifest replay: re-apply a recorded migration-budget failure. */
+    void replayFailed(std::uint64_t job_id);
 
     /**
      * Cancel a queued job. Returns true when the job was queued (now
@@ -112,16 +209,49 @@ class ServeCore
 
     /**
      * Pick and lease the next leg to run, or nullopt when no job is
-     * queued or no backend is free. Advances the chosen tenant's pass.
+     * queued or no backend is leasable. Advances the chosen tenant's
+     * pass. Health-aware: healthy backends are preferred, quarantined
+     * ones are leased only as breaker probes; active calibration
+     * storms are applied to the chosen backend. Performs the
+     * idle-fleet time skip when the fleet is wedged behind breaker
+     * cooldowns.
      */
     std::optional<ServeDispatch> nextDispatch();
 
     /** A dispatched leg finished its run (final leg). */
+    void onRunFinished(const ServeDispatch &dispatch,
+                       ServeRunOutcome outcome);
+
+    /** Convenience overload (tests): digest/estimate/jobs only. */
     void onRunFinished(const ServeDispatch &dispatch, std::string digest,
                        double final_estimate, std::uint64_t jobs_used);
 
     /** A dispatched leg died at its planned crash; requeue the job. */
     void onRunCrashed(const ServeDispatch &dispatch);
+
+    /**
+     * A dispatched leg found its backend faulted (outage window): the
+     * backend did no work, the job's leg/RNG lineage is untouched, and
+     * the job re-queues for migration to another backend — unless its
+     * migration budget is exhausted, in which case it Fails (reported
+     * through drainFailedJobs()).
+     */
+    void onBackendFault(const ServeDispatch &dispatch);
+
+    /** True when chaos has `backend_id` in an outage window now. */
+    bool backendDown(std::size_t backend_id) const;
+
+    /** Chaos slowdown factor for `backend_id` at the current tick. */
+    double backendSlowdown(std::size_t backend_id) const;
+
+    /** Fleet clock (ticks). */
+    std::uint64_t clockNow() const { return clock_.now(); }
+
+    /** Chaos-harness hook: advance the fleet clock by `ticks`. */
+    void advanceClock(std::uint64_t ticks);
+
+    /** Resume path: restore the fleet clock. */
+    void restoreClock(std::uint64_t ticks);
 
     /** Job view, or nullopt for an unknown id. */
     std::optional<ServeJobInfo> find(std::uint64_t job_id) const;
@@ -130,8 +260,13 @@ class ServeCore
     std::size_t runningCount() const { return running_; }
     std::size_t completedCount() const { return completed_; }
     std::size_t cancelledCount() const { return cancelled_; }
+    std::size_t shedCount() const { return shed_; }
+    std::size_t failedCount() const { return failed_; }
     /** Jobs not yet terminal (queued + running). */
     std::size_t pendingCount() const { return queued_ + running_; }
+
+    /** Fleet resilience counters (includes the pool's breaker stats). */
+    ServeFleetStats fleetStats() const;
 
     /** Legs dispatched for a tenant (fairness accounting). */
     std::uint64_t tenantDispatches(std::uint64_t tenant_id) const;
@@ -142,6 +277,15 @@ class ServeCore
     /** All job ids in submission order (tests iterate results). */
     std::vector<std::uint64_t> jobIds() const;
 
+    /** Admission sheds since the last drain (scheduler journaling). */
+    std::vector<std::uint64_t> drainShedJobs();
+
+    /** Migration failures since the last drain. */
+    std::vector<std::uint64_t> drainFailedJobs();
+
+    /** Health/breaker transitions since the last drain. */
+    std::vector<HealthTransition> drainHealthTransitions();
+
   private:
     struct TenantState
     {
@@ -151,8 +295,15 @@ class ServeCore
     };
 
     TenantState &tenant(std::uint64_t tenant_id);
+    /** Copy an outcome into a job entry (completion bookkeeping). */
+    void recordOutcome(ServeJobInfo &info, ServeRunOutcome outcome);
+    /** Shed lowest-priority queued jobs until the bound holds. */
+    void enforceQueueBound();
+    void applyStorms(std::size_t backend_id);
 
     BackendPool &pool_;
+    ServeCoreConfig config_;
+    SimClock clock_;
     std::map<std::uint64_t, ServeJobInfo> jobs_;
     std::map<std::uint64_t, TenantState> tenants_;
     /** Virtual time: pass of the most recently dispatched tenant. */
@@ -162,7 +313,18 @@ class ServeCore
     std::size_t running_ = 0;
     std::size_t completed_ = 0;
     std::size_t cancelled_ = 0;
+    std::size_t shed_ = 0;
+    std::size_t failed_ = 0;
     std::uint64_t totalDispatches_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t backendFaults_ = 0;
+    std::uint64_t deadlineExpirations_ = 0;
+    std::uint64_t timeSkips_ = 0;
+    /** Storm event indices already folded into calibration state. */
+    std::set<std::size_t> appliedStorms_;
+    std::vector<std::uint64_t> pendingSheds_;
+    std::vector<std::uint64_t> pendingFailed_;
+    std::vector<HealthTransition> pendingTransitions_;
 };
 
 } // namespace qismet

@@ -1,5 +1,7 @@
 #include "vqe/vqe_driver.hpp"
 
+#include "common/sim_clock.hpp"
+
 #include <algorithm>
 #include <cstddef>
 #include <stdexcept>
@@ -54,6 +56,8 @@ VqeDriver::VqeDriver(const EnergyEstimator &estimator, JobExecutor &executor,
         throw std::invalid_argument("VqeDriver: zero final window");
     if (config_.jobDurationSeconds < 0.0)
         throw std::invalid_argument("VqeDriver: negative job duration");
+    if (config_.deadlineSimSeconds < 0.0)
+        throw std::invalid_argument("VqeDriver: negative deadline budget");
     if (config_.crashAfterIters > 0 && config_.checkpoint == nullptr)
         throw std::invalid_argument(
             "VqeDriver: crashAfterIters without a checkpoint would "
@@ -68,6 +72,11 @@ VqeDriver::run(const std::vector<double> &initial_theta)
     Rng opt_rng(config_.seed);
 
     VqeRunResult result;
+    // Simulated-time base of the run. The serve layer's breakers and
+    // chaos windows run on their own fleet SimClock in ticks; this one
+    // counts the run's seconds and is a pure function of the config,
+    // which is what makes the deadline check deterministic.
+    SimClock simClock;
 
     std::vector<double> theta = initial_theta;
     int k = 0;          // optimizer iteration
@@ -106,6 +115,7 @@ VqeDriver::run(const std::vector<double> &initial_theta)
             result.evalsCarriedForward =
                 static_cast<std::size_t>(snap.evalsCarriedForward);
             result.simTimeSeconds = snap.simTimeSeconds;
+            simClock.restoreSeconds(snap.simTimeSeconds);
             result.backoffSeconds = snap.backoffSeconds;
             opt_rng.restoreState(snap.optimizerRng);
             executor_.restoreProgress(
@@ -251,7 +261,8 @@ VqeDriver::run(const std::vector<double> &initial_theta)
 
             const JobResult job = executor_.execute(request);
             ++result.jobsUsed;
-            result.simTimeSeconds += config_.jobDurationSeconds;
+            simClock.advanceSeconds(config_.jobDurationSeconds);
+            result.simTimeSeconds = simClock.seconds();
 
             if (job.failed()) {
                 // The fleet returned nothing. Record the loss, then
@@ -283,7 +294,8 @@ VqeDriver::run(const std::vector<double> &initial_theta)
                             0.0);
                 const double backoff =
                     config_.retry.backoffSecondsFor(retry);
-                result.simTimeSeconds += backoff;
+                simClock.advanceSeconds(backoff);
+                result.simTimeSeconds = simClock.seconds();
                 result.backoffSeconds += backoff;
                 ++retry;
                 ++result.retriesUsed;
@@ -341,6 +353,15 @@ VqeDriver::run(const std::vector<double> &initial_theta)
     };
 
     while (result.jobsUsed < config_.totalJobs) {
+        // Deadline budget, checked only at iteration boundaries so the
+        // truncation point is a pure function of the configuration. The
+        // check precedes the snapshot/crash hooks: an expired run ends
+        // cleanly even when a planned crash was armed for this leg.
+        if (config_.deadlineSimSeconds > 0.0 &&
+            simClock.seconds() >= config_.deadlineSimSeconds) {
+            result.deadlineExpired = true;
+            break;
+        }
         if (ckpt != nullptr) {
             if (ckpt->snapshotDue(static_cast<std::uint64_t>(k)))
                 snapshot_now();

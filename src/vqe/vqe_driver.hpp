@@ -233,6 +233,13 @@ struct VqeRunResult
     double simTimeSeconds = 0.0;
     /** Simulated time spent waiting in fault-retry backoff alone. */
     double backoffSeconds = 0.0;
+    /**
+     * The run stopped at its deadline budget (deadlineSimSeconds)
+     * instead of exhausting its job budget. The truncation happens at
+     * an optimizer-iteration boundary, so the partial trajectory is
+     * still a pure function of the configuration.
+     */
+    bool deadlineExpired = false;
 
     /** Measured primary-energy series over every job. */
     std::vector<double> perJobEnergySeries() const;
@@ -258,6 +265,17 @@ struct VqeDriverConfig
     RetryPolicy retry;
     /** Simulated duration of one job slot (for simTimeSeconds). */
     double jobDurationSeconds = 1.0;
+    /**
+     * Deadline budget over the run's simulated seconds (job slots plus
+     * fault-retry backoff); 0 = none. Checked at optimizer-iteration
+     * boundaries: the first boundary at or past the budget ends the
+     * run cleanly with `deadlineExpired` set and the final estimate
+     * computed from the iterations already accepted. Because
+     * simTimeSeconds is itself deterministic, so is the truncation
+     * point — independent of wall time, worker count or resume
+     * lineage.
+     */
+    double deadlineSimSeconds = 0.0;
     /**
      * Optional durability (not owned; may be null). When set, every
      * executed job and completed iteration is journaled write-ahead,

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared per-test scratch directories. Every durability test used to
+ * hand-roll the same TempDir + pid-suffix + remove_all dance; this is
+ * the one copy.
+ */
+
+#ifndef QISMET_TESTS_COMMON_SCRATCH_DIR_HPP
+#define QISMET_TESTS_COMMON_SCRATCH_DIR_HPP
+
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace qismet::test {
+
+/**
+ * A fresh scratch directory under the gtest temp root, pid-suffixed so
+ * a test binary and its whole-suite duplicate (<subsystem>.suite,
+ * which runs the same tests concurrently under `ctest --preset all
+ * -j`) cannot stomp each other's state. Any stale directory from a
+ * crashed earlier run is removed first; `create` controls whether the
+ * fresh directory is made (fixtures want it, schedulers make their
+ * own).
+ */
+inline std::filesystem::path
+scratchDir(const std::string &prefix, bool create = true)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        (prefix + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    if (create)
+        std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** scratchDir() additionally keyed by the running test's own name, for
+ * fixtures whose TEST_F instances must not share state. */
+inline std::filesystem::path
+scratchDirForCurrentTest(const std::string &prefix, bool create = true)
+{
+    return scratchDir(prefix + "_" +
+                          std::string(::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()),
+                      create);
+}
+
+} // namespace qismet::test
+
+#endif // QISMET_TESTS_COMMON_SCRATCH_DIR_HPP

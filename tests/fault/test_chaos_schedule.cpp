@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ChaosSchedule: deterministic generation, query semantics and digest
+ * stability of the fleet-scoped chaos artifact (fault/chaos.hpp).
+ */
+
+#include "fault/chaos.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qismet {
+namespace {
+
+ChaosConfig
+denseConfig()
+{
+    ChaosConfig cfg;
+    cfg.backends = 3;
+    cfg.tenants = 5;
+    cfg.horizonTicks = 128;
+    cfg.outagesPerBackend = 2.0;
+    cfg.slowdownsPerBackend = 2.0;
+    cfg.stormsPerBackend = 1.0;
+    cfg.floods = 2;
+    return cfg;
+}
+
+TEST(ChaosConfig, RejectsMalformedFields)
+{
+    ChaosConfig cfg;
+    cfg.backends = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = ChaosConfig{};
+    cfg.tenants = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = ChaosConfig{};
+    cfg.horizonTicks = 8;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = ChaosConfig{};
+    cfg.outagesPerBackend = -1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ChaosSchedule, GenerationIsPure)
+{
+    const ChaosConfig cfg = denseConfig();
+    const ChaosSchedule a = generateChaosSchedule(cfg, 99);
+    const ChaosSchedule b = generateChaosSchedule(cfg, 99);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.digest(), b.digest());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].startTick, b.events()[i].startTick);
+        EXPECT_EQ(a.events()[i].endTick, b.events()[i].endTick);
+        EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    }
+}
+
+TEST(ChaosSchedule, SeedsDecorrelate)
+{
+    const ChaosConfig cfg = denseConfig();
+    EXPECT_NE(generateChaosSchedule(cfg, 1).digest(),
+              generateChaosSchedule(cfg, 2).digest());
+}
+
+TEST(ChaosSchedule, EventsStayInsideHorizonAndWellFormed)
+{
+    const ChaosConfig cfg = denseConfig();
+    const ChaosSchedule sched = generateChaosSchedule(cfg, 7);
+    for (const ChaosEvent &e : sched.events()) {
+        EXPECT_LT(e.startTick, e.endTick);
+        EXPECT_LE(e.endTick, cfg.horizonTicks);
+        EXPECT_GE(e.magnitude, 1.0);
+        if (e.kind == ChaosKind::TenantFlood) {
+            EXPECT_LT(e.target, cfg.tenants);
+            EXPECT_GT(e.count, 0u);
+        }
+        else {
+            EXPECT_LT(e.target, cfg.backends);
+        }
+    }
+    EXPECT_LE(sched.horizon(), cfg.horizonTicks);
+}
+
+TEST(ChaosSchedule, OutageQueryMatchesWindows)
+{
+    std::vector<ChaosEvent> events;
+    ChaosEvent outage;
+    outage.kind = ChaosKind::BackendOutage;
+    outage.target = 1;
+    outage.startTick = 10;
+    outage.endTick = 20;
+    events.push_back(outage);
+    const ChaosSchedule sched(std::move(events));
+
+    EXPECT_FALSE(sched.outageAt(1, 9));
+    EXPECT_TRUE(sched.outageAt(1, 10));
+    EXPECT_TRUE(sched.outageAt(1, 19));
+    EXPECT_FALSE(sched.outageAt(1, 20)); // half-open window
+    EXPECT_FALSE(sched.outageAt(0, 15)); // other backend unaffected
+}
+
+TEST(ChaosSchedule, OverlappingSlowdownsMultiply)
+{
+    std::vector<ChaosEvent> events;
+    ChaosEvent slow;
+    slow.kind = ChaosKind::BackendSlowdown;
+    slow.target = 0;
+    slow.startTick = 0;
+    slow.endTick = 30;
+    slow.magnitude = 2.0;
+    events.push_back(slow);
+    slow.startTick = 10;
+    slow.endTick = 20;
+    slow.magnitude = 3.0;
+    events.push_back(slow);
+    const ChaosSchedule sched(std::move(events));
+
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(0, 5), 2.0);
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(0, 15), 6.0);
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(0, 25), 2.0);
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(0, 40), 1.0);
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(1, 15), 1.0);
+}
+
+TEST(ChaosSchedule, StormIndicesAndFloods)
+{
+    std::vector<ChaosEvent> events;
+    ChaosEvent storm;
+    storm.kind = ChaosKind::CalibrationStorm;
+    storm.target = 2;
+    storm.startTick = 5;
+    storm.endTick = 6;
+    storm.count = 3;
+    events.push_back(storm);
+    ChaosEvent flood;
+    flood.kind = ChaosKind::TenantFlood;
+    flood.target = 1;
+    flood.startTick = 0;
+    flood.endTick = 1;
+    flood.count = 7;
+    events.push_back(flood);
+    const ChaosSchedule sched(std::move(events));
+
+    EXPECT_TRUE(sched.stormsAt(2, 4).empty());
+    const std::vector<std::size_t> hits = sched.stormsAt(2, 5);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(sched.events()[hits[0]].count, 3u);
+
+    const std::vector<ChaosEvent> floods = sched.floods();
+    ASSERT_EQ(floods.size(), 1u);
+    EXPECT_EQ(floods[0].target, 1u);
+    EXPECT_EQ(floods[0].count, 7u);
+}
+
+TEST(ChaosSchedule, EmptyScheduleIsBenign)
+{
+    const ChaosSchedule sched;
+    EXPECT_EQ(sched.size(), 0u);
+    EXPECT_FALSE(sched.outageAt(0, 0));
+    EXPECT_DOUBLE_EQ(sched.slowdownAt(0, 0), 1.0);
+    EXPECT_TRUE(sched.stormsAt(0, 0).empty());
+    EXPECT_EQ(sched.horizon(), 0u);
+}
+
+TEST(ChaosSchedule, KindNamesAreStable)
+{
+    EXPECT_EQ(chaosKindName(ChaosKind::BackendOutage), "backend-outage");
+    EXPECT_EQ(chaosKindName(ChaosKind::TenantFlood), "tenant-flood");
+}
+
+} // namespace
+} // namespace qismet

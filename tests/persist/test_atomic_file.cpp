@@ -14,6 +14,8 @@
 
 #include <unistd.h>
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -25,14 +27,7 @@ class AtomicFileTest : public ::testing::Test
   protected:
     void SetUp() override
     {
-        dir_ = fs::path(::testing::TempDir()) /
-               ("qismet_atomic_file_" +
-                std::string(::testing::UnitTest::GetInstance()
-                                ->current_test_info()
-                                ->name()) +
-                "_" + std::to_string(::getpid()));
-        fs::remove_all(dir_);
-        fs::create_directories(dir_);
+        dir_ = test::scratchDirForCurrentTest("qismet_atomic_file");
     }
 
     void TearDown() override { fs::remove_all(dir_); }

@@ -35,6 +35,8 @@
 #include "noise/machine_model.hpp"
 #include "persist/checkpoint.hpp"
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -149,11 +151,7 @@ struct TfimScenario
 
 std::string freshDir(const std::string &name)
 {
-    const fs::path dir =
-        fs::path(::testing::TempDir()) /
-        ("qismet_resume_" + name + "_" + std::to_string(::getpid()));
-    fs::remove_all(dir);
-    return dir.string();
+    return test::scratchDir("qismet_resume_" + name, false).string();
 }
 
 /** One planned simulated crash. */

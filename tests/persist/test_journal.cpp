@@ -31,6 +31,8 @@
 #include "common/rng.hpp"
 #include "fault/crash_point.hpp"
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -45,14 +47,7 @@ class JournalTest : public ::testing::Test
         // whole-binary <label>.suite entry (which run the same test
         // concurrently under `ctest --preset all -j`) off each
         // other's directories.
-        dir_ = fs::path(::testing::TempDir()) /
-               ("qismet_journal_" +
-                std::string(::testing::UnitTest::GetInstance()
-                                ->current_test_info()
-                                ->name()) +
-                "_" + std::to_string(::getpid()));
-        fs::remove_all(dir_);
-        fs::create_directories(dir_);
+        dir_ = test::scratchDirForCurrentTest("qismet_journal");
     }
 
     void TearDown() override { fs::remove_all(dir_); }

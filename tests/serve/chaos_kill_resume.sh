@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Whole-process kill-and-resume under chaos: run the serve_chaos CLI
+# with an armed Exit crash point (std::_Exit(43) at a job boundary —
+# early enough to land inside the schedule's opening outage windows),
+# then resume over the surviving state directory. Resume rebuilds the
+# job table, the fleet health/breaker state (manifest health frames)
+# and the fleet clock, and the finished per-job table must be
+# byte-identical to an uninterrupted run of the same seeds.
+#
+# Usage: chaos_kill_resume.sh <serve_chaos-binary> [runs] [kill-after]
+set -u
+
+CHAOS_BIN=${1:?usage: chaos_kill_resume.sh <serve_chaos-binary>}
+RUNS=${2:-40}
+KILL_AFTER=${3:-8}
+STATE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/qismet_chaos_kill.XXXXXX")
+trap 'rm -rf "$STATE_DIR"' EXIT
+
+# One workload, one schedule, everywhere: the table is a pure function
+# of these flags (never of --workers or the kill).
+COMMON_ARGS=(--runs "$RUNS" --jobs 8 --queue-bound 24)
+
+echo "== phase 1: uninterrupted chaotic run (reference table) =="
+"$CHAOS_BIN" "${COMMON_ARGS[@]}" --workers 2 \
+    --digest-out "$STATE_DIR/clean.csv" || exit 1
+
+echo "== phase 2: chaotic run killed at job boundary $KILL_AFTER =="
+"$CHAOS_BIN" "${COMMON_ARGS[@]}" --workers 4 \
+    --state-dir "$STATE_DIR/state" --kill-after "$KILL_AFTER"
+status=$?
+if [ "$status" -ne 43 ]; then
+    echo "FAIL: expected the armed crash point to exit 43, got $status"
+    exit 1
+fi
+
+echo "== phase 3: resume mid-chaos, verify against solo =="
+"$CHAOS_BIN" "${COMMON_ARGS[@]}" --workers 4 \
+    --state-dir "$STATE_DIR/state" --resume --verify-solo \
+    --digest-out "$STATE_DIR/resumed.csv" || exit 1
+
+# The whole workload is journaled before dispatch unpauses (paused
+# submission), so the resumed table covers every job — completed,
+# shed and failed alike — and must equal the uninterrupted run's
+# byte for byte.
+if ! cmp -s "$STATE_DIR/clean.csv" "$STATE_DIR/resumed.csv"; then
+    echo "FAIL: kill+resume table differs from an uninterrupted run"
+    diff "$STATE_DIR/clean.csv" "$STATE_DIR/resumed.csv" | head -20
+    exit 1
+fi
+echo "PASS: chaos kill+resume table is bit-identical to the" \
+     "uninterrupted run"

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Chaos replay equivalence (the `chaos` tier): a generated fleet fault
+ * schedule produces the *same* per-job outcome table — states, shed
+ * set and trajectory digests — at every worker count, every completed
+ * run still equals its solo execution, and the repo's pinned golden
+ * workloads survive a chaotic fleet (outages forcing migrations,
+ * slowdowns, a calibration storm) byte for byte.
+ *
+ * This is the serve determinism contract under adversity: chaos may
+ * reshape *which machine* runs a leg and *when*, never *what the run
+ * computes*. Collision identity (which leg hits which outage window)
+ * is explicitly interleaving-dependent; outcome identity is not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/chaos.hpp"
+#include "serve/scheduler.hpp"
+#include "vqe/run_digest.hpp"
+
+namespace qismet {
+namespace {
+
+/** Mirror of the serve_chaos CLI workload derivation (kChaosWorkload
+ * stream): spec i is a pure function of (seed, i). */
+ServeJobSpec
+chaosSpec(std::uint64_t master_seed, std::uint64_t index,
+          std::uint64_t tenants)
+{
+    Rng rng(deriveStreamSeed(master_seed, StreamDomain::kChaosWorkload,
+                             index));
+    ServeJobSpec spec;
+    spec.tenantId = rng.uniformInt(tenants);
+    spec.priority = static_cast<int>(rng.uniformInt(3));
+    const std::uint64_t kindDraw = rng.uniformInt(10);
+    if (kindDraw < 7) {
+        spec.kind = WorkloadKind::TfimApp;
+        spec.appIndex = static_cast<int>(1 + rng.uniformInt(6));
+    }
+    else if (kindDraw < 9) {
+        spec.kind = WorkloadKind::QaoaRing;
+    }
+    else {
+        spec.kind = WorkloadKind::H2Vqe;
+    }
+    spec.seed = rng.engine()();
+    spec.totalJobs = 8 + rng.uniformInt(8);
+    spec.withFaults = rng.bernoulli(0.3);
+    if (rng.uniform() < 0.25)
+        spec.deadlineSimSeconds =
+            0.6 * static_cast<double>(spec.totalJobs);
+    return spec;
+}
+
+/** Per-job (state, digest) table of one chaotic fleet execution. */
+std::map<std::uint64_t, std::pair<ServeJobState, std::string>>
+runChaoticFleet(const std::vector<ServeJobSpec> &specs,
+                const ChaosSchedule &schedule, std::size_t workers,
+                ServeFleetStats *stats_out = nullptr)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.backends = {"guadalupe", "guadalupe", "guadalupe"};
+    cfg.queueBound = 16;
+    cfg.chaos = &schedule;
+    cfg.startPaused = true; // worker-count-invariant shed set
+    ServeScheduler scheduler(cfg);
+    for (const ServeJobSpec &spec : specs)
+        scheduler.submit(spec);
+    scheduler.setPaused(false);
+    scheduler.drain();
+
+    std::map<std::uint64_t, std::pair<ServeJobState, std::string>>
+        table;
+    for (std::uint64_t id : scheduler.jobIds()) {
+        const auto info = scheduler.poll(id);
+        EXPECT_TRUE(info.has_value());
+        table[id] = {info->state, info->trajectoryDigest};
+    }
+    if (stats_out != nullptr)
+        *stats_out = scheduler.fleetStats();
+    return table;
+}
+
+TEST(ChaosReplay, OutcomeTableInvariantAcrossWorkerCounts)
+{
+    ChaosConfig chaosCfg;
+    chaosCfg.backends = 3;
+    chaosCfg.tenants = 4;
+    chaosCfg.horizonTicks = 96;
+    const ChaosSchedule schedule = generateChaosSchedule(chaosCfg, 99);
+
+    std::vector<ServeJobSpec> specs;
+    for (std::uint64_t i = 0; i < 24; ++i)
+        specs.push_back(chaosSpec(2026, i, chaosCfg.tenants));
+
+    ServeFleetStats soloStats;
+    const auto solo = runChaoticFleet(specs, schedule, 1, &soloStats);
+    // The schedule actually bit: something was shed, migrated or
+    // truncated — this test must not pass vacuously.
+    EXPECT_GT(soloStats.shed + soloStats.migrations +
+                  soloStats.deadlineExpirations,
+              0u);
+
+    for (std::size_t workers : {2u, 4u, 8u}) {
+        const auto wide = runChaoticFleet(specs, schedule, workers);
+        EXPECT_EQ(solo, wide)
+            << "outcome table diverged at " << workers << " workers";
+    }
+
+    // Outcome purity: every completed run equals its solo execution.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &[state, digest] = solo.at(i + 1);
+        if (state != ServeJobState::Completed)
+            continue;
+        const QismetVqe runner = buildRunner(specs[i]);
+        EXPECT_EQ(digest,
+                  trajectoryDigest(
+                      runner.run(buildRunConfig(specs[i])).run))
+            << "spec " << i;
+    }
+}
+
+TEST(ChaosReplay, GoldenWorkloadsSurviveAChaoticFleet)
+{
+    struct GoldenCase
+    {
+        const char *name;
+        ServeJobSpec spec;
+        const char *digest;
+        double finalEstimate;
+    };
+    // The three repo-wide golden pins (tests/golden,
+    // tests/serve/test_serve_golden.cpp) — constants predate the
+    // chaos layer and must survive it untouched.
+    std::vector<GoldenCase> cases(3);
+    cases[0].name = "h2-vqe";
+    cases[0].spec.kind = WorkloadKind::H2Vqe;
+    cases[0].spec.seed = 11;
+    cases[0].spec.totalJobs = 200;
+    cases[0].digest = "c2c0acaf7d968c0e";
+    cases[0].finalEstimate = -0.37032714293828062;
+    cases[1].name = "tfim-vqe-faults";
+    cases[1].spec.kind = WorkloadKind::TfimApp;
+    cases[1].spec.appIndex = 1;
+    cases[1].spec.seed = 23;
+    cases[1].spec.totalJobs = 200;
+    cases[1].spec.withFaults = true;
+    cases[1].digest = "52dbf1dc85157f0e";
+    cases[1].finalEstimate = -2.2793949905318844;
+    cases[2].name = "qaoa-maxcut";
+    cases[2].spec.kind = WorkloadKind::QaoaRing;
+    cases[2].spec.seed = 37;
+    cases[2].spec.totalJobs = 200;
+    cases[2].digest = "b2296b1a912f1e94";
+    cases[2].finalEstimate = -3.7907668020003014;
+
+    // A deliberately hostile hand-built schedule: every backend opens
+    // with an outage (forcing the goldens' first legs to migrate), a
+    // long slowdown degrades one machine, and a storm drifts another.
+    std::vector<ChaosEvent> events;
+    for (std::uint64_t b = 0; b < 3; ++b) {
+        ChaosEvent outage;
+        outage.kind = ChaosKind::BackendOutage;
+        outage.target = b;
+        outage.startTick = b; // staggered: never all down at once
+        outage.endTick = b + 3;
+        events.push_back(outage);
+    }
+    ChaosEvent slow;
+    slow.kind = ChaosKind::BackendSlowdown;
+    slow.target = 1;
+    slow.startTick = 0;
+    slow.endTick = 40;
+    slow.magnitude = 6.0;
+    events.push_back(slow);
+    ChaosEvent storm;
+    storm.kind = ChaosKind::CalibrationStorm;
+    storm.target = 2;
+    storm.startTick = 4;
+    storm.endTick = 30;
+    storm.count = 3;
+    events.push_back(storm);
+    const ChaosSchedule schedule(std::move(events));
+
+    ServeSchedulerConfig cfg;
+    cfg.workers = 4;
+    cfg.backends = {"guadalupe", "toronto", "sydney"};
+    cfg.chaos = &schedule;
+    ServeScheduler scheduler(cfg);
+
+    // Filler tenants keep the fleet contended while the goldens run
+    // (same construction as the golden serve suite).
+    std::map<std::string, std::uint64_t> goldenIds;
+    std::size_t f = 0;
+    for (const GoldenCase &c : cases) {
+        for (int k = 0; k < 3; ++k) {
+            Rng rng(deriveStreamSeed(808, StreamDomain::kSoakSpec,
+                                     f++));
+            ServeJobSpec filler;
+            filler.tenantId = 1 + rng.uniformInt(3);
+            filler.priority = static_cast<int>(rng.uniformInt(2));
+            filler.kind = WorkloadKind::TfimApp;
+            filler.appIndex = static_cast<int>(1 + rng.uniformInt(6));
+            filler.seed = rng.engine()();
+            filler.totalJobs = 6 + rng.uniformInt(6);
+            filler.withFaults = rng.bernoulli(0.5);
+            scheduler.submit(filler);
+        }
+        goldenIds[c.name] = scheduler.submit(c.spec);
+    }
+    scheduler.drain();
+
+    for (const GoldenCase &c : cases) {
+        const auto info = scheduler.poll(goldenIds.at(c.name));
+        ASSERT_TRUE(info.has_value()) << c.name;
+        ASSERT_EQ(info->state, ServeJobState::Completed) << c.name;
+        EXPECT_EQ(info->trajectoryDigest, c.digest)
+            << c.name
+            << ": trajectory diverged from the pinned golden while "
+               "served through a chaotic fleet";
+        EXPECT_DOUBLE_EQ(info->finalEstimate, c.finalEstimate)
+            << c.name;
+    }
+
+    // The opening outages really did force migrations, and every
+    // filler completed despite them.
+    const ServeFleetStats stats = scheduler.fleetStats();
+    EXPECT_GE(stats.backendFaults, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    for (std::uint64_t id : scheduler.jobIds())
+        EXPECT_EQ(scheduler.poll(id)->state, ServeJobState::Completed);
+}
+
+} // namespace
+} // namespace qismet

@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -18,14 +20,7 @@ class ServeManifestTest : public ::testing::Test
   protected:
     void SetUp() override
     {
-        dir_ = fs::path(::testing::TempDir()) /
-               ("qismet_manifest_" +
-                std::string(::testing::UnitTest::GetInstance()
-                                ->current_test_info()
-                                ->name()) +
-                "_" + std::to_string(::getpid()));
-        fs::remove_all(dir_);
-        fs::create_directories(dir_);
+        dir_ = test::scratchDirForCurrentTest("qismet_manifest");
         path_ = (dir_ / "manifest.qsvm").string();
     }
 

@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <future>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -21,6 +24,8 @@
 #include "common/rng.hpp"
 #include "fault/crash_point.hpp"
 #include "vqe/run_digest.hpp"
+
+#include "common/scratch_dir.hpp"
 
 namespace qismet {
 namespace {
@@ -76,11 +81,7 @@ serveAll(const std::vector<ServeJobSpec> &specs,
 fs::path
 freshDir(const std::string &name)
 {
-    const fs::path dir =
-        fs::path(::testing::TempDir()) /
-        ("qismet_serve_" + name + "_" + std::to_string(::getpid()));
-    fs::remove_all(dir);
-    return dir;
+    return test::scratchDir("qismet_serve_" + name, false);
 }
 
 TEST(ServeScheduler, ConfigValidation)
@@ -160,6 +161,33 @@ TEST(ServeScheduler, CancelQueuedJobNeverRuns)
     EXPECT_EQ(got, cancelled ? ServeJobState::Cancelled
                              : ServeJobState::Completed);
     EXPECT_FALSE(scheduler.poll(999).has_value());
+}
+
+TEST(ServeScheduler, CancelDuringDrainReleasesTheDrainer)
+{
+    // Regression: a drain() blocked on the last pending job must wake
+    // when that job is *cancelled* rather than completed — the cancel
+    // path has to signal the idle condition itself. The paused
+    // scheduler guarantees the job can never complete on its own, so
+    // only the cancel can release the drainer.
+    ServeSchedulerConfig cfg;
+    cfg.startPaused = true;
+    ServeScheduler scheduler(cfg);
+    const std::uint64_t id = scheduler.submit(smallWorkload(1)[0]);
+
+    // A raw thread on purpose: the subject under test is drain()'s own
+    // blocking, so it cannot run on the scheduler's ThreadPool.
+    auto drained = std::async( // qismet-lint: allow(raw-thread)
+        std::launch::async, [&] { scheduler.drain(); });
+    // Let the drainer reach its condition-variable wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(scheduler.cancel(id));
+    ASSERT_EQ(drained.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "drain() still blocked after the last pending job was "
+           "cancelled";
+    drained.get();
+    EXPECT_EQ(scheduler.poll(id)->state, ServeJobState::Cancelled);
 }
 
 TEST(ServeScheduler, CrashPlanLegsRecoverBitIdentically)
@@ -295,6 +323,16 @@ TEST(ServeScheduler, ResumeFinishesInterruptedRunBitIdentically)
         enc.writeU64(cfg.backends.size());
         for (const std::string &name : cfg.backends)
             enc.writeString(name);
+        enc.writeU64(cfg.queueBound);
+        enc.writeU64(0); // no chaos schedule
+        enc.writeI64(cfg.health.degradeAfterFaults);
+        enc.writeI64(cfg.health.quarantineAfterFaults);
+        enc.writeI64(cfg.health.recoverAfterSuccesses);
+        enc.writeU64(cfg.health.breakerCooldownTicks);
+        enc.writeF64(cfg.health.breakerCooldownGrowth);
+        enc.writeU64(cfg.health.breakerMaxCooldownTicks);
+        enc.writeF64(cfg.health.latencyDegradeFactor);
+        enc.writeF64(cfg.health.latencyEwmaAlpha);
         ServeManifest manifest(state + "/manifest.qsvm",
                                fnv1a64(enc.bytes()),
                                DurableFile::Mode::Truncate);

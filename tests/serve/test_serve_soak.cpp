@@ -21,6 +21,8 @@
 
 #include "soak_workload.hpp"
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -49,10 +51,7 @@ runFleet(const std::vector<ServeJobSpec> &specs, std::size_t workers,
 
 TEST(ServeSoak, ThousandRunSoak)
 {
-    const fs::path dir =
-        fs::path(::testing::TempDir()) /
-        ("qismet_soak_thousand_" + std::to_string(::getpid()));
-    fs::remove_all(dir);
+    const fs::path dir = test::scratchDir("qismet_soak_thousand", false);
     const std::size_t kRuns = 1000;
     const std::vector<ServeJobSpec> specs =
         test::soakWorkload(90210, kRuns, true);

@@ -18,6 +18,8 @@
 
 #include "soak_workload.hpp"
 
+#include "common/scratch_dir.hpp"
+
 namespace qismet {
 namespace {
 
@@ -25,10 +27,7 @@ namespace fs = std::filesystem;
 
 TEST(ServeSoak, SoakSmoke)
 {
-    const fs::path dir =
-        fs::path(::testing::TempDir()) /
-        ("qismet_soak_smoke_" + std::to_string(::getpid()));
-    fs::remove_all(dir);
+    const fs::path dir = test::scratchDir("qismet_soak_smoke", false);
     const std::vector<ServeJobSpec> specs =
         test::soakWorkload(31337, 24, true);
 

@@ -2,7 +2,9 @@
 # Single-command CI driver: configure -> build -> tier1 tests -> golden
 # traces -> crash-resume recovery (in-process suite plus a scripted
 # kill-mid-run + resume + trajectory-diff smoke) -> serve-layer soak
-# (multi-tenant multiplex + scheduler kill/resume) -> kernel-bench
+# (multi-tenant multiplex + scheduler kill/resume) -> fleet chaos tier
+# (replay equivalence + kill/resume under injected fleet faults +
+# CLI digest identity across worker counts) -> kernel-bench
 # baseline gate -> lint (baseline diff + SARIF artifact) -> TSan sweep
 # of the concurrency-heavy suites. This is the gate every change must
 # pass; it
@@ -94,6 +96,30 @@ stage "serve-layer soak (multiplexed runs + scheduler kill/resume)"
 # this stage runs the full thing — about a minute.
 ctest --preset soak
 
+stage "fleet chaos tier (replay equivalence + kill/resume under faults)"
+# The `chaos` label holds the fast fleet-resilience suite, the replay
+# equivalence battery (same per-job outcome table at every worker
+# count; golden workloads bit-identical through a hostile fleet) and
+# the whole-process kill(exit 43)+resume script over the serve_chaos
+# CLI, which dies inside a backend-outage window and must reproduce
+# the uninterrupted table on resume.
+ctest --preset chaos
+
+stage "serve_chaos digest identity across worker counts"
+# Belt and braces on top of the gtest replay suite: the CLI itself,
+# driven exactly as an operator would, must print byte-identical
+# per-job tables at 1, 2 and 4 workers under the same chaos schedule.
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir" "$chaos_dir"' EXIT
+chaos_cli=./build/tools/serve_chaos
+chaos_args=(--runs 24 --jobs 8 --seed 2026 --chaos-seed 99 --queue-bound 12)
+"$chaos_cli" "${chaos_args[@]}" --workers 1 --digest-out "$chaos_dir/w1.csv"
+"$chaos_cli" "${chaos_args[@]}" --workers 2 --digest-out "$chaos_dir/w2.csv"
+"$chaos_cli" "${chaos_args[@]}" --workers 4 --digest-out "$chaos_dir/w4.csv"
+cmp "$chaos_dir/w1.csv" "$chaos_dir/w2.csv"
+cmp "$chaos_dir/w1.csv" "$chaos_dir/w4.csv"
+echo "serve_chaos outcome tables identical at 1/2/4 workers"
+
 stage "kernel benchmarks vs tracked baseline (BENCH_kernels.json)"
 # Short min_time keeps this a smoke-level gate: it catches order-of-
 # magnitude regressions (a dropped fusion path, an allocation in the
@@ -175,13 +201,16 @@ cmake --build --preset lint
 ctest --preset lint
 echo "ci: SARIF artifact at build/qismet-lint.sarif"
 
-stage "tsan subsystem sweep (serve + persist + fault + simkern suites)"
+stage "tsan subsystem sweep (serve + persist + fault + simkern + chaos)"
 # The concurrency-heavy suites rerun under ThreadSanitizer; any data
 # race is a hard failure. Only the subsystem binaries are built in the
-# tsan tree to keep the stage bounded (~3 min).
+# tsan tree to keep the stage bounded (~3 min). The chaos suites ride
+# along (fault injection exercises the scheduler's migration paths);
+# the kill/resume shell harness is excluded by name — process-death
+# determinism is the chaos tier's job, not the race hunter's.
 cmake --preset tsan >/dev/null
 cmake --build build-tsan --target test_serve test_persist test_fault \
-    test_sim_kernels -j "$jobs"
+    test_sim_kernels test_serve_chaos test_serve_chaos_replay -j "$jobs"
 ctest --preset tsan-subsys
 
 stage "kernel suites under ASan+UBSan and standalone UBSan"

@@ -1,0 +1,105 @@
+// Fixture: every retry loop here must trigger the unbounded-retry rule
+// when linted under a synthetic src/ path (the rule is path-scoped, so
+// under this file's real path it stays silent). The bounded shapes at
+// the bottom must never fire.
+// This file is never compiled; it only feeds the linter's test suite.
+
+struct Response
+{
+    bool ok;
+};
+Response send(int req);
+bool attemptOnce();
+bool sendWithBackoff(int job);
+bool retryOnce();
+
+void spinUntilSuccess(int req)
+{
+    int retryCount = 0;
+    while (true) { // no budget, no breaker: spins on a dead backend
+        Response r = send(req);
+        if (r.ok) {
+            break;
+        }
+        ++retryCount;
+    }
+}
+
+void retryUntilOk()
+{
+    bool ok = false;
+    while (!ok) { // condition has no bound and body names no budget
+        ok = attemptOnce();
+    }
+}
+
+void backoffForever(int job)
+{
+    for (;;) { // the backoff shapes the delay, not the attempt count
+        if (sendWithBackoff(job)) {
+            return;
+        }
+    }
+}
+
+// ---- bounded shapes the rule must accept ---------------------------------
+
+struct RetryPolicy
+{
+    int maxRetries;
+};
+
+void countedBudget(const RetryPolicy &policy, int req)
+{
+    int retries = 0;
+    while (retries < policy.maxRetries) {
+        if (send(req).ok) {
+            break;
+        }
+        ++retries;
+    }
+}
+
+int budgetRemaining(int b);
+
+void namedBudgetCheck(int b)
+{
+    bool done = false;
+    while (!done) {
+        if (budgetRemaining(b) == 0) {
+            break;
+        }
+        done = retryOnce();
+    }
+}
+
+void countedForLoop(int req)
+{
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        if (send(req).ok) {
+            return;
+        }
+    }
+}
+
+struct Record
+{
+    int retryIndex;
+};
+
+int sumRetries(const Record (&history)[4])
+{
+    int sum = 0;
+    for (const Record &rec : history) { // range-for: container-bounded
+        sum += rec.retryIndex;
+    }
+    return sum;
+}
+
+void notARetryLoop(int n)
+{
+    int sum = 0;
+    while (sum != n) { // never mentions retry state at all
+        ++sum;
+    }
+}

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <initializer_list>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -84,6 +85,7 @@ class Linter
         checkSplitInTask();
         checkDenseMatrixInLoop();
         checkStreamOffset();
+        checkUnboundedRetry();
         std::sort(findings_.begin(), findings_.end(),
                   [](const Finding &a, const Finding &b) {
                       return a.line < b.line ||
@@ -813,6 +815,140 @@ class Linter
         return false;
     }
 
+    // ---- unbounded-retry -------------------------------------------------
+
+    /**
+     * Retry loops in src/ must carry a visible bound. A `while`/`for`
+     * loop whose condition or body mentions retry state (retry,
+     * attempt, backoff) is a retry loop; it passes only when its
+     * condition contains a real comparison (`<`/`>` — a counted
+     * budget or deadline test) or the loop names a budget/breaker
+     * check anywhere (budget, limit, max*, deadline, breaker,
+     * cooldown, remaining). `while (true)` and retry-until-success
+     * shapes with neither spin forever against a backend that faults
+     * persistently; the serve layer bounds every retry path with a
+     * budget or routes it through the circuit breaker (DESIGN.md
+     * section 15).
+     */
+    void checkUnboundedRetry()
+    {
+        if (!underSrcTree(path_)) {
+            return;
+        }
+        const std::string rule = "unbounded-retry";
+        const std::string &text = scrubbed_.text;
+        for (const Token &t : tokens_) {
+            if ((t.name != "while" && t.name != "for") ||
+                isMemberAccess(text, t.pos)) {
+                continue;
+            }
+            std::size_t open = nextNonSpace(text, t.end);
+            if (open == std::string::npos || text[open] != '(') {
+                continue;
+            }
+            std::size_t close = matchDelim(text, open);
+            if (close == std::string::npos) {
+                continue;
+            }
+            // Range-for is bounded by its container: a `:` that is not
+            // part of `::` in the head means nothing to flag here.
+            if (t.name == "for" && isRangeFor(text, open + 1, close)) {
+                continue;
+            }
+            std::size_t bodyStart = nextNonSpace(text, close + 1);
+            if (bodyStart == std::string::npos) {
+                continue;
+            }
+            std::size_t bodyEnd;
+            if (text[bodyStart] == '{') {
+                bodyEnd = matchDelim(text, bodyStart);
+            } else {
+                bodyEnd = text.find(';', bodyStart);
+            }
+            if (bodyEnd == std::string::npos) {
+                continue;
+            }
+            if (!mentionsAny(text, open, bodyEnd,
+                             {"retry", "attempt", "backoff"})) {
+                continue;
+            }
+            if (hasComparisonBound(text, open + 1, close) ||
+                mentionsAny(text, open, bodyEnd,
+                            {"budget", "limit", "max", "deadline",
+                             "breaker", "cooldown", "remaining"})) {
+                continue;
+            }
+            report(rule, t.line,
+                   "retry loop without a visible budget or breaker "
+                   "check: bound it (retry budget, deadline, or a "
+                   "comparison in the loop condition) or route it "
+                   "through the circuit breaker — an unbounded retry "
+                   "spins forever against a persistently faulted "
+                   "backend (DESIGN.md section 15)");
+        }
+    }
+
+    /** True when text[from, to) holds a `:` that is not part of `::`. */
+    static bool isRangeFor(const std::string &text, std::size_t from,
+                           std::size_t to)
+    {
+        for (std::size_t i = from; i < to && i < text.size(); ++i) {
+            if (text[i] != ':') {
+                continue;
+            }
+            const bool doubled = (i + 1 < to && text[i + 1] == ':') ||
+                                 (i > from && text[i - 1] == ':');
+            if (!doubled) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Case-insensitive substring search over text[from, to). */
+    static bool mentionsAny(const std::string &text, std::size_t from,
+                            std::size_t to,
+                            std::initializer_list<const char *> needles)
+    {
+        std::string region = text.substr(from, to - from);
+        std::transform(region.begin(), region.end(), region.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        for (const char *needle : needles) {
+            if (region.find(needle) != std::string::npos) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * True when text[from, to) contains a `<` or `>` comparison —
+     * `<<`, `>>` and `->` are not comparisons. A comparison in a loop
+     * condition is read as a counted bound.
+     */
+    static bool hasComparisonBound(const std::string &text,
+                                   std::size_t from, std::size_t to)
+    {
+        for (std::size_t i = from; i < to && i < text.size(); ++i) {
+            const char c = text[i];
+            if (c != '<' && c != '>') {
+                continue;
+            }
+            const char prev = i > from ? text[i - 1] : '\0';
+            const char next = i + 1 < to ? text[i + 1] : '\0';
+            if (c == '<' && (next == '<' || prev == '<')) {
+                continue;
+            }
+            if (c == '>' && (next == '>' || prev == '>' || prev == '-')) {
+                continue;
+            }
+            return true;
+        }
+        return false;
+    }
+
     std::string path_;
     Scrubbed scrubbed_;
     std::vector<Token> tokens_;
@@ -827,7 +963,7 @@ const std::vector<std::string> &allRules()
     static const std::vector<std::string> rules = {
         "ambient-rng",    "unordered-reduction", "raw-thread",
         "raw-file-write", "naked-new",           "split-in-task",
-        "dense-matrix-in-loop", "stream-offset",
+        "dense-matrix-in-loop", "stream-offset", "unbounded-retry",
         // Cross-TU passes (passes.cpp) over the semantic index.
         "stream-lineage", "lock-order", "durability-ordering"};
     return rules;

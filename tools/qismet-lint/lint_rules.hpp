@@ -55,6 +55,14 @@
  *                           stream-derivation call: linear packings
  *                           collide under adversarial ID patterns
  *                           (StreamDomain note, src/common/rng.hpp).
+ *  - `unbounded-retry`    — retry loops in src/ must carry a visible
+ *                           bound: a comparison in the loop condition
+ *                           (a counted budget or deadline test) or a
+ *                           named budget/breaker check in the loop.
+ *                           `while (true) { ... retry ... }` with
+ *                           neither spins forever against a
+ *                           persistently faulted backend (DESIGN.md
+ *                           section 15).
  *
  * Suppression: append `// qismet-lint: allow(<rule>[, <rule>...])` to the
  * offending line, or place it alone on the line directly above. A

@@ -106,6 +106,23 @@ const std::vector<RuleDoc> &allRuleDocs()
          "per-file",
          "Rng jobRng(config.seed + jobId);",
          "Rng jobRng(deriveStreamSeed(config.seed, kServeRun, jobId));"},
+        {"unbounded-retry",
+         "Every retry loop carries a visible budget or breaker check.",
+         "A retry loop with no bound spins forever against a backend "
+         "that faults persistently — exactly the failure the fleet "
+         "health model exists to contain (DESIGN.md section 15). The "
+         "rule flags `while`/`for` loops that mention retry state "
+         "(retry, attempt, backoff) but have neither a comparison in "
+         "the loop condition (a counted budget or deadline test) nor "
+         "a named budget/breaker check (budget, limit, max*, "
+         "deadline, breaker, cooldown, remaining) anywhere in the "
+         "loop. Bound the loop with a retry budget or deadline, or "
+         "route the operation through the circuit breaker.",
+         "src/",
+         "per-file",
+         "while (true) { if (tryOnce()) break; ++retries; }",
+         "while (retries < policy.maxRetries) { if (tryOnce()) break; "
+         "++retries; }"},
         {"stream-lineage",
          "An Rng stream must have exactly one consumer.",
          "Three cross-TU shapes break stream lineage. (a) Reuse: one "

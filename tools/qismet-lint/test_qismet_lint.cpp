@@ -30,15 +30,15 @@ using qlint_test::ruleFindings;
 
 // ---- rule registry -------------------------------------------------------
 
-TEST(LintRegistry, AllElevenRulesRegistered)
+TEST(LintRegistry, AllTwelveRulesRegistered)
 {
     const auto &rules = qlint::allRules();
-    ASSERT_EQ(rules.size(), 11u);
+    ASSERT_EQ(rules.size(), 12u);
     for (const char *rule :
          {"ambient-rng", "unordered-reduction", "raw-thread",
           "raw-file-write", "naked-new", "split-in-task",
-          "dense-matrix-in-loop", "stream-offset", "stream-lineage",
-          "lock-order", "durability-ordering"}) {
+          "dense-matrix-in-loop", "stream-offset", "unbounded-retry",
+          "stream-lineage", "lock-order", "durability-ordering"}) {
         EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
             << rule;
     }
@@ -599,6 +599,123 @@ TEST(StreamOffset, FixtureFiresUnderSyntheticServePath)
     // Under the fixture's real path (outside src/serve) the rule — and
     // every other rule — stays silent.
     EXPECT_TRUE(lintFile(fixture("bad_stream_offset.cpp")).empty());
+}
+
+// ---- unbounded-retry -----------------------------------------------------
+
+TEST(UnboundedRetry, FiresOnRetryLoopsWithoutAVisibleBound)
+{
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "while (true) { if (send(req).ok) break; "
+                        "++retryCount; }",
+                        "unbounded-retry"),
+              1);
+    EXPECT_EQ(countRule("src/vqe/vqe_driver.cpp",
+                        "while (!ok) { ok = attemptOnce(); }",
+                        "unbounded-retry"),
+              1);
+    // The backoff shapes the delay between attempts, not their count.
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "for (;;) { if (sendWithBackoff(job)) return; }",
+                        "unbounded-retry"),
+              1);
+}
+
+TEST(UnboundedRetry, AcceptsComparisonBoundsInTheCondition)
+{
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "while (retries < policy.maxRetries) { "
+                        "if (send(req).ok) break; ++retries; }",
+                        "unbounded-retry"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "for (int attempt = 0; attempt < 5; ++attempt) { "
+                        "if (send(req).ok) return; }",
+                        "unbounded-retry"),
+              0);
+    // `<<`, `>>` and `->` are not comparisons: this one still fires.
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "while (it->active) { log << retryState(it); }",
+                        "unbounded-retry"),
+              1);
+}
+
+TEST(UnboundedRetry, AcceptsNamedBudgetAndBreakerChecks)
+{
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "while (!done) { if (budgetRemaining(b) == 0) "
+                        "break; done = retryOnce(); }",
+                        "unbounded-retry"),
+              0);
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "while (!done) { if (breaker.open()) break; "
+                        "done = retryOnce(); }",
+                        "unbounded-retry"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "while (true) { if (attempt == deadline) break; "
+                        "++attempt; }",
+                        "unbounded-retry"),
+              0);
+}
+
+TEST(UnboundedRetry, IgnoresRangeForLoops)
+{
+    // Range-for is bounded by its container even when it walks retry
+    // state (the digest layer serializes rec.retryIndex this way).
+    EXPECT_EQ(countRule("src/vqe/run_digest.cpp",
+                        "for (const VqeJobRecord &rec : run.history) { "
+                        "csv += std::to_string(rec.retryIndex); }",
+                        "unbounded-retry"),
+              0);
+    // `::` alone does not make a three-clause for a range-for.
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "for (std::size_t i = 0; notDone(std::ref(s)); "
+                        "++i) { s = attemptOnce(); }",
+                        "unbounded-retry"),
+              1);
+}
+
+TEST(UnboundedRetry, IgnoresLoopsWithoutRetryState)
+{
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "while (!queue.empty()) { dispatch(queue.pop()); }",
+                        "unbounded-retry"),
+              0);
+    EXPECT_EQ(countRule("src/serve/scheduler.cpp",
+                        "for (;;) { if (drained()) break; step(); }",
+                        "unbounded-retry"),
+              0);
+}
+
+TEST(UnboundedRetry, ScopedToSrcTreeAndSuppressible)
+{
+    const char *src = "while (true) { ok = attemptOnce(); if (ok) break; }";
+    for (const char *path :
+         {"tests/serve/test_serve_core.cpp", "tools/serve_chaos.cpp",
+          "bench/bench_retry.cpp"}) {
+        EXPECT_EQ(countRule(path, src, "unbounded-retry"), 0) << path;
+    }
+    EXPECT_EQ(countRule("src/serve/backend_pool.cpp",
+                        "while (true) { ok = attemptOnce(); if (ok) break; } "
+                        "// qismet-lint: allow(unbounded-retry)",
+                        "unbounded-retry"),
+              0);
+}
+
+TEST(UnboundedRetry, FixtureFiresUnderSyntheticSrcPath)
+{
+    const auto findings =
+        lintSource("src/serve/bad_unbounded_retry.cpp",
+                   fixtureSource("bad_unbounded_retry.cpp"));
+    EXPECT_EQ(findings.size(), 3u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "unbounded-retry") << f.file << ":" << f.line;
+        EXPECT_GT(f.line, 0);
+        EXPECT_FALSE(f.message.empty());
+    }
+    // Under the fixture's real path (outside src/) every rule is silent.
+    EXPECT_TRUE(lintFile(fixture("bad_unbounded_retry.cpp")).empty());
 }
 
 // ---- fixture files -------------------------------------------------------
