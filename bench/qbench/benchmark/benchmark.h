@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Drop-in header shim: bench sources keep `#include
+ * <benchmark/benchmark.h>` and resolve to the vendored qbench harness
+ * through this directory being on the include path (see
+ * bench/qbench/qbench.hpp for why the harness is vendored).
+ */
+
+#ifndef QISMET_BENCH_QBENCH_SHIM_H
+#define QISMET_BENCH_QBENCH_SHIM_H
+
+#include "../qbench.hpp"
+
+#endif // QISMET_BENCH_QBENCH_SHIM_H

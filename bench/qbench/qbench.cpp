@@ -1,0 +1,525 @@
+/** @file qbench harness implementation (see qbench.hpp). */
+
+#include "qbench.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <memory>
+#include <regex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace benchmark {
+
+namespace {
+
+/** Monotonic wall clock, seconds. */
+double
+wallNow()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Process CPU clock, seconds. */
+double
+cpuNow()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct Flags
+{
+    double minTime = 0.5;
+    std::size_t repetitions = 1;
+    std::string filter;
+    std::string outPath;
+    std::string outFormat = "json";
+};
+
+Flags g_flags;
+std::string g_executable = "qbench";
+
+std::vector<std::unique_ptr<internal::Benchmark>> &
+registry()
+{
+    static std::vector<std::unique_ptr<internal::Benchmark>> families;
+    return families;
+}
+
+const char *
+unitName(TimeUnit unit)
+{
+    switch (unit) {
+      case kNanosecond:
+        return "ns";
+      case kMicrosecond:
+        return "us";
+      case kMillisecond:
+        return "ms";
+      case kSecond:
+        return "s";
+    }
+    return "ns";
+}
+
+double
+unitPerSecond(TimeUnit unit)
+{
+    switch (unit) {
+      case kNanosecond:
+        return 1e9;
+      case kMicrosecond:
+        return 1e6;
+      case kMillisecond:
+        return 1e3;
+      case kSecond:
+        return 1.0;
+    }
+    return 1e9;
+}
+
+/** One emitted report row (one repetition of one run). */
+struct RunResult
+{
+    std::string runName;
+    std::size_t familyIndex = 0;
+    std::size_t instanceIndex = 0;
+    std::size_t repetitions = 1;
+    std::size_t repetitionIndex = 0;
+    std::uint64_t iterations = 0;
+    double realTime = 0.0; ///< per-iteration, in `unit`
+    double cpuTime = 0.0;  ///< per-iteration, in `unit`
+    TimeUnit unit = kNanosecond;
+    std::map<std::string, double> counters;
+    std::string label;
+    bool error = false;
+    std::string errorMessage;
+};
+
+std::string
+runName(const internal::Benchmark &family,
+        const std::vector<std::int64_t> &args)
+{
+    std::string name = family.name();
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        name += '/';
+        if (i < family.argNames().size() &&
+            !family.argNames()[i].empty()) {
+            name += family.argNames()[i];
+            name += ':';
+        }
+        name += std::to_string(args[i]);
+    }
+    return name;
+}
+
+/** One timed invocation; returns wall seconds of the whole batch. */
+State
+timedRun(const internal::Benchmark &family,
+         const std::vector<std::int64_t> &args, std::uint64_t iterations)
+{
+    State state(args, iterations);
+    family.function()(state);
+    return state;
+}
+
+RunResult
+toResult(const internal::Benchmark &family, const State &state,
+         const std::string &name)
+{
+    RunResult row;
+    row.runName = name;
+    row.unit = family.unit();
+    row.iterations = state.iterations();
+    row.label = state.label();
+    row.error = state.errorOccurred();
+    row.errorMessage = state.errorMessage();
+
+    const double iters =
+        static_cast<double>(std::max<std::uint64_t>(1, state.iterations()));
+    const double scale = unitPerSecond(family.unit());
+    row.realTime = state.realSeconds() / iters * scale;
+    row.cpuTime = state.cpuSeconds() / iters * scale;
+
+    for (const auto &[counter_name, counter] : state.counters) {
+        double value = counter.value;
+        if ((counter.flags & Counter::kIsIterationInvariantRate) != 0) {
+            // Rate per CPU second (google-benchmark divides rate
+            // counters by CPU time, which the tracked baselines
+            // already encode).
+            const double cpu = std::max(state.cpuSeconds(), 1e-12);
+            value = counter.value * iters / cpu;
+        }
+        row.counters[counter_name] = value;
+    }
+    return row;
+}
+
+/** Minimal JSON string escaping (names/labels are ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+writeJson(const std::vector<RunResult> &rows, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("qbench: cannot open " + path);
+
+    char host[256] = "unknown";
+    gethostname(host, sizeof host - 1);
+    char date[64] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    std::strftime(date, sizeof date, "%FT%T+00:00", &tm_utc);
+
+    // The build-type stamp the whole vendoring exercise exists for:
+    // a property of THIS translation unit's compile, not of a distro
+    // package (bench-compare.sh hard-fails a debug baseline).
+#ifdef NDEBUG
+    const char *build_type = "release";
+#else
+    const char *build_type = "debug";
+#endif
+
+    std::fprintf(f, "{\n  \"context\": {\n");
+    std::fprintf(f, "    \"date\": \"%s\",\n", date);
+    std::fprintf(f, "    \"host_name\": \"%s\",\n", jsonEscape(host).c_str());
+    std::fprintf(f, "    \"executable\": \"%s\",\n",
+                 jsonEscape(g_executable).c_str());
+    const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+    std::fprintf(f, "    \"num_cpus\": %ld,\n", cpus > 0 ? cpus : 1);
+    std::fprintf(f, "    \"caches\": [],\n");
+    std::fprintf(f, "    \"harness\": \"qbench\",\n");
+    std::fprintf(f, "    \"library_build_type\": \"%s\"\n", build_type);
+    std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunResult &r = rows[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n",
+                     jsonEscape(r.runName).c_str());
+        std::fprintf(f, "      \"family_index\": %zu,\n", r.familyIndex);
+        std::fprintf(f, "      \"per_family_instance_index\": %zu,\n",
+                     r.instanceIndex);
+        std::fprintf(f, "      \"run_name\": \"%s\",\n",
+                     jsonEscape(r.runName).c_str());
+        std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+        std::fprintf(f, "      \"repetitions\": %zu,\n", r.repetitions);
+        std::fprintf(f, "      \"repetition_index\": %zu,\n",
+                     r.repetitionIndex);
+        std::fprintf(f, "      \"threads\": 1,\n");
+        if (r.error) {
+            std::fprintf(f, "      \"error_occurred\": true,\n");
+            std::fprintf(f, "      \"error_message\": \"%s\",\n",
+                         jsonEscape(r.errorMessage).c_str());
+        }
+        std::fprintf(f, "      \"iterations\": %llu,\n",
+                     static_cast<unsigned long long>(r.iterations));
+        std::fprintf(f, "      \"real_time\": %.17g,\n", r.realTime);
+        std::fprintf(f, "      \"cpu_time\": %.17g,\n", r.cpuTime);
+        std::fprintf(f, "      \"time_unit\": \"%s\"", unitName(r.unit));
+        for (const auto &[counter_name, value] : r.counters)
+            std::fprintf(f, ",\n      \"%s\": %.17g",
+                         jsonEscape(counter_name).c_str(), value);
+        if (!r.label.empty())
+            std::fprintf(f, ",\n      \"label\": \"%s\"",
+                         jsonEscape(r.label).c_str());
+        std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+void
+printConsoleRow(const RunResult &r)
+{
+    if (r.error) {
+        std::printf("%-52s ERROR: %s\n", r.runName.c_str(),
+                    r.errorMessage.c_str());
+        return;
+    }
+    std::string extra;
+    for (const auto &[counter_name, value] : r.counters) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, " %s=%.4g", counter_name.c_str(),
+                      value);
+        extra += buf;
+    }
+    if (!r.label.empty())
+        extra += " " + r.label;
+    std::printf("%-52s %12.1f %s %12.1f %s %10llu%s\n", r.runName.c_str(),
+                r.realTime, unitName(r.unit), r.cpuTime, unitName(r.unit),
+                static_cast<unsigned long long>(r.iterations),
+                extra.c_str());
+}
+
+} // namespace
+
+// --- State -----------------------------------------------------------
+
+State::State(std::vector<std::int64_t> args, std::uint64_t max_iterations)
+    : args_(std::move(args)), maxIterations_(max_iterations)
+{
+}
+
+std::int64_t
+State::range(std::size_t i) const
+{
+    if (i >= args_.size())
+        throw std::out_of_range("qbench: State::range index");
+    return args_[i];
+}
+
+void
+State::SkipWithError(const std::string &message)
+{
+    error_ = true;
+    errorMessage_ = message;
+    if (started_ && !finished_)
+        finish();
+}
+
+State::iterator
+State::begin()
+{
+    start();
+    iterator it;
+    it.parent = this;
+    it.remaining = error_ ? 0 : maxIterations_;
+    return it;
+}
+
+void
+State::start()
+{
+    started_ = true;
+    finished_ = false;
+    cpuStart_ = cpuNow();
+    realStart_ = wallNow();
+}
+
+void
+State::finish()
+{
+    if (finished_)
+        return;
+    realSeconds_ = wallNow() - realStart_;
+    cpuSeconds_ = cpuNow() - cpuStart_;
+    finished_ = true;
+}
+
+// --- Benchmark registration ------------------------------------------
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, Function fn)
+    : name_(std::move(name)), fn_(fn)
+{
+}
+
+Benchmark *
+Benchmark::Arg(std::int64_t value)
+{
+    argLists_.push_back({value});
+    return this;
+}
+
+Benchmark *
+Benchmark::Args(const std::vector<std::int64_t> &values)
+{
+    argLists_.push_back(values);
+    return this;
+}
+
+Benchmark *
+Benchmark::ArgsProduct(const std::vector<std::vector<std::int64_t>> &lists)
+{
+    std::vector<std::vector<std::int64_t>> product{{}};
+    for (const auto &axis : lists) {
+        std::vector<std::vector<std::int64_t>> next;
+        next.reserve(product.size() * axis.size());
+        for (const auto &prefix : product) {
+            for (std::int64_t value : axis) {
+                next.push_back(prefix);
+                next.back().push_back(value);
+            }
+        }
+        product = std::move(next);
+    }
+    for (auto &combo : product)
+        argLists_.push_back(std::move(combo));
+    return this;
+}
+
+Benchmark *
+Benchmark::ArgNames(const std::vector<std::string> &names)
+{
+    argNames_ = names;
+    return this;
+}
+
+Benchmark *
+Benchmark::Unit(TimeUnit unit)
+{
+    unit_ = unit;
+    return this;
+}
+
+Benchmark *
+RegisterBenchmarkInternal(const char *name, Function fn)
+{
+    registry().push_back(std::make_unique<Benchmark>(name, fn));
+    return registry().back().get();
+}
+
+} // namespace internal
+
+// --- Flags and driver ------------------------------------------------
+
+void
+Initialize(int *argc, char **argv)
+{
+    if (*argc > 0)
+        g_executable = argv[0];
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&arg](const char *prefix,
+                                    std::string &dst) {
+            const std::size_t n = std::string(prefix).size();
+            if (arg.rfind(prefix, 0) != 0)
+                return false;
+            dst = arg.substr(n);
+            return true;
+        };
+        std::string value;
+        if (valueOf("--benchmark_min_time=", value)) {
+            // Accept both "0.1" and google-benchmark's "0.1s" form.
+            if (!value.empty() && value.back() == 's')
+                value.pop_back();
+            g_flags.minTime = std::stod(value);
+        } else if (valueOf("--benchmark_repetitions=", value)) {
+            g_flags.repetitions =
+                static_cast<std::size_t>(std::stoul(value));
+        } else if (valueOf("--benchmark_filter=", value)) {
+            g_flags.filter = value;
+        } else if (valueOf("--benchmark_out_format=", value)) {
+            g_flags.outFormat = value;
+        } else if (valueOf("--benchmark_out=", value)) {
+            g_flags.outPath = value;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < *argc; ++i)
+        argv[i] = nullptr;
+    *argc = out;
+}
+
+bool
+ReportUnrecognizedArguments(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        std::fprintf(stderr, "qbench: unrecognized argument: %s\n",
+                     argv[i]);
+    return argc > 1;
+}
+
+std::size_t
+RunSpecifiedBenchmarks()
+{
+    if (g_flags.repetitions == 0)
+        g_flags.repetitions = 1;
+    std::regex filter;
+    const bool filtered = !g_flags.filter.empty();
+    if (filtered)
+        filter = std::regex(g_flags.filter);
+
+    std::printf("%-52s %15s %15s %10s\n", "benchmark", "real", "cpu",
+                "iterations");
+    std::vector<RunResult> rows;
+    std::size_t runs = 0;
+    for (std::size_t fam = 0; fam < registry().size(); ++fam) {
+        const internal::Benchmark &family = *registry()[fam];
+        std::vector<std::vector<std::int64_t>> instances =
+            family.argLists();
+        if (instances.empty())
+            instances.push_back({});
+        for (std::size_t inst = 0; inst < instances.size(); ++inst) {
+            const std::string name = runName(family, instances[inst]);
+            if (filtered && !std::regex_search(name, filter))
+                continue;
+            ++runs;
+
+            // Adaptive sizing: grow the batch until one invocation
+            // runs for at least minTime (capped to bound pathological
+            // cases), then time `repetitions` batches at that size.
+            std::uint64_t iters = 1;
+            double elapsed = 0.0;
+            for (;;) {
+                State probe = timedRun(family, instances[inst], iters);
+                elapsed = probe.realSeconds();
+                if (probe.errorOccurred() || elapsed >= g_flags.minTime ||
+                    iters >= (std::uint64_t{1} << 40))
+                    break;
+                double factor = 2.0;
+                if (elapsed > 1e-9)
+                    factor = std::clamp(g_flags.minTime * 1.4 / elapsed,
+                                        2.0, 10.0);
+                iters = static_cast<std::uint64_t>(
+                    static_cast<double>(iters) * factor);
+            }
+
+            for (std::size_t rep = 0; rep < g_flags.repetitions; ++rep) {
+                const State state =
+                    timedRun(family, instances[inst], iters);
+                RunResult row = toResult(family, state, name);
+                row.familyIndex = fam;
+                row.instanceIndex = inst;
+                row.repetitions = g_flags.repetitions;
+                row.repetitionIndex = rep;
+                if (rep == 0 || state.errorOccurred())
+                    printConsoleRow(row);
+                rows.push_back(std::move(row));
+                if (rows.back().error)
+                    break;
+            }
+        }
+    }
+
+    if (!g_flags.outPath.empty()) {
+        if (g_flags.outFormat != "json")
+            throw std::runtime_error(
+                "qbench: only --benchmark_out_format=json is supported");
+        writeJson(rows, g_flags.outPath);
+    }
+    return runs;
+}
+
+void
+Shutdown()
+{
+}
+
+} // namespace benchmark

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * qbench: a minimal, vendored micro-benchmark harness exposing the
+ * subset of the google-benchmark API our perf suites use, under the
+ * same `benchmark::` names so the bench sources are drop-in
+ * source-compatible.
+ *
+ * Why vendor instead of find_package(benchmark): the perf baselines
+ * (BENCH_kernels.json, BENCH_expectation.json) gate CI, and a
+ * measurement loop compiled with assertions enabled skews every
+ * number. The system libbenchmark ships compiled without NDEBUG and
+ * stamps `context.library_build_type: "debug"` into each report —
+ * which tools/bench-compare.sh now treats as a hard error in the
+ * committed baseline. Building the harness in-tree with the repo's
+ * own Release flags makes the recorded build type a property of this
+ * build, not of whatever distro package is installed.
+ *
+ * Faithfully reproduced semantics (the parts CI depends on):
+ *  - run names: "BM_Name/arg0:v0/arg1:v1" with ArgNames, bare values
+ *    without;
+ *  - adaptive iteration sizing until --benchmark_min_time elapses,
+ *    then --benchmark_repetitions timed repetitions, each emitted as
+ *    a run_type:"iteration" JSON row (bench-compare takes min-of-N);
+ *  - Counter::kIsIterationInvariantRate = value * iterations / cpu
+ *    seconds, inlined into the JSON row under the counter's name;
+ *  - context.library_build_type from NDEBUG at harness compile time.
+ */
+
+#ifndef QISMET_BENCH_QBENCH_HPP
+#define QISMET_BENCH_QBENCH_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit
+{
+    kNanosecond,
+    kMicrosecond,
+    kMillisecond,
+    kSecond,
+};
+
+/** User-visible counter; rate flags mirror google-benchmark's. */
+class Counter
+{
+  public:
+    enum Flags
+    {
+        kDefaults = 0,
+        /** Report value * iterations / cpu-seconds. */
+        kIsIterationInvariantRate = 1,
+    };
+
+    Counter() = default;
+    // Implicit by design: `counters["x"] = 3.0` must work, matching
+    // the google-benchmark API.
+    Counter(double v, Flags f = kDefaults) : value(v), flags(f) {}
+
+    double value = 0.0;
+    Flags flags = kDefaults;
+};
+
+/** Per-run state handed to the benchmark function. */
+class State
+{
+  public:
+    State(std::vector<std::int64_t> args, std::uint64_t max_iterations);
+
+    /** The i-th value attached via Arg/Args/ArgsProduct. */
+    std::int64_t range(std::size_t i = 0) const;
+
+    void SetLabel(const std::string &label) { label_ = label; }
+
+    /** Abort the run and mark the row as errored. */
+    void SkipWithError(const std::string &message);
+
+    std::uint64_t iterations() const { return maxIterations_; }
+
+    std::map<std::string, Counter> counters;
+
+    /**
+     * Range-for protocol: `for (auto _ : state)` starts the timers on
+     * begin(), yields max_iterations times, and stops the timers when
+     * the count is exhausted (or an error skipped the run).
+     */
+    struct iterator
+    {
+        // The attribute keeps `for (auto _ : state)` clean under
+        // -Wunused-but-set-variable, as google-benchmark does with
+        // BENCHMARK_UNUSED on its Value struct.
+        struct __attribute__((unused)) Value
+        {
+        };
+
+        Value operator*() const { return Value{}; }
+
+        iterator &operator++()
+        {
+            --remaining;
+            return *this;
+        }
+
+        bool operator!=(const iterator &)
+        {
+            if (remaining != 0)
+                return true;
+            parent->finish();
+            return false;
+        }
+
+        State *parent = nullptr;
+        std::uint64_t remaining = 0;
+    };
+
+    iterator begin();
+    iterator end() { return iterator{}; }
+
+    // --- harness-facing results (read by the runner) -----------------
+    double realSeconds() const { return realSeconds_; }
+    double cpuSeconds() const { return cpuSeconds_; }
+    bool errorOccurred() const { return error_; }
+    const std::string &errorMessage() const { return errorMessage_; }
+    const std::string &label() const { return label_; }
+
+  private:
+    friend struct iterator;
+    void start();
+    void finish();
+
+    std::vector<std::int64_t> args_;
+    std::uint64_t maxIterations_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+    bool error_ = false;
+    std::string errorMessage_;
+    std::string label_;
+    double realStart_ = 0.0;
+    double cpuStart_ = 0.0;
+    double realSeconds_ = 0.0;
+    double cpuSeconds_ = 0.0;
+};
+
+namespace internal {
+
+using Function = void (*)(State &);
+
+/** One registered benchmark family plus its argument matrix. */
+class Benchmark
+{
+  public:
+    Benchmark(std::string name, Function fn);
+
+    Benchmark *Arg(std::int64_t value);
+    Benchmark *Args(const std::vector<std::int64_t> &values);
+    Benchmark *ArgsProduct(
+        const std::vector<std::vector<std::int64_t>> &lists);
+    Benchmark *ArgNames(const std::vector<std::string> &names);
+    Benchmark *Unit(TimeUnit unit);
+
+    const std::string &name() const { return name_; }
+    Function function() const { return fn_; }
+    const std::vector<std::vector<std::int64_t>> &argLists() const
+    {
+        return argLists_;
+    }
+    const std::vector<std::string> &argNames() const { return argNames_; }
+    TimeUnit unit() const { return unit_; }
+
+  private:
+    std::string name_;
+    Function fn_;
+    std::vector<std::vector<std::int64_t>> argLists_;
+    std::vector<std::string> argNames_;
+    TimeUnit unit_ = kNanosecond;
+};
+
+/** Register into the global family list; returns a borrowed pointer
+    for the BENCHMARK macro's ->Arg() chains. */
+Benchmark *RegisterBenchmarkInternal(const char *name, Function fn);
+
+} // namespace internal
+
+/** Parse and strip --benchmark_* flags from argc/argv. */
+void Initialize(int *argc, char **argv);
+
+/** True (after printing a diagnostic) if unparsed args remain. */
+bool ReportUnrecognizedArguments(int argc, char **argv);
+
+/** Run every registered benchmark matching --benchmark_filter; prints
+    a console table and writes --benchmark_out if set. Returns the
+    number of runs executed. */
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+/** Compiler sink: forces `value` to be materialized. */
+template <class T>
+inline void
+DoNotOptimize(T const &value)
+{
+    __asm__ __volatile__("" : : "r,m"(value) : "memory");
+}
+
+template <class T>
+inline void
+DoNotOptimize(T &value)
+{
+    __asm__ __volatile__("" : "+r,m"(value) : : "memory");
+}
+
+} // namespace benchmark
+
+#define QBENCH_CONCAT_IMPL(a, b) a##b
+#define QBENCH_CONCAT(a, b) QBENCH_CONCAT_IMPL(a, b)
+
+/** Register `fn`; chain ->Arg()/->ArgsProduct()/->Unit() like
+    google-benchmark's BENCHMARK macro. */
+#define BENCHMARK(fn)                                                    \
+    static ::benchmark::internal::Benchmark *QBENCH_CONCAT(              \
+        qbench_registration_, __LINE__) [[maybe_unused]] =               \
+        ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#endif // QISMET_BENCH_QBENCH_HPP

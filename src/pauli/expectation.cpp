@@ -4,30 +4,51 @@
 #include <stdexcept>
 
 #include "common/block_partition.hpp"
+#include "pauli/expectation_plan.hpp"
 
 namespace qismet {
 
 namespace {
 
 /**
- * Phase of P acting on basis state |i>: P|i> = phase * |i ^ xmask>.
- * For each Z or Y factor the phase picks up (-1)^bit; each Y contributes
- * an extra i. With real coefficients the total expectation is real, so
- * we track the i^nY factor explicitly.
+ * Per-parity phase constants of one Pauli string: P|i> = phase(i) *
+ * |i ^ xmask> with phase(i) = (-1)^popcount(i & zmask) · i^nY. The
+ * i^nY factor is fixed per string, so the two possible values are
+ * computed once — through the same op sequence the old per-amplitude
+ * pauliPhase() switch executed, keeping every stored component
+ * (signed zeros included) bit-identical — and the per-basis-state work
+ * reduces to a parity-indexed select.
  */
-Complex
-pauliPhase(std::uint64_t i, std::uint64_t zmask, int n_y)
+struct PhasePair
 {
-    const int parity = std::popcount(i & zmask) & 1;
-    Complex phase = parity ? Complex(-1.0, 0.0) : Complex(1.0, 0.0);
-    switch (n_y & 3) {
-      case 0: break;
-      case 1: phase *= Complex(0.0, 1.0); break;
-      case 2: phase *= Complex(-1.0, 0.0); break;
-      case 3: phase *= Complex(0.0, -1.0); break;
+    Complex plus{1.0, 0.0};
+    Complex minus{-1.0, 0.0};
+
+    explicit PhasePair(int n_y)
+    {
+        switch (n_y & 3) {
+          case 0:
+            break;
+          case 1:
+            plus *= Complex(0.0, 1.0);
+            minus *= Complex(0.0, 1.0);
+            break;
+          case 2:
+            plus *= Complex(-1.0, 0.0);
+            minus *= Complex(-1.0, 0.0);
+            break;
+          case 3:
+            plus *= Complex(0.0, -1.0);
+            minus *= Complex(0.0, -1.0);
+            break;
+        }
     }
-    return phase;
-}
+
+    Complex select(std::uint64_t i, std::uint64_t zmask) const
+    {
+        return (std::popcount(i & zmask) & 1) ? minus : plus;
+    }
+};
 
 } // namespace
 
@@ -39,7 +60,7 @@ expectation(const Statevector &state, const PauliString &pauli)
 
     const std::uint64_t xmask = pauli.xMask();
     const std::uint64_t zmask = pauli.zMask();
-    const int n_y = pauli.countY();
+    const PhasePair phase(pauli.countY());
     const auto &amps = state.amplitudes();
 
     // <ψ|P|ψ> = Σ_i conj(ψ[i ^ xmask]) phase(i) ψ[i], summed as a
@@ -51,7 +72,7 @@ expectation(const Statevector &state, const PauliString &pauli)
                    Complex acc(0.0, 0.0);
                    for (std::uint64_t i = lo; i < hi; ++i)
                        acc += std::conj(amps[i ^ xmask]) *
-                              pauliPhase(i, zmask, n_y) * amps[i];
+                              phase.select(i, zmask) * amps[i];
                    return acc;
                })
         .real();
@@ -60,6 +81,15 @@ expectation(const Statevector &state, const PauliString &pauli)
 double
 expectation(const Statevector &state, const PauliSum &hamiltonian)
 {
+    // Default: compile-and-evaluate through the batched single-sweep
+    // engine (one amplitude walk per xmask group). Callers that
+    // evaluate the same sum repeatedly should hold an ExpectationPlan
+    // (or lease one from an ExpectationPlanCache) instead of paying
+    // the compile step per call; EnergyEstimator does exactly that.
+    if (batchedExpectationEnabled() && hamiltonian.numTerms() > 0) {
+        const ExpectationPlan plan(hamiltonian);
+        return plan.evaluate(state);
+    }
     double e = 0.0;
     for (const auto &t : hamiltonian.terms())
         e += t.coefficient * expectation(state, t.pauli);
@@ -74,20 +104,24 @@ expectation(const DensityMatrix &rho, const PauliString &pauli)
 
     const std::uint64_t xmask = pauli.xMask();
     const std::uint64_t zmask = pauli.zMask();
-    const int n_y = pauli.countY();
+    const PhasePair phase(pauli.countY());
     const std::size_t dim = rho.dim();
 
     // Tr(ρ P) = Σ_i (ρ P)[i, i] = Σ_i ρ[i, i ^ xmask] * phase(i)
     // where P[i ^ xmask, i] = phase(i).
     Complex acc(0.0, 0.0);
     for (std::uint64_t i = 0; i < dim; ++i)
-        acc += rho.element(i, i ^ xmask) * pauliPhase(i, zmask, n_y);
+        acc += rho.element(i, i ^ xmask) * phase.select(i, zmask);
     return acc.real();
 }
 
 double
 expectation(const DensityMatrix &rho, const PauliSum &hamiltonian)
 {
+    if (batchedExpectationEnabled() && hamiltonian.numTerms() > 0) {
+        const ExpectationPlan plan(hamiltonian);
+        return plan.evaluate(rho);
+    }
     double e = 0.0;
     for (const auto &t : hamiltonian.terms())
         e += t.coefficient * expectation(rho, t.pauli);

@@ -19,13 +19,21 @@ namespace qismet {
 /** Exact <ψ|P|ψ> without materializing the Pauli matrix. */
 double expectation(const Statevector &state, const PauliString &pauli);
 
-/** Exact <ψ|H|ψ> term-by-term. */
+/**
+ * Exact <ψ|H|ψ>. Routes through the batched single-sweep engine
+ * (pauli/expectation_plan.hpp) by default — one amplitude walk per
+ * xmask group, bit-identical to the term-by-term fallback, which stays
+ * reachable via QISMET_NO_BATCHED_EXPECT /
+ * setBatchedExpectationEnabled(false). Repeated evaluations of one sum
+ * should hold an ExpectationPlan instead of calling this per
+ * iteration.
+ */
 double expectation(const Statevector &state, const PauliSum &hamiltonian);
 
 /** Tr(ρ P) without materializing the Pauli matrix. */
 double expectation(const DensityMatrix &rho, const PauliString &pauli);
 
-/** Tr(ρ H) term-by-term. */
+/** Tr(ρ H); batched per xmask group like the statevector overload. */
 double expectation(const DensityMatrix &rho, const PauliSum &hamiltonian);
 
 /**

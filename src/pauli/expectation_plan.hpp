@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Compiled expectation plans: the batched single-sweep Pauli-sum
+ * evaluator and its cross-iteration cache.
+ *
+ * The legacy path walks the full 2^n amplitude array once **per term**
+ * of a PauliSum. A plan compiles the sum once — grouping terms by
+ * shared xmask and pre-folding each term's constant ±i^nY phase into a
+ * two-entry table — and then evaluates with one sweep **per group**,
+ * accumulating every term of the group from the same
+ * `conj(ψ[i^xmask])·ψ[i]` amplitude loads (kern::pauliGroupSums, with
+ * scalar/AVX2 runtime dispatch). The Hamiltonian is loop-invariant
+ * across optimizer iterations, so EnergyEstimator compiles (or leases
+ * from an ExpectationPlanCache) one plan per run and reuses it for
+ * every estimate.
+ *
+ * Determinism contract (DESIGN.md §16): plan evaluation is
+ * bit-identical to the legacy term-by-term path — same per-amplitude
+ * complex-multiply op sequence, same ascending-i per-term accumulation,
+ * the same fixed 16-block partition and serial block fold above the
+ * intra-state parallel threshold, and a final coefficient fold in
+ * original term order. A plan is a pure function of its PauliSum, so
+ * cache hits and misses are indistinguishable in every output bit. The
+ * legacy path stays available behind QISMET_NO_BATCHED_EXPECT /
+ * setBatchedExpectationEnabled(false), mirroring the fusion escape
+ * hatch.
+ */
+
+#ifndef QISMET_PAULI_EXPECTATION_PLAN_HPP
+#define QISMET_PAULI_EXPECTATION_PLAN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "pauli/grouping.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+
+namespace qismet {
+
+/**
+ * The batched-evaluator dispatch switch, consulted at call time by the
+ * expectation() entry points and EnergyEstimator: disabled by the
+ * QISMET_NO_BATCHED_EXPECT environment variable (read once) or by
+ * setBatchedExpectationEnabled(false). Mirrors fusionEnabled().
+ */
+bool batchedExpectationEnabled();
+
+/** Programmatic override of the batched-expectation switch (tests,
+    A/B benches); wins over the environment. */
+void setBatchedExpectationEnabled(bool on);
+
+/** Compiled form of one PauliSum, reusable across iterations. */
+class ExpectationPlan
+{
+  public:
+    /** Terms sharing one xmask, lowered to the kernel table layout. */
+    struct Group
+    {
+        std::uint64_t xmask = 0;
+        /** Per-term zmask + pre-folded ±i^nY phase constants. */
+        std::vector<kern::PauliTermSpec> specs;
+        /** Original term index per spec (scatter target). */
+        std::vector<std::size_t> termIndices;
+    };
+
+    /** Compile `hamiltonian` as-is (no simplification is applied). */
+    explicit ExpectationPlan(const PauliSum &hamiltonian);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t numTerms() const { return coefficients_.size(); }
+    std::size_t numGroups() const { return groups_.size(); }
+    const std::vector<Group> &groups() const { return groups_; }
+    /** Coefficients in original term order (the final fold order). */
+    const std::vector<double> &coefficients() const
+    {
+        return coefficients_;
+    }
+    /** PauliSum::fingerprint() of the compiled sum (the cache key). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
+     * Measurement-group sampling layout (qubit-wise-commuting groups,
+     * identity excluded), compiled once with the plan: per group the
+     * basis, the member terms' support masks and coefficients — the
+     * constants the sampling estimator reads per shot batch.
+     */
+    const std::vector<MeasurementGroup> &measurementGroups() const
+    {
+        return measurementGroups_;
+    }
+    const std::vector<std::uint64_t> &samplingMasks(std::size_t g) const
+    {
+        return samplingMasks_[g];
+    }
+    const std::vector<double> &samplingCoefficients(std::size_t g) const
+    {
+        return samplingCoefficients_[g];
+    }
+
+    /**
+     * Per-term <P_t> sums into out[numTerms()], bit-identical to the
+     * legacy expectation(state, terms[t].pauli) for every t (identity
+     * terms included — their sweep reproduces the legacy norm² walk).
+     * @throws std::invalid_argument on a width mismatch.
+     */
+    void termExpectations(const Statevector &state, double *out) const;
+
+    /** Tr(ρ P_t) per term; serial sweep, one pass per group. */
+    void termExpectations(const DensityMatrix &rho, double *out) const;
+
+    /** Σ_t c_t <P_t>, folded in original term order (== legacy sum). */
+    double evaluate(const Statevector &state) const;
+    double evaluate(const DensityMatrix &rho) const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<double> coefficients_;
+    std::vector<Group> groups_;
+    std::vector<MeasurementGroup> measurementGroups_;
+    std::vector<std::vector<std::uint64_t>> samplingMasks_;
+    std::vector<std::vector<double>> samplingCoefficients_;
+    /** Group-local accumulator offset per group (prefix sums). */
+    std::vector<std::size_t> groupOffsets_;
+    std::uint64_t fingerprint_ = 0;
+};
+
+/** Compile a plan behind a shared_ptr (the cache's currency). */
+std::shared_ptr<const ExpectationPlan>
+compileExpectationPlan(const PauliSum &hamiltonian);
+
+/**
+ * Cross-iteration / cross-run plan cache, keyed by (tenant,
+ * PauliSum::fingerprint()). A plan is a pure function of its sum, so
+ * hit-vs-miss cannot change any result bit; the tenant key exists for
+ * the serve layer, which lease-scopes one cache per backend and clears
+ * it on tenant handoff so plans never cross tenants. Thread-safe: a
+ * shared cache may be hit from concurrent ensemble trials.
+ */
+class ExpectationPlanCache
+{
+  public:
+    /** Return the cached plan for (tenant_id, hamiltonian), compiling
+        and inserting it on a miss. */
+    std::shared_ptr<const ExpectationPlan>
+    acquire(const PauliSum &hamiltonian, std::uint64_t tenant_id = 0);
+
+    /** Drop every entry (serve-layer tenant handoff). */
+    void clear();
+
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::shared_ptr<const ExpectationPlan>>
+        plans_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace qismet
+
+#endif // QISMET_PAULI_EXPECTATION_PLAN_HPP

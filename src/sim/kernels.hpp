@@ -92,6 +92,57 @@ double expectationZMask(const AmpSpan &amps, std::uint64_t mask);
 /** @} */
 
 /**
+ * @name Grouped Pauli-sum expectation sweep
+ *
+ * One Hamiltonian term lowered for the batched single-sweep evaluator
+ * (pauli/expectation_plan.hpp): terms sharing an xmask are swept
+ * together so the `conj(a[i^xmask])·a[i]` amplitude loads are paid once
+ * per group instead of once per term. The per-basis-state phase of a
+ * term is ±i^nY — a constant selected by the parity of
+ * popcount(i & zmask) — so it is pre-folded into two Complex constants
+ * at plan-compile time (computed through the exact op sequence the
+ * legacy pauliPhase() used, keeping the products bit-identical).
+ * @{
+ */
+struct PauliTermSpec
+{
+    std::uint64_t zmask = 0;
+    /** Phase for even parity of popcount(i & zmask): i^nY. */
+    Complex phasePlus{1.0, 0.0};
+    /** Phase for odd parity: -(i^nY). */
+    Complex phaseMinus{-1.0, 0.0};
+};
+
+/**
+ * Most terms the AVX2 group core takes per call (it builds per-term
+ * phase-select tables on the stack). The dispatch wrapper slabs larger
+ * groups along the term axis — harmless for determinism, since each
+ * term owns an independent accumulator.
+ */
+inline constexpr std::size_t kPauliGroupSlab = 32;
+
+/**
+ * Accumulate, for every term t of one xmask group,
+ *
+ *   acc[t] += Σ_{i in [u0,u1)} Re( conj(a[i^xmask]) · phase_t(i) · a[i] )
+ *
+ * with phase_t(i) = terms[t].phasePlus/Minus by parity of
+ * popcount(i & zmask). Each contribution is formed with the legacy
+ * std::complex operation order (two naive complex multiplies, real
+ * component kept), and per-term accumulation runs in ascending i, so
+ * the result is bit-identical to the term-by-term path. `simd` is the
+ * dispatch decision (pass simdEnabled()); the AVX2 core requires the
+ * interleaved layout and falls back to scalar otherwise. Only the real
+ * parts are accumulated — the legacy path discards the imaginary
+ * accumulator after the sweep, so dropping it cannot change bits.
+ */
+void pauliGroupSums(const AmpSpan &amps, std::uint64_t xmask,
+                    const PauliTermSpec *terms, std::size_t num_terms,
+                    bool simd, std::size_t u0, std::size_t u1, double *acc);
+
+/** @} */
+
+/**
  * @name Contiguous-run micro-kernels (interleaved layout)
  *
  * Serial building blocks reused by the density-matrix sweeps. `simd`
@@ -184,6 +235,10 @@ std::size_t conjPhaseRowAvx2(Complex *row, const Complex *phases,
                              Complex rowPhase, std::size_t count);
 std::size_t swapRunsAvx2(Complex *a, Complex *b, std::size_t count);
 std::size_t swapAdjacentPairsAvx2(Complex *p, std::size_t count);
+std::size_t pauliGroupSumsAvx2(const Complex *a, std::uint64_t xmask,
+                               const PauliTermSpec *terms,
+                               std::size_t num_terms, std::size_t u0,
+                               std::size_t u1, double *acc);
 
 } // namespace detail
 

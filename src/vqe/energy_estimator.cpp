@@ -33,7 +33,15 @@ EnergyEstimator::EnergyEstimator(PauliSum hamiltonian,
     hamiltonian_.simplify();
     mixedEnergy_ = hamiltonian_.identityCoefficient();
 
-    groups_ = groupQubitWise(hamiltonian_);
+    // Lease the compiled plan from the caller's cross-run cache when
+    // one is wired in (the serve layer scopes one cache per backend
+    // lease), else compile privately. Either way the grouping, phase
+    // tables and sampling layout are derived once, not per iteration.
+    plan_ = config_.planCache
+                ? config_.planCache->acquire(hamiltonian_,
+                                             config_.planCacheTenant)
+                : compileExpectationPlan(hamiltonian_);
+    groups_ = plan_->measurementGroups();
     basisChanges_.reserve(groups_.size());
     for (const auto &g : groups_)
         basisChanges_.push_back(
@@ -76,6 +84,11 @@ EnergyEstimator::idealEnergy(const std::vector<double> &theta) const
 {
     Statevector state(ansatz_.numQubits());
     prepareState(state, theta);
+    // Like fusionEnabled() in prepareState, the batched switch is
+    // consulted per call so the QISMET_NO_BATCHED_EXPECT escape hatch
+    // also bypasses plans compiled at construction.
+    if (batchedExpectationEnabled())
+        return plan_->evaluate(state);
     return expectation(state, hamiltonian_);
 }
 
@@ -151,11 +164,19 @@ EnergyEstimator::estimateAnalytic(const std::vector<double> &theta,
     // term order, keeping the sum bit-identical for every thread count.
     const auto &terms = hamiltonian_.terms();
     std::vector<double> p_ideal(terms.size(), 0.0);
-    ParallelExecutor::global().parallelFor(
-        terms.size(), [&](std::size_t k) {
-            if (!terms[k].pauli.isIdentity())
-                p_ideal[k] = expectation(state, terms[k].pauli);
-        });
+    if (batchedExpectationEnabled()) {
+        // One sweep per xmask group instead of one per term. Identity
+        // entries come back as the state's norm² rather than the 0.0
+        // the fallback leaves, but the fold below skips identity terms
+        // so every consumed value is bit-identical either way.
+        plan_->termExpectations(state, p_ideal.data());
+    } else {
+        ParallelExecutor::global().parallelFor(
+            terms.size(), [&](std::size_t k) {
+                if (!terms[k].pauli.isIdentity())
+                    p_ideal[k] = expectation(state, terms[k].pauli);
+            });
+    }
 
     // Partial-result jobs deliver fewer shots; the shot-noise variance
     // scales inversely with the retained count.
@@ -229,16 +250,35 @@ EnergyEstimator::estimateSampling(const std::vector<double> &theta,
 
             // Every term in the group is diagonal after the basis
             // change: its value is the average parity over its support.
+            // The batched path reads the plan's pre-flattened
+            // support-mask / coefficient tables; the fallback re-reads
+            // them through the term list. Same values, same order —
+            // the arithmetic is identical bit for bit.
             double e_group = 0.0;
-            for (std::size_t ti : groups_[gi].termIndices) {
-                const auto &term = hamiltonian_.terms()[ti];
-                const std::uint64_t mask = term.pauli.supportMask();
-                double parity_avg = 0.0;
-                for (std::size_t b = 0; b < dim; ++b) {
-                    const int parity = std::popcount(b & mask) & 1;
-                    parity_avg += (parity ? -1.0 : 1.0) * est_probs[b];
+            if (batchedExpectationEnabled()) {
+                const auto &masks = plan_->samplingMasks(gi);
+                const auto &coeffs = plan_->samplingCoefficients(gi);
+                for (std::size_t k = 0; k < masks.size(); ++k) {
+                    double parity_avg = 0.0;
+                    for (std::size_t b = 0; b < dim; ++b) {
+                        const int parity = std::popcount(b & masks[k]) & 1;
+                        parity_avg +=
+                            (parity ? -1.0 : 1.0) * est_probs[b];
+                    }
+                    e_group += coeffs[k] * parity_avg;
                 }
-                e_group += term.coefficient * parity_avg;
+            } else {
+                for (std::size_t ti : groups_[gi].termIndices) {
+                    const auto &term = hamiltonian_.terms()[ti];
+                    const std::uint64_t mask = term.pauli.supportMask();
+                    double parity_avg = 0.0;
+                    for (std::size_t b = 0; b < dim; ++b) {
+                        const int parity = std::popcount(b & mask) & 1;
+                        parity_avg +=
+                            (parity ? -1.0 : 1.0) * est_probs[b];
+                    }
+                    e_group += term.coefficient * parity_avg;
+                }
             }
             groupEnergies[gi] = e_group;
         });

@@ -32,6 +32,7 @@
 #define QISMET_VQE_ENERGY_ESTIMATOR_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -41,6 +42,7 @@
 #include "common/rng.hpp"
 #include "mitigation/measurement_mitigation.hpp"
 #include "noise/noise_model.hpp"
+#include "pauli/expectation_plan.hpp"
 #include "pauli/grouping.hpp"
 #include "pauli/pauli_sum.hpp"
 #include "sim/compiled_circuit.hpp"
@@ -79,6 +81,19 @@ struct EstimatorConfig
      * compile=off escape hatch alongside QISMET_NO_FUSION).
      */
     bool compileCircuits = true;
+    /**
+     * Optional cross-run ExpectationPlan cache. When set, the
+     * constructor leases the compiled plan from here (keyed by
+     * planCacheTenant + the simplified Hamiltonian's fingerprint)
+     * instead of compiling its own; the serve layer points this at a
+     * per-backend, lease-scoped cache. A plan is a pure function of
+     * its sum, so neither field can change any result bit — both are
+     * deliberately excluded from runConfigDigest (like
+     * compileCircuits). Not owned; must outlive the estimator.
+     */
+    ExpectationPlanCache *planCache = nullptr;
+    /** Tenant half of the plan-cache key (serve-layer isolation). */
+    std::uint64_t planCacheTenant = 0;
 };
 
 /** Produces machine-style energy estimates for one VQE problem. */
@@ -126,6 +141,14 @@ class EnergyEstimator
     /** Number of measurement groups (circuits per energy evaluation). */
     std::size_t numGroups() const { return groups_.size(); }
 
+    /**
+     * The compiled expectation plan (leased from config.planCache when
+     * set, else compiled privately). Exposed so tests can assert cache
+     * identity: two estimators sharing a cache and a Hamiltonian hold
+     * the same plan object.
+     */
+    std::shared_ptr<const ExpectationPlan> plan() const { return plan_; }
+
     const PauliSum &hamiltonian() const { return hamiltonian_; }
     const Circuit &ansatzCircuit() const { return ansatz_; }
     const EstimatorConfig &config() const { return config_; }
@@ -146,6 +169,13 @@ class EnergyEstimator
     std::optional<StaticNoiseModel> noise_;
     EstimatorConfig config_;
 
+    /**
+     * Compiled once per (tenant, Hamiltonian) — every estimate() reuses
+     * the xmask grouping, phase tables and sampling layout instead of
+     * re-deriving them per iteration. The term-by-term fallback stays
+     * reachable at call time via batchedExpectationEnabled().
+     */
+    std::shared_ptr<const ExpectationPlan> plan_;
     std::vector<MeasurementGroup> groups_;
     std::vector<Circuit> basisChanges_;
     /**

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Structural tests of ExpectationPlan compilation: xmask grouping,
+ * pre-folded phase constants, fingerprints, and the cross-iteration
+ * plan cache (hits, misses, tenant isolation, clear).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+
+#include "common/rng.hpp"
+#include "pauli/expectation.hpp"
+#include "pauli/expectation_plan.hpp"
+
+namespace qismet {
+namespace {
+
+/** The i^nY phase as the legacy pauliPhase computed it. */
+Complex
+referencePhase(int n_y, bool minus)
+{
+    Complex phase = minus ? Complex(-1.0, 0.0) : Complex(1.0, 0.0);
+    switch (n_y & 3) {
+      case 0:
+        break;
+      case 1:
+        phase *= Complex(0.0, 1.0);
+        break;
+      case 2:
+        phase *= Complex(-1.0, 0.0);
+        break;
+      case 3:
+        phase *= Complex(0.0, -1.0);
+        break;
+    }
+    return phase;
+}
+
+bool
+bitEqual(Complex a, Complex b)
+{
+    return std::bit_cast<std::uint64_t>(a.real()) ==
+               std::bit_cast<std::uint64_t>(b.real()) &&
+           std::bit_cast<std::uint64_t>(a.imag()) ==
+               std::bit_cast<std::uint64_t>(b.imag());
+}
+
+PauliSum
+sharedXmaskSum()
+{
+    // ZZ-type terms (xmask 0), an XX/YY pair on (0,1) (same xmask),
+    // and a lone X — 7 terms, 3 distinct xmasks.
+    PauliSum h(3);
+    h.add(0.5, "IZZ");
+    h.add(-0.25, "ZZI");
+    h.add(0.125, "ZIZ");
+    h.add(0.75, "IXX");
+    h.add(-0.5, "IYY");
+    h.add(0.3, "XII");
+    h.add(1.5, "III");
+    return h;
+}
+
+TEST(ExpectationPlan, GroupsTermsBySharedXmask)
+{
+    const PauliSum h = sharedXmaskSum();
+    const ExpectationPlan plan(h);
+
+    EXPECT_EQ(plan.numTerms(), 7u);
+    // xmask 0 holds IZZ/ZZI/ZIZ/III, the IXX/IYY pair shares one mask,
+    // XII is alone.
+    EXPECT_EQ(plan.numGroups(), 3u);
+
+    std::set<std::uint64_t> xmasks;
+    std::set<std::size_t> covered;
+    std::size_t total = 0;
+    for (const auto &g : plan.groups()) {
+        EXPECT_TRUE(xmasks.insert(g.xmask).second)
+            << "duplicate group xmask " << g.xmask;
+        EXPECT_EQ(g.specs.size(), g.termIndices.size());
+        total += g.specs.size();
+        for (std::size_t ti : g.termIndices) {
+            EXPECT_TRUE(covered.insert(ti).second)
+                << "term " << ti << " in two groups";
+            EXPECT_EQ(h.terms()[ti].pauli.xMask(), g.xmask);
+        }
+    }
+    EXPECT_EQ(total, plan.numTerms());
+    EXPECT_EQ(covered.size(), plan.numTerms());
+}
+
+TEST(ExpectationPlan, PhaseConstantsMatchLegacySequenceBitwise)
+{
+    Rng rng(2024);
+    const char ops[] = {'I', 'X', 'Y', 'Z'};
+    PauliSum h(5);
+    for (int t = 0; t < 40; ++t) {
+        std::string label;
+        for (int q = 0; q < 5; ++q)
+            label += ops[rng.uniformInt(4)];
+        h.add(rng.normal(), label);
+    }
+    const ExpectationPlan plan(h);
+    for (const auto &g : plan.groups()) {
+        for (std::size_t k = 0; k < g.specs.size(); ++k) {
+            const auto &term = h.terms()[g.termIndices[k]];
+            const int n_y = term.pauli.countY();
+            EXPECT_EQ(g.specs[k].zmask, term.pauli.zMask());
+            // Signed zeros matter (−0.0 in a product flips downstream
+            // bits), hence the bit-level comparison.
+            EXPECT_TRUE(bitEqual(g.specs[k].phasePlus,
+                                 referencePhase(n_y, false)))
+                << "plus phase, nY=" << n_y;
+            EXPECT_TRUE(bitEqual(g.specs[k].phaseMinus,
+                                 referencePhase(n_y, true)))
+                << "minus phase, nY=" << n_y;
+        }
+    }
+}
+
+TEST(ExpectationPlan, CoefficientsKeepOriginalTermOrder)
+{
+    const PauliSum h = sharedXmaskSum();
+    const ExpectationPlan plan(h);
+    ASSERT_EQ(plan.coefficients().size(), h.numTerms());
+    for (std::size_t k = 0; k < h.numTerms(); ++k)
+        EXPECT_EQ(plan.coefficients()[k], h.terms()[k].coefficient);
+}
+
+TEST(ExpectationPlan, IdentityTermJoinsXmaskZeroGroup)
+{
+    PauliSum h(2);
+    h.add(2.0, "II");
+    h.add(0.5, "ZZ");
+    const ExpectationPlan plan(h);
+    ASSERT_EQ(plan.numGroups(), 1u);
+    EXPECT_EQ(plan.groups()[0].xmask, 0u);
+    EXPECT_EQ(plan.groups()[0].specs.size(), 2u);
+    // Identity: zmask 0, phase +1 — its sweep is the norm² walk.
+    EXPECT_EQ(plan.groups()[0].specs[0].zmask, 0u);
+    EXPECT_TRUE(
+        bitEqual(plan.groups()[0].specs[0].phasePlus, Complex(1.0, 0.0)));
+}
+
+TEST(ExpectationPlan, SamplingLayoutMatchesMeasurementGroups)
+{
+    const PauliSum h = sharedXmaskSum();
+    const ExpectationPlan plan(h);
+    const auto &groups = plan.measurementGroups();
+    const auto reference = groupQubitWise(h);
+    ASSERT_EQ(groups.size(), reference.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &masks = plan.samplingMasks(gi);
+        const auto &coeffs = plan.samplingCoefficients(gi);
+        ASSERT_EQ(masks.size(), groups[gi].termIndices.size());
+        ASSERT_EQ(coeffs.size(), groups[gi].termIndices.size());
+        for (std::size_t k = 0; k < masks.size(); ++k) {
+            const auto &term = h.terms()[groups[gi].termIndices[k]];
+            EXPECT_EQ(masks[k], term.pauli.supportMask());
+            EXPECT_EQ(coeffs[k], term.coefficient);
+        }
+    }
+}
+
+TEST(ExpectationPlan, FingerprintSeparatesDistinctSums)
+{
+    PauliSum a(3);
+    a.add(0.5, "ZZI");
+    PauliSum b(3);
+    b.add(0.5, "ZIZ");
+    PauliSum c(3);
+    c.add(0.25, "ZZI");
+    PauliSum a2(3);
+    a2.add(0.5, "ZZI");
+
+    EXPECT_EQ(a.fingerprint(), a2.fingerprint());
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    EXPECT_EQ(ExpectationPlan(a).fingerprint(), a.fingerprint());
+}
+
+TEST(ExpectationPlanCache, HitsAndMisses)
+{
+    ExpectationPlanCache cache;
+    const PauliSum h = sharedXmaskSum();
+
+    const auto p1 = cache.acquire(h);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const auto p2 = cache.acquire(h);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(p1.get(), p2.get()) << "hit must return the same plan";
+
+    PauliSum other(3);
+    other.add(1.0, "XYZ");
+    const auto p3 = cache.acquire(other);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_NE(p1.get(), p3.get());
+}
+
+TEST(ExpectationPlanCache, TenantsNeverShareEntries)
+{
+    ExpectationPlanCache cache;
+    const PauliSum h = sharedXmaskSum();
+
+    const auto a = cache.acquire(h, /*tenant_id=*/1);
+    const auto b = cache.acquire(h, /*tenant_id=*/2);
+    EXPECT_NE(a.get(), b.get())
+        << "same Hamiltonian, different tenants: entries must be "
+           "distinct";
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Re-acquire per tenant: each hits its own entry.
+    EXPECT_EQ(cache.acquire(h, 1).get(), a.get());
+    EXPECT_EQ(cache.acquire(h, 2).get(), b.get());
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(ExpectationPlanCache, ClearDropsEverythingButKeepsLeasedPlans)
+{
+    ExpectationPlanCache cache;
+    const PauliSum h = sharedXmaskSum();
+    const auto held = cache.acquire(h);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    // The shared_ptr keeps an already-leased plan alive and usable.
+    Rng rng(7);
+    std::vector<Complex> amps(8);
+    for (auto &x : amps)
+        x = Complex(rng.normal(), rng.normal());
+    Statevector st(std::move(amps));
+    st.normalize();
+    EXPECT_NO_THROW(held->evaluate(st));
+    // And the next acquire recompiles.
+    const auto fresh = cache.acquire(h);
+    EXPECT_NE(fresh.get(), held.get());
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+} // namespace
+} // namespace qismet

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lease-scoped ExpectationPlan caching in the serve layer: one cache
+ * slot per backend, reused across legs of the same tenant, emptied on
+ * tenant handoff (multi-tenant isolation), and invisible in every
+ * trajectory digest.
+ */
+
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vqe/run_digest.hpp"
+
+namespace qismet {
+namespace {
+
+ServeJobSpec
+tfimSpec(std::uint64_t tenant, std::uint64_t seed, int app_index = 2)
+{
+    ServeJobSpec spec;
+    spec.tenantId = tenant;
+    spec.kind = WorkloadKind::TfimApp;
+    spec.appIndex = app_index;
+    spec.seed = seed;
+    spec.totalJobs = 6;
+    return spec;
+}
+
+std::string
+soloDigest(const ServeJobSpec &spec)
+{
+    const QismetVqe runner = buildRunner(spec);
+    return trajectoryDigest(runner.run(buildRunConfig(spec)).run);
+}
+
+TEST(ServePlanCache, SameTenantReusesPlansAcrossJobs)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = 1;
+    cfg.backends = {"guadalupe"};
+    ServeScheduler scheduler(cfg);
+
+    // Three jobs, one tenant, same workload → same Hamiltonian
+    // fingerprint: the first leg compiles, the rest hit.
+    for (std::uint64_t seed : {11u, 22u, 33u})
+        scheduler.submit(tfimSpec(/*tenant=*/5, seed));
+    scheduler.drain();
+
+    EXPECT_EQ(scheduler.backendPlanCacheMisses(0), 1u);
+    EXPECT_GE(scheduler.backendPlanCacheHits(0), 2u);
+    EXPECT_EQ(scheduler.backendPlanCacheSize(0), 1u);
+}
+
+TEST(ServePlanCache, TenantHandoffEmptiesTheSlot)
+{
+    ServeSchedulerConfig cfg;
+    cfg.workers = 1;
+    cfg.backends = {"guadalupe"};
+    cfg.startPaused = true;
+    ServeScheduler scheduler(cfg);
+
+    // Alternating tenants on one backend: every handoff clears the
+    // slot, so the same Hamiltonian recompiles for each leg and the
+    // cache never carries one tenant's plans into another's run.
+    scheduler.submit(tfimSpec(/*tenant=*/1, 7));
+    scheduler.submit(tfimSpec(/*tenant=*/2, 8));
+    scheduler.submit(tfimSpec(/*tenant=*/1, 9));
+    scheduler.setPaused(false);
+    scheduler.drain();
+
+    EXPECT_EQ(scheduler.backendPlanCacheMisses(0), 3u);
+    EXPECT_EQ(scheduler.backendPlanCacheHits(0), 0u);
+    // Only the last tenant's plan may remain.
+    EXPECT_EQ(scheduler.backendPlanCacheSize(0), 1u);
+}
+
+TEST(ServePlanCache, CachedRunsKeepSoloDigests)
+{
+    // Cache hit vs miss must be invisible in the trajectory: jobs that
+    // lease warmed and cold caches all reproduce their solo digest.
+    std::vector<ServeJobSpec> specs = {
+        tfimSpec(3, 101), tfimSpec(3, 102), tfimSpec(4, 103),
+        tfimSpec(3, 104, /*app_index=*/3)};
+
+    ServeSchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.backends = {"guadalupe", "mumbai"};
+    ServeScheduler scheduler(cfg);
+    std::map<std::uint64_t, const ServeJobSpec *> byId;
+    for (const ServeJobSpec &spec : specs)
+        byId[scheduler.submit(spec)] = &spec;
+    scheduler.drain();
+
+    for (const auto &[id, spec] : byId) {
+        const auto info = scheduler.poll(id);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->state, ServeJobState::Completed);
+        EXPECT_EQ(info->trajectoryDigest, soloDigest(*spec));
+    }
+}
+
+} // namespace
+} // namespace qismet

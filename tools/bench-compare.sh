@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Compare a fresh google-benchmark JSON report against the tracked
-# baseline and fail on wall-clock regressions.
+# Compare a fresh benchmark JSON report (qbench / google-benchmark
+# format) against the tracked baseline and fail on wall-clock
+# regressions.
 #
 # Usage: tools/bench-compare.sh [--threshold R] [--update] BASELINE CURRENT
 #
@@ -15,6 +16,10 @@
 # Benchmarks present in only one report are listed but never fail the
 # gate: new benchmarks have no baseline yet and retired ones no current
 # number, and neither is a regression.
+#
+# A BASELINE whose context.library_build_type is "debug" fails hard:
+# committed baselines must be recorded with a Release-built harness
+# (the vendored bench/qbench). A debug CURRENT report only warns.
 
 set -euo pipefail
 
@@ -52,16 +57,28 @@ baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.arg
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load(path):
+def load(path, *, is_baseline):
     with open(path) as f:
         report = json.load(f)
-    # google-benchmark stamps the *benchmark library's* build type into
-    # the context. A debug-instrumented measurement loop skews absolute
-    # numbers, so flag any report carrying one — comparisons against it
-    # are advisory. Warn, never fail: the machine may simply not have a
-    # release libbenchmark installed.
+    # The harness stamps the *benchmark library's* build type into the
+    # context. A debug-instrumented measurement loop skews absolute
+    # numbers, so a COMMITTED baseline recorded that way is a hard
+    # error: every future comparison against it would be advisory at
+    # best. Re-record it with the Release-built vendored harness
+    # (bench/qbench) and refresh via --update. A debug CURRENT report
+    # only warns — the local run is the transient side of the compare.
     build_type = report.get("context", {}).get("library_build_type", "")
     if build_type == "debug":
+        if is_baseline:
+            print(
+                f"bench-compare: FATAL: baseline {path} was recorded "
+                "with a debug benchmark library "
+                "(context.library_build_type=debug); committed baselines "
+                "must come from a Release harness — rebuild and refresh "
+                "with tools/bench-compare.sh --update",
+                file=sys.stderr,
+            )
+            sys.exit(1)
         print(
             f"bench-compare: WARNING: {path} was recorded with a debug "
             "benchmark library (context.library_build_type=debug); "
@@ -86,8 +103,8 @@ def load(path):
     return out
 
 
-base = load(baseline_path)
-cur = load(current_path)
+base = load(baseline_path, is_baseline=True)
+cur = load(current_path, is_baseline=False)
 
 
 def to_ns(value, unit):

@@ -46,14 +46,24 @@ stage "tier1 test gate"
 ctest --preset tier1
 
 stage "kernel determinism cross-checks (scalar kernels; 4 worker threads)"
-# The SIMD/parallel kernel battery re-runs with the AVX2 path disabled
-# and again with 4 intra-state workers — both must be bit-identical to
-# the default run (the simd-off / tier1-threads presets run the whole
-# tier; CI keeps this bounded by re-running just the kernel suites and
-# the golden replays).
-QISMET_SIMD=off ctest --test-dir build -R 'Kernel|Threshold' \
+# The SIMD/parallel kernel battery and the batched-expectation
+# equivalence suites re-run with the AVX2 path disabled and again with
+# 4 intra-state workers — both must be bit-identical to the default
+# run (the simd-off / tier1-threads presets run the whole tier; CI
+# keeps this bounded by re-running just the kernel/expectation suites
+# and the golden replays).
+QISMET_SIMD=off ctest --test-dir build \
+    -R 'Kernel|Threshold|BatchedExpectation|ExpectationPlan' \
     --output-on-failure -j 8
-QISMET_THREADS=4 ctest --test-dir build -R 'Kernel|Threshold' \
+QISMET_THREADS=4 ctest --test-dir build \
+    -R 'Kernel|Threshold|BatchedExpectation|ExpectationPlan' \
+    --output-on-failure -j 8
+# And once more with the batched engine's escape hatch thrown: every
+# equivalence assertion must hold when the legacy term-by-term path is
+# the one answering, proving the hatch is a real fallback and not a
+# stale code path.
+QISMET_NO_BATCHED_EXPECT=1 ctest --test-dir build \
+    -R 'BatchedExpectation|ExpectationPlan' \
     --output-on-failure -j 8
 
 stage "golden-trace regression suite"
@@ -190,6 +200,67 @@ if failures:
 print("simd-speedup: OK")
 PY
 
+stage "expectation benchmarks vs tracked baseline (BENCH_expectation.json)"
+# Same smoke-level contract as the kernel stage: min-of-3 against the
+# committed baseline catches order-of-magnitude regressions in the
+# batched single-sweep engine (DESIGN.md §16).
+./build/bench/bench_perf_expectation \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=3 \
+    --benchmark_out_format=json \
+    --benchmark_out=build/BENCH_expectation.json
+tools/bench-compare.sh BENCH_expectation.json build/BENCH_expectation.json
+
+stage "batched-expectation speedup gate (>=2x amp-terms/sec at 10+ qubits)"
+# BM_SumExpectation runs the public expectation() entry point with the
+# batched engine on and off at each width; on AVX2 hosts the batched
+# sweep (grouped xmasks + vector kernel, including its per-call plan
+# compile) must deliver at least 2x the legacy term-by-term throughput
+# at 10+ qubits and 24 terms. On hosts without AVX2 the simd:1 rows
+# report the scalar backend and the gate skips itself (grouping alone
+# sustains ~1.6x at the larger widths; the 2x contract is for the
+# grouped sweep plus the vector kernel).
+python3 - build/BENCH_expectation.json <<'PY'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+rates = {}
+labels = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    rate = b.get("amp_terms_per_sec")
+    if rate is None:
+        continue
+    name = b["run_name"]
+    # min-of-N on time means max-of-N on throughput.
+    rates[name] = max(rate, rates.get(name, 0.0))
+    labels[name] = b.get("label", "")
+
+if any(l == "scalar" for n, l in labels.items() if n.endswith("simd:1")):
+    print("batched-speedup: host has no AVX2 (simd:1 rows ran scalar); "
+          "skipping")
+    sys.exit(0)
+
+failures = []
+for q in (10, 12, 14):
+    on = rates.get(f"BM_SumExpectation/qubits:{q}/batched:1/simd:1")
+    off = rates.get(f"BM_SumExpectation/qubits:{q}/batched:0/simd:1")
+    if not on or not off:
+        failures.append(f"qubits:{q}: rows missing")
+        continue
+    ratio = on / off
+    mark = "" if ratio >= 2.0 else "  << BELOW 2.0x"
+    print(f"BM_SumExpectation/qubits:{q}: {ratio:.2f}x legacy (floor 2.0x){mark}")
+    if ratio < 2.0:
+        failures.append(f"qubits:{q}: {ratio:.2f}x < 2.0x")
+if failures:
+    print("batched-speedup: FAILED:", *failures, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print("batched-speedup: OK")
+PY
+
 stage "lint (baseline diff + SARIF artifact + clang-tidy + format)"
 # qismet-lint runs in baseline-diff mode: only findings beyond the
 # committed lint-baseline.json ratchet fail the stage. The sweep also
@@ -201,7 +272,7 @@ cmake --build --preset lint
 ctest --preset lint
 echo "ci: SARIF artifact at build/qismet-lint.sarif"
 
-stage "tsan subsystem sweep (serve + persist + fault + simkern + chaos)"
+stage "tsan subsystem sweep (serve + persist + fault + simkern + expect + chaos)"
 # The concurrency-heavy suites rerun under ThreadSanitizer; any data
 # race is a hard failure. Only the subsystem binaries are built in the
 # tsan tree to keep the stage bounded (~3 min). The chaos suites ride
@@ -210,19 +281,24 @@ stage "tsan subsystem sweep (serve + persist + fault + simkern + chaos)"
 # determinism is the chaos tier's job, not the race hunter's.
 cmake --preset tsan >/dev/null
 cmake --build build-tsan --target test_serve test_persist test_fault \
-    test_sim_kernels test_serve_chaos test_serve_chaos_replay -j "$jobs"
+    test_sim_kernels test_pauli_expect test_serve_chaos \
+    test_serve_chaos_replay -j "$jobs"
 ctest --preset tsan-subsys
 
-stage "kernel suites under ASan+UBSan and standalone UBSan"
-# The SIMD kernels walk amplitude arrays with hand-rolled bit
-# arithmetic and reinterpret_cast loads; ASan/UBSan rerun the whole
-# kernel battery against exactly that surface.
+stage "kernel + expectation suites under ASan+UBSan and standalone UBSan"
+# The SIMD kernels and the batched-expectation sweep walk amplitude
+# arrays with hand-rolled bit arithmetic and intrinsic loads;
+# ASan/UBSan rerun both batteries against exactly that surface.
 cmake --preset asan >/dev/null
-cmake --build build-asan --target test_sim_kernels -j "$jobs"
+cmake --build build-asan --target test_sim_kernels test_pauli_expect \
+    -j "$jobs"
 ctest --preset simkern-asan
+ctest --preset expect-asan
 cmake --preset ubsan >/dev/null
-cmake --build build-ubsan --target test_sim_kernels -j "$jobs"
+cmake --build build-ubsan --target test_sim_kernels test_pauli_expect \
+    -j "$jobs"
 ctest --preset simkern-ubsan
+ctest --preset expect-ubsan
 
 if [[ $with_coverage -eq 1 ]]; then
     stage "coverage build"
